@@ -1,0 +1,83 @@
+//! Ablation A2: scaling of Algorithm 1 (the signed BFS that counts positive
+//! and negative shortest paths) with graph size, and of the full relation
+//! matrix build, including the parallel builder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use signed_graph::csr::CsrGraph;
+use signed_graph::generators::{social_network, SocialNetworkConfig};
+use signed_graph::NodeId;
+use tfsn_core::compat::sp::signed_bfs;
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+
+fn bench_algo1(c: &mut Criterion) {
+    let sizes = [(1_000usize, 5_000usize), (4_000, 20_000), (16_000, 80_000)];
+
+    let mut group = c.benchmark_group("algo1_signed_bfs_single_source");
+    for (nodes, edges) in sizes {
+        let g = social_network(&SocialNetworkConfig {
+            nodes,
+            edges,
+            negative_fraction: 0.2,
+            seed: 9,
+            ..Default::default()
+        });
+        let csr = CsrGraph::from_graph(&g);
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{edges}m")),
+            &csr,
+            |b, csr| b.iter(|| black_box(signed_bfs(csr, NodeId::new(0)))),
+        );
+    }
+    group.finish();
+
+    // Full SPA matrix: sequential vs parallel (4 threads).
+    let g = social_network(&SocialNetworkConfig {
+        nodes: 2_000,
+        edges: 10_000,
+        negative_fraction: 0.2,
+        seed: 11,
+        ..Default::default()
+    });
+    let engine = EngineConfig::default();
+    let mut group = c.benchmark_group("algo1_full_matrix_2000n");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(CompatibilityMatrix::build_with_config(
+                &g,
+                CompatibilityKind::Spa,
+                &engine,
+            ))
+        })
+    });
+    group.bench_function("parallel_4_threads", |b| {
+        b.iter(|| {
+            black_box(CompatibilityMatrix::build_parallel(
+                &g,
+                CompatibilityKind::Spa,
+                &engine,
+                4,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` finishes in
+/// minutes; pass `--sample-size`/`--measurement-time` on the command line
+/// for higher-precision runs.
+fn short_profile() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_profile();
+    targets = bench_algo1
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Bench for experiments E5–E8 (paper Figure 2): the greedy team-formation
+//! algorithms across compatibility relations and task sizes.
+//!
+//! Prints the regenerated Figure 2 panels at smoke scale, then measures the
+//! greedy solver per (relation, algorithm) and per task size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+use tfsn_core::team::greedy::{solve_greedy, GreedyConfig};
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::TfsnInstance;
+use tfsn_experiments::figure2;
+use tfsn_skills::taskgen::random_coverable_tasks;
+
+fn bench_figure2(c: &mut Criterion) {
+    let report = figure2::run(&tfsn_bench::util::preamble_config());
+    println!("\n=== Figure 2 (regenerated, smoke scale) ===\n{}", report.render());
+
+    let dataset = tfsn_datasets::epinions(0.03);
+    let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
+    let engine = EngineConfig::default();
+    let greedy_cfg = GreedyConfig {
+        max_seeds: Some(40),
+        skill_degree_cap: Some(64),
+        ..Default::default()
+    };
+
+    // Panel (a)/(b): per relation × algorithm at k = 5.
+    let tasks_k5 = random_coverable_tasks(&dataset.skills, 5, 10, 21);
+    let mut group = c.benchmark_group("figure2_algorithms_k5");
+    group.sample_size(10);
+    for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Nne] {
+        let comp = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
+        for alg in [TeamAlgorithm::LCMD, TeamAlgorithm::LCMC, TeamAlgorithm::RANDOM] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), alg.label()),
+                &alg,
+                |b, &alg| {
+                    b.iter(|| {
+                        for task in &tasks_k5 {
+                            black_box(solve_greedy(&instance, &comp, task, alg, &greedy_cfg).ok());
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Panel (c)/(d): LCMD across task sizes.
+    let comp = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Spo, &engine, 4);
+    let mut group = c.benchmark_group("figure2_task_size_sweep_spo_lcmd");
+    group.sample_size(10);
+    for k in [2usize, 5, 10, 15, 20] {
+        let tasks = random_coverable_tasks(&dataset.skills, k, 10, 100 + k as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &tasks, |b, tasks| {
+            b.iter(|| {
+                for task in tasks {
+                    black_box(
+                        solve_greedy(&instance, &comp, task, TeamAlgorithm::LCMD, &greedy_cfg).ok(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` finishes in
+/// minutes; pass `--sample-size`/`--measurement-time` on the command line
+/// for higher-precision runs.
+fn short_profile() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_profile();
+    targets = bench_figure2
+}
+criterion_main!(benches);

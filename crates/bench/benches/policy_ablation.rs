@@ -1,0 +1,78 @@
+//! Ablation A1: skill-selection × user-selection policy combinations.
+//!
+//! The paper reports only the two winners (LCMD, LCMC) plus RANDOM; this
+//! ablation also runs the rarest-first variants (RFMD, RFMC) to quantify how
+//! much the skill policy matters relative to the user policy. Prints the
+//! solved-rate / diameter series before measuring runtime per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+use tfsn_core::team::greedy::{solve_greedy, GreedyConfig};
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::TfsnInstance;
+use tfsn_experiments::figure2::run_workload;
+use tfsn_experiments::ExperimentConfig;
+use tfsn_skills::taskgen::random_coverable_tasks;
+
+fn bench_policy_ablation(c: &mut Criterion) {
+    let dataset = tfsn_datasets::epinions(0.03);
+    let engine = EngineConfig::default();
+    let comp =
+        CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Spo, &engine, 4);
+    let tasks = random_coverable_tasks(&dataset.skills, 5, 25, 33);
+    let exp_cfg = ExperimentConfig {
+        max_seeds: Some(40),
+        skill_degree_cap: Some(64),
+        ..ExperimentConfig::quick()
+    };
+
+    println!("\n=== Policy ablation (Epinions emulation @3%, SPO, k=5) ===");
+    println!("{:<8} {:>10} {:>10} {:>10}", "policy", "% solved", "diameter", "team size");
+    for alg in TeamAlgorithm::ALL {
+        let outcome = run_workload(&dataset, &comp, &tasks, alg, &exp_cfg);
+        println!(
+            "{:<8} {:>10.1} {:>10.2} {:>10.2}",
+            alg.label(),
+            outcome.solved_pct,
+            outcome.mean_diameter,
+            outcome.mean_team_size
+        );
+    }
+
+    let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
+    let greedy_cfg = GreedyConfig {
+        max_seeds: Some(40),
+        skill_degree_cap: Some(64),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("policy_ablation_25_tasks");
+    group.sample_size(10);
+    for alg in TeamAlgorithm::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
+            b.iter(|| {
+                for task in &tasks {
+                    black_box(solve_greedy(&instance, &comp, task, alg, &greedy_cfg).ok());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` finishes in
+/// minutes; pass `--sample-size`/`--measurement-time` on the command line
+/// for higher-precision runs.
+fn short_profile() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_profile();
+    targets = bench_policy_ablation
+}
+criterion_main!(benches);

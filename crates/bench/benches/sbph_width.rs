@@ -1,0 +1,79 @@
+//! Ablation A3: SBPH beam-width sensitivity — recall against exact SBP and
+//! runtime as the number of retained prefixes per node grows.
+//!
+//! Prints the recall series (the data behind the ablation) before measuring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use signed_graph::csr::CsrGraph;
+use tfsn_core::compat::sbp::sbp_source;
+use tfsn_core::compat::sbph::sbph_source;
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+
+fn bench_sbph_width(c: &mut Criterion) {
+    let dataset = tfsn_datasets::slashdot();
+    let graph = &dataset.graph;
+    let csr = CsrGraph::from_graph(graph);
+
+    // Recall of the heuristic against (length-bounded) exact SBP, per width.
+    let engine = EngineConfig::default();
+    let exact = CompatibilityMatrix::build_parallel(graph, CompatibilityKind::Sbp, &engine, 4);
+    let exact_pairs = exact.compatible_pair_fraction();
+    println!("\n=== SBPH width ablation (Slashdot emulation) ===");
+    println!("exact SBP compatible-pair fraction: {:.4}", exact_pairs);
+    for width in [1usize, 2, 4, 8] {
+        let mut agree = 0u64;
+        let mut claimed = 0u64;
+        let n = graph.node_count();
+        for u in 0..n {
+            let row = sbph_source(graph, &csr, signed_graph::NodeId::new(u), width);
+            for v in 0..n {
+                if v != u && row.compatible[v] {
+                    claimed += 1;
+                    use tfsn_core::compat::Compatibility;
+                    if exact.compatible(signed_graph::NodeId::new(u), signed_graph::NodeId::new(v)) {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "width {width}: claimed pair fraction {:.4}, agreement with exact {:.1}%",
+            claimed as f64 / (n as f64 * (n as f64 - 1.0)),
+            if claimed == 0 { 100.0 } else { 100.0 * agree as f64 / claimed as f64 }
+        );
+    }
+
+    // Runtime per width (single source and full relation).
+    let mut group = c.benchmark_group("sbph_single_source");
+    for width in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            b.iter(|| black_box(sbph_source(graph, &csr, signed_graph::NodeId::new(0), width)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sbp_exact_single_source");
+    group.sample_size(10);
+    group.bench_function("bounded_len_12", |b| {
+        b.iter(|| black_box(sbp_source(graph, signed_graph::NodeId::new(0), Some(12), 2_000_000)))
+    });
+    group.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` finishes in
+/// minutes; pass `--sample-size`/`--measurement-time` on the command line
+/// for higher-precision runs.
+fn short_profile() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_profile();
+    targets = bench_sbph_width
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench for experiment E1 (paper Table 1): dataset statistics.
+//!
+//! Prints the regenerated Table 1 at smoke scale, then measures the cost of
+//! generating the Slashdot emulation and computing its statistics row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfsn_datasets::{DatasetStats, PaperDataset};
+use tfsn_experiments::table1;
+
+fn bench_table1(c: &mut Criterion) {
+    let report = table1::run(&tfsn_bench::util::preamble_config());
+    println!("\n=== Table 1 (regenerated, smoke scale) ===\n{}", report.render());
+
+    let slashdot = tfsn_datasets::slashdot();
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("generate_slashdot_emulation", |b| {
+        b.iter(|| black_box(tfsn_datasets::slashdot()))
+    });
+    group.bench_function("dataset_stats_slashdot", |b| {
+        b.iter(|| black_box(DatasetStats::compute(&slashdot)))
+    });
+    group.bench_function("generate_epinions_2pct", |b| {
+        b.iter(|| black_box(tfsn_datasets::epinions(0.02)))
+    });
+    group.bench_function("spec_scaling", |b| {
+        b.iter(|| black_box(PaperDataset::Epinions.spec().scaled(0.5)))
+    });
+    group.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` finishes in
+/// minutes; pass `--sample-size`/`--measurement-time` on the command line
+/// for higher-precision runs.
+fn short_profile() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_profile();
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Bench for experiments E2/E3 (paper Table 2): building every compatibility
+//! relation and deriving the compatible-pair statistics.
+//!
+//! Prints the regenerated Table 2 at smoke scale, then measures the cost of
+//! materialising each relation on the full-size Slashdot emulation (the
+//! dataset on which the paper computes every relation, including exact SBP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+use tfsn_core::skill_compat::SkillPairCompatibility;
+use tfsn_experiments::table2;
+
+fn bench_table2(c: &mut Criterion) {
+    let report = table2::run(&tfsn_bench::util::preamble_config());
+    println!("\n=== Table 2 (regenerated, smoke scale) ===\n{}", report.render());
+
+    let dataset = tfsn_datasets::slashdot();
+    let engine = EngineConfig::default();
+
+    let mut group = c.benchmark_group("table2_relation_build_slashdot");
+    for kind in [
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spm,
+        CompatibilityKind::Spo,
+        CompatibilityKind::Sbph,
+        CompatibilityKind::Sbp,
+        CompatibilityKind::Nne,
+    ] {
+        if kind == CompatibilityKind::Sbp {
+            group.sample_size(10);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                black_box(CompatibilityMatrix::build_with_config(
+                    &dataset.graph,
+                    kind,
+                    &engine,
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // The derived Table 2 statistics given a prebuilt relation.
+    let spo = CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Spo, &engine);
+    let mut group = c.benchmark_group("table2_statistics");
+    group.bench_function("compatible_pair_fraction", |b| {
+        b.iter(|| black_box(spo.compatible_pair_fraction()))
+    });
+    group.bench_function("mean_compatible_distance", |b| {
+        b.iter(|| black_box(spo.mean_compatible_distance()))
+    });
+    group.bench_function("skill_pair_compatibility", |b| {
+        b.iter(|| black_box(SkillPairCompatibility::from_rows(spo.rows(), &dataset.skills)))
+    });
+    group.bench_function("sbp_vs_sbph_disagreement", |b| {
+        let sbph =
+            CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Sbph, &engine);
+        b.iter(|| black_box(table2::disagreement_pct(&spo, &sbph)))
+    });
+    group.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` finishes in
+/// minutes; pass `--sample-size`/`--measurement-time` on the command line
+/// for higher-precision runs.
+fn short_profile() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_profile();
+    targets = bench_table2
+}
+criterion_main!(benches);

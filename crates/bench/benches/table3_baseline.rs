@@ -1,0 +1,68 @@
+//! Bench for experiment E4 (paper Table 3): the unsigned RarestFirst
+//! baseline and the compatibility audit of its teams.
+//!
+//! Prints the regenerated Table 3 at smoke scale, then measures the baseline
+//! solver and the audit on a scaled Epinions emulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use signed_graph::transform::{to_unsigned, UnsignedTransform};
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+use tfsn_core::team::baseline::{rarest_first, unsigned_baseline_compatibility};
+use tfsn_experiments::table3;
+use tfsn_skills::taskgen::random_coverable_tasks;
+
+fn bench_table3(c: &mut Criterion) {
+    let report = table3::run(&tfsn_bench::util::preamble_config());
+    println!("\n=== Table 3 (regenerated, smoke scale) ===\n{}", report.render());
+
+    let dataset = tfsn_datasets::epinions(0.03);
+    let tasks = random_coverable_tasks(&dataset.skills, 5, 20, 7);
+    let ignore = to_unsigned(&dataset.graph, UnsignedTransform::IgnoreSigns);
+    let engine = EngineConfig::default();
+    let nne = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Nne, &engine, 4);
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(20);
+    group.bench_function("rarest_first_single_task", |b| {
+        b.iter(|| black_box(rarest_first(&ignore, &dataset.skills, &tasks[0])))
+    });
+    for transform in [UnsignedTransform::IgnoreSigns, UnsignedTransform::DeleteNegative] {
+        group.bench_with_input(
+            BenchmarkId::new("baseline_audit_20_tasks", transform.label()),
+            &transform,
+            |b, &transform| {
+                b.iter(|| {
+                    black_box(unsigned_baseline_compatibility(
+                        &dataset.graph,
+                        &dataset.skills,
+                        &tasks,
+                        transform,
+                        &nne,
+                    ))
+                })
+            },
+        );
+    }
+    group.bench_function("unsigned_transform", |b| {
+        b.iter(|| black_box(to_unsigned(&dataset.graph, UnsignedTransform::DeleteNegative)))
+    });
+    group.finish();
+}
+
+/// Short measurement profile so `cargo bench --workspace` finishes in
+/// minutes; pass `--sample-size`/`--measurement-time` on the command line
+/// for higher-precision runs.
+fn short_profile() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = short_profile();
+    targets = bench_table3
+}
+criterion_main!(benches);

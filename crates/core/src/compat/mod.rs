@@ -1,0 +1,702 @@
+//! User-compatibility relations over signed networks (paper §3).
+//!
+//! Every relation is exposed through two complementary APIs:
+//!
+//! * **Per-source computation** — [`compute_source`] runs the relation's
+//!   algorithm from one query node and returns a [`SourceCompatibility`]
+//!   (who is compatible with the query node and at what distance). This is
+//!   the paper's Algorithm 1 view and the right tool for large graphs where
+//!   the full `|V|²` relation cannot be materialised.
+//! * **Materialised relations** — [`CompatibilityMatrix`] precomputes every
+//!   source (optionally in parallel) and [`LazyCompatibility`] computes and
+//!   caches sources on demand. Both implement the [`Compatibility`] trait
+//!   consumed by the team-formation algorithms.
+
+pub mod sbp;
+pub mod sbph;
+pub mod sp;
+pub mod trivial;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use signed_graph::csr::CsrGraph;
+use signed_graph::{NodeId, SignedGraph};
+
+use crate::distance;
+
+/// The seven compatibility relations defined by the paper, ordered from the
+/// strictest (DPE) to the most relaxed (NNE) as in Proposition 3.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CompatibilityKind {
+    /// Direct Positive Edge: only users joined by a positive edge.
+    Dpe,
+    /// All Shortest Paths positive.
+    Spa,
+    /// Majority of Shortest Paths positive.
+    Spm,
+    /// At least One Shortest Path positive.
+    Spo,
+    /// Heuristic Structurally Balanced Path (prefix-property search).
+    Sbph,
+    /// Exact Structurally Balanced Path (exhaustive search).
+    Sbp,
+    /// No Negative Edge between the two users.
+    Nne,
+}
+
+impl CompatibilityKind {
+    /// All relation kinds, strictest first.
+    pub const ALL: [CompatibilityKind; 7] = [
+        CompatibilityKind::Dpe,
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spm,
+        CompatibilityKind::Spo,
+        CompatibilityKind::Sbph,
+        CompatibilityKind::Sbp,
+        CompatibilityKind::Nne,
+    ];
+
+    /// The kinds evaluated in the paper's Table 2 / Figure 2 (DPE is
+    /// excluded there because requiring direct positive edges amounts to
+    /// clique finding; SBP is included only where it is computable).
+    pub const EVALUATED: [CompatibilityKind; 5] = [
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spm,
+        CompatibilityKind::Spo,
+        CompatibilityKind::Sbph,
+        CompatibilityKind::Nne,
+    ];
+
+    /// The short label used in the paper's tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompatibilityKind::Dpe => "DPE",
+            CompatibilityKind::Spa => "SPA",
+            CompatibilityKind::Spm => "SPM",
+            CompatibilityKind::Spo => "SPO",
+            CompatibilityKind::Sbph => "SBPH",
+            CompatibilityKind::Sbp => "SBP",
+            CompatibilityKind::Nne => "NNE",
+        }
+    }
+
+    /// Parses a label (case-insensitive). Returns `None` for unknown names.
+    pub fn parse(label: &str) -> Option<Self> {
+        match label.to_ascii_uppercase().as_str() {
+            "DPE" => Some(CompatibilityKind::Dpe),
+            "SPA" => Some(CompatibilityKind::Spa),
+            "SPM" => Some(CompatibilityKind::Spm),
+            "SPO" => Some(CompatibilityKind::Spo),
+            "SBPH" => Some(CompatibilityKind::Sbph),
+            "SBP" => Some(CompatibilityKind::Sbp),
+            "NNE" => Some(CompatibilityKind::Nne),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CompatibilityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tuning knobs for the relation algorithms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Exact-SBP search: maximum path length explored (`None` = no bound,
+    /// which is only sensible on very small graphs).
+    pub sbp_max_path_len: Option<usize>,
+    /// Exact-SBP search: maximum number of DFS states expanded per source
+    /// before the search gives up on the remaining targets (they stay
+    /// incompatible). Keeps the exponential search bounded, as the paper
+    /// does by restricting exact SBP to the small Slashdot network.
+    pub sbp_max_states: usize,
+    /// Heuristic-SBP: number of balanced path prefixes retained per node and
+    /// per path sign. Width 1 reproduces the paper's single-prefix
+    /// heuristic; larger widths trade time for recall (see the `sbph_width`
+    /// ablation bench).
+    pub sbph_width: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sbp_max_path_len: Some(12),
+            sbp_max_states: 2_000_000,
+            sbph_width: 1,
+        }
+    }
+}
+
+/// The result of running a compatibility algorithm from one query node:
+/// for every node of the graph, whether it is compatible with the source and
+/// the relation-specific distance (see [`crate::distance`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceCompatibility {
+    /// The query node.
+    pub source: NodeId,
+    /// The relation kind that produced this view.
+    pub kind: CompatibilityKind,
+    /// `compatible[v]` — is `(source, v)` in the relation?
+    pub compatible: Vec<bool>,
+    /// `distance[v]` — the relation's distance from `source` to `v`
+    /// (`None` when undefined/unreachable). Defined for compatible pairs;
+    /// may also be populated for incompatible ones when cheap.
+    pub distance: Vec<Option<u32>>,
+}
+
+impl SourceCompatibility {
+    /// Number of nodes compatible with the source (including the source
+    /// itself, which is always compatible by reflexivity).
+    pub fn compatible_count(&self) -> usize {
+        self.compatible.iter().filter(|&&c| c).count()
+    }
+
+    /// Mean distance over compatible nodes other than the source itself,
+    /// ignoring pairs with undefined distance.
+    pub fn mean_compatible_distance(&self) -> Option<f64> {
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for (v, (&c, &d)) in self.compatible.iter().zip(&self.distance).enumerate() {
+            if c && v != self.source.index() {
+                if let Some(d) = d {
+                    total += d as u64;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(total as f64 / count as f64)
+        }
+    }
+}
+
+/// Computes the compatibility of every node with `source` under `kind`.
+pub fn compute_source(
+    graph: &SignedGraph,
+    csr: &CsrGraph,
+    source: NodeId,
+    kind: CompatibilityKind,
+    cfg: &EngineConfig,
+) -> SourceCompatibility {
+    match kind {
+        CompatibilityKind::Dpe => trivial::dpe_source(graph, source),
+        CompatibilityKind::Nne => trivial::nne_source(graph, csr, source),
+        CompatibilityKind::Spa | CompatibilityKind::Spm | CompatibilityKind::Spo => {
+            let counts = sp::signed_bfs(csr, source);
+            sp::source_from_counts(source, kind, &counts)
+        }
+        CompatibilityKind::Sbph => sbph::sbph_source(graph, csr, source, cfg.sbph_width),
+        CompatibilityKind::Sbp => sbp::sbp_source(
+            graph,
+            source,
+            cfg.sbp_max_path_len,
+            cfg.sbp_max_states,
+        ),
+    }
+}
+
+/// A materialised or on-demand compatibility relation: the interface the
+/// team-formation algorithms consume.
+///
+/// Implementations must be reflexive and symmetric, satisfy positive-edge
+/// compatibility and negative-edge incompatibility (paper §2), and report a
+/// distance for every compatible pair whenever one is defined by the
+/// relation (see [`crate::distance`]).
+pub trait Compatibility: Sync {
+    /// The relation kind.
+    fn kind(&self) -> CompatibilityKind;
+    /// Number of users covered by the relation.
+    fn node_count(&self) -> usize;
+    /// `true` iff `(u, v)` is in the relation.
+    fn compatible(&self, u: NodeId, v: NodeId) -> bool;
+    /// The relation's distance between `u` and `v`, if defined.
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<u32>;
+
+    /// Convenience: `true` iff `u` is compatible with every member of `team`.
+    fn compatible_with_all(&self, u: NodeId, team: &[NodeId]) -> bool {
+        team.iter().all(|&x| self.compatible(u, x))
+    }
+}
+
+/// A fully materialised compatibility relation: one [`SourceCompatibility`]
+/// row per node.
+///
+/// Memory is `O(|V|²)`; intended for the scaled dataset emulations and the
+/// experiment harness. Use [`LazyCompatibility`] when only a few sources
+/// will ever be queried.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompatibilityMatrix {
+    kind: CompatibilityKind,
+    rows: Vec<SourceCompatibility>,
+}
+
+impl CompatibilityMatrix {
+    /// Builds the full relation sequentially with default tuning.
+    pub fn build(graph: &SignedGraph, kind: CompatibilityKind) -> Self {
+        Self::build_with_config(graph, kind, &EngineConfig::default())
+    }
+
+    /// Builds the full relation sequentially.
+    pub fn build_with_config(
+        graph: &SignedGraph,
+        kind: CompatibilityKind,
+        cfg: &EngineConfig,
+    ) -> Self {
+        let csr = CsrGraph::from_graph(graph);
+        let mut rows: Vec<SourceCompatibility> = graph
+            .nodes()
+            .map(|v| compute_source(graph, &csr, v, kind, cfg))
+            .collect();
+        symmetrize(&mut rows);
+        CompatibilityMatrix { kind, rows }
+    }
+
+    /// Builds the full relation using `threads` worker threads
+    /// (`crossbeam::scope`); the per-source computations are independent.
+    pub fn build_parallel(
+        graph: &SignedGraph,
+        kind: CompatibilityKind,
+        cfg: &EngineConfig,
+        threads: usize,
+    ) -> Self {
+        let n = graph.node_count();
+        let threads = threads.max(1).min(n.max(1));
+        if threads <= 1 || n == 0 {
+            return Self::build_with_config(graph, kind, cfg);
+        }
+        let csr = CsrGraph::from_graph(graph);
+        let next = AtomicUsize::new(0);
+        let mut rows: Vec<Option<SourceCompatibility>> = vec![None; n];
+        let slots = RwLock::new(&mut rows);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let row = compute_source(graph, &csr, NodeId::new(i), kind, cfg);
+                    // Each index is claimed by exactly one worker, so the
+                    // write lock is only contended briefly.
+                    slots.write()[i] = Some(row);
+                });
+            }
+        })
+        .expect("compatibility worker panicked");
+        let mut rows: Vec<SourceCompatibility> = rows
+            .into_iter()
+            .map(|r| r.expect("every source computed"))
+            .collect();
+        symmetrize(&mut rows);
+        CompatibilityMatrix { kind, rows }
+    }
+
+    /// Access to the per-source rows (e.g. for Table 2 statistics).
+    pub fn rows(&self) -> &[SourceCompatibility] {
+        &self.rows
+    }
+
+    /// The fraction of *ordered* node pairs `(u, v)`, `u != v`, that are
+    /// compatible. Because the relation is symmetric this equals the
+    /// unordered-pair fraction reported in the paper's Table 2.
+    pub fn compatible_pair_fraction(&self) -> f64 {
+        let n = self.rows.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let compatible: u64 = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(u, row)| {
+                row.compatible
+                    .iter()
+                    .enumerate()
+                    .filter(|&(v, &c)| c && v != u)
+                    .count() as u64
+            })
+            .sum();
+        compatible as f64 / (n as u64 * (n as u64 - 1)) as f64
+    }
+
+    /// Mean relation distance over compatible pairs (excluding self-pairs and
+    /// pairs with undefined distance).
+    pub fn mean_compatible_distance(&self) -> Option<f64> {
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for (u, row) in self.rows.iter().enumerate() {
+            for v in 0..row.compatible.len() {
+                if v != u && row.compatible[v] {
+                    if let Some(d) = row.distance[v] {
+                        total += d as u64;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(total as f64 / count as f64)
+        }
+    }
+}
+
+impl Compatibility for CompatibilityMatrix {
+    fn kind(&self) -> CompatibilityKind {
+        self.kind
+    }
+
+    fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn compatible(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        self.rows
+            .get(u.index())
+            .map(|r| r.compatible.get(v.index()).copied().unwrap_or(false))
+            .unwrap_or(false)
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        self.rows.get(u.index()).and_then(|r| r.distance.get(v.index()).copied().flatten())
+    }
+}
+
+/// Whether one per-source computation of `kind` already yields a symmetric
+/// relation. The SP family, DPE and NNE are symmetric by construction; the
+/// SBP search (when budget-limited) and the SBPH heuristic are per-source
+/// approximations whose two directions can disagree, so consumers must take
+/// the union of the two directions (the canonical symmetric closure used by
+/// [`CompatibilityMatrix`] and [`LazyCompatibility`]).
+pub fn per_source_symmetric(kind: CompatibilityKind) -> bool {
+    !matches!(kind, CompatibilityKind::Sbp | CompatibilityKind::Sbph)
+}
+
+/// Symmetric closure of a full set of per-source rows: a pair is compatible
+/// if either direction found it, and its distance is the smaller of the two
+/// directions' distances.
+fn symmetrize(rows: &mut [SourceCompatibility]) {
+    let n = rows.len();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let c = rows[u].compatible.get(v).copied().unwrap_or(false)
+                || rows[v].compatible.get(u).copied().unwrap_or(false);
+            let d = match (
+                rows[u].distance.get(v).copied().flatten(),
+                rows[v].distance.get(u).copied().flatten(),
+            ) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            if v < rows[u].compatible.len() {
+                rows[u].compatible[v] = c;
+                rows[u].distance[v] = d;
+            }
+            if u < rows[v].compatible.len() {
+                rows[v].compatible[u] = c;
+                rows[v].distance[u] = d;
+            }
+        }
+    }
+}
+
+/// A lazily materialised relation: per-source rows are computed on first use
+/// and cached behind a `parking_lot::RwLock`.
+///
+/// This is the right choice when team formation touches only the users
+/// holding the task's skills — a small slice of a large network.
+pub struct LazyCompatibility<'g> {
+    graph: &'g SignedGraph,
+    csr: CsrGraph,
+    kind: CompatibilityKind,
+    cfg: EngineConfig,
+    cache: RwLock<Vec<Option<std::sync::Arc<SourceCompatibility>>>>,
+}
+
+impl<'g> LazyCompatibility<'g> {
+    /// Creates an empty cache over `graph` for relation `kind`.
+    pub fn new(graph: &'g SignedGraph, kind: CompatibilityKind, cfg: EngineConfig) -> Self {
+        LazyCompatibility {
+            graph,
+            csr: CsrGraph::from_graph(graph),
+            kind,
+            cfg,
+            cache: RwLock::new(vec![None; graph.node_count()]),
+        }
+    }
+
+    /// Returns (computing if necessary) the row for `source`.
+    pub fn source(&self, source: NodeId) -> std::sync::Arc<SourceCompatibility> {
+        if let Some(row) = &self.cache.read()[source.index()] {
+            return row.clone();
+        }
+        let row = std::sync::Arc::new(compute_source(
+            self.graph,
+            &self.csr,
+            source,
+            self.kind,
+            &self.cfg,
+        ));
+        let mut guard = self.cache.write();
+        let slot = &mut guard[source.index()];
+        if slot.is_none() {
+            *slot = Some(row.clone());
+        }
+        slot.as_ref().expect("just inserted").clone()
+    }
+
+    /// Number of cached rows (for diagnostics and tests).
+    pub fn cached_rows(&self) -> usize {
+        self.cache.read().iter().filter(|r| r.is_some()).count()
+    }
+}
+
+impl Compatibility for LazyCompatibility<'_> {
+    fn kind(&self) -> CompatibilityKind {
+        self.kind
+    }
+
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn compatible(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return true;
+        }
+        let forward = self
+            .source(u)
+            .compatible
+            .get(v.index())
+            .copied()
+            .unwrap_or(false);
+        if forward || per_source_symmetric(self.kind) {
+            return forward;
+        }
+        // Asymmetric heuristic kinds: take the symmetric closure.
+        self.source(v).compatible.get(u.index()).copied().unwrap_or(false)
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        let forward = self.source(u).distance.get(v.index()).copied().flatten();
+        if per_source_symmetric(self.kind) {
+            return forward;
+        }
+        let backward = self.source(v).distance.get(u.index()).copied().flatten();
+        match (forward, backward) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// A relation restricted to "always compatible, distance = unsigned shortest
+/// path" — the classic unsigned team-formation setting. Used by the Table 3
+/// baseline so that the same greedy machinery can run on unsigned graphs.
+#[derive(Debug, Clone)]
+pub struct UnsignedCompatibility {
+    node_count: usize,
+    distances: Vec<Vec<Option<u32>>>,
+}
+
+impl UnsignedCompatibility {
+    /// Precomputes all-pairs unsigned BFS distances over `graph`.
+    pub fn build(graph: &SignedGraph) -> Self {
+        let distances = graph
+            .nodes()
+            .map(|v| distance::unsigned_distances(graph, v))
+            .collect();
+        UnsignedCompatibility {
+            node_count: graph.node_count(),
+            distances,
+        }
+    }
+}
+
+impl Compatibility for UnsignedCompatibility {
+    fn kind(&self) -> CompatibilityKind {
+        // The closest analogue: every pair is "compatible"; distances ignore
+        // signs, as in NNE.
+        CompatibilityKind::Nne
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn compatible(&self, _u: NodeId, _v: NodeId) -> bool {
+        true
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        if u == v {
+            return Some(0);
+        }
+        self.distances
+            .get(u.index())
+            .and_then(|row| row.get(v.index()).copied().flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signed_graph::builder::from_edge_triples;
+    use signed_graph::Sign;
+
+    fn paper_figure_1a() -> SignedGraph {
+        // u=0, x1=1, x2=2, x3=3, x4=4, v=5 (see balance.rs tests).
+        from_edge_triples(vec![
+            (0, 1, Sign::Negative),
+            (1, 5, Sign::Positive),
+            (0, 2, Sign::Positive),
+            (2, 1, Sign::Positive),
+            (2, 3, Sign::Positive),
+            (3, 4, Sign::Positive),
+            (4, 5, Sign::Positive),
+        ])
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in CompatibilityKind::ALL {
+            assert_eq!(CompatibilityKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(CompatibilityKind::parse("spa"), Some(CompatibilityKind::Spa));
+        assert_eq!(CompatibilityKind::parse("bogus"), None);
+        assert_eq!(CompatibilityKind::EVALUATED.len(), 5);
+    }
+
+    #[test]
+    fn matrix_is_reflexive_and_symmetric() {
+        let g = paper_figure_1a();
+        for kind in CompatibilityKind::ALL {
+            let m = CompatibilityMatrix::build(&g, kind);
+            for u in g.nodes() {
+                assert!(m.compatible(u, u), "{kind}: reflexivity violated at {u}");
+                assert_eq!(m.distance(u, u), Some(0));
+                for v in g.nodes() {
+                    assert_eq!(
+                        m.compatible(u, v),
+                        m.compatible(v, u),
+                        "{kind}: symmetry violated at ({u}, {v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_satisfies_edge_axioms() {
+        let g = paper_figure_1a();
+        for kind in CompatibilityKind::ALL {
+            let m = CompatibilityMatrix::build(&g, kind);
+            for e in g.edges() {
+                match e.sign {
+                    Sign::Positive => assert!(
+                        m.compatible(e.u, e.v),
+                        "{kind}: positive edge ({}, {}) must be compatible",
+                        e.u,
+                        e.v
+                    ),
+                    Sign::Negative => assert!(
+                        !m.compatible(e.u, e.v),
+                        "{kind}: negative edge ({}, {}) must be incompatible",
+                        e.u,
+                        e.v
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_1a_sbp_but_not_sp() {
+        let g = paper_figure_1a();
+        let (u, v) = (NodeId::new(0), NodeId::new(5));
+        let spo = CompatibilityMatrix::build(&g, CompatibilityKind::Spo);
+        let sbp = CompatibilityMatrix::build(&g, CompatibilityKind::Sbp);
+        // The only shortest path (u,x1,v) is negative → not even SPO.
+        assert!(!spo.compatible(u, v));
+        // But the positive structurally balanced path (u,x2,x3,x4,v) exists.
+        assert!(sbp.compatible(u, v));
+        assert_eq!(sbp.distance(u, v), Some(4));
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = signed_graph::generators::social_network(&signed_graph::generators::SocialNetworkConfig {
+            nodes: 120,
+            edges: 400,
+            negative_fraction: 0.2,
+            seed: 5,
+            ..Default::default()
+        });
+        let cfg = EngineConfig::default();
+        for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Sbph] {
+            let seq = CompatibilityMatrix::build_with_config(&g, kind, &cfg);
+            let par = CompatibilityMatrix::build_parallel(&g, kind, &cfg, 4);
+            assert_eq!(seq.rows(), par.rows(), "{kind}: parallel and sequential differ");
+        }
+    }
+
+    #[test]
+    fn lazy_matches_matrix_and_caches() {
+        let g = paper_figure_1a();
+        let kind = CompatibilityKind::Spm;
+        let lazy = LazyCompatibility::new(&g, kind, EngineConfig::default());
+        let matrix = CompatibilityMatrix::build(&g, kind);
+        assert_eq!(lazy.cached_rows(), 0);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(lazy.compatible(u, v), matrix.compatible(u, v));
+                assert_eq!(lazy.distance(u, v), matrix.distance(u, v));
+            }
+        }
+        assert_eq!(lazy.cached_rows(), g.node_count());
+        assert_eq!(lazy.kind(), kind);
+        assert_eq!(lazy.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn unsigned_compatibility_is_all_pairs() {
+        let g = paper_figure_1a();
+        let u = UnsignedCompatibility::build(&g);
+        assert_eq!(u.node_count(), g.node_count());
+        assert!(u.compatible(NodeId::new(0), NodeId::new(5)));
+        assert_eq!(u.distance(NodeId::new(0), NodeId::new(5)), Some(2));
+        assert_eq!(u.distance(NodeId::new(3), NodeId::new(3)), Some(0));
+        assert!(u.compatible_with_all(NodeId::new(0), &[NodeId::new(1), NodeId::new(2)]));
+    }
+
+    #[test]
+    fn pair_fraction_and_mean_distance() {
+        // Two nodes joined by a positive edge: 100% compatible at distance 1.
+        let g = from_edge_triples(vec![(0, 1, Sign::Positive)]);
+        let m = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
+        assert!((m.compatible_pair_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(m.mean_compatible_distance(), Some(1.0));
+        // Two nodes joined by a negative edge: 0%.
+        let g = from_edge_triples(vec![(0, 1, Sign::Negative)]);
+        let m = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
+        assert_eq!(m.compatible_pair_fraction(), 0.0);
+        assert_eq!(m.mean_compatible_distance(), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Distance definitions used by the communication cost (paper §4).
+//!
+//! The paper measures the communication cost of a team as the largest
+//! distance between any two members, where the distance itself depends on
+//! the compatibility relation in force:
+//!
+//! * **DPE / SP-family** — the length of the shortest path between the two
+//!   users (the `L(x)` of Algorithm 1).
+//! * **SBP / SBPH** — the length of the shortest structurally balanced
+//!   *positive* path.
+//! * **NNE** — the length of the shortest path ignoring signs (there may be
+//!   no positive path at all between NNE-compatible users).
+//!
+//! The per-relation distances are produced together with the compatibility
+//! vectors by [`crate::compat::compute_source`]; this module holds the
+//! sign-oblivious and sign-aware primitives they share, plus a
+//! positive-*walk* distance used by the ablation benches.
+
+use std::collections::VecDeque;
+
+use signed_graph::csr::CsrGraph;
+use signed_graph::traversal::{bfs_distances, UNREACHABLE};
+use signed_graph::{NodeId, Sign, SignedGraph};
+
+/// Unsigned single-source shortest-path distances as `Option<u32>`.
+pub fn unsigned_distances(g: &SignedGraph, source: NodeId) -> Vec<Option<u32>> {
+    bfs_distances(g, source)
+        .into_iter()
+        .map(|d| if d == UNREACHABLE { None } else { Some(d) })
+        .collect()
+}
+
+/// Unsigned single-source distances over a CSR view.
+pub fn unsigned_distances_csr(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32>> {
+    signed_graph::traversal::bfs_distances_csr(csr, source)
+        .into_iter()
+        .map(|d| if d == UNREACHABLE { None } else { Some(d) })
+        .collect()
+}
+
+/// Shortest positive-**walk** distances: the length of the shortest walk
+/// (vertices may repeat) from `source` whose edge-sign product is positive.
+///
+/// Computed with a parity BFS over `(node, sign)` states in `O(|V| + |E|)`.
+/// This is not one of the paper's distance definitions (the paper uses path
+/// lengths), but it lower-bounds the shortest positive simple-path length
+/// and is used by the ablation benches as a cheap alternative distance.
+pub fn positive_walk_distances(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32>> {
+    let n = csr.node_count();
+    // dist[v][parity]: parity 0 = positive product, 1 = negative product.
+    let mut dist = vec![[UNREACHABLE; 2]; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()][0] = 0;
+    queue.push_back((source, 0u8));
+    while let Some((u, parity)) = queue.pop_front() {
+        let du = dist[u.index()][parity as usize];
+        for (v, sign) in csr.neighbors(u) {
+            let next_parity = match sign {
+                Sign::Positive => parity,
+                Sign::Negative => parity ^ 1,
+            };
+            if dist[v.index()][next_parity as usize] == UNREACHABLE {
+                dist[v.index()][next_parity as usize] = du + 1;
+                queue.push_back((v, next_parity));
+            }
+        }
+    }
+    dist.into_iter()
+        .map(|d| if d[0] == UNREACHABLE { None } else { Some(d[0]) })
+        .collect()
+}
+
+/// Shortest negative-walk distances (parity-1 counterpart of
+/// [`positive_walk_distances`]).
+pub fn negative_walk_distances(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32>> {
+    let n = csr.node_count();
+    let mut dist = vec![[UNREACHABLE; 2]; n];
+    let mut queue = VecDeque::new();
+    dist[source.index()][0] = 0;
+    queue.push_back((source, 0u8));
+    while let Some((u, parity)) = queue.pop_front() {
+        let du = dist[u.index()][parity as usize];
+        for (v, sign) in csr.neighbors(u) {
+            let next_parity = match sign {
+                Sign::Positive => parity,
+                Sign::Negative => parity ^ 1,
+            };
+            if dist[v.index()][next_parity as usize] == UNREACHABLE {
+                dist[v.index()][next_parity as usize] = du + 1;
+                queue.push_back((v, next_parity));
+            }
+        }
+    }
+    dist.into_iter()
+        .map(|d| if d[1] == UNREACHABLE { None } else { Some(d[1]) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signed_graph::builder::from_edge_triples;
+
+    fn csr(g: &SignedGraph) -> CsrGraph {
+        CsrGraph::from_graph(g)
+    }
+
+    #[test]
+    fn unsigned_distances_match_traversal() {
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Negative),
+            (3, 4, Sign::Positive),
+        ]);
+        let d = unsigned_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), None, None]);
+        assert_eq!(d, unsigned_distances_csr(&csr(&g), NodeId::new(0)));
+    }
+
+    #[test]
+    fn positive_walk_uses_sign_parity() {
+        // Path graph 0 -(-)- 1 -(-)- 2. Every walk from 0 to 1 traverses the
+        // (0,1) edge an odd number of times and (1,2) an even number, so its
+        // sign is always negative; every walk from 0 to 2 uses both edges an
+        // odd number of times, so its sign is always positive.
+        let g = from_edge_triples(vec![(0, 1, Sign::Negative), (1, 2, Sign::Negative)]);
+        let d = positive_walk_distances(&csr(&g), NodeId::new(0));
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], None);
+        assert_eq!(d[2], Some(2));
+        let neg = negative_walk_distances(&csr(&g), NodeId::new(0));
+        assert_eq!(neg[0], None);
+        assert_eq!(neg[1], Some(1));
+        assert_eq!(neg[2], None);
+    }
+
+    #[test]
+    fn positive_walk_on_all_positive_graph_equals_bfs() {
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Positive),
+            (2, 3, Sign::Positive),
+        ]);
+        let walk = positive_walk_distances(&csr(&g), NodeId::new(0));
+        let plain = unsigned_distances(&g, NodeId::new(0));
+        assert_eq!(walk, plain);
+        let neg = negative_walk_distances(&csr(&g), NodeId::new(0));
+        assert!(neg.iter().all(Option::is_none));
+    }
+}

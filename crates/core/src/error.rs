@@ -1,0 +1,68 @@
+//! Error types for the TFSN core library.
+
+use std::fmt;
+
+use tfsn_skills::SkillId;
+
+/// Errors produced by team-formation and compatibility computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TfsnError {
+    /// The task requires a skill that no user in the pool possesses.
+    UncoverableSkill(SkillId),
+    /// No compatible team covering the task could be found by the algorithm.
+    NoCompatibleTeam,
+    /// The graph and skill assignment disagree on the number of users.
+    UserCountMismatch {
+        /// Number of nodes in the graph.
+        graph_nodes: usize,
+        /// Number of users in the skill assignment.
+        skill_users: usize,
+    },
+    /// The exact SBP search exceeded its configured exploration budget.
+    SearchBudgetExceeded,
+}
+
+impl fmt::Display for TfsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TfsnError::UncoverableSkill(s) => {
+                write!(f, "no user in the pool possesses required skill {s}")
+            }
+            TfsnError::NoCompatibleTeam => {
+                write!(f, "no compatible team covering the task was found")
+            }
+            TfsnError::UserCountMismatch {
+                graph_nodes,
+                skill_users,
+            } => write!(
+                f,
+                "graph has {graph_nodes} nodes but the skill assignment covers {skill_users} users"
+            ),
+            TfsnError::SearchBudgetExceeded => {
+                write!(f, "exact SBP search exceeded its exploration budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TfsnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(TfsnError::UncoverableSkill(SkillId::new(3))
+            .to_string()
+            .contains("s3"));
+        assert!(TfsnError::NoCompatibleTeam.to_string().contains("no compatible team"));
+        assert!(TfsnError::UserCountMismatch {
+            graph_nodes: 4,
+            skill_users: 5
+        }
+        .to_string()
+        .contains("4"));
+        assert!(TfsnError::SearchBudgetExceeded.to_string().contains("budget"));
+    }
+}

@@ -1,0 +1,295 @@
+//! Skill-level compatibility: compatibility degrees `cd(s, s')` and `cd(s)`.
+//!
+//! The paper lifts user compatibility to skills: the *compatibility degree*
+//! of two skills is the number of compatible user pairs holding them,
+//!
+//! ```text
+//! cd(s_i, s_j) = |{(u_i, u_j) : (u_i, u_j) ∈ Comp, s_i ∈ skills(u_i), s_j ∈ skills(u_j)}| ,
+//! ```
+//!
+//! two skills are *compatible* when `cd(s_i, s_j) > 0` (self-compatibility —
+//! one user holding both skills — counts via the reflexive pair `(u, u)`),
+//! and the degree of a single skill is `cd(s) = Σ_{s_j ≠ s} cd(s, s_j)`.
+//! Table 2 reports the fraction of compatible skill pairs; the
+//! least-compatible-skill-first selection policy of Algorithm 2 orders the
+//! task's skills by `cd(s)` restricted to the task.
+
+use tfsn_skills::assignment::SkillAssignment;
+use tfsn_skills::task::Task;
+use tfsn_skills::SkillId;
+
+use crate::compat::{Compatibility, SourceCompatibility};
+use signed_graph::NodeId;
+
+/// A boolean matrix over skill pairs: which pairs have at least one
+/// compatible user pair. Built from per-source compatibility rows (all rows
+/// for the exact figure, a sample of rows for an estimate on large graphs).
+#[derive(Debug, Clone)]
+pub struct SkillPairCompatibility {
+    skills: usize,
+    /// Row-major upper-triangular-inclusive boolean matrix.
+    compatible: Vec<bool>,
+}
+
+impl SkillPairCompatibility {
+    /// Marks skill pairs as compatible using the given per-source rows.
+    ///
+    /// Passing every row of a [`crate::compat::CompatibilityMatrix`] yields
+    /// the exact relation; passing a subset of rows yields a lower-bound
+    /// estimate (pairs witnessed only by unsampled sources stay unmarked).
+    pub fn from_rows(rows: &[SourceCompatibility], skills: &SkillAssignment) -> Self {
+        let s = skills.skill_count();
+        let mut compatible = vec![false; s * s];
+        for row in rows {
+            let u = row.source.index();
+            if u >= skills.user_count() {
+                continue;
+            }
+            let u_skills = skills.skills_of(u).to_vec();
+            if u_skills.is_empty() {
+                continue;
+            }
+            for (v, &c) in row.compatible.iter().enumerate() {
+                if !c || v >= skills.user_count() {
+                    continue;
+                }
+                for &si in &u_skills {
+                    for sj in skills.skills_of(v).iter() {
+                        compatible[si.index() * s + sj.index()] = true;
+                        compatible[sj.index() * s + si.index()] = true;
+                    }
+                }
+            }
+        }
+        SkillPairCompatibility {
+            skills: s,
+            compatible,
+        }
+    }
+
+    /// Number of skills in the universe.
+    pub fn skill_count(&self) -> usize {
+        self.skills
+    }
+
+    /// `true` if the pair `(a, b)` has at least one compatible user pair.
+    pub fn pair_compatible(&self, a: SkillId, b: SkillId) -> bool {
+        if a.index() >= self.skills || b.index() >= self.skills {
+            return false;
+        }
+        self.compatible[a.index() * self.skills + b.index()]
+    }
+
+    /// Fraction of unordered pairs of *distinct* skills that are compatible.
+    /// Only skills possessed by at least one user are counted in the
+    /// denominator (a skill nobody holds cannot appear in any pair), which is
+    /// how the paper's Table 2 skill percentages behave.
+    pub fn compatible_pair_fraction(&self, skills: &SkillAssignment) -> f64 {
+        let supported: Vec<usize> = (0..self.skills)
+            .filter(|&s| skills.skill_frequency(SkillId::new(s)) > 0)
+            .collect();
+        let k = supported.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let mut compatible_pairs = 0u64;
+        for (i, &a) in supported.iter().enumerate() {
+            for &b in &supported[i + 1..] {
+                if self.compatible[a * self.skills + b] {
+                    compatible_pairs += 1;
+                }
+            }
+        }
+        compatible_pairs as f64 / (k as u64 * (k as u64 - 1) / 2) as f64
+    }
+
+    /// `true` if every pair of distinct skills in `task` is compatible — the
+    /// "MAX" upper bound of Figure 2(a): a task whose skills are pairwise
+    /// compatible *may* admit a compatible team, one with an incompatible
+    /// skill pair certainly does not.
+    pub fn task_is_skill_compatible(&self, task: &Task) -> bool {
+        let skills = task.skills();
+        for (i, &a) in skills.iter().enumerate() {
+            for &b in &skills[i + 1..] {
+                if !self.pair_compatible(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Compatibility degrees of the skills of one task, restricted to the task
+/// (the quantity the least-compatible-skill-first policy ranks by).
+#[derive(Debug, Clone)]
+pub struct TaskSkillDegrees {
+    degrees: Vec<(SkillId, u64)>,
+}
+
+impl TaskSkillDegrees {
+    /// Computes `cd_T(s) = Σ_{s' ∈ T, s' ≠ s} cd(s, s')` for every skill of
+    /// the task, counting ordered compatible user pairs between the holders
+    /// of the two skills under `comp`.
+    pub fn compute<C: Compatibility + ?Sized>(
+        comp: &C,
+        skills: &SkillAssignment,
+        task: &Task,
+    ) -> Self {
+        Self::compute_capped(comp, skills, task, None)
+    }
+
+    /// Like [`TaskSkillDegrees::compute`] but considering at most
+    /// `holder_cap` holders per skill (the lowest-id holders, so the result
+    /// is deterministic). Popular skills on the Epinions-scale networks can
+    /// have hundreds of holders, making the exact quadratic pair count the
+    /// dominant cost of Algorithm 2; capping it preserves the *ranking* the
+    /// policy needs while bounding the work. `None` means exact.
+    pub fn compute_capped<C: Compatibility + ?Sized>(
+        comp: &C,
+        skills: &SkillAssignment,
+        task: &Task,
+        holder_cap: Option<usize>,
+    ) -> Self {
+        let cap = holder_cap.unwrap_or(usize::MAX).max(1);
+        let task_skills = task.skills();
+        let holders: Vec<&[u32]> = task_skills
+            .iter()
+            .map(|&s| {
+                let h = skills.users_with_skill(s);
+                &h[..h.len().min(cap)]
+            })
+            .collect();
+        let mut degrees: Vec<(SkillId, u64)> =
+            task_skills.iter().map(|&s| (s, 0u64)).collect();
+        for i in 0..task_skills.len() {
+            for j in (i + 1)..task_skills.len() {
+                let mut pair_degree = 0u64;
+                for &u in holders[i] {
+                    for &v in holders[j] {
+                        if comp.compatible(NodeId::new(u as usize), NodeId::new(v as usize)) {
+                            pair_degree += 1;
+                        }
+                    }
+                }
+                degrees[i].1 = degrees[i].1.saturating_add(pair_degree);
+                degrees[j].1 = degrees[j].1.saturating_add(pair_degree);
+            }
+        }
+        TaskSkillDegrees { degrees }
+    }
+
+    /// The degree of one skill (0 when the skill is not part of the task).
+    pub fn degree(&self, skill: SkillId) -> u64 {
+        self.degrees
+            .iter()
+            .find(|(s, _)| *s == skill)
+            .map(|(_, d)| *d)
+            .unwrap_or(0)
+    }
+
+    /// The task skill with the smallest degree among `candidates`
+    /// (ties broken by skill id).
+    pub fn least_compatible<'a>(&self, candidates: &'a [SkillId]) -> Option<SkillId> {
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|&s| (self.degree(s), s.index()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::{CompatibilityKind, CompatibilityMatrix};
+    use signed_graph::builder::from_edge_triples;
+    use signed_graph::Sign;
+
+    fn s(i: usize) -> SkillId {
+        SkillId::new(i)
+    }
+
+    /// 0 —+— 1, 0 —-— 2. Skills: user0 {0}, user1 {1}, user2 {2}, user0 also {3}.
+    fn setup() -> (CompatibilityMatrix, SkillAssignment) {
+        let g = from_edge_triples(vec![(0, 1, Sign::Positive), (0, 2, Sign::Negative)]);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
+        let mut skills = SkillAssignment::new(4, 3);
+        skills.grant(0, s(0));
+        skills.grant(0, s(3));
+        skills.grant(1, s(1));
+        skills.grant(2, s(2));
+        (comp, skills)
+    }
+
+    #[test]
+    fn pair_compatibility_and_self_compatibility() {
+        let (comp, skills) = setup();
+        let pairs = SkillPairCompatibility::from_rows(comp.rows(), &skills);
+        assert_eq!(pairs.skill_count(), 4);
+        // Users 0 and 1 are friends → skills 0 and 1 compatible.
+        assert!(pairs.pair_compatible(s(0), s(1)));
+        assert!(pairs.pair_compatible(s(1), s(0)));
+        // Users 0 and 2 are foes, and no other holder exists → incompatible.
+        assert!(!pairs.pair_compatible(s(0), s(2)));
+        assert!(!pairs.pair_compatible(s(1), s(2)));
+        // Self-compatibility: user 0 holds skills 0 and 3.
+        assert!(pairs.pair_compatible(s(0), s(3)));
+        // Out-of-range skills are never compatible.
+        assert!(!pairs.pair_compatible(s(0), SkillId::new(99)));
+    }
+
+    #[test]
+    fn fraction_counts_supported_skills_only() {
+        let (comp, skills) = setup();
+        let pairs = SkillPairCompatibility::from_rows(comp.rows(), &skills);
+        // Supported skills: 0, 1, 2, 3 → 6 unordered pairs.
+        // Compatible: (0,1), (0,3), (1,3) → 3 of 6.
+        let frac = pairs.compatible_pair_fraction(&skills);
+        assert!((frac - 0.5).abs() < 1e-12, "got {frac}");
+    }
+
+    #[test]
+    fn task_skill_compatibility_upper_bound() {
+        let (comp, skills) = setup();
+        let pairs = SkillPairCompatibility::from_rows(comp.rows(), &skills);
+        assert!(pairs.task_is_skill_compatible(&Task::new([s(0), s(1)])));
+        assert!(pairs.task_is_skill_compatible(&Task::new([s(0), s(1), s(3)])));
+        assert!(!pairs.task_is_skill_compatible(&Task::new([s(0), s(2)])));
+        // Single-skill and empty tasks are trivially skill-compatible.
+        assert!(pairs.task_is_skill_compatible(&Task::new([s(2)])));
+        assert!(pairs.task_is_skill_compatible(&Task::new([])));
+    }
+
+    #[test]
+    fn sampled_rows_give_lower_bound() {
+        let (comp, skills) = setup();
+        let full = SkillPairCompatibility::from_rows(comp.rows(), &skills);
+        let sampled = SkillPairCompatibility::from_rows(&comp.rows()[..1], &skills);
+        for a in 0..4 {
+            for b in 0..4 {
+                if sampled.pair_compatible(s(a), s(b)) {
+                    assert!(full.pair_compatible(s(a), s(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task_degrees_rank_skills() {
+        let (comp, skills) = setup();
+        let task = Task::new([s(0), s(1), s(2)]);
+        let degrees = TaskSkillDegrees::compute(&comp, &skills, &task);
+        // cd(0) counts pairs with skills 1 and 2: (u0,u1) compatible → 1.
+        assert_eq!(degrees.degree(s(0)), 1);
+        assert_eq!(degrees.degree(s(1)), 1);
+        // Skill 2's only holder (user 2) is compatible with nobody relevant.
+        assert_eq!(degrees.degree(s(2)), 0);
+        assert_eq!(degrees.degree(s(3)), 0); // not in the task
+        assert_eq!(
+            degrees.least_compatible(task.skills()),
+            Some(s(2)),
+            "the isolated skill is the least compatible"
+        );
+        assert_eq!(degrees.least_compatible(&[]), None);
+    }
+}

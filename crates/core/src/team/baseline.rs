@@ -1,0 +1,264 @@
+//! Unsigned team-formation baseline: the RarestFirst algorithm of
+//! Lappas, Liu and Terzi (KDD 2009) for the diameter communication cost.
+//!
+//! The paper's Table 3 asks how classic (sign-oblivious) team formation
+//! behaves on a signed network. Since there is no prior work on signed team
+//! formation, the paper derives two unsigned networks — one ignoring edge
+//! signs and one deleting the negative edges — runs RarestFirst on them, and
+//! measures how many of the returned teams are actually compatible under
+//! each of the signed compatibility relations. This module provides the
+//! RarestFirst solver plus the Table 3 evaluation helper.
+
+use signed_graph::transform::{to_unsigned, UnsignedTransform};
+use signed_graph::traversal::{bfs_distances, UNREACHABLE};
+use signed_graph::{NodeId, SignedGraph};
+use tfsn_skills::assignment::SkillAssignment;
+use tfsn_skills::task::Task;
+
+use super::Team;
+use crate::compat::Compatibility;
+use crate::error::TfsnError;
+
+/// RarestFirst (Lappas et al. 2009, diameter cost) on an *unsigned* graph.
+///
+/// The rarest task skill anchors the team: for every holder `u` of that
+/// skill, the remaining skills are covered greedily by the holder closest to
+/// `u` (unsigned BFS distance); among the anchored teams the one with the
+/// smallest diameter wins. Edge signs of `graph` are ignored entirely —
+/// callers pass a graph already transformed by
+/// [`signed_graph::transform::to_unsigned`] (or any signed graph whose signs
+/// should be disregarded).
+pub fn rarest_first(
+    graph: &SignedGraph,
+    skills: &SkillAssignment,
+    task: &Task,
+) -> Result<Team, TfsnError> {
+    if task.is_empty() {
+        return Ok(Team::new([]));
+    }
+    for &s in task.skills() {
+        if skills.skill_frequency(s) == 0 {
+            return Err(TfsnError::UncoverableSkill(s));
+        }
+    }
+    let rarest = task
+        .skills()
+        .iter()
+        .copied()
+        .min_by_key(|&s| (skills.skill_frequency(s), s.index()))
+        .expect("task is non-empty");
+
+    let mut best: Option<(Team, u64)> = None;
+    for &anchor in skills.users_with_skill(rarest) {
+        let anchor = NodeId::new(anchor as usize);
+        let dist_from_anchor = bfs_distances(graph, anchor);
+        let mut members = vec![anchor];
+        let mut feasible = true;
+        for &s in task.skills() {
+            if s == rarest {
+                continue;
+            }
+            // Closest holder of s to the anchor.
+            let holder = skills
+                .users_with_skill(s)
+                .iter()
+                .map(|&u| NodeId::new(u as usize))
+                .min_by_key(|&u| (dist_from_anchor[u.index()], u.index()));
+            match holder {
+                Some(u) if dist_from_anchor[u.index()] != UNREACHABLE => members.push(u),
+                _ => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        let team = Team::new(members);
+        let cost = unsigned_diameter(graph, &team).map(u64::from).unwrap_or(u64::MAX);
+        let better = best.as_ref().map_or(true, |(_, c)| cost < *c);
+        if better {
+            best = Some((team, cost));
+        }
+    }
+    best.map(|(t, _)| t).ok_or(TfsnError::NoCompatibleTeam)
+}
+
+/// Diameter of a team under plain unsigned shortest-path distances.
+pub fn unsigned_diameter(graph: &SignedGraph, team: &Team) -> Option<u32> {
+    let mut best = 0u32;
+    for (i, &u) in team.members().iter().enumerate() {
+        if team.members().len() > i + 1 {
+            let d = bfs_distances(graph, u);
+            for &v in &team.members()[i + 1..] {
+                if d[v.index()] == UNREACHABLE {
+                    return None;
+                }
+                best = best.max(d[v.index()]);
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Runs the unsigned baseline for Table 3: transforms the signed graph with
+/// `transform`, solves every task with RarestFirst, and reports which of the
+/// returned teams are compatible under `comp` (evaluated on the *original*
+/// signed graph).
+pub fn unsigned_baseline_compatibility<C: Compatibility + ?Sized>(
+    signed: &SignedGraph,
+    skills: &SkillAssignment,
+    tasks: &[Task],
+    transform: UnsignedTransform,
+    comp: &C,
+) -> BaselineOutcome {
+    let unsigned = to_unsigned(signed, transform);
+    let mut outcome = BaselineOutcome::default();
+    for task in tasks {
+        match rarest_first(&unsigned, skills, task) {
+            Ok(team) => {
+                outcome.teams_returned += 1;
+                if team.is_compatible(comp) {
+                    outcome.teams_compatible += 1;
+                }
+            }
+            Err(_) => outcome.tasks_unsolved += 1,
+        }
+    }
+    outcome
+}
+
+/// Aggregate result of [`unsigned_baseline_compatibility`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineOutcome {
+    /// Tasks for which the unsigned baseline returned a team.
+    pub teams_returned: usize,
+    /// Returned teams whose members are pairwise compatible under the signed
+    /// relation (the quantity reported in Table 3).
+    pub teams_compatible: usize,
+    /// Tasks the unsigned baseline could not solve (disconnected holders).
+    pub tasks_unsolved: usize,
+}
+
+impl BaselineOutcome {
+    /// Percentage of returned teams that are compatible (0 when no team was
+    /// returned).
+    pub fn compatible_percentage(&self) -> f64 {
+        if self.teams_returned == 0 {
+            0.0
+        } else {
+            100.0 * self.teams_compatible as f64 / self.teams_returned as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::{CompatibilityKind, CompatibilityMatrix};
+    use signed_graph::builder::from_edge_triples;
+    use signed_graph::Sign;
+    use tfsn_skills::SkillId;
+
+    fn s(i: usize) -> SkillId {
+        SkillId::new(i)
+    }
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// 0 —+— 1 —-— 2, 0 —+— 3. Skills: 0:{0}, 2:{1}, 3:{1}.
+    /// The holder of skill 1 closest to 0 is user 2 (distance 2) and user 3
+    /// (distance 1) — RarestFirst must pick user 3.
+    fn setup() -> (SignedGraph, SkillAssignment) {
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Negative),
+            (0, 3, Sign::Positive),
+        ]);
+        let mut skills = SkillAssignment::new(2, 4);
+        skills.grant(0, s(0));
+        skills.grant(2, s(1));
+        skills.grant(3, s(1));
+        (g, skills)
+    }
+
+    #[test]
+    fn rarest_first_picks_closest_holders() {
+        let (g, skills) = setup();
+        let task = Task::new([s(0), s(1)]);
+        let team = rarest_first(&g, &skills, &task).unwrap();
+        assert_eq!(team.members(), &[n(0), n(3)]);
+        assert_eq!(unsigned_diameter(&g, &team), Some(1));
+    }
+
+    #[test]
+    fn rarest_first_handles_trivial_and_impossible_tasks() {
+        let (g, skills) = setup();
+        assert!(rarest_first(&g, &skills, &Task::new([])).unwrap().is_empty());
+        assert_eq!(
+            rarest_first(&g, &skills, &Task::new([SkillId::new(5)])),
+            Err(TfsnError::UncoverableSkill(SkillId::new(5)))
+        );
+        // Disconnected holder: put skill 1's only holder in another component.
+        let g2 = from_edge_triples(vec![(0, 1, Sign::Positive), (2, 3, Sign::Positive)]);
+        let mut sk = SkillAssignment::new(2, 4);
+        sk.grant(0, s(0));
+        sk.grant(2, s(1));
+        assert_eq!(
+            rarest_first(&g2, &sk, &Task::new([s(0), s(1)])),
+            Err(TfsnError::NoCompatibleTeam)
+        );
+    }
+
+    #[test]
+    fn unsigned_diameter_of_disconnected_team_is_none() {
+        let g = from_edge_triples(vec![(0, 1, Sign::Positive), (2, 3, Sign::Positive)]);
+        assert_eq!(unsigned_diameter(&g, &Team::new([n(0), n(2)])), None);
+        assert_eq!(unsigned_diameter(&g, &Team::new([n(0)])), Some(0));
+    }
+
+    #[test]
+    fn baseline_compatibility_detects_incompatible_teams() {
+        // Make the closest holder of skill 1 a foe: 0 —-— 4 where 4 holds
+        // skill 1 at distance 1; the compatible holder 3 is at distance 2.
+        let g = from_edge_triples(vec![
+            (0, 4, Sign::Negative),
+            (0, 1, Sign::Positive),
+            (1, 3, Sign::Positive),
+        ]);
+        let mut skills = SkillAssignment::new(2, 5);
+        skills.grant(0, s(0));
+        skills.grant(4, s(1));
+        skills.grant(3, s(1));
+        let tasks = vec![Task::new([s(0), s(1)])];
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Nne);
+        // Ignoring signs, RarestFirst anchors on skill 0 (single holder) and
+        // picks the foe at distance 1 → the returned team is incompatible.
+        let ignore = unsigned_baseline_compatibility(
+            &g,
+            &skills,
+            &tasks,
+            UnsignedTransform::IgnoreSigns,
+            &comp,
+        );
+        assert_eq!(ignore.teams_returned, 1);
+        assert_eq!(ignore.teams_compatible, 0);
+        assert_eq!(ignore.compatible_percentage(), 0.0);
+        // Deleting negative edges removes the shortcut, so the baseline finds
+        // the compatible holder instead.
+        let deleted = unsigned_baseline_compatibility(
+            &g,
+            &skills,
+            &tasks,
+            UnsignedTransform::DeleteNegative,
+            &comp,
+        );
+        assert_eq!(deleted.teams_returned, 1);
+        assert_eq!(deleted.teams_compatible, 1);
+        assert_eq!(deleted.compatible_percentage(), 100.0);
+        // Empty outcome percentage.
+        assert_eq!(BaselineOutcome::default().compatible_percentage(), 0.0);
+    }
+}

@@ -1,0 +1,449 @@
+//! The paper's Algorithm 2: greedy team formation with pluggable skill- and
+//! user-selection policies.
+//!
+//! The algorithm incrementally builds a candidate team. It first selects a
+//! skill of the task (per the skill policy) and seeds one candidate team from
+//! *every* user holding that skill. Each candidate team is then grown: while
+//! some task skill is uncovered, select the next skill (skill policy again)
+//! and add a user holding it who is compatible with every current member
+//! (user policy breaks ties among the compatible candidates). Seeds that get
+//! stuck (no compatible candidate for some skill) are discarded; among the
+//! candidate teams that cover the task, the one with the smallest
+//! communication cost (diameter under the relation's distance) is returned.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use signed_graph::NodeId;
+use tfsn_skills::task::Task;
+use tfsn_skills::{SkillId, SkillSet};
+
+use super::policies::{SkillPolicy, TeamAlgorithm, UserPolicy};
+use super::{Team, TfsnInstance};
+use crate::compat::Compatibility;
+use crate::error::TfsnError;
+use crate::skill_compat::TaskSkillDegrees;
+
+/// Tuning parameters of the greedy solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedyConfig {
+    /// Maximum number of seed users tried for the first skill (`None` = all
+    /// holders, as in the paper's pseudocode). Capping the seeds bounds the
+    /// runtime on skills held by thousands of users.
+    pub max_seeds: Option<usize>,
+    /// Maximum number of holders per skill considered when computing the
+    /// task-restricted compatibility degrees for the least-compatible-first
+    /// policy (`None` = exact, see
+    /// [`crate::skill_compat::TaskSkillDegrees::compute_capped`]).
+    pub skill_degree_cap: Option<usize>,
+    /// Seed for the RANDOM user-selection policy (the solver is fully
+    /// deterministic for a fixed config).
+    pub random_seed: u64,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig {
+            max_seeds: None,
+            skill_degree_cap: None,
+            random_seed: 0x5EED,
+        }
+    }
+}
+
+/// Diagnostic counters of one [`solve_greedy_with_stats`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GreedyStats {
+    /// Seed users tried.
+    pub seeds_tried: usize,
+    /// Seeds that produced a full covering compatible team.
+    pub seeds_succeeded: usize,
+    /// Total user-candidate evaluations across all seeds.
+    pub candidates_examined: usize,
+}
+
+/// Solves the TFSN instance for `task` under compatibility relation `comp`
+/// using Algorithm 2 with the given policy combination.
+///
+/// Returns [`TfsnError::UncoverableSkill`] when some required skill has no
+/// holder at all, and [`TfsnError::NoCompatibleTeam`] when every seed gets
+/// stuck. An empty task yields an empty team.
+pub fn solve_greedy<C: Compatibility + ?Sized>(
+    instance: &TfsnInstance<'_>,
+    comp: &C,
+    task: &Task,
+    algorithm: TeamAlgorithm,
+    config: &GreedyConfig,
+) -> Result<Team, TfsnError> {
+    solve_greedy_with_stats(instance, comp, task, algorithm, config).map(|(team, _)| team)
+}
+
+/// Like [`solve_greedy`] but also returns search statistics.
+pub fn solve_greedy_with_stats<C: Compatibility + ?Sized>(
+    instance: &TfsnInstance<'_>,
+    comp: &C,
+    task: &Task,
+    algorithm: TeamAlgorithm,
+    config: &GreedyConfig,
+) -> Result<(Team, GreedyStats), TfsnError> {
+    let skills = instance.skills();
+    let mut stats = GreedyStats::default();
+    if task.is_empty() {
+        return Ok((Team::new([]), stats));
+    }
+    instance.check_coverable(task)?;
+
+    // The least-compatible-first policy ranks skills by their task-restricted
+    // compatibility degree; compute it once per (task, relation).
+    let degrees = match algorithm.skill {
+        SkillPolicy::LeastCompatibleFirst => Some(TaskSkillDegrees::compute_capped(
+            comp,
+            skills,
+            task,
+            config.skill_degree_cap,
+        )),
+        SkillPolicy::RarestFirst => None,
+    };
+    let select_skill = |remaining: &[SkillId]| -> SkillId {
+        match algorithm.skill {
+            SkillPolicy::RarestFirst => remaining
+                .iter()
+                .copied()
+                .min_by_key(|&s| (skills.skill_frequency(s), s.index()))
+                .expect("remaining skills is non-empty"),
+            SkillPolicy::LeastCompatibleFirst => degrees
+                .as_ref()
+                .expect("degrees computed for LC policy")
+                .least_compatible(remaining)
+                .expect("remaining skills is non-empty"),
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.random_seed);
+
+    // Seed the candidate teams from every holder of the first selected skill.
+    let first_skill = select_skill(task.skills());
+    let seed_users: Vec<u32> = skills.users_with_skill(first_skill).to_vec();
+    let seed_limit = config.max_seeds.unwrap_or(usize::MAX);
+
+    let mut best: Option<(Team, u64)> = None;
+    for &seed in seed_users.iter().take(seed_limit) {
+        stats.seeds_tried += 1;
+        let seed = NodeId::new(seed as usize);
+        if let Some(team) = grow_team(
+            instance, comp, task, algorithm, seed, &select_skill, &mut rng, &mut stats,
+        ) {
+            stats.seeds_succeeded += 1;
+            let cost = team
+                .diameter(comp)
+                .map(u64::from)
+                .unwrap_or(u64::MAX);
+            let better = match &best {
+                None => true,
+                Some((_, best_cost)) => cost < *best_cost,
+            };
+            if better {
+                best = Some((team, cost));
+            }
+        }
+    }
+
+    match best {
+        Some((team, _)) => Ok((team, stats)),
+        None => Err(TfsnError::NoCompatibleTeam),
+    }
+}
+
+/// Grows one candidate team from `seed`, returning `None` if it gets stuck.
+#[allow(clippy::too_many_arguments)]
+fn grow_team<C: Compatibility + ?Sized>(
+    instance: &TfsnInstance<'_>,
+    comp: &C,
+    task: &Task,
+    algorithm: TeamAlgorithm,
+    seed: NodeId,
+    select_skill: &dyn Fn(&[SkillId]) -> SkillId,
+    rng: &mut StdRng,
+    stats: &mut GreedyStats,
+) -> Option<Team> {
+    let skills = instance.skills();
+    let universe = skills.skill_count();
+    let mut members = vec![seed];
+    let mut covered = SkillSet::new(universe);
+    covered.union_with(skills.skills_of(seed.index()));
+
+    loop {
+        let remaining = task.uncovered(&covered);
+        if remaining.is_empty() {
+            return Some(Team::new(members));
+        }
+        let next_skill = select_skill(&remaining);
+        // Candidates: holders of the skill, outside the team, compatible with
+        // every member.
+        let mut candidates: Vec<NodeId> = Vec::new();
+        for &u in skills.users_with_skill(next_skill) {
+            let u = NodeId::new(u as usize);
+            if members.contains(&u) {
+                // Already in the team but does not hold the uncovered skill —
+                // cannot happen because covered includes the member's skills.
+                continue;
+            }
+            stats.candidates_examined += 1;
+            if comp.compatible_with_all(u, &members) {
+                candidates.push(u);
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let chosen = match algorithm.user {
+            UserPolicy::MinDistance => *candidates
+                .iter()
+                .min_by_key(|&&c| (distance_to_team(comp, c, &members), c.index()))
+                .expect("candidates non-empty"),
+            UserPolicy::MostCompatible => {
+                // Relevance pool: holders of any still-uncovered skill.
+                let pool = relevant_users(skills, &remaining);
+                *candidates
+                    .iter()
+                    .max_by_key(|&&c| {
+                        let compat_count = pool
+                            .iter()
+                            .filter(|&&p| p != c && comp.compatible(c, NodeId::new(p.index())))
+                            .count();
+                        (compat_count, std::cmp::Reverse(c.index()))
+                    })
+                    .expect("candidates non-empty")
+            }
+            UserPolicy::Random => candidates[rng.gen_range(0..candidates.len())],
+        };
+        covered.union_with(skills.skills_of(chosen.index()));
+        members.push(chosen);
+    }
+}
+
+/// The candidate's distance to the team under the relation's distance:
+/// its largest distance to any member (matching the diameter cost).
+/// Missing distances are treated as effectively infinite.
+fn distance_to_team<C: Compatibility + ?Sized>(comp: &C, candidate: NodeId, team: &[NodeId]) -> u64 {
+    team.iter()
+        .map(|&m| comp.distance(candidate, m).map(u64::from).unwrap_or(u64::MAX / 2))
+        .max()
+        .unwrap_or(0)
+}
+
+/// All users holding at least one of `skills_wanted`, deduplicated.
+fn relevant_users(
+    skills: &tfsn_skills::assignment::SkillAssignment,
+    skills_wanted: &[SkillId],
+) -> Vec<NodeId> {
+    let mut users: Vec<u32> = skills_wanted
+        .iter()
+        .flat_map(|&s| skills.users_with_skill(s).iter().copied())
+        .collect();
+    users.sort_unstable();
+    users.dedup();
+    users.into_iter().map(|u| NodeId::new(u as usize)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::{CompatibilityKind, CompatibilityMatrix};
+    use signed_graph::builder::from_edge_triples;
+    use signed_graph::{Sign, SignedGraph};
+    use tfsn_skills::assignment::SkillAssignment;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+    fn s(i: usize) -> SkillId {
+        SkillId::new(i)
+    }
+
+    /// A small pool where the compatible choice matters:
+    ///
+    /// ```text
+    ///   0 (+) 1     0 holds skill 0
+    ///   1 (-) 2     1, 2, 3 hold skill 1
+    ///   0 (+) 3     3 is farther from 0 than 1 but 2 is a foe of 1
+    ///   3 (+) 4     4 holds skill 2
+    /// ```
+    fn setup() -> (SignedGraph, SkillAssignment) {
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Negative),
+            (0, 3, Sign::Positive),
+            (3, 4, Sign::Positive),
+        ]);
+        let mut skills = SkillAssignment::new(3, 5);
+        skills.grant(0, s(0));
+        skills.grant(1, s(1));
+        skills.grant(2, s(1));
+        skills.grant(3, s(1));
+        skills.grant(4, s(2));
+        (g, skills)
+    }
+
+    #[test]
+    fn empty_task_yields_empty_team() {
+        let (g, skills) = setup();
+        let inst = TfsnInstance::new(&g, &skills);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
+        let team = solve_greedy(&inst, &comp, &Task::new([]), TeamAlgorithm::LCMD, &GreedyConfig::default()).unwrap();
+        assert!(team.is_empty());
+    }
+
+    #[test]
+    fn uncoverable_skill_is_reported() {
+        let (g, skills) = setup();
+        let inst = TfsnInstance::new(&g, &skills);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
+        let err = solve_greedy(
+            &inst,
+            &comp,
+            &Task::new([SkillId::new(7)]),
+            TeamAlgorithm::LCMD,
+            &GreedyConfig::default(),
+        );
+        // Skill 7 is outside the universe → frequency 0 → uncoverable.
+        assert_eq!(err, Err(TfsnError::UncoverableSkill(SkillId::new(7))));
+    }
+
+    #[test]
+    fn all_algorithms_return_valid_teams() {
+        let (g, skills) = setup();
+        let inst = TfsnInstance::new(&g, &skills);
+        let task = Task::new([s(0), s(1), s(2)]);
+        for kind in [
+            CompatibilityKind::Spa,
+            CompatibilityKind::Spo,
+            CompatibilityKind::Sbph,
+            CompatibilityKind::Nne,
+        ] {
+            let comp = CompatibilityMatrix::build(&g, kind);
+            for alg in TeamAlgorithm::ALL {
+                let team = solve_greedy(&inst, &comp, &task, alg, &GreedyConfig::default())
+                    .unwrap_or_else(|e| panic!("{kind}/{alg}: {e}"));
+                assert!(team.is_valid(&skills, &task, &comp), "{kind}/{alg}: invalid team");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_avoids_incompatible_members() {
+        let (g, skills) = setup();
+        let inst = TfsnInstance::new(&g, &skills);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
+        // Task {0, 1}: seed 0 (skill 0), then must pick a holder of skill 1
+        // compatible with 0. User 2 is SPA-incompatible with 0 (its only
+        // shortest path to 0 goes through the negative edge), so the team
+        // must use user 1 or 3.
+        let task = Task::new([s(0), s(1)]);
+        let team = solve_greedy(&inst, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default()).unwrap();
+        assert!(!team.contains(n(2)));
+        assert!(team.contains(n(0)));
+        assert_eq!(team.len(), 2);
+        assert_eq!(team.diameter(&comp), Some(1));
+    }
+
+    #[test]
+    fn min_distance_policy_prefers_close_candidates() {
+        let (g, skills) = setup();
+        let inst = TfsnInstance::new(&g, &skills);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Nne);
+        let task = Task::new([s(0), s(2)]);
+        // Skill 2 is held only by user 4 at distance 2 from user 0, so every
+        // algorithm returns {0, 4}; check the cost is the NNE (unsigned)
+        // distance.
+        let team = solve_greedy(&inst, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default()).unwrap();
+        assert_eq!(team.members(), &[n(0), n(4)]);
+        assert_eq!(team.diameter(&comp), Some(2));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_per_seed() {
+        let (g, skills) = setup();
+        let inst = TfsnInstance::new(&g, &skills);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Nne);
+        let task = Task::new([s(0), s(1), s(2)]);
+        let cfg1 = GreedyConfig { random_seed: 7, ..Default::default() };
+        let a = solve_greedy(&inst, &comp, &task, TeamAlgorithm::RANDOM, &cfg1).unwrap();
+        let b = solve_greedy(&inst, &comp, &task, TeamAlgorithm::RANDOM, &cfg1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_and_seed_cap() {
+        let (g, skills) = setup();
+        let inst = TfsnInstance::new(&g, &skills);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Nne);
+        let task = Task::new([s(1), s(2)]);
+        let (_, stats) = solve_greedy_with_stats(
+            &inst,
+            &comp,
+            &task,
+            TeamAlgorithm::LCMD,
+            &GreedyConfig::default(),
+        )
+        .unwrap();
+        // Skill 1 has three holders → three seeds (LC picks skill 2 or 1
+        // first depending on degrees; either way seeds ≥ 1).
+        assert!(stats.seeds_tried >= 1);
+        assert!(stats.seeds_succeeded >= 1);
+        assert!(stats.candidates_examined >= 1);
+        let (_, capped) = solve_greedy_with_stats(
+            &inst,
+            &comp,
+            &task,
+            TeamAlgorithm::LCMD,
+            &GreedyConfig { max_seeds: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(capped.seeds_tried, 1);
+    }
+
+    #[test]
+    fn no_compatible_team_when_all_holders_are_foes() {
+        // 0 holds skill 0; the only holders of skill 1 (users 1, 2) are foes
+        // of 0 under every relation that respects negative edges.
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Negative),
+            (0, 2, Sign::Negative),
+            (1, 2, Sign::Positive),
+        ]);
+        let mut skills = SkillAssignment::new(2, 3);
+        skills.grant(0, s(0));
+        skills.grant(1, s(1));
+        skills.grant(2, s(1));
+        let inst = TfsnInstance::new(&g, &skills);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Nne);
+        let err = solve_greedy(
+            &inst,
+            &comp,
+            &Task::new([s(0), s(1)]),
+            TeamAlgorithm::LCMD,
+            &GreedyConfig::default(),
+        );
+        assert_eq!(err, Err(TfsnError::NoCompatibleTeam));
+    }
+
+    #[test]
+    fn single_user_covering_whole_task() {
+        let g = from_edge_triples(vec![(0, 1, Sign::Negative)]);
+        let mut skills = SkillAssignment::new(2, 2);
+        skills.grant(0, s(0));
+        skills.grant(0, s(1));
+        let inst = TfsnInstance::new(&g, &skills);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
+        let team = solve_greedy(
+            &inst,
+            &comp,
+            &Task::new([s(0), s(1)]),
+            TeamAlgorithm::RFMD,
+            &GreedyConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(team.members(), &[n(0)]);
+        assert_eq!(team.diameter(&comp), Some(0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Skill- and user-selection policies for the greedy team-formation
+//! algorithm (paper §4, Algorithm 2).
+//!
+//! Algorithm 2 has two placeholders: which *uncovered skill* to handle next
+//! and which *compatible user* holding it to add. The paper evaluates the
+//! four combinations of two skill policies × two user policies, reports the
+//! two winners LCMD and LCMC (least-compatible skill, min-distance /
+//! most-compatible user), and compares with a RANDOM user-selection baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// Which uncovered skill Algorithm 2 tackles next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SkillPolicy {
+    /// Pick the skill possessed by the fewest users (as in Lappas et al.).
+    RarestFirst,
+    /// Pick the skill with the smallest compatibility degree `cd(s)`
+    /// restricted to the task (the paper's proposal).
+    LeastCompatibleFirst,
+}
+
+impl SkillPolicy {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SkillPolicy::RarestFirst => "RF",
+            SkillPolicy::LeastCompatibleFirst => "LC",
+        }
+    }
+}
+
+/// Which candidate user Algorithm 2 adds for the selected skill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserPolicy {
+    /// The candidate minimising the distance to the current team (its
+    /// largest distance to any member), aiming at a small diameter.
+    MinDistance,
+    /// The candidate compatible with the largest number of users still
+    /// relevant to the task (holders of uncovered skills), aiming at keeping
+    /// the search alive.
+    MostCompatible,
+    /// A uniformly random compatible candidate (the RANDOM baseline).
+    Random,
+}
+
+impl UserPolicy {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            UserPolicy::MinDistance => "MD",
+            UserPolicy::MostCompatible => "MC",
+            UserPolicy::Random => "RAND",
+        }
+    }
+}
+
+/// A named combination of skill and user policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TeamAlgorithm {
+    /// The skill-selection policy.
+    pub skill: SkillPolicy,
+    /// The user-selection policy.
+    pub user: UserPolicy,
+}
+
+impl TeamAlgorithm {
+    /// LCMD: least-compatible skill first, minimum-distance user
+    /// (the paper's best algorithm, Figure 2(b)).
+    pub const LCMD: TeamAlgorithm = TeamAlgorithm {
+        skill: SkillPolicy::LeastCompatibleFirst,
+        user: UserPolicy::MinDistance,
+    };
+    /// LCMC: least-compatible skill first, most-compatible user.
+    pub const LCMC: TeamAlgorithm = TeamAlgorithm {
+        skill: SkillPolicy::LeastCompatibleFirst,
+        user: UserPolicy::MostCompatible,
+    };
+    /// RFMD: rarest skill first, minimum-distance user.
+    pub const RFMD: TeamAlgorithm = TeamAlgorithm {
+        skill: SkillPolicy::RarestFirst,
+        user: UserPolicy::MinDistance,
+    };
+    /// RFMC: rarest skill first, most-compatible user.
+    pub const RFMC: TeamAlgorithm = TeamAlgorithm {
+        skill: SkillPolicy::RarestFirst,
+        user: UserPolicy::MostCompatible,
+    };
+    /// RANDOM: least-compatible skill first, random compatible user
+    /// (the baseline of Figure 2(a)/(b)).
+    pub const RANDOM: TeamAlgorithm = TeamAlgorithm {
+        skill: SkillPolicy::LeastCompatibleFirst,
+        user: UserPolicy::Random,
+    };
+
+    /// The algorithms reported in the paper's Figure 2(a)/(b).
+    pub const FIGURE2: [TeamAlgorithm; 3] =
+        [TeamAlgorithm::LCMD, TeamAlgorithm::LCMC, TeamAlgorithm::RANDOM];
+
+    /// All four policy combinations plus the random baseline (the ablation
+    /// set of `policy_ablation`).
+    pub const ALL: [TeamAlgorithm; 5] = [
+        TeamAlgorithm::LCMD,
+        TeamAlgorithm::LCMC,
+        TeamAlgorithm::RFMD,
+        TeamAlgorithm::RFMC,
+        TeamAlgorithm::RANDOM,
+    ];
+
+    /// The label used in the paper ("LCMD", "LCMC", "RANDOM", …).
+    pub fn label(self) -> &'static str {
+        match (self.skill, self.user) {
+            (SkillPolicy::LeastCompatibleFirst, UserPolicy::MinDistance) => "LCMD",
+            (SkillPolicy::LeastCompatibleFirst, UserPolicy::MostCompatible) => "LCMC",
+            (SkillPolicy::RarestFirst, UserPolicy::MinDistance) => "RFMD",
+            (SkillPolicy::RarestFirst, UserPolicy::MostCompatible) => "RFMC",
+            (_, UserPolicy::Random) => "RANDOM",
+        }
+    }
+
+    /// Parses a label produced by [`TeamAlgorithm::label`] (case-insensitive).
+    pub fn parse(label: &str) -> Option<Self> {
+        match label.to_ascii_uppercase().as_str() {
+            "LCMD" => Some(TeamAlgorithm::LCMD),
+            "LCMC" => Some(TeamAlgorithm::LCMC),
+            "RFMD" => Some(TeamAlgorithm::RFMD),
+            "RFMC" => Some(TeamAlgorithm::RFMC),
+            "RANDOM" => Some(TeamAlgorithm::RANDOM),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TeamAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for alg in TeamAlgorithm::ALL {
+            assert_eq!(TeamAlgorithm::parse(alg.label()), Some(alg));
+            assert_eq!(alg.to_string(), alg.label());
+        }
+        assert_eq!(TeamAlgorithm::parse("lcmd"), Some(TeamAlgorithm::LCMD));
+        assert_eq!(TeamAlgorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(SkillPolicy::RarestFirst.label(), "RF");
+        assert_eq!(SkillPolicy::LeastCompatibleFirst.label(), "LC");
+        assert_eq!(UserPolicy::MinDistance.label(), "MD");
+        assert_eq!(UserPolicy::MostCompatible.label(), "MC");
+        assert_eq!(UserPolicy::Random.label(), "RAND");
+    }
+
+    #[test]
+    fn figure2_set_contains_paper_algorithms() {
+        assert!(TeamAlgorithm::FIGURE2.contains(&TeamAlgorithm::LCMD));
+        assert!(TeamAlgorithm::FIGURE2.contains(&TeamAlgorithm::LCMC));
+        assert!(TeamAlgorithm::FIGURE2.contains(&TeamAlgorithm::RANDOM));
+        assert_eq!(TeamAlgorithm::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests for the TFSN core library: the compatibility axioms
+//! of paper §2, the containment lattice of Proposition 3.5, and the validity
+//! of every team the solvers return.
+
+use proptest::prelude::*;
+use signed_graph::builder::from_edge_triples;
+use signed_graph::generators::{social_network, SocialNetworkConfig};
+use signed_graph::{NodeId, Sign, SignedGraph};
+use tfsn_core::compat::{Compatibility, CompatibilityKind, CompatibilityMatrix, EngineConfig};
+use tfsn_core::team::baseline::rarest_first;
+use tfsn_core::team::exhaustive::solve_exhaustive;
+use tfsn_core::team::greedy::{solve_greedy, GreedyConfig};
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::TfsnInstance;
+use tfsn_core::TfsnError;
+use tfsn_skills::assignment::SkillAssignment;
+use tfsn_skills::task::Task;
+use tfsn_skills::SkillId;
+
+/// A random small connected signed graph.
+fn arb_graph() -> impl Strategy<Value = SignedGraph> {
+    (6usize..25, 0usize..40, 0u64..5000, 0u32..50).prop_map(|(n, extra, seed, negp)| {
+        social_network(&SocialNetworkConfig {
+            nodes: n,
+            edges: n - 1 + extra,
+            negative_fraction: f64::from(negp) / 100.0,
+            seed,
+            ..Default::default()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Paper §2: reflexivity, symmetry, positive-edge compatibility and
+    /// negative-edge incompatibility hold for every relation.
+    #[test]
+    fn compatibility_axioms(g in arb_graph()) {
+        for kind in CompatibilityKind::ALL {
+            let m = CompatibilityMatrix::build(&g, kind);
+            for u in g.nodes() {
+                prop_assert!(m.compatible(u, u));
+                prop_assert_eq!(m.distance(u, u), Some(0));
+            }
+            for e in g.edges() {
+                match e.sign {
+                    Sign::Positive => prop_assert!(m.compatible(e.u, e.v), "{} +edge", kind),
+                    Sign::Negative => prop_assert!(!m.compatible(e.u, e.v), "{} -edge", kind),
+                }
+                prop_assert_eq!(m.compatible(e.u, e.v), m.compatible(e.v, e.u));
+            }
+        }
+    }
+
+    /// Proposition 3.5 (the part that holds unconditionally by construction):
+    /// DPE ⊆ SPA ⊆ SPM ⊆ SPO and DPE ⊆ SBPH ⊆ SBP ⊆ NNE.
+    #[test]
+    fn containment_lattice(g in arb_graph()) {
+        // Unbounded SBP search: a path-length bound could make the exact
+        // relation miss long balanced paths that the (unbounded) heuristic
+        // finds, which would spuriously break SBPH ⊆ SBP.
+        let cfg = EngineConfig { sbp_max_path_len: None, ..Default::default() };
+        let build = |k| CompatibilityMatrix::build_with_config(&g, k, &cfg);
+        let dpe = build(CompatibilityKind::Dpe);
+        let spa = build(CompatibilityKind::Spa);
+        let spm = build(CompatibilityKind::Spm);
+        let spo = build(CompatibilityKind::Spo);
+        let sbph = build(CompatibilityKind::Sbph);
+        let sbp = build(CompatibilityKind::Sbp);
+        let nne = build(CompatibilityKind::Nne);
+        let chains: [(&CompatibilityMatrix, &CompatibilityMatrix, &str); 6] = [
+            (&dpe, &spa, "DPE ⊆ SPA"),
+            (&spa, &spm, "SPA ⊆ SPM"),
+            (&spm, &spo, "SPM ⊆ SPO"),
+            (&dpe, &sbph, "DPE ⊆ SBPH"),
+            (&sbph, &sbp, "SBPH ⊆ SBP"),
+            (&sbp, &nne, "SBP ⊆ NNE"),
+        ];
+        for u in g.nodes() {
+            for v in g.nodes() {
+                for (smaller, larger, label) in &chains {
+                    if smaller.compatible(u, v) {
+                        prop_assert!(larger.compatible(u, v), "{} violated at ({}, {})", label, u, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pair fraction is monotone along the relaxation order the paper
+    /// reports in Table 2 (SPA ≤ SPM ≤ SPO and SBPH ≤ SBP ≤ NNE).
+    #[test]
+    fn pair_fraction_monotone(g in arb_graph()) {
+        let cfg = EngineConfig { sbp_max_path_len: None, ..Default::default() };
+        let frac = |k| CompatibilityMatrix::build_with_config(&g, k, &cfg).compatible_pair_fraction();
+        let spa = frac(CompatibilityKind::Spa);
+        let spm = frac(CompatibilityKind::Spm);
+        let spo = frac(CompatibilityKind::Spo);
+        let sbph = frac(CompatibilityKind::Sbph);
+        let sbp = frac(CompatibilityKind::Sbp);
+        let nne = frac(CompatibilityKind::Nne);
+        prop_assert!(spa <= spm + 1e-12);
+        prop_assert!(spm <= spo + 1e-12);
+        prop_assert!(sbph <= sbp + 1e-12);
+        prop_assert!(sbp <= nne + 1e-12);
+    }
+
+    /// Every team returned by the greedy solver covers the task and is
+    /// pairwise compatible, for every algorithm and relation.
+    #[test]
+    fn greedy_teams_are_always_valid(
+        g in arb_graph(),
+        seed in 0u64..1000,
+    ) {
+        let users = g.node_count();
+        let mut skills = SkillAssignment::new(5, users);
+        // Deterministic spread of 5 skills across users.
+        for u in 0..users {
+            skills.grant(u, SkillId::new(u % 5));
+            if u % 3 == 0 {
+                skills.grant(u, SkillId::new((u + 2) % 5));
+            }
+        }
+        let inst = TfsnInstance::new(&g, &skills);
+        let task = Task::new([SkillId::new(0), SkillId::new(1), SkillId::new(2)]);
+        for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Sbph, CompatibilityKind::Nne] {
+            let comp = CompatibilityMatrix::build(&g, kind);
+            for alg in TeamAlgorithm::ALL {
+                let cfg = GreedyConfig { random_seed: seed, ..Default::default() };
+                match solve_greedy(&inst, &comp, &task, alg, &cfg) {
+                    Ok(team) => {
+                        prop_assert!(team.covers(&skills, &task), "{kind}/{alg}: missing skills");
+                        prop_assert!(team.is_compatible(&comp), "{kind}/{alg}: incompatible pair");
+                    }
+                    Err(TfsnError::NoCompatibleTeam) => {}
+                    Err(e) => prop_assert!(false, "{kind}/{alg}: unexpected error {e}"),
+                }
+            }
+        }
+    }
+
+    /// On all-positive graphs every relation collapses to "connected ⇒
+    /// compatible via SP", and the greedy solver must find a team whenever
+    /// the unsigned RarestFirst baseline does.
+    #[test]
+    fn all_positive_graph_behaves_like_unsigned_team_formation(
+        n in 6usize..20,
+        extra in 0usize..30,
+        seed in 0u64..1000,
+    ) {
+        let g = social_network(&SocialNetworkConfig {
+            nodes: n,
+            edges: n - 1 + extra,
+            negative_fraction: 0.0,
+            seed,
+            ..Default::default()
+        });
+        let mut skills = SkillAssignment::new(4, n);
+        for u in 0..n {
+            skills.grant(u, SkillId::new(u % 4));
+        }
+        let inst = TfsnInstance::new(&g, &skills);
+        let task = Task::new([SkillId::new(0), SkillId::new(1)]);
+        for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Nne] {
+            let comp = CompatibilityMatrix::build(&g, kind);
+            let team = solve_greedy(&inst, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default());
+            prop_assert!(team.is_ok(), "{kind}: greedy failed on an all-positive graph");
+        }
+        let baseline = rarest_first(&g, &skills, &task);
+        prop_assert!(baseline.is_ok());
+    }
+
+    /// The exhaustive solver never reports a higher-cost team than greedy and
+    /// never misses a team greedy finds.
+    #[test]
+    fn exhaustive_dominates_greedy(seed in 0u64..300) {
+        let g = social_network(&SocialNetworkConfig {
+            nodes: 10,
+            edges: 18,
+            negative_fraction: 0.3,
+            seed,
+            ..Default::default()
+        });
+        let mut skills = SkillAssignment::new(3, 10);
+        for u in 0..10 {
+            skills.grant(u, SkillId::new(u % 3));
+        }
+        let inst = TfsnInstance::new(&g, &skills);
+        let task = Task::new([SkillId::new(0), SkillId::new(1), SkillId::new(2)]);
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Spo);
+        let exact = solve_exhaustive(&inst, &comp, &task);
+        let greedy = solve_greedy(&inst, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default());
+        match (exact, greedy) {
+            (Ok(e), Ok(h)) => {
+                prop_assert!(e.diameter(&comp).unwrap_or(u32::MAX) <= h.diameter(&comp).unwrap_or(u32::MAX));
+            }
+            (Err(_), Ok(_)) => prop_assert!(false, "greedy found a team the exhaustive search missed"),
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The Table 3 baseline on the sign-ignored transform returns teams that
+    /// cover the task (compatibility is what it may violate — that is the
+    /// paper's point).
+    #[test]
+    fn unsigned_baseline_covers_tasks(seed in 0u64..300) {
+        let g = social_network(&SocialNetworkConfig {
+            nodes: 30,
+            edges: 80,
+            negative_fraction: 0.25,
+            seed,
+            ..Default::default()
+        });
+        let mut skills = SkillAssignment::new(6, 30);
+        for u in 0..30 {
+            skills.grant(u, SkillId::new(u % 6));
+        }
+        let task = Task::new([SkillId::new(0), SkillId::new(3), SkillId::new(5)]);
+        let unsigned = signed_graph::transform::to_unsigned(&g, signed_graph::transform::UnsignedTransform::IgnoreSigns);
+        let team = rarest_first(&unsigned, &skills, &task).expect("connected all-positive graph");
+        prop_assert!(team.covers(&skills, &task));
+    }
+}
+
+/// Regression: Figure 1(a) of the paper as a fixed example.
+#[test]
+fn paper_figure_1a_example() {
+    let g = from_edge_triples(vec![
+        (0, 1, Sign::Negative),
+        (1, 5, Sign::Positive),
+        (0, 2, Sign::Positive),
+        (2, 1, Sign::Positive),
+        (2, 3, Sign::Positive),
+        (3, 4, Sign::Positive),
+        (4, 5, Sign::Positive),
+    ]);
+    let (u, v) = (NodeId::new(0), NodeId::new(5));
+    for kind in [CompatibilityKind::Spa, CompatibilityKind::Spm, CompatibilityKind::Spo] {
+        assert!(!CompatibilityMatrix::build(&g, kind).compatible(u, v), "{kind}");
+    }
+    for kind in [CompatibilityKind::Sbp, CompatibilityKind::Sbph, CompatibilityKind::Nne] {
+        assert!(CompatibilityMatrix::build(&g, kind).compatible(u, v), "{kind}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Loading real dataset dumps.
+//!
+//! When the actual SNAP signed networks (and the RED category data for
+//! Epinions) are available on disk, they can be loaded here and used in
+//! place of the synthetic emulations — the rest of the workspace only sees
+//! the [`Dataset`] type.
+//!
+//! Formats:
+//!
+//! * **Edges** — the SNAP signed edge list accepted by
+//!   [`signed_graph::io::read_edge_list_file`]: `user user sign` per line,
+//!   `#` comments.
+//! * **Skills** — one `user skill-name` pair per line (whitespace separated,
+//!   `#` comments); user ids refer to the ids used in the edge file. Users
+//!   mentioned only in the skill file are ignored, users with no skills keep
+//!   an empty skill set.
+//!
+//! The loaded graph is restricted to its largest connected component, as the
+//! paper assumes a connected input.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use signed_graph::components::largest_component_subgraph;
+use signed_graph::error::GraphError;
+use signed_graph::io::read_edge_list_file;
+use tfsn_skills::assignment::SkillAssignment;
+use tfsn_skills::SkillUniverse;
+
+use crate::synthetic::Dataset;
+
+/// Loads a dataset from an edge-list file and a skill file.
+pub fn load_dataset<P: AsRef<Path>, Q: AsRef<Path>>(
+    name: &str,
+    edges_path: P,
+    skills_path: Q,
+) -> Result<Dataset, GraphError> {
+    let parsed = read_edge_list_file(edges_path)?;
+    let skill_file = File::open(skills_path)?;
+    load_from_parts(name, parsed, skill_file)
+}
+
+/// Loads a dataset whose skills come from any reader (used by tests).
+pub fn load_from_parts<R: Read>(
+    name: &str,
+    parsed: signed_graph::io::ParsedGraph,
+    skills_reader: R,
+) -> Result<Dataset, GraphError> {
+    // Restrict to the largest connected component first, then translate the
+    // original ids of the retained nodes.
+    let (graph, old_of_new) = largest_component_subgraph(&parsed.graph);
+    let mut original_to_dense: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (new_idx, old_node) in old_of_new.iter().enumerate() {
+        let original = parsed.original_ids[old_node.index()];
+        original_to_dense.insert(original, new_idx);
+    }
+
+    let mut universe = SkillUniverse::new();
+    let mut grants: Vec<(usize, String)> = Vec::new();
+    let reader = BufReader::new(skills_reader);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (user_raw, skill_name) = match (parts.next(), parts.next()) {
+            (Some(u), Some(s)) => (u, s),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected `user skill`, got `{line}`"),
+                })
+            }
+        };
+        let user: u64 = user_raw.parse().map_err(|_| GraphError::Parse {
+            line: lineno + 1,
+            message: format!("invalid user id `{user_raw}`"),
+        })?;
+        if let Some(&dense) = original_to_dense.get(&user) {
+            universe.intern(skill_name);
+            grants.push((dense, skill_name.to_string()));
+        }
+    }
+
+    let mut skills = SkillAssignment::new(universe.len(), graph.node_count());
+    for (user, skill_name) in grants {
+        let id = universe.get(&skill_name).expect("interned above");
+        skills.grant(user, id);
+    }
+
+    Ok(Dataset::new(name, graph, universe, skills))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signed_graph::io::read_edge_list_str;
+    use tfsn_skills::SkillId;
+
+    #[test]
+    fn loads_edges_and_skills() {
+        let edges = "\
+# toy network
+10 20 1
+20 30 -1
+30 10 1
+40 50 1
+";
+        let skills = "\
+# user skill
+10 databases
+10 ml
+20 databases
+30 graphics
+40 ignored-component
+99 unknown-user
+";
+        let parsed = read_edge_list_str(edges).unwrap();
+        let d = load_from_parts("toy", parsed, skills.as_bytes()).unwrap();
+        // Largest component is {10, 20, 30}.
+        assert_eq!(d.graph.node_count(), 3);
+        assert_eq!(d.graph.edge_count(), 3);
+        assert_eq!(d.name, "toy");
+        // Skills of the retained users were joined; others ignored.
+        assert_eq!(d.universe.len(), 3); // databases, ml, graphics
+        let db = d.universe.get("databases").unwrap();
+        assert_eq!(d.skills.skill_frequency(db), 2);
+        let total: usize = (0..d.skills.user_count()).map(|u| d.skills.skills_of(u).len()).sum();
+        assert_eq!(total, 4);
+        assert!(d.universe.get("ignored-component").is_none());
+    }
+
+    #[test]
+    fn malformed_skill_lines_are_reported() {
+        let parsed = read_edge_list_str("1 2 1\n").unwrap();
+        let err = load_from_parts("bad", parsed, "justoneword\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let parsed = read_edge_list_str("1 2 1\n").unwrap();
+        let err = load_from_parts("bad", parsed, "notanumber databases\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn users_without_skills_get_empty_sets() {
+        let parsed = read_edge_list_str("1 2 1\n2 3 1\n").unwrap();
+        let d = load_from_parts("sparse", parsed, "1 solo\n".as_bytes()).unwrap();
+        assert_eq!(d.graph.node_count(), 3);
+        let with_skills = (0..3).filter(|&u| !d.skills.skills_of(u).is_empty()).count();
+        assert_eq!(with_skills, 1);
+        assert_eq!(d.skills.skill_frequency(SkillId::new(0)), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic dataset generation from a [`DatasetSpec`].
+
+use signed_graph::components::largest_component_subgraph;
+use signed_graph::generators::{social_network, SocialNetworkConfig};
+use signed_graph::SignedGraph;
+use tfsn_skills::assignment::SkillAssignment;
+use tfsn_skills::taskgen::{assign_skills_zipf, ZipfAssignmentConfig};
+use tfsn_skills::SkillUniverse;
+
+use crate::spec::DatasetSpec;
+
+/// A fully materialised dataset: the signed graph, the skill universe and the
+/// per-user skill assignment. This is the input type of every experiment and
+/// example in the workspace, whether the data is synthetic or loaded from
+/// real dumps.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name ("Slashdot", "Epinions", "Wikipedia", or a custom name).
+    pub name: String,
+    /// The signed network (always connected: the generator guarantees it and
+    /// the loader restricts real data to its largest component).
+    pub graph: SignedGraph,
+    /// The universe of skills.
+    pub universe: SkillUniverse,
+    /// The users' skills.
+    pub skills: SkillAssignment,
+}
+
+impl Dataset {
+    /// Convenience constructor validating that the pieces agree.
+    ///
+    /// # Panics
+    /// Panics if the skill assignment does not cover exactly the graph's
+    /// nodes or the universe size differs from the assignment's skill count.
+    pub fn new(
+        name: impl Into<String>,
+        graph: SignedGraph,
+        universe: SkillUniverse,
+        skills: SkillAssignment,
+    ) -> Self {
+        assert_eq!(
+            graph.node_count(),
+            skills.user_count(),
+            "skill assignment must cover every node"
+        );
+        assert_eq!(
+            universe.len(),
+            skills.skill_count(),
+            "universe and assignment must agree on the number of skills"
+        );
+        Dataset {
+            name: name.into(),
+            graph,
+            universe,
+            skills,
+        }
+    }
+}
+
+/// Generates a synthetic dataset from `spec` at the given `scale`
+/// (1.0 = the paper's published size). Deterministic for a fixed spec and
+/// scale.
+pub fn generate(spec: &DatasetSpec, scale: f64) -> Dataset {
+    let spec = spec.scaled(scale);
+    let graph_cfg = SocialNetworkConfig {
+        nodes: spec.users,
+        edges: spec.edges,
+        negative_fraction: spec.negative_fraction,
+        balance_bias: spec.balance_bias,
+        camps: spec.camps,
+        locality: spec.locality,
+        preferential: spec.preferential,
+        seed: spec.seed,
+    };
+    let graph = social_network(&graph_cfg);
+    // The generator guarantees connectivity, but stay defensive: the paper
+    // assumes a connected graph, so restrict to the largest component if a
+    // future generator change ever breaks that guarantee.
+    let graph = if signed_graph::components::is_connected(&graph) {
+        graph
+    } else {
+        largest_component_subgraph(&graph).0
+    };
+
+    let universe = SkillUniverse::with_anonymous(spec.skills);
+    let total_grants = (graph.node_count() as f64 * spec.skills_per_user).round() as usize;
+    let skills = assign_skills_zipf(&ZipfAssignmentConfig {
+        users: graph.node_count(),
+        skills: spec.skills,
+        total_grants,
+        exponent: spec.zipf_exponent,
+        min_skills_per_user: 1,
+        seed: spec.seed ^ 0x5EED_5EED,
+    });
+
+    Dataset::new(spec.name, graph, universe, skills)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PaperDataset;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = PaperDataset::Slashdot.spec();
+        let a = generate(&spec, 1.0);
+        let b = generate(&spec, 1.0);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        for u in 0..a.skills.user_count() {
+            assert_eq!(a.skills.skills_of(u), b.skills.skills_of(u));
+        }
+    }
+
+    #[test]
+    fn every_user_has_at_least_one_skill() {
+        let d = generate(&PaperDataset::Wikipedia.spec(), 0.03);
+        for u in 0..d.skills.user_count() {
+            assert!(!d.skills.skills_of(u).is_empty());
+        }
+        assert!(d.skills.mean_skills_per_user() >= 1.0);
+        assert_eq!(d.universe.len(), 500);
+    }
+
+    #[test]
+    fn skill_frequencies_are_skewed() {
+        let d = generate(&PaperDataset::Epinions.spec(), 0.05);
+        let mut freqs: Vec<usize> = d.skills.skill_frequencies().map(|(_, f)| f).collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(freqs[0] > freqs[freqs.len() / 2].max(1) * 3, "head {} median {}", freqs[0], freqs[freqs.len() / 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "skill assignment must cover every node")]
+    fn mismatched_dataset_parts_panic() {
+        let spec = PaperDataset::Slashdot.spec().scaled(0.1);
+        let d = generate(&spec, 1.0);
+        let wrong = SkillAssignment::new(d.universe.len(), d.graph.node_count() + 1);
+        let _ = Dataset::new("broken", d.graph, d.universe, wrong);
+    }
+}

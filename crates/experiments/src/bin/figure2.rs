@@ -1,0 +1,34 @@
+//! Regenerates Figure 2 (team-formation experiments, all four panels) and
+//! the policy ablation.
+//!
+//! Usage: `cargo run --release -p tfsn-experiments --bin figure2 [-- --quick] [--out DIR]`
+
+use tfsn_experiments::{figure2, report, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+
+    eprintln!(
+        "[figure2] running team formation on the Epinions emulation (scale {}, {} tasks/size)…",
+        config.epinions_scale, config.tasks_per_size
+    );
+    let result = figure2::run(&config);
+    println!("Figure 2: Team formation");
+    println!("{}", result.render());
+
+    match report::write_json(&out_dir, "figure2", &result) {
+        Ok(path) => eprintln!("[figure2] wrote {}", path.display()),
+        Err(e) => eprintln!("[figure2] could not write results: {e}"),
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 2 (comparison of compatibility relations).
+//!
+//! Usage: `cargo run --release -p tfsn-experiments --bin table2 [-- --quick] [--no-sbp] [--out DIR]`
+
+use tfsn_experiments::{report, table2, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    if args.iter().any(|a| a == "--no-sbp") {
+        config.sbp_exact_on_slashdot = false;
+    }
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+
+    eprintln!(
+        "[table2] building compatibility relations (epinions scale {}, wikipedia scale {})…",
+        config.epinions_scale, config.wikipedia_scale
+    );
+    let result = table2::run(&config);
+    println!("Table 2: Comparison of compatibility relations");
+    println!("{}", result.render());
+
+    match report::write_json(&out_dir, "table2", &result) {
+        Ok(path) => eprintln!("[table2] wrote {}", path.display()),
+        Err(e) => eprintln!("[table2] could not write results: {e}"),
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table 3 (comparison with unsigned team formation).
+//!
+//! Usage: `cargo run --release -p tfsn-experiments --bin table3 [-- --quick] [--out DIR]`
+
+use tfsn_experiments::{report, table3, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("results"));
+
+    eprintln!(
+        "[table3] running unsigned baselines on the Epinions emulation (scale {})…",
+        config.epinions_scale
+    );
+    let result = table3::run(&config);
+    println!("Table 3: Percentage of unsigned-baseline teams that are compatible");
+    println!("{}", result.render());
+
+    match report::write_json(&out_dir, "table3", &result) {
+        Ok(path) => eprintln!("[table3] wrote {}", path.display()),
+        Err(e) => eprintln!("[table3] could not write results: {e}"),
+    }
+}

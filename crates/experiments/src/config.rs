@@ -1,0 +1,120 @@
+//! Configuration shared by all experiments.
+
+use serde::{Deserialize, Serialize};
+use tfsn_core::compat::CompatibilityKind;
+
+/// Knobs controlling dataset scale and workload size for the whole harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Scale factor for the Epinions emulation (1.0 = 28,854 users as in the
+    /// paper). The default keeps the full experiment suite in the minutes
+    /// range on a laptop.
+    pub epinions_scale: f64,
+    /// Scale factor for the Wikipedia emulation (1.0 = 7,066 users).
+    pub wikipedia_scale: f64,
+    /// Number of random tasks generated per task size (the paper uses 50).
+    pub tasks_per_size: usize,
+    /// Task size used by Table 3 and Figure 2(a)/(b) (the paper uses 5).
+    pub default_task_size: usize,
+    /// Task sizes swept by Figure 2(c)/(d) (the paper sweeps up to 20).
+    pub task_sizes: Vec<usize>,
+    /// Worker threads for building compatibility matrices.
+    pub threads: usize,
+    /// Whether to also run the exact SBP relation on Slashdot (Table 2's
+    /// SBP column and the SBP-vs-SBPH comparison).
+    pub sbp_exact_on_slashdot: bool,
+    /// Cap on greedy seeds per task (the paper seeds from every holder of the
+    /// first skill; a cap bounds the runtime on popular skills — `None`
+    /// reproduces the paper exactly).
+    pub max_seeds: Option<usize>,
+    /// Holder cap for the least-compatible-skill degree computation.
+    pub skill_degree_cap: Option<usize>,
+    /// Base seed for task generation and the RANDOM policy.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            epinions_scale: 0.10,
+            wikipedia_scale: 0.25,
+            tasks_per_size: 50,
+            default_task_size: 5,
+            task_sizes: vec![2, 5, 10, 15, 20],
+            threads: default_threads(),
+            sbp_exact_on_slashdot: true,
+            max_seeds: Some(40),
+            skill_degree_cap: Some(64),
+            seed: 0xEDB7_2020,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A configuration small enough for CI smoke tests and debug builds:
+    /// tiny dataset scales and a handful of tasks.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            epinions_scale: 0.015,
+            wikipedia_scale: 0.04,
+            tasks_per_size: 8,
+            default_task_size: 4,
+            task_sizes: vec![2, 4, 6],
+            threads: 2,
+            sbp_exact_on_slashdot: true,
+            max_seeds: Some(10),
+            skill_degree_cap: Some(32),
+            seed: 0xEDB7_2020,
+        }
+    }
+
+    /// The compatibility relations evaluated by Table 2, Table 3 and
+    /// Figure 2 (the paper omits DPE as degenerate and exact SBP where it is
+    /// not computable).
+    pub fn evaluated_kinds(&self) -> Vec<CompatibilityKind> {
+        CompatibilityKind::EVALUATED.to_vec()
+    }
+
+    /// The greedy-solver configuration derived from this experiment config.
+    pub fn greedy(&self) -> tfsn_core::team::greedy::GreedyConfig {
+        tfsn_core::team::greedy::GreedyConfig {
+            max_seeds: self.max_seeds,
+            skill_degree_cap: self.skill_degree_cap,
+            random_seed: self.seed ^ 0xA1B2,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let cfg = ExperimentConfig::default();
+        assert!(cfg.epinions_scale > 0.0 && cfg.epinions_scale <= 1.0);
+        assert_eq!(cfg.tasks_per_size, 50);
+        assert_eq!(cfg.default_task_size, 5);
+        assert!(cfg.task_sizes.contains(&20));
+        assert!(cfg.threads >= 1);
+        assert_eq!(cfg.evaluated_kinds().len(), 5);
+        let greedy = cfg.greedy();
+        assert_eq!(greedy.max_seeds, cfg.max_seeds);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let quick = ExperimentConfig::quick();
+        let full = ExperimentConfig::default();
+        assert!(quick.epinions_scale < full.epinions_scale);
+        assert!(quick.tasks_per_size < full.tasks_per_size);
+        assert!(quick.task_sizes.len() <= full.task_sizes.len());
+    }
+}

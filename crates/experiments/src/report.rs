@@ -1,0 +1,155 @@
+//! Plain-text table rendering and JSON result persistence.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple aligned text table (monospace output for the terminal and for
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let _ = write!(out, "{:<width$}", cell, width = width);
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals, rendering `NaN` (used
+/// for "not computed") as a dash.
+pub fn fmt_float(v: f64, decimals: usize) -> String {
+    if v.is_nan() {
+        "–".to_string()
+    } else {
+        format!("{v:.decimals$}")
+    }
+}
+
+/// Formats a percentage with two decimals.
+pub fn fmt_pct(v: f64) -> String {
+    fmt_float(v, 2)
+}
+
+/// Serialises `value` as pretty JSON into `dir/name.json`, creating the
+/// directory if needed. Returns the written path.
+pub fn write_json<T: Serialize>(
+    dir: &Path,
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1"]).row(["b", "123456"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns aligned: "value" column starts at the same offset.
+        let start0 = lines[0].find("value").unwrap();
+        let start2 = lines[2].find('1').unwrap();
+        assert_eq!(start0, start2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["only-one"]);
+        let rendered = t.render();
+        assert!(rendered.contains("only-one"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_float(3.14159, 2), "3.14");
+        assert_eq!(fmt_float(f64::NAN, 2), "–");
+        assert_eq!(fmt_pct(99.555), "99.56");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        #[derive(Serialize)]
+        struct Dummy {
+            x: u32,
+        }
+        let dir = std::env::temp_dir().join(format!("tfsn_report_test_{}", std::process::id()));
+        let path = write_json(&dir, "dummy", &Dummy { x: 7 }).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x\": 7"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,75 @@
+//! Table 1 — dataset statistics.
+//!
+//! Regenerates the "users / edges / negative edges / diameter / skills" row
+//! for every dataset emulation at the configured scales.
+
+use serde::{Deserialize, Serialize};
+use tfsn_datasets::{Dataset, DatasetStats};
+
+use crate::config::ExperimentConfig;
+use crate::report::{fmt_pct, TextTable};
+
+/// The regenerated Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Report {
+    /// One row per dataset, in the paper's order.
+    pub rows: Vec<DatasetStats>,
+}
+
+impl Table1Report {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "dataset", "#users", "#edges", "#neg edges", "%neg", "diameter", "#skills",
+        ]);
+        for row in &self.rows {
+            t.row([
+                row.name.clone(),
+                row.users.to_string(),
+                row.edges.to_string(),
+                row.negative_edges.to_string(),
+                fmt_pct(row.negative_percentage),
+                format!("{}{}", row.diameter, if row.diameter_exact { "" } else { "~" }),
+                row.skills.to_string(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Loads the three dataset emulations at the configured scales.
+pub fn datasets(config: &ExperimentConfig) -> Vec<Dataset> {
+    vec![
+        tfsn_datasets::slashdot(),
+        tfsn_datasets::epinions(config.epinions_scale),
+        tfsn_datasets::wikipedia(config.wikipedia_scale),
+    ]
+}
+
+/// Runs the Table 1 experiment.
+pub fn run(config: &ExperimentConfig) -> Table1Report {
+    let rows = datasets(config)
+        .iter()
+        .map(DatasetStats::compute)
+        .collect();
+    Table1Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_three_rows() {
+        let report = run(&ExperimentConfig::quick());
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0].name, "Slashdot");
+        assert_eq!(report.rows[1].name, "Epinions");
+        assert_eq!(report.rows[2].name, "Wikipedia");
+        // Slashdot is always generated at full size.
+        assert_eq!(report.rows[0].users, 214);
+        let rendered = report.render();
+        assert!(rendered.contains("Slashdot"));
+        assert!(rendered.contains("diameter"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Table 2 — comparison of the compatibility relations.
+//!
+//! For every dataset and relation the paper reports (a) the percentage of
+//! compatible user pairs, (b) the percentage of compatible skill pairs and
+//! (c) the average distance between compatible users. The exact SBP relation
+//! is computed only on Slashdot (as in the paper), alongside the SBP-vs-SBPH
+//! agreement figure quoted in the text (~2.5 % difference).
+
+use serde::{Deserialize, Serialize};
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+use tfsn_core::skill_compat::SkillPairCompatibility;
+use tfsn_datasets::Dataset;
+
+use crate::config::ExperimentConfig;
+use crate::report::{fmt_float, fmt_pct, TextTable};
+use crate::table1::datasets;
+
+/// One cell group of Table 2: a dataset × relation measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Entry {
+    /// Dataset name.
+    pub dataset: String,
+    /// Compatibility relation.
+    pub kind: CompatibilityKind,
+    /// Percentage of compatible user pairs (0–100).
+    pub compatible_users_pct: f64,
+    /// Percentage of compatible skill pairs (0–100).
+    pub compatible_skills_pct: f64,
+    /// Average relation distance between compatible users.
+    pub avg_distance: f64,
+}
+
+/// The regenerated Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Report {
+    /// All dataset × relation entries.
+    pub entries: Vec<Table2Entry>,
+    /// Fraction (0–100) of node pairs on which exact SBP and heuristic SBPH
+    /// disagree on Slashdot (the paper reports ≈ 2.5 %). `None` when the
+    /// exact relation was not computed.
+    pub sbp_sbph_disagreement_pct: Option<f64>,
+}
+
+impl Table2Report {
+    /// The entry for a given dataset and relation, if present.
+    pub fn entry(&self, dataset: &str, kind: CompatibilityKind) -> Option<&Table2Entry> {
+        self.entries
+            .iter()
+            .find(|e| e.dataset == dataset && e.kind == kind)
+    }
+
+    /// Renders the report as an aligned text table (one row per dataset and
+    /// metric, one column per relation — the paper's layout).
+    pub fn render(&self) -> String {
+        let kinds: Vec<CompatibilityKind> = {
+            let mut k = vec![
+                CompatibilityKind::Spa,
+                CompatibilityKind::Spm,
+                CompatibilityKind::Spo,
+                CompatibilityKind::Sbph,
+            ];
+            if self.entries.iter().any(|e| e.kind == CompatibilityKind::Sbp) {
+                k.push(CompatibilityKind::Sbp);
+            }
+            k.push(CompatibilityKind::Nne);
+            k
+        };
+        let mut header = vec!["dataset".to_string(), "metric".to_string()];
+        header.extend(kinds.iter().map(|k| k.label().to_string()));
+        let mut t = TextTable::new(header);
+        let datasets: Vec<String> = {
+            let mut names = Vec::new();
+            for e in &self.entries {
+                if !names.contains(&e.dataset) {
+                    names.push(e.dataset.clone());
+                }
+            }
+            names
+        };
+        for dataset in &datasets {
+            for (metric, f) in [
+                ("comp. users %", 0usize),
+                ("comp. skills %", 1),
+                ("avg distance", 2),
+            ] {
+                let mut row = vec![dataset.clone(), metric.to_string()];
+                for &kind in &kinds {
+                    let cell = match self.entry(dataset, kind) {
+                        Some(e) => match f {
+                            0 => fmt_pct(e.compatible_users_pct),
+                            1 => fmt_pct(e.compatible_skills_pct),
+                            _ => fmt_float(e.avg_distance, 2),
+                        },
+                        None => "–".to_string(),
+                    };
+                    row.push(cell);
+                }
+                t.row(row);
+            }
+        }
+        let mut out = t.render();
+        if let Some(diff) = self.sbp_sbph_disagreement_pct {
+            out.push_str(&format!(
+                "\nSBP vs SBPH disagreement on Slashdot: {:.2}% of node pairs\n",
+                diff
+            ));
+        }
+        out
+    }
+}
+
+/// Computes the Table 2 entries for one dataset.
+pub fn analyze_dataset(
+    dataset: &Dataset,
+    kinds: &[CompatibilityKind],
+    engine: &EngineConfig,
+    threads: usize,
+) -> Vec<Table2Entry> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let matrix = CompatibilityMatrix::build_parallel(&dataset.graph, kind, engine, threads);
+            entry_from_matrix(dataset, kind, &matrix)
+        })
+        .collect()
+}
+
+fn entry_from_matrix(
+    dataset: &Dataset,
+    kind: CompatibilityKind,
+    matrix: &CompatibilityMatrix,
+) -> Table2Entry {
+    let pairs = SkillPairCompatibility::from_rows(matrix.rows(), &dataset.skills);
+    Table2Entry {
+        dataset: dataset.name.clone(),
+        kind,
+        compatible_users_pct: 100.0 * matrix.compatible_pair_fraction(),
+        compatible_skills_pct: 100.0 * pairs.compatible_pair_fraction(&dataset.skills),
+        avg_distance: matrix.mean_compatible_distance().unwrap_or(f64::NAN),
+    }
+}
+
+/// Runs the Table 2 experiment over all three dataset emulations.
+pub fn run(config: &ExperimentConfig) -> Table2Report {
+    let engine = EngineConfig::default();
+    let kinds = config.evaluated_kinds();
+    let mut entries = Vec::new();
+    let mut disagreement = None;
+
+    for dataset in datasets(config) {
+        entries.extend(analyze_dataset(&dataset, &kinds, &engine, config.threads));
+        // Exact SBP (and the SBP-vs-SBPH comparison) on Slashdot only.
+        if dataset.name == "Slashdot" && config.sbp_exact_on_slashdot {
+            let sbp = CompatibilityMatrix::build_parallel(
+                &dataset.graph,
+                CompatibilityKind::Sbp,
+                &engine,
+                config.threads,
+            );
+            entries.push(entry_from_matrix(&dataset, CompatibilityKind::Sbp, &sbp));
+            let sbph = CompatibilityMatrix::build_parallel(
+                &dataset.graph,
+                CompatibilityKind::Sbph,
+                &engine,
+                config.threads,
+            );
+            disagreement = Some(disagreement_pct(&sbp, &sbph));
+        }
+    }
+
+    Table2Report {
+        entries,
+        sbp_sbph_disagreement_pct: disagreement,
+    }
+}
+
+/// Percentage of distinct node pairs on which the two relations disagree.
+pub fn disagreement_pct(a: &CompatibilityMatrix, b: &CompatibilityMatrix) -> f64 {
+    use tfsn_core::compat::Compatibility;
+    let n = a.node_count().min(b.node_count());
+    if n < 2 {
+        return 0.0;
+    }
+    let mut disagreements = 0u64;
+    let mut total = 0u64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let (u, v) = (signed_graph::NodeId::new(u), signed_graph::NodeId::new(v));
+            total += 1;
+            if a.compatible(u, v) != b.compatible(u, v) {
+                disagreements += 1;
+            }
+        }
+    }
+    100.0 * disagreements as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_expected_shape() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.threads = 2;
+        let report = run(&cfg);
+        // 3 datasets × 5 evaluated kinds + the Slashdot SBP row.
+        assert_eq!(report.entries.len(), 3 * 5 + 1);
+        assert!(report.sbp_sbph_disagreement_pct.is_some());
+        let slashdot_spa = report.entry("Slashdot", CompatibilityKind::Spa).unwrap();
+        let slashdot_nne = report.entry("Slashdot", CompatibilityKind::Nne).unwrap();
+        // Relaxing the relation can only increase the compatible fraction.
+        assert!(slashdot_spa.compatible_users_pct <= slashdot_nne.compatible_users_pct + 1e-9);
+        assert!(slashdot_spa.compatible_users_pct >= 0.0);
+        assert!(slashdot_nne.compatible_users_pct <= 100.0);
+        let rendered = report.render();
+        assert!(rendered.contains("SPA"));
+        assert!(rendered.contains("comp. users %"));
+        assert!(rendered.contains("SBP vs SBPH"));
+    }
+
+    #[test]
+    fn disagreement_of_identical_matrices_is_zero() {
+        let d = tfsn_datasets::slashdot();
+        let engine = EngineConfig::default();
+        let m = CompatibilityMatrix::build_parallel(&d.graph, CompatibilityKind::Spo, &engine, 2);
+        assert_eq!(disagreement_pct(&m, &m), 0.0);
+    }
+}

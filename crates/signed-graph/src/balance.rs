@@ -1,0 +1,370 @@
+//! Structural balance primitives.
+//!
+//! A signed graph is *structurally balanced* (Cartwright–Harary) iff it
+//! contains no cycle with an odd number of negative edges; equivalently, its
+//! nodes can be split into two camps such that all edges inside a camp are
+//! positive and all edges between camps are negative.
+//!
+//! The paper's SBP compatibility asks whether two nodes are connected by a
+//! positive path `P` whose *induced subgraph* `G[P]` is structurally
+//! balanced; the functions here supply that check.
+
+use std::collections::VecDeque;
+
+use crate::graph::{NodeId, SignedGraph};
+use crate::sign::Sign;
+
+/// The outcome of a balance check: either a witness two-colouring (the camp
+/// of every checked node) or an unbalanced verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BalanceResult {
+    /// The (sub)graph is balanced; `camp[v]` gives the side (0/1) of each
+    /// node that was part of the check, `None` for nodes outside it.
+    Balanced {
+        /// Camp assignment per node id of the *original* graph.
+        camp: Vec<Option<bool>>,
+    },
+    /// The (sub)graph contains a cycle with an odd number of negative edges.
+    Unbalanced,
+}
+
+impl BalanceResult {
+    /// `true` when balanced.
+    pub fn is_balanced(&self) -> bool {
+        matches!(self, BalanceResult::Balanced { .. })
+    }
+}
+
+/// Checks whether the whole graph is structurally balanced.
+///
+/// Runs the standard two-colouring BFS: crossing a positive edge keeps the
+/// camp, crossing a negative edge flips it; a contradiction proves an odd
+/// negative cycle. O(V + E).
+pub fn check_balance(g: &SignedGraph) -> BalanceResult {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    check_balance_induced(g, &nodes)
+}
+
+/// `true` iff the whole graph is structurally balanced.
+pub fn is_balanced(g: &SignedGraph) -> bool {
+    check_balance(g).is_balanced()
+}
+
+/// Checks structural balance of the subgraph induced by `nodes`.
+///
+/// Only edges with *both* endpoints in `nodes` are considered — exactly the
+/// `G[P] = (P, E[P])` of the paper's Definition 3.4.
+pub fn check_balance_induced(g: &SignedGraph, nodes: &[NodeId]) -> BalanceResult {
+    let n = g.node_count();
+    let mut in_set = vec![false; n];
+    for &v in nodes {
+        in_set[v.index()] = true;
+    }
+    let mut camp: Vec<Option<bool>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for &start in nodes {
+        if camp[start.index()].is_some() {
+            continue;
+        }
+        camp[start.index()] = Some(false);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let cu = camp[u.index()].expect("enqueued nodes are coloured");
+            for nb in g.neighbors(u) {
+                let v = nb.node;
+                if !in_set[v.index()] {
+                    continue;
+                }
+                let expected = match nb.sign {
+                    Sign::Positive => cu,
+                    Sign::Negative => !cu,
+                };
+                match camp[v.index()] {
+                    None => {
+                        camp[v.index()] = Some(expected);
+                        queue.push_back(v);
+                    }
+                    Some(cv) if cv != expected => return BalanceResult::Unbalanced,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    BalanceResult::Balanced { camp }
+}
+
+/// `true` iff the subgraph induced by `nodes` is structurally balanced.
+pub fn is_balanced_induced(g: &SignedGraph, nodes: &[NodeId]) -> bool {
+    check_balance_induced(g, nodes).is_balanced()
+}
+
+/// `true` iff `path` (a node sequence) is a *structurally balanced path* in
+/// the paper's sense: the subgraph induced by its node set is balanced.
+///
+/// The path itself does not have to be re-validated here; callers that need
+/// that guarantee should combine with [`SignedGraph::is_simple_path`].
+pub fn is_structurally_balanced_path(g: &SignedGraph, path: &[NodeId]) -> bool {
+    is_balanced_induced(g, path)
+}
+
+/// `true` iff a triangle `(a, b, c)` (all three edges must exist) is balanced:
+/// the product of its edge signs is positive.
+///
+/// Returns `None` if any of the three edges is missing.
+pub fn triangle_is_balanced(g: &SignedGraph, a: NodeId, b: NodeId, c: NodeId) -> Option<bool> {
+    let s1 = g.sign(a, b)?;
+    let s2 = g.sign(b, c)?;
+    let s3 = g.sign(a, c)?;
+    Some((s1 * s2 * s3).is_positive())
+}
+
+/// Counts balanced and unbalanced triangles in the graph.
+///
+/// Returns `(balanced, unbalanced)`. O(sum of deg²) — intended for the small
+/// and mid-size datasets used in tests, examples and dataset statistics.
+pub fn triangle_census(g: &SignedGraph) -> (usize, usize) {
+    let mut balanced = 0usize;
+    let mut unbalanced = 0usize;
+    for e in g.edges() {
+        let (u, v) = (e.u, e.v);
+        // Iterate over the smaller adjacency list, check membership in the other.
+        let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        for nb in g.neighbors(a) {
+            let w = nb.node;
+            // Count each triangle once: enforce ordering u < v < w over indices.
+            if w.index() > v.index() {
+                if let Some(sw) = g.sign(b, w) {
+                    let product = e.sign * nb.sign * sw;
+                    if product.is_positive() {
+                        balanced += 1;
+                    } else {
+                        unbalanced += 1;
+                    }
+                }
+            }
+        }
+    }
+    (balanced, unbalanced)
+}
+
+/// Number of edges that violate a given two-camp partition: positive edges
+/// across camps plus negative edges inside a camp.
+///
+/// `camp[v]` gives the side of node `v`; nodes with `None` are ignored.
+pub fn frustration_count(g: &SignedGraph, camp: &[Option<bool>]) -> usize {
+    g.edges()
+        .iter()
+        .filter(|e| {
+            match (camp[e.u.index()], camp[e.v.index()]) {
+                (Some(cu), Some(cv)) => match e.sign {
+                    Sign::Positive => cu != cv,
+                    Sign::Negative => cu == cv,
+                },
+                _ => false,
+            }
+        })
+        .count()
+}
+
+/// A greedy local-search estimate of the frustration index: the minimum
+/// number of edges whose removal (or sign flip) would make the graph
+/// balanced. Starts from a BFS colouring that ignores violations and then
+/// moves single nodes while improvements exist. Deterministic.
+///
+/// This is an upper bound on the true frustration index (which is NP-hard to
+/// compute); it is exposed for dataset diagnostics and the ablation benches.
+pub fn greedy_frustration_index(g: &SignedGraph) -> usize {
+    let n = g.node_count();
+    if n == 0 {
+        return 0;
+    }
+    // Initial colouring: BFS that follows balance rules but does not abort on
+    // contradictions (first colour assigned wins).
+    let mut camp = vec![None::<bool>; n];
+    let mut queue = VecDeque::new();
+    for start in g.nodes() {
+        if camp[start.index()].is_some() {
+            continue;
+        }
+        camp[start.index()] = Some(false);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let cu = camp[u.index()].unwrap();
+            for nb in g.neighbors(u) {
+                if camp[nb.node.index()].is_none() {
+                    camp[nb.node.index()] = Some(match nb.sign {
+                        Sign::Positive => cu,
+                        Sign::Negative => !cu,
+                    });
+                    queue.push_back(nb.node);
+                }
+            }
+        }
+    }
+    // Local search: flip a node's camp when it strictly reduces violations.
+    let mut improved = true;
+    let mut guard = 0usize;
+    while improved && guard < 4 * n {
+        improved = false;
+        guard += 1;
+        for v in g.nodes() {
+            let cv = camp[v.index()].unwrap();
+            let mut delta: i64 = 0;
+            for nb in g.neighbors(v) {
+                let cu = camp[nb.node.index()].unwrap();
+                let violated_now = match nb.sign {
+                    Sign::Positive => cu != cv,
+                    Sign::Negative => cu == cv,
+                };
+                let violated_flip = match nb.sign {
+                    Sign::Positive => cu != !cv,
+                    Sign::Negative => cu == !cv,
+                };
+                delta += violated_flip as i64 - violated_now as i64;
+            }
+            if delta < 0 {
+                camp[v.index()] = Some(!cv);
+                improved = true;
+            }
+        }
+    }
+    frustration_count(g, &camp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edge_triples, GraphBuilder};
+
+    /// Balanced square: two camps {0,1} and {2,3}.
+    fn balanced_square() -> SignedGraph {
+        from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (2, 3, Sign::Positive),
+            (0, 2, Sign::Negative),
+            (1, 3, Sign::Negative),
+        ])
+    }
+
+    /// The classic unbalanced triangle: one negative edge.
+    fn unbalanced_triangle() -> SignedGraph {
+        from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Positive),
+            (0, 2, Sign::Negative),
+        ])
+    }
+
+    #[test]
+    fn balanced_graph_detection() {
+        assert!(is_balanced(&balanced_square()));
+        assert!(!is_balanced(&unbalanced_triangle()));
+        // All-positive graphs are trivially balanced.
+        let g = from_edge_triples(vec![(0, 1, Sign::Positive), (1, 2, Sign::Positive)]);
+        assert!(is_balanced(&g));
+        // Empty graph balanced.
+        assert!(is_balanced(&GraphBuilder::new().build()));
+    }
+
+    #[test]
+    fn camp_assignment_is_consistent() {
+        let g = balanced_square();
+        let BalanceResult::Balanced { camp } = check_balance(&g) else {
+            panic!("expected balanced");
+        };
+        assert_eq!(frustration_count(&g, &camp), 0);
+        assert_eq!(camp[0], camp[1]);
+        assert_eq!(camp[2], camp[3]);
+        assert_ne!(camp[0], camp[2]);
+    }
+
+    #[test]
+    fn induced_subgraph_balance() {
+        // Figure 1(a) of the paper: u=0, x1=1, x2=2, x3=3, x4=4, v=5.
+        // Edges: (u,x1,-), (x1,v,+), (u,x2,+), (x2,x1,+), (x2,x3,+), (x3,x4,+), (x4,v,+)
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Negative),
+            (1, 5, Sign::Positive),
+            (0, 2, Sign::Positive),
+            (2, 1, Sign::Positive),
+            (2, 3, Sign::Positive),
+            (3, 4, Sign::Positive),
+            (4, 5, Sign::Positive),
+        ]);
+        // The path (u,x2,x1,v) is positive but its induced subgraph contains
+        // the unbalanced triangle (u,x1,x2): not structurally balanced.
+        let p_bad = [NodeId::new(0), NodeId::new(2), NodeId::new(1), NodeId::new(5)];
+        assert!(!is_structurally_balanced_path(&g, &p_bad));
+        // The path (u,x2,x3,x4,v) is positive and structurally balanced.
+        let p_good = [
+            NodeId::new(0),
+            NodeId::new(2),
+            NodeId::new(3),
+            NodeId::new(4),
+            NodeId::new(5),
+        ];
+        assert!(is_structurally_balanced_path(&g, &p_good));
+        assert_eq!(g.path_sign(&p_good).unwrap(), Sign::Positive);
+    }
+
+    #[test]
+    fn triangle_checks() {
+        let g = unbalanced_triangle();
+        assert_eq!(
+            triangle_is_balanced(&g, NodeId::new(0), NodeId::new(1), NodeId::new(2)),
+            Some(false)
+        );
+        let g2 = from_edge_triples(vec![
+            (0, 1, Sign::Negative),
+            (1, 2, Sign::Negative),
+            (0, 2, Sign::Positive),
+        ]);
+        assert_eq!(
+            triangle_is_balanced(&g2, NodeId::new(0), NodeId::new(1), NodeId::new(2)),
+            Some(true)
+        );
+        // Missing edge.
+        let g3 = from_edge_triples(vec![(0, 1, Sign::Positive), (1, 2, Sign::Positive)]);
+        assert_eq!(
+            triangle_is_balanced(&g3, NodeId::new(0), NodeId::new(1), NodeId::new(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn census_counts_each_triangle_once() {
+        let g = unbalanced_triangle();
+        assert_eq!(triangle_census(&g), (0, 1));
+        let g2 = from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Positive),
+            (0, 2, Sign::Positive),
+            (2, 3, Sign::Negative),
+            (1, 3, Sign::Negative),
+        ]);
+        // Triangles: (0,1,2) balanced; (1,2,3) has +,-,- = balanced.
+        assert_eq!(triangle_census(&g2), (2, 0));
+    }
+
+    #[test]
+    fn frustration_on_balanced_graph_is_zero() {
+        assert_eq!(greedy_frustration_index(&balanced_square()), 0);
+        assert_eq!(greedy_frustration_index(&GraphBuilder::new().build()), 0);
+    }
+
+    #[test]
+    fn frustration_on_unbalanced_triangle_is_one() {
+        assert_eq!(greedy_frustration_index(&unbalanced_triangle()), 1);
+    }
+
+    #[test]
+    fn frustration_count_partial_coloring() {
+        let g = unbalanced_triangle();
+        // Only nodes 0 and 1 coloured: the single positive edge between them,
+        // same camp → no violation; edges touching node 2 are ignored.
+        let camp = vec![Some(false), Some(false), None];
+        assert_eq!(frustration_count(&g, &camp), 0);
+        let camp = vec![Some(false), Some(true), None];
+        assert_eq!(frustration_count(&g, &camp), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Incremental construction of [`SignedGraph`]s.
+
+use std::collections::HashMap;
+
+use crate::error::GraphError;
+use crate::graph::{Edge, Neighbor, NodeId, SignedGraph};
+use crate::sign::Sign;
+
+/// A mutable builder for [`SignedGraph`].
+///
+/// The builder enforces the invariants the paper assumes: the graph is
+/// simple (no self-loops, no parallel edges) and undirected. Duplicate edge
+/// insertions are rejected with [`GraphError::DuplicateEdge`] so that a
+/// dataset loader cannot silently overwrite a sign; use
+/// [`GraphBuilder::add_or_update_edge`] when overwrite semantics are wanted
+/// (e.g. when a raw dataset lists both directions of an edge).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    adjacency: Vec<Vec<Neighbor>>,
+    edges: Vec<Edge>,
+    edge_index: HashMap<(u32, u32), u32>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-populated with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        GraphBuilder {
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+            edge_index: HashMap::new(),
+        }
+    }
+
+    /// Current number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Current number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.adjacency.len());
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Ensures ids `0..=node.index()` all exist, growing the node set if
+    /// needed. Convenient when reading edge lists with arbitrary ids.
+    pub fn ensure_node(&mut self, node: NodeId) {
+        if node.index() >= self.adjacency.len() {
+            self.adjacency.resize(node.index() + 1, Vec::new());
+        }
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() >= self.adjacency.len() {
+            Err(GraphError::NodeOutOfBounds {
+                node,
+                node_count: self.adjacency.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds the undirected signed edge `(u, v, sign)`.
+    ///
+    /// # Errors
+    /// * [`GraphError::NodeOutOfBounds`] if either endpoint does not exist.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    /// * [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, sign: Sign) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let key = canonical(u, v);
+        if self.edge_index.contains_key(&key) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        self.insert_edge(u, v, sign, key);
+        Ok(())
+    }
+
+    /// Adds edge `(u, v, sign)`, overwriting the sign if the edge already
+    /// exists. Returns `true` if a new edge was created, `false` if an
+    /// existing edge's sign was updated (or already matched).
+    ///
+    /// Self-loops are silently ignored (returns `false`), which matches how
+    /// the SNAP dumps are commonly cleaned.
+    pub fn add_or_update_edge(&mut self, u: NodeId, v: NodeId, sign: Sign) -> bool {
+        self.ensure_node(u);
+        self.ensure_node(v);
+        if u == v {
+            return false;
+        }
+        let key = canonical(u, v);
+        if let Some(&idx) = self.edge_index.get(&key) {
+            let idx = idx as usize;
+            if self.edges[idx].sign != sign {
+                self.edges[idx].sign = sign;
+                // Update both adjacency entries.
+                for (a, b) in [(u, v), (v, u)] {
+                    for n in &mut self.adjacency[a.index()] {
+                        if n.node == b {
+                            n.sign = sign;
+                        }
+                    }
+                }
+            }
+            false
+        } else {
+            self.insert_edge(u, v, sign, key);
+            true
+        }
+    }
+
+    fn insert_edge(&mut self, u: NodeId, v: NodeId, sign: Sign, key: (u32, u32)) {
+        let idx = self.edges.len() as u32;
+        self.edges.push(Edge::new(u, v, sign));
+        self.edge_index.insert(key, idx);
+        self.adjacency[u.index()].push(Neighbor { node: v, sign });
+        self.adjacency[v.index()].push(Neighbor { node: u, sign });
+    }
+
+    /// `true` if the edge `(u, v)` (either direction) has been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_index.contains_key(&canonical(u, v))
+    }
+
+    /// Finalises the builder into an immutable [`SignedGraph`].
+    ///
+    /// Adjacency lists are sorted by neighbour id so traversal order is
+    /// deterministic regardless of insertion order.
+    pub fn build(mut self) -> SignedGraph {
+        for adj in &mut self.adjacency {
+            adj.sort_by_key(|n| n.node.index());
+        }
+        SignedGraph::from_parts(self.adjacency, self.edges)
+    }
+}
+
+#[inline]
+fn canonical(u: NodeId, v: NodeId) -> (u32, u32) {
+    let (a, b) = (u.index() as u32, v.index() as u32);
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Builds a graph directly from an iterator of `(u, v, sign)` index triples,
+/// growing the node set as needed. Duplicate edges keep the first sign seen.
+pub fn from_edge_triples<I>(triples: I) -> SignedGraph
+where
+    I: IntoIterator<Item = (usize, usize, Sign)>,
+{
+    let mut b = GraphBuilder::new();
+    for (u, v, s) in triples {
+        let (u, v) = (NodeId::new(u), NodeId::new(v));
+        b.ensure_node(u);
+        b.ensure_node(v);
+        if u != v && !b.has_edge(u, v) {
+            // Safe: nodes ensured, no self-loop, no duplicate.
+            b.add_edge(u, v, s).expect("invariants checked");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node();
+        let v = b.add_node();
+        assert_eq!(b.node_count(), 2);
+        b.add_edge(u, v, Sign::Negative).unwrap();
+        assert_eq!(b.edge_count(), 1);
+        assert!(b.has_edge(v, u));
+        let g = b.build();
+        assert_eq!(g.sign(u, v), Some(Sign::Negative));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut b = GraphBuilder::with_nodes(2);
+        let (u, v) = (NodeId::new(0), NodeId::new(1));
+        assert_eq!(b.add_edge(u, u, Sign::Positive), Err(GraphError::SelfLoop(u)));
+        b.add_edge(u, v, Sign::Positive).unwrap();
+        assert_eq!(
+            b.add_edge(v, u, Sign::Negative),
+            Err(GraphError::DuplicateEdge(v, u))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut b = GraphBuilder::with_nodes(1);
+        let err = b.add_edge(NodeId::new(0), NodeId::new(5), Sign::Positive);
+        assert!(matches!(err, Err(GraphError::NodeOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn add_or_update_overwrites_sign_everywhere() {
+        let mut b = GraphBuilder::new();
+        assert!(b.add_or_update_edge(NodeId::new(0), NodeId::new(3), Sign::Positive));
+        assert!(!b.add_or_update_edge(NodeId::new(3), NodeId::new(0), Sign::Negative));
+        assert!(!b.add_or_update_edge(NodeId::new(1), NodeId::new(1), Sign::Positive));
+        let g = b.build();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.sign(NodeId::new(0), NodeId::new(3)), Some(Sign::Negative));
+        // Adjacency entries agree with the edge record.
+        assert_eq!(g.neighbors(NodeId::new(0))[0].sign, Sign::Negative);
+        assert_eq!(g.neighbors(NodeId::new(3))[0].sign, Sign::Negative);
+    }
+
+    #[test]
+    fn ensure_node_grows() {
+        let mut b = GraphBuilder::new();
+        b.ensure_node(NodeId::new(9));
+        assert_eq!(b.node_count(), 10);
+        b.ensure_node(NodeId::new(3));
+        assert_eq!(b.node_count(), 10);
+    }
+
+    #[test]
+    fn from_triples_dedups_and_grows() {
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 0, Sign::Negative), // duplicate, first sign wins
+            (2, 2, Sign::Positive), // self loop ignored
+            (4, 2, Sign::Negative),
+        ]);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.sign(NodeId::new(0), NodeId::new(1)), Some(Sign::Positive));
+        assert_eq!(g.sign(NodeId::new(2), NodeId::new(4)), Some(Sign::Negative));
+    }
+
+    #[test]
+    fn build_sorts_adjacency() {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId::new(0), NodeId::new(3), Sign::Positive).unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive).unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Negative).unwrap();
+        let g = b.build();
+        let order: Vec<usize> = g.neighbors(NodeId::new(0)).iter().map(|n| n.node.index()).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+}

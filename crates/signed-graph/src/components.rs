@@ -1,0 +1,185 @@
+//! Connected components and largest-component extraction.
+//!
+//! The paper assumes the input graph is connected; real (and synthetic)
+//! signed networks usually are not, so the dataset loaders restrict the graph
+//! to its largest connected component using [`largest_component_subgraph`].
+
+use std::collections::VecDeque;
+
+use crate::builder::GraphBuilder;
+use crate::graph::{NodeId, SignedGraph};
+
+/// The partition of nodes into connected components (ignoring signs).
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `component_of[v]` is the 0-based component index of node `v`.
+    pub component_of: Vec<u32>,
+    /// Sizes of each component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Index of the largest component (ties broken by lowest id).
+    pub fn largest(&self) -> Option<usize> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+    }
+
+    /// `true` if the whole graph is a single connected component (or empty).
+    pub fn is_connected(&self) -> bool {
+        self.sizes.len() <= 1
+    }
+
+    /// The nodes belonging to component `id`.
+    pub fn members(&self, id: usize) -> Vec<NodeId> {
+        self.component_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c as usize == id)
+            .map(|(v, _)| NodeId::new(v))
+            .collect()
+    }
+}
+
+/// Computes the connected components of `g` with a BFS sweep.
+pub fn connected_components(g: &SignedGraph) -> Components {
+    let n = g.node_count();
+    let mut component_of = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if component_of[start] != u32::MAX {
+            continue;
+        }
+        let cid = sizes.len() as u32;
+        let mut size = 0usize;
+        component_of[start] = cid;
+        queue.push_back(NodeId::new(start));
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for nb in g.neighbors(u) {
+                let v = nb.node.index();
+                if component_of[v] == u32::MAX {
+                    component_of[v] = cid;
+                    queue.push_back(nb.node);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { component_of, sizes }
+}
+
+/// `true` if every pair of nodes in `g` is connected by some path.
+pub fn is_connected(g: &SignedGraph) -> bool {
+    connected_components(g).is_connected()
+}
+
+/// Extracts the subgraph induced by the largest connected component.
+///
+/// Returns the new graph and the mapping `new -> old` node id, so callers can
+/// translate attributes (e.g. skills) onto the restricted node set. Nodes in
+/// the new graph are renumbered densely, preserving relative order.
+pub fn largest_component_subgraph(g: &SignedGraph) -> (SignedGraph, Vec<NodeId>) {
+    let comps = connected_components(g);
+    let Some(target) = comps.largest() else {
+        return (GraphBuilder::new().build(), Vec::new());
+    };
+    let target = target as u32;
+    let mut old_of_new = Vec::new();
+    let mut new_of_old = vec![u32::MAX; g.node_count()];
+    for v in g.nodes() {
+        if comps.component_of[v.index()] == target {
+            new_of_old[v.index()] = old_of_new.len() as u32;
+            old_of_new.push(v);
+        }
+    }
+    let mut b = GraphBuilder::with_nodes(old_of_new.len());
+    for e in g.edges() {
+        let (nu, nv) = (new_of_old[e.u.index()], new_of_old[e.v.index()]);
+        if nu != u32::MAX && nv != u32::MAX {
+            b.add_edge(NodeId::new(nu as usize), NodeId::new(nv as usize), e.sign)
+                .expect("restricted edge must be valid");
+        }
+    }
+    (b.build(), old_of_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edge_triples;
+    use crate::sign::Sign;
+
+    fn two_components() -> SignedGraph {
+        // Component A: 0-1-2 (3 nodes), Component B: 3-4 (2 nodes), node 5 isolated.
+        let mut b = GraphBuilder::with_nodes(6);
+        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive).unwrap();
+        b.add_edge(NodeId::new(1), NodeId::new(2), Sign::Negative).unwrap();
+        b.add_edge(NodeId::new(3), NodeId::new(4), Sign::Positive).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let g = two_components();
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.sizes.iter().sum::<usize>(), 6);
+        assert!(!c.is_connected());
+        assert!(!is_connected(&g));
+        let largest = c.largest().unwrap();
+        assert_eq!(c.sizes[largest], 3);
+        assert_eq!(c.members(largest).len(), 3);
+    }
+
+    #[test]
+    fn connected_graph() {
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Negative),
+            (2, 0, Sign::Positive),
+        ]);
+        assert!(is_connected(&g));
+        assert_eq!(connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = two_components();
+        let (sub, mapping) = largest_component_subgraph(&g);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(is_connected(&sub));
+        // Mapping points back to the original component {0, 1, 2}.
+        let mut originals: Vec<usize> = mapping.iter().map(|n| n.index()).collect();
+        originals.sort_unstable();
+        assert_eq!(originals, vec![0, 1, 2]);
+        // Signs preserved under the renumbering.
+        let pos = mapping.iter().position(|n| n.index() == 1).unwrap();
+        let neighbor_signs: Vec<Sign> = sub
+            .neighbors(NodeId::new(pos))
+            .iter()
+            .map(|n| n.sign)
+            .collect();
+        assert!(neighbor_signs.contains(&Sign::Positive));
+        assert!(neighbor_signs.contains(&Sign::Negative));
+    }
+
+    #[test]
+    fn empty_graph_extraction() {
+        let g = GraphBuilder::new().build();
+        let (sub, mapping) = largest_component_subgraph(&g);
+        assert_eq!(sub.node_count(), 0);
+        assert!(mapping.is_empty());
+        assert!(connected_components(&g).is_connected());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors produced while building, mutating or parsing signed graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operation referenced a node id that does not exist in the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph at the time of the call.
+        node_count: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; the paper's graphs are simple.
+    SelfLoop(NodeId),
+    /// The edge `(u, v)` already exists (possibly with a different sign).
+    DuplicateEdge(NodeId, NodeId),
+    /// The edge `(u, v)` was expected to exist but does not.
+    MissingEdge(NodeId, NodeId),
+    /// A parse error while reading an edge-list file.
+    Parse {
+        /// 1-based line number where the error occurred.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An I/O error, carried as a string so the error type stays `Clone + Eq`.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => write!(
+                f,
+                "node {} is out of bounds for a graph with {} nodes",
+                node.index(),
+                node_count
+            ),
+            GraphError::SelfLoop(u) => {
+                write!(f, "self-loop on node {} is not allowed", u.index())
+            }
+            GraphError::DuplicateEdge(u, v) => write!(
+                f,
+                "edge ({}, {}) already exists",
+                u.index(),
+                v.index()
+            ),
+            GraphError::MissingEdge(u, v) => {
+                write!(f, "edge ({}, {}) does not exist", u.index(), v.index())
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId::new(5),
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("3"));
+
+        let e = GraphError::SelfLoop(NodeId::new(2));
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::DuplicateEdge(NodeId::new(0), NodeId::new(1));
+        assert!(e.to_string().contains("already exists"));
+
+        let e = GraphError::MissingEdge(NodeId::new(0), NodeId::new(1));
+        assert!(e.to_string().contains("does not exist"));
+
+        let e = GraphError::Parse {
+            line: 7,
+            message: "bad sign".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+
+        let io: GraphError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(io.to_string().contains("boom"));
+    }
+}

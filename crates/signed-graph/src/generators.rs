@@ -1,0 +1,404 @@
+//! Random signed-graph generators.
+//!
+//! The paper evaluates on three real signed social networks (Slashdot,
+//! Epinions, Wikipedia). Those raw dumps are not redistributable with this
+//! repository, so the dataset crate emulates them with the generators in this
+//! module, matched to the published summary statistics (node count, edge
+//! count, negative-edge fraction, rough diameter). See `DESIGN.md` for the
+//! substitution rationale.
+//!
+//! The central generator is [`social_network`], a configurable model that
+//! produces a *connected* signed graph with:
+//!
+//! * a heavy-tailed degree distribution (preferential attachment for the
+//!   non-tree edges),
+//! * a tunable diameter via the `locality` of the underlying spanning tree,
+//! * signs drawn from a latent camp model so that the graph is *mostly*
+//!   structurally balanced with controllable noise — the property that makes
+//!   structural-balance-based compatibility meaningful on real networks.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::{NodeId, SignedGraph};
+use crate::sign::Sign;
+
+/// Configuration of the [`social_network`] generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialNetworkConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target number of edges (must be at least `nodes - 1`; the generator
+    /// always produces a connected graph).
+    pub edges: usize,
+    /// Desired fraction of negative edges in `[0, 1]`.
+    pub negative_fraction: f64,
+    /// Probability that an edge's sign follows the latent camp structure
+    /// (same camp ⇒ positive, different camps ⇒ negative). The remainder is
+    /// drawn independently with `negative_fraction`. Real signed networks are
+    /// largely but not perfectly balanced, so values around 0.8–0.95 are
+    /// realistic.
+    pub balance_bias: f64,
+    /// Number of latent camps (≥ 1). Two camps produce a classically
+    /// balanceable structure; more camps emulate clusterable networks.
+    pub camps: usize,
+    /// Spanning-tree locality in `(0, 1]`: each new node attaches to a node
+    /// chosen among the previous `ceil(locality · i)` nodes. Smaller values
+    /// stretch the tree and increase the diameter; `1.0` yields a random
+    /// recursive tree with logarithmic diameter.
+    pub locality: f64,
+    /// Preferential-attachment strength for non-tree edges in `[0, 1]`:
+    /// probability that an endpoint is chosen proportionally to degree rather
+    /// than uniformly.
+    pub preferential: f64,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for SocialNetworkConfig {
+    fn default() -> Self {
+        SocialNetworkConfig {
+            nodes: 1000,
+            edges: 5000,
+            negative_fraction: 0.2,
+            balance_bias: 0.9,
+            camps: 2,
+            locality: 0.5,
+            preferential: 0.7,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a connected signed social-network-like graph. See
+/// [`SocialNetworkConfig`] for the knobs.
+///
+/// # Panics
+/// Panics if `nodes == 0` or `edges < nodes - 1`.
+pub fn social_network(cfg: &SocialNetworkConfig) -> SignedGraph {
+    assert!(cfg.nodes > 0, "graph must have at least one node");
+    assert!(
+        cfg.nodes == 1 || cfg.edges >= cfg.nodes - 1,
+        "need at least n-1 edges for connectivity (n = {}, m = {})",
+        cfg.nodes,
+        cfg.edges
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+
+    // Latent camp of every node.
+    let camps = cfg.camps.max(1);
+    let camp: Vec<usize> = (0..n).map(|_| rng.gen_range(0..camps)).collect();
+
+    let mut b = GraphBuilder::with_nodes(n);
+    let mut degree = vec![0usize; n];
+    // Endpoint pool for preferential attachment: node v appears degree(v) times.
+    let mut endpoint_pool: Vec<u32> = Vec::with_capacity(cfg.edges * 2);
+
+    let add_edge = |b: &mut GraphBuilder,
+                        degree: &mut Vec<usize>,
+                        endpoint_pool: &mut Vec<u32>,
+                        rng: &mut StdRng,
+                        u: usize,
+                        v: usize|
+     -> bool {
+        let (u, v) = (NodeId::new(u), NodeId::new(v));
+        if u == v || b.has_edge(u, v) {
+            return false;
+        }
+        let sign = draw_sign(rng, cfg, camp[u.index()], camp[v.index()]);
+        b.add_edge(u, v, sign).expect("checked for duplicates");
+        degree[u.index()] += 1;
+        degree[v.index()] += 1;
+        endpoint_pool.push(u.index() as u32);
+        endpoint_pool.push(v.index() as u32);
+        true
+    };
+
+    // 1. Connected backbone: node i attaches to one of the previous
+    //    ceil(locality * i) nodes (window anchored at i-1 going backwards).
+    let locality = cfg.locality.clamp(1e-6, 1.0);
+    for i in 1..n {
+        let window = ((i as f64 * locality).ceil() as usize).clamp(1, i);
+        let lo = i - window;
+        let target = rng.gen_range(lo..i);
+        add_edge(&mut b, &mut degree, &mut endpoint_pool, &mut rng, i, target);
+    }
+
+    // 2. Remaining edges: mixture of preferential attachment and uniform pairs.
+    let mut attempts = 0usize;
+    let max_attempts = cfg.edges.saturating_mul(50) + 1000;
+    while b.edge_count() < cfg.edges && attempts < max_attempts {
+        attempts += 1;
+        let u = pick_endpoint(&mut rng, cfg.preferential, &endpoint_pool, n);
+        let v = pick_endpoint(&mut rng, cfg.preferential, &endpoint_pool, n);
+        add_edge(&mut b, &mut degree, &mut endpoint_pool, &mut rng, u, v);
+    }
+
+    let mut g = b.build();
+    g = adjust_negative_fraction(g, cfg.negative_fraction, cfg.seed ^ 0xD1CE_F00D);
+    g
+}
+
+fn pick_endpoint(rng: &mut StdRng, preferential: f64, pool: &[u32], n: usize) -> usize {
+    if !pool.is_empty() && rng.gen_bool(preferential.clamp(0.0, 1.0)) {
+        pool[rng.gen_range(0..pool.len())] as usize
+    } else {
+        rng.gen_range(0..n)
+    }
+}
+
+fn draw_sign(rng: &mut StdRng, cfg: &SocialNetworkConfig, camp_u: usize, camp_v: usize) -> Sign {
+    if rng.gen_bool(cfg.balance_bias.clamp(0.0, 1.0)) {
+        if camp_u == camp_v {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        }
+    } else if rng.gen_bool(cfg.negative_fraction.clamp(0.0, 1.0)) {
+        Sign::Negative
+    } else {
+        Sign::Positive
+    }
+}
+
+/// Rebuilds `g` with a minimal set of random sign flips so that the fraction
+/// of negative edges approximately matches `target` (within one edge).
+/// Deterministic for a fixed `seed`.
+pub fn adjust_negative_fraction(g: SignedGraph, target: f64, seed: u64) -> SignedGraph {
+    let m = g.edge_count();
+    if m == 0 {
+        return g;
+    }
+    let target = target.clamp(0.0, 1.0);
+    let desired_neg = (target * m as f64).round() as usize;
+    let current_neg = g.negative_edge_count();
+    if desired_neg == current_neg {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<_> = g.edges().to_vec();
+    if desired_neg > current_neg {
+        // Flip some positive edges to negative.
+        let mut pos_idx: Vec<usize> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.sign.is_positive())
+            .map(|(i, _)| i)
+            .collect();
+        pos_idx.shuffle(&mut rng);
+        for &i in pos_idx.iter().take(desired_neg - current_neg) {
+            edges[i].sign = Sign::Negative;
+        }
+    } else {
+        let mut neg_idx: Vec<usize> = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.sign.is_negative())
+            .map(|(i, _)| i)
+            .collect();
+        neg_idx.shuffle(&mut rng);
+        for &i in neg_idx.iter().take(current_neg - desired_neg) {
+            edges[i].sign = Sign::Positive;
+        }
+    }
+    let mut b = GraphBuilder::with_nodes(g.node_count());
+    for e in &edges {
+        b.add_edge(e.u, e.v, e.sign).expect("edges come from a valid graph");
+    }
+    b.build()
+}
+
+/// Erdős–Rényi style signed graph `G(n, m)`: `m` distinct random edges, each
+/// negative with probability `negative_fraction`. The result is not
+/// necessarily connected.
+pub fn erdos_renyi_signed(n: usize, m: usize, negative_fraction: f64, seed: u64) -> SignedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_nodes(n);
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(max_edges);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(100) + 1000;
+    while b.edge_count() < m && attempts < max_attempts {
+        attempts += 1;
+        if n < 2 {
+            break;
+        }
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        let (u, v) = (NodeId::new(u), NodeId::new(v));
+        if u == v || b.has_edge(u, v) {
+            continue;
+        }
+        let sign = if rng.gen_bool(negative_fraction.clamp(0.0, 1.0)) {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        b.add_edge(u, v, sign).expect("checked");
+    }
+    b.build()
+}
+
+/// Complete signed graph on `n` nodes with camp-structured signs: nodes are
+/// split into `camps` groups round-robin; intra-camp edges are positive and
+/// inter-camp edges negative. With `camps <= 2` the result is perfectly
+/// structurally balanced.
+pub fn complete_camped(n: usize, camps: usize, seed: u64) -> SignedGraph {
+    let camps = camps.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut camp: Vec<usize> = (0..n).map(|i| i % camps).collect();
+    camp.shuffle(&mut rng);
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let sign = if camp[u] == camp[v] {
+                Sign::Positive
+            } else {
+                Sign::Negative
+            };
+            b.add_edge(NodeId::new(u), NodeId::new(v), sign).expect("fresh edge");
+        }
+    }
+    b.build()
+}
+
+/// Planted-partition signed graph: `camps` groups of roughly equal size,
+/// within-group edges appear with probability `p_in` (positive), across-group
+/// edges with probability `p_out` (negative); each sign is then flipped with
+/// probability `noise`, producing a controllably unbalanced graph.
+pub fn planted_partition(
+    n: usize,
+    camps: usize,
+    p_in: f64,
+    p_out: f64,
+    noise: f64,
+    seed: u64,
+) -> SignedGraph {
+    let camps = camps.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let camp: Vec<usize> = (0..n).map(|i| i % camps).collect();
+    let mut b = GraphBuilder::with_nodes(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = camp[u] == camp[v];
+            let p = if same { p_in } else { p_out };
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let mut sign = if same { Sign::Positive } else { Sign::Negative };
+                if rng.gen_bool(noise.clamp(0.0, 1.0)) {
+                    sign = sign.flip();
+                }
+                b.add_edge(NodeId::new(u), NodeId::new(v), sign).expect("fresh edge");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    #[test]
+    fn social_network_is_connected_and_sized() {
+        let cfg = SocialNetworkConfig {
+            nodes: 300,
+            edges: 900,
+            negative_fraction: 0.25,
+            seed: 7,
+            ..Default::default()
+        };
+        let g = social_network(&cfg);
+        assert_eq!(g.node_count(), 300);
+        assert!(g.edge_count() >= 299, "must contain a spanning tree");
+        assert!(g.edge_count() <= 900);
+        assert!(is_connected(&g));
+        let frac = g.negative_edge_fraction();
+        assert!((frac - 0.25).abs() < 0.01, "negative fraction {frac} not near 0.25");
+    }
+
+    #[test]
+    fn social_network_is_deterministic() {
+        let cfg = SocialNetworkConfig {
+            nodes: 120,
+            edges: 400,
+            seed: 99,
+            ..Default::default()
+        };
+        let g1 = social_network(&cfg);
+        let g2 = social_network(&cfg);
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn locality_controls_diameter() {
+        let tight = social_network(&SocialNetworkConfig {
+            nodes: 400,
+            edges: 399,
+            locality: 1.0,
+            negative_fraction: 0.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let stretched = social_network(&SocialNetworkConfig {
+            nodes: 400,
+            edges: 399,
+            locality: 0.02,
+            negative_fraction: 0.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let d_tight = crate::traversal::exact_diameter(&tight);
+        let d_stretched = crate::traversal::exact_diameter(&stretched);
+        assert!(
+            d_stretched > d_tight,
+            "low locality should stretch the tree: {d_stretched} vs {d_tight}"
+        );
+    }
+
+    #[test]
+    fn adjust_negative_fraction_hits_target() {
+        let g = erdos_renyi_signed(100, 500, 0.5, 1);
+        let g = adjust_negative_fraction(g, 0.1, 2);
+        let m = g.edge_count() as f64;
+        assert!((g.negative_edge_count() as f64 - 0.1 * m).abs() <= 1.0);
+        // Increasing direction too.
+        let g = adjust_negative_fraction(g, 0.9, 3);
+        assert!((g.negative_edge_count() as f64 - 0.9 * m).abs() <= 1.0);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_and_bounds() {
+        let g = erdos_renyi_signed(50, 200, 0.3, 5);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 200);
+        // Requesting more edges than possible caps at the complete graph.
+        let g = erdos_renyi_signed(5, 100, 0.0, 5);
+        assert_eq!(g.edge_count(), 10);
+        let empty = erdos_renyi_signed(1, 10, 0.5, 5);
+        assert_eq!(empty.edge_count(), 0);
+    }
+
+    #[test]
+    fn complete_camped_two_camps_is_balanced() {
+        let g = complete_camped(10, 2, 11);
+        assert_eq!(g.edge_count(), 45);
+        assert!(crate::balance::is_balanced(&g));
+        // Three camps: a triangle with one node in each camp is all-negative
+        // → unbalanced.
+        let g3 = complete_camped(9, 3, 11);
+        assert!(!crate::balance::is_balanced(&g3));
+    }
+
+    #[test]
+    fn planted_partition_noise_zero_is_balanced_for_two_camps() {
+        let g = planted_partition(40, 2, 0.4, 0.3, 0.0, 13);
+        assert!(crate::balance::is_balanced(&g));
+        let noisy = planted_partition(40, 2, 0.4, 0.3, 0.3, 13);
+        // With noise, some frustration should typically appear.
+        assert!(crate::balance::greedy_frustration_index(&noisy) > 0);
+    }
+}

@@ -1,0 +1,375 @@
+//! The core [`SignedGraph`] adjacency-list representation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::GraphError;
+use crate::sign::Sign;
+
+/// A compact node identifier: an index into the graph's node table.
+///
+/// Node ids are dense (`0..node_count`) which lets every algorithm in the
+/// workspace use flat `Vec`-indexed per-node state instead of hash maps.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// The raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId::new(v)
+    }
+}
+
+/// An undirected signed edge `(u, v, sign)` with `u < v` in storage order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint (the smaller id in canonical storage order).
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// The label of the edge.
+    pub sign: Sign,
+}
+
+impl Edge {
+    /// Creates a canonical edge with endpoints sorted by id.
+    pub fn new(u: NodeId, v: NodeId, sign: Sign) -> Self {
+        if u.index() <= v.index() {
+            Edge { u, v, sign }
+        } else {
+            Edge { u: v, v: u, sign }
+        }
+    }
+
+    /// Returns the endpoint different from `w`, or `None` if `w` is not an
+    /// endpoint of this edge.
+    pub fn other(&self, w: NodeId) -> Option<NodeId> {
+        if w == self.u {
+            Some(self.v)
+        } else if w == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+}
+
+/// A neighbour entry in an adjacency list: the neighbour id and the sign of
+/// the connecting edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The adjacent node.
+    pub node: NodeId,
+    /// The sign of the edge leading to it.
+    pub sign: Sign,
+}
+
+/// An undirected signed graph stored as adjacency lists.
+///
+/// The structure is immutable once built (use [`crate::GraphBuilder`]); all
+/// the paper's algorithms are read-only over the graph, so immutability keeps
+/// the hot paths simple and lets the graph be shared freely across threads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignedGraph {
+    adjacency: Vec<Vec<Neighbor>>,
+    edges: Vec<Edge>,
+    /// (min(u,v), max(u,v)) -> index into `edges`
+    edge_index: HashMap<(u32, u32), u32>,
+    positive_edges: usize,
+    negative_edges: usize,
+}
+
+impl SignedGraph {
+    pub(crate) fn from_parts(adjacency: Vec<Vec<Neighbor>>, edges: Vec<Edge>) -> Self {
+        let mut edge_index = HashMap::with_capacity(edges.len());
+        let mut positive_edges = 0;
+        let mut negative_edges = 0;
+        for (i, e) in edges.iter().enumerate() {
+            edge_index.insert((e.u.index() as u32, e.v.index() as u32), i as u32);
+            match e.sign {
+                Sign::Positive => positive_edges += 1,
+                Sign::Negative => negative_edges += 1,
+            }
+        }
+        SignedGraph {
+            adjacency,
+            edges,
+            edge_index,
+            positive_edges,
+            negative_edges,
+        }
+    }
+
+    /// Number of nodes in the graph.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges in the graph.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of positive edges.
+    #[inline]
+    pub fn positive_edge_count(&self) -> usize {
+        self.positive_edges
+    }
+
+    /// Number of negative edges.
+    #[inline]
+    pub fn negative_edge_count(&self) -> usize {
+        self.negative_edges
+    }
+
+    /// Fraction of edges that are negative, in `[0, 1]`. Zero for an empty
+    /// edge set.
+    pub fn negative_edge_fraction(&self) -> f64 {
+        if self.edges.is_empty() {
+            0.0
+        } else {
+            self.negative_edges as f64 / self.edges.len() as f64
+        }
+    }
+
+    /// `true` if `node` is a valid id for this graph.
+    #[inline]
+    pub fn contains_node(&self, node: NodeId) -> bool {
+        node.index() < self.adjacency.len()
+    }
+
+    /// Iterator over all node ids `0..node_count`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len()).map(NodeId::new)
+    }
+
+    /// All edges in canonical order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The neighbours of `node` along with the sign of each incident edge.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of bounds; use [`Self::contains_node`] to check
+    /// first when the id comes from untrusted input.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[Neighbor] {
+        &self.adjacency[node.index()]
+    }
+
+    /// The degree (number of incident edges) of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Number of positive edges incident to `node`.
+    pub fn positive_degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()]
+            .iter()
+            .filter(|n| n.sign.is_positive())
+            .count()
+    }
+
+    /// Number of negative edges incident to `node`.
+    pub fn negative_degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()]
+            .iter()
+            .filter(|n| n.sign.is_negative())
+            .count()
+    }
+
+    /// The sign of edge `(u, v)`, or `None` if the edge is absent.
+    pub fn sign(&self, u: NodeId, v: NodeId) -> Option<Sign> {
+        let key = canonical_key(u, v);
+        self.edge_index.get(&key).map(|&i| self.edges[i as usize].sign)
+    }
+
+    /// `true` if `(u, v)` is an edge of either sign.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_index.contains_key(&canonical_key(u, v))
+    }
+
+    /// `true` if `(u, v)` is a positive edge.
+    pub fn has_positive_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.sign(u, v) == Some(Sign::Positive)
+    }
+
+    /// `true` if `(u, v)` is a negative edge.
+    pub fn has_negative_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.sign(u, v) == Some(Sign::Negative)
+    }
+
+    /// The sign of the walk visiting `path` in order, i.e. the product of the
+    /// signs of consecutive edges.
+    ///
+    /// Returns an error if any consecutive pair is not an edge of the graph.
+    /// A path with fewer than two nodes has positive sign (empty product).
+    pub fn path_sign(&self, path: &[NodeId]) -> Result<Sign, GraphError> {
+        let mut sign = Sign::Positive;
+        for w in path.windows(2) {
+            match self.sign(w[0], w[1]) {
+                Some(s) => sign = sign * s,
+                None => return Err(GraphError::MissingEdge(w[0], w[1])),
+            }
+        }
+        Ok(sign)
+    }
+
+    /// The total length (number of edges) of the walk `path`. Provided for
+    /// symmetry with [`Self::path_sign`].
+    pub fn path_len(&self, path: &[NodeId]) -> usize {
+        path.len().saturating_sub(1)
+    }
+
+    /// Validates that `path` is a simple path in the graph (all consecutive
+    /// pairs are edges and no node repeats).
+    pub fn is_simple_path(&self, path: &[NodeId]) -> bool {
+        if path.is_empty() {
+            return false;
+        }
+        let mut seen = vec![false; self.node_count()];
+        for &n in path {
+            if !self.contains_node(n) || seen[n.index()] {
+                return false;
+            }
+            seen[n.index()] = true;
+        }
+        path.windows(2).all(|w| self.has_edge(w[0], w[1]))
+    }
+
+    /// Sum of all degrees; equals `2 * edge_count()`. Used as a sanity check
+    /// in tests and dataset statistics.
+    pub fn degree_sum(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+}
+
+#[inline]
+fn canonical_key(u: NodeId, v: NodeId) -> (u32, u32) {
+    let (a, b) = (u.index() as u32, v.index() as u32);
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> SignedGraph {
+        // 0 -+ 1, 1 -- 2, 0 -+ 2
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive).unwrap();
+        b.add_edge(NodeId::new(1), NodeId::new(2), Sign::Negative).unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Positive).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.positive_edge_count(), 2);
+        assert_eq!(g.negative_edge_count(), 1);
+        assert!((g.negative_edge_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.degree_sum(), 6);
+    }
+
+    #[test]
+    fn sign_lookup_is_symmetric() {
+        let g = triangle();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        assert_eq!(g.sign(a, b), Some(Sign::Positive));
+        assert_eq!(g.sign(b, a), Some(Sign::Positive));
+        assert_eq!(g.sign(b, c), Some(Sign::Negative));
+        assert_eq!(g.sign(c, b), Some(Sign::Negative));
+        assert!(g.has_positive_edge(a, c));
+        assert!(!g.has_negative_edge(a, c));
+        assert!(!g.has_edge(a, a));
+    }
+
+    #[test]
+    fn degrees() {
+        let g = triangle();
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 2);
+        }
+        assert_eq!(g.positive_degree(NodeId::new(0)), 2);
+        assert_eq!(g.negative_degree(NodeId::new(0)), 0);
+        assert_eq!(g.positive_degree(NodeId::new(1)), 1);
+        assert_eq!(g.negative_degree(NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn path_sign_products() {
+        let g = triangle();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        assert_eq!(g.path_sign(&[a, b]).unwrap(), Sign::Positive);
+        assert_eq!(g.path_sign(&[a, b, c]).unwrap(), Sign::Negative);
+        assert_eq!(g.path_sign(&[a, c, b]).unwrap(), Sign::Negative);
+        assert_eq!(g.path_sign(&[a]).unwrap(), Sign::Positive);
+        assert_eq!(g.path_len(&[a, b, c]), 2);
+        // Non-edge in path.
+        let mut b4 = GraphBuilder::with_nodes(4);
+        b4.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive).unwrap();
+        let g4 = b4.build();
+        assert!(g4.path_sign(&[NodeId::new(0), NodeId::new(2)]).is_err());
+    }
+
+    #[test]
+    fn simple_path_validation() {
+        let g = triangle();
+        let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+        assert!(g.is_simple_path(&[a, b, c]));
+        assert!(!g.is_simple_path(&[a, b, a]));
+        assert!(!g.is_simple_path(&[]));
+        assert!(!g.is_simple_path(&[a, NodeId::new(9)]));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(NodeId::new(3), NodeId::new(1), Sign::Negative);
+        assert_eq!(e.u, NodeId::new(1));
+        assert_eq!(e.v, NodeId::new(3));
+        assert_eq!(e.other(NodeId::new(1)), Some(NodeId::new(3)));
+        assert_eq!(e.other(NodeId::new(3)), Some(NodeId::new(1)));
+        assert_eq!(e.other(NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn node_id_display_and_conversion() {
+        let n: NodeId = 42usize.into();
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "v42");
+    }
+}

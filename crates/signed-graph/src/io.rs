@@ -1,0 +1,226 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the one used by the SNAP signed-network dumps the paper
+//! evaluates on: one edge per line, whitespace-separated
+//! `source target sign`, where `sign` is any non-zero integer (`1`, `-1`,
+//! `+1`, …). Lines starting with `#` are comments. Node ids may be arbitrary
+//! non-negative integers; they are compacted to dense [`NodeId`]s and the
+//! mapping is returned so skills or labels can be joined back.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{NodeId, SignedGraph};
+use crate::sign::Sign;
+
+/// The result of parsing an edge list: the graph plus the mapping from dense
+/// node id to the original id appearing in the file.
+#[derive(Debug, Clone)]
+pub struct ParsedGraph {
+    /// The parsed signed graph.
+    pub graph: SignedGraph,
+    /// `original_ids[v.index()]` is the id of node `v` in the source file.
+    pub original_ids: Vec<u64>,
+}
+
+impl ParsedGraph {
+    /// Looks up the dense node id for an original file id, if present.
+    pub fn node_for_original(&self, original: u64) -> Option<NodeId> {
+        self.original_ids
+            .iter()
+            .position(|&o| o == original)
+            .map(NodeId::new)
+    }
+}
+
+/// Parses a signed edge list from any reader. Duplicate edges keep the first
+/// sign encountered; self-loops are skipped (matching common SNAP cleaning).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<ParsedGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    let mut id_map: HashMap<u64, NodeId> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+
+    let mut intern = |raw: u64, builder: &mut GraphBuilder, original_ids: &mut Vec<u64>| -> NodeId {
+        *id_map.entry(raw).or_insert_with(|| {
+            let id = builder.add_node();
+            original_ids.push(raw);
+            id
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (u_raw, v_raw, s_raw) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), Some(s)) => (u, v, s),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("expected `u v sign`, got `{line}`"),
+                })
+            }
+        };
+        let parse_id = |t: &str| -> Result<u64, GraphError> {
+            t.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid node id `{t}`"),
+            })
+        };
+        let u = parse_id(u_raw)?;
+        let v = parse_id(v_raw)?;
+        let sign_value = s_raw
+            .trim_start_matches('+')
+            .parse::<i64>()
+            .map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid sign `{s_raw}`"),
+            })?;
+        let sign = Sign::from_value(sign_value).ok_or_else(|| GraphError::Parse {
+            line: lineno + 1,
+            message: "sign must be non-zero".to_string(),
+        })?;
+        let un = intern(u, &mut builder, &mut original_ids);
+        let vn = intern(v, &mut builder, &mut original_ids);
+        if un == vn || builder.has_edge(un, vn) {
+            continue;
+        }
+        builder
+            .add_edge(un, vn, sign)
+            .expect("nodes interned and duplicates filtered");
+    }
+
+    Ok(ParsedGraph {
+        graph: builder.build(),
+        original_ids,
+    })
+}
+
+/// Parses a signed edge list from a string slice.
+pub fn read_edge_list_str(s: &str) -> Result<ParsedGraph, GraphError> {
+    read_edge_list(s.as_bytes())
+}
+
+/// Reads a signed edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<ParsedGraph, GraphError> {
+    let file = File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes `g` as a signed edge list (`u v ±1` per line, dense node ids).
+pub fn write_edge_list<W: Write>(g: &SignedGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# signed edge list: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    for e in g.edges() {
+        writeln!(w, "{}\t{}\t{}", e.u.index(), e.v.index(), e.sign.value())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes `g` to a file path in edge-list format.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &SignedGraph, path: P) -> Result<(), GraphError> {
+    let file = File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let text = "\
+# a comment
+10 20 1
+20 30 -1
+// another comment style
+
+30 10 +1
+";
+        let parsed = read_edge_list_str(text).unwrap();
+        let g = &parsed.graph;
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(parsed.original_ids.len(), 3);
+        let n10 = parsed.node_for_original(10).unwrap();
+        let n20 = parsed.node_for_original(20).unwrap();
+        let n30 = parsed.node_for_original(30).unwrap();
+        assert_eq!(g.sign(n10, n20), Some(Sign::Positive));
+        assert_eq!(g.sign(n20, n30), Some(Sign::Negative));
+        assert_eq!(g.sign(n30, n10), Some(Sign::Positive));
+        assert_eq!(parsed.node_for_original(99), None);
+    }
+
+    #[test]
+    fn skips_self_loops_and_duplicates() {
+        let text = "1 1 1\n1 2 1\n2 1 -1\n";
+        let parsed = read_edge_list_str(text).unwrap();
+        assert_eq!(parsed.graph.edge_count(), 1);
+        let a = parsed.node_for_original(1).unwrap();
+        let b = parsed.node_for_original(2).unwrap();
+        // First sign wins.
+        assert_eq!(parsed.graph.sign(a, b), Some(Sign::Positive));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            read_edge_list_str("1 2"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list_str("a 2 1"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_edge_list_str("1 2 zero"),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_edge_list_str("1 2 0"),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = crate::generators::erdos_renyi_signed(30, 80, 0.3, 17);
+        let mut buf: Vec<u8> = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap();
+        // Node count may differ if some nodes are isolated (they do not appear
+        // in the edge list), but every edge must round-trip with its sign.
+        assert_eq!(parsed.graph.edge_count(), g.edge_count());
+        for e in g.edges() {
+            let u = parsed.node_for_original(e.u.index() as u64).unwrap();
+            let v = parsed.node_for_original(e.v.index() as u64).unwrap();
+            assert_eq!(parsed.graph.sign(u, v), Some(e.sign));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = crate::generators::erdos_renyi_signed(10, 20, 0.5, 3);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("signed_graph_io_test_{}.txt", std::process::id()));
+        write_edge_list_file(&g, &path).unwrap();
+        let parsed = read_edge_list_file(&path).unwrap();
+        assert_eq!(parsed.graph.edge_count(), g.edge_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list_file("/nonexistent/definitely/not/here.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

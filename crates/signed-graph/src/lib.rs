@@ -1,0 +1,65 @@
+//! # signed-graph
+//!
+//! An undirected **signed graph** substrate: the data structure every
+//! algorithm in the *Forming Compatible Teams in Signed Networks*
+//! (Kouvatis et al., EDBT 2020) reproduction is built on.
+//!
+//! A signed graph `G = (V, E)` has edges labelled `+1` (friendship /
+//! successful collaboration) or `-1` (foe / contentious relationship).
+//! This crate provides:
+//!
+//! * [`SignedGraph`] — adjacency-list storage with O(1) sign lookup,
+//!   built through [`GraphBuilder`].
+//! * [`csr::CsrGraph`] — an immutable compressed-sparse-row view used by the
+//!   hot traversal loops.
+//! * [`traversal`] — breadth-first searches, single-source shortest path
+//!   lengths, eccentricities and (exact or sampled) diameter.
+//! * [`balance`] — structural-balance primitives: sign of a path, balance of
+//!   an induced subgraph (Harary two-colouring), frustration counting.
+//! * [`components`] — connected components and largest-component extraction.
+//! * [`transform`] — the unsigned views used by the paper's Table 3 baseline
+//!   (ignore signs / delete negative edges).
+//! * [`generators`] — random signed-graph models used to emulate the paper's
+//!   datasets (Erdős–Rényi, planted balanced partitions, small-world rings,
+//!   preferential attachment) with controllable negative-edge fractions.
+//! * [`io`] — a plain-text edge-list format compatible with the SNAP signed
+//!   network dumps (`u v sign` per line, `#` comments).
+//!
+//! # Example
+//!
+//! ```
+//! use signed_graph::{GraphBuilder, Sign};
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node();
+//! let c = b.add_node();
+//! let d = b.add_node();
+//! b.add_edge(a, c, Sign::Positive).unwrap();
+//! b.add_edge(c, d, Sign::Negative).unwrap();
+//! let g = b.build();
+//!
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.edge_count(), 2);
+//! assert_eq!(g.sign(a, c), Some(Sign::Positive));
+//! assert_eq!(g.sign(a, d), None);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod sign;
+pub mod transform;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{Edge, NodeId, SignedGraph};
+pub use sign::Sign;

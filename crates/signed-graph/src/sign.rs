@@ -1,0 +1,160 @@
+//! Edge signs and sign arithmetic.
+//!
+//! The paper labels every edge with `+1` or `-1` and defines the sign of a
+//! path as the product of its edge signs. [`Sign`] captures that algebra.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Mul;
+
+/// The label of an edge in a signed graph: positive (friend) or negative (foe).
+///
+/// `Sign` forms the multiplicative group {+1, -1}; multiplying signs composes
+/// them along a path, which is exactly how the paper defines the sign of a
+/// path (`sign(P) = prod sign(e)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Sign {
+    /// A `+1` edge: friendship / successful collaboration.
+    Positive,
+    /// A `-1` edge: a contentious (foe) relationship.
+    Negative,
+}
+
+impl Sign {
+    /// Returns the sign as the integer the paper uses (`+1` or `-1`).
+    #[inline]
+    pub fn value(self) -> i8 {
+        match self {
+            Sign::Positive => 1,
+            Sign::Negative => -1,
+        }
+    }
+
+    /// Builds a sign from any non-zero integer-like value.
+    ///
+    /// Returns `None` for zero, mirroring the paper's edge label domain
+    /// `{+1, -1}`.
+    #[inline]
+    pub fn from_value(v: i64) -> Option<Self> {
+        match v {
+            v if v > 0 => Some(Sign::Positive),
+            v if v < 0 => Some(Sign::Negative),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Sign::Positive`].
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        matches!(self, Sign::Positive)
+    }
+
+    /// `true` for [`Sign::Negative`].
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        matches!(self, Sign::Negative)
+    }
+
+    /// The opposite sign.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            Sign::Positive => Sign::Negative,
+            Sign::Negative => Sign::Positive,
+        }
+    }
+
+    /// Composes this sign with another, as when extending a path by one edge.
+    #[inline]
+    pub fn compose(self, other: Sign) -> Sign {
+        if self == other {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        }
+    }
+
+    /// The sign of a product of an iterator of signs (the sign of a path).
+    ///
+    /// An empty iterator yields [`Sign::Positive`], the group identity; this
+    /// matches the convention that the trivial path from a node to itself is
+    /// positive.
+    pub fn product<I: IntoIterator<Item = Sign>>(iter: I) -> Sign {
+        iter.into_iter()
+            .fold(Sign::Positive, |acc, s| acc.compose(s))
+    }
+}
+
+impl Mul for Sign {
+    type Output = Sign;
+
+    #[inline]
+    fn mul(self, rhs: Sign) -> Sign {
+        self.compose(rhs)
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sign::Positive => write!(f, "+"),
+            Sign::Negative => write!(f, "-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        assert_eq!(Sign::Positive.value(), 1);
+        assert_eq!(Sign::Negative.value(), -1);
+        assert_eq!(Sign::from_value(1), Some(Sign::Positive));
+        assert_eq!(Sign::from_value(-1), Some(Sign::Negative));
+        assert_eq!(Sign::from_value(7), Some(Sign::Positive));
+        assert_eq!(Sign::from_value(-3), Some(Sign::Negative));
+        assert_eq!(Sign::from_value(0), None);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        assert_eq!(Sign::Positive.flip(), Sign::Negative);
+        assert_eq!(Sign::Negative.flip(), Sign::Positive);
+        assert_eq!(Sign::Positive.flip().flip(), Sign::Positive);
+    }
+
+    #[test]
+    fn composition_group_table() {
+        use Sign::*;
+        assert_eq!(Positive * Positive, Positive);
+        assert_eq!(Positive * Negative, Negative);
+        assert_eq!(Negative * Positive, Negative);
+        assert_eq!(Negative * Negative, Positive);
+    }
+
+    #[test]
+    fn product_of_path_signs() {
+        use Sign::*;
+        assert_eq!(Sign::product([]), Positive);
+        assert_eq!(Sign::product([Negative]), Negative);
+        assert_eq!(Sign::product([Negative, Negative]), Positive);
+        assert_eq!(Sign::product([Negative, Negative, Negative]), Negative);
+        assert_eq!(Sign::product([Positive, Negative, Positive]), Negative);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sign::Positive.to_string(), "+");
+        assert_eq!(Sign::Negative.to_string(), "-");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Sign::Positive.is_positive());
+        assert!(!Sign::Positive.is_negative());
+        assert!(Sign::Negative.is_negative());
+        assert!(!Sign::Negative.is_positive());
+    }
+}

@@ -1,0 +1,168 @@
+//! Unsigned views of a signed graph.
+//!
+//! Table 3 of the paper compares against classic (unsigned) team formation
+//! run on two derived networks: (1) the graph with signs ignored and (2) the
+//! graph with negative edges deleted. Both transforms are provided here; the
+//! result is still a [`SignedGraph`] whose edges are all positive, so the
+//! rest of the stack needs no separate unsigned type.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{NodeId, SignedGraph};
+use crate::sign::Sign;
+
+/// Strategy for deriving an unsigned graph from a signed one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnsignedTransform {
+    /// Keep every edge, treating all of them as positive ("Ignore sign").
+    IgnoreSigns,
+    /// Keep only the positive edges ("Delete negative").
+    DeleteNegative,
+}
+
+impl UnsignedTransform {
+    /// A short human-readable label matching the paper's Table 3 rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsignedTransform::IgnoreSigns => "Ignore sign",
+            UnsignedTransform::DeleteNegative => "Delete negative",
+        }
+    }
+}
+
+/// Applies `transform` to `g`, returning an all-positive graph over the same
+/// node set.
+pub fn to_unsigned(g: &SignedGraph, transform: UnsignedTransform) -> SignedGraph {
+    let mut b = GraphBuilder::with_nodes(g.node_count());
+    for e in g.edges() {
+        let keep = match transform {
+            UnsignedTransform::IgnoreSigns => true,
+            UnsignedTransform::DeleteNegative => e.sign.is_positive(),
+        };
+        if keep {
+            b.add_edge(e.u, e.v, Sign::Positive)
+                .expect("source edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Returns the subgraph containing only edges of the requested sign (node set
+/// unchanged). Useful for analyses of the positive or negative backbone.
+pub fn sign_filtered(g: &SignedGraph, sign: Sign) -> SignedGraph {
+    let mut b = GraphBuilder::with_nodes(g.node_count());
+    for e in g.edges() {
+        if e.sign == sign {
+            b.add_edge(e.u, e.v, e.sign).expect("source edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Returns a copy of `g` with every edge sign flipped.
+pub fn negated(g: &SignedGraph) -> SignedGraph {
+    let mut b = GraphBuilder::with_nodes(g.node_count());
+    for e in g.edges() {
+        b.add_edge(e.u, e.v, e.sign.flip())
+            .expect("source edges are valid");
+    }
+    b.build()
+}
+
+/// Returns the subgraph induced by `nodes` (kept node ids are renumbered
+/// densely; the mapping `new -> old` is returned alongside).
+pub fn induced_subgraph(g: &SignedGraph, nodes: &[NodeId]) -> (SignedGraph, Vec<NodeId>) {
+    let mut new_of_old = vec![u32::MAX; g.node_count()];
+    let mut old_of_new = Vec::with_capacity(nodes.len());
+    for &v in nodes {
+        if v.index() < g.node_count() && new_of_old[v.index()] == u32::MAX {
+            new_of_old[v.index()] = old_of_new.len() as u32;
+            old_of_new.push(v);
+        }
+    }
+    let mut b = GraphBuilder::with_nodes(old_of_new.len());
+    for e in g.edges() {
+        let (nu, nv) = (new_of_old[e.u.index()], new_of_old[e.v.index()]);
+        if nu != u32::MAX && nv != u32::MAX {
+            b.add_edge(NodeId::new(nu as usize), NodeId::new(nv as usize), e.sign)
+                .expect("induced edge valid");
+        }
+    }
+    (b.build(), old_of_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edge_triples;
+
+    fn mixed() -> SignedGraph {
+        from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Negative),
+            (2, 3, Sign::Positive),
+            (3, 0, Sign::Negative),
+        ])
+    }
+
+    #[test]
+    fn ignore_signs_keeps_all_edges_positive() {
+        let g = mixed();
+        let u = to_unsigned(&g, UnsignedTransform::IgnoreSigns);
+        assert_eq!(u.node_count(), 4);
+        assert_eq!(u.edge_count(), 4);
+        assert_eq!(u.negative_edge_count(), 0);
+        assert!(u.has_positive_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn delete_negative_drops_negative_edges() {
+        let g = mixed();
+        let u = to_unsigned(&g, UnsignedTransform::DeleteNegative);
+        assert_eq!(u.node_count(), 4);
+        assert_eq!(u.edge_count(), 2);
+        assert!(!u.has_edge(NodeId::new(1), NodeId::new(2)));
+        assert!(u.has_positive_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(UnsignedTransform::IgnoreSigns.label(), "Ignore sign");
+        assert_eq!(UnsignedTransform::DeleteNegative.label(), "Delete negative");
+    }
+
+    #[test]
+    fn sign_filtered_partitions_edges() {
+        let g = mixed();
+        let pos = sign_filtered(&g, Sign::Positive);
+        let neg = sign_filtered(&g, Sign::Negative);
+        assert_eq!(pos.edge_count() + neg.edge_count(), g.edge_count());
+        assert_eq!(pos.negative_edge_count(), 0);
+        assert_eq!(neg.positive_edge_count(), 0);
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        let g = mixed();
+        let gg = negated(&negated(&g));
+        assert_eq!(gg.edge_count(), g.edge_count());
+        for e in g.edges() {
+            assert_eq!(gg.sign(e.u, e.v), Some(e.sign));
+        }
+        assert_eq!(negated(&g).negative_edge_count(), g.positive_edge_count());
+    }
+
+    #[test]
+    fn induced_subgraph_restricts_edges() {
+        let g = mixed();
+        let (sub, map) = induced_subgraph(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // (0,1)+ and (1,2)-
+        assert_eq!(map.len(), 3);
+        // Duplicate and out-of-range requests are ignored.
+        let (sub2, map2) =
+            induced_subgraph(&g, &[NodeId::new(1), NodeId::new(1), NodeId::new(99)]);
+        assert_eq!(sub2.node_count(), 1);
+        assert_eq!(map2, vec![NodeId::new(1)]);
+        assert_eq!(sub2.edge_count(), 0);
+    }
+}

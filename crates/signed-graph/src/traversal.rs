@@ -1,0 +1,293 @@
+//! Breadth-first traversals, shortest-path lengths and diameter estimation.
+//!
+//! These are the unsigned building blocks: distances that ignore edge signs.
+//! They are used (a) for the NNE distance definition, (b) by the dataset
+//! statistics (Table 1 diameter column), and (c) by the unsigned baseline of
+//! Table 3. Sign-aware shortest-path counting (Algorithm 1 of the paper)
+//! lives in `tfsn-core::compat::sp`, built on the same queue discipline.
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+use crate::graph::{NodeId, SignedGraph};
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances over the graph, ignoring signs.
+///
+/// Returns a vector `d` with `d[v] =` number of edges on a shortest path from
+/// `source` to `v`, or [`UNREACHABLE`] if `v` is in a different component.
+pub fn bfs_distances(g: &SignedGraph, source: NodeId) -> Vec<u32> {
+    bfs_distances_limited(g, source, u32::MAX)
+}
+
+/// Like [`bfs_distances`] but stops expanding beyond `max_depth` edges.
+pub fn bfs_distances_limited(g: &SignedGraph, source: NodeId, max_depth: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_depth {
+            continue;
+        }
+        for nb in g.neighbors(u) {
+            let v = nb.node.index();
+            if dist[v] == UNREACHABLE {
+                dist[v] = du + 1;
+                queue.push_back(nb.node);
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source BFS distances over a CSR view, ignoring signs.
+pub fn bfs_distances_csr(g: &CsrGraph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for (v, _s) in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The unsigned shortest-path distance between `u` and `v`, or `None` if they
+/// are disconnected.
+pub fn distance(g: &SignedGraph, u: NodeId, v: NodeId) -> Option<u32> {
+    if u == v {
+        return Some(0);
+    }
+    let d = bfs_distances(g, u);
+    match d[v.index()] {
+        UNREACHABLE => None,
+        x => Some(x),
+    }
+}
+
+/// Reconstructs one (unsigned) shortest path from `source` to `target` as a
+/// node sequence, or `None` if unreachable.
+pub fn shortest_path(g: &SignedGraph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; g.node_count()];
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        if u == target {
+            break;
+        }
+        for nb in g.neighbors(u) {
+            let v = nb.node;
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = dist[u.index()] + 1;
+                parent[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    if dist[target.index()] == UNREACHABLE {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while let Some(p) = parent[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path.first(), Some(&source));
+    Some(path)
+}
+
+/// The eccentricity of `source` within its connected component: the maximum
+/// finite BFS distance from `source`.
+pub fn eccentricity(g: &SignedGraph, source: NodeId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact diameter of the graph restricted to each connected component
+/// (the maximum finite pairwise distance). O(V·E); use
+/// [`approximate_diameter`] on large graphs.
+pub fn exact_diameter(g: &SignedGraph) -> u32 {
+    let mut best = 0;
+    for v in g.nodes() {
+        best = best.max(eccentricity(g, v));
+    }
+    best
+}
+
+/// Lower-bound diameter estimate using the classic double-sweep heuristic
+/// repeated from `samples` pseudo-random starting nodes.
+///
+/// The returned value is always a valid lower bound on the true diameter and
+/// in practice matches it on social-network-like graphs. Deterministic for a
+/// fixed `seed`.
+pub fn approximate_diameter(g: &SignedGraph, samples: usize, seed: u64) -> u32 {
+    if g.node_count() == 0 {
+        return 0;
+    }
+    let mut best = 0u32;
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    for _ in 0..samples.max(1) {
+        // xorshift* step for a cheap deterministic start node choice.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let start = NodeId::new((state.wrapping_mul(0x2545_F491_4F6C_DD1D) as usize) % g.node_count());
+        // Double sweep: BFS from start, then BFS from the farthest node found.
+        let d1 = bfs_distances(g, start);
+        let (far, _) = d1
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != UNREACHABLE)
+            .max_by_key(|(_, &d)| d)
+            .unwrap_or((start.index(), &0));
+        let d2 = bfs_distances(g, NodeId::new(far));
+        let ecc = d2.into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0);
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// Average pairwise distance between distinct reachable pairs, estimated from
+/// BFS trees rooted at `sources` (all nodes if `sources` is `None`).
+pub fn average_distance(g: &SignedGraph, sources: Option<&[NodeId]>) -> f64 {
+    let owned: Vec<NodeId>;
+    let sources = match sources {
+        Some(s) => s,
+        None => {
+            owned = g.nodes().collect();
+            &owned
+        }
+    };
+    let mut total = 0u64;
+    let mut count = 0u64;
+    for &s in sources {
+        for (v, d) in bfs_distances(g, s).into_iter().enumerate() {
+            if d != UNREACHABLE && v != s.index() {
+                total += d as u64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total as f64 / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edge_triples;
+    use crate::sign::Sign;
+
+    /// A path graph 0-1-2-3-4 plus a disconnected node 5.
+    fn path_graph() -> SignedGraph {
+        let mut triples = vec![];
+        for i in 0..4 {
+            triples.push((i, i + 1, Sign::Positive));
+        }
+        let mut b = crate::builder::GraphBuilder::with_nodes(6);
+        for (u, v, s) in triples {
+            b.add_edge(NodeId::new(u), NodeId::new(v), s).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d[..5], [0, 1, 2, 3, 4]);
+        assert_eq!(d[5], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_limited_depth() {
+        let g = path_graph();
+        let d = bfs_distances_limited(&g, NodeId::new(0), 2);
+        assert_eq!(d[..5], [0, 1, 2, UNREACHABLE, UNREACHABLE]);
+    }
+
+    #[test]
+    fn csr_bfs_agrees() {
+        let g = from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Negative),
+            (2, 3, Sign::Positive),
+            (3, 0, Sign::Negative),
+            (2, 4, Sign::Positive),
+        ]);
+        let csr = CsrGraph::from_graph(&g);
+        for v in g.nodes() {
+            assert_eq!(bfs_distances(&g, v), bfs_distances_csr(&csr, v));
+        }
+    }
+
+    #[test]
+    fn distance_and_path() {
+        let g = path_graph();
+        assert_eq!(distance(&g, NodeId::new(0), NodeId::new(4)), Some(4));
+        assert_eq!(distance(&g, NodeId::new(2), NodeId::new(2)), Some(0));
+        assert_eq!(distance(&g, NodeId::new(0), NodeId::new(5)), None);
+        let p = shortest_path(&g, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(g.is_simple_path(&p));
+        assert_eq!(shortest_path(&g, NodeId::new(0), NodeId::new(5)), None);
+        assert_eq!(
+            shortest_path(&g, NodeId::new(2), NodeId::new(2)),
+            Some(vec![NodeId::new(2)])
+        );
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let g = path_graph();
+        assert_eq!(eccentricity(&g, NodeId::new(0)), 4);
+        assert_eq!(eccentricity(&g, NodeId::new(2)), 2);
+        assert_eq!(exact_diameter(&g), 4);
+        let approx = approximate_diameter(&g, 4, 7);
+        assert!(approx <= 4);
+        assert!(approx >= 2, "double sweep should find a long path, got {approx}");
+    }
+
+    #[test]
+    fn average_distance_path() {
+        // Path 0-1-2: pairs (0,1)=1 (0,2)=2 (1,2)=1 → average over ordered pairs = 8/6
+        let g = from_edge_triples(vec![(0, 1, Sign::Positive), (1, 2, Sign::Positive)]);
+        let avg = average_distance(&g, None);
+        assert!((avg - 8.0 / 6.0).abs() < 1e-9);
+        let avg_single = average_distance(&g, Some(&[NodeId::new(0)]));
+        assert!((avg_single - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = crate::builder::GraphBuilder::with_nodes(0).build();
+        assert_eq!(exact_diameter(&g), 0);
+        assert_eq!(approximate_diameter(&g, 3, 1), 0);
+        let g1 = crate::builder::GraphBuilder::with_nodes(1).build();
+        assert_eq!(exact_diameter(&g1), 0);
+        assert_eq!(average_distance(&g1, None), 0.0);
+    }
+}

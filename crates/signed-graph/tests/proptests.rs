@@ -1,0 +1,196 @@
+//! Property-based tests for the signed-graph substrate.
+
+use proptest::prelude::*;
+use signed_graph::balance::{check_balance, frustration_count, is_balanced};
+use signed_graph::builder::from_edge_triples;
+use signed_graph::components::{connected_components, is_connected, largest_component_subgraph};
+use signed_graph::csr::CsrGraph;
+use signed_graph::generators::{erdos_renyi_signed, social_network, SocialNetworkConfig};
+use signed_graph::io::{read_edge_list, write_edge_list};
+use signed_graph::transform::{to_unsigned, UnsignedTransform};
+use signed_graph::traversal::{bfs_distances, bfs_distances_csr, UNREACHABLE};
+use signed_graph::{NodeId, Sign, SignedGraph};
+
+/// Strategy: a random small signed graph described by edge triples.
+fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = SignedGraph> {
+    let nodes = 2..=max_nodes;
+    nodes.prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n, 0..n, prop::bool::ANY),
+            0..=max_edges,
+        )
+        .prop_map(move |triples| {
+            let mut full: Vec<(usize, usize, Sign)> = triples
+                .into_iter()
+                .filter(|(u, v, _)| u != v)
+                .map(|(u, v, neg)| (u, v, if neg { Sign::Negative } else { Sign::Positive }))
+                .collect();
+            // Make the node count explicit by adding a self-documenting edge
+            // anchor at the last node when it would otherwise be absent.
+            full.push((0, n - 1, Sign::Positive));
+            from_edge_triples(full)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn degree_sum_is_twice_edges(g in arb_graph(20, 60)) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.edge_count());
+        prop_assert_eq!(
+            g.positive_edge_count() + g.negative_edge_count(),
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    fn sign_lookup_matches_adjacency(g in arb_graph(20, 60)) {
+        for v in g.nodes() {
+            for nb in g.neighbors(v) {
+                prop_assert_eq!(g.sign(v, nb.node), Some(nb.sign));
+                prop_assert_eq!(g.sign(nb.node, v), Some(nb.sign));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_bfs_equals_adjacency_bfs(g in arb_graph(25, 80)) {
+        let csr = CsrGraph::from_graph(&g);
+        for v in g.nodes().take(5) {
+            prop_assert_eq!(bfs_distances(&g, v), bfs_distances_csr(&csr, v));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_on_edges(g in arb_graph(25, 80)) {
+        let d = bfs_distances(&g, NodeId::new(0));
+        for e in g.edges() {
+            let (du, dv) = (d[e.u.index()], d[e.v.index()]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1, "adjacent nodes differ by more than 1");
+            } else {
+                // Adjacent nodes are in the same component.
+                prop_assert_eq!(du, dv);
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph(25, 60)) {
+        let c = connected_components(&g);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), g.node_count());
+        // Every edge stays within one component.
+        for e in g.edges() {
+            prop_assert_eq!(c.component_of[e.u.index()], c.component_of[e.v.index()]);
+        }
+        let (sub, mapping) = largest_component_subgraph(&g);
+        prop_assert!(is_connected(&sub));
+        prop_assert_eq!(sub.node_count(), mapping.len());
+        prop_assert_eq!(sub.node_count(), *c.sizes.iter().max().unwrap_or(&0));
+    }
+
+    #[test]
+    fn balanced_verdict_matches_zero_frustration_witness(g in arb_graph(15, 40)) {
+        match check_balance(&g) {
+            signed_graph::balance::BalanceResult::Balanced { camp } => {
+                prop_assert_eq!(frustration_count(&g, &camp), 0);
+            }
+            signed_graph::balance::BalanceResult::Unbalanced => {
+                // An unbalanced graph must contain at least one negative edge.
+                prop_assert!(g.negative_edge_count() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_positive_graphs_are_balanced(
+        n in 2usize..15,
+        edges in proptest::collection::vec((0usize..15, 0usize..15), 0..40)
+    ) {
+        let triples: Vec<_> = edges
+            .into_iter()
+            .filter(|(u, v)| u != v && *u < n && *v < n)
+            .map(|(u, v)| (u, v, Sign::Positive))
+            .collect();
+        let g = from_edge_triples(triples.into_iter().chain([(0, n - 1, Sign::Positive)]));
+        prop_assert!(is_balanced(&g));
+    }
+
+    #[test]
+    fn unsigned_transforms_preserve_or_shrink_edges(g in arb_graph(20, 60)) {
+        let ignored = to_unsigned(&g, UnsignedTransform::IgnoreSigns);
+        let deleted = to_unsigned(&g, UnsignedTransform::DeleteNegative);
+        prop_assert_eq!(ignored.edge_count(), g.edge_count());
+        prop_assert_eq!(ignored.negative_edge_count(), 0);
+        prop_assert_eq!(deleted.edge_count(), g.positive_edge_count());
+        prop_assert_eq!(deleted.negative_edge_count(), 0);
+        prop_assert_eq!(ignored.node_count(), g.node_count());
+        prop_assert_eq!(deleted.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn io_round_trip_preserves_edges(g in arb_graph(20, 60)) {
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(parsed.graph.edge_count(), g.edge_count());
+        for e in g.edges() {
+            let u = parsed.node_for_original(e.u.index() as u64).unwrap();
+            let v = parsed.node_for_original(e.v.index() as u64).unwrap();
+            prop_assert_eq!(parsed.graph.sign(u, v), Some(e.sign));
+        }
+    }
+
+    #[test]
+    fn path_sign_is_product_of_edge_signs(g in arb_graph(15, 40)) {
+        // Walk a BFS tree path and verify the sign product manually.
+        let source = NodeId::new(0);
+        let d = bfs_distances(&g, source);
+        for v in g.nodes() {
+            if d[v.index()] != UNREACHABLE && v != source {
+                if let Some(path) = signed_graph::traversal::shortest_path(&g, source, v) {
+                    let manual = Sign::product(
+                        path.windows(2).map(|w| g.sign(w[0], w[1]).unwrap()),
+                    );
+                    prop_assert_eq!(g.path_sign(&path).unwrap(), manual);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn social_network_generator_respects_config(
+        nodes in 10usize..120,
+        extra in 0usize..200,
+        neg in 0.0f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let cfg = SocialNetworkConfig {
+            nodes,
+            edges: nodes - 1 + extra,
+            negative_fraction: neg,
+            seed,
+            ..Default::default()
+        };
+        let g = social_network(&cfg);
+        prop_assert_eq!(g.node_count(), nodes);
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.edge_count() >= nodes - 1);
+        prop_assert!(g.edge_count() <= cfg.edges);
+        let got = g.negative_edge_fraction();
+        prop_assert!((got - neg).abs() <= 1.5 / g.edge_count() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic(seed in 0u64..500) {
+        let a = erdos_renyi_signed(40, 100, 0.3, seed);
+        let b = erdos_renyi_signed(40, 100, 0.3, seed);
+        prop_assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,155 @@
+//! Per-user skill assignments and the inverted skill → users index.
+
+use serde::{Deserialize, Serialize};
+
+use crate::skillset::SkillSet;
+use crate::universe::SkillId;
+
+/// The skill function `skill : V → 2^S` of a problem instance plus its
+/// inverted index.
+///
+/// Users are referenced by their dense node index (the same index as the
+/// `signed-graph` node ids), keeping this crate independent of the graph
+/// crate while allowing zero-cost joins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkillAssignment {
+    skill_count: usize,
+    per_user: Vec<SkillSet>,
+    /// `users_with[s]` = sorted list of user indices possessing skill `s`.
+    users_with: Vec<Vec<u32>>,
+}
+
+impl SkillAssignment {
+    /// Creates an empty assignment for `user_count` users over a universe of
+    /// `skill_count` skills.
+    pub fn new(skill_count: usize, user_count: usize) -> Self {
+        SkillAssignment {
+            skill_count,
+            per_user: vec![SkillSet::new(skill_count); user_count],
+            users_with: vec![Vec::new(); skill_count],
+        }
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// Number of skills in the universe.
+    pub fn skill_count(&self) -> usize {
+        self.skill_count
+    }
+
+    /// Grants skill `skill` to user `user`. Ignores out-of-range ids.
+    /// Granting the same skill twice is a no-op.
+    pub fn grant(&mut self, user: usize, skill: SkillId) {
+        if user >= self.per_user.len() || skill.index() >= self.skill_count {
+            return;
+        }
+        if !self.per_user[user].contains(skill) {
+            self.per_user[user].insert(skill);
+            let list = &mut self.users_with[skill.index()];
+            match list.binary_search(&(user as u32)) {
+                Ok(_) => {}
+                Err(pos) => list.insert(pos, user as u32),
+            }
+        }
+    }
+
+    /// The skill set of `user`.
+    ///
+    /// # Panics
+    /// Panics if `user` is out of range.
+    pub fn skills_of(&self, user: usize) -> &SkillSet {
+        &self.per_user[user]
+    }
+
+    /// `true` if `user` possesses `skill`.
+    pub fn has_skill(&self, user: usize, skill: SkillId) -> bool {
+        user < self.per_user.len() && self.per_user[user].contains(skill)
+    }
+
+    /// The users possessing `skill`, in ascending order.
+    pub fn users_with_skill(&self, skill: SkillId) -> &[u32] {
+        static EMPTY: Vec<u32> = Vec::new();
+        self.users_with.get(skill.index()).unwrap_or(&EMPTY)
+    }
+
+    /// Number of users possessing `skill` (its *support* / frequency).
+    pub fn skill_frequency(&self, skill: SkillId) -> usize {
+        self.users_with_skill(skill).len()
+    }
+
+    /// Iterator over `(skill, frequency)` for every skill in the universe.
+    pub fn skill_frequencies(&self) -> impl Iterator<Item = (SkillId, usize)> + '_ {
+        self.users_with
+            .iter()
+            .enumerate()
+            .map(|(i, users)| (SkillId::new(i), users.len()))
+    }
+
+    /// Average number of skills per user.
+    pub fn mean_skills_per_user(&self) -> f64 {
+        if self.per_user.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.per_user.iter().map(SkillSet::len).sum();
+        total as f64 / self.per_user.len() as f64
+    }
+
+    /// Number of skills that at least one user possesses.
+    pub fn covered_skill_count(&self) -> usize {
+        self.users_with.iter().filter(|u| !u.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SkillId {
+        SkillId::new(i)
+    }
+
+    #[test]
+    fn grant_and_query() {
+        let mut a = SkillAssignment::new(4, 3);
+        a.grant(0, s(0));
+        a.grant(0, s(2));
+        a.grant(1, s(2));
+        a.grant(1, s(2)); // duplicate grant is a no-op
+        a.grant(9, s(0)); // out-of-range user ignored
+        a.grant(0, s(9)); // out-of-range skill ignored
+        assert_eq!(a.user_count(), 3);
+        assert_eq!(a.skill_count(), 4);
+        assert!(a.has_skill(0, s(0)));
+        assert!(a.has_skill(1, s(2)));
+        assert!(!a.has_skill(2, s(0)));
+        assert!(!a.has_skill(9, s(0)));
+        assert_eq!(a.skills_of(0).len(), 2);
+        assert_eq!(a.users_with_skill(s(2)), &[0, 1]);
+        assert_eq!(a.users_with_skill(s(3)), &[] as &[u32]);
+        assert_eq!(a.users_with_skill(s(9)), &[] as &[u32]);
+        assert_eq!(a.skill_frequency(s(2)), 2);
+        assert_eq!(a.covered_skill_count(), 2);
+        assert!((a.mean_skills_per_user() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn users_with_skill_stays_sorted() {
+        let mut a = SkillAssignment::new(1, 5);
+        for user in [4, 1, 3, 0, 2] {
+            a.grant(user, s(0));
+        }
+        assert_eq!(a.users_with_skill(s(0)), &[0, 1, 2, 3, 4]);
+        assert_eq!(a.skill_frequencies().next(), Some((s(0), 5)));
+    }
+
+    #[test]
+    fn empty_assignment() {
+        let a = SkillAssignment::new(0, 0);
+        assert_eq!(a.mean_skills_per_user(), 0.0);
+        assert_eq!(a.covered_skill_count(), 0);
+        assert_eq!(a.user_count(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # tfsn-skills
+//!
+//! The skills-and-tasks substrate of the *Forming Compatible Teams in Signed
+//! Networks* reproduction.
+//!
+//! The paper's input, besides the signed graph, is a universe `S` of skills,
+//! a function `skill(u) ⊆ S` mapping every individual to the skills they
+//! possess, and a *task* `T ⊆ S` of required skills. This crate provides:
+//!
+//! * [`SkillId`] / [`SkillUniverse`] — interned skill identifiers with
+//!   optional human-readable names.
+//! * [`SkillSet`] — a compact bitset of skills supporting the coverage
+//!   operations the greedy team-formation algorithm needs.
+//! * [`assignment::SkillAssignment`] — per-user skill sets plus the inverted
+//!   skill → users index used for candidate enumeration and skill rarity.
+//! * [`zipf::ZipfSampler`] — the Zipf-distributed skill frequencies the paper
+//!   uses to synthesise skills for the Wikipedia dataset.
+//! * [`task::Task`] and [`taskgen`] — task construction and the random task
+//!   workloads of the evaluation (50 random tasks of `k` skills).
+//!
+//! # Example
+//!
+//! ```
+//! use tfsn_skills::{SkillUniverse, SkillSet, task::Task};
+//! use tfsn_skills::assignment::SkillAssignment;
+//!
+//! let mut universe = SkillUniverse::new();
+//! let rust = universe.intern("rust");
+//! let sql = universe.intern("sql");
+//! let _ml = universe.intern("ml");
+//!
+//! let mut assignment = SkillAssignment::new(universe.len(), 3);
+//! assignment.grant(0, rust);
+//! assignment.grant(1, sql);
+//!
+//! let task = Task::new(vec![rust, sql]);
+//! let mut covered = SkillSet::new(universe.len());
+//! covered.union_with(assignment.skills_of(0));
+//! covered.union_with(assignment.skills_of(1));
+//! assert!(task.is_covered_by(&covered));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod skillset;
+pub mod task;
+pub mod taskgen;
+pub mod universe;
+pub mod zipf;
+
+pub use skillset::SkillSet;
+pub use universe::{SkillId, SkillUniverse};

@@ -1,0 +1,115 @@
+//! Tasks: the sets of skills a team must cover.
+
+use serde::{Deserialize, Serialize};
+
+use crate::skillset::SkillSet;
+use crate::universe::SkillId;
+
+/// A task `T ⊆ S`: the set of skills required for its completion.
+///
+/// The skills are stored in ascending id order with duplicates removed, so a
+/// task's size is well defined and iteration is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Task {
+    skills: Vec<SkillId>,
+}
+
+impl Task {
+    /// Creates a task from the given skills (deduplicated and sorted).
+    pub fn new<I: IntoIterator<Item = SkillId>>(skills: I) -> Self {
+        let mut skills: Vec<SkillId> = skills.into_iter().collect();
+        skills.sort_unstable();
+        skills.dedup();
+        Task { skills }
+    }
+
+    /// The required skills in ascending order.
+    pub fn skills(&self) -> &[SkillId] {
+        &self.skills
+    }
+
+    /// Number of distinct required skills (the task size `k`).
+    pub fn len(&self) -> usize {
+        self.skills.len()
+    }
+
+    /// `true` if the task requires no skills (trivially satisfied).
+    pub fn is_empty(&self) -> bool {
+        self.skills.is_empty()
+    }
+
+    /// `true` if the task requires `skill`.
+    pub fn requires(&self, skill: SkillId) -> bool {
+        self.skills.binary_search(&skill).is_ok()
+    }
+
+    /// Converts the task into a [`SkillSet`] with the given capacity.
+    pub fn to_skillset(&self, capacity: usize) -> SkillSet {
+        SkillSet::from_iter_with_capacity(capacity, self.skills.iter().copied())
+    }
+
+    /// `true` if every required skill is contained in `covered`.
+    pub fn is_covered_by(&self, covered: &SkillSet) -> bool {
+        self.skills.iter().all(|&s| covered.contains(s))
+    }
+
+    /// The required skills not yet present in `covered`.
+    pub fn uncovered(&self, covered: &SkillSet) -> Vec<SkillId> {
+        self.skills
+            .iter()
+            .copied()
+            .filter(|&s| !covered.contains(s))
+            .collect()
+    }
+}
+
+impl FromIterator<SkillId> for Task {
+    fn from_iter<I: IntoIterator<Item = SkillId>>(iter: I) -> Self {
+        Task::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SkillId {
+        SkillId::new(i)
+    }
+
+    #[test]
+    fn construction_dedups_and_sorts() {
+        let t = Task::new(vec![s(5), s(1), s(5), s(3)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.skills(), &[s(1), s(3), s(5)]);
+        assert!(t.requires(s(3)));
+        assert!(!t.requires(s(2)));
+        assert!(!t.is_empty());
+        assert!(Task::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn coverage_checks() {
+        let t = Task::new(vec![s(0), s(2), s(4)]);
+        let mut covered = SkillSet::new(8);
+        assert!(!t.is_covered_by(&covered));
+        assert_eq!(t.uncovered(&covered), vec![s(0), s(2), s(4)]);
+        covered.insert(s(0));
+        covered.insert(s(4));
+        assert_eq!(t.uncovered(&covered), vec![s(2)]);
+        covered.insert(s(2));
+        assert!(t.is_covered_by(&covered));
+        assert!(t.uncovered(&covered).is_empty());
+        // Empty task is always covered.
+        assert!(Task::new(vec![]).is_covered_by(&SkillSet::new(0)));
+    }
+
+    #[test]
+    fn skillset_conversion() {
+        let t: Task = [s(1), s(6)].into_iter().collect();
+        let set = t.to_skillset(10);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(s(6)));
+        assert!(!set.contains(s(0)));
+    }
+}

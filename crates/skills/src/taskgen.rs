@@ -1,0 +1,206 @@
+//! Random generation of skill assignments and task workloads.
+//!
+//! Two generators mirror the paper's setup:
+//!
+//! * [`assign_skills_zipf`] — "We generated `k` distinct skills with
+//!   frequencies following a Zipf distribution … each skill is assigned to
+//!   users in the network uniformly at random" (used for Wikipedia, and by
+//!   the Slashdot/Epinions emulators to mimic category skew).
+//! * [`random_tasks`] — "For a given task of size `k`, we generated 50 tasks
+//!   by randomly selecting `k` skills" (the team-formation workload).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::assignment::SkillAssignment;
+use crate::task::Task;
+use crate::universe::SkillId;
+use crate::zipf::ZipfSampler;
+
+/// Configuration for the Zipf skill-assignment generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfAssignmentConfig {
+    /// Number of users (graph nodes).
+    pub users: usize,
+    /// Number of distinct skills in the universe.
+    pub skills: usize,
+    /// Total number of (user, skill) grants to draw, i.e. the sum of skill
+    /// frequencies. The paper does not publish this figure; emulators pick a
+    /// multiple of the user count so that every user has a few skills.
+    pub total_grants: usize,
+    /// Zipf exponent for the skill-frequency distribution.
+    pub exponent: f64,
+    /// Guarantee that every user receives at least this many skills (drawn
+    /// from the same Zipf law), so no user is skill-less.
+    pub min_skills_per_user: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfAssignmentConfig {
+    fn default() -> Self {
+        ZipfAssignmentConfig {
+            users: 1000,
+            skills: 500,
+            total_grants: 3000,
+            exponent: 1.0,
+            min_skills_per_user: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Draws a skill assignment with Zipf-distributed skill frequencies: each
+/// grant picks a skill from the Zipf law and a user uniformly at random.
+pub fn assign_skills_zipf(cfg: &ZipfAssignmentConfig) -> SkillAssignment {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut assignment = SkillAssignment::new(cfg.skills, cfg.users);
+    if cfg.users == 0 || cfg.skills == 0 {
+        return assignment;
+    }
+    let zipf = ZipfSampler::new(cfg.skills, cfg.exponent);
+    // Guaranteed minimum per user first.
+    for user in 0..cfg.users {
+        for _ in 0..cfg.min_skills_per_user {
+            assignment.grant(user, zipf.sample_skill(&mut rng));
+        }
+    }
+    // Remaining grants uniformly over users.
+    let already = cfg.users * cfg.min_skills_per_user;
+    for _ in already..cfg.total_grants.max(already) {
+        let user = rng.gen_range(0..cfg.users);
+        assignment.grant(user, zipf.sample_skill(&mut rng));
+    }
+    assignment
+}
+
+/// Generates `count` random tasks of exactly `size` distinct skills chosen
+/// uniformly from `universe_size` skills. Deterministic for a fixed seed.
+pub fn random_tasks(universe_size: usize, size: usize, count: usize, seed: u64) -> Vec<Task> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks = Vec::with_capacity(count);
+    let size = size.min(universe_size);
+    let mut all: Vec<SkillId> = (0..universe_size).map(SkillId::new).collect();
+    for _ in 0..count {
+        all.shuffle(&mut rng);
+        tasks.push(Task::new(all[..size].iter().copied()));
+    }
+    tasks
+}
+
+/// Generates `count` random tasks of `size` skills, restricted to skills that
+/// at least one user possesses (so the task is coverable ignoring
+/// compatibility). Falls back to the full universe when fewer than `size`
+/// skills are covered.
+pub fn random_coverable_tasks(
+    assignment: &SkillAssignment,
+    size: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Task> {
+    let covered: Vec<SkillId> = assignment
+        .skill_frequencies()
+        .filter(|(_, f)| *f > 0)
+        .map(|(s, _)| s)
+        .collect();
+    if covered.len() < size {
+        return random_tasks(assignment.skill_count(), size, count, seed);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = covered;
+    let mut tasks = Vec::with_capacity(count);
+    for _ in 0..count {
+        pool.shuffle(&mut rng);
+        tasks.push(Task::new(pool[..size].iter().copied()));
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_assignment_covers_users_and_skews_skills() {
+        let cfg = ZipfAssignmentConfig {
+            users: 200,
+            skills: 50,
+            total_grants: 800,
+            min_skills_per_user: 1,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = assign_skills_zipf(&cfg);
+        assert_eq!(a.user_count(), 200);
+        // Every user got at least one skill.
+        for u in 0..200 {
+            assert!(!a.skills_of(u).is_empty(), "user {u} has no skills");
+        }
+        // The most frequent skill should dominate the median one.
+        let mut freqs: Vec<usize> = a.skill_frequencies().map(|(_, f)| f).collect();
+        freqs.sort_unstable_by(|x, y| y.cmp(x));
+        assert!(freqs[0] > freqs[25]);
+        // Total grants is at least the configured amount minus duplicates.
+        assert!(a.mean_skills_per_user() >= 1.0);
+    }
+
+    #[test]
+    fn zipf_assignment_is_deterministic() {
+        let cfg = ZipfAssignmentConfig {
+            users: 50,
+            skills: 20,
+            total_grants: 150,
+            seed: 11,
+            ..Default::default()
+        };
+        let a = assign_skills_zipf(&cfg);
+        let b = assign_skills_zipf(&cfg);
+        for u in 0..50 {
+            assert_eq!(a.skills_of(u), b.skills_of(u));
+        }
+    }
+
+    #[test]
+    fn empty_configs_do_not_panic() {
+        let a = assign_skills_zipf(&ZipfAssignmentConfig {
+            users: 0,
+            skills: 0,
+            total_grants: 10,
+            ..Default::default()
+        });
+        assert_eq!(a.user_count(), 0);
+    }
+
+    #[test]
+    fn random_tasks_have_requested_size_and_are_deterministic() {
+        let t1 = random_tasks(100, 5, 50, 9);
+        let t2 = random_tasks(100, 5, 50, 9);
+        assert_eq!(t1.len(), 50);
+        assert_eq!(t1, t2);
+        for t in &t1 {
+            assert_eq!(t.len(), 5);
+            assert!(t.skills().iter().all(|s| s.index() < 100));
+        }
+        // Size capped at universe size.
+        let t = random_tasks(3, 10, 2, 1);
+        assert!(t.iter().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn coverable_tasks_only_use_supported_skills() {
+        let mut a = SkillAssignment::new(20, 10);
+        for s in 0..8 {
+            a.grant(s % 10, SkillId::new(s));
+        }
+        let tasks = random_coverable_tasks(&a, 3, 20, 5);
+        for t in &tasks {
+            for s in t.skills() {
+                assert!(a.skill_frequency(*s) > 0, "skill {s} unsupported");
+            }
+        }
+        // Falls back gracefully when not enough covered skills.
+        let tasks = random_coverable_tasks(&a, 15, 3, 5);
+        assert!(tasks.iter().all(|t| t.len() == 15));
+    }
+}

@@ -1,0 +1,148 @@
+//! Skill identifiers and the interning universe.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier of a skill in a [`SkillUniverse`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SkillId(u32);
+
+impl SkillId {
+    /// Creates a skill id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        SkillId(index as u32)
+    }
+
+    /// The raw index of this skill.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SkillId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<usize> for SkillId {
+    fn from(v: usize) -> Self {
+        SkillId::new(v)
+    }
+}
+
+/// The universe `S` of skills: an interning table from skill names to dense
+/// [`SkillId`]s.
+///
+/// Dataset loaders intern category names ("databases", "politics", …); purely
+/// synthetic datasets can use [`SkillUniverse::with_anonymous`] to create `k`
+/// unnamed skills.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SkillUniverse {
+    names: Vec<String>,
+    index: HashMap<String, SkillId>,
+}
+
+impl SkillUniverse {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a universe with `count` anonymous skills named `skill_0`,
+    /// `skill_1`, ….
+    pub fn with_anonymous(count: usize) -> Self {
+        let mut u = Self::new();
+        for i in 0..count {
+            u.intern(&format!("skill_{i}"));
+        }
+        u
+    }
+
+    /// Number of distinct skills.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no skill has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns `name`, returning the existing id if it was seen before.
+    pub fn intern(&mut self, name: &str) -> SkillId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SkillId::new(self.names.len());
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a skill by name without interning.
+    pub fn get(&self, name: &str) -> Option<SkillId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of skill `id`, if it exists.
+    pub fn name(&self, id: SkillId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Iterator over all skill ids.
+    pub fn ids(&self) -> impl Iterator<Item = SkillId> + '_ {
+        (0..self.names.len()).map(SkillId::new)
+    }
+
+    /// Iterator over `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SkillId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SkillId::new(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut u = SkillUniverse::new();
+        let a = u.intern("databases");
+        let b = u.intern("databases");
+        let c = u.intern("graphics");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.get("databases"), Some(a));
+        assert_eq!(u.get("nope"), None);
+        assert_eq!(u.name(a), Some("databases"));
+        assert_eq!(u.name(SkillId::new(99)), None);
+    }
+
+    #[test]
+    fn anonymous_universe() {
+        let u = SkillUniverse::with_anonymous(5);
+        assert_eq!(u.len(), 5);
+        assert!(!u.is_empty());
+        assert_eq!(u.name(SkillId::new(3)), Some("skill_3"));
+        assert_eq!(u.ids().count(), 5);
+        assert_eq!(u.iter().count(), 5);
+        assert!(SkillUniverse::new().is_empty());
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let s: SkillId = 7usize.into();
+        assert_eq!(s.index(), 7);
+        assert_eq!(s.to_string(), "s7");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the skills substrate.
+
+use proptest::prelude::*;
+use tfsn_skills::task::Task;
+use tfsn_skills::taskgen::{assign_skills_zipf, random_tasks, ZipfAssignmentConfig};
+use tfsn_skills::zipf::ZipfSampler;
+use tfsn_skills::{SkillId, SkillSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn skillset_matches_reference_hashset(
+        capacity in 1usize..300,
+        ops in proptest::collection::vec((0usize..300, prop::bool::ANY), 0..100)
+    ) {
+        let mut set = SkillSet::new(capacity);
+        let mut reference = std::collections::HashSet::new();
+        for (id, insert) in ops {
+            let skill = SkillId::new(id);
+            if insert {
+                set.insert(skill);
+                if id < capacity {
+                    reference.insert(id);
+                }
+            } else {
+                set.remove(skill);
+                reference.remove(&id);
+            }
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        for id in 0..capacity {
+            prop_assert_eq!(set.contains(SkillId::new(id)), reference.contains(&id));
+        }
+        let iterated: Vec<usize> = set.iter().map(|s| s.index()).collect();
+        let mut expected: Vec<usize> = reference.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    #[test]
+    fn set_algebra_laws(
+        capacity in 1usize..200,
+        a in proptest::collection::vec(0usize..200, 0..60),
+        b in proptest::collection::vec(0usize..200, 0..60),
+    ) {
+        let sa = SkillSet::from_iter_with_capacity(capacity, a.iter().map(|&i| SkillId::new(i)));
+        let sb = SkillSet::from_iter_with_capacity(capacity, b.iter().map(|&i| SkillId::new(i)));
+        // |A ∪ B| + |A ∩ B| = |A| + |B|
+        let mut union = sa.clone();
+        union.union_with(&sb);
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        prop_assert_eq!(union.len() + inter.len(), sa.len() + sb.len());
+        // A \ B ⊆ A and disjoint from B
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        prop_assert!(diff.is_subset_of(&sa));
+        prop_assert!(!diff.intersects(&sb) || diff.is_empty());
+        // intersection_len agrees with materialised intersection
+        prop_assert_eq!(sa.intersection_len(&sb), inter.len());
+        // subset relations
+        prop_assert!(inter.is_subset_of(&sa));
+        prop_assert!(sa.is_subset_of(&union));
+    }
+
+    #[test]
+    fn task_dedup_and_coverage(skills in proptest::collection::vec(0usize..100, 0..40)) {
+        let task = Task::new(skills.iter().map(|&i| SkillId::new(i)));
+        // Size equals the number of distinct skills.
+        let distinct: std::collections::HashSet<_> = skills.iter().collect();
+        prop_assert_eq!(task.len(), distinct.len());
+        // The task is covered exactly by its own skill set.
+        let own = task.to_skillset(100);
+        prop_assert!(task.is_covered_by(&own));
+        prop_assert!(task.uncovered(&own).is_empty());
+        // Removing one required skill breaks coverage.
+        if let Some(&first) = task.skills().first() {
+            let mut partial = own.clone();
+            partial.remove(first);
+            prop_assert!(!task.is_covered_by(&partial));
+            prop_assert_eq!(task.uncovered(&partial), vec![first]);
+        }
+    }
+
+    #[test]
+    fn zipf_probabilities_are_monotone(n in 1usize..200, exp in 0.2f64..2.5) {
+        let z = ZipfSampler::new(n, exp);
+        let total: f64 = (0..n).map(|r| z.probability(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for r in 1..n {
+            prop_assert!(z.probability(r - 1) >= z.probability(r) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_tasks_are_within_universe(
+        universe in 1usize..200,
+        size in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        let tasks = random_tasks(universe, size, 10, seed);
+        prop_assert_eq!(tasks.len(), 10);
+        for t in &tasks {
+            prop_assert_eq!(t.len(), size.min(universe));
+            prop_assert!(t.skills().iter().all(|s| s.index() < universe));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn assignment_index_is_consistent(
+        users in 1usize..80,
+        skills in 1usize..40,
+        grants in 0usize..300,
+        seed in 0u64..100,
+    ) {
+        let a = assign_skills_zipf(&ZipfAssignmentConfig {
+            users,
+            skills,
+            total_grants: grants,
+            min_skills_per_user: 1,
+            exponent: 1.0,
+            seed,
+        });
+        // The inverted index and the per-user sets agree.
+        let mut total_from_index = 0usize;
+        for s in 0..skills {
+            let skill = SkillId::new(s);
+            for &u in a.users_with_skill(skill) {
+                prop_assert!(a.has_skill(u as usize, skill));
+                total_from_index += 1;
+            }
+        }
+        let total_from_users: usize = (0..users).map(|u| a.skills_of(u).len()).sum();
+        prop_assert_eq!(total_from_index, total_from_users);
+        prop_assert!(a.covered_skill_count() <= skills);
+    }
+}

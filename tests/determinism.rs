@@ -1,0 +1,62 @@
+//! Determinism: every experiment is a pure function of its configuration, so
+//! re-running with the same seed must reproduce identical results (the
+//! property EXPERIMENTS.md relies on).
+
+use tfsn_experiments::{figure2, table1, table3, ExperimentConfig};
+
+fn tiny_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        epinions_scale: 0.01,
+        wikipedia_scale: 0.02,
+        tasks_per_size: 4,
+        default_task_size: 3,
+        task_sizes: vec![2, 3],
+        threads: 3,
+        sbp_exact_on_slashdot: false,
+        max_seeds: Some(6),
+        skill_degree_cap: Some(16),
+        seed,
+    }
+}
+
+#[test]
+fn table1_is_deterministic() {
+    let a = table1::run(&tiny_config(1));
+    let b = table1::run(&tiny_config(1));
+    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+}
+
+#[test]
+fn figure2_is_deterministic_and_seed_sensitive() {
+    let a = figure2::run(&tiny_config(5));
+    let b = figure2::run(&tiny_config(5));
+    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    // A different seed changes the sampled tasks, hence (almost surely) the
+    // serialised report; we only assert it still has the same shape.
+    let c = figure2::run(&tiny_config(6));
+    assert_eq!(a.by_algorithm.len(), c.by_algorithm.len());
+    assert_eq!(a.by_task_size.len(), c.by_task_size.len());
+}
+
+#[test]
+fn table3_is_deterministic_across_thread_counts() {
+    // The parallel matrix builder partitions work dynamically; the result
+    // must not depend on the number of worker threads.
+    let mut one = tiny_config(9);
+    one.threads = 1;
+    let mut four = tiny_config(9);
+    four.threads = 4;
+    let a = table3::run(&one);
+    let b = table3::run(&four);
+    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+}
+
+#[test]
+fn dataset_generation_is_deterministic() {
+    let a = tfsn_datasets::epinions(0.01);
+    let b = tfsn_datasets::epinions(0.01);
+    assert_eq!(a.graph.edges(), b.graph.edges());
+    let sa: Vec<_> = (0..a.skills.user_count()).map(|u| a.skills.skills_of(u).to_vec()).collect();
+    let sb: Vec<_> = (0..b.skills.user_count()).map(|u| b.skills.skills_of(u).to_vec()).collect();
+    assert_eq!(sa, sb);
+}

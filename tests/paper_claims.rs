@@ -1,0 +1,168 @@
+//! Qualitative claims of the paper's evaluation section, checked on the
+//! dataset emulations. These tests assert *shape*, not absolute numbers:
+//! the datasets are synthetic stand-ins matched to the published statistics
+//! (see DESIGN.md), so only relationships that follow from the definitions
+//! or that are robust across signed social networks are asserted.
+
+use tfsn_core::compat::{Compatibility, CompatibilityKind, CompatibilityMatrix, EngineConfig};
+use tfsn_core::skill_compat::SkillPairCompatibility;
+use tfsn_core::team::greedy::{solve_greedy, GreedyConfig};
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::TfsnInstance;
+use tfsn_skills::taskgen::random_coverable_tasks;
+
+/// Table 2, rows "comp. users" and "comp. skills": the fraction of compatible
+/// pairs increases as the compatibility notion is relaxed
+/// (SPA ≤ SPM ≤ SPO and SBPH ≤ NNE), on every dataset emulation.
+#[test]
+fn table2_claim_compatible_fractions_grow_with_relaxation() {
+    let engine = EngineConfig::default();
+    let datasets = [
+        tfsn_datasets::slashdot(),
+        tfsn_datasets::epinions(0.015),
+        tfsn_datasets::wikipedia(0.03),
+    ];
+    for dataset in &datasets {
+        let matrices: Vec<(CompatibilityKind, CompatibilityMatrix)> = CompatibilityKind::EVALUATED
+            .iter()
+            .map(|&k| (k, CompatibilityMatrix::build_parallel(&dataset.graph, k, &engine, 4)))
+            .collect();
+        let users_pct = |k: CompatibilityKind| {
+            matrices
+                .iter()
+                .find(|(kind, _)| *kind == k)
+                .map(|(_, m)| m.compatible_pair_fraction())
+                .unwrap()
+        };
+        let skills_pct = |k: CompatibilityKind| {
+            matrices
+                .iter()
+                .find(|(kind, _)| *kind == k)
+                .map(|(_, m)| {
+                    SkillPairCompatibility::from_rows(m.rows(), &dataset.skills)
+                        .compatible_pair_fraction(&dataset.skills)
+                })
+                .unwrap()
+        };
+        assert!(users_pct(CompatibilityKind::Spa) <= users_pct(CompatibilityKind::Spm) + 1e-12);
+        assert!(users_pct(CompatibilityKind::Spm) <= users_pct(CompatibilityKind::Spo) + 1e-12);
+        assert!(users_pct(CompatibilityKind::Sbph) <= users_pct(CompatibilityKind::Nne) + 1e-12);
+        assert!(skills_pct(CompatibilityKind::Spa) <= skills_pct(CompatibilityKind::Spm) + 1e-12);
+        assert!(skills_pct(CompatibilityKind::Spm) <= skills_pct(CompatibilityKind::Spo) + 1e-12);
+        // The strictest evaluated relation must leave out a real share of
+        // pairs on a signed network with ~17–29% negative edges, while the
+        // most relaxed one keeps almost everyone (paper: 99+% for NNE).
+        assert!(
+            users_pct(CompatibilityKind::Spa) < 0.95,
+            "{}: SPA admits {:.3} of pairs — negative edges had no effect",
+            dataset.name,
+            users_pct(CompatibilityKind::Spa)
+        );
+        assert!(
+            users_pct(CompatibilityKind::Nne) > 0.9,
+            "{}: NNE admits only {:.3} of pairs",
+            dataset.name,
+            users_pct(CompatibilityKind::Nne)
+        );
+    }
+}
+
+/// Table 2, SBP vs SBPH on Slashdot: the heuristic agrees with the exact
+/// relation on the overwhelming majority of pairs (the paper reports ~2.5 %
+/// disagreement). The exact search here is length-bounded (as the harness
+/// runs it), so the comparison measures practical agreement, not containment
+/// — containment against the unbounded exact relation is property-tested in
+/// `tfsn-core`.
+#[test]
+fn table2_claim_sbph_closely_tracks_exact_sbp_on_slashdot() {
+    let dataset = tfsn_datasets::slashdot();
+    let engine = EngineConfig {
+        sbp_max_path_len: Some(16),
+        ..Default::default()
+    };
+    let sbp = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Sbp, &engine, 4);
+    let sbph = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Sbph, &engine, 4);
+    let n = dataset.graph.node_count();
+    let mut pairs = 0u64;
+    let mut disagree = 0u64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let (u, v) = (signed_graph::NodeId::new(u), signed_graph::NodeId::new(v));
+            pairs += 1;
+            if sbp.compatible(u, v) != sbph.compatible(u, v) {
+                disagree += 1;
+            }
+        }
+    }
+    let pct = 100.0 * disagree as f64 / pairs as f64;
+    assert!(pct < 15.0, "SBP vs SBPH disagreement {pct:.2}% is far above the paper's ~2.5%");
+}
+
+/// Figure 2(a): no algorithm can solve more tasks than the MAX skill-pair
+/// upper bound, and the signed-aware greedy never returns an incompatible
+/// team (the whole point of the paper versus Table 3's baselines).
+#[test]
+fn figure2_claim_solutions_bounded_by_max_and_always_compatible() {
+    let dataset = tfsn_datasets::epinions(0.02);
+    let engine = EngineConfig::default();
+    let tasks = random_coverable_tasks(&dataset.skills, 5, 20, 11);
+    let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
+    let greedy_cfg = GreedyConfig {
+        max_seeds: Some(15),
+        skill_degree_cap: Some(32),
+        ..Default::default()
+    };
+    for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Nne] {
+        let comp = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
+        let pairs = SkillPairCompatibility::from_rows(comp.rows(), &dataset.skills);
+        let max = tasks.iter().filter(|t| pairs.task_is_skill_compatible(t)).count();
+        let mut solved = 0;
+        for task in &tasks {
+            if let Ok(team) = solve_greedy(&instance, &comp, task, TeamAlgorithm::LCMD, &greedy_cfg) {
+                assert!(team.is_compatible(&comp), "{kind}: returned an incompatible team");
+                assert!(team.covers(&dataset.skills, task));
+                solved += 1;
+            }
+        }
+        assert!(solved <= max, "{kind}: solved {solved} > MAX bound {max}");
+    }
+}
+
+/// Table 3: classic unsigned team formation, run on the sign-ignored graph,
+/// returns a substantial share of teams that violate the strict compatibility
+/// relations — the motivation for signed-aware team formation. We assert the
+/// ordering (stricter relation ⇒ no more compatible baseline teams) and that
+/// the strictest relation flags at least one returned team as incompatible.
+#[test]
+fn table3_claim_unsigned_baseline_produces_incompatible_teams() {
+    use signed_graph::transform::UnsignedTransform;
+    use tfsn_core::team::baseline::unsigned_baseline_compatibility;
+    let dataset = tfsn_datasets::epinions(0.02);
+    let engine = EngineConfig::default();
+    let tasks = random_coverable_tasks(&dataset.skills, 5, 25, 17);
+    let spa = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Spa, &engine, 4);
+    let nne = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Nne, &engine, 4);
+    let spa_out = unsigned_baseline_compatibility(
+        &dataset.graph,
+        &dataset.skills,
+        &tasks,
+        UnsignedTransform::IgnoreSigns,
+        &spa,
+    );
+    let nne_out = unsigned_baseline_compatibility(
+        &dataset.graph,
+        &dataset.skills,
+        &tasks,
+        UnsignedTransform::IgnoreSigns,
+        &nne,
+    );
+    assert!(spa_out.teams_returned > 0);
+    assert_eq!(spa_out.teams_returned, nne_out.teams_returned);
+    assert!(spa_out.teams_compatible <= nne_out.teams_compatible);
+    assert!(
+        spa_out.teams_compatible < spa_out.teams_returned,
+        "every unsigned-baseline team happened to be SPA-compatible; the sign-blind baseline \
+         should violate the strict relation on at least one of {} tasks",
+        spa_out.teams_returned
+    );
+}

@@ -1,0 +1,121 @@
+//! End-to-end pipeline integration: dataset emulation → compatibility
+//! relations → team formation, across crates.
+
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+use tfsn_core::team::greedy::{solve_greedy, GreedyConfig};
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::TfsnInstance;
+use tfsn_skills::taskgen::random_coverable_tasks;
+
+#[test]
+fn slashdot_pipeline_end_to_end() {
+    let dataset = tfsn_datasets::slashdot();
+    assert_eq!(dataset.graph.node_count(), 214);
+    assert!(signed_graph::components::is_connected(&dataset.graph));
+
+    let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
+    let tasks = random_coverable_tasks(&dataset.skills, 4, 10, 99);
+    assert_eq!(tasks.len(), 10);
+
+    let engine = EngineConfig::default();
+    let mut solved_by_kind = Vec::new();
+    for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Nne] {
+        let comp = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
+        let mut solved = 0;
+        for task in &tasks {
+            if let Ok(team) =
+                solve_greedy(&instance, &comp, task, TeamAlgorithm::LCMD, &GreedyConfig::default())
+            {
+                assert!(team.is_valid(&dataset.skills, task, &comp));
+                assert!(team.diameter(&comp).is_some());
+                solved += 1;
+            }
+        }
+        solved_by_kind.push((kind, solved));
+    }
+    // At least the most relaxed relation must solve something on a connected
+    // graph with coverable tasks.
+    let nne_solved = solved_by_kind
+        .iter()
+        .find(|(k, _)| *k == CompatibilityKind::Nne)
+        .unwrap()
+        .1;
+    assert!(nne_solved > 0, "NNE solved no tasks at all: {solved_by_kind:?}");
+}
+
+#[test]
+fn epinions_scaled_pipeline_with_lazy_compatibility() {
+    use tfsn_core::compat::LazyCompatibility;
+    let dataset = tfsn_datasets::epinions(0.01);
+    let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
+    let tasks = random_coverable_tasks(&dataset.skills, 3, 5, 7);
+    // The lazy oracle computes only the rows team formation touches.
+    let lazy = LazyCompatibility::new(&dataset.graph, CompatibilityKind::Spo, EngineConfig::default());
+    let mut any_solved = false;
+    for task in &tasks {
+        if let Ok(team) =
+            solve_greedy(&instance, &lazy, task, TeamAlgorithm::LCMD, &GreedyConfig::default())
+        {
+            assert!(team.is_valid(&dataset.skills, task, &lazy));
+            any_solved = true;
+        }
+    }
+    assert!(any_solved, "no task solved on the scaled Epinions emulation");
+    assert!(lazy.cached_rows() > 0);
+    assert!(lazy.cached_rows() < dataset.graph.node_count(),
+        "lazy oracle materialised every row; expected only the touched slice");
+}
+
+#[test]
+fn matrix_and_lazy_agree_on_team_validity() {
+    let dataset = tfsn_datasets::wikipedia(0.02);
+    let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
+    let task = random_coverable_tasks(&dataset.skills, 3, 1, 3).pop().unwrap();
+    let kind = CompatibilityKind::Spm;
+    let engine = EngineConfig::default();
+    let matrix = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
+    let lazy = tfsn_core::compat::LazyCompatibility::new(&dataset.graph, kind, engine.clone());
+    let from_matrix = solve_greedy(&instance, &matrix, &task, TeamAlgorithm::LCMD, &GreedyConfig::default());
+    let from_lazy = solve_greedy(&instance, &lazy, &task, TeamAlgorithm::LCMD, &GreedyConfig::default());
+    // SPM is per-source symmetric, so both oracles express the same relation
+    // and the deterministic greedy must return the same result.
+    assert_eq!(from_matrix, from_lazy);
+    if let Ok(team) = from_matrix {
+        assert_eq!(team.diameter(&matrix), team.diameter(&lazy));
+    }
+}
+
+#[test]
+fn unsigned_baseline_vs_signed_greedy_on_crafted_conflict() {
+    use signed_graph::transform::{to_unsigned, UnsignedTransform};
+    use signed_graph::{GraphBuilder, NodeId, Sign};
+    use tfsn_core::team::baseline::rarest_first;
+    use tfsn_skills::assignment::SkillAssignment;
+    use tfsn_skills::task::Task;
+    use tfsn_skills::SkillId;
+
+    // The anchor's closest holder of skill 1 is a declared foe; a compatible
+    // holder exists two hops away through friends.
+    let mut b = GraphBuilder::with_nodes(4);
+    b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Negative).unwrap();
+    b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Positive).unwrap();
+    b.add_edge(NodeId::new(2), NodeId::new(3), Sign::Positive).unwrap();
+    let graph = b.build();
+    let mut skills = SkillAssignment::new(2, 4);
+    skills.grant(0, SkillId::new(0));
+    skills.grant(1, SkillId::new(1));
+    skills.grant(3, SkillId::new(1));
+    let task = Task::new([SkillId::new(0), SkillId::new(1)]);
+
+    // Unsigned baseline on the sign-ignored graph picks the foe.
+    let unsigned = to_unsigned(&graph, UnsignedTransform::IgnoreSigns);
+    let baseline_team = rarest_first(&unsigned, &skills, &task).unwrap();
+    let comp = CompatibilityMatrix::build(&graph, CompatibilityKind::Nne);
+    assert!(!baseline_team.is_compatible(&comp), "baseline should pick the incompatible shortcut");
+
+    // The signed-aware greedy avoids it.
+    let instance = TfsnInstance::new(&graph, &skills);
+    let team = solve_greedy(&instance, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default()).unwrap();
+    assert!(team.is_compatible(&comp));
+    assert!(team.contains(NodeId::new(3)));
+}
