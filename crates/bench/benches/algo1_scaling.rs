@@ -3,10 +3,10 @@
 //! matrix build, including the parallel builder.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use signed_graph::csr::CsrGraph;
 use signed_graph::generators::{social_network, SocialNetworkConfig};
 use signed_graph::NodeId;
+use std::hint::black_box;
 use tfsn_core::compat::sp::signed_bfs;
 use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
 

@@ -15,7 +15,10 @@ use tfsn_skills::taskgen::random_coverable_tasks;
 
 fn bench_figure2(c: &mut Criterion) {
     let report = figure2::run(&tfsn_bench::util::preamble_config());
-    println!("\n=== Figure 2 (regenerated, smoke scale) ===\n{}", report.render());
+    println!(
+        "\n=== Figure 2 (regenerated, smoke scale) ===\n{}",
+        report.render()
+    );
 
     let dataset = tfsn_datasets::epinions(0.03);
     let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
@@ -30,9 +33,17 @@ fn bench_figure2(c: &mut Criterion) {
     let tasks_k5 = random_coverable_tasks(&dataset.skills, 5, 10, 21);
     let mut group = c.benchmark_group("figure2_algorithms_k5");
     group.sample_size(10);
-    for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Nne] {
+    for kind in [
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spo,
+        CompatibilityKind::Nne,
+    ] {
         let comp = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
-        for alg in [TeamAlgorithm::LCMD, TeamAlgorithm::LCMC, TeamAlgorithm::RANDOM] {
+        for alg in [
+            TeamAlgorithm::LCMD,
+            TeamAlgorithm::LCMC,
+            TeamAlgorithm::RANDOM,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(kind.label(), alg.label()),
                 &alg,
@@ -49,7 +60,8 @@ fn bench_figure2(c: &mut Criterion) {
     group.finish();
 
     // Panel (c)/(d): LCMD across task sizes.
-    let comp = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Spo, &engine, 4);
+    let comp =
+        CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Spo, &engine, 4);
     let mut group = c.benchmark_group("figure2_task_size_sweep_spo_lcmd");
     group.sample_size(10);
     for k in [2usize, 5, 10, 15, 20] {

@@ -28,7 +28,10 @@ fn bench_policy_ablation(c: &mut Criterion) {
     };
 
     println!("\n=== Policy ablation (Epinions emulation @3%, SPO, k=5) ===");
-    println!("{:<8} {:>10} {:>10} {:>10}", "policy", "% solved", "diameter", "team size");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "policy", "% solved", "diameter", "team size"
+    );
     for alg in TeamAlgorithm::ALL {
         let outcome = run_workload(&dataset, &comp, &tasks, alg, &exp_cfg);
         println!(

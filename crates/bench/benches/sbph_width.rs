@@ -4,8 +4,8 @@
 //! Prints the recall series (the data behind the ablation) before measuring.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use signed_graph::csr::CsrGraph;
+use std::hint::black_box;
 use tfsn_core::compat::sbp::sbp_source;
 use tfsn_core::compat::sbph::sbph_source;
 use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
@@ -31,7 +31,8 @@ fn bench_sbph_width(c: &mut Criterion) {
                 if v != u && row.compatible[v] {
                     claimed += 1;
                     use tfsn_core::compat::Compatibility;
-                    if exact.compatible(signed_graph::NodeId::new(u), signed_graph::NodeId::new(v)) {
+                    if exact.compatible(signed_graph::NodeId::new(u), signed_graph::NodeId::new(v))
+                    {
                         agree += 1;
                     }
                 }
@@ -40,7 +41,11 @@ fn bench_sbph_width(c: &mut Criterion) {
         println!(
             "width {width}: claimed pair fraction {:.4}, agreement with exact {:.1}%",
             claimed as f64 / (n as f64 * (n as f64 - 1.0)),
-            if claimed == 0 { 100.0 } else { 100.0 * agree as f64 / claimed as f64 }
+            if claimed == 0 {
+                100.0
+            } else {
+                100.0 * agree as f64 / claimed as f64
+            }
         );
     }
 
@@ -48,7 +53,14 @@ fn bench_sbph_width(c: &mut Criterion) {
     let mut group = c.benchmark_group("sbph_single_source");
     for width in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
-            b.iter(|| black_box(sbph_source(graph, &csr, signed_graph::NodeId::new(0), width)))
+            b.iter(|| {
+                black_box(sbph_source(
+                    graph,
+                    &csr,
+                    signed_graph::NodeId::new(0),
+                    width,
+                ))
+            })
         });
     }
     group.finish();
@@ -56,7 +68,14 @@ fn bench_sbph_width(c: &mut Criterion) {
     let mut group = c.benchmark_group("sbp_exact_single_source");
     group.sample_size(10);
     group.bench_function("bounded_len_12", |b| {
-        b.iter(|| black_box(sbp_source(graph, signed_graph::NodeId::new(0), Some(12), 2_000_000)))
+        b.iter(|| {
+            black_box(sbp_source(
+                graph,
+                signed_graph::NodeId::new(0),
+                Some(12),
+                2_000_000,
+            ))
+        })
     });
     group.finish();
 }

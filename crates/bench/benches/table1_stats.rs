@@ -10,7 +10,10 @@ use tfsn_experiments::table1;
 
 fn bench_table1(c: &mut Criterion) {
     let report = table1::run(&tfsn_bench::util::preamble_config());
-    println!("\n=== Table 1 (regenerated, smoke scale) ===\n{}", report.render());
+    println!(
+        "\n=== Table 1 (regenerated, smoke scale) ===\n{}",
+        report.render()
+    );
 
     let slashdot = tfsn_datasets::slashdot();
     let mut group = c.benchmark_group("table1");

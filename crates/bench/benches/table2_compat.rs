@@ -13,7 +13,10 @@ use tfsn_experiments::table2;
 
 fn bench_table2(c: &mut Criterion) {
     let report = table2::run(&tfsn_bench::util::preamble_config());
-    println!("\n=== Table 2 (regenerated, smoke scale) ===\n{}", report.render());
+    println!(
+        "\n=== Table 2 (regenerated, smoke scale) ===\n{}",
+        report.render()
+    );
 
     let dataset = tfsn_datasets::slashdot();
     let engine = EngineConfig::default();
@@ -30,20 +33,25 @@ fn bench_table2(c: &mut Criterion) {
         if kind == CompatibilityKind::Sbp {
             group.sample_size(10);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                black_box(CompatibilityMatrix::build_with_config(
-                    &dataset.graph,
-                    kind,
-                    &engine,
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    black_box(CompatibilityMatrix::build_with_config(
+                        &dataset.graph,
+                        kind,
+                        &engine,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 
     // The derived Table 2 statistics given a prebuilt relation.
-    let spo = CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Spo, &engine);
+    let spo =
+        CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Spo, &engine);
     let mut group = c.benchmark_group("table2_statistics");
     group.bench_function("compatible_pair_fraction", |b| {
         b.iter(|| black_box(spo.compatible_pair_fraction()))
@@ -52,11 +60,19 @@ fn bench_table2(c: &mut Criterion) {
         b.iter(|| black_box(spo.mean_compatible_distance()))
     });
     group.bench_function("skill_pair_compatibility", |b| {
-        b.iter(|| black_box(SkillPairCompatibility::from_rows(spo.rows(), &dataset.skills)))
+        b.iter(|| {
+            black_box(SkillPairCompatibility::from_rows(
+                spo.rows(),
+                &dataset.skills,
+            ))
+        })
     });
     group.bench_function("sbp_vs_sbph_disagreement", |b| {
-        let sbph =
-            CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Sbph, &engine);
+        let sbph = CompatibilityMatrix::build_with_config(
+            &dataset.graph,
+            CompatibilityKind::Sbph,
+            &engine,
+        );
         b.iter(|| black_box(table2::disagreement_pct(&spo, &sbph)))
     });
     group.finish();

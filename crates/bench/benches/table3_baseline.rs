@@ -5,8 +5,8 @@
 //! solver and the audit on a scaled Epinions emulation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use signed_graph::transform::{to_unsigned, UnsignedTransform};
+use std::hint::black_box;
 use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
 use tfsn_core::team::baseline::{rarest_first, unsigned_baseline_compatibility};
 use tfsn_experiments::table3;
@@ -14,20 +14,27 @@ use tfsn_skills::taskgen::random_coverable_tasks;
 
 fn bench_table3(c: &mut Criterion) {
     let report = table3::run(&tfsn_bench::util::preamble_config());
-    println!("\n=== Table 3 (regenerated, smoke scale) ===\n{}", report.render());
+    println!(
+        "\n=== Table 3 (regenerated, smoke scale) ===\n{}",
+        report.render()
+    );
 
     let dataset = tfsn_datasets::epinions(0.03);
     let tasks = random_coverable_tasks(&dataset.skills, 5, 20, 7);
     let ignore = to_unsigned(&dataset.graph, UnsignedTransform::IgnoreSigns);
     let engine = EngineConfig::default();
-    let nne = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Nne, &engine, 4);
+    let nne =
+        CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Nne, &engine, 4);
 
     let mut group = c.benchmark_group("table3");
     group.sample_size(20);
     group.bench_function("rarest_first_single_task", |b| {
         b.iter(|| black_box(rarest_first(&ignore, &dataset.skills, &tasks[0])))
     });
-    for transform in [UnsignedTransform::IgnoreSigns, UnsignedTransform::DeleteNegative] {
+    for transform in [
+        UnsignedTransform::IgnoreSigns,
+        UnsignedTransform::DeleteNegative,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("baseline_audit_20_tasks", transform.label()),
             &transform,
@@ -45,7 +52,12 @@ fn bench_table3(c: &mut Criterion) {
         );
     }
     group.bench_function("unsigned_transform", |b| {
-        b.iter(|| black_box(to_unsigned(&dataset.graph, UnsignedTransform::DeleteNegative)))
+        b.iter(|| {
+            black_box(to_unsigned(
+                &dataset.graph,
+                UnsignedTransform::DeleteNegative,
+            ))
+        })
     });
     group.finish();
 }

@@ -192,12 +192,9 @@ pub fn compute_source(
             sp::source_from_counts(source, kind, &counts)
         }
         CompatibilityKind::Sbph => sbph::sbph_source(graph, csr, source, cfg.sbph_width),
-        CompatibilityKind::Sbp => sbp::sbp_source(
-            graph,
-            source,
-            cfg.sbp_max_path_len,
-            cfg.sbp_max_states,
-        ),
+        CompatibilityKind::Sbp => {
+            sbp::sbp_source(graph, source, cfg.sbp_max_path_len, cfg.sbp_max_states)
+        }
     }
 }
 
@@ -371,7 +368,9 @@ impl Compatibility for CompatibilityMatrix {
         if u == v {
             return Some(0);
         }
-        self.rows.get(u.index()).and_then(|r| r.distance.get(v.index()).copied().flatten())
+        self.rows
+            .get(u.index())
+            .and_then(|r| r.distance.get(v.index()).copied().flatten())
     }
 }
 
@@ -444,11 +443,7 @@ impl<'g> LazyCompatibility<'g> {
             return row.clone();
         }
         let row = std::sync::Arc::new(compute_source(
-            self.graph,
-            &self.csr,
-            source,
-            self.kind,
-            &self.cfg,
+            self.graph, &self.csr, source, self.kind, &self.cfg,
         ));
         let mut guard = self.cache.write();
         let slot = &mut guard[source.index()];
@@ -487,7 +482,11 @@ impl Compatibility for LazyCompatibility<'_> {
             return forward;
         }
         // Asymmetric heuristic kinds: take the symmetric closure.
-        self.source(v).compatible.get(u.index()).copied().unwrap_or(false)
+        self.source(v)
+            .compatible
+            .get(u.index())
+            .copied()
+            .unwrap_or(false)
     }
 
     fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
@@ -579,7 +578,10 @@ mod tests {
             assert_eq!(CompatibilityKind::parse(kind.label()), Some(kind));
             assert_eq!(kind.to_string(), kind.label());
         }
-        assert_eq!(CompatibilityKind::parse("spa"), Some(CompatibilityKind::Spa));
+        assert_eq!(
+            CompatibilityKind::parse("spa"),
+            Some(CompatibilityKind::Spa)
+        );
         assert_eq!(CompatibilityKind::parse("bogus"), None);
         assert_eq!(CompatibilityKind::EVALUATED.len(), 5);
     }
@@ -642,18 +644,28 @@ mod tests {
 
     #[test]
     fn parallel_build_matches_sequential() {
-        let g = signed_graph::generators::social_network(&signed_graph::generators::SocialNetworkConfig {
-            nodes: 120,
-            edges: 400,
-            negative_fraction: 0.2,
-            seed: 5,
-            ..Default::default()
-        });
+        let g = signed_graph::generators::social_network(
+            &signed_graph::generators::SocialNetworkConfig {
+                nodes: 120,
+                edges: 400,
+                negative_fraction: 0.2,
+                seed: 5,
+                ..Default::default()
+            },
+        );
         let cfg = EngineConfig::default();
-        for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Sbph] {
+        for kind in [
+            CompatibilityKind::Spa,
+            CompatibilityKind::Spo,
+            CompatibilityKind::Sbph,
+        ] {
             let seq = CompatibilityMatrix::build_with_config(&g, kind, &cfg);
             let par = CompatibilityMatrix::build_parallel(&g, kind, &cfg, 4);
-            assert_eq!(seq.rows(), par.rows(), "{kind}: parallel and sequential differ");
+            assert_eq!(
+                seq.rows(),
+                par.rows(),
+                "{kind}: parallel and sequential differ"
+            );
         }
     }
 

@@ -107,7 +107,7 @@ fn dfs(
     max_states: usize,
     stats: &mut SbpSearchStats,
 ) {
-    if path.len() - 1 >= max_len {
+    if path.len() > max_len {
         return;
     }
     if stats.states_expanded >= max_states {

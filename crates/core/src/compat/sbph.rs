@@ -203,7 +203,10 @@ mod tests {
                 let wide = sbph_source(&g, &c, source, 4);
                 for v in g.nodes() {
                     if narrow.compatible[v.index()] {
-                        assert!(wide.compatible[v.index()], "widening lost a compatible pair");
+                        assert!(
+                            wide.compatible[v.index()],
+                            "widening lost a compatible pair"
+                        );
                     }
                 }
             }

@@ -236,7 +236,11 @@ mod tests {
     fn unreachable_nodes_are_incompatible() {
         let g = from_edge_triples(vec![(0, 1, Sign::Positive), (2, 3, Sign::Positive)]);
         let counts = signed_bfs(&csr(&g), NodeId::new(0));
-        for kind in [CompatibilityKind::Spa, CompatibilityKind::Spm, CompatibilityKind::Spo] {
+        for kind in [
+            CompatibilityKind::Spa,
+            CompatibilityKind::Spm,
+            CompatibilityKind::Spo,
+        ] {
             let sc = source_from_counts(NodeId::new(0), kind, &counts);
             assert!(!sc.compatible[2]);
             assert!(!sc.compatible[3]);
@@ -248,7 +252,11 @@ mod tests {
     fn negative_direct_edge_is_never_sp_compatible() {
         let g = from_edge_triples(vec![(0, 1, Sign::Negative)]);
         let counts = signed_bfs(&csr(&g), NodeId::new(0));
-        for kind in [CompatibilityKind::Spa, CompatibilityKind::Spm, CompatibilityKind::Spo] {
+        for kind in [
+            CompatibilityKind::Spa,
+            CompatibilityKind::Spm,
+            CompatibilityKind::Spo,
+        ] {
             let sc = source_from_counts(NodeId::new(0), kind, &counts);
             assert!(!sc.compatible[1], "{kind}");
         }

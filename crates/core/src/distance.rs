@@ -66,7 +66,13 @@ pub fn positive_walk_distances(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32
         }
     }
     dist.into_iter()
-        .map(|d| if d[0] == UNREACHABLE { None } else { Some(d[0]) })
+        .map(|d| {
+            if d[0] == UNREACHABLE {
+                None
+            } else {
+                Some(d[0])
+            }
+        })
         .collect()
 }
 
@@ -92,7 +98,13 @@ pub fn negative_walk_distances(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32
         }
     }
     dist.into_iter()
-        .map(|d| if d[1] == UNREACHABLE { None } else { Some(d[1]) })
+        .map(|d| {
+            if d[1] == UNREACHABLE {
+                None
+            } else {
+                Some(d[1])
+            }
+        })
         .collect()
 }
 

@@ -56,13 +56,17 @@ mod tests {
         assert!(TfsnError::UncoverableSkill(SkillId::new(3))
             .to_string()
             .contains("s3"));
-        assert!(TfsnError::NoCompatibleTeam.to_string().contains("no compatible team"));
+        assert!(TfsnError::NoCompatibleTeam
+            .to_string()
+            .contains("no compatible team"));
         assert!(TfsnError::UserCountMismatch {
             graph_nodes: 4,
             skill_users: 5
         }
         .to_string()
         .contains("4"));
-        assert!(TfsnError::SearchBudgetExceeded.to_string().contains("budget"));
+        assert!(TfsnError::SearchBudgetExceeded
+            .to_string()
+            .contains("budget"));
     }
 }

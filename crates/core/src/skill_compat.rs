@@ -160,8 +160,7 @@ impl TaskSkillDegrees {
                 &h[..h.len().min(cap)]
             })
             .collect();
-        let mut degrees: Vec<(SkillId, u64)> =
-            task_skills.iter().map(|&s| (s, 0u64)).collect();
+        let mut degrees: Vec<(SkillId, u64)> = task_skills.iter().map(|&s| (s, 0u64)).collect();
         for i in 0..task_skills.len() {
             for j in (i + 1)..task_skills.len() {
                 let mut pair_degree = 0u64;
@@ -190,7 +189,7 @@ impl TaskSkillDegrees {
 
     /// The task skill with the smallest degree among `candidates`
     /// (ties broken by skill id).
-    pub fn least_compatible<'a>(&self, candidates: &'a [SkillId]) -> Option<SkillId> {
+    pub fn least_compatible(&self, candidates: &[SkillId]) -> Option<SkillId> {
         candidates
             .iter()
             .copied()

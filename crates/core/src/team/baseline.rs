@@ -76,8 +76,10 @@ pub fn rarest_first(
             continue;
         }
         let team = Team::new(members);
-        let cost = unsigned_diameter(graph, &team).map(u64::from).unwrap_or(u64::MAX);
-        let better = best.as_ref().map_or(true, |(_, c)| cost < *c);
+        let cost = unsigned_diameter(graph, &team)
+            .map(u64::from)
+            .unwrap_or(u64::MAX);
+        let better = best.as_ref().is_none_or(|(_, c)| cost < *c);
         if better {
             best = Some((team, cost));
         }
@@ -196,7 +198,9 @@ mod tests {
     #[test]
     fn rarest_first_handles_trivial_and_impossible_tasks() {
         let (g, skills) = setup();
-        assert!(rarest_first(&g, &skills, &Task::new([])).unwrap().is_empty());
+        assert!(rarest_first(&g, &skills, &Task::new([]))
+            .unwrap()
+            .is_empty());
         assert_eq!(
             rarest_first(&g, &skills, &Task::new([SkillId::new(5)])),
             Err(TfsnError::UncoverableSkill(SkillId::new(5)))

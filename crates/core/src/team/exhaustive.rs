@@ -126,13 +126,21 @@ mod tests {
             for kind in [CompatibilityKind::Spo, CompatibilityKind::Nne] {
                 let comp = CompatibilityMatrix::build(&g, kind);
                 let exact = solve_exhaustive(&inst, &comp, &task);
-                let greedy =
-                    solve_greedy(&inst, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default());
+                let greedy = solve_greedy(
+                    &inst,
+                    &comp,
+                    &task,
+                    TeamAlgorithm::LCMD,
+                    &GreedyConfig::default(),
+                );
                 match (exact, greedy) {
                     (Ok(e), Ok(h)) => {
                         let ce = e.diameter(&comp).unwrap_or(u32::MAX);
                         let ch = h.diameter(&comp).unwrap_or(u32::MAX);
-                        assert!(ce <= ch, "seed {seed} {kind}: exhaustive {ce} > greedy {ch}");
+                        assert!(
+                            ce <= ch,
+                            "seed {seed} {kind}: exhaustive {ce} > greedy {ch}"
+                        );
                         assert!(e.is_valid(&skills, &task, &comp));
                     }
                     (Err(_), Ok(h)) => {
@@ -154,7 +162,9 @@ mod tests {
         skills.grant(1, s(1));
         let inst = TfsnInstance::new(&g, &skills);
         let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Nne);
-        assert!(solve_exhaustive(&inst, &comp, &Task::new([])).unwrap().is_empty());
+        assert!(solve_exhaustive(&inst, &comp, &Task::new([]))
+            .unwrap()
+            .is_empty());
         assert_eq!(
             solve_exhaustive(&inst, &comp, &Task::new([s(0), s(1)])),
             Err(TfsnError::NoCompatibleTeam)

@@ -13,6 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use signed_graph::NodeId;
 use tfsn_skills::task::Task;
 use tfsn_skills::{SkillId, SkillSet};
@@ -24,7 +25,7 @@ use crate::error::TfsnError;
 use crate::skill_compat::TaskSkillDegrees;
 
 /// Tuning parameters of the greedy solver.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GreedyConfig {
     /// Maximum number of seed users tried for the first skill (`None` = all
     /// holders, as in the paper's pseudocode). Capping the seeds bounds the
@@ -130,13 +131,17 @@ pub fn solve_greedy_with_stats<C: Compatibility + ?Sized>(
         stats.seeds_tried += 1;
         let seed = NodeId::new(seed as usize);
         if let Some(team) = grow_team(
-            instance, comp, task, algorithm, seed, &select_skill, &mut rng, &mut stats,
+            instance,
+            comp,
+            task,
+            algorithm,
+            seed,
+            &select_skill,
+            &mut rng,
+            &mut stats,
         ) {
             stats.seeds_succeeded += 1;
-            let cost = team
-                .diameter(comp)
-                .map(u64::from)
-                .unwrap_or(u64::MAX);
+            let cost = team.diameter(comp).map(u64::from).unwrap_or(u64::MAX);
             let better = match &best {
                 None => true,
                 Some((_, best_cost)) => cost < *best_cost,
@@ -224,9 +229,17 @@ fn grow_team<C: Compatibility + ?Sized>(
 /// The candidate's distance to the team under the relation's distance:
 /// its largest distance to any member (matching the diameter cost).
 /// Missing distances are treated as effectively infinite.
-fn distance_to_team<C: Compatibility + ?Sized>(comp: &C, candidate: NodeId, team: &[NodeId]) -> u64 {
+fn distance_to_team<C: Compatibility + ?Sized>(
+    comp: &C,
+    candidate: NodeId,
+    team: &[NodeId],
+) -> u64 {
     team.iter()
-        .map(|&m| comp.distance(candidate, m).map(u64::from).unwrap_or(u64::MAX / 2))
+        .map(|&m| {
+            comp.distance(candidate, m)
+                .map(u64::from)
+                .unwrap_or(u64::MAX / 2)
+        })
         .max()
         .unwrap_or(0)
 }
@@ -289,7 +302,14 @@ mod tests {
         let (g, skills) = setup();
         let inst = TfsnInstance::new(&g, &skills);
         let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
-        let team = solve_greedy(&inst, &comp, &Task::new([]), TeamAlgorithm::LCMD, &GreedyConfig::default()).unwrap();
+        let team = solve_greedy(
+            &inst,
+            &comp,
+            &Task::new([]),
+            TeamAlgorithm::LCMD,
+            &GreedyConfig::default(),
+        )
+        .unwrap();
         assert!(team.is_empty());
     }
 
@@ -324,7 +344,10 @@ mod tests {
             for alg in TeamAlgorithm::ALL {
                 let team = solve_greedy(&inst, &comp, &task, alg, &GreedyConfig::default())
                     .unwrap_or_else(|e| panic!("{kind}/{alg}: {e}"));
-                assert!(team.is_valid(&skills, &task, &comp), "{kind}/{alg}: invalid team");
+                assert!(
+                    team.is_valid(&skills, &task, &comp),
+                    "{kind}/{alg}: invalid team"
+                );
             }
         }
     }
@@ -339,7 +362,14 @@ mod tests {
         // shortest path to 0 goes through the negative edge), so the team
         // must use user 1 or 3.
         let task = Task::new([s(0), s(1)]);
-        let team = solve_greedy(&inst, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default()).unwrap();
+        let team = solve_greedy(
+            &inst,
+            &comp,
+            &task,
+            TeamAlgorithm::LCMD,
+            &GreedyConfig::default(),
+        )
+        .unwrap();
         assert!(!team.contains(n(2)));
         assert!(team.contains(n(0)));
         assert_eq!(team.len(), 2);
@@ -355,7 +385,14 @@ mod tests {
         // Skill 2 is held only by user 4 at distance 2 from user 0, so every
         // algorithm returns {0, 4}; check the cost is the NNE (unsigned)
         // distance.
-        let team = solve_greedy(&inst, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default()).unwrap();
+        let team = solve_greedy(
+            &inst,
+            &comp,
+            &task,
+            TeamAlgorithm::LCMD,
+            &GreedyConfig::default(),
+        )
+        .unwrap();
         assert_eq!(team.members(), &[n(0), n(4)]);
         assert_eq!(team.diameter(&comp), Some(2));
     }
@@ -366,7 +403,10 @@ mod tests {
         let inst = TfsnInstance::new(&g, &skills);
         let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Nne);
         let task = Task::new([s(0), s(1), s(2)]);
-        let cfg1 = GreedyConfig { random_seed: 7, ..Default::default() };
+        let cfg1 = GreedyConfig {
+            random_seed: 7,
+            ..Default::default()
+        };
         let a = solve_greedy(&inst, &comp, &task, TeamAlgorithm::RANDOM, &cfg1).unwrap();
         let b = solve_greedy(&inst, &comp, &task, TeamAlgorithm::RANDOM, &cfg1).unwrap();
         assert_eq!(a, b);
@@ -396,7 +436,10 @@ mod tests {
             &comp,
             &task,
             TeamAlgorithm::LCMD,
-            &GreedyConfig { max_seeds: Some(1), ..Default::default() },
+            &GreedyConfig {
+                max_seeds: Some(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(capped.seeds_tried, 1);

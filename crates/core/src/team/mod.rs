@@ -24,6 +24,9 @@ pub mod baseline;
 pub mod exhaustive;
 pub mod greedy;
 pub mod policies;
+pub mod solver;
+
+pub use solver::Solver;
 
 use serde::{Deserialize, Serialize};
 use signed_graph::{NodeId, SignedGraph};
@@ -54,10 +57,7 @@ impl<'a> TfsnInstance<'a> {
 
     /// Fallible constructor returning [`TfsnError::UserCountMismatch`] when
     /// the graph and the skill assignment describe different pools.
-    pub fn try_new(
-        graph: &'a SignedGraph,
-        skills: &'a SkillAssignment,
-    ) -> Result<Self, TfsnError> {
+    pub fn try_new(graph: &'a SignedGraph, skills: &'a SkillAssignment) -> Result<Self, TfsnError> {
         if graph.node_count() != skills.user_count() {
             return Err(TfsnError::UserCountMismatch {
                 graph_nodes: graph.node_count(),

@@ -93,8 +93,11 @@ impl TeamAlgorithm {
     };
 
     /// The algorithms reported in the paper's Figure 2(a)/(b).
-    pub const FIGURE2: [TeamAlgorithm; 3] =
-        [TeamAlgorithm::LCMD, TeamAlgorithm::LCMC, TeamAlgorithm::RANDOM];
+    pub const FIGURE2: [TeamAlgorithm; 3] = [
+        TeamAlgorithm::LCMD,
+        TeamAlgorithm::LCMC,
+        TeamAlgorithm::RANDOM,
+    ];
 
     /// All four policy combinations plus the random baseline (the ablation
     /// set of `policy_ablation`).

@@ -30,6 +30,18 @@ fn arb_graph() -> impl Strategy<Value = SignedGraph> {
     })
 }
 
+/// Whether the exact SBP search completes within its state budget on every
+/// source of `g`. When it does not, SBP under-approximates the true relation
+/// and the SBPH ⊆ SBP containment (and the derived pair-fraction ordering)
+/// legitimately need not hold, so those assertions are skipped.
+fn sbp_search_complete(g: &SignedGraph, cfg: &EngineConfig) -> bool {
+    !g.nodes().any(|s| {
+        tfsn_core::compat::sbp::sbp_source_with_stats(g, s, None, cfg.sbp_max_states)
+            .1
+            .budget_exhausted
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -69,14 +81,21 @@ proptest! {
         let sbph = build(CompatibilityKind::Sbph);
         let sbp = build(CompatibilityKind::Sbp);
         let nne = build(CompatibilityKind::Nne);
-        let chains: [(&CompatibilityMatrix, &CompatibilityMatrix, &str); 6] = [
+        // The other containments are structural and survive budget
+        // truncation (a budgeted SBP pair still has a positive balanced
+        // path, so SBP ⊆ NNE always); see sbp_search_complete for why
+        // SBPH ⊆ SBP is conditional.
+        let sbp_complete = sbp_search_complete(&g, &cfg);
+        let mut chains: Vec<(&CompatibilityMatrix, &CompatibilityMatrix, &str)> = vec![
             (&dpe, &spa, "DPE ⊆ SPA"),
             (&spa, &spm, "SPA ⊆ SPM"),
             (&spm, &spo, "SPM ⊆ SPO"),
             (&dpe, &sbph, "DPE ⊆ SBPH"),
-            (&sbph, &sbp, "SBPH ⊆ SBP"),
             (&sbp, &nne, "SBP ⊆ NNE"),
         ];
+        if sbp_complete {
+            chains.push((&sbph, &sbp, "SBPH ⊆ SBP"));
+        }
         for u in g.nodes() {
             for v in g.nodes() {
                 for (smaller, larger, label) in &chains {
@@ -102,7 +121,11 @@ proptest! {
         let nne = frac(CompatibilityKind::Nne);
         prop_assert!(spa <= spm + 1e-12);
         prop_assert!(spm <= spo + 1e-12);
-        prop_assert!(sbph <= sbp + 1e-12);
+        // SBPH ≤ SBP only holds when the budgeted exact search completed
+        // (see sbp_search_complete).
+        if sbp_search_complete(&g, &cfg) {
+            prop_assert!(sbph <= sbp + 1e-12);
+        }
         prop_assert!(sbp <= nne + 1e-12);
     }
 
@@ -240,10 +263,24 @@ fn paper_figure_1a_example() {
         (4, 5, Sign::Positive),
     ]);
     let (u, v) = (NodeId::new(0), NodeId::new(5));
-    for kind in [CompatibilityKind::Spa, CompatibilityKind::Spm, CompatibilityKind::Spo] {
-        assert!(!CompatibilityMatrix::build(&g, kind).compatible(u, v), "{kind}");
+    for kind in [
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spm,
+        CompatibilityKind::Spo,
+    ] {
+        assert!(
+            !CompatibilityMatrix::build(&g, kind).compatible(u, v),
+            "{kind}"
+        );
     }
-    for kind in [CompatibilityKind::Sbp, CompatibilityKind::Sbph, CompatibilityKind::Nne] {
-        assert!(CompatibilityMatrix::build(&g, kind).compatible(u, v), "{kind}");
+    for kind in [
+        CompatibilityKind::Sbp,
+        CompatibilityKind::Sbph,
+        CompatibilityKind::Nne,
+    ] {
+        assert!(
+            CompatibilityMatrix::build(&g, kind).compatible(u, v),
+            "{kind}"
+        );
     }
 }

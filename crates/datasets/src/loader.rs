@@ -50,7 +50,8 @@ pub fn load_from_parts<R: Read>(
     // Restrict to the largest connected component first, then translate the
     // original ids of the retained nodes.
     let (graph, old_of_new) = largest_component_subgraph(&parsed.graph);
-    let mut original_to_dense: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    let mut original_to_dense: std::collections::HashMap<u64, usize> =
+        std::collections::HashMap::new();
     for (new_idx, old_node) in old_of_new.iter().enumerate() {
         let original = parsed.original_ids[old_node.index()];
         original_to_dense.insert(original, new_idx);
@@ -128,7 +129,9 @@ mod tests {
         assert_eq!(d.universe.len(), 3); // databases, ml, graphics
         let db = d.universe.get("databases").unwrap();
         assert_eq!(d.skills.skill_frequency(db), 2);
-        let total: usize = (0..d.skills.user_count()).map(|u| d.skills.skills_of(u).len()).sum();
+        let total: usize = (0..d.skills.user_count())
+            .map(|u| d.skills.skills_of(u).len())
+            .sum();
         assert_eq!(total, 4);
         assert!(d.universe.get("ignored-component").is_none());
     }
@@ -148,7 +151,9 @@ mod tests {
         let parsed = read_edge_list_str("1 2 1\n2 3 1\n").unwrap();
         let d = load_from_parts("sparse", parsed, "1 solo\n".as_bytes()).unwrap();
         assert_eq!(d.graph.node_count(), 3);
-        let with_skills = (0..3).filter(|&u| !d.skills.skills_of(u).is_empty()).count();
+        let with_skills = (0..3)
+            .filter(|&u| !d.skills.skills_of(u).is_empty())
+            .count();
         assert_eq!(with_skills, 1);
         assert_eq!(d.skills.skill_frequency(SkillId::new(0)), 1);
     }

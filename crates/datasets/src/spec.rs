@@ -35,7 +35,7 @@ impl PaperDataset {
     pub fn spec(self) -> DatasetSpec {
         match self {
             PaperDataset::Slashdot => DatasetSpec {
-                name: "Slashdot",
+                name: "Slashdot".to_string(),
                 users: 214,
                 edges: 304,
                 negative_fraction: 0.292,
@@ -52,7 +52,7 @@ impl PaperDataset {
                 seed: 0x51A5_4D07,
             },
             PaperDataset::Epinions => DatasetSpec {
-                name: "Epinions",
+                name: "Epinions".to_string(),
                 users: 28_854,
                 edges: 208_778,
                 negative_fraction: 0.167,
@@ -67,7 +67,7 @@ impl PaperDataset {
                 seed: 0xE915_1035,
             },
             PaperDataset::Wikipedia => DatasetSpec {
-                name: "Wikipedia",
+                name: "Wikipedia".to_string(),
                 users: 7_066,
                 edges: 100_790,
                 negative_fraction: 0.215,
@@ -98,7 +98,7 @@ impl std::fmt::Display for PaperDataset {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatasetSpec {
     /// Dataset name.
-    pub name: &'static str,
+    pub name: String,
     /// Number of users (paper Table 1).
     pub users: usize,
     /// Number of edges (paper Table 1).
@@ -132,7 +132,11 @@ impl DatasetSpec {
     /// connected edge budget). Skill-universe size is left unchanged — the
     /// categories exist regardless of how many users are sampled.
     pub fn scaled(&self, scale: f64) -> DatasetSpec {
-        let scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 };
+        let scale = if scale.is_finite() && scale > 0.0 {
+            scale
+        } else {
+            1.0
+        };
         let users = ((self.users as f64 * scale).round() as usize).max(8);
         let edges = ((self.edges as f64 * scale).round() as usize).max(users.saturating_sub(1));
         DatasetSpec {
@@ -150,11 +154,20 @@ mod tests {
     #[test]
     fn specs_match_table_1() {
         let s = PaperDataset::Slashdot.spec();
-        assert_eq!((s.users, s.edges, s.skills, s.diameter), (214, 304, 1024, 9));
+        assert_eq!(
+            (s.users, s.edges, s.skills, s.diameter),
+            (214, 304, 1024, 9)
+        );
         let e = PaperDataset::Epinions.spec();
-        assert_eq!((e.users, e.edges, e.skills, e.diameter), (28_854, 208_778, 523, 11));
+        assert_eq!(
+            (e.users, e.edges, e.skills, e.diameter),
+            (28_854, 208_778, 523, 11)
+        );
         let w = PaperDataset::Wikipedia.spec();
-        assert_eq!((w.users, w.edges, w.skills, w.diameter), (7_066, 100_790, 500, 7));
+        assert_eq!(
+            (w.users, w.edges, w.skills, w.diameter),
+            (7_066, 100_790, 500, 7)
+        );
         for d in PaperDataset::ALL {
             assert_eq!(d.to_string(), d.name());
             let spec = d.spec();

@@ -71,7 +71,11 @@ mod tests {
         assert!(stats.diameter_exact);
         // The emulation aims at the published diameter of 9; accept a band
         // (the generator is matched on locality, not on diameter exactly).
-        assert!(stats.diameter >= 6 && stats.diameter <= 16, "diameter {}", stats.diameter);
+        assert!(
+            stats.diameter >= 6 && stats.diameter <= 16,
+            "diameter {}",
+            stats.diameter
+        );
         assert_eq!(stats.skills, 1024);
         assert!(stats.mean_skills_per_user > 1.0);
     }

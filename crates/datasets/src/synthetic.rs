@@ -93,7 +93,7 @@ pub fn generate(spec: &DatasetSpec, scale: f64) -> Dataset {
         seed: spec.seed ^ 0x5EED_5EED,
     });
 
-    Dataset::new(spec.name, graph, universe, skills)
+    Dataset::new(spec.name.clone(), graph, universe, skills)
 }
 
 #[cfg(test)]
@@ -127,7 +127,12 @@ mod tests {
         let d = generate(&PaperDataset::Epinions.spec(), 0.05);
         let mut freqs: Vec<usize> = d.skills.skill_frequencies().map(|(_, f)| f).collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
-        assert!(freqs[0] > freqs[freqs.len() / 2].max(1) * 3, "head {} median {}", freqs[0], freqs[freqs.len() / 2]);
+        assert!(
+            freqs[0] > freqs[freqs.len() / 2].max(1) * 3,
+            "head {} median {}",
+            freqs[0],
+            freqs[freqs.len() / 2]
+        );
     }
 
     #[test]

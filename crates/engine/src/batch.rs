@@ -1,0 +1,78 @@
+//! Parallel batch execution: fan a slice of queries across worker threads,
+//! returning answers in query order.
+//!
+//! Determinism: every solver is deterministic for a fixed query (the RANDOM
+//! policy is seeded per query), the matrix cache returns one shared matrix
+//! per kind no matter which worker builds it, and the parallel map is
+//! order-stable — so a batch's answers (timing fields aside) are identical
+//! for any thread count, which `tests/serving.rs` asserts.
+
+use rayon::prelude::*;
+
+use crate::answer::TeamAnswer;
+use crate::query::TeamQuery;
+use crate::Engine;
+
+/// Options for one batch run.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Worker threads (`None` = rayon's ambient parallelism).
+    pub threads: Option<usize>,
+}
+
+impl BatchOptions {
+    /// A batch option set pinned to `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchOptions {
+            threads: Some(threads),
+        }
+    }
+}
+
+/// Runs `queries` against `engine` in parallel; answers in query order.
+pub fn run(engine: &Engine, queries: &[TeamQuery], options: &BatchOptions) -> Vec<TeamAnswer> {
+    let execute = || queries.par_iter().map(|q| engine.query(q)).collect();
+    match options.threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool construction cannot fail")
+            .install(execute),
+        None => execute(),
+    }
+}
+
+/// Summary statistics of one executed batch, for CLI/bench reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSummary {
+    /// Number of queries.
+    pub queries: usize,
+    /// Number answered `ok`.
+    pub solved: usize,
+    /// Mean in-engine latency per query, microseconds.
+    pub mean_micros: f64,
+    /// Queries whose matrix was already cached.
+    pub cache_hits: usize,
+}
+
+impl BatchSummary {
+    /// Summarizes a batch of answers.
+    pub fn of(answers: &[TeamAnswer]) -> Self {
+        let solved = answers
+            .iter()
+            .filter(|a| a.status == crate::AnswerStatus::Ok)
+            .count();
+        let cache_hits = answers.iter().filter(|a| a.cache_hit).count();
+        let total_micros: u64 = answers.iter().map(|a| a.micros).sum();
+        BatchSummary {
+            queries: answers.len(),
+            solved,
+            mean_micros: if answers.is_empty() {
+                0.0
+            } else {
+                total_micros as f64 / answers.len() as f64
+            },
+            cache_hits,
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! The `tfsn` CLI entry point; see [`tfsn_engine::cli`] for the interface.
+
+fn main() {
+    std::process::exit(tfsn_engine::cli::run(std::env::args().skip(1)));
+}

@@ -1,0 +1,167 @@
+//! The memoized compatibility-matrix store: one shard per
+//! [`CompatibilityKind`], each a `OnceLock` so concurrent queries for the
+//! same relation build its matrix **exactly once** while other relations
+//! proceed independently.
+//!
+//! Matrix construction is the dominant cost of serving a cold query
+//! (`O(|V| · BFS)` for the SP family, worse for SBP), so the cache is what
+//! turns the engine from "recompute per call" into a serving system: the
+//! first query of each kind pays the build, every later query is a lookup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use signed_graph::SignedGraph;
+use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
+
+/// Index of a kind in the shard array (kinds are a small closed set).
+fn shard_index(kind: CompatibilityKind) -> usize {
+    CompatibilityKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ALL")
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    matrix: OnceLock<Arc<CompatibilityMatrix>>,
+}
+
+/// A sharded, build-once cache of compatibility matrices.
+#[derive(Debug)]
+pub struct MatrixCache {
+    shards: [Shard; CompatibilityKind::ALL.len()],
+    cfg: EngineConfig,
+    build_threads: usize,
+    builds: AtomicUsize,
+}
+
+impl MatrixCache {
+    /// Creates an empty cache that will build matrices with `cfg` using
+    /// `build_threads` worker threads (0 = available parallelism).
+    pub fn new(cfg: EngineConfig, build_threads: usize) -> Self {
+        let build_threads = if build_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            build_threads
+        };
+        MatrixCache {
+            shards: Default::default(),
+            cfg,
+            build_threads,
+            builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// The relation tuning used for builds.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Returns the matrix for `kind`, building (and memoizing) it on first
+    /// use. Concurrent callers for the same kind block on one build; callers
+    /// for different kinds build in parallel.
+    pub fn get_or_build(
+        &self,
+        graph: &SignedGraph,
+        kind: CompatibilityKind,
+    ) -> Arc<CompatibilityMatrix> {
+        self.shards[shard_index(kind)]
+            .matrix
+            .get_or_init(|| {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(CompatibilityMatrix::build_parallel(
+                    graph,
+                    kind,
+                    &self.cfg,
+                    self.build_threads,
+                ))
+            })
+            .clone()
+    }
+
+    /// `true` when the matrix for `kind` is already materialized.
+    pub fn is_cached(&self, kind: CompatibilityKind) -> bool {
+        self.shards[shard_index(kind)].matrix.get().is_some()
+    }
+
+    /// The kinds currently materialized.
+    pub fn cached_kinds(&self) -> Vec<CompatibilityKind> {
+        CompatibilityKind::ALL
+            .into_iter()
+            .filter(|&k| self.is_cached(k))
+            .collect()
+    }
+
+    /// Total number of matrix builds performed — the exactly-once test hook:
+    /// after any number of concurrent queries over `k` distinct kinds this
+    /// must equal `k`.
+    pub fn build_count(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signed_graph::builder::from_edge_triples;
+    use signed_graph::Sign;
+
+    fn tiny_graph() -> SignedGraph {
+        from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Negative),
+            (0, 2, Sign::Positive),
+        ])
+    }
+
+    #[test]
+    fn builds_are_memoized_per_kind() {
+        let g = tiny_graph();
+        let cache = MatrixCache::new(EngineConfig::default(), 1);
+        assert_eq!(cache.build_count(), 0);
+        assert!(!cache.is_cached(CompatibilityKind::Spa));
+        let a = cache.get_or_build(&g, CompatibilityKind::Spa);
+        let b = cache.get_or_build(&g, CompatibilityKind::Spa);
+        assert!(Arc::ptr_eq(&a, &b), "same kind must share one matrix");
+        assert_eq!(cache.build_count(), 1);
+        cache.get_or_build(&g, CompatibilityKind::Nne);
+        assert_eq!(cache.build_count(), 2);
+        assert_eq!(
+            cache.cached_kinds(),
+            vec![CompatibilityKind::Spa, CompatibilityKind::Nne]
+        );
+    }
+
+    #[test]
+    fn concurrent_same_kind_builds_once() {
+        let g = from_edge_triples(
+            (0..60)
+                .map(|i| {
+                    (
+                        i,
+                        (i + 1) % 60,
+                        if i % 5 == 0 {
+                            Sign::Negative
+                        } else {
+                            Sign::Positive
+                        },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let cache = MatrixCache::new(EngineConfig::default(), 1);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        cache.get_or_build(&g, CompatibilityKind::Spo);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.build_count(), 1);
+    }
+}

@@ -1,0 +1,516 @@
+//! The `tfsn` command-line interface.
+//!
+//! ```text
+//! tfsn serve-batch [deployment flags] [--input F] [--output F] [--threads N] [--warm]
+//! tfsn stats       [deployment flags]
+//! tfsn gen         [deployment flags] [--queries N] [--task-size K]
+//!                  [--kinds CSV] [--algorithms CSV] [--output F] [--seed S]
+//! ```
+//!
+//! Deployment flags (shared by all subcommands):
+//!
+//! ```text
+//! --dataset slashdot|epinions|wikipedia|synthetic   (default slashdot)
+//! --scale F          scale factor for epinions/wikipedia (default 0.05)
+//! --nodes N          synthetic: users            (default 1000)
+//! --edges M          synthetic: edges            (default 5 * nodes)
+//! --skills K         synthetic: skill universe   (default 200)
+//! --neg-fraction F   synthetic: negative edges   (default 0.2)
+//! --seed S           synthetic: generator seed   (default 42)
+//! ```
+//!
+//! `serve-batch` reads one [`crate::TeamQuery`] JSON object per input line
+//! and writes one [`crate::TeamAnswer`] JSON object per output line (input
+//! order preserved); a human-readable summary goes to stderr.
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_datasets::{synthetic, Dataset, DatasetSpec, DatasetStats};
+use tfsn_skills::taskgen::random_coverable_tasks;
+
+use crate::batch::BatchSummary;
+use crate::{BatchOptions, Deployment, Engine, TeamQuery};
+
+/// Runs the CLI with the given arguments (exclusive of the program name);
+/// returns the process exit code.
+pub fn run(args: impl IntoIterator<Item = String>) -> i32 {
+    let args: Vec<String> = args.into_iter().collect();
+    let stdout = std::io::stdout();
+    let stderr = std::io::stderr();
+    match main_impl(&args, &mut stdout.lock(), &mut stderr.lock()) {
+        Ok(()) => 0,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            2
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            1
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: tfsn <subcommand> [flags]
+
+subcommands:
+  serve-batch   answer a JSONL batch of team queries (stdin/file -> stdout/file)
+  stats         print deployment statistics as JSON
+  gen           generate a JSONL query workload for the deployment
+
+deployment flags (all subcommands):
+  --dataset slashdot|epinions|wikipedia|synthetic   (default slashdot)
+  --scale F           scale for epinions/wikipedia (default 0.05)
+  --nodes N --edges M --skills K --neg-fraction F --seed S   (synthetic)
+
+serve-batch flags:
+  --input FILE        JSONL queries (default: stdin)
+  --output FILE       JSONL answers (default: stdout)
+  --threads N         batch worker threads (default: all cores)
+  --warm              pre-build every matrix the batch needs before timing
+
+gen flags:
+  --queries N         number of queries (default 100)
+  --task-size K       skills per task (default 5)
+  --kinds CSV         relations to round-robin (default SPA,SPM,SPO,SBPH,NNE)
+  --algorithms CSV    algorithms to round-robin (default LCMD)
+  --output FILE       destination (default: stdout)
+  --seed S            workload seed (default 7)";
+
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime(msg: impl Into<String>) -> CliError {
+    CliError::Runtime(msg.into())
+}
+
+/// Parsed `--flag value` pairs with typed accessors.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, Option<&'a str>)>,
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["--warm"];
+
+/// Deployment flags accepted by every subcommand.
+const DEPLOYMENT_FLAGS: &[&str] = &[
+    "--dataset",
+    "--scale",
+    "--nodes",
+    "--edges",
+    "--skills",
+    "--neg-fraction",
+    "--seed",
+];
+
+impl<'a> Flags<'a> {
+    /// Parses `args`, rejecting flags outside `allowed` (plus the shared
+    /// deployment flags) so typos fail loudly instead of silently falling
+    /// back to defaults.
+    fn parse(args: &'a [String], allowed: &[&str]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !flag.starts_with("--") {
+                return Err(usage(format!("unexpected argument `{flag}`")));
+            }
+            if !DEPLOYMENT_FLAGS.contains(&flag) && !allowed.contains(&flag) {
+                return Err(usage(format!("unknown flag `{flag}` for this subcommand")));
+            }
+            if BOOLEAN_FLAGS.contains(&flag) {
+                pairs.push((flag, None));
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| usage(format!("flag `{flag}` needs a value")))?;
+                pairs.push((flag, Some(value.as_str())));
+                i += 2;
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, flag: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| *f == flag)
+            .and_then(|(_, v)| *v)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.pairs.iter().any(|(f, _)| *f == flag)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| usage(format!("flag `{flag}`: invalid value `{v}`"))),
+        }
+    }
+}
+
+fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let Some(subcommand) = args.first() else {
+        return Err(usage("missing subcommand"));
+    };
+    let rest = &args[1..];
+    match subcommand.as_str() {
+        "serve-batch" => {
+            let flags = Flags::parse(rest, &["--input", "--output", "--threads", "--warm"])?;
+            serve_batch(&flags, out, err)
+        }
+        "stats" => {
+            let flags = Flags::parse(rest, &[])?;
+            stats(&flags, out)
+        }
+        "gen" => {
+            let flags = Flags::parse(
+                rest,
+                &[
+                    "--queries",
+                    "--task-size",
+                    "--kinds",
+                    "--algorithms",
+                    "--output",
+                ],
+            )?;
+            gen(&flags, out)
+        }
+        "--help" | "-h" | "help" => {
+            writeln!(out, "{USAGE}").ok();
+            Ok(())
+        }
+        other => Err(usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// Builds the dataset selected by the deployment flags.
+fn load_dataset(flags: &Flags<'_>) -> Result<Dataset, CliError> {
+    let scale: f64 = flags.parse_num("--scale", 0.05)?;
+    match flags.get("--dataset").unwrap_or("slashdot") {
+        "slashdot" => Ok(tfsn_datasets::slashdot()),
+        "epinions" => Ok(tfsn_datasets::epinions(scale)),
+        "wikipedia" => Ok(tfsn_datasets::wikipedia(scale)),
+        "synthetic" => {
+            let nodes: usize = flags.parse_num("--nodes", 1000)?;
+            let edges: usize = flags.parse_num("--edges", nodes.saturating_mul(5))?;
+            let skills: usize = flags.parse_num("--skills", 200)?;
+            let neg: f64 = flags.parse_num("--neg-fraction", 0.2)?;
+            let seed: u64 = flags.parse_num("--seed", 42)?;
+            let spec = DatasetSpec {
+                name: format!("synthetic-{nodes}n-{edges}m"),
+                users: nodes,
+                edges,
+                negative_fraction: neg,
+                diameter: 0, // informational only; not enforced
+                skills,
+                skills_per_user: 3.0,
+                zipf_exponent: 1.0,
+                locality: 0.8,
+                preferential: 0.3,
+                balance_bias: 0.8,
+                camps: 4,
+                seed,
+            };
+            Ok(synthetic::generate(&spec, 1.0))
+        }
+        other => Err(usage(format!(
+            "unknown dataset `{other}` (expected slashdot, epinions, wikipedia, or synthetic)"
+        ))),
+    }
+}
+
+fn open_input(flags: &Flags<'_>) -> Result<Box<dyn BufRead>, CliError> {
+    match flags.get("--input") {
+        None | Some("-") => Ok(Box::new(std::io::BufReader::new(std::io::stdin()))),
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| runtime(format!("cannot open --input {path}: {e}")))?;
+            Ok(Box::new(std::io::BufReader::new(file)))
+        }
+    }
+}
+
+fn open_output<'a>(
+    flags: &Flags<'_>,
+    default: &'a mut dyn Write,
+) -> Result<Box<dyn Write + 'a>, CliError> {
+    match flags.get("--output") {
+        None | Some("-") => Ok(Box::new(default)),
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| runtime(format!("cannot create --output {path}: {e}")))?;
+            Ok(Box::new(std::io::BufWriter::new(file)))
+        }
+    }
+}
+
+/// Reads a JSONL query batch; errors carry the 1-based line number.
+pub fn read_queries(reader: impl BufRead) -> Result<Vec<TeamQuery>, String> {
+    let mut queries = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let query: TeamQuery =
+            serde_json::from_str(trimmed).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        queries.push(query);
+    }
+    Ok(queries)
+}
+
+fn serve_batch(
+    flags: &Flags<'_>,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let dataset = load_dataset(flags)?;
+    let engine = Engine::new(Deployment::from_dataset(dataset));
+    let threads: usize = flags.parse_num("--threads", 0)?;
+    let options = if threads == 0 {
+        BatchOptions::default()
+    } else {
+        BatchOptions::with_threads(threads)
+    };
+
+    let queries = read_queries(open_input(flags)?).map_err(runtime)?;
+    if flags.has("--warm") {
+        let kinds: Vec<CompatibilityKind> = CompatibilityKind::ALL
+            .into_iter()
+            .filter(|k| queries.iter().any(|q| q.kind == *k))
+            .collect();
+        let warm_start = Instant::now();
+        engine.warm(&kinds);
+        writeln!(
+            err,
+            "[tfsn] warmed {} matrix(es) in {:.2}s",
+            kinds.len(),
+            warm_start.elapsed().as_secs_f64()
+        )
+        .ok();
+    }
+
+    let started = Instant::now();
+    let answers = engine.batch(&queries, &options);
+    let elapsed = started.elapsed();
+
+    {
+        let mut sink = open_output(flags, out)?;
+        for answer in &answers {
+            let line = serde_json::to_string(answer)
+                .map_err(|e| runtime(format!("serialize answer: {e}")))?;
+            writeln!(sink, "{line}").map_err(|e| runtime(format!("write answer: {e}")))?;
+        }
+        sink.flush().ok();
+    }
+
+    let summary = BatchSummary::of(&answers);
+    writeln!(
+        err,
+        "[tfsn] {} on {}: {} queries in {:.3}s ({:.0} q/s), {} solved, \
+         {} cache hits, {} matrix builds, mean latency {:.0}µs",
+        engine.deployment().name(),
+        format_args!(
+            "{}n/{}m",
+            engine.deployment().user_count(),
+            engine.deployment().graph().edge_count()
+        ),
+        summary.queries,
+        elapsed.as_secs_f64(),
+        summary.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        summary.solved,
+        summary.cache_hits,
+        engine.cache().build_count(),
+        summary.mean_micros,
+    )
+    .ok();
+    Ok(())
+}
+
+fn stats(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
+    let dataset = load_dataset(flags)?;
+    let stats = DatasetStats::compute(&dataset);
+    let json = serde_json::to_string_pretty(&stats)
+        .map_err(|e| runtime(format!("serialize stats: {e}")))?;
+    writeln!(out, "{json}").map_err(|e| runtime(format!("write stats: {e}")))?;
+    Ok(())
+}
+
+fn gen(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
+    let dataset = load_dataset(flags)?;
+    let queries: usize = flags.parse_num("--queries", 100)?;
+    let task_size: usize = flags.parse_num("--task-size", 5)?;
+    let workload_seed: u64 = flags.parse_num("--seed", 7)?;
+
+    let kinds = parse_kind_list(flags.get("--kinds"))?;
+    let algorithms = parse_algorithm_list(flags.get("--algorithms"))?;
+
+    let tasks = random_coverable_tasks(&dataset.skills, task_size, queries, workload_seed);
+    let mut sink = open_output(flags, out)?;
+    for (i, task) in tasks.iter().enumerate() {
+        let query = TeamQuery {
+            id: Some(i as u64),
+            task: task.skills().iter().map(|s| s.index()).collect(),
+            // Cross the two lists: cycle kinds fastest and advance the
+            // algorithm every full kinds cycle, so every (kind, algorithm)
+            // combination appears even when the list lengths share a factor.
+            kind: kinds[i % kinds.len()],
+            solver: algorithms[(i / kinds.len()) % algorithms.len()].clone(),
+        };
+        let line =
+            serde_json::to_string(&query).map_err(|e| runtime(format!("serialize query: {e}")))?;
+        writeln!(sink, "{line}").map_err(|e| runtime(format!("write query: {e}")))?;
+    }
+    sink.flush().ok();
+    Ok(())
+}
+
+fn parse_kind_list(csv: Option<&str>) -> Result<Vec<CompatibilityKind>, CliError> {
+    match csv {
+        None => Ok(CompatibilityKind::EVALUATED.to_vec()),
+        Some(csv) => csv
+            .split(',')
+            .map(|label| {
+                CompatibilityKind::parse(label.trim())
+                    .ok_or_else(|| usage(format!("unknown kind `{label}` in --kinds")))
+            })
+            .collect(),
+    }
+}
+
+fn parse_algorithm_list(csv: Option<&str>) -> Result<Vec<tfsn_core::team::Solver>, CliError> {
+    use tfsn_core::team::policies::TeamAlgorithm;
+    use tfsn_core::team::Solver;
+    match csv {
+        None => Ok(vec![Solver::default_greedy()]),
+        Some(csv) => csv
+            .split(',')
+            .map(|label| {
+                let label = label.trim().to_ascii_uppercase();
+                if label == "EXHAUSTIVE" {
+                    Ok(Solver::Exhaustive)
+                } else {
+                    TeamAlgorithm::parse(&label)
+                        .map(Solver::greedy)
+                        .ok_or_else(|| {
+                            usage(format!("unknown algorithm `{label}` in --algorithms"))
+                        })
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_strings(args: &[&str]) -> (String, String, Result<(), String>) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let result = main_impl(&args, &mut out, &mut err).map_err(|e| match e {
+            CliError::Usage(m) | CliError::Runtime(m) => m,
+        });
+        (
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+            result,
+        )
+    }
+
+    #[test]
+    fn stats_prints_dataset_json() {
+        let (out, _, result) = run_to_strings(&["stats", "--dataset", "slashdot"]);
+        result.unwrap();
+        assert!(out.contains("\"name\": \"Slashdot\""));
+        assert!(out.contains("\"users\": 214"));
+    }
+
+    #[test]
+    fn gen_emits_parseable_queries() {
+        let (out, _, result) = run_to_strings(&[
+            "gen",
+            "--dataset",
+            "slashdot",
+            "--queries",
+            "12",
+            "--task-size",
+            "3",
+            "--kinds",
+            "SPA,NNE",
+        ]);
+        result.unwrap();
+        let queries = read_queries(std::io::Cursor::new(out)).unwrap();
+        assert_eq!(queries.len(), 12);
+        assert!(queries.iter().all(|q| q.task.len() == 3));
+        assert!(queries
+            .iter()
+            .all(|q| matches!(q.kind, CompatibilityKind::Spa | CompatibilityKind::Nne)));
+    }
+
+    #[test]
+    fn gen_crosses_kinds_with_algorithms() {
+        let (out, _, result) = run_to_strings(&[
+            "gen",
+            "--dataset",
+            "slashdot",
+            "--queries",
+            "8",
+            "--kinds",
+            "SPA,NNE",
+            "--algorithms",
+            "LCMD,RANDOM",
+        ]);
+        result.unwrap();
+        let queries = read_queries(std::io::Cursor::new(out)).unwrap();
+        let mut combos: Vec<(String, String)> = queries
+            .iter()
+            .map(|q| (q.kind.label().to_string(), q.solver.label()))
+            .collect();
+        combos.sort();
+        combos.dedup();
+        assert_eq!(
+            combos.len(),
+            4,
+            "every (kind, algorithm) combination must appear: {combos:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_flags_and_subcommands_are_usage_errors() {
+        let (_, _, r) = run_to_strings(&["bogus"]);
+        assert!(r.unwrap_err().contains("unknown subcommand"));
+        let (_, _, r) = run_to_strings(&["stats", "--dataset"]);
+        assert!(r.unwrap_err().contains("needs a value"));
+        let (_, _, r) = run_to_strings(&["gen", "--kinds", "XYZ"]);
+        assert!(r.unwrap_err().contains("XYZ"));
+        // Typo'd or wrong-subcommand flags fail loudly instead of being
+        // silently ignored.
+        let (_, _, r) = run_to_strings(&["stats", "--thread", "8"]);
+        assert!(r.unwrap_err().contains("unknown flag `--thread`"));
+        let (_, _, r) = run_to_strings(&["stats", "--warm"]);
+        assert!(r.unwrap_err().contains("unknown flag `--warm`"));
+    }
+
+    #[test]
+    fn read_queries_reports_line_numbers() {
+        let input = "{\"task\": [1]}\n\n# comment\nnot-json\n";
+        let err = read_queries(std::io::Cursor::new(input)).unwrap_err();
+        assert!(err.starts_with("line 4:"), "got: {err}");
+    }
+}

@@ -1,0 +1,252 @@
+//! # tfsn-engine
+//!
+//! A cached, parallel **team-query serving subsystem** for the TFSN problem:
+//! the layer that turns the one-shot reproduction solvers into an online
+//! query engine, as the paper frames the problem ("given a signed network
+//! and a task T, return a compatible covering team of minimum diameter").
+//!
+//! ## Architecture
+//!
+//! * [`Deployment`] — the immutable serving state: one signed network + one
+//!   skill assignment, loaded once.
+//! * [`cache::MatrixCache`] — per-[`CompatibilityKind`] shards, each a
+//!   `OnceLock`-guarded [`tfsn_core::CompatibilityMatrix`]: the first query
+//!   of a relation pays the `O(|V| · BFS)` build, every later query is a
+//!   lookup. Concurrent identical queries build **exactly once**.
+//! * [`TeamQuery`] / [`TeamAnswer`] — the JSONL wire types
+//!   (see their module docs for the schema).
+//! * [`Engine`] — glues the above: [`Engine::query`] answers one query,
+//!   [`Engine::batch`] fans a slice of queries across rayon workers with
+//!   order-stable, deterministic results.
+//! * [`metrics::EngineMetrics`] — lock-free serving counters.
+//! * [`cli`] — the `tfsn` binary: `serve-batch`, `stats`, `gen`.
+//!
+//! ## Example
+//!
+//! ```
+//! use tfsn_engine::{BatchOptions, Deployment, Engine, TeamQuery};
+//! use tfsn_core::compat::CompatibilityKind;
+//!
+//! let engine = Engine::new(Deployment::from_dataset(tfsn_datasets::slashdot()));
+//! let queries: Vec<TeamQuery> = (0..8)
+//!     .map(|i| TeamQuery::new([0, 1 + i % 4]).with_id(i as u64)
+//!         .with_kind(CompatibilityKind::Spo))
+//!     .collect();
+//! let answers = engine.batch(&queries, &BatchOptions::default());
+//! assert_eq!(answers.len(), queries.len());
+//! // One matrix build (SPO), shared by all eight queries.
+//! assert_eq!(engine.cache().build_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod batch;
+pub mod cache;
+pub mod cli;
+pub mod deployment;
+pub mod metrics;
+pub mod query;
+
+use std::time::Instant;
+
+use tfsn_core::compat::{CompatibilityKind, EngineConfig};
+use tfsn_skills::task::Task;
+use tfsn_skills::SkillId;
+
+pub use answer::{AnswerStatus, TeamAnswer};
+pub use batch::BatchOptions;
+pub use cache::MatrixCache;
+pub use deployment::Deployment;
+pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use query::TeamQuery;
+
+/// Construction-time options for an [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Tuning for the compatibility-relation algorithms.
+    pub compat: EngineConfig,
+    /// Worker threads used to build each compatibility matrix
+    /// (0 = available parallelism).
+    pub build_threads: usize,
+}
+
+/// The query engine: an immutable [`Deployment`] plus the matrix cache and
+/// serving metrics. All methods take `&self`; the engine is `Sync` and meant
+/// to be shared across threads.
+#[derive(Debug)]
+pub struct Engine {
+    deployment: Deployment,
+    cache: MatrixCache,
+    metrics: EngineMetrics,
+}
+
+impl Engine {
+    /// Creates an engine with default options.
+    pub fn new(deployment: Deployment) -> Self {
+        Self::with_options(deployment, EngineOptions::default())
+    }
+
+    /// Creates an engine with explicit options.
+    pub fn with_options(deployment: Deployment, options: EngineOptions) -> Self {
+        Engine {
+            deployment,
+            cache: MatrixCache::new(options.compat, options.build_threads),
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    /// The deployment being served.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The matrix cache (for diagnostics and tests).
+    pub fn cache(&self) -> &MatrixCache {
+        &self.cache
+    }
+
+    /// A snapshot of the serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Pre-builds the matrices for `kinds` so subsequent queries are warm.
+    pub fn warm(&self, kinds: &[CompatibilityKind]) {
+        for &kind in kinds {
+            self.cache.get_or_build(self.deployment.graph(), kind);
+        }
+    }
+
+    /// Answers one query.
+    pub fn query(&self, query: &TeamQuery) -> TeamAnswer {
+        let start = Instant::now();
+        let cache_hit = self.cache.is_cached(query.kind);
+        let comp = self.cache.get_or_build(self.deployment.graph(), query.kind);
+        let task = Task::new(query.task.iter().map(|&s| SkillId::new(s)));
+        let instance = self.deployment.instance();
+        let result = query.solver.solve(&instance, &*comp, &task);
+        let micros = start.elapsed().as_micros() as u64;
+
+        let answer = match result {
+            Ok(team) => {
+                let diameter = team.diameter(&*comp);
+                let members: Vec<usize> = team.members().iter().map(|m| m.index()).collect();
+                TeamAnswer {
+                    id: query.id,
+                    status: AnswerStatus::Ok,
+                    kind: query.kind,
+                    algorithm: query.solver.label(),
+                    cardinality: members.len(),
+                    members,
+                    diameter,
+                    micros,
+                    cache_hit,
+                }
+            }
+            Err(e) => TeamAnswer {
+                id: query.id,
+                status: AnswerStatus::from_error(&e),
+                kind: query.kind,
+                algorithm: query.solver.label(),
+                members: Vec::new(),
+                cardinality: 0,
+                diameter: None,
+                micros,
+                cache_hit,
+            },
+        };
+        self.metrics
+            .record_query(answer.status == AnswerStatus::Ok, cache_hit, micros);
+        answer
+    }
+
+    /// Answers a batch of queries in parallel. Answers come back in query
+    /// order and are deterministic regardless of the worker-thread count
+    /// (timing fields aside).
+    pub fn batch(&self, queries: &[TeamQuery], options: &BatchOptions) -> Vec<TeamAnswer> {
+        batch::run(self, queries, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsn_core::team::Solver;
+
+    fn slashdot_engine() -> Engine {
+        Engine::new(Deployment::from_dataset(tfsn_datasets::slashdot()))
+    }
+
+    #[test]
+    fn single_query_solves_and_records_metrics() {
+        let engine = slashdot_engine();
+        let q = TeamQuery::new([0, 1])
+            .with_id(42)
+            .with_kind(CompatibilityKind::Nne);
+        let a = engine.query(&q);
+        assert_eq!(a.id, Some(42));
+        assert_eq!(a.kind, CompatibilityKind::Nne);
+        assert!(!a.cache_hit, "first query of a kind must be a miss");
+        if a.status == AnswerStatus::Ok {
+            assert_eq!(a.cardinality, a.members.len());
+            assert!(a.cardinality >= 1);
+        }
+        let again = engine.query(&q);
+        assert!(again.cache_hit, "second query of a kind must hit the cache");
+        assert_eq!(again.status, a.status);
+        assert_eq!(again.members, a.members);
+        let m = engine.metrics();
+        assert_eq!(m.queries_served, 2);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(engine.cache().build_count(), 1);
+    }
+
+    #[test]
+    fn solved_answers_are_valid_teams() {
+        let engine = slashdot_engine();
+        let queries: Vec<TeamQuery> = (0..20)
+            .map(|i| {
+                TeamQuery::new([i % 7, (i + 3) % 7])
+                    .with_id(i as u64)
+                    .with_kind(CompatibilityKind::Spo)
+            })
+            .collect();
+        let answers = engine.batch(&queries, &BatchOptions::default());
+        let comp = engine
+            .cache()
+            .get_or_build(engine.deployment().graph(), CompatibilityKind::Spo);
+        let mut solved = 0;
+        for (q, a) in queries.iter().zip(&answers) {
+            assert_eq!(q.id, a.id);
+            if a.status == AnswerStatus::Ok {
+                solved += 1;
+                let team =
+                    tfsn_core::Team::new(a.members.iter().map(|&m| signed_graph::NodeId::new(m)));
+                let task = Task::new(q.task.iter().map(|&s| SkillId::new(s)));
+                assert!(team.is_valid(engine.deployment().skills(), &task, &*comp));
+                assert_eq!(a.diameter, team.diameter(&*comp));
+            }
+        }
+        assert!(solved > 0, "no query in the smoke batch solved at all");
+    }
+
+    #[test]
+    fn exhaustive_solver_is_dispatched() {
+        let engine = slashdot_engine();
+        // A rare skill (high id under Zipf) keeps the relevant pool small
+        // enough for the exact solver; if it is too popular the answer is
+        // budget_exceeded, which is also a valid dispatch outcome.
+        let q = TeamQuery::new([900])
+            .with_kind(CompatibilityKind::Nne)
+            .with_solver(Solver::Exhaustive);
+        let a = engine.query(&q);
+        assert_eq!(a.algorithm, "EXHAUSTIVE");
+        assert!(matches!(
+            a.status,
+            AnswerStatus::Ok | AnswerStatus::Uncoverable | AnswerStatus::BudgetExceeded
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Serving metrics: lock-free counters updated by every query, snapshotted
+//! for the CLI `stats` output and the batch summaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Lock-free counters shared by all concurrent queries.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    queries: AtomicU64,
+    solved: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    busy_micros: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Records one served query.
+    pub fn record_query(&self, solved: bool, cache_hit: bool, micros: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if solved {
+            self.solved.fetch_add(1, Ordering::Relaxed);
+        }
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.busy_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_served: self.queries.load(Ordering::Relaxed),
+            queries_solved: self.solved.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            busy_micros: self.busy_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`EngineMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Queries answered (any status).
+    pub queries_served: u64,
+    /// Queries answered with a team.
+    pub queries_solved: u64,
+    /// Queries that found their compatibility matrix already materialized.
+    pub cache_hits: u64,
+    /// Queries that triggered (or waited on) a matrix build.
+    pub cache_misses: u64,
+    /// Total solver+lookup time across queries, in microseconds. Under
+    /// parallel serving this exceeds wall-clock time.
+    pub busy_micros: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean in-engine latency per query, in microseconds.
+    pub fn mean_latency_micros(&self) -> f64 {
+        if self.queries_served == 0 {
+            0.0
+        } else {
+            self.busy_micros as f64 / self.queries_served as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = EngineMetrics::default();
+        m.record_query(true, false, 100);
+        m.record_query(false, true, 50);
+        let snap = m.snapshot();
+        assert_eq!(snap.queries_served, 2);
+        assert_eq!(snap.queries_solved, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.busy_micros, 150);
+        assert!((snap.mean_latency_micros() - 75.0).abs() < 1e-9);
+    }
+}

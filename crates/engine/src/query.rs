@@ -1,0 +1,247 @@
+//! The query type of the serving layer and its wire format.
+//!
+//! On the wire a query is one JSON object per line (JSONL):
+//!
+//! ```json
+//! {"id": 7, "kind": "SPA", "algorithm": "LCMD", "task": [3, 19, 4]}
+//! ```
+//!
+//! * `task` (required) — skill ids to cover.
+//! * `kind` (optional, default `"SPA"`) — compatibility relation label.
+//! * `algorithm` (optional, default `"LCMD"`) — greedy policy label, or
+//!   `"EXHAUSTIVE"` for the exact solver.
+//! * `id` (optional) — opaque correlation id echoed in the answer.
+//! * `max_seeds`, `skill_degree_cap`, `random_seed` (optional) — greedy
+//!   tuning overrides.
+//!
+//! The serde impls are hand-written (rather than derived) so the wire format
+//! uses the paper's short labels instead of Rust enum structure.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_core::team::greedy::GreedyConfig;
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::Solver;
+
+/// One team-formation query against a deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeamQuery {
+    /// Opaque correlation id echoed in the answer.
+    pub id: Option<u64>,
+    /// Skill ids the team must cover.
+    pub task: Vec<usize>,
+    /// Compatibility relation to use.
+    pub kind: CompatibilityKind,
+    /// How to solve the query.
+    pub solver: Solver,
+}
+
+impl TeamQuery {
+    /// A query with the default relation (SPA) and solver (greedy LCMD).
+    pub fn new(task: impl IntoIterator<Item = usize>) -> Self {
+        TeamQuery {
+            id: None,
+            task: task.into_iter().collect(),
+            kind: CompatibilityKind::Spa,
+            solver: Solver::default_greedy(),
+        }
+    }
+
+    /// Sets the correlation id.
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Sets the compatibility relation.
+    pub fn with_kind(mut self, kind: CompatibilityKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the solver.
+    pub fn with_solver(mut self, solver: Solver) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+impl Serialize for TeamQuery {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = Vec::new();
+        if let Some(id) = self.id {
+            m.push(("id".to_string(), Value::UInt(id)));
+        }
+        m.push((
+            "kind".to_string(),
+            Value::Str(self.kind.label().to_string()),
+        ));
+        match &self.solver {
+            Solver::Greedy { algorithm, config } => {
+                m.push((
+                    "algorithm".to_string(),
+                    Value::Str(algorithm.label().to_string()),
+                ));
+                let defaults = GreedyConfig::default();
+                if config.max_seeds != defaults.max_seeds {
+                    m.push(("max_seeds".to_string(), config.max_seeds.to_value()));
+                }
+                if config.skill_degree_cap != defaults.skill_degree_cap {
+                    m.push((
+                        "skill_degree_cap".to_string(),
+                        config.skill_degree_cap.to_value(),
+                    ));
+                }
+                if config.random_seed != defaults.random_seed {
+                    m.push(("random_seed".to_string(), Value::UInt(config.random_seed)));
+                }
+            }
+            Solver::Exhaustive => {
+                m.push((
+                    "algorithm".to_string(),
+                    Value::Str("EXHAUSTIVE".to_string()),
+                ));
+            }
+        }
+        m.push(("task".to_string(), self.task.to_value()));
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for TeamQuery {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("query must be a JSON object"))?;
+        let field = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+
+        let task: Vec<usize> = match field("task") {
+            Some(t) => Vec::<usize>::from_value(t)
+                .map_err(|e| SerdeError::custom(format!("field `task`: {e}")))?,
+            None => return Err(SerdeError::custom("query is missing required field `task`")),
+        };
+
+        let id =
+            match field("id") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    SerdeError::custom("field `id` must be a non-negative integer")
+                })?),
+            };
+
+        let kind = match field("kind") {
+            None => CompatibilityKind::Spa,
+            Some(v) => {
+                let label = v
+                    .as_str()
+                    .ok_or_else(|| SerdeError::custom("field `kind` must be a string label"))?;
+                CompatibilityKind::parse(label).ok_or_else(|| {
+                    SerdeError::custom(format!(
+                        "unknown compatibility kind `{label}` (expected one of DPE, SPA, SPM, SPO, SBPH, SBP, NNE)"
+                    ))
+                })?
+            }
+        };
+
+        let algorithm_label = match field("algorithm") {
+            None => "LCMD".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| SerdeError::custom("field `algorithm` must be a string label"))?
+                .to_ascii_uppercase(),
+        };
+        let solver = if algorithm_label == "EXHAUSTIVE" {
+            Solver::Exhaustive
+        } else {
+            let algorithm = TeamAlgorithm::parse(&algorithm_label).ok_or_else(|| {
+                SerdeError::custom(format!(
+                    "unknown algorithm `{algorithm_label}` (expected LCMD, LCMC, RFMD, RFMC, RANDOM, or EXHAUSTIVE)"
+                ))
+            })?;
+            let mut config = GreedyConfig::default();
+            if let Some(v) = field("max_seeds") {
+                config.max_seeds = Option::<usize>::from_value(v)
+                    .map_err(|e| SerdeError::custom(format!("field `max_seeds`: {e}")))?;
+            }
+            if let Some(v) = field("skill_degree_cap") {
+                config.skill_degree_cap = Option::<usize>::from_value(v)
+                    .map_err(|e| SerdeError::custom(format!("field `skill_degree_cap`: {e}")))?;
+            }
+            if let Some(v) = field("random_seed") {
+                config.random_seed = u64::from_value(v)
+                    .map_err(|e| SerdeError::custom(format!("field `random_seed`: {e}")))?;
+            }
+            Solver::Greedy { algorithm, config }
+        };
+
+        Ok(TeamQuery {
+            id,
+            task,
+            kind,
+            solver,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query_parses_with_defaults() {
+        let q: TeamQuery = serde_json::from_str(r#"{"task": [1, 2, 3]}"#).unwrap();
+        assert_eq!(q.task, vec![1, 2, 3]);
+        assert_eq!(q.kind, CompatibilityKind::Spa);
+        assert_eq!(q.solver.label(), "LCMD");
+        assert_eq!(q.id, None);
+    }
+
+    #[test]
+    fn full_query_round_trips() {
+        let json =
+            r#"{"id": 9, "kind": "sbph", "algorithm": "rfmc", "max_seeds": 7, "task": [0, 4]}"#;
+        let q: TeamQuery = serde_json::from_str(json).unwrap();
+        assert_eq!(q.id, Some(9));
+        assert_eq!(q.kind, CompatibilityKind::Sbph);
+        match &q.solver {
+            Solver::Greedy { algorithm, config } => {
+                assert_eq!(algorithm.label(), "RFMC");
+                assert_eq!(config.max_seeds, Some(7));
+            }
+            other => panic!("unexpected solver {other:?}"),
+        }
+        let back: TeamQuery = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn exhaustive_solver_parses() {
+        let q: TeamQuery =
+            serde_json::from_str(r#"{"task": [1], "algorithm": "EXHAUSTIVE", "kind": "NNE"}"#)
+                .unwrap();
+        assert_eq!(q.solver, Solver::Exhaustive);
+        assert_eq!(q.kind, CompatibilityKind::Nne);
+        let back: TeamQuery = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(serde_json::from_str::<TeamQuery>(r#"{"kind": "SPA"}"#)
+            .unwrap_err()
+            .to_string()
+            .contains("task"));
+        assert!(
+            serde_json::from_str::<TeamQuery>(r#"{"task": [], "kind": "XXX"}"#)
+                .unwrap_err()
+                .to_string()
+                .contains("XXX")
+        );
+        assert!(
+            serde_json::from_str::<TeamQuery>(r#"{"task": [], "algorithm": "nope"}"#)
+                .unwrap_err()
+                .to_string()
+                .contains("NOPE")
+        );
+    }
+}

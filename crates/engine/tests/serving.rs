@@ -1,0 +1,132 @@
+//! Integration tests for the serving engine: exactly-once matrix builds
+//! under concurrency, and order-stable deterministic batch answers
+//! regardless of the worker-thread count.
+
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::Solver;
+use tfsn_engine::{AnswerStatus, BatchOptions, Deployment, Engine, TeamAnswer, TeamQuery};
+
+fn engine() -> Engine {
+    Engine::new(Deployment::from_dataset(tfsn_datasets::slashdot()))
+}
+
+/// A mixed-kind, mixed-algorithm batch; deterministic per `n`.
+fn mixed_batch(n: usize) -> Vec<TeamQuery> {
+    let kinds = CompatibilityKind::EVALUATED;
+    let algorithms = [
+        TeamAlgorithm::LCMD,
+        TeamAlgorithm::LCMC,
+        TeamAlgorithm::RANDOM,
+    ];
+    (0..n)
+        .map(|i| {
+            TeamQuery::new([i % 9, (i * 3 + 1) % 9, (i * 7 + 2) % 9])
+                .with_id(i as u64)
+                .with_kind(kinds[i % kinds.len()])
+                .with_solver(Solver::greedy(algorithms[i % algorithms.len()]))
+        })
+        .collect()
+}
+
+/// Strips the non-deterministic observability fields (timing, cache state at
+/// query start) so answers can be compared across runs and thread counts.
+fn normalized(mut answers: Vec<TeamAnswer>) -> Vec<TeamAnswer> {
+    for a in &mut answers {
+        a.micros = 0;
+        a.cache_hit = false;
+    }
+    answers
+}
+
+#[test]
+fn concurrent_identical_queries_build_each_matrix_exactly_once() {
+    let engine = engine();
+    // 64 concurrent queries, all SPA: one build.
+    let queries: Vec<TeamQuery> = (0..64)
+        .map(|i| {
+            TeamQuery::new([i % 5])
+                .with_id(i as u64)
+                .with_kind(CompatibilityKind::Spa)
+        })
+        .collect();
+    let answers = engine.batch(&queries, &BatchOptions::with_threads(8));
+    assert_eq!(answers.len(), 64);
+    assert_eq!(
+        engine.cache().build_count(),
+        1,
+        "64 concurrent SPA queries must share one matrix build"
+    );
+
+    // A second wave over three kinds: exactly two more builds (SPA cached).
+    let queries: Vec<TeamQuery> = (0..48)
+        .map(|i| {
+            let kind = [
+                CompatibilityKind::Spa,
+                CompatibilityKind::Spo,
+                CompatibilityKind::Nne,
+            ][i % 3];
+            TeamQuery::new([i % 5]).with_id(i as u64).with_kind(kind)
+        })
+        .collect();
+    engine.batch(&queries, &BatchOptions::with_threads(8));
+    assert_eq!(engine.cache().build_count(), 3);
+    assert_eq!(engine.cache().cached_kinds().len(), 3);
+}
+
+#[test]
+fn batch_answers_are_deterministic_and_order_stable_across_thread_counts() {
+    let queries = mixed_batch(60);
+    let mut reference: Option<Vec<TeamAnswer>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        // A fresh engine per thread count: cold cache each time.
+        let engine = engine();
+        let answers = engine.batch(&queries, &BatchOptions::with_threads(threads));
+        // Order stability: answer i corresponds to query i.
+        for (q, a) in queries.iter().zip(&answers) {
+            assert_eq!(q.id, a.id, "answers must come back in query order");
+            assert_eq!(q.kind, a.kind);
+        }
+        let normalized = normalized(answers);
+        match &reference {
+            None => reference = Some(normalized),
+            Some(expected) => assert_eq!(
+                expected, &normalized,
+                "batch answers differ at {threads} threads"
+            ),
+        }
+    }
+}
+
+#[test]
+fn repeated_batches_on_one_engine_are_stable_and_all_warm() {
+    let engine = engine();
+    let queries = mixed_batch(30);
+    let first = normalized(engine.batch(&queries, &BatchOptions::default()));
+    let second_raw = engine.batch(&queries, &BatchOptions::default());
+    assert!(
+        second_raw.iter().all(|a| a.cache_hit),
+        "second batch must be fully warm"
+    );
+    assert_eq!(first, normalized(second_raw));
+    // Matrix builds: one per distinct kind in the workload, despite 60 queries.
+    let distinct_kinds = {
+        let mut kinds: Vec<_> = queries.iter().map(|q| q.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds.len()
+    };
+    assert_eq!(engine.cache().build_count(), distinct_kinds);
+}
+
+#[test]
+fn batch_mirrors_sequential_single_queries() {
+    let queries = mixed_batch(24);
+    let parallel_engine = engine();
+    let parallel = normalized(parallel_engine.batch(&queries, &BatchOptions::with_threads(4)));
+    let sequential_engine = engine();
+    let sequential: Vec<TeamAnswer> = queries.iter().map(|q| sequential_engine.query(q)).collect();
+    assert_eq!(parallel, normalized(sequential));
+    // Sanity: the workload is not degenerate — something solves.
+    assert!(parallel.iter().any(|a| a.status == AnswerStatus::Ok));
+}

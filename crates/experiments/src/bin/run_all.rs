@@ -1,11 +1,16 @@
-//! Runs the whole experiment suite (Tables 1–3 and Figure 2) and writes one
-//! JSON file per artefact — the inputs recorded in `EXPERIMENTS.md`.
+//! Runs the whole experiment suite (Tables 1–3, Figure 2, and the
+//! engine-serving phase) and writes one JSON file per artefact — the inputs
+//! recorded in `EXPERIMENTS.md`.
+//!
+//! The team-formation workloads are executed through the `tfsn-engine`
+//! serving layer (matrices cached per relation, queries fanned out in
+//! parallel), not by looping over raw solver calls.
 //!
 //! Usage: `cargo run --release -p tfsn-experiments --bin run-all [-- --quick] [--out DIR]`
 
 use std::time::Instant;
 
-use tfsn_experiments::{figure2, report, table1, table2, table3, ExperimentConfig};
+use tfsn_experiments::{figure2, report, serving, table1, table2, table3, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,7 +33,10 @@ fn main() {
     write(&out_dir, "table1", &t1);
 
     let t2 = table2::run(&config);
-    println!("Table 2: Comparison of compatibility relations\n{}", t2.render());
+    println!(
+        "Table 2: Comparison of compatibility relations\n{}",
+        t2.render()
+    );
     write(&out_dir, "table2", &t2);
 
     let t3 = table3::run(&config);
@@ -38,6 +46,13 @@ fn main() {
     let f2 = figure2::run(&config);
     println!("Figure 2: Team formation\n{}", f2.render());
     write(&out_dir, "figure2", &f2);
+
+    let serving = serving::run(&config);
+    println!(
+        "Engine serving: warm-cache batch throughput\n{}",
+        serving.render()
+    );
+    write(&out_dir, "serving", &serving);
 
     write(&out_dir, "config", &config);
     eprintln!(

@@ -15,8 +15,8 @@
 use serde::{Deserialize, Serialize};
 use tfsn_core::compat::{CompatibilityKind, CompatibilityMatrix, EngineConfig};
 use tfsn_core::skill_compat::SkillPairCompatibility;
-use tfsn_core::team::greedy::solve_greedy;
 use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::solver::Solver;
 use tfsn_core::team::TfsnInstance;
 use tfsn_datasets::Dataset;
 use tfsn_skills::task::Task;
@@ -221,12 +221,18 @@ pub fn run_workload(
 ) -> TeamFormationOutcome {
     use tfsn_core::compat::Compatibility;
     let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
-    let greedy_cfg = config.greedy();
+    // Route through the Solver dispatch — the same entry point the
+    // tfsn-engine serving layer uses — instead of calling solve_greedy
+    // directly.
+    let solver = Solver::Greedy {
+        algorithm,
+        config: config.greedy(),
+    };
     let mut solved = 0usize;
     let mut diameter_sum = 0u64;
     let mut size_sum = 0u64;
     for task in tasks {
-        if let Ok(team) = solve_greedy(&instance, comp, task, algorithm, &greedy_cfg) {
+        if let Ok(team) = solver.solve(&instance, comp, task) {
             solved += 1;
             diameter_sum += u64::from(team.diameter(comp).unwrap_or(0));
             size_sum += team.len() as u64;
@@ -314,7 +320,13 @@ pub fn run_on(dataset: &Dataset, config: &ExperimentConfig) -> Figure2Report {
             config.seed ^ (0xC0FFEE + size as u64),
         );
         for comp in &matrices {
-            by_task_size.push(run_workload(dataset, comp, &tasks, TeamAlgorithm::LCMD, config));
+            by_task_size.push(run_workload(
+                dataset,
+                comp,
+                &tasks,
+                TeamAlgorithm::LCMD,
+                config,
+            ));
         }
     }
 
@@ -342,8 +354,14 @@ mod tests {
         let cfg = ExperimentConfig::quick();
         let report = run(&cfg);
         let kinds = cfg.evaluated_kinds().len();
-        assert_eq!(report.by_algorithm.len(), kinds * TeamAlgorithm::FIGURE2.len());
-        assert_eq!(report.policy_ablation.len(), kinds * TeamAlgorithm::ALL.len());
+        assert_eq!(
+            report.by_algorithm.len(),
+            kinds * TeamAlgorithm::FIGURE2.len()
+        );
+        assert_eq!(
+            report.policy_ablation.len(),
+            kinds * TeamAlgorithm::ALL.len()
+        );
         assert_eq!(report.max_bounds.len(), kinds);
         assert_eq!(report.by_task_size.len(), kinds * cfg.task_sizes.len());
         for o in report.by_algorithm.iter().chain(&report.by_task_size) {
@@ -370,7 +388,10 @@ mod tests {
             .find(|m| m.kind == CompatibilityKind::Nne)
             .unwrap()
             .skill_compatible_pct;
-        assert!(spa_max <= nne_max + 1e-9, "SPA MAX {spa_max}% > NNE MAX {nne_max}%");
+        assert!(
+            spa_max <= nne_max + 1e-9,
+            "SPA MAX {spa_max}% > NNE MAX {nne_max}%"
+        );
         let rendered = report.render();
         assert!(rendered.contains("Figure 2(a)"));
         assert!(rendered.contains("Figure 2(d)"));

@@ -23,6 +23,7 @@
 pub mod config;
 pub mod figure2;
 pub mod report;
+pub mod serving;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fmt_float(3.14159, 2), "3.14");
+        assert_eq!(fmt_float(std::f64::consts::PI, 2), "3.14");
         assert_eq!(fmt_float(f64::NAN, 2), "–");
         assert_eq!(fmt_pct(99.555), "99.56");
     }

@@ -1,0 +1,183 @@
+//! Engine-serving experiment: the team-formation workload of Figure 2
+//! expressed as a query batch and served through `tfsn-engine`, instead of
+//! looping over raw solver calls.
+//!
+//! This is the "online" view of the paper's evaluation: one deployment per
+//! dataset, matrices built once into the engine cache, then the whole task
+//! workload answered as a parallel batch. The report records both phases —
+//! the one-time warm-up (matrix builds) and the steady-state serving rate —
+//! which is exactly the split a production deployment cares about.
+
+use serde::{Deserialize, Serialize};
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::Solver;
+use tfsn_datasets::Dataset;
+use tfsn_engine::{BatchOptions, Deployment, Engine, EngineOptions, TeamQuery};
+use tfsn_skills::taskgen::random_coverable_tasks;
+
+use crate::config::ExperimentConfig;
+use crate::report::{fmt_float, TextTable};
+
+/// Serving metrics for one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Users in the deployment.
+    pub users: usize,
+    /// Queries served.
+    pub queries: usize,
+    /// Queries answered with a team.
+    pub solved: usize,
+    /// Compatibility matrices built (one per relation in the workload).
+    pub matrix_builds: usize,
+    /// Seconds spent building matrices (the cold phase).
+    pub warmup_seconds: f64,
+    /// Wall-clock seconds for the warm batch.
+    pub batch_seconds: f64,
+    /// Warm throughput, queries per second.
+    pub queries_per_second: f64,
+    /// Mean in-engine latency per query, microseconds.
+    pub mean_latency_micros: f64,
+}
+
+/// The engine-serving report across datasets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// One row per dataset.
+    pub rows: Vec<ServingRow>,
+}
+
+impl ServingReport {
+    /// Renders the report as a text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "dataset",
+            "users",
+            "queries",
+            "solved",
+            "builds",
+            "warmup s",
+            "batch s",
+            "q/s",
+            "µs/query",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.dataset.clone(),
+                r.users.to_string(),
+                r.queries.to_string(),
+                r.solved.to_string(),
+                r.matrix_builds.to_string(),
+                fmt_float(r.warmup_seconds, 2),
+                fmt_float(r.batch_seconds, 3),
+                fmt_float(r.queries_per_second, 0),
+                fmt_float(r.mean_latency_micros, 0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Builds the Figure-2 style workload for a dataset: `tasks_per_size` tasks
+/// of the default size, round-robined over the evaluated relations and the
+/// Figure 2 algorithms.
+pub fn workload(dataset: &Dataset, config: &ExperimentConfig) -> Vec<TeamQuery> {
+    let kinds = config.evaluated_kinds();
+    let tasks = random_coverable_tasks(
+        &dataset.skills,
+        config.default_task_size,
+        config.tasks_per_size,
+        config.seed ^ 0xF16_2AB,
+    );
+    let mut queries = Vec::new();
+    let mut id = 0u64;
+    for task in &tasks {
+        for &kind in &kinds {
+            for alg in TeamAlgorithm::FIGURE2 {
+                queries.push(TeamQuery {
+                    id: Some(id),
+                    task: task.skills().iter().map(|s| s.index()).collect(),
+                    kind,
+                    solver: Solver::Greedy {
+                        algorithm: alg,
+                        config: config.greedy(),
+                    },
+                });
+                id += 1;
+            }
+        }
+    }
+    queries
+}
+
+/// Serves one dataset's workload through a fresh engine.
+pub fn run_on(dataset: Dataset, config: &ExperimentConfig) -> ServingRow {
+    let name = dataset.name.clone();
+    let users = dataset.graph.node_count();
+    let queries = workload(&dataset, config);
+    let engine = Engine::with_options(
+        Deployment::from_dataset(dataset),
+        EngineOptions {
+            build_threads: config.threads,
+            ..Default::default()
+        },
+    );
+
+    let kinds: Vec<CompatibilityKind> = config.evaluated_kinds();
+    let warm_start = std::time::Instant::now();
+    engine.warm(&kinds);
+    let warmup_seconds = warm_start.elapsed().as_secs_f64();
+
+    let batch_start = std::time::Instant::now();
+    let answers = engine.batch(&queries, &BatchOptions::default());
+    let batch_seconds = batch_start.elapsed().as_secs_f64();
+
+    let metrics = engine.metrics();
+    ServingRow {
+        dataset: name,
+        users,
+        queries: answers.len(),
+        solved: answers
+            .iter()
+            .filter(|a| a.status == tfsn_engine::AnswerStatus::Ok)
+            .count(),
+        matrix_builds: engine.cache().build_count(),
+        warmup_seconds,
+        batch_seconds,
+        queries_per_second: answers.len() as f64 / batch_seconds.max(1e-9),
+        mean_latency_micros: metrics.mean_latency_micros(),
+    }
+}
+
+/// Runs the serving experiment on all three dataset emulations.
+pub fn run(config: &ExperimentConfig) -> ServingReport {
+    let rows = vec![
+        run_on(tfsn_datasets::slashdot(), config),
+        run_on(tfsn_datasets::epinions(config.epinions_scale), config),
+        run_on(tfsn_datasets::wikipedia(config.wikipedia_scale), config),
+    ];
+    ServingReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_slashdot_answers_the_whole_workload() {
+        let cfg = ExperimentConfig::quick();
+        let row = run_on(tfsn_datasets::slashdot(), &cfg);
+        let expected =
+            cfg.tasks_per_size * cfg.evaluated_kinds().len() * TeamAlgorithm::FIGURE2.len();
+        assert_eq!(row.dataset, "Slashdot");
+        assert_eq!(row.queries, expected);
+        assert!(row.solved <= row.queries);
+        // One matrix per evaluated relation, no duplicates.
+        assert_eq!(row.matrix_builds, cfg.evaluated_kinds().len());
+        assert!(row.queries_per_second > 0.0);
+        let report = ServingReport { rows: vec![row] };
+        assert!(report.render().contains("Slashdot"));
+    }
+}

@@ -20,7 +20,13 @@ impl Table1Report {
     /// Renders the report as an aligned text table.
     pub fn render(&self) -> String {
         let mut t = TextTable::new([
-            "dataset", "#users", "#edges", "#neg edges", "%neg", "diameter", "#skills",
+            "dataset",
+            "#users",
+            "#edges",
+            "#neg edges",
+            "%neg",
+            "diameter",
+            "#skills",
         ]);
         for row in &self.rows {
             t.row([
@@ -29,7 +35,11 @@ impl Table1Report {
                 row.edges.to_string(),
                 row.negative_edges.to_string(),
                 fmt_pct(row.negative_percentage),
-                format!("{}{}", row.diameter, if row.diameter_exact { "" } else { "~" }),
+                format!(
+                    "{}{}",
+                    row.diameter,
+                    if row.diameter_exact { "" } else { "~" }
+                ),
                 row.skills.to_string(),
             ]);
         }
@@ -48,10 +58,7 @@ pub fn datasets(config: &ExperimentConfig) -> Vec<Dataset> {
 
 /// Runs the Table 1 experiment.
 pub fn run(config: &ExperimentConfig) -> Table1Report {
-    let rows = datasets(config)
-        .iter()
-        .map(DatasetStats::compute)
-        .collect();
+    let rows = datasets(config).iter().map(DatasetStats::compute).collect();
     Table1Report { rows }
 }
 

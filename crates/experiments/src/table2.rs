@@ -59,7 +59,11 @@ impl Table2Report {
                 CompatibilityKind::Spo,
                 CompatibilityKind::Sbph,
             ];
-            if self.entries.iter().any(|e| e.kind == CompatibilityKind::Sbp) {
+            if self
+                .entries
+                .iter()
+                .any(|e| e.kind == CompatibilityKind::Sbp)
+            {
                 k.push(CompatibilityKind::Sbp);
             }
             k.push(CompatibilityKind::Nne);

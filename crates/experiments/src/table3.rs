@@ -52,7 +52,11 @@ pub struct Table3Report {
 
 impl Table3Report {
     /// The entry for a transform and relation, if present.
-    pub fn entry(&self, transform: UnsignedTransform, kind: CompatibilityKind) -> Option<&Table3Entry> {
+    pub fn entry(
+        &self,
+        transform: UnsignedTransform,
+        kind: CompatibilityKind,
+    ) -> Option<&Table3Entry> {
         self.entries
             .iter()
             .find(|e| e.transform == transform.label() && e.kind == kind)
@@ -71,7 +75,10 @@ impl Table3Report {
         let mut header = vec!["baseline".to_string()];
         header.extend(kinds.iter().map(|k| k.label().to_string()));
         let mut t = TextTable::new(header);
-        for transform in [UnsignedTransform::IgnoreSigns, UnsignedTransform::DeleteNegative] {
+        for transform in [
+            UnsignedTransform::IgnoreSigns,
+            UnsignedTransform::DeleteNegative,
+        ] {
             let mut row = vec![transform.label().to_string()];
             for kind in kinds {
                 row.push(match self.entry(transform, kind) {
@@ -103,8 +110,12 @@ pub fn run_on(dataset: &Dataset, config: &ExperimentConfig) -> Table3Report {
     let kinds = config.evaluated_kinds();
     let mut entries = Vec::new();
     for kind in kinds {
-        let comp = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, config.threads);
-        for transform in [UnsignedTransform::IgnoreSigns, UnsignedTransform::DeleteNegative] {
+        let comp =
+            CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, config.threads);
+        for transform in [
+            UnsignedTransform::IgnoreSigns,
+            UnsignedTransform::DeleteNegative,
+        ] {
             let outcome = unsigned_baseline_compatibility(
                 &dataset.graph,
                 &dataset.skills,

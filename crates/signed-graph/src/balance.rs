@@ -128,7 +128,11 @@ pub fn triangle_census(g: &SignedGraph) -> (usize, usize) {
     for e in g.edges() {
         let (u, v) = (e.u, e.v);
         // Iterate over the smaller adjacency list, check membership in the other.
-        let (a, b) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if g.degree(u) <= g.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         for nb in g.neighbors(a) {
             let w = nb.node;
             // Count each triangle once: enforce ordering u < v < w over indices.
@@ -154,14 +158,12 @@ pub fn triangle_census(g: &SignedGraph) -> (usize, usize) {
 pub fn frustration_count(g: &SignedGraph, camp: &[Option<bool>]) -> usize {
     g.edges()
         .iter()
-        .filter(|e| {
-            match (camp[e.u.index()], camp[e.v.index()]) {
-                (Some(cu), Some(cv)) => match e.sign {
-                    Sign::Positive => cu != cv,
-                    Sign::Negative => cu == cv,
-                },
-                _ => false,
-            }
+        .filter(|e| match (camp[e.u.index()], camp[e.v.index()]) {
+            (Some(cu), Some(cv)) => match e.sign {
+                Sign::Positive => cu != cv,
+                Sign::Negative => cu == cv,
+            },
+            _ => false,
         })
         .count()
 }
@@ -217,8 +219,8 @@ pub fn greedy_frustration_index(g: &SignedGraph) -> usize {
                     Sign::Negative => cu == cv,
                 };
                 let violated_flip = match nb.sign {
-                    Sign::Positive => cu != !cv,
-                    Sign::Negative => cu == !cv,
+                    Sign::Positive => cu == cv,
+                    Sign::Negative => cu != cv,
                 };
                 delta += violated_flip as i64 - violated_now as i64;
             }
@@ -293,7 +295,12 @@ mod tests {
         ]);
         // The path (u,x2,x1,v) is positive but its induced subgraph contains
         // the unbalanced triangle (u,x1,x2): not structurally balanced.
-        let p_bad = [NodeId::new(0), NodeId::new(2), NodeId::new(1), NodeId::new(5)];
+        let p_bad = [
+            NodeId::new(0),
+            NodeId::new(2),
+            NodeId::new(1),
+            NodeId::new(5),
+        ];
         assert!(!is_structurally_balanced_path(&g, &p_bad));
         // The path (u,x2,x3,x4,v) is positive and structurally balanced.
         let p_good = [

@@ -200,7 +200,10 @@ mod tests {
     fn rejects_self_loop_and_duplicates() {
         let mut b = GraphBuilder::with_nodes(2);
         let (u, v) = (NodeId::new(0), NodeId::new(1));
-        assert_eq!(b.add_edge(u, u, Sign::Positive), Err(GraphError::SelfLoop(u)));
+        assert_eq!(
+            b.add_edge(u, u, Sign::Positive),
+            Err(GraphError::SelfLoop(u))
+        );
         b.add_edge(u, v, Sign::Positive).unwrap();
         assert_eq!(
             b.add_edge(v, u, Sign::Negative),
@@ -256,11 +259,18 @@ mod tests {
     #[test]
     fn build_sorts_adjacency() {
         let mut b = GraphBuilder::with_nodes(4);
-        b.add_edge(NodeId::new(0), NodeId::new(3), Sign::Positive).unwrap();
-        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive).unwrap();
-        b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Negative).unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(3), Sign::Positive)
+            .unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive)
+            .unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Negative)
+            .unwrap();
         let g = b.build();
-        let order: Vec<usize> = g.neighbors(NodeId::new(0)).iter().map(|n| n.node.index()).collect();
+        let order: Vec<usize> = g
+            .neighbors(NodeId::new(0))
+            .iter()
+            .map(|n| n.node.index())
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 }

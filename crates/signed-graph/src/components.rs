@@ -75,7 +75,10 @@ pub fn connected_components(g: &SignedGraph) -> Components {
         }
         sizes.push(size);
     }
-    Components { component_of, sizes }
+    Components {
+        component_of,
+        sizes,
+    }
 }
 
 /// `true` if every pair of nodes in `g` is connected by some path.
@@ -122,9 +125,12 @@ mod tests {
     fn two_components() -> SignedGraph {
         // Component A: 0-1-2 (3 nodes), Component B: 3-4 (2 nodes), node 5 isolated.
         let mut b = GraphBuilder::with_nodes(6);
-        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive).unwrap();
-        b.add_edge(NodeId::new(1), NodeId::new(2), Sign::Negative).unwrap();
-        b.add_edge(NodeId::new(3), NodeId::new(4), Sign::Positive).unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive)
+            .unwrap();
+        b.add_edge(NodeId::new(1), NodeId::new(2), Sign::Negative)
+            .unwrap();
+        b.add_edge(NodeId::new(3), NodeId::new(4), Sign::Positive)
+            .unwrap();
         b.build()
     }
 

@@ -43,12 +43,9 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop(u) => {
                 write!(f, "self-loop on node {} is not allowed", u.index())
             }
-            GraphError::DuplicateEdge(u, v) => write!(
-                f,
-                "edge ({}, {}) already exists",
-                u.index(),
-                v.index()
-            ),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "edge ({}, {}) already exists", u.index(), v.index())
+            }
             GraphError::MissingEdge(u, v) => {
                 write!(f, "edge ({}, {}) does not exist", u.index(), v.index())
             }
@@ -96,7 +93,7 @@ mod tests {
         };
         assert!(e.to_string().contains("line 7"));
 
-        let io: GraphError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let io: GraphError = std::io::Error::other("boom").into();
         assert!(io.to_string().contains("boom"));
     }
 }

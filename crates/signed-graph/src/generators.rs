@@ -98,11 +98,11 @@ pub fn social_network(cfg: &SocialNetworkConfig) -> SignedGraph {
     let mut endpoint_pool: Vec<u32> = Vec::with_capacity(cfg.edges * 2);
 
     let add_edge = |b: &mut GraphBuilder,
-                        degree: &mut Vec<usize>,
-                        endpoint_pool: &mut Vec<u32>,
-                        rng: &mut StdRng,
-                        u: usize,
-                        v: usize|
+                    degree: &mut Vec<usize>,
+                    endpoint_pool: &mut Vec<u32>,
+                    rng: &mut StdRng,
+                    u: usize,
+                    v: usize|
      -> bool {
         let (u, v) = (NodeId::new(u), NodeId::new(v));
         if u == v || b.has_edge(u, v) {
@@ -206,7 +206,8 @@ pub fn adjust_negative_fraction(g: SignedGraph, target: f64, seed: u64) -> Signe
     }
     let mut b = GraphBuilder::with_nodes(g.node_count());
     for e in &edges {
-        b.add_edge(e.u, e.v, e.sign).expect("edges come from a valid graph");
+        b.add_edge(e.u, e.v, e.sign)
+            .expect("edges come from a valid graph");
     }
     b.build()
 }
@@ -259,7 +260,8 @@ pub fn complete_camped(n: usize, camps: usize, seed: u64) -> SignedGraph {
             } else {
                 Sign::Negative
             };
-            b.add_edge(NodeId::new(u), NodeId::new(v), sign).expect("fresh edge");
+            b.add_edge(NodeId::new(u), NodeId::new(v), sign)
+                .expect("fresh edge");
         }
     }
     b.build()
@@ -290,7 +292,8 @@ pub fn planted_partition(
                 if rng.gen_bool(noise.clamp(0.0, 1.0)) {
                     sign = sign.flip();
                 }
-                b.add_edge(NodeId::new(u), NodeId::new(v), sign).expect("fresh edge");
+                b.add_edge(NodeId::new(u), NodeId::new(v), sign)
+                    .expect("fresh edge");
             }
         }
     }
@@ -317,7 +320,10 @@ mod tests {
         assert!(g.edge_count() <= 900);
         assert!(is_connected(&g));
         let frac = g.negative_edge_fraction();
-        assert!((frac - 0.25).abs() < 0.01, "negative fraction {frac} not near 0.25");
+        assert!(
+            (frac - 0.25).abs() < 0.01,
+            "negative fraction {frac} not near 0.25"
+        );
     }
 
     #[test]

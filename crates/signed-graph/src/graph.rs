@@ -207,7 +207,9 @@ impl SignedGraph {
     /// The sign of edge `(u, v)`, or `None` if the edge is absent.
     pub fn sign(&self, u: NodeId, v: NodeId) -> Option<Sign> {
         let key = canonical_key(u, v);
-        self.edge_index.get(&key).map(|&i| self.edges[i as usize].sign)
+        self.edge_index
+            .get(&key)
+            .map(|&i| self.edges[i as usize].sign)
     }
 
     /// `true` if `(u, v)` is an edge of either sign.
@@ -288,9 +290,12 @@ mod tests {
     fn triangle() -> SignedGraph {
         // 0 -+ 1, 1 -- 2, 0 -+ 2
         let mut b = GraphBuilder::with_nodes(3);
-        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive).unwrap();
-        b.add_edge(NodeId::new(1), NodeId::new(2), Sign::Negative).unwrap();
-        b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Positive).unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive)
+            .unwrap();
+        b.add_edge(NodeId::new(1), NodeId::new(2), Sign::Negative)
+            .unwrap();
+        b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Positive)
+            .unwrap();
         b.build()
     }
 
@@ -341,7 +346,8 @@ mod tests {
         assert_eq!(g.path_len(&[a, b, c]), 2);
         // Non-edge in path.
         let mut b4 = GraphBuilder::with_nodes(4);
-        b4.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive).unwrap();
+        b4.add_edge(NodeId::new(0), NodeId::new(1), Sign::Positive)
+            .unwrap();
         let g4 = b4.build();
         assert!(g4.path_sign(&[NodeId::new(0), NodeId::new(2)]).is_err());
     }

@@ -45,13 +45,14 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<ParsedGraph, GraphError> {
     let mut id_map: HashMap<u64, NodeId> = HashMap::new();
     let mut original_ids: Vec<u64> = Vec::new();
 
-    let mut intern = |raw: u64, builder: &mut GraphBuilder, original_ids: &mut Vec<u64>| -> NodeId {
-        *id_map.entry(raw).or_insert_with(|| {
-            let id = builder.add_node();
-            original_ids.push(raw);
-            id
-        })
-    };
+    let mut intern =
+        |raw: u64, builder: &mut GraphBuilder, original_ids: &mut Vec<u64>| -> NodeId {
+            *id_map.entry(raw).or_insert_with(|| {
+                let id = builder.add_node();
+                original_ids.push(raw);
+                id
+            })
+        };
 
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -77,13 +78,14 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<ParsedGraph, GraphError> {
         };
         let u = parse_id(u_raw)?;
         let v = parse_id(v_raw)?;
-        let sign_value = s_raw
-            .trim_start_matches('+')
-            .parse::<i64>()
-            .map_err(|_| GraphError::Parse {
-                line: lineno + 1,
-                message: format!("invalid sign `{s_raw}`"),
-            })?;
+        let sign_value =
+            s_raw
+                .trim_start_matches('+')
+                .parse::<i64>()
+                .map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("invalid sign `{s_raw}`"),
+                })?;
         let sign = Sign::from_value(sign_value).ok_or_else(|| GraphError::Parse {
             line: lineno + 1,
             message: "sign must be non-zero".to_string(),
@@ -118,7 +120,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<ParsedGraph, Graph
 /// Writes `g` as a signed edge list (`u v ±1` per line, dense node ids).
 pub fn write_edge_list<W: Write>(g: &SignedGraph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# signed edge list: {} nodes, {} edges", g.node_count(), g.edge_count())?;
+    writeln!(
+        w,
+        "# signed edge list: {} nodes, {} edges",
+        g.node_count(),
+        g.edge_count()
+    )?;
     for e in g.edges() {
         writeln!(w, "{}\t{}\t{}", e.u.index(), e.v.index(), e.sign.value())?;
     }

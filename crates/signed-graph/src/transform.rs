@@ -52,7 +52,8 @@ pub fn sign_filtered(g: &SignedGraph, sign: Sign) -> SignedGraph {
     let mut b = GraphBuilder::with_nodes(g.node_count());
     for e in g.edges() {
         if e.sign == sign {
-            b.add_edge(e.u, e.v, e.sign).expect("source edges are valid");
+            b.add_edge(e.u, e.v, e.sign)
+                .expect("source edges are valid");
         }
     }
     b.build()
@@ -159,8 +160,7 @@ mod tests {
         assert_eq!(sub.edge_count(), 2); // (0,1)+ and (1,2)-
         assert_eq!(map.len(), 3);
         // Duplicate and out-of-range requests are ignored.
-        let (sub2, map2) =
-            induced_subgraph(&g, &[NodeId::new(1), NodeId::new(1), NodeId::new(99)]);
+        let (sub2, map2) = induced_subgraph(&g, &[NodeId::new(1), NodeId::new(1), NodeId::new(99)]);
         assert_eq!(sub2.node_count(), 1);
         assert_eq!(map2, vec![NodeId::new(1)]);
         assert_eq!(sub2.edge_count(), 0);

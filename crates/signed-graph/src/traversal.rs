@@ -151,7 +151,8 @@ pub fn approximate_diameter(g: &SignedGraph, samples: usize, seed: u64) -> u32 {
         state ^= state >> 12;
         state ^= state << 25;
         state ^= state >> 27;
-        let start = NodeId::new((state.wrapping_mul(0x2545_F491_4F6C_DD1D) as usize) % g.node_count());
+        let start =
+            NodeId::new((state.wrapping_mul(0x2545_F491_4F6C_DD1D) as usize) % g.node_count());
         // Double sweep: BFS from start, then BFS from the farthest node found.
         let d1 = bfs_distances(g, start);
         let (far, _) = d1
@@ -161,7 +162,11 @@ pub fn approximate_diameter(g: &SignedGraph, samples: usize, seed: u64) -> u32 {
             .max_by_key(|(_, &d)| d)
             .unwrap_or((start.index(), &0));
         let d2 = bfs_distances(g, NodeId::new(far));
-        let ecc = d2.into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0);
+        let ecc = d2
+            .into_iter()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0);
         best = best.max(ecc);
     }
     best
@@ -268,7 +273,10 @@ mod tests {
         assert_eq!(exact_diameter(&g), 4);
         let approx = approximate_diameter(&g, 4, 7);
         assert!(approx <= 4);
-        assert!(approx >= 2, "double sweep should find a long path, got {approx}");
+        assert!(
+            approx >= 2,
+            "double sweep should find a long path, got {approx}"
+        );
     }
 
     #[test]

@@ -15,21 +15,19 @@ use signed_graph::{NodeId, Sign, SignedGraph};
 fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = SignedGraph> {
     let nodes = 2..=max_nodes;
     nodes.prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n, 0..n, prop::bool::ANY),
-            0..=max_edges,
+        proptest::collection::vec((0..n, 0..n, prop::bool::ANY), 0..=max_edges).prop_map(
+            move |triples| {
+                let mut full: Vec<(usize, usize, Sign)> = triples
+                    .into_iter()
+                    .filter(|(u, v, _)| u != v)
+                    .map(|(u, v, neg)| (u, v, if neg { Sign::Negative } else { Sign::Positive }))
+                    .collect();
+                // Make the node count explicit by adding a self-documenting edge
+                // anchor at the last node when it would otherwise be absent.
+                full.push((0, n - 1, Sign::Positive));
+                from_edge_triples(full)
+            },
         )
-        .prop_map(move |triples| {
-            let mut full: Vec<(usize, usize, Sign)> = triples
-                .into_iter()
-                .filter(|(u, v, _)| u != v)
-                .map(|(u, v, neg)| (u, v, if neg { Sign::Negative } else { Sign::Positive }))
-                .collect();
-            // Make the node count explicit by adding a self-documenting edge
-            // anchor at the last node when it would otherwise be absent.
-            full.push((0, n - 1, Sign::Positive));
-            from_edge_triples(full)
-        })
     })
 }
 

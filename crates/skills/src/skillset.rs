@@ -113,10 +113,7 @@ impl SkillSet {
 
     /// `true` if the two sets share at least one skill.
     pub fn intersects(&self, other: &SkillSet) -> bool {
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .any(|(a, b)| a & b != 0)
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
     }
 
     /// Iterator over the skills in the set, in increasing id order.

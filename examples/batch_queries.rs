@@ -1,0 +1,86 @@
+//! A 1,000-query warm-cache batch over a synthetic ~1.4k-node network,
+//! printing serving throughput — the `tfsn-engine` "hello world".
+//!
+//! Run with: `cargo run --release --example batch_queries`
+
+use std::time::Instant;
+
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_engine::{AnswerStatus, BatchOptions, Deployment, Engine, TeamQuery};
+
+fn main() {
+    // The Epinions emulation at 5% scale: ~1,440 users. Generation and skill
+    // assignment are deterministic.
+    let deployment = Deployment::from_dataset(tfsn_datasets::epinions(0.05));
+    println!(
+        "deployment: {} ({} users, {} edges, {} skills)",
+        deployment.name(),
+        deployment.user_count(),
+        deployment.graph().edge_count(),
+        deployment.skill_count()
+    );
+    let engine = Engine::new(deployment);
+
+    // 1,000 mixed queries: tasks of 3 popular-ish skills, round-robined over
+    // the evaluated SP-family relations plus NNE.
+    let kinds = [
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spm,
+        CompatibilityKind::Spo,
+        CompatibilityKind::Nne,
+    ];
+    let queries: Vec<TeamQuery> = (0..1000)
+        .map(|i| {
+            TeamQuery::new([i % 13, (i * 3 + 1) % 13, (i * 7 + 5) % 13])
+                .with_id(i as u64)
+                .with_kind(kinds[i % kinds.len()])
+        })
+        .collect();
+
+    // Cold phase: build each relation's compatibility matrix once.
+    let warm_start = Instant::now();
+    engine.warm(&kinds);
+    println!(
+        "warm-up: built {} compatibility matrices in {:.2}s",
+        engine.cache().build_count(),
+        warm_start.elapsed().as_secs_f64()
+    );
+
+    // Warm phase: serve the whole batch in parallel.
+    let start = Instant::now();
+    let answers = engine.batch(&queries, &BatchOptions::default());
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let solved = answers
+        .iter()
+        .filter(|a| a.status == AnswerStatus::Ok)
+        .count();
+    let mean_diameter: f64 = {
+        let diameters: Vec<u32> = answers.iter().filter_map(|a| a.diameter).collect();
+        if diameters.is_empty() {
+            f64::NAN
+        } else {
+            diameters.iter().map(|&d| d as f64).sum::<f64>() / diameters.len() as f64
+        }
+    };
+    println!(
+        "served {} queries in {:.3}s -> {:.0} queries/sec ({} solved, mean diameter {:.2})",
+        answers.len(),
+        elapsed,
+        answers.len() as f64 / elapsed.max(1e-9),
+        solved,
+        mean_diameter
+    );
+    assert!(
+        answers.iter().all(|a| a.cache_hit),
+        "after warm(), every query must hit the matrix cache"
+    );
+
+    let metrics = engine.metrics();
+    println!(
+        "metrics: {} served, {} solved, mean in-engine latency {:.0}µs",
+        metrics.queries_served,
+        metrics.queries_solved,
+        metrics.mean_latency_micros()
+    );
+}

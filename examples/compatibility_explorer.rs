@@ -31,7 +31,10 @@ fn main() {
     // Algorithm 1: positive / negative shortest-path counts.
     let counts = signed_bfs(&csr, q);
     println!("Algorithm 1 output for the 15 nearest users:");
-    println!("{:>6} {:>5} {:>8} {:>8}  relation verdicts", "node", "L", "N+", "N-");
+    println!(
+        "{:>6} {:>5} {:>8} {:>8}  relation verdicts",
+        "node", "L", "N+", "N-"
+    );
     let mut order: Vec<usize> = (0..graph.node_count()).filter(|&v| v != query).collect();
     order.sort_by_key(|&v| (counts.dist[v], v));
     let engine = EngineConfig::default();

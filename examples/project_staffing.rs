@@ -48,7 +48,11 @@ fn main() {
         CompatibilityKind::Nne,
     ] {
         let comp = CompatibilityMatrix::build_with_config(&dataset.graph, kind, &engine);
-        for alg in [TeamAlgorithm::LCMD, TeamAlgorithm::LCMC, TeamAlgorithm::RANDOM] {
+        for alg in [
+            TeamAlgorithm::LCMD,
+            TeamAlgorithm::LCMC,
+            TeamAlgorithm::RANDOM,
+        ] {
             match solve_greedy_with_stats(&instance, &comp, &task, alg, &greedy_cfg) {
                 Ok((team, stats)) => println!(
                     "{:<6} {:<10} {:>8} {:>10} {:>8} {:>12}",
@@ -75,8 +79,10 @@ fn main() {
     }
 
     // How much of the pool is even usable under the strictest relation?
-    let spa = CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Spa, &engine);
-    let nne = CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Nne, &engine);
+    let spa =
+        CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Spa, &engine);
+    let nne =
+        CompatibilityMatrix::build_with_config(&dataset.graph, CompatibilityKind::Nne, &engine);
     println!(
         "\nCompatible user pairs: SPA {:.1}%  vs  NNE {:.1}%",
         100.0 * spa.compatible_pair_fraction(),

@@ -53,10 +53,15 @@ fn main() {
         CompatibilityKind::Nne,
     ] {
         let comp = CompatibilityMatrix::build(&graph, kind);
-        match solve_greedy(&instance, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default()) {
+        match solve_greedy(
+            &instance,
+            &comp,
+            &task,
+            TeamAlgorithm::LCMD,
+            &GreedyConfig::default(),
+        ) {
             Ok(team) => {
-                let members: Vec<&str> =
-                    team.members().iter().map(|m| names[m.index()]).collect();
+                let members: Vec<&str> = team.members().iter().map(|m| names[m.index()]).collect();
                 println!(
                     "{:>4}: team {{{}}}  (diameter {})",
                     kind.label(),

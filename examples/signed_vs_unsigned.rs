@@ -43,7 +43,10 @@ fn main() {
         "baseline",
         kinds.map(|k| format!("{:>8}", k.label())).join(" ")
     );
-    for transform in [UnsignedTransform::IgnoreSigns, UnsignedTransform::DeleteNegative] {
+    for transform in [
+        UnsignedTransform::IgnoreSigns,
+        UnsignedTransform::DeleteNegative,
+    ] {
         let mut row = format!("{:<18}", transform.label());
         for kind in kinds {
             let comp = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
@@ -68,7 +71,14 @@ fn main() {
         let solved = tasks
             .iter()
             .filter(|t| {
-                solve_greedy(&instance, &comp, t, TeamAlgorithm::LCMD, &Default::default()).is_ok()
+                solve_greedy(
+                    &instance,
+                    &comp,
+                    t,
+                    TeamAlgorithm::LCMD,
+                    &Default::default(),
+                )
+                .is_ok()
             })
             .count();
         println!(

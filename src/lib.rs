@@ -1,0 +1,22 @@
+//! Umbrella crate for the *Forming Compatible Teams in Signed Networks*
+//! reproduction: re-exports every workspace crate under one root so the
+//! repo-level `examples/` and `tests/` can depend on a single package.
+//!
+//! The substance lives in the member crates:
+//!
+//! * [`signed_graph`] — the signed-graph substrate.
+//! * [`tfsn_skills`] — skills, tasks, and workload generation.
+//! * [`tfsn_core`] — compatibility relations and team-formation solvers.
+//! * [`tfsn_datasets`] — the paper's dataset emulations and loaders.
+//! * [`tfsn_experiments`] — the table/figure reproduction harness.
+//! * [`tfsn_engine`] — the cached, parallel team-query serving engine and
+//!   the `tfsn` CLI.
+
+#![forbid(unsafe_code)]
+
+pub use signed_graph;
+pub use tfsn_core;
+pub use tfsn_datasets;
+pub use tfsn_engine;
+pub use tfsn_experiments;
+pub use tfsn_skills;

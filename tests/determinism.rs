@@ -23,14 +23,20 @@ fn tiny_config(seed: u64) -> ExperimentConfig {
 fn table1_is_deterministic() {
     let a = table1::run(&tiny_config(1));
     let b = table1::run(&tiny_config(1));
-    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
 }
 
 #[test]
 fn figure2_is_deterministic_and_seed_sensitive() {
     let a = figure2::run(&tiny_config(5));
     let b = figure2::run(&tiny_config(5));
-    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
     // A different seed changes the sampled tasks, hence (almost surely) the
     // serialised report; we only assert it still has the same shape.
     let c = figure2::run(&tiny_config(6));
@@ -48,7 +54,10 @@ fn table3_is_deterministic_across_thread_counts() {
     four.threads = 4;
     let a = table3::run(&one);
     let b = table3::run(&four);
-    assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
 }
 
 #[test]
@@ -56,7 +65,11 @@ fn dataset_generation_is_deterministic() {
     let a = tfsn_datasets::epinions(0.01);
     let b = tfsn_datasets::epinions(0.01);
     assert_eq!(a.graph.edges(), b.graph.edges());
-    let sa: Vec<_> = (0..a.skills.user_count()).map(|u| a.skills.skills_of(u).to_vec()).collect();
-    let sb: Vec<_> = (0..b.skills.user_count()).map(|u| b.skills.skills_of(u).to_vec()).collect();
+    let sa: Vec<_> = (0..a.skills.user_count())
+        .map(|u| a.skills.skills_of(u).to_vec())
+        .collect();
+    let sb: Vec<_> = (0..b.skills.user_count())
+        .map(|u| b.skills.skills_of(u).to_vec())
+        .collect();
     assert_eq!(sa, sb);
 }

@@ -47,16 +47,29 @@ fn table2_monotone_in_relation_relaxation() {
     for dataset in ["Slashdot", "Epinions", "Wikipedia"] {
         let pct = |k| report_t2.entry(dataset, k).unwrap().compatible_users_pct;
         // The guaranteed chain SPA ⊆ SPM ⊆ SPO.
-        assert!(pct(CompatibilityKind::Spa) <= pct(CompatibilityKind::Spm) + 1e-9, "{dataset}");
-        assert!(pct(CompatibilityKind::Spm) <= pct(CompatibilityKind::Spo) + 1e-9, "{dataset}");
+        assert!(
+            pct(CompatibilityKind::Spa) <= pct(CompatibilityKind::Spm) + 1e-9,
+            "{dataset}"
+        );
+        assert!(
+            pct(CompatibilityKind::Spm) <= pct(CompatibilityKind::Spo) + 1e-9,
+            "{dataset}"
+        );
         // Skill-pair compatibility follows the same order.
         let spct = |k| report_t2.entry(dataset, k).unwrap().compatible_skills_pct;
-        assert!(spct(CompatibilityKind::Spa) <= spct(CompatibilityKind::Spo) + 1e-9, "{dataset}");
+        assert!(
+            spct(CompatibilityKind::Spa) <= spct(CompatibilityKind::Spo) + 1e-9,
+            "{dataset}"
+        );
         // Distances are positive whenever pairs exist.
         for kind in smoke_config().evaluated_kinds() {
             let e = report_t2.entry(dataset, kind).unwrap();
             if e.compatible_users_pct > 0.0 {
-                assert!(e.avg_distance >= 1.0, "{dataset}/{kind}: distance {}", e.avg_distance);
+                assert!(
+                    e.avg_distance >= 1.0,
+                    "{dataset}/{kind}: distance {}",
+                    e.avg_distance
+                );
             }
         }
     }
@@ -68,13 +81,11 @@ fn table3_percentages_are_bounded_and_monotone() {
     use tfsn_core::compat::CompatibilityKind;
     let report_t3 = table3::run(&smoke_config());
     assert_eq!(report_t3.entries.len(), 10);
-    for transform in [UnsignedTransform::IgnoreSigns, UnsignedTransform::DeleteNegative] {
-        let pct = |k| {
-            report_t3
-                .entry(transform, k)
-                .unwrap()
-                .compatible_teams_pct
-        };
+    for transform in [
+        UnsignedTransform::IgnoreSigns,
+        UnsignedTransform::DeleteNegative,
+    ] {
+        let pct = |k| report_t3.entry(transform, k).unwrap().compatible_teams_pct;
         assert!(pct(CompatibilityKind::Spa) <= pct(CompatibilityKind::Spm) + 1e-9);
         assert!(pct(CompatibilityKind::Spm) <= pct(CompatibilityKind::Spo) + 1e-9);
         assert!(pct(CompatibilityKind::Sbph) <= pct(CompatibilityKind::Nne) + 1e-9);

@@ -25,7 +25,12 @@ fn table2_claim_compatible_fractions_grow_with_relaxation() {
     for dataset in &datasets {
         let matrices: Vec<(CompatibilityKind, CompatibilityMatrix)> = CompatibilityKind::EVALUATED
             .iter()
-            .map(|&k| (k, CompatibilityMatrix::build_parallel(&dataset.graph, k, &engine, 4)))
+            .map(|&k| {
+                (
+                    k,
+                    CompatibilityMatrix::build_parallel(&dataset.graph, k, &engine, 4),
+                )
+            })
             .collect();
         let users_pct = |k: CompatibilityKind| {
             matrices
@@ -80,8 +85,10 @@ fn table2_claim_sbph_closely_tracks_exact_sbp_on_slashdot() {
         sbp_max_path_len: Some(16),
         ..Default::default()
     };
-    let sbp = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Sbp, &engine, 4);
-    let sbph = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Sbph, &engine, 4);
+    let sbp =
+        CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Sbp, &engine, 4);
+    let sbph =
+        CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Sbph, &engine, 4);
     let n = dataset.graph.node_count();
     let mut pairs = 0u64;
     let mut disagree = 0u64;
@@ -95,7 +102,10 @@ fn table2_claim_sbph_closely_tracks_exact_sbp_on_slashdot() {
         }
     }
     let pct = 100.0 * disagree as f64 / pairs as f64;
-    assert!(pct < 15.0, "SBP vs SBPH disagreement {pct:.2}% is far above the paper's ~2.5%");
+    assert!(
+        pct < 15.0,
+        "SBP vs SBPH disagreement {pct:.2}% is far above the paper's ~2.5%"
+    );
 }
 
 /// Figure 2(a): no algorithm can solve more tasks than the MAX skill-pair
@@ -112,14 +122,25 @@ fn figure2_claim_solutions_bounded_by_max_and_always_compatible() {
         skill_degree_cap: Some(32),
         ..Default::default()
     };
-    for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Nne] {
+    for kind in [
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spo,
+        CompatibilityKind::Nne,
+    ] {
         let comp = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
         let pairs = SkillPairCompatibility::from_rows(comp.rows(), &dataset.skills);
-        let max = tasks.iter().filter(|t| pairs.task_is_skill_compatible(t)).count();
+        let max = tasks
+            .iter()
+            .filter(|t| pairs.task_is_skill_compatible(t))
+            .count();
         let mut solved = 0;
         for task in &tasks {
-            if let Ok(team) = solve_greedy(&instance, &comp, task, TeamAlgorithm::LCMD, &greedy_cfg) {
-                assert!(team.is_compatible(&comp), "{kind}: returned an incompatible team");
+            if let Ok(team) = solve_greedy(&instance, &comp, task, TeamAlgorithm::LCMD, &greedy_cfg)
+            {
+                assert!(
+                    team.is_compatible(&comp),
+                    "{kind}: returned an incompatible team"
+                );
                 assert!(team.covers(&dataset.skills, task));
                 solved += 1;
             }
@@ -140,8 +161,10 @@ fn table3_claim_unsigned_baseline_produces_incompatible_teams() {
     let dataset = tfsn_datasets::epinions(0.02);
     let engine = EngineConfig::default();
     let tasks = random_coverable_tasks(&dataset.skills, 5, 25, 17);
-    let spa = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Spa, &engine, 4);
-    let nne = CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Nne, &engine, 4);
+    let spa =
+        CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Spa, &engine, 4);
+    let nne =
+        CompatibilityMatrix::build_parallel(&dataset.graph, CompatibilityKind::Nne, &engine, 4);
     let spa_out = unsigned_baseline_compatibility(
         &dataset.graph,
         &dataset.skills,

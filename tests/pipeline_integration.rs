@@ -19,13 +19,21 @@ fn slashdot_pipeline_end_to_end() {
 
     let engine = EngineConfig::default();
     let mut solved_by_kind = Vec::new();
-    for kind in [CompatibilityKind::Spa, CompatibilityKind::Spo, CompatibilityKind::Nne] {
+    for kind in [
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spo,
+        CompatibilityKind::Nne,
+    ] {
         let comp = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
         let mut solved = 0;
         for task in &tasks {
-            if let Ok(team) =
-                solve_greedy(&instance, &comp, task, TeamAlgorithm::LCMD, &GreedyConfig::default())
-            {
+            if let Ok(team) = solve_greedy(
+                &instance,
+                &comp,
+                task,
+                TeamAlgorithm::LCMD,
+                &GreedyConfig::default(),
+            ) {
                 assert!(team.is_valid(&dataset.skills, task, &comp));
                 assert!(team.diameter(&comp).is_some());
                 solved += 1;
@@ -40,7 +48,10 @@ fn slashdot_pipeline_end_to_end() {
         .find(|(k, _)| *k == CompatibilityKind::Nne)
         .unwrap()
         .1;
-    assert!(nne_solved > 0, "NNE solved no tasks at all: {solved_by_kind:?}");
+    assert!(
+        nne_solved > 0,
+        "NNE solved no tasks at all: {solved_by_kind:?}"
+    );
 }
 
 #[test]
@@ -50,33 +61,60 @@ fn epinions_scaled_pipeline_with_lazy_compatibility() {
     let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
     let tasks = random_coverable_tasks(&dataset.skills, 3, 5, 7);
     // The lazy oracle computes only the rows team formation touches.
-    let lazy = LazyCompatibility::new(&dataset.graph, CompatibilityKind::Spo, EngineConfig::default());
+    let lazy = LazyCompatibility::new(
+        &dataset.graph,
+        CompatibilityKind::Spo,
+        EngineConfig::default(),
+    );
     let mut any_solved = false;
     for task in &tasks {
-        if let Ok(team) =
-            solve_greedy(&instance, &lazy, task, TeamAlgorithm::LCMD, &GreedyConfig::default())
-        {
+        if let Ok(team) = solve_greedy(
+            &instance,
+            &lazy,
+            task,
+            TeamAlgorithm::LCMD,
+            &GreedyConfig::default(),
+        ) {
             assert!(team.is_valid(&dataset.skills, task, &lazy));
             any_solved = true;
         }
     }
-    assert!(any_solved, "no task solved on the scaled Epinions emulation");
+    assert!(
+        any_solved,
+        "no task solved on the scaled Epinions emulation"
+    );
     assert!(lazy.cached_rows() > 0);
-    assert!(lazy.cached_rows() < dataset.graph.node_count(),
-        "lazy oracle materialised every row; expected only the touched slice");
+    assert!(
+        lazy.cached_rows() < dataset.graph.node_count(),
+        "lazy oracle materialised every row; expected only the touched slice"
+    );
 }
 
 #[test]
 fn matrix_and_lazy_agree_on_team_validity() {
     let dataset = tfsn_datasets::wikipedia(0.02);
     let instance = TfsnInstance::new(&dataset.graph, &dataset.skills);
-    let task = random_coverable_tasks(&dataset.skills, 3, 1, 3).pop().unwrap();
+    let task = random_coverable_tasks(&dataset.skills, 3, 1, 3)
+        .pop()
+        .unwrap();
     let kind = CompatibilityKind::Spm;
     let engine = EngineConfig::default();
     let matrix = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
     let lazy = tfsn_core::compat::LazyCompatibility::new(&dataset.graph, kind, engine.clone());
-    let from_matrix = solve_greedy(&instance, &matrix, &task, TeamAlgorithm::LCMD, &GreedyConfig::default());
-    let from_lazy = solve_greedy(&instance, &lazy, &task, TeamAlgorithm::LCMD, &GreedyConfig::default());
+    let from_matrix = solve_greedy(
+        &instance,
+        &matrix,
+        &task,
+        TeamAlgorithm::LCMD,
+        &GreedyConfig::default(),
+    );
+    let from_lazy = solve_greedy(
+        &instance,
+        &lazy,
+        &task,
+        TeamAlgorithm::LCMD,
+        &GreedyConfig::default(),
+    );
     // SPM is per-source symmetric, so both oracles express the same relation
     // and the deterministic greedy must return the same result.
     assert_eq!(from_matrix, from_lazy);
@@ -97,9 +135,12 @@ fn unsigned_baseline_vs_signed_greedy_on_crafted_conflict() {
     // The anchor's closest holder of skill 1 is a declared foe; a compatible
     // holder exists two hops away through friends.
     let mut b = GraphBuilder::with_nodes(4);
-    b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Negative).unwrap();
-    b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Positive).unwrap();
-    b.add_edge(NodeId::new(2), NodeId::new(3), Sign::Positive).unwrap();
+    b.add_edge(NodeId::new(0), NodeId::new(1), Sign::Negative)
+        .unwrap();
+    b.add_edge(NodeId::new(0), NodeId::new(2), Sign::Positive)
+        .unwrap();
+    b.add_edge(NodeId::new(2), NodeId::new(3), Sign::Positive)
+        .unwrap();
     let graph = b.build();
     let mut skills = SkillAssignment::new(2, 4);
     skills.grant(0, SkillId::new(0));
@@ -111,11 +152,21 @@ fn unsigned_baseline_vs_signed_greedy_on_crafted_conflict() {
     let unsigned = to_unsigned(&graph, UnsignedTransform::IgnoreSigns);
     let baseline_team = rarest_first(&unsigned, &skills, &task).unwrap();
     let comp = CompatibilityMatrix::build(&graph, CompatibilityKind::Nne);
-    assert!(!baseline_team.is_compatible(&comp), "baseline should pick the incompatible shortcut");
+    assert!(
+        !baseline_team.is_compatible(&comp),
+        "baseline should pick the incompatible shortcut"
+    );
 
     // The signed-aware greedy avoids it.
     let instance = TfsnInstance::new(&graph, &skills);
-    let team = solve_greedy(&instance, &comp, &task, TeamAlgorithm::LCMD, &GreedyConfig::default()).unwrap();
+    let team = solve_greedy(
+        &instance,
+        &comp,
+        &task,
+        TeamAlgorithm::LCMD,
+        &GreedyConfig::default(),
+    )
+    .unwrap();
     assert!(team.is_compatible(&comp));
     assert!(team.contains(NodeId::new(3)));
 }

@@ -1,0 +1,76 @@
+//! Vendored minimal stand-in for `crossbeam`: just `crossbeam::scope`,
+//! implemented over `std::thread::scope` (stable since Rust 1.63, which
+//! removed the original motivation for crossbeam's scoped threads).
+//!
+//! Semantics differ from real crossbeam in one way: a panic in a spawned
+//! thread propagates out of `scope` as a panic rather than an `Err`. Every
+//! call site in this workspace immediately `.expect()`s the result, so the
+//! observable behavior (abort with the panic message) is the same.
+
+use std::any::Any;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle so it
+    /// can spawn further threads, as with real crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Scoped threads (alias module so `crossbeam::thread::scope` also works).
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(data.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

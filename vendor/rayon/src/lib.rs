@@ -1,0 +1,231 @@
+//! Vendored minimal stand-in for `rayon`.
+//!
+//! Implements the slice → `par_iter().map(f).collect()` pipeline the query
+//! engine uses, plus `ThreadPoolBuilder`/`ThreadPool::install` so tests can
+//! pin the worker count. Work distribution is a shared atomic index over the
+//! input (dynamic load balancing, like rayon's work stealing in effect if
+//! not in mechanism); results are written back in input order, so `collect`
+//! is **order-stable regardless of thread count** — the property the
+//! engine's determinism tests assert.
+//!
+//! Unlike real rayon there is no persistent worker pool: each `collect`
+//! spawns scoped threads. For the matrix-build-dominated workloads here the
+//! per-batch spawn cost is noise.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel operations will use: the innermost
+/// [`ThreadPool::install`] override, or `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE.with(|o| o.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    })
+}
+
+/// Builder for a logical thread pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type mirroring rayon's `ThreadPoolBuildError` (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical thread pool: parallel operations run inside
+/// [`ThreadPool::install`] use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|o| o.replace(self.num_threads));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// Runs `f(i)` for every index in `0..len` across the ambient thread count,
+/// returning the results in index order.
+fn par_run<R: Send>(len: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().clamp(1, len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..len).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let r = f(i);
+                // Disjoint indices: the lock is only contended for the
+                // duration of one slot write.
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect()
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps every item through `f` (lazily; executed by `collect`).
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<'data, T, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Executes the map in parallel, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_run(self.slice.len(), |i| (self.f)(&self.slice[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Conversion of borrowed collections into parallel iterators.
+pub trait IntoParallelRefIterator<'data> {
+    /// The item type yielded by the parallel iterator.
+    type Item: Sync + 'data;
+
+    /// Creates a parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// The traits needed to call `.par_iter().map(..).collect()`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 2);
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let input: Vec<usize> = (0..100).collect();
+        let seq: Vec<usize> = single.install(|| input.par_iter().map(|&x| x + 1).collect());
+        let par: Vec<usize> = pool.install(|| input.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(seq, par);
+    }
+}

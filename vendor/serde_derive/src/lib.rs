@@ -1,0 +1,504 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Hand-rolled over `proc_macro::TokenTree` (the offline build has no
+//! `syn`/`quote`). Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields, tuple structs (a 1-field tuple struct is
+//!   treated as a transparent newtype, like real serde), unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged:
+//!   a unit variant is a string, a payload variant is `{"Variant": ...}`).
+//!
+//! Generics and `#[serde(...)]` attributes are rejected with a compile
+//! error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Def {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Def) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(def) => gen(&def)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Def, String> {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes and visibility up to the `struct` / `enum` keyword.
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // #[...]: consume the bracket group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut it)?;
+                reject_generics(&mut it)?;
+                let fields = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream())?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                    other => return Err(format!("unexpected token after struct name: {other:?}")),
+                };
+                return Ok(Def::Struct { name, fields });
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut it)?;
+                reject_generics(&mut it)?;
+                let body = match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                    other => return Err(format!("expected enum body, got {other:?}")),
+                };
+                return Ok(Def::Enum {
+                    name,
+                    variants: parse_variants(body)?,
+                });
+            }
+            Some(other) => return Err(format!("unexpected token before item keyword: {other}")),
+            None => return Err("expected `struct` or `enum`".to_string()),
+        }
+    }
+}
+
+fn expect_ident(
+    it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Result<String, String> {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected identifier, got {other:?}")),
+    }
+}
+
+fn reject_generics(
+    it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Result<(), String> {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err("serde_derive shim: generic types are not supported".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+/// Tracks `<`/`>` depth so commas inside generic types do not split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            None => return Ok(names),
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field name, got {other:?}")),
+                }
+                // Consume the type up to a top-level comma.
+                let mut angle = 0i32;
+                loop {
+                    match it.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) => {
+                            let c = p.as_char();
+                            if c == '<' {
+                                angle += 1;
+                            } else if c == '>' {
+                                angle -= 1;
+                            } else if c == ',' && angle == 0 {
+                                it.next();
+                                break;
+                            }
+                            it.next();
+                        }
+                        Some(_) => {
+                            it.next();
+                        }
+                    }
+                }
+            }
+            Some(other) => return Err(format!("expected field name, got {other}")),
+        }
+    }
+}
+
+/// Counts the top-level comma-separated segments of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut segment_nonempty = false;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    angle += 1;
+                    segment_nonempty = true;
+                } else if c == '>' {
+                    angle -= 1;
+                    segment_nonempty = true;
+                } else if c == ',' && angle == 0 {
+                    if segment_nonempty {
+                        count += 1;
+                    }
+                    segment_nonempty = false;
+                } else if c != '#' {
+                    segment_nonempty = true;
+                }
+            }
+            _ => segment_nonempty = true,
+        }
+    }
+    if segment_nonempty {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        match it.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let fields = match it.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        it.next();
+                        Fields::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let names = parse_named_fields(g.stream())?;
+                        it.next();
+                        Fields::Named(names)
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an optional `= discriminant` and the trailing comma.
+                let mut angle = 0i32;
+                loop {
+                    match it.peek() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) => {
+                            let c = p.as_char();
+                            if c == '<' {
+                                angle += 1;
+                            } else if c == '>' {
+                                angle -= 1;
+                            } else if c == ',' && angle == 0 {
+                                it.next();
+                                break;
+                            }
+                            it.next();
+                        }
+                        Some(_) => {
+                            it.next();
+                        }
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            Some(other) => return Err(format!("expected variant name, got {other}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(def: &Def) -> String {
+    match def {
+        Def::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                                f
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", entries.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Def::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str({:?}.to_string()),", vn)
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![({:?}.to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),",
+                            vn
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![({:?}.to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                vn,
+                                vals.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({:?}.to_string(), ::serde::Serialize::to_value({f}))",
+                                        f
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![\
+                                 ({:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                vn,
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(def: &Def) -> String {
+    match def {
+        Def::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__field(__map, {:?})?", f))
+                        .collect();
+                    format!(
+                        "let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                         format!(\"expected object for struct {name}, got {{}}\", __v.kind_name())))?;\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __seq = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                         format!(\"expected array for struct {name}, got {{}}\", __v.kind_name())))?;\n\
+                         if __seq.len() != {n} {{ return Err(::serde::Error::custom(\
+                         format!(\"expected array of length {n}, got {{}}\", __seq.len()))); }}\n\
+                         Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Def::Enum { name, variants } => {
+            let str_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "{:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)?)),",
+                            vn
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            format!(
+                                "{:?} => {{\n\
+                                 let __seq = __payload.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected array payload\"))?;\n\
+                                 if __seq.len() != {n} {{ return Err(::serde::Error::custom(\
+                                 \"wrong payload arity\")); }}\n\
+                                 Ok({name}::{vn}({}))\n}},",
+                                vn,
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::__field(__m, {:?})?", f))
+                                .collect();
+                            format!(
+                                "{:?} => {{\n\
+                                 let __m = __payload.as_map().ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected object payload\"))?;\n\
+                                 Ok({name}::{vn} {{ {} }})\n}},",
+                                vn,
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 __other => Err(::serde::Error::custom(format!(\
+                                     \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__m[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {}\n\
+                                     __other => Err(::serde::Error::custom(format!(\
+                                         \"unknown variant `{{__other}}` of enum {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             __other => Err(::serde::Error::custom(format!(\
+                                 \"expected string or single-key object for enum {name}, got {{}}\",\
+                                 __other.kind_name()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                str_arms.join("\n"),
+                map_arms.join("\n")
+            )
+        }
+    }
+}
