@@ -12,7 +12,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use tfsn_core::compat::CompatibilityKind;
-use tfsn_engine::{BatchOptions, Deployment, Engine, TeamQuery};
+use tfsn_engine::{BatchOptions, Deployment, Engine, EngineOptions, StorePolicy, TeamQuery};
 
 /// A ~1.4k-node deployment (Epinions emulation at 5%).
 fn deployment() -> Deployment {
@@ -114,6 +114,71 @@ fn bench_engine_throughput(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Row-mode serving: the tier that replaces the O(|V|²) matrix on huge
+    // graphs. Criterion measures the steady state (rows resident under an
+    // unbounded budget); the eviction-pressure case is a bounded one-shot
+    // measurement below, because a thrashing LRU deliberately recomputes
+    // rows every batch and would stretch a criterion group indefinitely.
+    let row_engine = Engine::with_options(
+        deployment.clone(),
+        EngineOptions {
+            policy: StorePolicy::rows(None),
+            ..Default::default()
+        },
+    );
+    row_engine.batch(&warm_batch, &BatchOptions::default()); // fill rows
+    let mut group = c.benchmark_group("engine_row_mode_batch_256q");
+    group.throughput(Throughput::Elements(warm_batch.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("resident"), |b| {
+        b.iter(|| black_box(row_engine.batch(&warm_batch, &BatchOptions::default())))
+    });
+    group.finish();
+
+    // One-shot eviction-pressure measurement: a small batch under a budget
+    // of ~8 rows — the worst case (constant recomputation), printed for
+    // comparison against the resident rate above. The greedy caps bound the
+    // per-query candidate scan so the thrash stays measurable, not endless.
+    let tight_engine = Engine::with_options(
+        deployment.clone(),
+        EngineOptions {
+            policy: StorePolicy::rows(Some(
+                8 * tfsn_core::compat::estimated_row_bytes(deployment.user_count()),
+            )),
+            ..Default::default()
+        },
+    );
+    let bounded_greedy = tfsn_core::team::Solver::Greedy {
+        algorithm: tfsn_core::team::policies::TeamAlgorithm::LCMD,
+        config: tfsn_core::team::greedy::GreedyConfig {
+            max_seeds: Some(2),
+            skill_degree_cap: Some(8),
+            random_seed: 1,
+        },
+    };
+    let small_batch: Vec<TeamQuery> = queries(CompatibilityKind::Spa, 8)
+        .into_iter()
+        .map(|q| q.with_solver(bounded_greedy.clone()))
+        .collect();
+    let start = Instant::now();
+    black_box(tight_engine.batch(&small_batch, &BatchOptions::default()));
+    let secs = start.elapsed().as_secs_f64();
+    let m = tight_engine.metrics();
+    println!(
+        "row-mode under an 8-row budget: {} queries in {:.3}s ({:.0} q/s), \
+         {} row builds, {} evictions, {} resident bytes",
+        small_batch.len(),
+        secs,
+        small_batch.len() as f64 / secs.max(1e-9),
+        m.row_builds,
+        m.row_evictions,
+        m.resident_bytes
+    );
+    if m.row_evictions == 0 {
+        // Informational, not an abort: the eviction invariant itself is
+        // covered by tests; the bench only reports the thrash cost.
+        println!("warning: the 8-row budget did not evict — workload touched too few rows");
+    }
 }
 
 /// Short measurement profile so `cargo bench --workspace` finishes in

@@ -17,9 +17,12 @@ pub mod sbph;
 pub mod sp;
 pub mod trivial;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use signed_graph::csr::CsrGraph;
 use signed_graph::{NodeId, SignedGraph};
@@ -254,8 +257,12 @@ impl CompatibilityMatrix {
         CompatibilityMatrix { kind, rows }
     }
 
-    /// Builds the full relation using `threads` worker threads
-    /// (`crossbeam::scope`); the per-source computations are independent.
+    /// Builds the full relation using `threads` worker threads; the
+    /// per-source computations are independent. Work is distributed by an
+    /// atomic claim counter (so expensive SBP/SBPH rows balance across
+    /// workers), and every worker owns the rows it computes outright —
+    /// results are stitched into place after the joins, with no shared slot
+    /// vector or lock on the write path.
     pub fn build_parallel(
         graph: &SignedGraph,
         kind: CompatibilityKind,
@@ -270,22 +277,29 @@ impl CompatibilityMatrix {
         let csr = CsrGraph::from_graph(graph);
         let next = AtomicUsize::new(0);
         let mut rows: Vec<Option<SourceCompatibility>> = vec![None; n];
-        let slots = RwLock::new(&mut rows);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let row = compute_source(graph, &csr, NodeId::new(i), kind, cfg);
-                    // Each index is claimed by exactly one worker, so the
-                    // write lock is only contended briefly.
-                    slots.write()[i] = Some(row);
-                });
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (next, csr) = (&next, &csr);
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            mine.push((i, compute_source(graph, csr, NodeId::new(i), kind, cfg)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, row) in handle.join().expect("compatibility worker panicked") {
+                    rows[i] = Some(row);
+                }
             }
-        })
-        .expect("compatibility worker panicked");
+        });
         let mut rows: Vec<SourceCompatibility> = rows
             .into_iter()
             .map(|r| r.expect("every source computed"))
@@ -412,54 +426,329 @@ fn symmetrize(rows: &mut [SourceCompatibility]) {
     }
 }
 
-/// A lazily materialised relation: per-source rows are computed on first use
-/// and cached behind a `parking_lot::RwLock`.
-///
-/// This is the right choice when team formation touches only the users
-/// holding the task's skills — a small slice of a large network.
-pub struct LazyCompatibility<'g> {
-    graph: &'g SignedGraph,
-    csr: CsrGraph,
-    kind: CompatibilityKind,
-    cfg: EngineConfig,
-    cache: RwLock<Vec<Option<std::sync::Arc<SourceCompatibility>>>>,
+/// Approximate heap footprint of one cached [`SourceCompatibility`] row, in
+/// bytes. This is what the row store's memory budget accounts in.
+pub fn row_bytes(row: &SourceCompatibility) -> usize {
+    std::mem::size_of::<SourceCompatibility>()
+        + row.compatible.capacity() * std::mem::size_of::<bool>()
+        + row.distance.capacity() * std::mem::size_of::<Option<u32>>()
 }
 
-impl<'g> LazyCompatibility<'g> {
-    /// Creates an empty cache over `graph` for relation `kind`.
-    pub fn new(graph: &'g SignedGraph, kind: CompatibilityKind, cfg: EngineConfig) -> Self {
+/// Estimated footprint of one row over a graph with `nodes` users, before
+/// computing it (used by budget policies to choose a serving tier).
+pub fn estimated_row_bytes(nodes: usize) -> usize {
+    std::mem::size_of::<SourceCompatibility>()
+        + nodes * (std::mem::size_of::<bool>() + std::mem::size_of::<Option<u32>>())
+}
+
+/// Estimated footprint of a fully materialised [`CompatibilityMatrix`] over
+/// a graph with `nodes` users: `O(|V|²)` and quickly infeasible — ~21 GiB
+/// at 50k nodes, ~146 GiB for the full 132k-node Epinions network.
+pub fn estimated_matrix_bytes(nodes: usize) -> usize {
+    nodes.saturating_mul(estimated_row_bytes(nodes))
+}
+
+/// Per-slot state of the row store: either nothing, a claimed in-flight
+/// computation other callers can wait on, or a resident row.
+enum Slot {
+    Empty,
+    /// The slot is claimed: exactly one thread runs the per-source
+    /// computation inside the `OnceLock`; concurrent callers for the same
+    /// row block on it instead of computing a duplicate.
+    Building(Arc<OnceLock<Arc<SourceCompatibility>>>),
+    Ready {
+        row: Arc<SourceCompatibility>,
+        bytes: usize,
+        tick: u64,
+    },
+}
+
+/// Slots plus LRU bookkeeping, all behind one short-hold mutex. The mutex
+/// only guards pointer-sized bookkeeping — row computations run outside it.
+struct RowCacheState {
+    slots: Vec<Slot>,
+    /// `tick -> source` ordered oldest-first; ticks are unique, so this is
+    /// an exact LRU queue with `O(log n)` touch and evict.
+    lru: BTreeMap<u64, usize>,
+    next_tick: u64,
+    resident_bytes: usize,
+}
+
+/// The result of fetching one row from [`LazyCompatibility`]: the row, plus
+/// whether *this call* performed the computation (exactly one caller per
+/// cache fill sees `built == true`) and how long that computation took.
+#[derive(Debug, Clone)]
+pub struct RowFetch {
+    /// The per-source row.
+    pub row: Arc<SourceCompatibility>,
+    /// `true` iff this call ran the per-source computation. Concurrent
+    /// callers that blocked on the same fill see `false`.
+    pub built: bool,
+    /// Time spent computing the row, in microseconds (0 unless `built`).
+    pub build_micros: u64,
+}
+
+/// A memory-budgeted, lazily materialised relation: per-source rows are
+/// computed on first use, cached up to an optional byte budget, and evicted
+/// LRU-first when the budget is exceeded.
+///
+/// This is the serving mode for graphs where the `O(|V|²)`
+/// [`CompatibilityMatrix`] is infeasible (full-size Epinions/Wikipedia):
+/// team formation touches only the users holding the task's skills, so only
+/// that working set is resident. The store is owned (`Arc<SignedGraph>`)
+/// and `Sync`, so a serving engine can share it across query threads.
+///
+/// Guarantees:
+///
+/// * **Exactly-once rows** — concurrent misses on one row claim the slot
+///   and block on a single computation; no duplicate work is discarded.
+/// * **Budget invariant** — `resident_bytes() <= budget` whenever no call
+///   is in flight; a row larger than the whole budget is computed, served,
+///   and immediately dropped rather than retained.
+/// * **Symmetric closure** — for the asymmetric heuristic kinds (SBPH and
+///   budget-limited SBP) a pair is compatible if either direction's row
+///   says so, matching [`CompatibilityMatrix`]'s closure exactly.
+pub struct LazyCompatibility {
+    graph: Arc<SignedGraph>,
+    csr: Arc<CsrGraph>,
+    kind: CompatibilityKind,
+    cfg: EngineConfig,
+    budget_bytes: Option<usize>,
+    state: Mutex<RowCacheState>,
+    builds: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl LazyCompatibility {
+    /// Creates an unbounded row store over `graph` for relation `kind`.
+    pub fn new(graph: Arc<SignedGraph>, kind: CompatibilityKind, cfg: EngineConfig) -> Self {
+        Self::with_budget(graph, kind, cfg, None)
+    }
+
+    /// Creates a row store whose resident rows are capped at `budget_bytes`
+    /// (`None` = unbounded). The cap counts row payloads via [`row_bytes`].
+    pub fn with_budget(
+        graph: Arc<SignedGraph>,
+        kind: CompatibilityKind,
+        cfg: EngineConfig,
+        budget_bytes: Option<usize>,
+    ) -> Self {
+        let csr = Arc::new(CsrGraph::from_graph(&graph));
+        Self::with_shared_csr(graph, csr, kind, cfg, budget_bytes)
+    }
+
+    /// Like [`Self::with_budget`], reusing an existing CSR view of `graph`.
+    /// A store per relation kind over one graph should share one CSR — it is
+    /// `O(|V| + |E|)` and identical for every kind.
+    pub fn with_shared_csr(
+        graph: Arc<SignedGraph>,
+        csr: Arc<CsrGraph>,
+        kind: CompatibilityKind,
+        cfg: EngineConfig,
+        budget_bytes: Option<usize>,
+    ) -> Self {
+        let n = graph.node_count();
         LazyCompatibility {
             graph,
-            csr: CsrGraph::from_graph(graph),
+            csr,
             kind,
             cfg,
-            cache: RwLock::new(vec![None; graph.node_count()]),
+            budget_bytes,
+            state: Mutex::new(RowCacheState {
+                slots: (0..n).map(|_| Slot::Empty).collect(),
+                lru: BTreeMap::new(),
+                next_tick: 0,
+                resident_bytes: 0,
+            }),
+            builds: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
+    }
+
+    /// The graph the relation is defined over.
+    pub fn graph(&self) -> &Arc<SignedGraph> {
+        &self.graph
+    }
+
+    /// The configured resident-byte budget (`None` = unbounded).
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget_bytes
     }
 
     /// Returns (computing if necessary) the row for `source`.
-    pub fn source(&self, source: NodeId) -> std::sync::Arc<SourceCompatibility> {
-        if let Some(row) = &self.cache.read()[source.index()] {
-            return row.clone();
-        }
-        let row = std::sync::Arc::new(compute_source(
-            self.graph, &self.csr, source, self.kind, &self.cfg,
-        ));
-        let mut guard = self.cache.write();
-        let slot = &mut guard[source.index()];
-        if slot.is_none() {
-            *slot = Some(row.clone());
-        }
-        slot.as_ref().expect("just inserted").clone()
+    pub fn source(&self, source: NodeId) -> Arc<SourceCompatibility> {
+        self.source_tracked(source).row
     }
 
-    /// Number of cached rows (for diagnostics and tests).
+    /// Like [`Self::source`], reporting whether this call performed the
+    /// computation — the hook serving layers use to attribute cache misses
+    /// to the caller that actually built (not every caller that raced).
+    pub fn source_tracked(&self, source: NodeId) -> RowFetch {
+        let bounded = self.budget_bytes.is_some();
+        let cell = {
+            let mut st = self.state.lock();
+            st.next_tick += 1;
+            let tick = st.next_tick;
+            match &mut st.slots[source.index()] {
+                Slot::Ready { row, tick: t, .. } => {
+                    let row = row.clone();
+                    // LRU order only matters when eviction can happen;
+                    // unbounded stores skip the BTreeMap churn on the hot
+                    // resident path.
+                    if bounded {
+                        let old = *t;
+                        *t = tick;
+                        st.lru.remove(&old);
+                        st.lru.insert(tick, source.index());
+                    }
+                    return RowFetch {
+                        row,
+                        built: false,
+                        build_micros: 0,
+                    };
+                }
+                Slot::Building(cell) => cell.clone(),
+                slot @ Slot::Empty => {
+                    let cell = Arc::new(OnceLock::new());
+                    *slot = Slot::Building(cell.clone());
+                    cell
+                }
+            }
+        };
+        let mut built = false;
+        let mut build_micros = 0u64;
+        let row = cell
+            .get_or_init(|| {
+                let start = Instant::now();
+                let row = Arc::new(compute_source(
+                    &self.graph,
+                    &self.csr,
+                    source,
+                    self.kind,
+                    &self.cfg,
+                ));
+                build_micros = start.elapsed().as_micros() as u64;
+                built = true;
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                row
+            })
+            .clone();
+        if built {
+            // Only the builder publishes the slot and enforces the budget;
+            // waiters already share the row through the cell.
+            let bytes = row_bytes(&row);
+            let mut st = self.state.lock();
+            st.next_tick += 1;
+            let tick = st.next_tick;
+            st.slots[source.index()] = Slot::Ready {
+                row: row.clone(),
+                bytes,
+                tick,
+            };
+            st.resident_bytes += bytes;
+            if bounded {
+                st.lru.insert(tick, source.index());
+            }
+            if let Some(budget) = self.budget_bytes {
+                while st.resident_bytes > budget {
+                    let Some((&oldest, &victim)) = st.lru.iter().next() else {
+                        break;
+                    };
+                    st.lru.remove(&oldest);
+                    if let Slot::Ready { bytes, .. } = &st.slots[victim] {
+                        st.resident_bytes -= *bytes;
+                        st.slots[victim] = Slot::Empty;
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        RowFetch {
+            row,
+            built,
+            build_micros,
+        }
+    }
+
+    /// Number of resident rows (for diagnostics and tests).
     pub fn cached_rows(&self) -> usize {
-        self.cache.read().iter().filter(|r| r.is_some()).count()
+        self.state
+            .lock()
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count()
+    }
+
+    /// Bytes currently held by resident rows.
+    pub fn resident_bytes(&self) -> usize {
+        self.state.lock().resident_bytes
+    }
+
+    /// Total per-source computations performed (recomputations after
+    /// eviction included). Without eviction this equals the number of
+    /// distinct sources ever fetched — the exactly-once test hook.
+    pub fn build_count(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Rows evicted to stay within the budget.
+    pub fn eviction_count(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
-impl Compatibility for LazyCompatibility<'_> {
+impl std::fmt::Debug for LazyCompatibility {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyCompatibility")
+            .field("kind", &self.kind)
+            .field("nodes", &self.graph.node_count())
+            .field("budget_bytes", &self.budget_bytes)
+            .field("resident_bytes", &self.resident_bytes())
+            .field("builds", &self.build_count())
+            .field("evictions", &self.eviction_count())
+            .finish()
+    }
+}
+
+/// Pair compatibility through a row-fetch closure: forward row first, then —
+/// for the asymmetric heuristic kinds — the symmetric closure via the
+/// reverse row, matching [`CompatibilityMatrix`].
+fn pair_compatible<F>(kind: CompatibilityKind, mut fetch: F, u: NodeId, v: NodeId) -> bool
+where
+    F: FnMut(NodeId) -> Arc<SourceCompatibility>,
+{
+    if u == v {
+        return true;
+    }
+    let forward = fetch(u).compatible.get(v.index()).copied().unwrap_or(false);
+    if forward || per_source_symmetric(kind) {
+        return forward;
+    }
+    fetch(v).compatible.get(u.index()).copied().unwrap_or(false)
+}
+
+/// Pair distance through a row-fetch closure (minimum over both directions
+/// for the asymmetric kinds, as in [`CompatibilityMatrix`]'s closure).
+fn pair_distance<F>(kind: CompatibilityKind, mut fetch: F, u: NodeId, v: NodeId) -> Option<u32>
+where
+    F: FnMut(NodeId) -> Arc<SourceCompatibility>,
+{
+    if u == v {
+        return Some(0);
+    }
+    let forward = fetch(u).distance.get(v.index()).copied().flatten();
+    if per_source_symmetric(kind) {
+        return forward;
+    }
+    let backward = fetch(v).distance.get(u.index()).copied().flatten();
+    match (forward, backward) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+impl Compatibility for LazyCompatibility {
     fn kind(&self) -> CompatibilityKind {
         self.kind
     }
@@ -469,39 +758,98 @@ impl Compatibility for LazyCompatibility<'_> {
     }
 
     fn compatible(&self, u: NodeId, v: NodeId) -> bool {
-        if u == v {
-            return true;
-        }
-        let forward = self
-            .source(u)
-            .compatible
-            .get(v.index())
-            .copied()
-            .unwrap_or(false);
-        if forward || per_source_symmetric(self.kind) {
-            return forward;
-        }
-        // Asymmetric heuristic kinds: take the symmetric closure.
-        self.source(v)
-            .compatible
-            .get(u.index())
-            .copied()
-            .unwrap_or(false)
+        pair_compatible(self.kind, |s| self.source(s), u, v)
     }
 
     fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
-        if u == v {
-            return Some(0);
+        pair_distance(self.kind, |s| self.source(s), u, v)
+    }
+}
+
+/// One memo entry of a [`RowTracker`]: a recently fetched row and its source.
+type MemoSlot = Option<(NodeId, Arc<SourceCompatibility>)>;
+
+/// A per-query view over a shared [`LazyCompatibility`] that counts only the
+/// row computations *this* view performed. Serving layers wrap each query in
+/// one tracker so hit/miss accounting stays exact under concurrency: when N
+/// queries race on a cold row, exactly one tracker records the build.
+///
+/// The tracker keeps a tiny private memo of the rows it fetched last:
+/// solvers probe the same source against many targets back to back, and the
+/// memo answers those repeats without touching the shared store's lock (or,
+/// under a tight budget, re-triggering an evicted row's recomputation
+/// mid-query).
+pub struct RowTracker<'a> {
+    rows: &'a LazyCompatibility,
+    built: AtomicUsize,
+    build_micros: AtomicU64,
+    memo: Mutex<[MemoSlot; 2]>,
+}
+
+impl<'a> RowTracker<'a> {
+    /// Creates a tracker over `rows` with zeroed counters.
+    pub fn new(rows: &'a LazyCompatibility) -> Self {
+        RowTracker {
+            rows,
+            built: AtomicUsize::new(0),
+            build_micros: AtomicU64::new(0),
+            memo: Mutex::new([None, None]),
         }
-        let forward = self.source(u).distance.get(v.index()).copied().flatten();
-        if per_source_symmetric(self.kind) {
-            return forward;
+    }
+
+    /// Row computations performed through this tracker.
+    pub fn rows_built(&self) -> usize {
+        self.built.load(Ordering::Relaxed)
+    }
+
+    /// Time this tracker spent computing rows, in microseconds.
+    pub fn build_micros(&self) -> u64 {
+        self.build_micros.load(Ordering::Relaxed)
+    }
+
+    fn fetch(&self, source: NodeId) -> Arc<SourceCompatibility> {
+        {
+            let mut memo = self.memo.lock();
+            if let Some((s, row)) = &memo[0] {
+                if *s == source {
+                    return row.clone();
+                }
+            }
+            if let Some((s, _)) = &memo[1] {
+                if *s == source {
+                    memo.swap(0, 1);
+                    return memo[0].as_ref().expect("just swapped in").1.clone();
+                }
+            }
         }
-        let backward = self.source(v).distance.get(u.index()).copied().flatten();
-        match (forward, backward) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+        let fetch = self.rows.source_tracked(source);
+        if fetch.built {
+            self.built.fetch_add(1, Ordering::Relaxed);
+            self.build_micros
+                .fetch_add(fetch.build_micros, Ordering::Relaxed);
         }
+        let mut memo = self.memo.lock();
+        memo.swap(0, 1);
+        memo[0] = Some((source, fetch.row.clone()));
+        fetch.row
+    }
+}
+
+impl Compatibility for RowTracker<'_> {
+    fn kind(&self) -> CompatibilityKind {
+        self.rows.kind
+    }
+
+    fn node_count(&self) -> usize {
+        self.rows.graph.node_count()
+    }
+
+    fn compatible(&self, u: NodeId, v: NodeId) -> bool {
+        pair_compatible(self.rows.kind, |s| self.fetch(s), u, v)
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        pair_distance(self.rows.kind, |s| self.fetch(s), u, v)
     }
 }
 
@@ -673,7 +1021,7 @@ mod tests {
     fn lazy_matches_matrix_and_caches() {
         let g = paper_figure_1a();
         let kind = CompatibilityKind::Spm;
-        let lazy = LazyCompatibility::new(&g, kind, EngineConfig::default());
+        let lazy = LazyCompatibility::new(Arc::new(g.clone()), kind, EngineConfig::default());
         let matrix = CompatibilityMatrix::build(&g, kind);
         assert_eq!(lazy.cached_rows(), 0);
         for u in g.nodes() {
@@ -683,8 +1031,135 @@ mod tests {
             }
         }
         assert_eq!(lazy.cached_rows(), g.node_count());
+        assert_eq!(lazy.build_count(), g.node_count());
+        assert_eq!(lazy.eviction_count(), 0);
         assert_eq!(lazy.kind(), kind);
         assert_eq!(lazy.node_count(), g.node_count());
+    }
+
+    /// A ring graph large enough that per-source work is nontrivial.
+    fn ring_graph(n: usize) -> SignedGraph {
+        from_edge_triples(
+            (0..n)
+                .map(|i| {
+                    (
+                        i,
+                        (i + 1) % n,
+                        if i % 5 == 0 {
+                            Sign::Negative
+                        } else {
+                            Sign::Positive
+                        },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn concurrent_row_misses_compute_exactly_once() {
+        // Mirrors the engine's `concurrent_same_kind_builds_once`, one layer
+        // down: 8 threads race on the same cold rows; each row must be
+        // computed exactly once and exactly one caller per row observes
+        // `built == true`.
+        let g = Arc::new(ring_graph(64));
+        let lazy =
+            LazyCompatibility::new(g.clone(), CompatibilityKind::Sbph, EngineConfig::default());
+        let sources = [NodeId::new(0), NodeId::new(7), NodeId::new(21)];
+        let observed_builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        for &src in &sources {
+                            if lazy.source_tracked(src).built {
+                                observed_builds.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(lazy.build_count(), sources.len());
+        assert_eq!(observed_builds.load(Ordering::Relaxed), sources.len());
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_recomputes_correctly() {
+        let g = Arc::new(ring_graph(40));
+        let kind = CompatibilityKind::Spo;
+        let matrix = CompatibilityMatrix::build(&g, kind);
+        // A budget that fits roughly two rows.
+        let budget = 2 * estimated_row_bytes(g.node_count()) + 16;
+        let lazy =
+            LazyCompatibility::with_budget(g.clone(), kind, EngineConfig::default(), Some(budget));
+        for u in 0..6 {
+            lazy.source(NodeId::new(u));
+            assert!(
+                lazy.resident_bytes() <= budget,
+                "resident {} exceeds budget {budget}",
+                lazy.resident_bytes()
+            );
+        }
+        assert!(lazy.eviction_count() > 0, "tiny budget must evict");
+        assert!(lazy.cached_rows() <= 2);
+        // Evicted rows recompute to the same values.
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(lazy.compatible(u, v), matrix.compatible(u, v));
+                assert_eq!(lazy.distance(u, v), matrix.distance(u, v));
+            }
+        }
+        assert!(
+            lazy.build_count() > g.node_count(),
+            "eviction pressure must force recomputation"
+        );
+    }
+
+    #[test]
+    fn oversized_row_is_served_but_not_retained() {
+        let g = Arc::new(ring_graph(30));
+        // Budget smaller than a single row: every row is computed, served,
+        // and immediately dropped — the invariant holds at resident == 0.
+        let lazy = LazyCompatibility::with_budget(
+            g.clone(),
+            CompatibilityKind::Nne,
+            EngineConfig::default(),
+            Some(8),
+        );
+        let row = lazy.source(NodeId::new(3));
+        assert!(row.compatible[3]);
+        assert_eq!(lazy.resident_bytes(), 0);
+        assert_eq!(lazy.cached_rows(), 0);
+        assert_eq!(lazy.eviction_count(), 1);
+        // Still correct on re-fetch.
+        let again = lazy.source(NodeId::new(3));
+        assert_eq!(*again, *row);
+        assert_eq!(lazy.build_count(), 2);
+    }
+
+    #[test]
+    fn tracker_attributes_builds_to_the_performing_query() {
+        let g = Arc::new(ring_graph(24));
+        let lazy = LazyCompatibility::new(g, CompatibilityKind::Spa, EngineConfig::default());
+        let first = RowTracker::new(&lazy);
+        assert!(first.compatible(NodeId::new(1), NodeId::new(2)));
+        assert_eq!(first.rows_built(), 1, "cold row: this tracker built it");
+        let second = RowTracker::new(&lazy);
+        let _ = second.compatible(NodeId::new(1), NodeId::new(3));
+        assert_eq!(second.rows_built(), 0, "warm row: no build attributed");
+        assert_eq!(second.kind(), CompatibilityKind::Spa);
+        assert_eq!(second.node_count(), 24);
+    }
+
+    #[test]
+    fn byte_estimates_are_consistent() {
+        let g = ring_graph(50);
+        let m = CompatibilityMatrix::build(&g, CompatibilityKind::Nne);
+        let actual = row_bytes(&m.rows()[0]);
+        let estimated = estimated_row_bytes(g.node_count());
+        assert_eq!(actual, estimated);
+        assert_eq!(estimated_matrix_bytes(g.node_count()), 50 * estimated);
     }
 
     #[test]

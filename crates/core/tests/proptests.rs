@@ -284,3 +284,91 @@ fn paper_figure_1a_example() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Tiered row store (LazyCompatibility) vs the materialised matrix.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The budget-capped row store must express exactly the same relation as
+    /// the fully materialised matrix — for the per-source-symmetric kinds
+    /// (SPA/SPO/NNE) and the asymmetric heuristic (SBPH, which needs the
+    /// symmetric closure) alike — after an arbitrary query order and under
+    /// eviction pressure from a budget of only a few rows.
+    #[test]
+    fn row_store_matches_matrix_under_eviction(
+        g in arb_graph(),
+        order in prop::collection::vec((0usize..1024, 0usize..1024), 1..50),
+        budget_rows in 1usize..4,
+    ) {
+        use std::sync::Arc;
+        use tfsn_core::compat::{estimated_row_bytes, LazyCompatibility};
+        let n = g.node_count();
+        let budget = budget_rows * estimated_row_bytes(n) + 16;
+        for kind in [
+            CompatibilityKind::Spa,
+            CompatibilityKind::Spo,
+            CompatibilityKind::Nne,
+            CompatibilityKind::Sbph,
+        ] {
+            let matrix = CompatibilityMatrix::build(&g, kind);
+            let lazy = LazyCompatibility::with_budget(
+                Arc::new(g.clone()),
+                kind,
+                EngineConfig::default(),
+                Some(budget),
+            );
+            for &(a, b) in &order {
+                let (u, v) = (NodeId::new(a % n), NodeId::new(b % n));
+                prop_assert_eq!(
+                    lazy.compatible(u, v),
+                    matrix.compatible(u, v),
+                    "{} compatible({u}, {v})", kind
+                );
+                prop_assert_eq!(
+                    lazy.distance(u, v),
+                    matrix.distance(u, v),
+                    "{} distance({u}, {v})", kind
+                );
+                prop_assert!(
+                    lazy.resident_bytes() <= budget,
+                    "{}: resident {} exceeds budget {}",
+                    kind, lazy.resident_bytes(), budget
+                );
+            }
+        }
+    }
+
+    /// LRU invariants under a full pairwise scan with a two-row budget:
+    /// the resident bytes never exceed the budget, rows are evicted (and
+    /// recomputed correctly — checked against the matrix), and the build
+    /// count shows recomputation actually happened.
+    #[test]
+    fn row_store_lru_invariants_under_full_scan(g in arb_graph()) {
+        use std::sync::Arc;
+        use tfsn_core::compat::{estimated_row_bytes, LazyCompatibility};
+        let n = g.node_count();
+        let kind = CompatibilityKind::Spo;
+        let matrix = CompatibilityMatrix::build(&g, kind);
+        let budget = 2 * estimated_row_bytes(n) + 16;
+        let lazy = LazyCompatibility::with_budget(
+            Arc::new(g.clone()),
+            kind,
+            EngineConfig::default(),
+            Some(budget),
+        );
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(lazy.compatible(u, v), matrix.compatible(u, v));
+                prop_assert!(lazy.resident_bytes() <= budget);
+                prop_assert!(lazy.cached_rows() <= 2);
+            }
+        }
+        // 6+ nodes never fit a two-row budget: eviction and recomputation
+        // must both have occurred.
+        prop_assert!(lazy.eviction_count() > 0);
+        prop_assert!(lazy.build_count() >= n);
+    }
+}

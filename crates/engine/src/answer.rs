@@ -5,7 +5,7 @@
 //! ```json
 //! {"id": 7, "status": "ok", "kind": "SPA", "algorithm": "LCMD",
 //!  "members": [12, 40, 77], "cardinality": 3, "diameter": 2,
-//!  "micros": 184, "cache_hit": true}
+//!  "micros": 184, "build_micros": 0, "cache_hit": true}
 //! ```
 //!
 //! `status` is `"ok"`, `"no_team"` (no compatible covering team exists or
@@ -83,7 +83,12 @@ pub struct TeamAnswer {
     pub diameter: Option<u32>,
     /// In-engine latency of this query, in microseconds.
     pub micros: u64,
-    /// Whether the compatibility matrix was already materialized.
+    /// Slice of `micros` spent building relation state (matrix build, row
+    /// computations) or blocked on another query's in-flight matrix build.
+    pub build_micros: u64,
+    /// `true` iff this query performed no build work itself: everything it
+    /// touched was resident, or it only waited on a build another query was
+    /// running. Misses therefore equal build events exactly.
     pub cache_hit: bool,
 }
 
@@ -109,6 +114,7 @@ impl Serialize for TeamAnswer {
         ));
         m.push(("diameter".to_string(), self.diameter.to_value()));
         m.push(("micros".to_string(), Value::UInt(self.micros)));
+        m.push(("build_micros".to_string(), Value::UInt(self.build_micros)));
         m.push(("cache_hit".to_string(), Value::Bool(self.cache_hit)));
         Value::Map(m)
     }
@@ -149,6 +155,7 @@ impl Deserialize for TeamAnswer {
                 Some(d) => Some(u32::from_value(d)?),
             },
             micros: field("micros").and_then(Value::as_u64).unwrap_or(0),
+            build_micros: field("build_micros").and_then(Value::as_u64).unwrap_or(0),
             cache_hit: matches!(field("cache_hit"), Some(Value::Bool(true))),
         })
     }
@@ -169,6 +176,7 @@ mod tests {
             cardinality: 3,
             diameter: Some(2),
             micros: 120,
+            build_micros: 40,
             cache_hit: true,
         };
         let json = serde_json::to_string(&a).unwrap();

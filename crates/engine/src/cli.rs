@@ -1,10 +1,18 @@
 //! The `tfsn` command-line interface.
 //!
 //! ```text
-//! tfsn serve-batch [deployment flags] [--input F] [--output F] [--threads N] [--warm]
-//! tfsn stats       [deployment flags]
+//! tfsn serve-batch [deployment flags] [serving flags] [--input F] [--output F]
+//!                  [--threads N] [--warm]
+//! tfsn stats       [deployment flags] [serving flags]
 //! tfsn gen         [deployment flags] [--queries N] [--task-size K]
 //!                  [--kinds CSV] [--algorithms CSV] [--output F] [--seed S]
+//! ```
+//!
+//! Serving flags (`serve-batch`, `stats`):
+//!
+//! ```text
+//! --serving-mode auto|matrix|rows   tier selection (default auto)
+//! --memory-budget BYTES[K|M|G]      resident-byte cap per relation kind
 //! ```
 //!
 //! Deployment flags (shared by all subcommands):
@@ -26,12 +34,13 @@
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
-use tfsn_core::compat::CompatibilityKind;
+use serde::Serialize;
+use tfsn_core::compat::{estimated_matrix_bytes, estimated_row_bytes, CompatibilityKind};
 use tfsn_datasets::{synthetic, Dataset, DatasetSpec, DatasetStats};
 use tfsn_skills::taskgen::random_coverable_tasks;
 
 use crate::batch::BatchSummary;
-use crate::{BatchOptions, Deployment, Engine, TeamQuery};
+use crate::{BatchOptions, Deployment, Engine, EngineOptions, ServingMode, StorePolicy, TeamQuery};
 
 /// Runs the CLI with the given arguments (exclusive of the program name);
 /// returns the process exit code.
@@ -65,11 +74,19 @@ deployment flags (all subcommands):
   --scale F           scale for epinions/wikipedia (default 0.05)
   --nodes N --edges M --skills K --neg-fraction F --seed S   (synthetic)
 
+serving flags (serve-batch, stats):
+  --serving-mode M    auto|matrix|rows (default auto: materialise when the
+                      full matrix fits the budget, row-mode otherwise)
+  --memory-budget B   resident-byte cap per relation kind, e.g. 512M, 2G,
+                      65536 (default: unbounded -> full matrices)
+
 serve-batch flags:
   --input FILE        JSONL queries (default: stdin)
   --output FILE       JSONL answers (default: stdout)
   --threads N         batch worker threads (default: all cores)
-  --warm              pre-build every matrix the batch needs before timing
+  --warm              pre-build every matrix-tier relation the batch needs
+                      before timing (row-tier kinds only get their store
+                      created; rows still fill on demand)
 
 gen flags:
   --queries N         number of queries (default 100)
@@ -79,6 +96,7 @@ gen flags:
   --output FILE       destination (default: stdout)
   --seed S            workload seed (default 7)";
 
+#[derive(Debug)]
 enum CliError {
     Usage(String),
     Runtime(String),
@@ -168,11 +186,21 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
     let rest = &args[1..];
     match subcommand.as_str() {
         "serve-batch" => {
-            let flags = Flags::parse(rest, &["--input", "--output", "--threads", "--warm"])?;
+            let flags = Flags::parse(
+                rest,
+                &[
+                    "--input",
+                    "--output",
+                    "--threads",
+                    "--warm",
+                    "--serving-mode",
+                    "--memory-budget",
+                ],
+            )?;
             serve_batch(&flags, out, err)
         }
         "stats" => {
-            let flags = Flags::parse(rest, &[])?;
+            let flags = Flags::parse(rest, &["--serving-mode", "--memory-budget"])?;
             stats(&flags, out)
         }
         "gen" => {
@@ -273,13 +301,55 @@ pub fn read_queries(reader: impl BufRead) -> Result<Vec<TeamQuery>, String> {
     Ok(queries)
 }
 
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (binary units).
+fn parse_bytes(value: &str) -> Result<usize, CliError> {
+    let trimmed = value.trim();
+    let bad = || usage(format!("flag `--memory-budget`: invalid value `{value}`"));
+    let (digits, multiplier) = match trimmed.chars().last() {
+        Some('k') | Some('K') => (&trimmed[..trimmed.len() - 1], 1usize << 10),
+        Some('m') | Some('M') => (&trimmed[..trimmed.len() - 1], 1usize << 20),
+        Some('g') | Some('G') => (&trimmed[..trimmed.len() - 1], 1usize << 30),
+        Some(_) => (trimmed, 1),
+        None => return Err(bad()),
+    };
+    let n: usize = digits.parse().map_err(|_| bad())?;
+    n.checked_mul(multiplier).ok_or_else(bad)
+}
+
+/// The store policy selected by the serving flags.
+fn parse_policy(flags: &Flags<'_>) -> Result<StorePolicy, CliError> {
+    let mode = match flags.get("--serving-mode") {
+        None => ServingMode::Auto,
+        Some(v) => ServingMode::parse(v).ok_or_else(|| {
+            usage(format!(
+                "flag `--serving-mode`: expected auto, matrix or rows, got `{v}`"
+            ))
+        })?,
+    };
+    let memory_budget = match flags.get("--memory-budget") {
+        None => None,
+        Some(v) => Some(parse_bytes(v)?),
+    };
+    Ok(StorePolicy {
+        mode,
+        memory_budget,
+    })
+}
+
 fn serve_batch(
     flags: &Flags<'_>,
     out: &mut dyn Write,
     err: &mut dyn Write,
 ) -> Result<(), CliError> {
     let dataset = load_dataset(flags)?;
-    let engine = Engine::new(Deployment::from_dataset(dataset));
+    let policy = parse_policy(flags)?;
+    let engine = Engine::with_options(
+        Deployment::from_dataset(dataset),
+        EngineOptions {
+            policy,
+            ..Default::default()
+        },
+    );
     let threads: usize = flags.parse_num("--threads", 0)?;
     let options = if threads == 0 {
         BatchOptions::default()
@@ -295,13 +365,22 @@ fn serve_batch(
             .collect();
         let warm_start = Instant::now();
         engine.warm(&kinds);
-        writeln!(
-            err,
+        let matrix_kinds = kinds
+            .iter()
+            .filter(|&&k| engine.store().tier_for(k) == crate::TierChoice::Matrix)
+            .count();
+        let row_kinds = kinds.len() - matrix_kinds;
+        let mut line = format!(
             "[tfsn] warmed {} matrix(es) in {:.2}s",
-            kinds.len(),
+            matrix_kinds,
             warm_start.elapsed().as_secs_f64()
-        )
-        .ok();
+        );
+        if row_kinds > 0 {
+            line.push_str(&format!(
+                "; {row_kinds} row-tier kind(s) stay cold (rows fill on demand during the batch)"
+            ));
+        }
+        writeln!(err, "{line}").ok();
     }
 
     let started = Instant::now();
@@ -319,10 +398,12 @@ fn serve_batch(
     }
 
     let summary = BatchSummary::of(&answers);
+    let metrics = engine.metrics();
     writeln!(
         err,
         "[tfsn] {} on {}: {} queries in {:.3}s ({:.0} q/s), {} solved, \
-         {} cache hits, {} matrix builds, mean latency {:.0}µs",
+         {} cache hits, {} matrix builds, {} row builds, {} evictions, \
+         {} resident bytes, mean latency {:.0}µs",
         engine.deployment().name(),
         format_args!(
             "{}n/{}m",
@@ -334,17 +415,60 @@ fn serve_batch(
         summary.queries as f64 / elapsed.as_secs_f64().max(1e-9),
         summary.solved,
         summary.cache_hits,
-        engine.cache().build_count(),
+        metrics.matrix_builds,
+        metrics.row_builds,
+        metrics.row_evictions,
+        metrics.resident_bytes,
         summary.mean_micros,
     )
     .ok();
+    // Machine-readable serving metrics, one JSON object — the
+    // `tfsn_engine::MetricsSnapshot` schema (also documented in the README
+    // serving section).
+    if let Ok(line) = serde_json::to_string(&metrics) {
+        writeln!(err, "[tfsn] metrics {line}").ok();
+    }
     Ok(())
+}
+
+/// The serving plan the configured policy assigns to this deployment,
+/// reported by `stats` (deterministic — no relation is actually built).
+#[derive(Debug, Serialize)]
+struct ServingPlan {
+    /// Tier-selection mode (`auto`, `matrix`, `rows`).
+    mode: String,
+    /// Resident-byte cap per relation kind, if any.
+    memory_budget_bytes: Option<u64>,
+    /// The tier every relation kind of this deployment is assigned.
+    tier: String,
+    /// Estimated bytes of one fully materialised matrix.
+    estimated_matrix_bytes: u64,
+    /// Estimated bytes of a single cached row.
+    estimated_row_bytes: u64,
+}
+
+/// `stats` output: dataset statistics plus the serving plan.
+#[derive(Debug, Serialize)]
+struct StatsOutput {
+    dataset: DatasetStats,
+    serving: ServingPlan,
 }
 
 fn stats(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
     let dataset = load_dataset(flags)?;
-    let stats = DatasetStats::compute(&dataset);
-    let json = serde_json::to_string_pretty(&stats)
+    let policy = parse_policy(flags)?;
+    let nodes = dataset.graph.node_count();
+    let output = StatsOutput {
+        dataset: DatasetStats::compute(&dataset),
+        serving: ServingPlan {
+            mode: policy.mode.label().to_string(),
+            memory_budget_bytes: policy.memory_budget.map(|b| b as u64),
+            tier: policy.tier_for(nodes).label().to_string(),
+            estimated_matrix_bytes: estimated_matrix_bytes(nodes) as u64,
+            estimated_row_bytes: estimated_row_bytes(nodes) as u64,
+        },
+    };
+    let json = serde_json::to_string_pretty(&output)
         .map_err(|e| runtime(format!("serialize stats: {e}")))?;
     writeln!(out, "{json}").map_err(|e| runtime(format!("write stats: {e}")))?;
     Ok(())
@@ -434,11 +558,87 @@ mod tests {
     }
 
     #[test]
-    fn stats_prints_dataset_json() {
+    fn stats_prints_dataset_json_with_serving_plan() {
         let (out, _, result) = run_to_strings(&["stats", "--dataset", "slashdot"]);
         result.unwrap();
-        assert!(out.contains("\"name\": \"Slashdot\""));
-        assert!(out.contains("\"users\": 214"));
+        assert!(out.contains("\"Slashdot\""));
+        assert!(out.contains("214"));
+        assert!(out.contains("\"serving\""));
+        // No budget, auto mode: everything materialises.
+        assert!(out.contains("\"tier\": \"matrix\""));
+        assert!(out.contains("\"estimated_matrix_bytes\""));
+    }
+
+    #[test]
+    fn stats_reports_rows_tier_under_tight_budget() {
+        let (out, _, result) =
+            run_to_strings(&["stats", "--dataset", "slashdot", "--memory-budget", "64K"]);
+        result.unwrap();
+        // 214² rows cannot fit 64 KiB: auto mode must pick row serving.
+        assert!(out.contains("\"tier\": \"rows\""), "got: {out}");
+        assert!(out.contains("\"memory_budget_bytes\": 65536"), "got: {out}");
+    }
+
+    #[test]
+    fn memory_budget_suffixes_parse() {
+        assert_eq!(parse_bytes("123").unwrap(), 123);
+        assert_eq!(parse_bytes("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("3m").unwrap(), 3 << 20);
+        assert_eq!(parse_bytes("2G").unwrap(), 2 << 30);
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("12XB").is_err());
+        assert!(parse_bytes("-1K").is_err());
+    }
+
+    #[test]
+    fn bad_serving_flags_are_usage_errors() {
+        let (_, _, r) = run_to_strings(&["stats", "--serving-mode", "turbo"]);
+        assert!(r.unwrap_err().contains("auto, matrix or rows"));
+        let (_, _, r) = run_to_strings(&["stats", "--memory-budget", "lots"]);
+        assert!(r.unwrap_err().contains("invalid value"));
+        // gen takes no serving flags.
+        let (_, _, r) = run_to_strings(&["gen", "--serving-mode", "rows"]);
+        assert!(r.unwrap_err().contains("unknown flag"));
+    }
+
+    #[test]
+    fn serve_batch_row_mode_round_trips() {
+        let dir = std::env::temp_dir().join(format!("tfsn-cli-rows-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let queries_path = dir.join("queries.jsonl");
+        let answers_path = dir.join("answers.jsonl");
+        let (queries_jsonl, _, result) = run_to_strings(&[
+            "gen",
+            "--dataset",
+            "slashdot",
+            "--queries",
+            "6",
+            "--kinds",
+            "SPO,NNE",
+        ]);
+        result.unwrap();
+        std::fs::write(&queries_path, &queries_jsonl).unwrap();
+        let (_, err, result) = run_to_strings(&[
+            "serve-batch",
+            "--dataset",
+            "slashdot",
+            "--serving-mode",
+            "rows",
+            "--memory-budget",
+            "64K",
+            "--input",
+            queries_path.to_str().unwrap(),
+            "--output",
+            answers_path.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]);
+        result.unwrap();
+        assert!(err.contains("row builds"), "summary: {err}");
+        assert!(err.contains("[tfsn] metrics {"), "metrics line: {err}");
+        let answers = std::fs::read_to_string(&answers_path).unwrap();
+        assert_eq!(answers.lines().count(), 6);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! assignment, loaded once and shared (behind `Arc` inside [`crate::Engine`])
 //! by every concurrent query.
 
+use std::sync::Arc;
+
 use signed_graph::SignedGraph;
 use tfsn_core::team::TfsnInstance;
 use tfsn_core::TfsnError;
@@ -11,11 +13,13 @@ use tfsn_skills::SkillUniverse;
 
 /// The static data a query engine serves: one signed network, one skill
 /// universe, one per-user skill assignment. Immutable after construction —
-/// compatibility matrices derived from it can be cached indefinitely.
+/// compatibility state derived from it can be cached indefinitely. The
+/// graph is held behind `Arc` so the relation store (and its row caches)
+/// can own a handle without borrowing the deployment.
 #[derive(Debug, Clone)]
 pub struct Deployment {
     name: String,
-    graph: SignedGraph,
+    graph: Arc<SignedGraph>,
     universe: SkillUniverse,
     skills: SkillAssignment,
 }
@@ -33,7 +37,7 @@ impl Deployment {
         TfsnInstance::try_new(&graph, &skills)?;
         Ok(Deployment {
             name: name.into(),
-            graph,
+            graph: Arc::new(graph),
             universe,
             skills,
         })
@@ -43,7 +47,7 @@ impl Deployment {
     pub fn from_dataset(dataset: Dataset) -> Self {
         Deployment {
             name: dataset.name,
-            graph: dataset.graph,
+            graph: Arc::new(dataset.graph),
             universe: dataset.universe,
             skills: dataset.skills,
         }
@@ -57,6 +61,11 @@ impl Deployment {
     /// The signed network.
     pub fn graph(&self) -> &SignedGraph {
         &self.graph
+    }
+
+    /// A shared handle to the signed network, for owned relation stores.
+    pub fn graph_arc(&self) -> Arc<SignedGraph> {
+        self.graph.clone()
     }
 
     /// The skill universe.

@@ -7,18 +7,21 @@
 //!
 //! ## Architecture
 //!
-//! * [`Deployment`] — the immutable serving state: one signed network + one
-//!   skill assignment, loaded once.
-//! * [`cache::MatrixCache`] — per-[`CompatibilityKind`] shards, each a
-//!   `OnceLock`-guarded [`tfsn_core::CompatibilityMatrix`]: the first query
-//!   of a relation pays the `O(|V| · BFS)` build, every later query is a
-//!   lookup. Concurrent identical queries build **exactly once**.
+//! * [`Deployment`] — the immutable serving state: one signed network
+//!   (behind `Arc`) + one skill assignment, loaded once.
+//! * [`store::RelationStore`] — the tiered relation store:
+//!   per-[`CompatibilityKind`] shards served either as a fully materialised
+//!   [`tfsn_core::CompatibilityMatrix`] or as a memory-budgeted, row-level
+//!   LRU cache ([`tfsn_core::compat::LazyCompatibility`]), chosen per kind
+//!   by an explicit [`StorePolicy`]. Concurrent identical queries build
+//!   **exactly once**, and exactly one of them is accounted the miss.
 //! * [`TeamQuery`] / [`TeamAnswer`] — the JSONL wire types
 //!   (see their module docs for the schema).
 //! * [`Engine`] — glues the above: [`Engine::query`] answers one query,
 //!   [`Engine::batch`] fans a slice of queries across rayon workers with
 //!   order-stable, deterministic results.
-//! * [`metrics::EngineMetrics`] — lock-free serving counters.
+//! * [`metrics::EngineMetrics`] — lock-free serving counters, including
+//!   row builds, evictions and resident bytes.
 //! * [`cli`] — the `tfsn` binary: `serve-batch`, `stats`, `gen`.
 //!
 //! ## Example
@@ -35,7 +38,24 @@
 //! let answers = engine.batch(&queries, &BatchOptions::default());
 //! assert_eq!(answers.len(), queries.len());
 //! // One matrix build (SPO), shared by all eight queries.
-//! assert_eq!(engine.cache().build_count(), 1);
+//! assert_eq!(engine.store().build_count(), 1);
+//! ```
+//!
+//! Serving a graph whose full `O(|V|²)` matrix exceeds memory:
+//!
+//! ```
+//! use tfsn_engine::{Deployment, Engine, EngineOptions, StorePolicy};
+//!
+//! let deployment = Deployment::from_dataset(tfsn_datasets::slashdot());
+//! let engine = Engine::with_options(deployment, EngineOptions {
+//!     // Row tier under a 64 KiB budget per relation kind: rows are
+//!     // computed on demand and evicted LRU-first. (`StorePolicy::auto`
+//!     // does the same only for kinds whose full matrix misses the
+//!     // budget — on this 214-node demo graph the matrix would fit.)
+//!     policy: StorePolicy::rows(Some(64 << 10)),
+//!     ..Default::default()
+//! });
+//! # let _ = engine;
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,11 +63,11 @@
 
 pub mod answer;
 pub mod batch;
-pub mod cache;
 pub mod cli;
 pub mod deployment;
 pub mod metrics;
 pub mod query;
+pub mod store;
 
 use std::time::Instant;
 
@@ -57,10 +77,10 @@ use tfsn_skills::SkillId;
 
 pub use answer::{AnswerStatus, TeamAnswer};
 pub use batch::BatchOptions;
-pub use cache::MatrixCache;
 pub use deployment::Deployment;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use query::TeamQuery;
+pub use store::{RelationStore, ServingMode, StorePolicy, TierChoice};
 
 /// Construction-time options for an [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -70,15 +90,17 @@ pub struct EngineOptions {
     /// Worker threads used to build each compatibility matrix
     /// (0 = available parallelism).
     pub build_threads: usize,
+    /// Memory-budget policy deciding the serving tier per relation kind.
+    pub policy: StorePolicy,
 }
 
-/// The query engine: an immutable [`Deployment`] plus the matrix cache and
-/// serving metrics. All methods take `&self`; the engine is `Sync` and meant
-/// to be shared across threads.
+/// The query engine: an immutable [`Deployment`] plus the tiered relation
+/// store and serving metrics. All methods take `&self`; the engine is
+/// `Sync` and meant to be shared across threads.
 #[derive(Debug)]
 pub struct Engine {
     deployment: Deployment,
-    cache: MatrixCache,
+    store: RelationStore,
     metrics: EngineMetrics,
 }
 
@@ -90,9 +112,15 @@ impl Engine {
 
     /// Creates an engine with explicit options.
     pub fn with_options(deployment: Deployment, options: EngineOptions) -> Self {
+        let store = RelationStore::new(
+            deployment.graph_arc(),
+            options.compat,
+            options.build_threads,
+            options.policy,
+        );
         Engine {
             deployment,
-            cache: MatrixCache::new(options.compat, options.build_threads),
+            store,
             metrics: EngineMetrics::default(),
         }
     }
@@ -102,63 +130,91 @@ impl Engine {
         &self.deployment
     }
 
-    /// The matrix cache (for diagnostics and tests).
-    pub fn cache(&self) -> &MatrixCache {
-        &self.cache
+    /// The tiered relation store (for diagnostics and tests).
+    pub fn store(&self) -> &RelationStore {
+        &self.store
     }
 
-    /// A snapshot of the serving metrics.
+    /// A snapshot of the serving metrics, including the store gauges.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.matrix_builds = self.store.build_count() as u64;
+        snap.row_builds = self.store.row_build_count() as u64;
+        snap.row_evictions = self.store.row_eviction_count() as u64;
+        snap.resident_bytes = self.store.resident_bytes() as u64;
+        snap
     }
 
-    /// Pre-builds the matrices for `kinds` so subsequent queries are warm.
+    /// Pre-initialises the shards for `kinds` so subsequent queries are
+    /// warm: matrix-tier kinds are fully built; row-tier kinds get their
+    /// (empty) row store, whose rows fill on demand.
     pub fn warm(&self, kinds: &[CompatibilityKind]) {
         for &kind in kinds {
-            self.cache.get_or_build(self.deployment.graph(), kind);
+            self.store.fetch(kind);
         }
     }
 
     /// Answers one query.
+    ///
+    /// Accounting: the answer is a cache miss iff **this** call performed
+    /// build work — it ran the matrix build (concurrent callers that merely
+    /// blocked on it are hits), or it computed at least one row in the row
+    /// tier. Build/wait time is reported in `build_micros`, separate from
+    /// solver time, so cold-start stalls do not masquerade as solver
+    /// latency.
     pub fn query(&self, query: &TeamQuery) -> TeamAnswer {
         let start = Instant::now();
-        let cache_hit = self.cache.is_cached(query.kind);
-        let comp = self.cache.get_or_build(self.deployment.graph(), query.kind);
+        // When the shard was already initialised, the fetch is a plain
+        // lookup and its (microscopic) cost stays out of build accounting;
+        // otherwise the fetch time is this query's build — or its wait on
+        // another query's in-flight build.
+        let resident_before = self.store.is_resident(query.kind);
+        let fetched = self.store.fetch(query.kind);
+        let fetch_micros = if resident_before {
+            0
+        } else {
+            start.elapsed().as_micros() as u64
+        };
+        let scope = fetched.scope();
+        let comp = scope.compat();
         let task = Task::new(query.task.iter().map(|&s| SkillId::new(s)));
         let instance = self.deployment.instance();
-        let result = query.solver.solve(&instance, &*comp, &task);
-        let micros = start.elapsed().as_micros() as u64;
+        let result = query.solver.solve(&instance, comp, &task);
 
-        let answer = match result {
+        let (status, members, diameter) = match result {
             Ok(team) => {
-                let diameter = team.diameter(&*comp);
+                let diameter = team.diameter(comp);
                 let members: Vec<usize> = team.members().iter().map(|m| m.index()).collect();
-                TeamAnswer {
-                    id: query.id,
-                    status: AnswerStatus::Ok,
-                    kind: query.kind,
-                    algorithm: query.solver.label(),
-                    cardinality: members.len(),
-                    members,
-                    diameter,
-                    micros,
-                    cache_hit,
-                }
+                (AnswerStatus::Ok, members, diameter)
             }
-            Err(e) => TeamAnswer {
-                id: query.id,
-                status: AnswerStatus::from_error(&e),
-                kind: query.kind,
-                algorithm: query.solver.label(),
-                members: Vec::new(),
-                cardinality: 0,
-                diameter: None,
-                micros,
-                cache_hit,
-            },
+            Err(e) => (AnswerStatus::from_error(&e), Vec::new(), None),
         };
-        self.metrics
-            .record_query(answer.status == AnswerStatus::Ok, cache_hit, micros);
+        // Both tiers: fetch time (matrix build/wait, or one-time row-store
+        // creation) plus the row computations this query performed itself.
+        // A stall on *another* query's in-flight row build is the one slice
+        // not separable here (it would need per-lookup timing on the hot
+        // path) and stays in solver time.
+        let build_micros = fetch_micros + scope.row_build_micros();
+        let cache_hit = !fetched.built_matrix() && scope.rows_built() == 0;
+        let micros = start.elapsed().as_micros() as u64;
+        let answer = TeamAnswer {
+            id: query.id,
+            status,
+            kind: query.kind,
+            algorithm: query.solver.label(),
+            cardinality: members.len(),
+            members,
+            diameter,
+            micros,
+            build_micros,
+            cache_hit,
+        };
+        self.metrics.record_query(
+            answer.status == AnswerStatus::Ok,
+            cache_hit,
+            micros,
+            build_micros,
+        );
         answer
     }
 
@@ -201,7 +257,9 @@ mod tests {
         assert_eq!(m.queries_served, 2);
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
-        assert_eq!(engine.cache().build_count(), 1);
+        assert_eq!(m.matrix_builds, 1);
+        assert!(m.resident_bytes > 0);
+        assert_eq!(engine.store().build_count(), 1);
     }
 
     #[test]
@@ -215,9 +273,9 @@ mod tests {
             })
             .collect();
         let answers = engine.batch(&queries, &BatchOptions::default());
-        let comp = engine
-            .cache()
-            .get_or_build(engine.deployment().graph(), CompatibilityKind::Spo);
+        let fetched = engine.store().fetch(CompatibilityKind::Spo);
+        let scope = fetched.scope();
+        let comp = scope.compat();
         let mut solved = 0;
         for (q, a) in queries.iter().zip(&answers) {
             assert_eq!(q.id, a.id);
@@ -226,8 +284,8 @@ mod tests {
                 let team =
                     tfsn_core::Team::new(a.members.iter().map(|&m| signed_graph::NodeId::new(m)));
                 let task = Task::new(q.task.iter().map(|&s| SkillId::new(s)));
-                assert!(team.is_valid(engine.deployment().skills(), &task, &*comp));
-                assert_eq!(a.diameter, team.diameter(&*comp));
+                assert!(team.is_valid(engine.deployment().skills(), &task, comp));
+                assert_eq!(a.diameter, team.diameter(comp));
             }
         }
         assert!(solved > 0, "no query in the smoke batch solved at all");

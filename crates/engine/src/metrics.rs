@@ -1,5 +1,22 @@
 //! Serving metrics: lock-free counters updated by every query, snapshotted
-//! for the CLI `stats` output and the batch summaries.
+//! for the CLI `stats`/`serve-batch` output and the batch summaries.
+//!
+//! Accounting semantics (since the tiered store): a query is a **cache
+//! miss** iff it performed relation-building work itself — it ran the
+//! matrix build, or (row tier) computed at least one per-source row. A
+//! query that found everything resident, *or that blocked on a build
+//! another query was already running*, is a hit. Consequently, in the
+//! matrix tier `cache_misses` equals the number of query-triggered matrix
+//! builds exactly, even when N cold queries race on one kind (matrices
+//! pre-built via [`crate::Engine::warm`] are outside query accounting); in
+//! the row tier each miss covers all the rows that query built, so
+//! `cache_misses <= row_builds`.
+//!
+//! `build_wait_micros` books the fetch phase (matrix build, the wait on a
+//! concurrent matrix build, or the one-time row-store creation) plus the
+//! row computations the query performed itself. One slice is not separable
+//! without timing every row lookup on the hot path: time spent blocked on
+//! *another* query's in-flight row build stays in solver time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,11 +30,14 @@ pub struct EngineMetrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     busy_micros: AtomicU64,
+    build_wait_micros: AtomicU64,
 }
 
 impl EngineMetrics {
-    /// Records one served query.
-    pub fn record_query(&self, solved: bool, cache_hit: bool, micros: u64) {
+    /// Records one served query. `build_wait_micros` is the slice of
+    /// `micros` spent building relation state or blocked on another
+    /// query's build; the remainder is solver + lookup time.
+    pub fn record_query(&self, solved: bool, cache_hit: bool, micros: u64, build_wait_micros: u64) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         if solved {
             self.solved.fetch_add(1, Ordering::Relaxed);
@@ -28,9 +48,13 @@ impl EngineMetrics {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
         self.busy_micros.fetch_add(micros, Ordering::Relaxed);
+        self.build_wait_micros
+            .fetch_add(build_wait_micros, Ordering::Relaxed);
     }
 
-    /// A consistent-enough point-in-time copy of the counters.
+    /// A consistent-enough point-in-time copy of the query counters. The
+    /// store-level gauges (builds, evictions, resident bytes) are zero
+    /// here; [`crate::Engine::metrics`] fills them in.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             queries_served: self.queries.load(Ordering::Relaxed),
@@ -38,24 +62,50 @@ impl EngineMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             busy_micros: self.busy_micros.load(Ordering::Relaxed),
+            build_wait_micros: self.build_wait_micros.load(Ordering::Relaxed),
+            matrix_builds: 0,
+            row_builds: 0,
+            row_evictions: 0,
+            resident_bytes: 0,
         }
     }
 }
 
-/// A point-in-time copy of [`EngineMetrics`].
+/// A point-in-time copy of [`EngineMetrics`] plus the relation-store
+/// gauges. Serialised as one JSON object by `tfsn serve-batch`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Queries answered (any status).
     pub queries_served: u64,
     /// Queries answered with a team.
     pub queries_solved: u64,
-    /// Queries that found their compatibility matrix already materialized.
+    /// Queries that performed no build work (everything resident, or they
+    /// only waited on another query's in-flight build).
     pub cache_hits: u64,
-    /// Queries that triggered (or waited on) a matrix build.
+    /// Queries that performed build work themselves: ran the matrix build,
+    /// or computed at least one row. Matrix tier: equals the number of
+    /// query-triggered matrix builds exactly (`warm()` pre-builds are not
+    /// queries and count only in `matrix_builds`). Row tier: one miss may
+    /// cover many row builds, so `cache_misses <= row_builds`.
     pub cache_misses: u64,
-    /// Total solver+lookup time across queries, in microseconds. Under
+    /// Total in-engine time across queries, in microseconds. Under
     /// parallel serving this exceeds wall-clock time.
     pub busy_micros: u64,
+    /// Slice of `busy_micros` spent in the fetch phase (matrix build/wait,
+    /// row-store creation) or computing rows (see the module docs for the
+    /// one caveat: waits on another query's in-flight *row* build are not
+    /// separable and stay in solver time).
+    pub build_wait_micros: u64,
+    /// Full compatibility matrices built (matrix tier).
+    pub matrix_builds: u64,
+    /// Per-source rows computed (row tier; recomputations after eviction
+    /// included).
+    pub row_builds: u64,
+    /// Rows evicted to stay within the memory budget (row tier).
+    pub row_evictions: u64,
+    /// Bytes currently resident across relation tiers (estimated for
+    /// matrices, exact for rows).
+    pub resident_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -67,6 +117,17 @@ impl MetricsSnapshot {
             self.busy_micros as f64 / self.queries_served as f64
         }
     }
+
+    /// Mean solver + lookup latency per query (build/wait time excluded),
+    /// in microseconds.
+    pub fn mean_solve_micros(&self) -> f64 {
+        if self.queries_served == 0 {
+            0.0
+        } else {
+            self.busy_micros.saturating_sub(self.build_wait_micros) as f64
+                / self.queries_served as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -76,14 +137,29 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let m = EngineMetrics::default();
-        m.record_query(true, false, 100);
-        m.record_query(false, true, 50);
+        m.record_query(true, false, 100, 60);
+        m.record_query(false, true, 50, 0);
         let snap = m.snapshot();
         assert_eq!(snap.queries_served, 2);
         assert_eq!(snap.queries_solved, 1);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.busy_micros, 150);
+        assert_eq!(snap.build_wait_micros, 60);
         assert!((snap.mean_latency_micros() - 75.0).abs() < 1e-9);
+        assert!((snap.mean_solve_micros() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_round_trips_as_json() {
+        let mut snap = EngineMetrics::default().snapshot();
+        snap.matrix_builds = 2;
+        snap.row_builds = 17;
+        snap.row_evictions = 5;
+        snap.resident_bytes = 4096;
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"row_evictions\":5"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 }

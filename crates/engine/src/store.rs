@@ -1,0 +1,516 @@
+//! The tiered relation store: per-[`CompatibilityKind`] shards, each served
+//! either as a fully materialised [`CompatibilityMatrix`] (small graphs /
+//! hot kinds) or as a memory-budgeted, row-level LRU cache of per-source
+//! rows computed on demand ([`LazyCompatibility`]), chosen per kind by an
+//! explicit [`StorePolicy`].
+//!
+//! Matrix construction is the dominant cost of serving a cold query
+//! (`O(|V| · BFS)` for the SP family, worse for SBP) and matrix *residency*
+//! is `O(|V|²)` — infeasible beyond a few tens of thousands of users. The
+//! tiered store is what lets one engine serve both regimes: the first query
+//! of a materialised kind pays the build and every later query is a lookup,
+//! while row-mode kinds compute only the rows team formation touches and
+//! stay within an explicit byte budget via LRU eviction.
+//!
+//! Accounting is exact under concurrency: [`RelationStore::fetch`] reports
+//! whether *this call* performed the matrix build (concurrent callers block
+//! on one build and see `false`), and row-mode queries attribute row
+//! computations through a per-query [`RowTracker`] scope.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use signed_graph::csr::CsrGraph;
+use signed_graph::SignedGraph;
+use tfsn_core::compat::{
+    estimated_matrix_bytes, Compatibility, CompatibilityKind, CompatibilityMatrix, EngineConfig,
+    LazyCompatibility, RowTracker,
+};
+
+/// Index of a kind in the shard array (kinds are a small closed set).
+fn shard_index(kind: CompatibilityKind) -> usize {
+    CompatibilityKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ALL")
+}
+
+/// How the store picks a serving tier for each relation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServingMode {
+    /// Per kind: materialise the full matrix when it fits the memory
+    /// budget, fall back to row-mode otherwise. Without a budget this
+    /// always materialises (the pre-tiered behaviour).
+    #[default]
+    Auto,
+    /// Always materialise the full matrix, ignoring the budget.
+    Matrix,
+    /// Always serve budget-capped LRU rows, even on small graphs.
+    Rows,
+}
+
+impl ServingMode {
+    /// The CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServingMode::Auto => "auto",
+            ServingMode::Matrix => "matrix",
+            ServingMode::Rows => "rows",
+        }
+    }
+
+    /// Parses a CLI label (case-insensitive).
+    pub fn parse(label: &str) -> Option<Self> {
+        match label.to_ascii_lowercase().as_str() {
+            "auto" => Some(ServingMode::Auto),
+            "matrix" => Some(ServingMode::Matrix),
+            "rows" => Some(ServingMode::Rows),
+            _ => None,
+        }
+    }
+}
+
+/// The explicit memory-budget policy of a [`RelationStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorePolicy {
+    /// Tier selection strategy.
+    pub mode: ServingMode,
+    /// Resident-byte cap **per relation kind** (`None` = unbounded). In
+    /// `Auto` mode this decides materialise-vs-rows; in `Rows` mode it caps
+    /// the LRU row cache.
+    pub memory_budget: Option<usize>,
+}
+
+impl StorePolicy {
+    /// The pre-tiered behaviour: every kind fully materialised, no budget.
+    pub fn materialized() -> Self {
+        StorePolicy {
+            mode: ServingMode::Matrix,
+            memory_budget: None,
+        }
+    }
+
+    /// Row-mode serving for every kind under `memory_budget` bytes.
+    pub fn rows(memory_budget: Option<usize>) -> Self {
+        StorePolicy {
+            mode: ServingMode::Rows,
+            memory_budget,
+        }
+    }
+
+    /// Auto tiering under a budget: materialise what fits, row-serve what
+    /// does not.
+    pub fn auto(memory_budget: usize) -> Self {
+        StorePolicy {
+            mode: ServingMode::Auto,
+            memory_budget: Some(memory_budget),
+        }
+    }
+
+    /// The tier this policy assigns to a relation over `nodes` users.
+    pub fn tier_for(&self, nodes: usize) -> TierChoice {
+        match self.mode {
+            ServingMode::Matrix => TierChoice::Matrix,
+            ServingMode::Rows => TierChoice::Rows,
+            ServingMode::Auto => match self.memory_budget {
+                None => TierChoice::Matrix,
+                Some(budget) if estimated_matrix_bytes(nodes) <= budget => TierChoice::Matrix,
+                Some(_) => TierChoice::Rows,
+            },
+        }
+    }
+}
+
+/// The serving tier a kind is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierChoice {
+    /// Fully materialised `O(|V|²)` matrix.
+    Matrix,
+    /// Budget-capped LRU row cache.
+    Rows,
+}
+
+impl TierChoice {
+    /// The label used in `stats` output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TierChoice::Matrix => "matrix",
+            TierChoice::Rows => "rows",
+        }
+    }
+}
+
+/// One shard's resident state.
+#[derive(Debug, Clone)]
+enum Tier {
+    Matrix(Arc<CompatibilityMatrix>),
+    Rows(Arc<LazyCompatibility>),
+}
+
+/// The tiered, build-once relation store.
+#[derive(Debug)]
+pub struct RelationStore {
+    graph: Arc<SignedGraph>,
+    cfg: EngineConfig,
+    build_threads: usize,
+    policy: StorePolicy,
+    shards: [OnceLock<Tier>; CompatibilityKind::ALL.len()],
+    /// One CSR view of the graph, built lazily on the first row-tier shard
+    /// and shared by all of them — it is identical per kind and `O(|V|+|E|)`
+    /// each, so per-shard copies would silently multiply the footprint the
+    /// memory budget is supposed to bound.
+    csr: OnceLock<Arc<CsrGraph>>,
+    matrix_builds: AtomicUsize,
+}
+
+impl RelationStore {
+    /// Creates an empty store over `graph` that builds relations with `cfg`
+    /// using `build_threads` worker threads (0 = available parallelism) and
+    /// assigns tiers according to `policy`.
+    pub fn new(
+        graph: Arc<SignedGraph>,
+        cfg: EngineConfig,
+        build_threads: usize,
+        policy: StorePolicy,
+    ) -> Self {
+        let build_threads = if build_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            build_threads
+        };
+        RelationStore {
+            graph,
+            cfg,
+            build_threads,
+            policy,
+            shards: std::array::from_fn(|_| OnceLock::new()),
+            csr: OnceLock::new(),
+            matrix_builds: AtomicUsize::new(0),
+        }
+    }
+
+    /// The relation tuning used for builds.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The memory-budget policy.
+    pub fn policy(&self) -> &StorePolicy {
+        &self.policy
+    }
+
+    /// The tier `kind` is (or would be) served from under this store's
+    /// policy. Deterministic per store — every kind of one deployment gets
+    /// the same choice, so it can be reported before any query runs.
+    pub fn tier_for(&self, _kind: CompatibilityKind) -> TierChoice {
+        self.policy.tier_for(self.graph.node_count())
+    }
+
+    /// Returns the relation for `kind`, building (matrix tier) or creating
+    /// (rows tier) it on first use. Concurrent callers for the same kind
+    /// block on one initialisation; exactly one of them observes
+    /// [`FetchedRelation::built_matrix`] — the hook that keeps hit/miss
+    /// accounting exact when N cold queries race on one kind.
+    pub fn fetch(&self, kind: CompatibilityKind) -> FetchedRelation {
+        let mut built_matrix = false;
+        let tier = self.shards[shard_index(kind)]
+            .get_or_init(|| match self.tier_for(kind) {
+                TierChoice::Matrix => {
+                    built_matrix = true;
+                    self.matrix_builds.fetch_add(1, Ordering::Relaxed);
+                    Tier::Matrix(Arc::new(CompatibilityMatrix::build_parallel(
+                        &self.graph,
+                        kind,
+                        &self.cfg,
+                        self.build_threads,
+                    )))
+                }
+                TierChoice::Rows => {
+                    let csr = self
+                        .csr
+                        .get_or_init(|| Arc::new(CsrGraph::from_graph(&self.graph)))
+                        .clone();
+                    Tier::Rows(Arc::new(LazyCompatibility::with_shared_csr(
+                        self.graph.clone(),
+                        csr,
+                        kind,
+                        self.cfg.clone(),
+                        self.policy.memory_budget,
+                    )))
+                }
+            })
+            .clone();
+        FetchedRelation { tier, built_matrix }
+    }
+
+    /// `true` when the shard for `kind` is initialised (matrix built, or
+    /// row store created).
+    pub fn is_resident(&self, kind: CompatibilityKind) -> bool {
+        self.shards[shard_index(kind)].get().is_some()
+    }
+
+    /// The kinds whose shards are initialised.
+    pub fn cached_kinds(&self) -> Vec<CompatibilityKind> {
+        CompatibilityKind::ALL
+            .into_iter()
+            .filter(|&k| self.is_resident(k))
+            .collect()
+    }
+
+    /// Total full-matrix builds performed — the exactly-once test hook:
+    /// after any number of concurrent matrix-tier queries over `k` distinct
+    /// kinds this must equal `k`.
+    pub fn build_count(&self) -> usize {
+        self.matrix_builds.load(Ordering::Relaxed)
+    }
+
+    /// Total per-source row computations across all row-tier shards
+    /// (recomputations after eviction included).
+    pub fn row_build_count(&self) -> usize {
+        self.fold_rows(0, |acc, rows| acc + rows.build_count())
+    }
+
+    /// Total rows evicted across all row-tier shards.
+    pub fn row_eviction_count(&self) -> usize {
+        self.fold_rows(0, |acc, rows| acc + rows.eviction_count())
+    }
+
+    /// Bytes currently resident across all shards: estimated footprint of
+    /// materialised matrices plus exact resident row bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|s| s.get())
+            .map(|tier| match tier {
+                Tier::Matrix(m) => estimated_matrix_bytes(m.node_count()),
+                Tier::Rows(rows) => rows.resident_bytes(),
+            })
+            .sum()
+    }
+
+    fn fold_rows<T>(&self, init: T, f: impl Fn(T, &LazyCompatibility) -> T) -> T {
+        self.shards
+            .iter()
+            .filter_map(|s| s.get())
+            .fold(init, |acc, tier| match tier {
+                Tier::Rows(rows) => f(acc, rows),
+                Tier::Matrix(_) => acc,
+            })
+    }
+}
+
+/// One fetched relation: the tier handle plus whether *this* fetch
+/// performed the matrix build.
+#[derive(Debug, Clone)]
+pub struct FetchedRelation {
+    tier: Tier,
+    built_matrix: bool,
+}
+
+impl FetchedRelation {
+    /// `true` iff this fetch ran the matrix build (matrix tier only;
+    /// callers that blocked on a concurrent build see `false`).
+    pub fn built_matrix(&self) -> bool {
+        self.built_matrix
+    }
+
+    /// `true` when the relation is served from the row tier.
+    pub fn is_rows(&self) -> bool {
+        matches!(self.tier, Tier::Rows(_))
+    }
+
+    /// A per-query accounting scope: solve against [`RelationScope::compat`]
+    /// and read back exactly the row builds this query performed.
+    pub fn scope(&self) -> RelationScope<'_> {
+        match &self.tier {
+            Tier::Matrix(m) => RelationScope::Matrix(m),
+            Tier::Rows(rows) => RelationScope::Rows(RowTracker::new(rows)),
+        }
+    }
+}
+
+/// The per-query compatibility view handed to the solver.
+pub enum RelationScope<'a> {
+    /// Materialised matrix: plain lookups.
+    Matrix(&'a CompatibilityMatrix),
+    /// Row tier: a tracker that counts the row builds this query performs.
+    Rows(RowTracker<'a>),
+}
+
+impl RelationScope<'_> {
+    /// The compatibility oracle to solve against.
+    pub fn compat(&self) -> &dyn Compatibility {
+        match self {
+            RelationScope::Matrix(m) => *m,
+            RelationScope::Rows(tracker) => tracker,
+        }
+    }
+
+    /// Row computations performed through this scope (0 for matrix tier).
+    pub fn rows_built(&self) -> usize {
+        match self {
+            RelationScope::Matrix(_) => 0,
+            RelationScope::Rows(tracker) => tracker.rows_built(),
+        }
+    }
+
+    /// Time this scope spent computing rows, in microseconds.
+    pub fn row_build_micros(&self) -> u64 {
+        match self {
+            RelationScope::Matrix(_) => 0,
+            RelationScope::Rows(tracker) => tracker.build_micros(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signed_graph::builder::from_edge_triples;
+    use signed_graph::{NodeId, Sign};
+    use tfsn_core::compat::estimated_row_bytes;
+
+    fn tiny_graph() -> Arc<SignedGraph> {
+        Arc::new(from_edge_triples(vec![
+            (0, 1, Sign::Positive),
+            (1, 2, Sign::Negative),
+            (0, 2, Sign::Positive),
+        ]))
+    }
+
+    fn ring(n: usize) -> Arc<SignedGraph> {
+        Arc::new(from_edge_triples(
+            (0..n)
+                .map(|i| {
+                    (
+                        i,
+                        (i + 1) % n,
+                        if i % 5 == 0 {
+                            Sign::Negative
+                        } else {
+                            Sign::Positive
+                        },
+                    )
+                })
+                .collect::<Vec<_>>(),
+        ))
+    }
+
+    #[test]
+    fn matrix_tier_builds_are_memoized_per_kind() {
+        let store = RelationStore::new(
+            tiny_graph(),
+            EngineConfig::default(),
+            1,
+            StorePolicy::materialized(),
+        );
+        assert_eq!(store.build_count(), 0);
+        assert!(!store.is_resident(CompatibilityKind::Spa));
+        let a = store.fetch(CompatibilityKind::Spa);
+        assert!(a.built_matrix(), "first fetch performs the build");
+        let b = store.fetch(CompatibilityKind::Spa);
+        assert!(!b.built_matrix(), "second fetch reuses the matrix");
+        assert_eq!(store.build_count(), 1);
+        store.fetch(CompatibilityKind::Nne);
+        assert_eq!(store.build_count(), 2);
+        assert_eq!(
+            store.cached_kinds(),
+            vec![CompatibilityKind::Spa, CompatibilityKind::Nne]
+        );
+        assert!(store.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn concurrent_same_kind_builds_once_and_one_caller_owns_it() {
+        let store = RelationStore::new(
+            ring(60),
+            EngineConfig::default(),
+            1,
+            StorePolicy::materialized(),
+        );
+        let built_by = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        if store.fetch(CompatibilityKind::Spo).built_matrix() {
+                            built_by.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.build_count(), 1);
+        assert_eq!(
+            built_by.load(Ordering::Relaxed),
+            1,
+            "exactly one fetch across all 80 must report having built"
+        );
+    }
+
+    #[test]
+    fn auto_policy_tiers_by_budget() {
+        let g = ring(60);
+        let matrix_bytes = estimated_matrix_bytes(g.node_count());
+        let generous = RelationStore::new(
+            g.clone(),
+            EngineConfig::default(),
+            1,
+            StorePolicy::auto(matrix_bytes),
+        );
+        assert_eq!(
+            generous.tier_for(CompatibilityKind::Spa),
+            TierChoice::Matrix
+        );
+        let tight = RelationStore::new(
+            g.clone(),
+            EngineConfig::default(),
+            1,
+            StorePolicy::auto(matrix_bytes - 1),
+        );
+        assert_eq!(tight.tier_for(CompatibilityKind::Spa), TierChoice::Rows);
+        let fetched = tight.fetch(CompatibilityKind::Spa);
+        assert!(fetched.is_rows());
+        assert!(!fetched.built_matrix());
+        assert_eq!(tight.build_count(), 0);
+    }
+
+    #[test]
+    fn rows_tier_scope_attributes_builds_and_respects_budget() {
+        let g = ring(40);
+        let budget = 2 * estimated_row_bytes(g.node_count()) + 16;
+        let store = RelationStore::new(
+            g,
+            EngineConfig::default(),
+            1,
+            StorePolicy::rows(Some(budget)),
+        );
+        let fetched = store.fetch(CompatibilityKind::Spo);
+        let scope = fetched.scope();
+        for u in 0..6 {
+            scope
+                .compat()
+                .compatible(NodeId::new(u), NodeId::new((u + 3) % 40));
+        }
+        assert_eq!(scope.rows_built(), 6);
+        assert!(store.row_build_count() >= 6);
+        assert!(store.row_eviction_count() > 0, "tiny budget must evict");
+        assert!(store.resident_bytes() <= budget);
+        // A second scope over warm rows attributes nothing.
+        let warm = fetched.scope();
+        let hot = store.cached_kinds();
+        assert_eq!(hot, vec![CompatibilityKind::Spo]);
+        warm.compat().compatible(NodeId::new(5), NodeId::new(8));
+        assert_eq!(warm.rows_built(), 0);
+    }
+
+    #[test]
+    fn serving_mode_labels_round_trip() {
+        for mode in [ServingMode::Auto, ServingMode::Matrix, ServingMode::Rows] {
+            assert_eq!(ServingMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(ServingMode::parse("bogus"), None);
+    }
+}

@@ -34,6 +34,7 @@ fn mixed_batch(n: usize) -> Vec<TeamQuery> {
 fn normalized(mut answers: Vec<TeamAnswer>) -> Vec<TeamAnswer> {
     for a in &mut answers {
         a.micros = 0;
+        a.build_micros = 0;
         a.cache_hit = false;
     }
     answers
@@ -53,7 +54,7 @@ fn concurrent_identical_queries_build_each_matrix_exactly_once() {
     let answers = engine.batch(&queries, &BatchOptions::with_threads(8));
     assert_eq!(answers.len(), 64);
     assert_eq!(
-        engine.cache().build_count(),
+        engine.store().build_count(),
         1,
         "64 concurrent SPA queries must share one matrix build"
     );
@@ -70,8 +71,8 @@ fn concurrent_identical_queries_build_each_matrix_exactly_once() {
         })
         .collect();
     engine.batch(&queries, &BatchOptions::with_threads(8));
-    assert_eq!(engine.cache().build_count(), 3);
-    assert_eq!(engine.cache().cached_kinds().len(), 3);
+    assert_eq!(engine.store().build_count(), 3);
+    assert_eq!(engine.store().cached_kinds().len(), 3);
 }
 
 #[test]
@@ -116,7 +117,7 @@ fn repeated_batches_on_one_engine_are_stable_and_all_warm() {
         kinds.dedup();
         kinds.len()
     };
-    assert_eq!(engine.cache().build_count(), distinct_kinds);
+    assert_eq!(engine.store().build_count(), distinct_kinds);
 }
 
 #[test]

@@ -54,6 +54,13 @@ fn main() {
     );
     write(&out_dir, "serving", &serving);
 
+    let budgeted = serving::run_budgeted(&config);
+    println!(
+        "Engine serving under memory budget: row-mode with LRU eviction\n{}",
+        budgeted.render()
+    );
+    write(&out_dir, "serving_budgeted", &budgeted);
+
     write(&out_dir, "config", &config);
     eprintln!(
         "[run-all] finished in {:.1}s; results in {}",

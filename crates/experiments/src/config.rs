@@ -31,6 +31,12 @@ pub struct ExperimentConfig {
     pub skill_degree_cap: Option<usize>,
     /// Base seed for task generation and the RANDOM policy.
     pub seed: u64,
+    /// Users in the synthetic graph of the budget-serving scenario. Sized
+    /// so the full `O(|V|²)` matrix does **not** fit
+    /// `serving_budget_bytes`, forcing row-mode serving.
+    pub serving_scenario_users: usize,
+    /// Per-kind resident-byte budget for the budget-serving scenario.
+    pub serving_budget_bytes: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -46,6 +52,8 @@ impl Default for ExperimentConfig {
             max_seeds: Some(40),
             skill_degree_cap: Some(64),
             seed: 0xEDB7_2020,
+            serving_scenario_users: 20_000,
+            serving_budget_bytes: 8 << 20,
         }
     }
 }
@@ -65,6 +73,8 @@ impl ExperimentConfig {
             max_seeds: Some(10),
             skill_degree_cap: Some(32),
             seed: 0xEDB7_2020,
+            serving_scenario_users: 2_500,
+            serving_budget_bytes: 512 << 10,
         }
     }
 

@@ -9,11 +9,11 @@
 //! which is exactly the split a production deployment cares about.
 
 use serde::{Deserialize, Serialize};
-use tfsn_core::compat::CompatibilityKind;
+use tfsn_core::compat::{estimated_matrix_bytes, CompatibilityKind};
 use tfsn_core::team::policies::TeamAlgorithm;
 use tfsn_core::team::Solver;
-use tfsn_datasets::Dataset;
-use tfsn_engine::{BatchOptions, Deployment, Engine, EngineOptions, TeamQuery};
+use tfsn_datasets::{synthetic, Dataset, DatasetSpec};
+use tfsn_engine::{BatchOptions, Deployment, Engine, EngineOptions, StorePolicy, TeamQuery};
 use tfsn_skills::taskgen::random_coverable_tasks;
 
 use crate::config::ExperimentConfig;
@@ -143,7 +143,7 @@ pub fn run_on(dataset: Dataset, config: &ExperimentConfig) -> ServingRow {
             .iter()
             .filter(|a| a.status == tfsn_engine::AnswerStatus::Ok)
             .count(),
-        matrix_builds: engine.cache().build_count(),
+        matrix_builds: engine.store().build_count(),
         warmup_seconds,
         batch_seconds,
         queries_per_second: answers.len() as f64 / batch_seconds.max(1e-9),
@@ -159,6 +159,163 @@ pub fn run(config: &ExperimentConfig) -> ServingReport {
         run_on(tfsn_datasets::wikipedia(config.wikipedia_scale), config),
     ];
     ServingReport { rows }
+}
+
+/// Metrics of the budget-serving scenario: a synthetic graph whose full
+/// `O(|V|²)` compatibility matrix exceeds the memory budget, served in
+/// row mode with LRU eviction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetedServingRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Users in the deployment.
+    pub users: usize,
+    /// The per-kind resident-byte budget the engine ran under.
+    pub memory_budget_bytes: usize,
+    /// What the full matrix would have needed — must exceed the budget for
+    /// the scenario to be meaningful.
+    pub estimated_matrix_bytes: usize,
+    /// Queries served.
+    pub queries: usize,
+    /// Queries answered with a team.
+    pub solved: usize,
+    /// Per-source rows computed on demand (recomputations included).
+    pub row_builds: u64,
+    /// Rows evicted to stay inside the budget.
+    pub row_evictions: u64,
+    /// Resident relation bytes after the batch (≤ budget per kind).
+    pub resident_bytes: u64,
+    /// Wall-clock seconds for the batch (cold: rows fill on demand).
+    pub batch_seconds: f64,
+    /// Throughput, queries per second.
+    pub queries_per_second: f64,
+}
+
+/// The budget-serving report (one JSON artefact, `serving_budgeted`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetedServingReport {
+    /// One row per (dataset, budget) scenario.
+    pub rows: Vec<BudgetedServingRow>,
+}
+
+impl BudgetedServingReport {
+    /// Renders the report as a text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "dataset",
+            "users",
+            "budget B",
+            "matrix B",
+            "queries",
+            "solved",
+            "row builds",
+            "evictions",
+            "resident B",
+            "batch s",
+            "q/s",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.dataset.clone(),
+                r.users.to_string(),
+                r.memory_budget_bytes.to_string(),
+                r.estimated_matrix_bytes.to_string(),
+                r.queries.to_string(),
+                r.solved.to_string(),
+                r.row_builds.to_string(),
+                r.row_evictions.to_string(),
+                r.resident_bytes.to_string(),
+                fmt_float(r.batch_seconds, 3),
+                fmt_float(r.queries_per_second, 0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// The synthetic deployment of the budget-serving scenario.
+fn budget_scenario_dataset(config: &ExperimentConfig) -> Dataset {
+    let users = config.serving_scenario_users;
+    let spec = DatasetSpec {
+        name: format!("budget-synthetic-{users}n"),
+        users,
+        edges: users.saturating_mul(5),
+        negative_fraction: 0.2,
+        diameter: 0,
+        skills: 400,
+        skills_per_user: 3.0,
+        zipf_exponent: 1.0,
+        locality: 0.8,
+        preferential: 0.3,
+        balance_bias: 0.8,
+        camps: 4,
+        seed: config.seed ^ 0xB0D6E7,
+    };
+    synthetic::generate(&spec, 1.0)
+}
+
+/// Serves the budget scenario: row-mode under a budget the full matrix
+/// cannot fit, SPO + NNE workload, cold (rows fill on demand).
+pub fn run_budgeted(config: &ExperimentConfig) -> BudgetedServingReport {
+    let dataset = budget_scenario_dataset(config);
+    let name = dataset.name.clone();
+    let users = dataset.graph.node_count();
+    let matrix_bytes = estimated_matrix_bytes(users);
+    assert!(
+        matrix_bytes > config.serving_budget_bytes,
+        "scenario misconfigured: the full matrix fits the budget"
+    );
+
+    let tasks = random_coverable_tasks(
+        &dataset.skills,
+        config.default_task_size.min(3),
+        config.tasks_per_size.min(12),
+        config.seed ^ 0x5E21,
+    );
+    let mut queries = Vec::new();
+    for (i, task) in tasks.iter().enumerate() {
+        queries.push(TeamQuery {
+            id: Some(i as u64),
+            task: task.skills().iter().map(|s| s.index()).collect(),
+            kind: [CompatibilityKind::Spo, CompatibilityKind::Nne][i % 2],
+            solver: Solver::Greedy {
+                algorithm: TeamAlgorithm::LCMD,
+                config: config.greedy(),
+            },
+        });
+    }
+
+    let engine = Engine::with_options(
+        Deployment::from_dataset(dataset),
+        EngineOptions {
+            build_threads: config.threads,
+            policy: StorePolicy::auto(config.serving_budget_bytes),
+            ..Default::default()
+        },
+    );
+    let batch_start = std::time::Instant::now();
+    let answers = engine.batch(&queries, &BatchOptions::default());
+    let batch_seconds = batch_start.elapsed().as_secs_f64();
+    let metrics = engine.metrics();
+
+    BudgetedServingReport {
+        rows: vec![BudgetedServingRow {
+            dataset: name,
+            users,
+            memory_budget_bytes: config.serving_budget_bytes,
+            estimated_matrix_bytes: matrix_bytes,
+            queries: answers.len(),
+            solved: answers
+                .iter()
+                .filter(|a| a.status == tfsn_engine::AnswerStatus::Ok)
+                .count(),
+            row_builds: metrics.row_builds,
+            row_evictions: metrics.row_evictions,
+            resident_bytes: metrics.resident_bytes,
+            batch_seconds,
+            queries_per_second: answers.len() as f64 / batch_seconds.max(1e-9),
+        }],
+    }
 }
 
 #[cfg(test)]
@@ -179,5 +336,26 @@ mod tests {
         assert!(row.queries_per_second > 0.0);
         let report = ServingReport { rows: vec![row] };
         assert!(report.render().contains("Slashdot"));
+    }
+
+    #[test]
+    fn budget_scenario_forces_row_mode_with_evictions() {
+        let mut cfg = ExperimentConfig::quick();
+        // Keep the test fast but under real eviction pressure: ~1k users,
+        // a budget of roughly four rows.
+        cfg.serving_scenario_users = 1_000;
+        cfg.serving_budget_bytes = 40_000;
+        let report = run_budgeted(&cfg);
+        let row = &report.rows[0];
+        assert_eq!(row.users, 1_000);
+        assert!(row.estimated_matrix_bytes > row.memory_budget_bytes);
+        assert!(row.queries > 0);
+        assert!(row.row_builds > 0, "row mode must compute rows on demand");
+        assert!(
+            row.row_evictions > 0,
+            "a four-row budget must evict: {row:?}"
+        );
+        assert!(row.resident_bytes <= 2 * row.memory_budget_bytes as u64);
+        assert!(report.render().contains("budget-synthetic"));
     }
 }

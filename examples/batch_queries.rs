@@ -42,7 +42,7 @@ fn main() {
     engine.warm(&kinds);
     println!(
         "warm-up: built {} compatibility matrices in {:.2}s",
-        engine.cache().build_count(),
+        engine.store().build_count(),
         warm_start.elapsed().as_secs_f64()
     );
 

@@ -17,6 +17,8 @@ fn smoke_config() -> ExperimentConfig {
         max_seeds: Some(8),
         skill_degree_cap: Some(16),
         seed: 123,
+        serving_scenario_users: 800,
+        serving_budget_bytes: 32 << 10,
     }
 }
 

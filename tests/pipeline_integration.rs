@@ -62,7 +62,7 @@ fn epinions_scaled_pipeline_with_lazy_compatibility() {
     let tasks = random_coverable_tasks(&dataset.skills, 3, 5, 7);
     // The lazy oracle computes only the rows team formation touches.
     let lazy = LazyCompatibility::new(
-        &dataset.graph,
+        std::sync::Arc::new(dataset.graph.clone()),
         CompatibilityKind::Spo,
         EngineConfig::default(),
     );
@@ -100,7 +100,11 @@ fn matrix_and_lazy_agree_on_team_validity() {
     let kind = CompatibilityKind::Spm;
     let engine = EngineConfig::default();
     let matrix = CompatibilityMatrix::build_parallel(&dataset.graph, kind, &engine, 4);
-    let lazy = tfsn_core::compat::LazyCompatibility::new(&dataset.graph, kind, engine.clone());
+    let lazy = tfsn_core::compat::LazyCompatibility::new(
+        std::sync::Arc::new(dataset.graph.clone()),
+        kind,
+        engine.clone(),
+    );
     let from_matrix = solve_greedy(
         &instance,
         &matrix,

@@ -121,7 +121,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy produced by [`vec`].
+    /// The strategy produced by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
