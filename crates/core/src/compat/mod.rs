@@ -11,11 +11,24 @@
 //!   source (optionally in parallel) and [`LazyCompatibility`] computes and
 //!   caches sources on demand. Both implement the [`Compatibility`] trait
 //!   consumed by the team-formation algorithms.
+//!
+//! Resident rows — matrix rows and cached lazy rows alike — use the
+//! bit-packed [`CompatRow`] layout (1 bit per node for the compatible set,
+//! 2 bytes per node for the distance): ~4× smaller than the unpacked
+//! [`SourceCompatibility`] and word-parallel for the solver's
+//! [`crate::team::CandidateMask`] fast path, exposed through
+//! [`Compatibility::packed_row`].
 
+pub mod row;
 pub mod sbp;
 pub mod sbph;
 pub mod sp;
 pub mod trivial;
+
+pub use row::{
+    bitset_words, CompatRow, NodeSet, RowHandle, ScalarOnly, MAX_PACKED_DISTANCE,
+    UNREACHABLE_DISTANCE,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -222,18 +235,31 @@ pub trait Compatibility: Sync {
     fn compatible_with_all(&self, u: NodeId, team: &[NodeId]) -> bool {
         team.iter().all(|&x| self.compatible(u, x))
     }
+
+    /// The bit-packed row for `u`, when the implementation can expose one —
+    /// the hook behind the word-parallel candidate-masking fast path (see
+    /// [`crate::team::CandidateMask`]). The handle says whether the single
+    /// row is *exact* (its clear bits prove incompatibility) or a
+    /// forward-direction lower bound (set bits remain sound; clear bits may
+    /// still be compatible through the reverse direction — the asymmetric
+    /// SBPH/SBP rows of a lazy store). The default (`None`) keeps scalar
+    /// pair probes as the universal fallback.
+    fn packed_row(&self, u: NodeId) -> Option<RowHandle<'_>> {
+        let _ = u;
+        None
+    }
 }
 
-/// A fully materialised compatibility relation: one [`SourceCompatibility`]
-/// row per node.
+/// A fully materialised compatibility relation: one bit-packed
+/// [`CompatRow`] per node, with the symmetric closure already applied.
 ///
-/// Memory is `O(|V|²)`; intended for the scaled dataset emulations and the
-/// experiment harness. Use [`LazyCompatibility`] when only a few sources
-/// will ever be queried.
+/// Memory is `O(|V|²)` bits-plus-`u16`s (~2.1 bytes per cell); intended for
+/// the scaled dataset emulations and the experiment harness. Use
+/// [`LazyCompatibility`] when only a few sources will ever be queried.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CompatibilityMatrix {
     kind: CompatibilityKind,
-    rows: Vec<SourceCompatibility>,
+    rows: Vec<CompatRow>,
 }
 
 impl CompatibilityMatrix {
@@ -249,11 +275,11 @@ impl CompatibilityMatrix {
         cfg: &EngineConfig,
     ) -> Self {
         let csr = CsrGraph::from_graph(graph);
-        let mut rows: Vec<SourceCompatibility> = graph
+        let mut rows: Vec<CompatRow> = graph
             .nodes()
-            .map(|v| compute_source(graph, &csr, v, kind, cfg))
+            .map(|v| CompatRow::from_source(&compute_source(graph, &csr, v, kind, cfg)))
             .collect();
-        symmetrize(&mut rows);
+        symmetrize_rows(kind, &mut rows);
         CompatibilityMatrix { kind, rows }
     }
 
@@ -276,7 +302,7 @@ impl CompatibilityMatrix {
         }
         let csr = CsrGraph::from_graph(graph);
         let next = AtomicUsize::new(0);
-        let mut rows: Vec<Option<SourceCompatibility>> = vec![None; n];
+        let mut rows: Vec<Option<CompatRow>> = vec![None; n];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
@@ -288,7 +314,8 @@ impl CompatibilityMatrix {
                             if i >= n {
                                 break;
                             }
-                            mine.push((i, compute_source(graph, csr, NodeId::new(i), kind, cfg)));
+                            let sc = compute_source(graph, csr, NodeId::new(i), kind, cfg);
+                            mine.push((i, CompatRow::from_source(&sc)));
                         }
                         mine
                     })
@@ -300,22 +327,23 @@ impl CompatibilityMatrix {
                 }
             }
         });
-        let mut rows: Vec<SourceCompatibility> = rows
+        let mut rows: Vec<CompatRow> = rows
             .into_iter()
             .map(|r| r.expect("every source computed"))
             .collect();
-        symmetrize(&mut rows);
+        symmetrize_rows(kind, &mut rows);
         CompatibilityMatrix { kind, rows }
     }
 
     /// Access to the per-source rows (e.g. for Table 2 statistics).
-    pub fn rows(&self) -> &[SourceCompatibility] {
+    pub fn rows(&self) -> &[CompatRow] {
         &self.rows
     }
 
     /// The fraction of *ordered* node pairs `(u, v)`, `u != v`, that are
     /// compatible. Because the relation is symmetric this equals the
-    /// unordered-pair fraction reported in the paper's Table 2.
+    /// unordered-pair fraction reported in the paper's Table 2. One
+    /// popcount pass over the row bitsets.
     pub fn compatible_pair_fraction(&self) -> f64 {
         let n = self.rows.len();
         if n < 2 {
@@ -325,13 +353,7 @@ impl CompatibilityMatrix {
             .rows
             .iter()
             .enumerate()
-            .map(|(u, row)| {
-                row.compatible
-                    .iter()
-                    .enumerate()
-                    .filter(|&(v, &c)| c && v != u)
-                    .count() as u64
-            })
+            .map(|(u, row)| (row.compatible_count() - usize::from(row.is_compatible(u))) as u64)
             .sum();
         compatible as f64 / (n as u64 * (n as u64 - 1)) as f64
     }
@@ -342,9 +364,9 @@ impl CompatibilityMatrix {
         let mut total = 0u64;
         let mut count = 0u64;
         for (u, row) in self.rows.iter().enumerate() {
-            for v in 0..row.compatible.len() {
-                if v != u && row.compatible[v] {
-                    if let Some(d) = row.distance[v] {
+            for v in row.iter_compatible() {
+                if v != u {
+                    if let Some(d) = row.distance(v) {
                         total += d as u64;
                         count += 1;
                     }
@@ -374,7 +396,7 @@ impl Compatibility for CompatibilityMatrix {
         }
         self.rows
             .get(u.index())
-            .map(|r| r.compatible.get(v.index()).copied().unwrap_or(false))
+            .map(|r| r.is_compatible(v.index()))
             .unwrap_or(false)
     }
 
@@ -382,9 +404,15 @@ impl Compatibility for CompatibilityMatrix {
         if u == v {
             return Some(0);
         }
+        self.rows.get(u.index()).and_then(|r| r.distance(v.index()))
+    }
+
+    fn packed_row(&self, u: NodeId) -> Option<RowHandle<'_>> {
+        // Matrix rows carry the symmetric closure, so a single row is exact
+        // for every kind, asymmetric heuristics included.
         self.rows
             .get(u.index())
-            .and_then(|r| r.distance.get(v.index()).copied().flatten())
+            .map(|r| RowHandle::borrowed(r, true))
     }
 }
 
@@ -398,52 +426,53 @@ pub fn per_source_symmetric(kind: CompatibilityKind) -> bool {
     !matches!(kind, CompatibilityKind::Sbp | CompatibilityKind::Sbph)
 }
 
-/// Symmetric closure of a full set of per-source rows: a pair is compatible
-/// if either direction found it, and its distance is the smaller of the two
-/// directions' distances.
-fn symmetrize(rows: &mut [SourceCompatibility]) {
+/// Symmetric closure of a full set of bit-packed per-source rows: a pair is
+/// compatible if either direction found it, and its distance is the smaller
+/// of the two directions' raw distances (the [`UNREACHABLE_DISTANCE`]
+/// sentinel is `u16::MAX`, so a plain `min` implements the closure).
+///
+/// The SP family, DPE and NNE are symmetric per source already
+/// ([`per_source_symmetric`]), so the `O(|V|²)` transpose pass only runs
+/// for the asymmetric heuristics (SBPH and budget-limited SBP).
+fn symmetrize_rows(kind: CompatibilityKind, rows: &mut [CompatRow]) {
+    if per_source_symmetric(kind) {
+        return;
+    }
     let n = rows.len();
     for u in 0..n {
         for v in (u + 1)..n {
-            let c = rows[u].compatible.get(v).copied().unwrap_or(false)
-                || rows[v].compatible.get(u).copied().unwrap_or(false);
-            let d = match (
-                rows[u].distance.get(v).copied().flatten(),
-                rows[v].distance.get(u).copied().flatten(),
-            ) {
-                (Some(a), Some(b)) => Some(a.min(b)),
-                (a, b) => a.or(b),
-            };
-            if v < rows[u].compatible.len() {
-                rows[u].compatible[v] = c;
-                rows[u].distance[v] = d;
-            }
-            if u < rows[v].compatible.len() {
-                rows[v].compatible[u] = c;
-                rows[v].distance[u] = d;
-            }
+            let c = rows[u].is_compatible(v) || rows[v].is_compatible(u);
+            let d = rows[u].raw_distance(v).min(rows[v].raw_distance(u));
+            rows[u].set(v, c, d);
+            rows[v].set(u, c, d);
         }
     }
 }
 
-/// Approximate heap footprint of one cached [`SourceCompatibility`] row, in
-/// bytes. This is what the row store's memory budget accounts in.
-pub fn row_bytes(row: &SourceCompatibility) -> usize {
-    std::mem::size_of::<SourceCompatibility>()
-        + row.compatible.capacity() * std::mem::size_of::<bool>()
-        + row.distance.capacity() * std::mem::size_of::<Option<u32>>()
+/// Heap footprint of one cached [`CompatRow`], in bytes. This is what the
+/// row store's memory budget accounts in: 1 bit + 2 bytes per node, against
+/// the 9 bytes per node of the unpacked [`SourceCompatibility`] — ~4.2×
+/// more resident rows for the same budget.
+pub fn row_bytes(row: &CompatRow) -> usize {
+    std::mem::size_of::<CompatRow>()
+        + std::mem::size_of_val(row.words())
+        + row.len() * std::mem::size_of::<u16>()
 }
 
-/// Estimated footprint of one row over a graph with `nodes` users, before
-/// computing it (used by budget policies to choose a serving tier).
+/// Estimated footprint of one bit-packed row over a graph with `nodes`
+/// users, before computing it (used by budget policies to choose a serving
+/// tier). Matches [`row_bytes`] exactly: the row constructors allocate
+/// exact-capacity vectors.
 pub fn estimated_row_bytes(nodes: usize) -> usize {
-    std::mem::size_of::<SourceCompatibility>()
-        + nodes * (std::mem::size_of::<bool>() + std::mem::size_of::<Option<u32>>())
+    std::mem::size_of::<CompatRow>()
+        + bitset_words(nodes) * std::mem::size_of::<u64>()
+        + nodes * std::mem::size_of::<u16>()
 }
 
 /// Estimated footprint of a fully materialised [`CompatibilityMatrix`] over
-/// a graph with `nodes` users: `O(|V|²)` and quickly infeasible — ~21 GiB
-/// at 50k nodes, ~146 GiB for the full 132k-node Epinions network.
+/// a graph with `nodes` users: `O(|V|²)` and still quickly infeasible —
+/// ~5 GiB at 50k nodes, ~35 GiB for the full 132k-node Epinions network
+/// (the pre-bit-packing layout needed ~21 GiB and ~146 GiB respectively).
 pub fn estimated_matrix_bytes(nodes: usize) -> usize {
     nodes.saturating_mul(estimated_row_bytes(nodes))
 }
@@ -455,9 +484,9 @@ enum Slot {
     /// The slot is claimed: exactly one thread runs the per-source
     /// computation inside the `OnceLock`; concurrent callers for the same
     /// row block on it instead of computing a duplicate.
-    Building(Arc<OnceLock<Arc<SourceCompatibility>>>),
+    Building(Arc<OnceLock<Arc<CompatRow>>>),
     Ready {
-        row: Arc<SourceCompatibility>,
+        row: Arc<CompatRow>,
         bytes: usize,
         tick: u64,
     },
@@ -479,8 +508,8 @@ struct RowCacheState {
 /// cache fill sees `built == true`) and how long that computation took.
 #[derive(Debug, Clone)]
 pub struct RowFetch {
-    /// The per-source row.
-    pub row: Arc<SourceCompatibility>,
+    /// The per-source row, in the bit-packed resident layout.
+    pub row: Arc<CompatRow>,
     /// `true` iff this call ran the per-source computation. Concurrent
     /// callers that blocked on the same fill see `false`.
     pub built: bool,
@@ -576,7 +605,7 @@ impl LazyCompatibility {
     }
 
     /// Returns (computing if necessary) the row for `source`.
-    pub fn source(&self, source: NodeId) -> Arc<SourceCompatibility> {
+    pub fn source(&self, source: NodeId) -> Arc<CompatRow> {
         self.source_tracked(source).row
     }
 
@@ -620,13 +649,13 @@ impl LazyCompatibility {
         let row = cell
             .get_or_init(|| {
                 let start = Instant::now();
-                let row = Arc::new(compute_source(
+                let row = Arc::new(CompatRow::from_source(&compute_source(
                     &self.graph,
                     &self.csr,
                     source,
                     self.kind,
                     &self.cfg,
-                ));
+                )));
                 build_micros = start.elapsed().as_micros() as u64;
                 built = true;
                 self.builds.fetch_add(1, Ordering::Relaxed);
@@ -711,41 +740,40 @@ impl std::fmt::Debug for LazyCompatibility {
     }
 }
 
-/// Pair compatibility through a row-fetch closure: forward row first, then —
-/// for the asymmetric heuristic kinds — the symmetric closure via the
-/// reverse row, matching [`CompatibilityMatrix`].
+/// Pair compatibility through a row-fetch closure: a bit probe on the
+/// forward row first, then — for the asymmetric heuristic kinds — the
+/// symmetric closure via the reverse row, matching [`CompatibilityMatrix`].
 fn pair_compatible<F>(kind: CompatibilityKind, mut fetch: F, u: NodeId, v: NodeId) -> bool
 where
-    F: FnMut(NodeId) -> Arc<SourceCompatibility>,
+    F: FnMut(NodeId) -> Arc<CompatRow>,
 {
     if u == v {
         return true;
     }
-    let forward = fetch(u).compatible.get(v.index()).copied().unwrap_or(false);
+    let forward = fetch(u).is_compatible(v.index());
     if forward || per_source_symmetric(kind) {
         return forward;
     }
-    fetch(v).compatible.get(u.index()).copied().unwrap_or(false)
+    fetch(v).is_compatible(u.index())
 }
 
 /// Pair distance through a row-fetch closure (minimum over both directions
-/// for the asymmetric kinds, as in [`CompatibilityMatrix`]'s closure).
+/// for the asymmetric kinds, as in [`CompatibilityMatrix`]'s closure — the
+/// sentinel is `u16::MAX`, so the raw-distance `min` is the closure).
 fn pair_distance<F>(kind: CompatibilityKind, mut fetch: F, u: NodeId, v: NodeId) -> Option<u32>
 where
-    F: FnMut(NodeId) -> Arc<SourceCompatibility>,
+    F: FnMut(NodeId) -> Arc<CompatRow>,
 {
     if u == v {
         return Some(0);
     }
-    let forward = fetch(u).distance.get(v.index()).copied().flatten();
     if per_source_symmetric(kind) {
-        return forward;
+        return fetch(u).distance(v.index());
     }
-    let backward = fetch(v).distance.get(u.index()).copied().flatten();
-    match (forward, backward) {
-        (Some(a), Some(b)) => Some(a.min(b)),
-        (a, b) => a.or(b),
-    }
+    let raw = fetch(u)
+        .raw_distance(v.index())
+        .min(fetch(v).raw_distance(u.index()));
+    (raw != UNREACHABLE_DISTANCE).then_some(u32::from(raw))
 }
 
 impl Compatibility for LazyCompatibility {
@@ -764,10 +792,19 @@ impl Compatibility for LazyCompatibility {
     fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
         pair_distance(self.kind, |s| self.source(s), u, v)
     }
+
+    fn packed_row(&self, u: NodeId) -> Option<RowHandle<'_>> {
+        // A single lazily computed row is the whole relation restricted to
+        // its source only for the per-source-symmetric kinds; an SBPH/SBP
+        // row is a forward-direction lower bound (clear bits may still be
+        // compatible through the reverse row).
+        (u.index() < self.node_count())
+            .then(|| RowHandle::shared(self.source(u), per_source_symmetric(self.kind)))
+    }
 }
 
 /// One memo entry of a [`RowTracker`]: a recently fetched row and its source.
-type MemoSlot = Option<(NodeId, Arc<SourceCompatibility>)>;
+type MemoSlot = Option<(NodeId, Arc<CompatRow>)>;
 
 /// A per-query view over a shared [`LazyCompatibility`] that counts only the
 /// row computations *this* view performed. Serving layers wrap each query in
@@ -807,7 +844,7 @@ impl<'a> RowTracker<'a> {
         self.build_micros.load(Ordering::Relaxed)
     }
 
-    fn fetch(&self, source: NodeId) -> Arc<SourceCompatibility> {
+    fn fetch(&self, source: NodeId) -> Arc<CompatRow> {
         {
             let mut memo = self.memo.lock();
             if let Some((s, row)) = &memo[0] {
@@ -850,6 +887,11 @@ impl Compatibility for RowTracker<'_> {
 
     fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
         pair_distance(self.rows.kind, |s| self.fetch(s), u, v)
+    }
+
+    fn packed_row(&self, u: NodeId) -> Option<RowHandle<'_>> {
+        (u.index() < self.node_count())
+            .then(|| RowHandle::shared(self.fetch(u), per_source_symmetric(self.rows.kind)))
     }
 }
 
@@ -1128,7 +1170,7 @@ mod tests {
             Some(8),
         );
         let row = lazy.source(NodeId::new(3));
-        assert!(row.compatible[3]);
+        assert!(row.is_compatible(3));
         assert_eq!(lazy.resident_bytes(), 0);
         assert_eq!(lazy.cached_rows(), 0);
         assert_eq!(lazy.eviction_count(), 1);

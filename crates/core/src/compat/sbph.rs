@@ -19,29 +19,47 @@ use std::collections::VecDeque;
 use signed_graph::csr::CsrGraph;
 use signed_graph::{NodeId, Sign, SignedGraph};
 
+use super::row::NodeSet;
 use super::{CompatibilityKind, SourceCompatibility};
 
+/// One retained balanced prefix: the path's nodes with their two-colouring
+/// camp, relative to the source being in camp `false` (the last entry is the
+/// endpoint; its camp is `false` iff the path is positive). Storage is
+/// `O(path length)`; the `O(1)` membership/camp probes the innermost
+/// neighbour loop needs come from a scratch [`NodeSet`] pair that the search
+/// marks while a state is being expanded and unmarks afterwards — not from
+/// per-state bitsets, which would cost `O(|V|)` memory and clone work per
+/// retained prefix.
 #[derive(Debug, Clone)]
 struct PrefixState {
-    /// Nodes of the prefix path, starting at the source.
-    path: Vec<NodeId>,
-    /// Camp (two-colouring side) of each node on the path, relative to the
-    /// source being in camp `false`. The last entry is the path's endpoint;
-    /// `camp == false` iff the path is positive.
-    camps: Vec<bool>,
+    path: Vec<(NodeId, bool)>,
 }
 
 impl PrefixState {
     fn endpoint(&self) -> NodeId {
-        *self.path.last().expect("non-empty prefix")
+        self.path.last().expect("non-empty prefix").0
     }
 
     fn len(&self) -> u32 {
         (self.path.len() - 1) as u32
     }
 
-    fn contains(&self, node: NodeId) -> bool {
-        self.path.contains(&node)
+    /// Marks this prefix in the scratch sets (`O(path length)`).
+    fn mark(&self, on_path: &mut NodeSet, camps: &mut NodeSet) {
+        for &(p, camp) in &self.path {
+            on_path.insert(p);
+            if camp {
+                camps.insert(p);
+            }
+        }
+    }
+
+    /// Clears this prefix's marks (`O(path length)`).
+    fn unmark(&self, on_path: &mut NodeSet, camps: &mut NodeSet) {
+        for &(p, _) in &self.path {
+            on_path.remove(p);
+            camps.remove(p);
+        }
     }
 }
 
@@ -63,18 +81,20 @@ pub fn sbph_source(
     // stored[v][sign as usize] = number of prefixes retained at v with that sign.
     let mut stored = vec![[0usize; 2]; n];
 
-    let root = PrefixState {
-        path: vec![source],
-        camps: vec![false],
-    };
     stored[source.index()][0] = 1;
     let mut queue: VecDeque<PrefixState> = VecDeque::new();
-    queue.push_back(root);
+    queue.push_back(PrefixState {
+        path: vec![(source, false)],
+    });
+    // Scratch marks for the state currently being expanded: `O(1)` probes
+    // in the neighbour loops, repopulated per popped state.
+    let mut on_path = NodeSet::new(n);
+    let mut camps = NodeSet::new(n);
 
     while let Some(state) = queue.pop_front() {
-        let end = state.endpoint();
-        for (w, _sign) in csr.neighbors(end) {
-            if state.contains(w) {
+        state.mark(&mut on_path, &mut camps);
+        for (w, _sign) in csr.neighbors(state.endpoint()) {
+            if on_path.contains(w) {
                 continue;
             }
             // Force w's camp from every edge between w and the prefix's
@@ -83,10 +103,10 @@ pub fn sbph_source(
             let mut forced: Option<bool> = None;
             let mut consistent = true;
             for nb in graph.neighbors(w) {
-                if let Some(pos) = state.path.iter().position(|&p| p == nb.node) {
+                if on_path.contains(nb.node) {
                     let expected = match nb.sign {
-                        Sign::Positive => state.camps[pos],
-                        Sign::Negative => !state.camps[pos],
+                        Sign::Positive => camps.contains(nb.node),
+                        Sign::Negative => !camps.contains(nb.node),
                     };
                     match forced {
                         None => forced = Some(expected),
@@ -109,8 +129,7 @@ pub fn sbph_source(
             stored[w.index()][sign_slot] += 1;
 
             let mut next = state.clone();
-            next.path.push(w);
-            next.camps.push(w_camp);
+            next.path.push((w, w_camp));
             if !w_camp {
                 // Positive balanced path found.
                 compatible[w.index()] = true;
@@ -122,6 +141,7 @@ pub fn sbph_source(
             }
             queue.push_back(next);
         }
+        state.unmark(&mut on_path, &mut camps);
     }
 
     SourceCompatibility {

@@ -38,14 +38,12 @@ pub fn unsigned_distances_csr(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32>
         .collect()
 }
 
-/// Shortest positive-**walk** distances: the length of the shortest walk
-/// (vertices may repeat) from `source` whose edge-sign product is positive.
-///
-/// Computed with a parity BFS over `(node, sign)` states in `O(|V| + |E|)`.
-/// This is not one of the paper's distance definitions (the paper uses path
-/// lengths), but it lower-bounds the shortest positive simple-path length
-/// and is used by the ablation benches as a cheap alternative distance.
-pub fn positive_walk_distances(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32>> {
+/// The parity BFS shared by the walk distances: for every node, the length
+/// of the shortest walk from `source` with positive (`[0]`) and negative
+/// (`[1]`) edge-sign product. One `O(|V| + |E|)` pass over `(node, sign)`
+/// states computes both parities; the public walk distances are projections
+/// of it.
+fn sign_parity_walk_bfs(csr: &CsrGraph, source: NodeId) -> Vec<[u32; 2]> {
     let n = csr.node_count();
     // dist[v][parity]: parity 0 = positive product, 1 = negative product.
     let mut dist = vec![[UNREACHABLE; 2]; n];
@@ -65,47 +63,31 @@ pub fn positive_walk_distances(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32
             }
         }
     }
+    dist
+}
+
+/// Projects one parity of [`sign_parity_walk_bfs`] into `Option` distances.
+fn project_parity(dist: Vec<[u32; 2]>, parity: usize) -> Vec<Option<u32>> {
     dist.into_iter()
-        .map(|d| {
-            if d[0] == UNREACHABLE {
-                None
-            } else {
-                Some(d[0])
-            }
-        })
+        .map(|d| (d[parity] != UNREACHABLE).then_some(d[parity]))
         .collect()
 }
 
+/// Shortest positive-**walk** distances: the length of the shortest walk
+/// (vertices may repeat) from `source` whose edge-sign product is positive.
+///
+/// Computed with a parity BFS over `(node, sign)` states in `O(|V| + |E|)`.
+/// This is not one of the paper's distance definitions (the paper uses path
+/// lengths), but it lower-bounds the shortest positive simple-path length
+/// and is used by the ablation benches as a cheap alternative distance.
+pub fn positive_walk_distances(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32>> {
+    project_parity(sign_parity_walk_bfs(csr, source), 0)
+}
+
 /// Shortest negative-walk distances (parity-1 counterpart of
-/// [`positive_walk_distances`]).
+/// [`positive_walk_distances`], sharing the same single-pass parity BFS).
 pub fn negative_walk_distances(csr: &CsrGraph, source: NodeId) -> Vec<Option<u32>> {
-    let n = csr.node_count();
-    let mut dist = vec![[UNREACHABLE; 2]; n];
-    let mut queue = VecDeque::new();
-    dist[source.index()][0] = 0;
-    queue.push_back((source, 0u8));
-    while let Some((u, parity)) = queue.pop_front() {
-        let du = dist[u.index()][parity as usize];
-        for (v, sign) in csr.neighbors(u) {
-            let next_parity = match sign {
-                Sign::Positive => parity,
-                Sign::Negative => parity ^ 1,
-            };
-            if dist[v.index()][next_parity as usize] == UNREACHABLE {
-                dist[v.index()][next_parity as usize] = du + 1;
-                queue.push_back((v, next_parity));
-            }
-        }
-    }
-    dist.into_iter()
-        .map(|d| {
-            if d[1] == UNREACHABLE {
-                None
-            } else {
-                Some(d[1])
-            }
-        })
-        .collect()
+    project_parity(sign_parity_walk_bfs(csr, source), 1)
 }
 
 #[cfg(test)]

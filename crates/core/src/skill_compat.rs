@@ -18,7 +18,7 @@ use tfsn_skills::assignment::SkillAssignment;
 use tfsn_skills::task::Task;
 use tfsn_skills::SkillId;
 
-use crate::compat::{Compatibility, SourceCompatibility};
+use crate::compat::{bitset_words, CompatRow, Compatibility};
 use signed_graph::NodeId;
 
 /// A boolean matrix over skill pairs: which pairs have at least one
@@ -32,16 +32,17 @@ pub struct SkillPairCompatibility {
 }
 
 impl SkillPairCompatibility {
-    /// Marks skill pairs as compatible using the given per-source rows.
+    /// Marks skill pairs as compatible using the given bit-packed per-source
+    /// rows.
     ///
     /// Passing every row of a [`crate::compat::CompatibilityMatrix`] yields
     /// the exact relation; passing a subset of rows yields a lower-bound
     /// estimate (pairs witnessed only by unsampled sources stay unmarked).
-    pub fn from_rows(rows: &[SourceCompatibility], skills: &SkillAssignment) -> Self {
+    pub fn from_rows(rows: &[CompatRow], skills: &SkillAssignment) -> Self {
         let s = skills.skill_count();
         let mut compatible = vec![false; s * s];
         for row in rows {
-            let u = row.source.index();
+            let u = row.source().index();
             if u >= skills.user_count() {
                 continue;
             }
@@ -49,8 +50,8 @@ impl SkillPairCompatibility {
             if u_skills.is_empty() {
                 continue;
             }
-            for (v, &c) in row.compatible.iter().enumerate() {
-                if !c || v >= skills.user_count() {
+            for v in row.iter_compatible() {
+                if v >= skills.user_count() {
                     continue;
                 }
                 for &si in &u_skills {
@@ -160,17 +161,83 @@ impl TaskSkillDegrees {
                 &h[..h.len().min(cap)]
             })
             .collect();
-        let mut degrees: Vec<(SkillId, u64)> = task_skills.iter().map(|&s| (s, 0u64)).collect();
-        for i in 0..task_skills.len() {
-            for j in (i + 1)..task_skills.len() {
-                let mut pair_degree = 0u64;
-                for &u in holders[i] {
-                    for &v in holders[j] {
-                        if comp.compatible(NodeId::new(u as usize), NodeId::new(v as usize)) {
-                            pair_degree += 1;
+        // Word-parallel fast path: with an exact packed row, the inner loop
+        // over `holders[j]` collapses to a popcount of `row(u) ∧ holders[j]`
+        // — identical counts (the row's self bit covers the reflexive
+        // `u == v` pair, exactly as `compatible(u, u)` does). Holder lists
+        // are sparse, so each holder set is kept as its non-empty bitset
+        // words only, the intersection touches at most
+        // `min(|holders|, words)` words, and `row(u)` is fetched once per
+        // holder and reused across every paired skill.
+        let words = bitset_words(comp.node_count());
+        let sparse: Vec<Vec<(u32, u64)>> = holders
+            .iter()
+            .map(|hs| {
+                let mut nz: Vec<(u32, u64)> = Vec::with_capacity(hs.len());
+                for &h in hs.iter() {
+                    let h = h as usize;
+                    if h / 64 >= words {
+                        continue;
+                    }
+                    let (wi, bit) = ((h / 64) as u32, 1u64 << (h % 64));
+                    match nz.last_mut() {
+                        Some((last, bits)) if *last == wi => *bits |= bit,
+                        _ => nz.push((wi, bit)),
+                    }
+                }
+                // `users_with_skill` is sorted, but merge defensively in
+                // case it ever is not.
+                nz.sort_unstable_by_key(|&(wi, _)| wi);
+                nz.dedup_by(|(wi, bits), (kept_wi, kept_bits)| {
+                    *wi == *kept_wi && {
+                        *kept_bits |= *bits;
+                        true
+                    }
+                });
+                nz
+            })
+            .collect();
+        let k = task_skills.len();
+        // pair[i * k + j] (i < j) accumulates the i-side sum
+        // `Σ_{u ∈ holders[i]} |row(u) ∧ holders[j]|`, which equals the
+        // j-side sum because the relation is symmetric.
+        let mut pair = vec![0u64; k * k];
+        // The last skill has no j > i partner: skip it outright, or every
+        // one of its holders would fetch (and, in row-serving mode, build)
+        // a packed row that no pair loop ever reads.
+        for i in 0..k.saturating_sub(1) {
+            for &u in holders[i] {
+                let u = NodeId::new(u as usize);
+                match comp.packed_row(u).filter(|h| h.exact()) {
+                    Some(h) => {
+                        let row_words = h.row().words();
+                        for j in (i + 1)..k {
+                            let mut count = 0u64;
+                            for &(wi, bits) in &sparse[j] {
+                                let word = row_words.get(wi as usize).copied().unwrap_or(0);
+                                count += (word & bits).count_ones() as u64;
+                            }
+                            pair[i * k + j] += count;
+                        }
+                    }
+                    None => {
+                        for j in (i + 1)..k {
+                            let mut count = 0u64;
+                            for &v in holders[j] {
+                                if comp.compatible(u, NodeId::new(v as usize)) {
+                                    count += 1;
+                                }
+                            }
+                            pair[i * k + j] += count;
                         }
                     }
                 }
+            }
+        }
+        let mut degrees: Vec<(SkillId, u64)> = task_skills.iter().map(|&s| (s, 0u64)).collect();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let pair_degree = pair[i * k + j];
                 degrees[i].1 = degrees[i].1.saturating_add(pair_degree);
                 degrees[j].1 = degrees[j].1.saturating_add(pair_degree);
             }

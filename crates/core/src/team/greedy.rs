@@ -19,7 +19,7 @@ use tfsn_skills::task::Task;
 use tfsn_skills::{SkillId, SkillSet};
 
 use super::policies::{SkillPolicy, TeamAlgorithm, UserPolicy};
-use super::{Team, TfsnInstance};
+use super::{CandidateMask, NodeSet, Team, TfsnInstance};
 use crate::compat::Compatibility;
 use crate::error::TfsnError;
 use crate::skill_compat::TaskSkillDegrees;
@@ -126,6 +126,9 @@ pub fn solve_greedy_with_stats<C: Compatibility + ?Sized>(
     let seed_users: Vec<u32> = skills.users_with_skill(first_skill).to_vec();
     let seed_limit = config.max_seeds.unwrap_or(usize::MAX);
 
+    // One mask buffer shared by every seed (re-seeded in place), so the
+    // word-parallel fast path allocates once per solve, not once per seed.
+    let mut mask_buf: Option<CandidateMask> = None;
     let mut best: Option<(Team, u64)> = None;
     for &seed in seed_users.iter().take(seed_limit) {
         stats.seeds_tried += 1;
@@ -139,6 +142,7 @@ pub fn solve_greedy_with_stats<C: Compatibility + ?Sized>(
             &select_skill,
             &mut rng,
             &mut stats,
+            &mut mask_buf,
         ) {
             stats.seeds_succeeded += 1;
             let cost = team.diameter(comp).map(u64::from).unwrap_or(u64::MAX);
@@ -169,12 +173,25 @@ fn grow_team<C: Compatibility + ?Sized>(
     select_skill: &dyn Fn(&[SkillId]) -> SkillId,
     rng: &mut StdRng,
     stats: &mut GreedyStats,
+    mask_buf: &mut Option<CandidateMask>,
 ) -> Option<Team> {
     let skills = instance.skills();
     let universe = skills.skill_count();
     let mut members = vec![seed];
     let mut covered = SkillSet::new(universe);
     covered.union_with(skills.skills_of(seed.index()));
+    // The word-parallel fast path: the AND of the members' row bitsets
+    // answers "compatible with every member?" with one bit probe instead of
+    // one pair probe per member. `None` (relation without packed rows)
+    // falls back to the scalar path; a non-exact mask (forward-only rows)
+    // accepts set bits and re-checks cleared ones scalar-wise.
+    let mut mask = match mask_buf {
+        Some(m) => m.reseed(comp, seed).then_some(&mut *m),
+        None => {
+            *mask_buf = CandidateMask::seeded(comp, seed);
+            mask_buf.as_mut()
+        }
+    };
 
     loop {
         let remaining = task.uncovered(&covered);
@@ -193,7 +210,12 @@ fn grow_team<C: Compatibility + ?Sized>(
                 continue;
             }
             stats.candidates_examined += 1;
-            if comp.compatible_with_all(u, &members) {
+            let compatible = match &mask {
+                Some(m) if m.allows(u) => true,
+                Some(m) if m.is_exact() => false,
+                _ => comp.compatible_with_all(u, &members),
+            };
+            if compatible {
                 candidates.push(u);
             }
         }
@@ -208,13 +230,38 @@ fn grow_team<C: Compatibility + ?Sized>(
             UserPolicy::MostCompatible => {
                 // Relevance pool: holders of any still-uncovered skill.
                 let pool = relevant_users(skills, &remaining);
+                // With exact packed rows and a large enough pool, the
+                // per-candidate pool scan collapses to a popcount of
+                // `row(c) ∧ pool` (minus the self pair, which the scalar
+                // scan excludes via `p != c`). The popcount pays one full
+                // word scan plus a row fetch per candidate, so it must
+                // amortise over well more scalar probes than there are
+                // words — smaller pools probe scalar-wise.
+                let pool_bits = (pool.len() >= 2 * crate::compat::bitset_words(comp.node_count()))
+                    .then(|| {
+                        let mut bits = NodeSet::new(comp.node_count());
+                        for &p in &pool {
+                            bits.insert(p);
+                        }
+                        bits
+                    });
                 *candidates
                     .iter()
                     .max_by_key(|&&c| {
-                        let compat_count = pool
-                            .iter()
-                            .filter(|&&p| p != c && comp.compatible(c, NodeId::new(p.index())))
-                            .count();
+                        let fast = pool_bits.as_ref().and_then(|bits| {
+                            let h = comp.packed_row(c).filter(|h| h.exact())?;
+                            Some(
+                                h.row().intersection_count(bits.words())
+                                    - usize::from(
+                                        bits.contains(c) && h.row().is_compatible(c.index()),
+                                    ),
+                            )
+                        });
+                        let compat_count = fast.unwrap_or_else(|| {
+                            pool.iter()
+                                .filter(|&&p| p != c && comp.compatible(c, NodeId::new(p.index())))
+                                .count()
+                        });
                         (compat_count, std::cmp::Reverse(c.index()))
                     })
                     .expect("candidates non-empty")
@@ -223,6 +270,11 @@ fn grow_team<C: Compatibility + ?Sized>(
         };
         covered.union_with(skills.skills_of(chosen.index()));
         members.push(chosen);
+        if let Some(m) = &mut mask {
+            if !m.intersect_member(comp, chosen) {
+                mask = None;
+            }
+        }
     }
 }
 

@@ -34,8 +34,96 @@ use tfsn_skills::assignment::SkillAssignment;
 use tfsn_skills::task::Task;
 use tfsn_skills::SkillSet;
 
+pub use crate::compat::NodeSet;
+
 use crate::compat::Compatibility;
 use crate::error::TfsnError;
+
+/// The word-parallel candidate filter of the greedy solver: the AND of the
+/// current team members' bit-packed row bitsets
+/// ([`Compatibility::packed_row`]).
+///
+/// Growing a team asks "is candidate `x` compatible with *every* member?"
+/// once per member per candidate on the scalar path. The mask answers it
+/// with a single bit probe: after intersecting each member's row (one
+/// word-wise AND per added member), bit `x` is set iff every member's row
+/// marks `x` compatible.
+///
+/// Soundness under inexact rows: a set bit always implies compatibility
+/// (set bits of a forward-direction row are sound). A clear bit proves
+/// incompatibility only when every intersected row was exact
+/// ([`CandidateMask::is_exact`]); otherwise the caller must fall back to a
+/// scalar [`Compatibility::compatible_with_all`] probe for cleared
+/// candidates.
+#[derive(Debug, Clone)]
+pub struct CandidateMask {
+    words: Vec<u64>,
+    nodes: usize,
+    exact: bool,
+}
+
+impl CandidateMask {
+    /// Starts a mask from the seed member's row. `None` when the relation
+    /// exposes no packed rows — the caller stays on the scalar path.
+    pub fn seeded<C: Compatibility + ?Sized>(comp: &C, seed: NodeId) -> Option<Self> {
+        let handle = comp.packed_row(seed)?;
+        let row = handle.row();
+        Some(CandidateMask {
+            words: row.words().to_vec(),
+            nodes: row.len(),
+            exact: handle.exact(),
+        })
+    }
+
+    /// Re-seeds an existing mask in place (no reallocation) — the greedy
+    /// solver tries many seeds per query and reuses one mask buffer across
+    /// them. Returns `false` when the relation exposes no packed row for
+    /// `seed` (the mask contents are then unspecified and must not be used).
+    pub fn reseed<C: Compatibility + ?Sized>(&mut self, comp: &C, seed: NodeId) -> bool {
+        let Some(handle) = comp.packed_row(seed) else {
+            return false;
+        };
+        let row = handle.row();
+        if self.words.len() == row.words().len() {
+            self.words.copy_from_slice(row.words());
+        } else {
+            self.words.clear();
+            self.words.extend_from_slice(row.words());
+        }
+        self.nodes = row.len();
+        self.exact = handle.exact();
+        true
+    }
+
+    /// Intersects a new member's row into the mask (one word-wise AND).
+    /// Returns `false` when the member has no packed row — the mask is no
+    /// longer maintainable and the caller should drop it.
+    pub fn intersect_member<C: Compatibility + ?Sized>(
+        &mut self,
+        comp: &C,
+        member: NodeId,
+    ) -> bool {
+        let Some(handle) = comp.packed_row(member) else {
+            return false;
+        };
+        for (w, m) in self.words.iter_mut().zip(handle.row().words()) {
+            *w &= m;
+        }
+        self.exact &= handle.exact();
+        true
+    }
+
+    /// `true` iff every intersected row marked `v` compatible.
+    pub fn allows(&self, v: NodeId) -> bool {
+        let v = v.index();
+        v < self.nodes && self.words[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// `true` when a clear bit proves incompatibility with some member.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+}
 
 /// A TFSN problem instance: the pool of users, their relationships and their
 /// skills. (Tasks vary per query and are passed to the solvers separately.)
@@ -160,7 +248,18 @@ impl Team {
     /// distance (paper §4). Returns `None` if some pair has no defined
     /// distance (e.g. an incompatible or disconnected pair); single-member
     /// and empty teams have cost 0.
+    ///
+    /// With packed rows available, each member's row is fetched once and the
+    /// pair scan is direct `u16` loads (the symmetric-closure minimum over
+    /// both directions — a no-op for exact rows) instead of one relation
+    /// probe per pair per direction.
     pub fn diameter<C: Compatibility + ?Sized>(&self, comp: &C) -> Option<u32> {
+        if self.members.len() < 2 {
+            return Some(0);
+        }
+        if let Some(result) = self.diameter_packed(comp) {
+            return result;
+        }
         let mut best = 0u32;
         for (i, &u) in self.members.iter().enumerate() {
             for &v in &self.members[i + 1..] {
@@ -171,6 +270,35 @@ impl Team {
             }
         }
         Some(best)
+    }
+
+    /// The packed-row diameter (outer `None`: some member has no packed row,
+    /// fall back to scalar probes). Sound for inexact rows too: with both
+    /// endpoints' rows in hand, the minimum of the two raw distances *is*
+    /// the symmetric-closure distance ([`UNREACHABLE_DISTANCE`] is
+    /// `u16::MAX`, so `min` carries the sentinel through).
+    ///
+    /// [`UNREACHABLE_DISTANCE`]: crate::compat::UNREACHABLE_DISTANCE
+    fn diameter_packed<C: Compatibility + ?Sized>(&self, comp: &C) -> Option<Option<u32>> {
+        let rows: Vec<crate::compat::RowHandle<'_>> = self
+            .members
+            .iter()
+            .map(|&m| comp.packed_row(m))
+            .collect::<Option<_>>()?;
+        let mut best = 0u16;
+        for (i, &u) in self.members.iter().enumerate() {
+            for (j, &v) in self.members.iter().enumerate().skip(i + 1) {
+                let raw = rows[i]
+                    .row()
+                    .raw_distance(v.index())
+                    .min(rows[j].row().raw_distance(u.index()));
+                if raw == crate::compat::UNREACHABLE_DISTANCE {
+                    return Some(None);
+                }
+                best = best.max(raw);
+            }
+        }
+        Some(Some(u32::from(best)))
     }
 
     /// Sum of pairwise distances — an alternative communication cost

@@ -286,6 +286,180 @@ fn paper_figure_1a_example() {
 }
 
 // ---------------------------------------------------------------------------
+// Bit-packed rows (CompatRow) vs the legacy unpacked representation.
+// ---------------------------------------------------------------------------
+
+/// The pre-bit-packing symmetric closure over unpacked rows, kept here as
+/// the reference the packed matrix must reproduce.
+fn legacy_symmetrize(rows: &mut [tfsn_core::compat::SourceCompatibility]) {
+    let n = rows.len();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let c = rows[u].compatible[v] || rows[v].compatible[u];
+            let d = match (rows[u].distance[v], rows[v].distance[u]) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            rows[u].compatible[v] = c;
+            rows[u].distance[v] = d;
+            rows[v].compatible[u] = c;
+            rows[v].distance[u] = d;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One packed row answers exactly like the unpacked per-source
+    /// computation it was built from — compatibility bits, defined
+    /// distances, and the unreachable sentinel — for every evaluated kind,
+    /// and unpacks back to the identical legacy row.
+    #[test]
+    fn packed_row_matches_legacy_row(g in arb_graph()) {
+        use signed_graph::csr::CsrGraph;
+        use tfsn_core::compat::{compute_source, CompatRow};
+        let csr = CsrGraph::from_graph(&g);
+        let cfg = EngineConfig::default();
+        for kind in CompatibilityKind::EVALUATED {
+            for source in g.nodes() {
+                let legacy = compute_source(&g, &csr, source, kind, &cfg);
+                let packed = CompatRow::from_source(&legacy);
+                prop_assert_eq!(packed.len(), g.node_count());
+                prop_assert_eq!(
+                    packed.compatible_count(),
+                    legacy.compatible.iter().filter(|&&c| c).count()
+                );
+                for v in 0..g.node_count() {
+                    prop_assert_eq!(
+                        packed.is_compatible(v),
+                        legacy.compatible[v],
+                        "{} bit({}, {})", kind, source, v
+                    );
+                    prop_assert_eq!(
+                        packed.distance(v),
+                        legacy.distance[v],
+                        "{} distance({}, {})", kind, source, v
+                    );
+                    if legacy.distance[v].is_none() {
+                        prop_assert_eq!(
+                            packed.raw_distance(v),
+                            tfsn_core::compat::UNREACHABLE_DISTANCE
+                        );
+                    }
+                }
+                // Out-of-range probes are incompatible/undefined, as before.
+                prop_assert!(!packed.is_compatible(g.node_count()));
+                prop_assert_eq!(packed.distance(g.node_count()), None);
+                prop_assert_eq!(packed.to_source(), legacy);
+            }
+        }
+    }
+
+    /// The packed matrix (which symmetrises only the asymmetric kinds and
+    /// stores bitset + `u16` rows) expresses exactly the relation the
+    /// legacy pipeline (unpack every row, symmetrise everything) produced.
+    #[test]
+    fn packed_matrix_matches_legacy_closure(g in arb_graph()) {
+        use signed_graph::csr::CsrGraph;
+        use tfsn_core::compat::compute_source;
+        let csr = CsrGraph::from_graph(&g);
+        let cfg = EngineConfig::default();
+        for kind in CompatibilityKind::EVALUATED {
+            let matrix = CompatibilityMatrix::build_with_config(&g, kind, &cfg);
+            let mut legacy: Vec<_> = g
+                .nodes()
+                .map(|v| compute_source(&g, &csr, v, kind, &cfg))
+                .collect();
+            legacy_symmetrize(&mut legacy);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let expected = u == v || legacy[u.index()].compatible[v.index()];
+                    prop_assert_eq!(
+                        matrix.compatible(u, v),
+                        expected,
+                        "{} compatible({}, {})", kind, u, v
+                    );
+                    let expected_d = if u == v {
+                        Some(0)
+                    } else {
+                        legacy[u.index()].distance[v.index()]
+                    };
+                    prop_assert_eq!(
+                        matrix.distance(u, v),
+                        expected_d,
+                        "{} distance({}, {})", kind, u, v
+                    );
+                }
+            }
+        }
+    }
+
+    /// The greedy solver returns the identical team through the
+    /// word-parallel mask path and through the scalar pair-probe path
+    /// (`ScalarOnly` hides the packed rows), for every algorithm — the
+    /// fast path must be an optimisation, never a behaviour change.
+    #[test]
+    fn masked_greedy_equals_scalar_greedy(g in arb_graph(), seed in 0u64..500) {
+        use tfsn_core::compat::ScalarOnly;
+        let users = g.node_count();
+        let mut skills = SkillAssignment::new(5, users);
+        for u in 0..users {
+            skills.grant(u, SkillId::new(u % 5));
+            if u % 4 == 0 {
+                skills.grant(u, SkillId::new((u + 1) % 5));
+            }
+        }
+        let inst = TfsnInstance::new(&g, &skills);
+        let task = Task::new([SkillId::new(0), SkillId::new(1), SkillId::new(3)]);
+        for kind in [CompatibilityKind::Spa, CompatibilityKind::Sbph, CompatibilityKind::Nne] {
+            let comp = CompatibilityMatrix::build(&g, kind);
+            let scalar = ScalarOnly(&comp);
+            for alg in TeamAlgorithm::ALL {
+                let cfg = GreedyConfig { random_seed: seed, ..Default::default() };
+                let masked = solve_greedy(&inst, &comp, &task, alg, &cfg);
+                let scalar_result = solve_greedy(&inst, &scalar, &task, alg, &cfg);
+                prop_assert_eq!(
+                    &masked, &scalar_result,
+                    "{}/{}: mask path diverged from scalar path", kind, alg
+                );
+                if let Ok(team) = masked {
+                    prop_assert_eq!(team.diameter(&comp), team.diameter(&scalar));
+                }
+            }
+        }
+    }
+}
+
+/// `row_bytes` must account the packed row's real heap footprint (the
+/// constructors allocate exact-capacity vectors), and the pre-computation
+/// estimate must agree with it.
+#[test]
+fn row_bytes_matches_real_heap_footprint() {
+    use tfsn_core::compat::{estimated_row_bytes, row_bytes, CompatibilityMatrix};
+    for nodes in [1usize, 7, 63, 64, 65, 200] {
+        let g = social_network(&SocialNetworkConfig {
+            nodes,
+            edges: nodes.saturating_sub(1),
+            negative_fraction: 0.2,
+            seed: 9,
+            ..Default::default()
+        });
+        let m = CompatibilityMatrix::build(&g, CompatibilityKind::Spo);
+        for row in m.rows() {
+            let heap = std::mem::size_of_val(row.words()) + row.len() * std::mem::size_of::<u16>();
+            assert_eq!(
+                row_bytes(row),
+                std::mem::size_of_val(row) + heap,
+                "{nodes} nodes: accounted bytes must equal struct + heap payload"
+            );
+            assert_eq!(row.words().len(), nodes.div_ceil(64));
+            assert_eq!(row_bytes(row), estimated_row_bytes(nodes));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tiered row store (LazyCompatibility) vs the materialised matrix.
 // ---------------------------------------------------------------------------
 

@@ -403,7 +403,7 @@ fn serve_batch(
         err,
         "[tfsn] {} on {}: {} queries in {:.3}s ({:.0} q/s), {} solved, \
          {} cache hits, {} matrix builds, {} row builds, {} evictions, \
-         {} resident bytes, mean latency {:.0}µs",
+         {} resident rows, {} resident bytes, mean latency {:.0}µs",
         engine.deployment().name(),
         format_args!(
             "{}n/{}m",
@@ -418,6 +418,7 @@ fn serve_batch(
         metrics.matrix_builds,
         metrics.row_builds,
         metrics.row_evictions,
+        metrics.resident_rows,
         metrics.resident_bytes,
         summary.mean_micros,
     )
@@ -443,8 +444,12 @@ struct ServingPlan {
     tier: String,
     /// Estimated bytes of one fully materialised matrix.
     estimated_matrix_bytes: u64,
-    /// Estimated bytes of a single cached row.
+    /// Estimated bytes of a single cached bit-packed row (1 bit + 2 bytes
+    /// per node plus the row header).
     estimated_row_bytes: u64,
+    /// How many bit-packed rows the configured budget keeps resident per
+    /// relation kind (`None` without a budget: unbounded).
+    budget_resident_rows: Option<u64>,
 }
 
 /// `stats` output: dataset statistics plus the serving plan.
@@ -466,6 +471,9 @@ fn stats(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
             tier: policy.tier_for(nodes).label().to_string(),
             estimated_matrix_bytes: estimated_matrix_bytes(nodes) as u64,
             estimated_row_bytes: estimated_row_bytes(nodes) as u64,
+            budget_resident_rows: policy
+                .memory_budget
+                .map(|b| (b / estimated_row_bytes(nodes).max(1)) as u64),
         },
     };
     let json = serde_json::to_string_pretty(&output)

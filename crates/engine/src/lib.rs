@@ -141,6 +141,7 @@ impl Engine {
         snap.matrix_builds = self.store.build_count() as u64;
         snap.row_builds = self.store.row_build_count() as u64;
         snap.row_evictions = self.store.row_eviction_count() as u64;
+        snap.resident_rows = self.store.resident_row_count() as u64;
         snap.resident_bytes = self.store.resident_bytes() as u64;
         snap
     }

@@ -66,6 +66,7 @@ impl EngineMetrics {
             matrix_builds: 0,
             row_builds: 0,
             row_evictions: 0,
+            resident_rows: 0,
             resident_bytes: 0,
         }
     }
@@ -103,6 +104,8 @@ pub struct MetricsSnapshot {
     pub row_builds: u64,
     /// Rows evicted to stay within the memory budget (row tier).
     pub row_evictions: u64,
+    /// Per-source rows currently resident across row-tier shards.
+    pub resident_rows: u64,
     /// Bytes currently resident across relation tiers (estimated for
     /// matrices, exact for rows).
     pub resident_bytes: u64,
@@ -156,6 +159,7 @@ mod tests {
         snap.matrix_builds = 2;
         snap.row_builds = 17;
         snap.row_evictions = 5;
+        snap.resident_rows = 12;
         snap.resident_bytes = 4096;
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"row_evictions\":5"));

@@ -277,6 +277,13 @@ impl RelationStore {
         self.fold_rows(0, |acc, rows| acc + rows.eviction_count())
     }
 
+    /// Rows currently resident across all row-tier shards — the gauge the
+    /// bit-packed row layout moves: the same `--memory-budget` holds ~4×
+    /// more rows than the unpacked 9-bytes-per-node layout did.
+    pub fn resident_row_count(&self) -> usize {
+        self.fold_rows(0, |acc, rows| acc + rows.cached_rows())
+    }
+
     /// Bytes currently resident across all shards: estimated footprint of
     /// materialised matrices plus exact resident row bytes.
     pub fn resident_bytes(&self) -> usize {
