@@ -21,9 +21,15 @@
 //!   resident rows and evictions under the byte budget, against the row
 //!   capacity the unpacked 9-bytes-per-node layout had under the same
 //!   budget (the ≥4× residency measurement).
+//! * `service` — the transport-layer throughput: one `Service` with two
+//!   named deployments behind the hand-rolled HTTP/1.1 front-end, hammered
+//!   warm by 4 keep-alive client threads posting `/v1/batch` JSONL, against
+//!   the same streams through the in-process CLI transport
+//!   (`Service::stream_batch`). The `http_qps` figure is the PR 4
+//!   acceptance number.
 //!
 //! Usage: `bench-report [--quick] [--output PATH]` — the default output is
-//! `bench-report.local.json`; pass `--output BENCH_PR3.json` explicitly to
+//! `bench-report.local.json`; pass `--output BENCH_PR4.json` explicitly to
 //! refresh the committed cross-PR artifact.
 //!
 //! [`CandidateMask`]: tfsn_core::team::CandidateMask
@@ -123,6 +129,29 @@ struct RowModeReport {
     residency_gain: f64,
 }
 
+/// The service-layer throughput measurement (see the module docs).
+#[derive(Debug, Serialize)]
+struct ServiceReport {
+    /// The registry the one service instance served.
+    deployments: Vec<String>,
+    /// Concurrent HTTP client threads (each one keep-alive connection).
+    client_threads: u64,
+    /// `/v1/batch` requests per client.
+    requests_per_client: u64,
+    /// Queries per request body.
+    queries_per_request: u64,
+    /// Total queries answered over HTTP during the measured storm.
+    total_queries: u64,
+    /// Wall-clock seconds of the storm.
+    wall_seconds: f64,
+    /// Warm HTTP throughput, queries/second (the acceptance figure).
+    http_qps: f64,
+    /// The same per-client streams through `Service::stream_batch`
+    /// directly (the CLI transport), same thread count — the HTTP framing
+    /// overhead is the gap to this.
+    inprocess_qps: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     schema: &'static str,
@@ -131,6 +160,7 @@ struct Report {
     /// `figure2_greedy` masked-over-scalar speedup per (kind, algorithm).
     speedups: Vec<(String, f64)>,
     row_mode: RowModeReport,
+    service: ServiceReport,
 }
 
 fn median(mut xs: Vec<u64>) -> u64 {
@@ -315,6 +345,142 @@ fn row_mode_report(quick: bool, groups: &mut Vec<Group>) -> RowModeReport {
     report
 }
 
+fn service_report(quick: bool, groups: &mut Vec<Group>) -> ServiceReport {
+    use std::sync::Arc;
+    use tfsn_engine::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+    use tfsn_engine::server::{HttpServer, ServerOptions};
+    use tfsn_engine::service::{Service, ServiceOptions};
+    use tfsn_engine::{HttpClient, Request, RequestBody, Response};
+
+    let kinds = [
+        CompatibilityKind::Spa,
+        CompatibilityKind::Spo,
+        CompatibilityKind::Nne,
+    ];
+    let registry = DeploymentRegistry::new(vec![
+        DeploymentConfig::new("slashdot", DeploymentSource::Slashdot),
+        DeploymentConfig::new("epinions", DeploymentSource::Epinions { scale: 0.05 }),
+    ])
+    .expect("two named deployments");
+    let deployments: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+    let service = Arc::new(Service::with_options(
+        registry,
+        ServiceOptions {
+            chunk: 1024,
+            ..Default::default()
+        },
+    ));
+    let server = HttpServer::bind(
+        service.clone(),
+        "127.0.0.1:0",
+        ServerOptions {
+            threads: 4,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    for deployment in &deployments {
+        let response = service.handle(
+            &Request::new(RequestBody::Warm {
+                kinds: kinds.to_vec(),
+            })
+            .on(deployment.clone()),
+        );
+        assert!(
+            matches!(response, Response::Warmed { .. }),
+            "warm-up failed: {response:?}"
+        );
+    }
+
+    let queries_per_request: usize = if quick { 100 } else { 500 };
+    let requests_per_client: usize = if quick { 4 } else { 16 };
+    let client_threads = 4usize;
+    let body: String = (0..queries_per_request)
+        .map(|i| {
+            format!(
+                "{{\"id\": {i}, \"kind\": \"{}\", \"task\": [{}, {}, {}]}}\n",
+                kinds[i % kinds.len()].label(),
+                i % 9,
+                (i * 3 + 1) % 9,
+                (i * 7 + 2) % 9
+            )
+        })
+        .collect();
+
+    // The HTTP storm: 4 keep-alive clients, split across the deployments.
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..client_threads {
+            let body = &body;
+            let deployment = &deployments[t % deployments.len()];
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).expect("connect to bench server");
+                let target = format!("/v1/batch?deployment={deployment}&timing=false");
+                for _ in 0..requests_per_client {
+                    let reply = client.post(&target, body).expect("bench batch request");
+                    assert_eq!(reply.status, 200);
+                    assert!(!reply.body.is_empty());
+                    std::hint::black_box(reply.body);
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let total_queries = (client_threads * requests_per_client * queries_per_request) as u64;
+    let http_qps = total_queries as f64 / wall.max(1e-9);
+
+    // The same streams through the CLI transport (no HTTP framing).
+    let inprocess_start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..client_threads {
+            let body = &body;
+            let service = &service;
+            let deployment = &deployments[t % deployments.len()];
+            scope.spawn(move || {
+                for _ in 0..requests_per_client {
+                    let mut sink = Vec::new();
+                    service
+                        .stream_batch(
+                            Some(deployment),
+                            std::io::Cursor::new(body.as_bytes()),
+                            &mut sink,
+                            false,
+                        )
+                        .expect("in-process stream");
+                    std::hint::black_box(sink);
+                }
+            });
+        }
+    });
+    let inprocess_wall = inprocess_start.elapsed().as_secs_f64();
+    let inprocess_qps = total_queries as f64 / inprocess_wall.max(1e-9);
+    server.shutdown();
+
+    groups.push(Group {
+        name: "service_http_batch/2-deployments/4-clients".to_string(),
+        median_ns_per_op: (wall * 1e9) as u64 / total_queries.max(1),
+        ops_per_iter: total_queries,
+        samples: 1,
+    });
+    let report = ServiceReport {
+        deployments,
+        client_threads: client_threads as u64,
+        requests_per_client: requests_per_client as u64,
+        queries_per_request: queries_per_request as u64,
+        total_queries,
+        wall_seconds: wall,
+        http_qps,
+        inprocess_qps,
+    };
+    eprintln!(
+        "service: {} warm queries over HTTP in {:.3}s -> {:.0} q/s \
+         (in-process transport: {:.0} q/s)",
+        report.total_queries, report.wall_seconds, report.http_qps, report.inprocess_qps
+    );
+    report
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -352,12 +518,14 @@ fn main() {
     let mut speedups = Vec::new();
     greedy_groups(quick, &mut groups, &mut speedups);
     let row_mode = row_mode_report(quick, &mut groups);
+    let service = service_report(quick, &mut groups);
     let report = Report {
-        schema: "tfsn-bench-report/v1",
+        schema: "tfsn-bench-report/v2",
         quick,
         groups,
         speedups,
         row_mode,
+        service,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     let mut file =

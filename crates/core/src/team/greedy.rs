@@ -19,7 +19,7 @@ use tfsn_skills::task::Task;
 use tfsn_skills::{SkillId, SkillSet};
 
 use super::policies::{SkillPolicy, TeamAlgorithm, UserPolicy};
-use super::{CandidateMask, NodeSet, Team, TfsnInstance};
+use super::{CandidateMask, NodeSet, SolveScratch, Team, TfsnInstance};
 use crate::compat::Compatibility;
 use crate::error::TfsnError;
 use crate::skill_compat::TaskSkillDegrees;
@@ -86,6 +86,23 @@ pub fn solve_greedy_with_stats<C: Compatibility + ?Sized>(
     algorithm: TeamAlgorithm,
     config: &GreedyConfig,
 ) -> Result<(Team, GreedyStats), TfsnError> {
+    let mut scratch = SolveScratch::new();
+    solve_greedy_with_scratch(instance, comp, task, algorithm, config, &mut scratch)
+}
+
+/// Like [`solve_greedy_with_stats`], but reuses the caller's
+/// [`SolveScratch`] instead of allocating a fresh candidate-mask buffer —
+/// the entry point for serving layers answering many queries per thread.
+/// The scratch carries capacity only, never query state, so results are
+/// identical to the allocating path.
+pub fn solve_greedy_with_scratch<C: Compatibility + ?Sized>(
+    instance: &TfsnInstance<'_>,
+    comp: &C,
+    task: &Task,
+    algorithm: TeamAlgorithm,
+    config: &GreedyConfig,
+    scratch: &mut SolveScratch,
+) -> Result<(Team, GreedyStats), TfsnError> {
     let skills = instance.skills();
     let mut stats = GreedyStats::default();
     if task.is_empty() {
@@ -126,9 +143,10 @@ pub fn solve_greedy_with_stats<C: Compatibility + ?Sized>(
     let seed_users: Vec<u32> = skills.users_with_skill(first_skill).to_vec();
     let seed_limit = config.max_seeds.unwrap_or(usize::MAX);
 
-    // One mask buffer shared by every seed (re-seeded in place), so the
-    // word-parallel fast path allocates once per solve, not once per seed.
-    let mut mask_buf: Option<CandidateMask> = None;
+    // One mask buffer shared by every seed (re-seeded in place) — and, via
+    // the caller's scratch, across solves: the word-parallel fast path
+    // allocates once per worker thread, not once per query.
+    let mask_buf = &mut scratch.mask;
     let mut best: Option<(Team, u64)> = None;
     for &seed in seed_users.iter().take(seed_limit) {
         stats.seeds_tried += 1;
@@ -142,7 +160,7 @@ pub fn solve_greedy_with_stats<C: Compatibility + ?Sized>(
             &select_skill,
             &mut rng,
             &mut stats,
-            &mut mask_buf,
+            mask_buf,
         ) {
             stats.seeds_succeeded += 1;
             let cost = team.diameter(comp).map(u64::from).unwrap_or(u64::MAX);

@@ -123,6 +123,41 @@ impl CandidateMask {
     pub fn is_exact(&self) -> bool {
         self.exact
     }
+
+    /// Words currently allocated for the bitset (a reuse test hook).
+    pub fn word_capacity(&self) -> usize {
+        self.words.capacity()
+    }
+}
+
+/// Reusable solver scratch space: buffers a solve needs that are worth
+/// keeping warm *across* solves — today the [`CandidateMask`] word buffer,
+/// which is `O(|V|/64)` and otherwise reallocated once per query.
+///
+/// Serving layers that answer many queries per thread (the engine's batch
+/// workers) hold one `SolveScratch` per worker thread and pass it to
+/// [`Solver::solve_with_scratch`](solver::Solver::solve_with_scratch); the
+/// mask buffer is then reseeded in place instead of reallocated. The scratch
+/// carries no query state between solves — only capacity — so reusing it
+/// never changes answers, and a buffer sized for one graph resizes itself
+/// when the next solve targets a differently-sized deployment.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    /// The candidate-mask buffer (`None` until the first packed-row solve).
+    pub(crate) mask: Option<CandidateMask>,
+}
+
+impl SolveScratch {
+    /// An empty scratch; buffers allocate on first use.
+    pub fn new() -> Self {
+        SolveScratch::default()
+    }
+
+    /// Words currently allocated in the mask buffer (0 before first use) —
+    /// lets tests assert the allocation survives across solves.
+    pub fn mask_word_capacity(&self) -> usize {
+        self.mask.as_ref().map_or(0, CandidateMask::word_capacity)
+    }
 }
 
 /// A TFSN problem instance: the pool of users, their relationships and their

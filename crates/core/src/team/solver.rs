@@ -11,9 +11,9 @@ use serde::{Deserialize, Serialize};
 use tfsn_skills::task::Task;
 
 use super::exhaustive::solve_exhaustive;
-use super::greedy::{solve_greedy, GreedyConfig};
+use super::greedy::{solve_greedy, solve_greedy_with_scratch, GreedyConfig};
 use super::policies::TeamAlgorithm;
-use super::{Team, TfsnInstance};
+use super::{SolveScratch, Team, TfsnInstance};
 use crate::compat::Compatibility;
 use crate::error::TfsnError;
 
@@ -67,6 +67,27 @@ impl Solver {
         match self {
             Solver::Greedy { algorithm, config } => {
                 solve_greedy(instance, comp, task, *algorithm, config)
+            }
+            Solver::Exhaustive => solve_exhaustive(instance, comp, task),
+        }
+    }
+
+    /// Like [`Solver::solve`], but reuses the caller's [`SolveScratch`]
+    /// (today: the greedy candidate-mask buffer) instead of allocating per
+    /// solve. Strategies without scratchable state ignore it. Answers are
+    /// identical to [`Solver::solve`] — the scratch carries capacity, not
+    /// query state.
+    pub fn solve_with_scratch<C: Compatibility + ?Sized>(
+        &self,
+        instance: &TfsnInstance<'_>,
+        comp: &C,
+        task: &Task,
+        scratch: &mut SolveScratch,
+    ) -> Result<Team, TfsnError> {
+        match self {
+            Solver::Greedy { algorithm, config } => {
+                solve_greedy_with_scratch(instance, comp, task, *algorithm, config, scratch)
+                    .map(|(team, _)| team)
             }
             Solver::Exhaustive => solve_exhaustive(instance, comp, task),
         }
@@ -127,6 +148,38 @@ mod tests {
         assert_eq!(Solver::Exhaustive.label(), "EXHAUSTIVE");
         assert_eq!(Solver::default().to_string(), "LCMD");
         assert_eq!(Solver::greedy(TeamAlgorithm::RFMC).label(), "RFMC");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_allocating_path_and_keeps_the_buffer() {
+        let (g, skills) = setup();
+        let inst = TfsnInstance::new(&g, &skills);
+        let task = Task::new([SkillId::new(0), SkillId::new(1)]);
+        let solver = Solver::default_greedy();
+        let mut scratch = SolveScratch::new();
+        assert_eq!(scratch.mask_word_capacity(), 0);
+        for kind in [CompatibilityKind::Spa, CompatibilityKind::Nne] {
+            let comp = CompatibilityMatrix::build(&g, kind);
+            let fresh = solver.solve(&inst, &comp, &task).unwrap();
+            let reused = solver
+                .solve_with_scratch(&inst, &comp, &task, &mut scratch)
+                .unwrap();
+            assert_eq!(
+                fresh, reused,
+                "{kind}: scratch path must not change answers"
+            );
+        }
+        let words = scratch.mask_word_capacity();
+        assert!(words > 0, "packed-row solve must have seeded the buffer");
+        let comp = CompatibilityMatrix::build(&g, CompatibilityKind::Spa);
+        solver
+            .solve_with_scratch(&inst, &comp, &task, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            scratch.mask_word_capacity(),
+            words,
+            "same-size solves must reuse the allocation"
+        );
     }
 
     #[test]

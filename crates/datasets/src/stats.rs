@@ -36,22 +36,38 @@ pub struct DatasetStats {
 impl DatasetStats {
     /// Computes the statistics of a dataset.
     pub fn compute(dataset: &Dataset) -> Self {
-        let g = &dataset.graph;
-        let (diameter, diameter_exact) = if g.node_count() <= EXACT_DIAMETER_LIMIT {
-            (exact_diameter(g), true)
+        Self::compute_parts(
+            &dataset.name,
+            &dataset.graph,
+            &dataset.universe,
+            &dataset.skills,
+        )
+    }
+
+    /// Like [`DatasetStats::compute`], but over borrowed parts — for
+    /// callers (the serving layer's deployments) that hold the graph and
+    /// skills behind separate handles rather than as one owned `Dataset`.
+    pub fn compute_parts(
+        name: &str,
+        graph: &signed_graph::SignedGraph,
+        universe: &tfsn_skills::SkillUniverse,
+        skills: &tfsn_skills::assignment::SkillAssignment,
+    ) -> Self {
+        let (diameter, diameter_exact) = if graph.node_count() <= EXACT_DIAMETER_LIMIT {
+            (exact_diameter(graph), true)
         } else {
-            (approximate_diameter(g, 8, 0xD1A3), false)
+            (approximate_diameter(graph, 8, 0xD1A3), false)
         };
         DatasetStats {
-            name: dataset.name.clone(),
-            users: g.node_count(),
-            edges: g.edge_count(),
-            negative_edges: g.negative_edge_count(),
-            negative_percentage: 100.0 * g.negative_edge_fraction(),
+            name: name.to_string(),
+            users: graph.node_count(),
+            edges: graph.edge_count(),
+            negative_edges: graph.negative_edge_count(),
+            negative_percentage: 100.0 * graph.negative_edge_fraction(),
             diameter,
             diameter_exact,
-            skills: dataset.universe.len(),
-            mean_skills_per_user: dataset.skills.mean_skills_per_user(),
+            skills: universe.len(),
+            mean_skills_per_user: skills.mean_skills_per_user(),
         }
     }
 }

@@ -30,6 +30,14 @@ pub enum AnswerStatus {
 }
 
 impl AnswerStatus {
+    /// Every status, for exhaustive wire-format tests.
+    pub const ALL: [AnswerStatus; 4] = [
+        AnswerStatus::Ok,
+        AnswerStatus::NoTeam,
+        AnswerStatus::Uncoverable,
+        AnswerStatus::BudgetExceeded,
+    ];
+
     /// The wire label.
     pub fn label(self) -> &'static str {
         match self {
@@ -90,6 +98,17 @@ pub struct TeamAnswer {
     /// touched was resident, or it only waited on a build another query was
     /// running. Misses therefore equal build events exactly.
     pub cache_hit: bool,
+}
+
+impl TeamAnswer {
+    /// Zeroes the latency fields (`micros`, `build_micros`), the only
+    /// run-dependent part of an answer. The protocol's `timing: false`
+    /// option applies this so the same warm query stream yields
+    /// byte-identical JSONL on every transport and run.
+    pub fn strip_timing(&mut self) {
+        self.micros = 0;
+        self.build_micros = 0;
+    }
 }
 
 impl Serialize for TeamAnswer {

@@ -43,14 +43,15 @@ pub fn run(engine: &Engine, queries: &[TeamQuery], options: &BatchOptions) -> Ve
 }
 
 /// Summary statistics of one executed batch, for CLI/bench reporting.
-#[derive(Debug, Clone, PartialEq)]
+/// Streamed batches build theirs chunk by chunk via [`BatchSummary::absorb`].
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchSummary {
     /// Number of queries.
     pub queries: usize,
     /// Number answered `ok`.
     pub solved: usize,
-    /// Mean in-engine latency per query, microseconds.
-    pub mean_micros: f64,
+    /// Total in-engine latency across queries, microseconds.
+    pub total_micros: u64,
     /// Queries whose matrix was already cached.
     pub cache_hits: usize,
 }
@@ -67,12 +68,25 @@ impl BatchSummary {
         BatchSummary {
             queries: answers.len(),
             solved,
-            mean_micros: if answers.is_empty() {
-                0.0
-            } else {
-                total_micros as f64 / answers.len() as f64
-            },
+            total_micros,
             cache_hits,
+        }
+    }
+
+    /// Folds another (chunk) summary into this one.
+    pub fn absorb(&mut self, other: &BatchSummary) {
+        self.queries += other.queries;
+        self.solved += other.solved;
+        self.total_micros += other.total_micros;
+        self.cache_hits += other.cache_hits;
+    }
+
+    /// Mean in-engine latency per query, microseconds.
+    pub fn mean_micros(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.queries as f64
         }
     }
 }

@@ -2,45 +2,60 @@
 //!
 //! ```text
 //! tfsn serve-batch [deployment flags] [serving flags] [--input F] [--output F]
-//!                  [--threads N] [--warm]
+//!                  [--threads N] [--chunk N] [--warm] [--no-timing]
+//! tfsn serve-http  [deployment flags] [serving flags] [--addr HOST:PORT]
+//!                  [--http-threads N] [--threads N] [--chunk N]
 //! tfsn stats       [deployment flags] [serving flags]
-//! tfsn gen         [deployment flags] [--queries N] [--task-size K]
+//! tfsn gen         [dataset flags] [--queries N] [--task-size K]
 //!                  [--kinds CSV] [--algorithms CSV] [--output F] [--seed S]
 //! ```
 //!
-//! Serving flags (`serve-batch`, `stats`):
+//! `serve-batch`, `serve-http` and `stats` are thin transports over one
+//! [`crate::Service`]: they build a [`crate::DeploymentRegistry`] from the
+//! deployment flags, then speak the versioned protocol of [`crate::proto`].
+//!
+//! Deployment flags (`serve-batch`, `serve-http`, `stats`):
+//!
+//! ```text
+//! --deployment NAME=SPEC   register a named deployment (repeatable); SPEC is
+//!                          slashdot | epinions[:scale] | wikipedia[:scale]
+//!                          | synthetic[:nodes=..,edges=..,skills=..,neg=..,seed=..]
+//! --select NAME            deployment this invocation targets (default: first)
+//! ```
+//!
+//! Without `--deployment`, the classic dataset flags (`--dataset`,
+//! `--scale`, `--nodes`, …) register a single deployment under the
+//! dataset's name.
+//!
+//! Serving flags (`serve-batch`, `serve-http`, `stats`):
 //!
 //! ```text
 //! --serving-mode auto|matrix|rows   tier selection (default auto)
 //! --memory-budget BYTES[K|M|G]      resident-byte cap per relation kind
 //! ```
 //!
-//! Deployment flags (shared by all subcommands):
-//!
-//! ```text
-//! --dataset slashdot|epinions|wikipedia|synthetic   (default slashdot)
-//! --scale F          scale factor for epinions/wikipedia (default 0.05)
-//! --nodes N          synthetic: users            (default 1000)
-//! --edges M          synthetic: edges            (default 5 * nodes)
-//! --skills K         synthetic: skill universe   (default 200)
-//! --neg-fraction F   synthetic: negative edges   (default 0.2)
-//! --seed S           synthetic: generator seed   (default 42)
-//! ```
-//!
 //! `serve-batch` reads one [`crate::TeamQuery`] JSON object per input line
-//! and writes one [`crate::TeamAnswer`] JSON object per output line (input
-//! order preserved); a human-readable summary goes to stderr.
+//! and **streams** one [`crate::TeamAnswer`] JSON object per output line:
+//! queries go through the engine in bounded chunks (`--chunk`, default
+//! 1024) and answers are written as each chunk completes, in input order —
+//! million-query files never sit fully in memory. A human-readable summary
+//! goes to stderr. `--no-timing` zeroes the per-answer latency fields so
+//! the output of a warm run is byte-identical across transports and runs.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use std::time::Instant;
 
-use serde::Serialize;
-use tfsn_core::compat::{estimated_matrix_bytes, estimated_row_bytes, CompatibilityKind};
-use tfsn_datasets::{synthetic, Dataset, DatasetSpec, DatasetStats};
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_datasets::{synthetic, Dataset, DatasetSpec};
 use tfsn_skills::taskgen::random_coverable_tasks;
 
-use crate::batch::BatchSummary;
-use crate::{BatchOptions, Deployment, Engine, EngineOptions, ServingMode, StorePolicy, TeamQuery};
+use crate::proto::{Request, RequestBody, Response};
+use crate::query::QueryReader;
+use crate::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+use crate::server::{HttpServer, ServerOptions};
+use crate::service::{Service, ServiceOptions, StreamError};
+use crate::{BatchOptions, Deployment, EngineOptions, ServingMode, StorePolicy, TeamQuery};
 
 /// Runs the CLI with the given arguments (exclusive of the program name);
 /// returns the process exit code.
@@ -66,15 +81,22 @@ usage: tfsn <subcommand> [flags]
 
 subcommands:
   serve-batch   answer a JSONL batch of team queries (stdin/file -> stdout/file)
+  serve-http    serve the query engine over HTTP/1.1 (long-lived process)
   stats         print deployment statistics as JSON
   gen           generate a JSONL query workload for the deployment
 
-deployment flags (all subcommands):
+deployment flags (serve-batch, serve-http, stats):
+  --deployment NAME=SPEC   register a named deployment (repeatable); SPEC:
+                           slashdot | epinions[:scale] | wikipedia[:scale] |
+                           synthetic[:nodes=..,edges=..,skills=..,neg=..,seed=..]
+  --select NAME            deployment this invocation targets (default: first)
+
+dataset flags (single-deployment fallback; also gen):
   --dataset slashdot|epinions|wikipedia|synthetic   (default slashdot)
   --scale F           scale for epinions/wikipedia (default 0.05)
   --nodes N --edges M --skills K --neg-fraction F --seed S   (synthetic)
 
-serving flags (serve-batch, stats):
+serving flags (serve-batch, serve-http, stats):
   --serving-mode M    auto|matrix|rows (default auto: materialise when the
                       full matrix fits the budget, row-mode otherwise)
   --memory-budget B   resident-byte cap per relation kind, e.g. 512M, 2G,
@@ -84,9 +106,19 @@ serve-batch flags:
   --input FILE        JSONL queries (default: stdin)
   --output FILE       JSONL answers (default: stdout)
   --threads N         batch worker threads (default: all cores)
-  --warm              pre-build every matrix-tier relation the batch needs
-                      before timing (row-tier kinds only get their store
-                      created; rows still fill on demand)
+  --chunk N           queries per streamed chunk (default 1024)
+  --warm              pre-build every evaluated relation of the selected
+                      deployment before timing (row-tier kinds only get
+                      their store created; rows still fill on demand)
+  --no-timing         zero per-answer latency fields (byte-stable output)
+
+serve-http flags:
+  --addr HOST:PORT    bind address (default 127.0.0.1:7878; port 0 picks an
+                      ephemeral port, printed on startup)
+  --http-threads N    connection acceptor threads (default 4; each accepted
+                      connection gets its own handler thread, capped at 256)
+  --threads N         batch worker threads per request (default: all cores)
+  --chunk N           queries per streamed chunk for /v1/batch (default 1024)
 
 gen flags:
   --queries N         number of queries (default 100)
@@ -116,9 +148,9 @@ struct Flags<'a> {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["--warm"];
+const BOOLEAN_FLAGS: &[&str] = &["--warm", "--no-timing"];
 
-/// Deployment flags accepted by every subcommand.
+/// Deployment/dataset flags accepted by every subcommand.
 const DEPLOYMENT_FLAGS: &[&str] = &[
     "--dataset",
     "--scale",
@@ -165,6 +197,15 @@ impl<'a> Flags<'a> {
             .and_then(|(_, v)| *v)
     }
 
+    /// Every occurrence of a repeatable flag, in order.
+    fn get_all(&self, flag: &str) -> Vec<&'a str> {
+        self.pairs
+            .iter()
+            .filter(|(f, _)| *f == flag)
+            .filter_map(|(_, v)| *v)
+            .collect()
+    }
+
     fn has(&self, flag: &str) -> bool {
         self.pairs.iter().any(|(f, _)| *f == flag)
     }
@@ -179,6 +220,13 @@ impl<'a> Flags<'a> {
     }
 }
 
+const SERVING_FLAGS: &[&str] = &[
+    "--serving-mode",
+    "--memory-budget",
+    "--deployment",
+    "--select",
+];
+
 fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
     let Some(subcommand) = args.first() else {
         return Err(usage("missing subcommand"));
@@ -186,21 +234,26 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
     let rest = &args[1..];
     match subcommand.as_str() {
         "serve-batch" => {
-            let flags = Flags::parse(
-                rest,
-                &[
-                    "--input",
-                    "--output",
-                    "--threads",
-                    "--warm",
-                    "--serving-mode",
-                    "--memory-budget",
-                ],
-            )?;
+            let mut allowed = vec![
+                "--input",
+                "--output",
+                "--threads",
+                "--chunk",
+                "--warm",
+                "--no-timing",
+            ];
+            allowed.extend_from_slice(SERVING_FLAGS);
+            let flags = Flags::parse(rest, &allowed)?;
             serve_batch(&flags, out, err)
         }
+        "serve-http" => {
+            let mut allowed = vec!["--addr", "--http-threads", "--threads", "--chunk"];
+            allowed.extend_from_slice(SERVING_FLAGS);
+            let flags = Flags::parse(rest, &allowed)?;
+            serve_http(&flags, err)
+        }
         "stats" => {
-            let flags = Flags::parse(rest, &["--serving-mode", "--memory-budget"])?;
+            let flags = Flags::parse(rest, SERVING_FLAGS)?;
             stats(&flags, out)
         }
         "gen" => {
@@ -224,7 +277,7 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
     }
 }
 
-/// Builds the dataset selected by the deployment flags.
+/// Builds the dataset selected by the classic dataset flags.
 fn load_dataset(flags: &Flags<'_>) -> Result<Dataset, CliError> {
     let scale: f64 = flags.parse_num("--scale", 0.05)?;
     match flags.get("--dataset").unwrap_or("slashdot") {
@@ -285,20 +338,11 @@ fn open_output<'a>(
     }
 }
 
-/// Reads a JSONL query batch; errors carry the 1-based line number.
+/// Reads a whole JSONL query batch into memory; errors carry the 1-based
+/// line number. (The serving paths stream via [`QueryReader`] instead; this
+/// stays for tests and small workloads.)
 pub fn read_queries(reader: impl BufRead) -> Result<Vec<TeamQuery>, String> {
-    let mut queries = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("line {}: read error: {e}", lineno + 1))?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let query: TeamQuery =
-            serde_json::from_str(trimmed).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        queries.push(query);
-    }
-    Ok(queries)
+    QueryReader::new(reader).collect()
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` suffix (binary units).
@@ -336,40 +380,146 @@ fn parse_policy(flags: &Flags<'_>) -> Result<StorePolicy, CliError> {
     })
 }
 
+/// Builds the service (deployment registry + execution options) plus the
+/// selected deployment name from the serving flags.
+fn build_service(flags: &Flags<'_>) -> Result<(Service, Option<String>), CliError> {
+    let policy = parse_policy(flags)?;
+    let options = EngineOptions {
+        policy,
+        ..Default::default()
+    };
+    let specs = flags.get_all("--deployment");
+    let configs = if specs.is_empty() {
+        let dataset = load_dataset(flags)?;
+        vec![DeploymentConfig {
+            name: dataset.name.clone(),
+            source: DeploymentSource::Prebuilt(Deployment::from_dataset(dataset)),
+            options,
+        }]
+    } else {
+        // Every dataset flag is exclusive with --deployment — otherwise
+        // `--deployment big=epinions --scale 0.5` would silently serve the
+        // SPEC default scale while the user's flag does nothing.
+        if let Some(flag) = DEPLOYMENT_FLAGS.iter().find(|f| flags.has(f)) {
+            return Err(usage(format!(
+                "--deployment and {flag} are mutually exclusive (put the \
+                 parameters in the deployment SPEC instead)",
+            )));
+        }
+        specs
+            .iter()
+            .map(|entry| {
+                let (name, spec) = entry.split_once('=').ok_or_else(|| {
+                    usage(format!(
+                        "flag `--deployment`: expected NAME=SPEC, got `{entry}`"
+                    ))
+                })?;
+                let source = DeploymentSource::parse(spec)
+                    .map_err(|e| usage(format!("flag `--deployment {entry}`: {e}")))?;
+                Ok(DeploymentConfig {
+                    name: name.to_string(),
+                    source,
+                    options: options.clone(),
+                })
+            })
+            .collect::<Result<Vec<_>, CliError>>()?
+    };
+    let registry = DeploymentRegistry::new(configs).map_err(usage)?;
+    let select = match flags.get("--select") {
+        None => None,
+        Some(name) => {
+            if !registry.names().contains(&name) {
+                return Err(usage(format!(
+                    "flag `--select`: unknown deployment `{name}` (available: {})",
+                    registry.names().join(", ")
+                )));
+            }
+            Some(name.to_string())
+        }
+    };
+    let threads: usize = flags.parse_num("--threads", 0)?;
+    let batch = if threads == 0 {
+        BatchOptions::default()
+    } else {
+        BatchOptions::with_threads(threads)
+    };
+    let chunk: usize = flags.parse_num("--chunk", 1024)?;
+    if chunk == 0 {
+        return Err(usage("flag `--chunk`: must be at least 1"));
+    }
+    let service = Service::with_options(registry, ServiceOptions { batch, chunk });
+    Ok((service, select))
+}
+
+/// Streams a query file once, collecting the distinct relation kinds it
+/// uses (stops early once every kind has been seen), so `--warm` builds
+/// only what the batch will touch. Parse errors are left for the serving
+/// pass, which reports them with line numbers.
+fn scan_kinds(path: &str) -> Result<Vec<CompatibilityKind>, CliError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| runtime(format!("cannot open --input {path}: {e}")))?;
+    let mut kinds = Vec::new();
+    for query in QueryReader::new(std::io::BufReader::new(file)).flatten() {
+        if !kinds.contains(&query.kind) {
+            kinds.push(query.kind);
+            if kinds.len() == CompatibilityKind::ALL.len() {
+                break;
+            }
+        }
+    }
+    Ok(kinds)
+}
+
 fn serve_batch(
     flags: &Flags<'_>,
     out: &mut dyn Write,
     err: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let dataset = load_dataset(flags)?;
-    let policy = parse_policy(flags)?;
-    let engine = Engine::with_options(
-        Deployment::from_dataset(dataset),
-        EngineOptions {
-            policy,
-            ..Default::default()
-        },
-    );
-    let threads: usize = flags.parse_num("--threads", 0)?;
-    let options = if threads == 0 {
-        BatchOptions::default()
-    } else {
-        BatchOptions::with_threads(threads)
-    };
+    let (service, select) = build_service(flags)?;
+    let select = select.as_deref();
 
-    let queries = read_queries(open_input(flags)?).map_err(runtime)?;
     if flags.has("--warm") {
-        let kinds: Vec<CompatibilityKind> = CompatibilityKind::ALL
-            .into_iter()
-            .filter(|k| queries.iter().any(|q| q.kind == *k))
-            .collect();
+        // With a regular-file input the kinds the batch needs are knowable
+        // up front (one cheap streaming scan). Stdin and non-seekable
+        // inputs (FIFOs, process substitution) cannot be read twice, so
+        // there the warm covers every evaluated kind.
+        let kinds = match flags.get("--input") {
+            Some(path) if path != "-" => match std::fs::metadata(path) {
+                Ok(meta) if meta.is_file() => Some(scan_kinds(path)?),
+                Ok(_) => None,
+                Err(e) => return Err(runtime(format!("cannot open --input {path}: {e}"))),
+            },
+            _ => None,
+        };
+        // An empty file needs no warming (matches the pre-streaming
+        // behaviour, which warmed only the kinds present); `None` (stdin /
+        // FIFO) warms every evaluated kind.
+        let warm = match kinds {
+            Some(kinds) if kinds.is_empty() => None,
+            Some(kinds) => Some(RequestBody::Warm { kinds }),
+            None => Some(RequestBody::Warm { kinds: Vec::new() }),
+        };
         let warm_start = Instant::now();
-        engine.warm(&kinds);
-        let matrix_kinds = kinds
+        let warmed_kinds = match warm {
+            None => Vec::new(),
+            Some(body) => {
+                let response = service.handle(&Request {
+                    deployment: select.map(str::to_string),
+                    body,
+                });
+                match response {
+                    Response::Warmed { kinds, .. } => kinds,
+                    Response::Error(e) => return Err(runtime(e.to_string())),
+                    other => return Err(runtime(format!("unexpected response `{}`", other.op()))),
+                }
+            }
+        };
+        let engine = service.engine(select).map_err(|e| runtime(e.to_string()))?;
+        let matrix_kinds = warmed_kinds
             .iter()
             .filter(|&&k| engine.store().tier_for(k) == crate::TierChoice::Matrix)
             .count();
-        let row_kinds = kinds.len() - matrix_kinds;
+        let row_kinds = warmed_kinds.len() - matrix_kinds;
         let mut line = format!(
             "[tfsn] warmed {} matrix(es) in {:.2}s",
             matrix_kinds,
@@ -383,25 +533,25 @@ fn serve_batch(
         writeln!(err, "{line}").ok();
     }
 
+    let input = open_input(flags)?;
     let started = Instant::now();
-    let answers = engine.batch(&queries, &options);
+    let streamed = {
+        let mut sink = open_output(flags, out)?;
+        service
+            .stream_batch(select, input, &mut sink, !flags.has("--no-timing"))
+            .map_err(|e| match e {
+                StreamError::Service(e) => runtime(e.to_string()),
+                StreamError::Io(e) => runtime(format!("write answer: {e}")),
+            })?
+    };
     let elapsed = started.elapsed();
 
-    {
-        let mut sink = open_output(flags, out)?;
-        for answer in &answers {
-            let line = serde_json::to_string(answer)
-                .map_err(|e| runtime(format!("serialize answer: {e}")))?;
-            writeln!(sink, "{line}").map_err(|e| runtime(format!("write answer: {e}")))?;
-        }
-        sink.flush().ok();
-    }
-
-    let summary = BatchSummary::of(&answers);
+    let engine = service.engine(select).map_err(|e| runtime(e.to_string()))?;
+    let summary = &streamed.summary;
     let metrics = engine.metrics();
     writeln!(
         err,
-        "[tfsn] {} on {}: {} queries in {:.3}s ({:.0} q/s), {} solved, \
+        "[tfsn] {} on {}: {} queries in {:.3}s ({:.0} q/s, {} chunk(s)), {} solved, \
          {} cache hits, {} matrix builds, {} row builds, {} evictions, \
          {} resident rows, {} resident bytes, mean latency {:.0}µs",
         engine.deployment().name(),
@@ -413,6 +563,7 @@ fn serve_batch(
         summary.queries,
         elapsed.as_secs_f64(),
         summary.queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        streamed.chunks,
         summary.solved,
         summary.cache_hits,
         metrics.matrix_builds,
@@ -420,7 +571,7 @@ fn serve_batch(
         metrics.row_evictions,
         metrics.resident_rows,
         metrics.resident_bytes,
-        summary.mean_micros,
+        summary.mean_micros(),
     )
     .ok();
     // Machine-readable serving metrics, one JSON object — the
@@ -432,51 +583,58 @@ fn serve_batch(
     Ok(())
 }
 
-/// The serving plan the configured policy assigns to this deployment,
-/// reported by `stats` (deterministic — no relation is actually built).
-#[derive(Debug, Serialize)]
-struct ServingPlan {
-    /// Tier-selection mode (`auto`, `matrix`, `rows`).
-    mode: String,
-    /// Resident-byte cap per relation kind, if any.
-    memory_budget_bytes: Option<u64>,
-    /// The tier every relation kind of this deployment is assigned.
-    tier: String,
-    /// Estimated bytes of one fully materialised matrix.
-    estimated_matrix_bytes: u64,
-    /// Estimated bytes of a single cached bit-packed row (1 bit + 2 bytes
-    /// per node plus the row header).
-    estimated_row_bytes: u64,
-    /// How many bit-packed rows the configured budget keeps resident per
-    /// relation kind (`None` without a budget: unbounded).
-    budget_resident_rows: Option<u64>,
-}
-
-/// `stats` output: dataset statistics plus the serving plan.
-#[derive(Debug, Serialize)]
-struct StatsOutput {
-    dataset: DatasetStats,
-    serving: ServingPlan,
+fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
+    let (service, select) = build_service(flags)?;
+    if select.is_some() {
+        return Err(usage(
+            "serve-http serves every registered deployment; select one per \
+             request with ?deployment=NAME instead of --select",
+        ));
+    }
+    let addr = flags.get("--addr").unwrap_or("127.0.0.1:7878");
+    let http_threads: usize = flags.parse_num("--http-threads", 4)?;
+    let service = Arc::new(service);
+    let server = HttpServer::bind(
+        service.clone(),
+        addr,
+        ServerOptions {
+            threads: http_threads.max(1),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| runtime(format!("cannot bind {addr}: {e}")))?;
+    writeln!(
+        err,
+        "[tfsn] serving http://{} ({} acceptor(s); deployments: {}; default: {})",
+        server.addr(),
+        http_threads.max(1),
+        service.registry().names().join(", "),
+        service.registry().default_name(),
+    )
+    .ok();
+    writeln!(
+        err,
+        "[tfsn] endpoints: GET /healthz /v1/stats /v1/metrics /v1/deployments; \
+         POST /v1/query /v1/batch /v1/rpc"
+    )
+    .ok();
+    err.flush().ok();
+    server.join();
+    Ok(())
 }
 
 fn stats(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
-    let dataset = load_dataset(flags)?;
-    let policy = parse_policy(flags)?;
-    let nodes = dataset.graph.node_count();
-    let output = StatsOutput {
-        dataset: DatasetStats::compute(&dataset),
-        serving: ServingPlan {
-            mode: policy.mode.label().to_string(),
-            memory_budget_bytes: policy.memory_budget.map(|b| b as u64),
-            tier: policy.tier_for(nodes).label().to_string(),
-            estimated_matrix_bytes: estimated_matrix_bytes(nodes) as u64,
-            estimated_row_bytes: estimated_row_bytes(nodes) as u64,
-            budget_resident_rows: policy
-                .memory_budget
-                .map(|b| (b / estimated_row_bytes(nodes).max(1)) as u64),
-        },
+    let (service, select) = build_service(flags)?;
+    let response = service.handle(&Request {
+        deployment: select,
+        body: RequestBody::Stats,
+    });
+    let stats = match response {
+        Response::Stats(stats) => stats,
+        Response::Error(e) => return Err(runtime(e.to_string())),
+        other => return Err(runtime(format!("unexpected response `{}`", other.op()))),
     };
-    let json = serde_json::to_string_pretty(&output)
+    let json = serde_json::to_string_pretty(&stats)
         .map_err(|e| runtime(format!("serialize stats: {e}")))?;
     writeln!(out, "{json}").map_err(|e| runtime(format!("write stats: {e}")))?;
     Ok(())
@@ -588,6 +746,44 @@ mod tests {
     }
 
     #[test]
+    fn stats_selects_among_named_deployments() {
+        let (out, _, result) = run_to_strings(&[
+            "stats",
+            "--deployment",
+            "sd=slashdot",
+            "--deployment",
+            "tiny=synthetic:nodes=70,edges=200,skills=10",
+            "--select",
+            "tiny",
+        ]);
+        result.unwrap();
+        assert!(out.contains("synthetic-70n-200m"), "got: {out}");
+        assert!(out.contains("\"users\": 70"), "got: {out}");
+        // Unknown --select fails loudly.
+        let (_, _, r) =
+            run_to_strings(&["stats", "--deployment", "sd=slashdot", "--select", "prod"]);
+        assert!(r.unwrap_err().contains("unknown deployment `prod`"));
+        // Mixing the two deployment styles fails loudly — for every
+        // dataset flag, not just --dataset (a silently ignored --scale
+        // would serve the wrong data).
+        let (_, _, r) = run_to_strings(&[
+            "stats",
+            "--deployment",
+            "sd=slashdot",
+            "--dataset",
+            "slashdot",
+        ]);
+        assert!(r.unwrap_err().contains("mutually exclusive"));
+        let (_, _, r) =
+            run_to_strings(&["stats", "--deployment", "big=epinions", "--scale", "0.5"]);
+        let err = r.unwrap_err();
+        assert!(
+            err.contains("--scale") && err.contains("mutually exclusive"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn memory_budget_suffixes_parse() {
         assert_eq!(parse_bytes("123").unwrap(), 123);
         assert_eq!(parse_bytes("64K").unwrap(), 64 << 10);
@@ -604,6 +800,8 @@ mod tests {
         assert!(r.unwrap_err().contains("auto, matrix or rows"));
         let (_, _, r) = run_to_strings(&["stats", "--memory-budget", "lots"]);
         assert!(r.unwrap_err().contains("invalid value"));
+        let (_, _, r) = run_to_strings(&["stats", "--deployment", "noequals"]);
+        assert!(r.unwrap_err().contains("NAME=SPEC"));
         // gen takes no serving flags.
         let (_, _, r) = run_to_strings(&["gen", "--serving-mode", "rows"]);
         assert!(r.unwrap_err().contains("unknown flag"));
@@ -646,6 +844,44 @@ mod tests {
         assert!(err.contains("[tfsn] metrics {"), "metrics line: {err}");
         let answers = std::fs::read_to_string(&answers_path).unwrap();
         assert_eq!(answers.lines().count(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_batch_streams_chunks_and_no_timing_is_stable() {
+        let dir = std::env::temp_dir().join(format!("tfsn-cli-chunk-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let queries_path = dir.join("queries.jsonl");
+        let (queries_jsonl, _, result) =
+            run_to_strings(&["gen", "--dataset", "slashdot", "--queries", "9"]);
+        result.unwrap();
+        std::fs::write(&queries_path, &queries_jsonl).unwrap();
+        let serve = |chunk: &str| {
+            let (out, err, result) = run_to_strings(&[
+                "serve-batch",
+                "--dataset",
+                "slashdot",
+                "--chunk",
+                chunk,
+                "--no-timing",
+                "--warm",
+                "--input",
+                queries_path.to_str().unwrap(),
+                "--threads",
+                "2",
+            ]);
+            result.unwrap();
+            (out, err)
+        };
+        let (answers_small, err_small) = serve("4");
+        let (answers_large, err_large) = serve("1024");
+        assert!(err_small.contains("3 chunk(s)"), "summary: {err_small}");
+        assert!(err_large.contains("1 chunk(s)"), "summary: {err_large}");
+        assert_eq!(
+            answers_small, answers_large,
+            "chunking must not change the JSONL stream"
+        );
+        assert!(answers_small.contains("\"micros\":0"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -713,6 +949,8 @@ mod tests {
         assert!(r.unwrap_err().contains("unknown flag `--thread`"));
         let (_, _, r) = run_to_strings(&["stats", "--warm"]);
         assert!(r.unwrap_err().contains("unknown flag `--warm`"));
+        let (_, _, r) = run_to_strings(&["gen", "--addr", "127.0.0.1:0"]);
+        assert!(r.unwrap_err().contains("unknown flag `--addr`"));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! A minimal blocking HTTP/1.1 client for the [`crate::server`] front-end:
+//! one keep-alive connection, `Content-Length`-framed responses.
+//!
+//! This exists so the integration tests, the bench harness and example
+//! programs drive the server through **one** framing implementation instead
+//! of three hand-rolled copies — and it is the seed of the remote-client
+//! crate the ROADMAP plans. A production client would add pooling, retries
+//! and timeouts; this one deliberately stays small, and every failure comes
+//! back as an `io::Error` rather than a panic.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One HTTP response: the status code and the full body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// The status code (200, 404, …).
+    pub status: u16,
+    /// The response body, UTF-8 decoded.
+    pub body: String,
+}
+
+/// A keep-alive connection to one server. Dropping it closes the
+/// connection (and, server-side, frees its handler promptly instead of at
+/// the idle timeout).
+#[derive(Debug)]
+pub struct HttpClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(HttpClient {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// `GET target` (path plus optional query string).
+    pub fn get(&mut self, target: &str) -> std::io::Result<HttpReply> {
+        self.request("GET", target, "")
+    }
+
+    /// `POST target` with `body`.
+    pub fn post(&mut self, target: &str, body: &str) -> std::io::Result<HttpReply> {
+        self.request("POST", target, body)
+    }
+
+    /// Sends one request and reads the full response; the connection stays
+    /// open for the next call (HTTP keep-alive).
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> std::io::Result<HttpReply> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: tfsn\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+
+        let bad = |detail: String| std::io::Error::other(detail);
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before the status line".into()));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .ok_or_else(|| {
+                bad(format!(
+                    "malformed status line `{}`",
+                    status_line.trim_end()
+                ))
+            })?
+            .parse()
+            .map_err(|_| {
+                bad(format!(
+                    "non-numeric status in `{}`",
+                    status_line.trim_end()
+                ))
+            })?;
+        let mut content_length = 0usize;
+        let mut chunked = false;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("connection closed mid-headers".into()));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("invalid Content-Length `{}`", value.trim())))?;
+                } else if name.eq_ignore_ascii_case("transfer-encoding")
+                    && value.trim().eq_ignore_ascii_case("chunked")
+                {
+                    chunked = true;
+                }
+            }
+        }
+        let body = if chunked {
+            self.read_chunked_body()?
+        } else {
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body)?;
+            body
+        };
+        let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8".into()))?;
+        Ok(HttpReply { status, body })
+    }
+
+    /// Reads an HTTP/1.1 chunked body (the server streams `/v1/batch`
+    /// answers this way). A connection closed before the terminal chunk is
+    /// a mid-stream server failure and surfaces as an error.
+    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+        let bad = |detail: String| std::io::Error::other(detail);
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            if self.reader.read_line(&mut size_line)? == 0 {
+                return Err(bad("connection closed mid-chunked-body (truncated)".into()));
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad(format!("invalid chunk size `{}`", size_line.trim())))?;
+            if size == 0 {
+                // Terminal chunk; consume the final CRLF (no trailers).
+                let mut end = String::new();
+                self.reader.read_line(&mut end)?;
+                return Ok(body);
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            self.reader.read_exact(&mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(bad("chunk not terminated by CRLF".into()));
+            }
+        }
+    }
+}

@@ -92,6 +92,18 @@ impl Deployment {
     pub fn instance(&self) -> TfsnInstance<'_> {
         TfsnInstance::new(&self.graph, &self.skills)
     }
+
+    /// Table-1 style statistics of this deployment (exact diameter on small
+    /// graphs, double-sweep estimate on large ones) — the dataset section of
+    /// the protocol's `stats` operation.
+    pub fn stats(&self) -> tfsn_datasets::DatasetStats {
+        tfsn_datasets::DatasetStats::compute_parts(
+            &self.name,
+            &self.graph,
+            &self.universe,
+            &self.skills,
+        )
+    }
 }
 
 #[cfg(test)]

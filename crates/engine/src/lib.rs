@@ -64,23 +64,43 @@
 pub mod answer;
 pub mod batch;
 pub mod cli;
+pub mod client;
 pub mod deployment;
 pub mod metrics;
+pub mod proto;
 pub mod query;
+pub mod registry;
+pub mod server;
+pub mod service;
 pub mod store;
 
+use std::cell::RefCell;
 use std::time::Instant;
 
 use tfsn_core::compat::{CompatibilityKind, EngineConfig};
+use tfsn_core::team::SolveScratch;
 use tfsn_skills::task::Task;
 use tfsn_skills::SkillId;
 
 pub use answer::{AnswerStatus, TeamAnswer};
 pub use batch::BatchOptions;
+pub use client::{HttpClient, HttpReply};
 pub use deployment::Deployment;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use proto::{Request, RequestBody, Response, ServiceError, PROTOCOL_VERSION};
 pub use query::TeamQuery;
+pub use registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+pub use server::{HttpServer, ServerOptions};
+pub use service::{Service, ServiceOptions};
 pub use store::{RelationStore, ServingMode, StorePolicy, TierChoice};
+
+thread_local! {
+    /// Per-thread solver scratch (see [`Engine::query`]): rayon batch
+    /// workers live for a whole batch in the vendored shim (and for the
+    /// process under real rayon), so the candidate-mask allocation is paid
+    /// once per worker instead of once per query.
+    static SOLVE_SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
+}
 
 /// Construction-time options for an [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -102,6 +122,10 @@ pub struct Engine {
     deployment: Deployment,
     store: RelationStore,
     metrics: EngineMetrics,
+    /// Deployment statistics, computed once on first request — the exact
+    /// diameter inside is an all-pairs BFS and must not be re-derived for
+    /// every `/v1/stats` poll on a long-lived server.
+    stats: std::sync::OnceLock<tfsn_datasets::DatasetStats>,
 }
 
 impl Engine {
@@ -122,6 +146,7 @@ impl Engine {
             deployment,
             store,
             metrics: EngineMetrics::default(),
+            stats: std::sync::OnceLock::new(),
         }
     }
 
@@ -133,6 +158,12 @@ impl Engine {
     /// The tiered relation store (for diagnostics and tests).
     pub fn store(&self) -> &RelationStore {
         &self.store
+    }
+
+    /// [`Deployment::stats`], computed once per engine (the deployment is
+    /// immutable, so the statistics are too).
+    pub fn cached_stats(&self) -> &tfsn_datasets::DatasetStats {
+        self.stats.get_or_init(|| self.deployment.stats())
     }
 
     /// A snapshot of the serving metrics, including the store gauges.
@@ -180,7 +211,15 @@ impl Engine {
         let comp = scope.compat();
         let task = Task::new(query.task.iter().map(|&s| SkillId::new(s)));
         let instance = self.deployment.instance();
-        let result = query.solver.solve(&instance, comp, &task);
+        // One solver scratch per worker thread, shared across every query
+        // the thread answers (and across engines — the buffers resize when
+        // deployments differ in size): the greedy candidate-mask words are
+        // reseeded in place instead of reallocated per solve.
+        let result = SOLVE_SCRATCH.with(|scratch| {
+            query
+                .solver
+                .solve_with_scratch(&instance, comp, &task, &mut scratch.borrow_mut())
+        });
 
         let (status, members, diameter) = match result {
             Ok(team) => {

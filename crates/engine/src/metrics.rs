@@ -74,7 +74,7 @@ impl EngineMetrics {
 
 /// A point-in-time copy of [`EngineMetrics`] plus the relation-store
 /// gauges. Serialised as one JSON object by `tfsn serve-batch`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Queries answered (any status).
     pub queries_served: u64,
@@ -112,6 +112,23 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Adds `other`'s counters into `self`, field-wise — the protocol's
+    /// `metrics` operation reports one such sum across every loaded
+    /// deployment alongside the per-deployment snapshots.
+    pub fn accumulate(&mut self, other: &MetricsSnapshot) {
+        self.queries_served += other.queries_served;
+        self.queries_solved += other.queries_solved;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.busy_micros += other.busy_micros;
+        self.build_wait_micros += other.build_wait_micros;
+        self.matrix_builds += other.matrix_builds;
+        self.row_builds += other.row_builds;
+        self.row_evictions += other.row_evictions;
+        self.resident_rows += other.resident_rows;
+        self.resident_bytes += other.resident_bytes;
+    }
+
     /// Mean in-engine latency per query, in microseconds.
     pub fn mean_latency_micros(&self) -> f64 {
         if self.queries_served == 0 {

@@ -1,0 +1,804 @@
+//! The transport-agnostic service protocol: a versioned [`Request`] /
+//! [`Response`] envelope with typed error variants.
+//!
+//! Every transport — the CLI `serve-batch`/`stats` adapters, the HTTP/1.1
+//! front-end in [`crate::server`], and whatever remote clients come next —
+//! speaks this protocol against one [`crate::Service`]. A request names an
+//! operation (`op`), optionally a deployment in the service's
+//! [`crate::DeploymentRegistry`], and carries the protocol `version` so old
+//! clients fail loudly ([`ServiceError::UnsupportedVersion`]) instead of
+//! mis-parsing.
+//!
+//! On the wire an envelope is one JSON object:
+//!
+//! ```json
+//! {"version": 1, "op": "batch", "deployment": "epinions",
+//!  "timing": false, "queries": [{"task": [3, 19, 4]}]}
+//! ```
+//!
+//! ```json
+//! {"version": 1, "op": "batch", "answers": [{"status": "ok", "...": "..."}]}
+//! ```
+//!
+//! Errors are a response variant, not an HTTP afterthought:
+//!
+//! ```json
+//! {"version": 1, "op": "error",
+//!  "error": {"code": "unknown_deployment", "deployment": "prod",
+//!            "message": "unknown deployment `prod` (available: slashdot)"}}
+//! ```
+//!
+//! The serde impls are hand-written (like the [`crate::TeamQuery`] wire
+//! types) so the format stays flat and label-based rather than mirroring
+//! Rust enum structure; `tests/proto.rs` property-tests that every variant —
+//! errors included — survives serialize → parse.
+
+use std::fmt;
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use tfsn_core::compat::{estimated_matrix_bytes, estimated_row_bytes, CompatibilityKind};
+use tfsn_datasets::DatasetStats;
+
+use crate::metrics::MetricsSnapshot;
+use crate::{Engine, TeamAnswer, TeamQuery};
+
+/// The protocol version this build speaks. Bump on breaking envelope
+/// changes; requests carrying any other version are rejected with
+/// [`ServiceError::UnsupportedVersion`] before their body is interpreted.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One request envelope: the operation body plus the deployment it targets
+/// (`None` = the registry's default deployment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Named deployment to serve from (`None` = registry default).
+    pub deployment: Option<String>,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// A request against the default deployment.
+    pub fn new(body: RequestBody) -> Self {
+        Request {
+            deployment: None,
+            body,
+        }
+    }
+
+    /// Targets a named deployment.
+    pub fn on(mut self, deployment: impl Into<String>) -> Self {
+        self.deployment = Some(deployment.into());
+        self
+    }
+
+    /// Parses an envelope from a [`Value`] tree with typed errors:
+    /// version mismatches become [`ServiceError::UnsupportedVersion`],
+    /// unknown `op` labels [`ServiceError::UnknownOp`], everything else
+    /// malformed [`ServiceError::BadRequest`].
+    pub fn parse_value(v: &Value) -> Result<Self, ServiceError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| bad("request envelope must be a JSON object"))?;
+        let field = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let version = field("version")
+            .ok_or_else(|| bad("request is missing required field `version`"))?
+            .as_u64()
+            .ok_or_else(|| bad("field `version` must be a non-negative integer"))?;
+        if version != u64::from(PROTOCOL_VERSION) {
+            return Err(ServiceError::UnsupportedVersion {
+                requested: version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
+        let deployment = match field("deployment") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| bad("field `deployment` must be a string"))?
+                    .to_string(),
+            ),
+        };
+        let op = field("op")
+            .ok_or_else(|| bad("request is missing required field `op`"))?
+            .as_str()
+            .ok_or_else(|| bad("field `op` must be a string label"))?;
+        let timing = match field("timing") {
+            None | Some(Value::Null) => true,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err(bad("field `timing` must be a boolean")),
+        };
+        let body = match op {
+            "query" => {
+                let q = field("query").ok_or_else(|| bad("op `query` needs field `query`"))?;
+                RequestBody::Query {
+                    query: TeamQuery::from_value(q)
+                        .map_err(|e| bad(format!("field `query`: {e}")))?,
+                    timing,
+                }
+            }
+            "batch" => {
+                let qs = field("queries")
+                    .ok_or_else(|| bad("op `batch` needs field `queries`"))?
+                    .as_seq()
+                    .ok_or_else(|| bad("field `queries` must be an array"))?;
+                let queries = qs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        TeamQuery::from_value(q).map_err(|e| bad(format!("queries[{i}]: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                RequestBody::Batch { queries, timing }
+            }
+            "warm" => RequestBody::Warm {
+                kinds: parse_kinds(field("kinds"))?,
+            },
+            "stats" => RequestBody::Stats,
+            "metrics" => RequestBody::Metrics,
+            "deployments" => RequestBody::Deployments,
+            other => {
+                return Err(ServiceError::UnknownOp {
+                    op: other.to_string(),
+                })
+            }
+        };
+        Ok(Request { deployment, body })
+    }
+
+    /// Parses an envelope from JSON text (see [`Request::parse_value`]).
+    pub fn parse_json(json: &str) -> Result<Self, ServiceError> {
+        let value: Value =
+            serde_json::from_str(json).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        Request::parse_value(&value)
+    }
+}
+
+/// The operation of a [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Answer one team query. `timing: false` zeroes the latency fields of
+    /// the answer so output is byte-stable across runs and transports.
+    Query {
+        /// The query.
+        query: TeamQuery,
+        /// Report per-query latency fields (default `true`).
+        timing: bool,
+    },
+    /// Answer a batch of queries (order-stable, parallel).
+    Batch {
+        /// The queries, answered in order.
+        queries: Vec<TeamQuery>,
+        /// Report per-query latency fields (default `true`).
+        timing: bool,
+    },
+    /// Pre-initialise relation state so subsequent queries are warm. An
+    /// empty `kinds` list warms every evaluated relation kind.
+    Warm {
+        /// Relation kinds to warm (empty = all evaluated kinds).
+        kinds: Vec<CompatibilityKind>,
+    },
+    /// Deployment statistics plus the serving plan.
+    Stats,
+    /// Serving metrics of every loaded deployment.
+    Metrics,
+    /// List the registry's deployments.
+    Deployments,
+}
+
+impl RequestBody {
+    /// The wire label of this operation.
+    pub fn op(&self) -> &'static str {
+        match self {
+            RequestBody::Query { .. } => "query",
+            RequestBody::Batch { .. } => "batch",
+            RequestBody::Warm { .. } => "warm",
+            RequestBody::Stats => "stats",
+            RequestBody::Metrics => "metrics",
+            RequestBody::Deployments => "deployments",
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            (
+                "version".to_string(),
+                Value::UInt(u64::from(PROTOCOL_VERSION)),
+            ),
+            ("op".to_string(), Value::Str(self.body.op().to_string())),
+        ];
+        if let Some(d) = &self.deployment {
+            m.push(("deployment".to_string(), Value::Str(d.clone())));
+        }
+        match &self.body {
+            RequestBody::Query { query, timing } => {
+                if !timing {
+                    m.push(("timing".to_string(), Value::Bool(false)));
+                }
+                m.push(("query".to_string(), query.to_value()));
+            }
+            RequestBody::Batch { queries, timing } => {
+                if !timing {
+                    m.push(("timing".to_string(), Value::Bool(false)));
+                }
+                m.push(("queries".to_string(), queries.to_value()));
+            }
+            RequestBody::Warm { kinds } => {
+                m.push(("kinds".to_string(), kinds_value(kinds)));
+            }
+            RequestBody::Stats | RequestBody::Metrics | RequestBody::Deployments => {}
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        Request::parse_value(v).map_err(|e| SerdeError::custom(e.to_string()))
+    }
+}
+
+/// One response envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The answer to a [`RequestBody::Query`].
+    Answer(TeamAnswer),
+    /// The answers to a [`RequestBody::Batch`], in query order.
+    Batch(Vec<TeamAnswer>),
+    /// Acknowledgement of a [`RequestBody::Warm`].
+    Warmed {
+        /// The deployment that was warmed.
+        deployment: String,
+        /// The kinds that were warmed.
+        kinds: Vec<CompatibilityKind>,
+        /// Wall-clock warm-up time, microseconds.
+        micros: u64,
+    },
+    /// Deployment statistics plus the serving plan.
+    Stats(DeploymentStats),
+    /// Serving metrics per loaded deployment plus their sum.
+    Metrics {
+        /// Per-deployment snapshots (loaded deployments only — metrics do
+        /// not force a load).
+        deployments: Vec<DeploymentMetrics>,
+        /// The field-wise sum over `deployments`.
+        total: MetricsSnapshot,
+    },
+    /// The registry listing.
+    Deployments(Vec<DeploymentInfo>),
+    /// The request failed; the envelope carries the typed error.
+    Error(ServiceError),
+}
+
+impl Response {
+    /// The wire label of this response kind.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Response::Answer(_) => "answer",
+            Response::Batch(_) => "batch",
+            Response::Warmed { .. } => "warmed",
+            Response::Stats(_) => "stats",
+            Response::Metrics { .. } => "metrics",
+            Response::Deployments(_) => "deployments",
+            Response::Error(_) => "error",
+        }
+    }
+
+    /// The error, when this is an error response.
+    pub fn error(&self) -> Option<&ServiceError> {
+        match self {
+            Response::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Parses a response envelope with typed errors (mirrors
+    /// [`Request::parse_value`]).
+    pub fn parse_value(v: &Value) -> Result<Self, ServiceError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| bad("response envelope must be a JSON object"))?;
+        let field = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let version = field("version")
+            .ok_or_else(|| bad("response is missing required field `version`"))?
+            .as_u64()
+            .ok_or_else(|| bad("field `version` must be a non-negative integer"))?;
+        if version != u64::from(PROTOCOL_VERSION) {
+            return Err(ServiceError::UnsupportedVersion {
+                requested: version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
+        let op = field("op")
+            .ok_or_else(|| bad("response is missing required field `op`"))?
+            .as_str()
+            .ok_or_else(|| bad("field `op` must be a string label"))?;
+        let required =
+            |key: &str| field(key).ok_or_else(|| bad(format!("op `{op}` needs `{key}`")));
+        let parsed = match op {
+            "answer" => Response::Answer(
+                TeamAnswer::from_value(required("answer")?)
+                    .map_err(|e| bad(format!("field `answer`: {e}")))?,
+            ),
+            "batch" => Response::Batch(
+                Vec::<TeamAnswer>::from_value(required("answers")?)
+                    .map_err(|e| bad(format!("field `answers`: {e}")))?,
+            ),
+            "warmed" => Response::Warmed {
+                deployment: String::from_value(required("deployment")?)
+                    .map_err(|e| bad(format!("field `deployment`: {e}")))?,
+                kinds: parse_kinds(field("kinds"))?,
+                micros: required("micros")?
+                    .as_u64()
+                    .ok_or_else(|| bad("field `micros` must be a non-negative integer"))?,
+            },
+            "stats" => Response::Stats(
+                DeploymentStats::from_value(v).map_err(|e| bad(format!("stats response: {e}")))?,
+            ),
+            "metrics" => Response::Metrics {
+                deployments: Vec::<DeploymentMetrics>::from_value(required("deployments")?)
+                    .map_err(|e| bad(format!("field `deployments`: {e}")))?,
+                total: MetricsSnapshot::from_value(required("total")?)
+                    .map_err(|e| bad(format!("field `total`: {e}")))?,
+            },
+            "deployments" => Response::Deployments(
+                Vec::<DeploymentInfo>::from_value(required("deployments")?)
+                    .map_err(|e| bad(format!("field `deployments`: {e}")))?,
+            ),
+            "error" => Response::Error(ServiceError::parse_value(required("error")?)?),
+            other => {
+                return Err(ServiceError::UnknownOp {
+                    op: other.to_string(),
+                })
+            }
+        };
+        Ok(parsed)
+    }
+
+    /// Parses a response envelope from JSON text.
+    pub fn parse_json(json: &str) -> Result<Self, ServiceError> {
+        let value: Value =
+            serde_json::from_str(json).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+        Response::parse_value(&value)
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            (
+                "version".to_string(),
+                Value::UInt(u64::from(PROTOCOL_VERSION)),
+            ),
+            ("op".to_string(), Value::Str(self.op().to_string())),
+        ];
+        match self {
+            Response::Answer(a) => m.push(("answer".to_string(), a.to_value())),
+            Response::Batch(answers) => m.push(("answers".to_string(), answers.to_value())),
+            Response::Warmed {
+                deployment,
+                kinds,
+                micros,
+            } => {
+                m.push(("deployment".to_string(), Value::Str(deployment.clone())));
+                m.push(("kinds".to_string(), kinds_value(kinds)));
+                m.push(("micros".to_string(), Value::UInt(*micros)));
+            }
+            Response::Stats(stats) => {
+                // Flatten the two stats sections into the envelope so the
+                // payload matches the CLI `stats` output shape.
+                if let Value::Map(fields) = stats.to_value() {
+                    m.extend(fields);
+                }
+            }
+            Response::Metrics { deployments, total } => {
+                m.push(("deployments".to_string(), deployments.to_value()));
+                m.push(("total".to_string(), total.to_value()));
+            }
+            Response::Deployments(infos) => m.push(("deployments".to_string(), infos.to_value())),
+            Response::Error(e) => m.push(("error".to_string(), e.to_value())),
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        Response::parse_value(v).map_err(|e| SerdeError::custom(e.to_string()))
+    }
+}
+
+/// Deployment statistics plus the serving plan — the payload of
+/// [`Response::Stats`] and the body of the CLI `stats` subcommand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentStats {
+    /// Table-1 style statistics of the deployment's dataset.
+    pub dataset: DatasetStats,
+    /// The serving plan the store policy assigns to this deployment.
+    pub serving: ServingPlan,
+}
+
+/// The serving plan a [`crate::StorePolicy`] assigns to one deployment
+/// (deterministic — nothing is built to report it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingPlan {
+    /// Tier-selection mode (`auto`, `matrix`, `rows`).
+    pub mode: String,
+    /// Resident-byte cap per relation kind, if any.
+    pub memory_budget_bytes: Option<u64>,
+    /// The tier every relation kind of this deployment is assigned.
+    pub tier: String,
+    /// Estimated bytes of one fully materialised matrix.
+    pub estimated_matrix_bytes: u64,
+    /// Estimated bytes of a single cached bit-packed row (1 bit + 2 bytes
+    /// per node plus the row header).
+    pub estimated_row_bytes: u64,
+    /// How many bit-packed rows the configured budget keeps resident per
+    /// relation kind (`None` without a budget: unbounded).
+    pub budget_resident_rows: Option<u64>,
+}
+
+impl ServingPlan {
+    /// The plan of a configured policy over a deployment of `nodes` users.
+    pub fn of_policy(policy: &crate::StorePolicy, nodes: usize) -> Self {
+        ServingPlan {
+            mode: policy.mode.label().to_string(),
+            memory_budget_bytes: policy.memory_budget.map(|b| b as u64),
+            tier: policy.tier_for(nodes).label().to_string(),
+            estimated_matrix_bytes: estimated_matrix_bytes(nodes) as u64,
+            estimated_row_bytes: estimated_row_bytes(nodes) as u64,
+            budget_resident_rows: policy
+                .memory_budget
+                .map(|b| (b / estimated_row_bytes(nodes).max(1)) as u64),
+        }
+    }
+
+    /// The plan of a live engine.
+    pub fn of_engine(engine: &Engine) -> Self {
+        ServingPlan::of_policy(engine.store().policy(), engine.deployment().user_count())
+    }
+}
+
+/// One deployment's serving metrics, for [`Response::Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentMetrics {
+    /// The deployment name.
+    pub deployment: String,
+    /// Its metrics snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// One registry entry, for [`Response::Deployments`]. Shape fields are
+/// `None` until the deployment is lazily loaded by its first request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentInfo {
+    /// The deployment name (the `deployment` field of requests).
+    pub name: String,
+    /// `true` for the registry's default deployment.
+    pub default: bool,
+    /// Whether the deployment has been loaded into memory.
+    pub loaded: bool,
+    /// Users, once loaded.
+    pub users: Option<u64>,
+    /// Edges, once loaded.
+    pub edges: Option<u64>,
+    /// Distinct skills, once loaded.
+    pub skills: Option<u64>,
+    /// Serving tier (`matrix`/`rows`), once loaded.
+    pub tier: Option<String>,
+}
+
+/// Typed service errors — the `error` payload of [`Response::Error`].
+/// Replaces the ad-hoc `String` errors of the pre-protocol CLI paths:
+/// transports map codes to their own status space (the HTTP front-end maps
+/// `unknown_deployment` to 404, `too_large` to 413, the rest of the client
+/// errors to 400) without parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request's protocol version is not spoken by this build.
+    UnsupportedVersion {
+        /// The version the client sent.
+        requested: u64,
+        /// The version this build speaks.
+        supported: u32,
+    },
+    /// The request targets a deployment outside the registry.
+    UnknownDeployment {
+        /// The deployment that was requested.
+        name: String,
+        /// The names the registry does serve.
+        available: Vec<String>,
+    },
+    /// The request's `op` label is not a known operation.
+    UnknownOp {
+        /// The label that was sent.
+        op: String,
+    },
+    /// The request was malformed (bad JSON, missing/ill-typed fields,
+    /// unparseable query lines — the detail says which).
+    BadRequest {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// The request body exceeds the transport's size cap.
+    TooLarge {
+        /// The cap, in bytes.
+        limit_bytes: u64,
+    },
+    /// The server is at capacity; retry later. The one retryable code.
+    Overloaded {
+        /// The concurrent-connection cap that was hit.
+        max_connections: u64,
+    },
+    /// A server-side fault (transport I/O, invariant breach) — not a
+    /// problem with the request; clients should not treat it as one.
+    Internal {
+        /// Human-readable description of the fault.
+        detail: String,
+    },
+}
+
+impl ServiceError {
+    /// The stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnsupportedVersion { .. } => "unsupported_version",
+            ServiceError::UnknownDeployment { .. } => "unknown_deployment",
+            ServiceError::UnknownOp { .. } => "unknown_op",
+            ServiceError::BadRequest { .. } => "bad_request",
+            ServiceError::TooLarge { .. } => "too_large",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::Internal { .. } => "internal",
+        }
+    }
+
+    /// Parses the typed error payload.
+    pub fn parse_value(v: &Value) -> Result<Self, ServiceError> {
+        let code = v
+            .get("code")
+            .and_then(Value::as_str)
+            .ok_or_else(|| bad("error payload needs a string `code`"))?;
+        let u64_field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| bad(format!("error code `{code}` needs integer `{key}`")))
+        };
+        let str_field = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("error code `{code}` needs string `{key}`")))
+        };
+        match code {
+            "unsupported_version" => Ok(ServiceError::UnsupportedVersion {
+                requested: u64_field("requested")?,
+                supported: u64_field("supported")? as u32,
+            }),
+            "unknown_deployment" => Ok(ServiceError::UnknownDeployment {
+                name: str_field("deployment")?,
+                available: match v.get("available") {
+                    None | Some(Value::Null) => Vec::new(),
+                    Some(a) => Vec::<String>::from_value(a)
+                        .map_err(|e| bad(format!("field `available`: {e}")))?,
+                },
+            }),
+            "unknown_op" => Ok(ServiceError::UnknownOp {
+                op: str_field("op")?,
+            }),
+            "bad_request" => Ok(ServiceError::BadRequest {
+                detail: str_field("message")?,
+            }),
+            "too_large" => Ok(ServiceError::TooLarge {
+                limit_bytes: u64_field("limit_bytes")?,
+            }),
+            "overloaded" => Ok(ServiceError::Overloaded {
+                max_connections: u64_field("max_connections")?,
+            }),
+            "internal" => Ok(ServiceError::Internal {
+                detail: str_field("message")?,
+            }),
+            other => Err(bad(format!("unknown error code `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for ServiceError {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> =
+            vec![("code".to_string(), Value::Str(self.code().to_string()))];
+        match self {
+            ServiceError::UnsupportedVersion {
+                requested,
+                supported,
+            } => {
+                m.push(("requested".to_string(), Value::UInt(*requested)));
+                m.push(("supported".to_string(), Value::UInt(u64::from(*supported))));
+            }
+            ServiceError::UnknownDeployment { name, available } => {
+                m.push(("deployment".to_string(), Value::Str(name.clone())));
+                m.push(("available".to_string(), available.to_value()));
+            }
+            ServiceError::UnknownOp { op } => {
+                m.push(("op".to_string(), Value::Str(op.clone())));
+            }
+            ServiceError::TooLarge { limit_bytes } => {
+                m.push(("limit_bytes".to_string(), Value::UInt(*limit_bytes)));
+            }
+            ServiceError::Overloaded { max_connections } => {
+                m.push(("max_connections".to_string(), Value::UInt(*max_connections)));
+            }
+            // `message` (below) doubles as the detail for bad_request and
+            // internal; for the other codes it is derived display text.
+            ServiceError::BadRequest { .. } | ServiceError::Internal { .. } => {}
+        }
+        m.push(("message".to_string(), Value::Str(self.to_string())));
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for ServiceError {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        ServiceError::parse_value(v).map_err(|e| SerdeError::custom(e.to_string()))
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnsupportedVersion {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "unsupported protocol version {requested} (this build speaks {supported})"
+            ),
+            ServiceError::UnknownDeployment { name, available } => write!(
+                f,
+                "unknown deployment `{name}` (available: {})",
+                available.join(", ")
+            ),
+            ServiceError::UnknownOp { op } => write!(f, "unknown op `{op}`"),
+            ServiceError::BadRequest { detail } => f.write_str(detail),
+            ServiceError::TooLarge { limit_bytes } => {
+                write!(f, "request body exceeds the {limit_bytes}-byte limit")
+            }
+            ServiceError::Overloaded { max_connections } => {
+                write!(
+                    f,
+                    "server at its {max_connections}-connection capacity; retry later"
+                )
+            }
+            ServiceError::Internal { detail } => f.write_str(detail),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Kind lists travel as arrays of the paper's short labels (`"SPA"`, …).
+fn kinds_value(kinds: &[CompatibilityKind]) -> Value {
+    Value::Seq(
+        kinds
+            .iter()
+            .map(|k| Value::Str(k.label().to_string()))
+            .collect(),
+    )
+}
+
+fn parse_kinds(v: Option<&Value>) -> Result<Vec<CompatibilityKind>, ServiceError> {
+    let Some(v) = v else {
+        return Ok(Vec::new());
+    };
+    let seq = v
+        .as_seq()
+        .ok_or_else(|| bad("field `kinds` must be an array of relation labels"))?;
+    seq.iter()
+        .map(|k| {
+            let label = k
+                .as_str()
+                .ok_or_else(|| bad("field `kinds` must contain string labels"))?;
+            CompatibilityKind::parse(label)
+                .ok_or_else(|| bad(format!("unknown compatibility kind `{label}`")))
+        })
+        .collect()
+}
+
+fn bad(detail: impl Into<String>) -> ServiceError {
+    ServiceError::BadRequest {
+        detail: detail.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_with_defaults() {
+        let req = Request::new(RequestBody::Batch {
+            queries: vec![TeamQuery::new([1, 2]).with_id(7)],
+            timing: false,
+        })
+        .on("epinions");
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"version\":1"), "{json}");
+        assert!(json.contains("\"op\":\"batch\""), "{json}");
+        assert!(json.contains("\"timing\":false"), "{json}");
+        assert_eq!(Request::parse_json(&json).unwrap(), req);
+    }
+
+    #[test]
+    fn wrong_version_is_typed_rejection() {
+        let err = Request::parse_json(r#"{"version": 2, "op": "stats"}"#).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::UnsupportedVersion {
+                requested: 2,
+                supported: PROTOCOL_VERSION
+            }
+        );
+        assert!(Request::parse_json(r#"{"op": "stats"}"#)
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+    }
+
+    #[test]
+    fn unknown_op_is_typed() {
+        let err = Request::parse_json(r#"{"version": 1, "op": "mutate"}"#).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::UnknownOp {
+                op: "mutate".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        for err in [
+            ServiceError::UnsupportedVersion {
+                requested: 9,
+                supported: PROTOCOL_VERSION,
+            },
+            ServiceError::UnknownDeployment {
+                name: "prod".to_string(),
+                available: vec!["slashdot".to_string(), "epinions".to_string()],
+            },
+            ServiceError::UnknownOp {
+                op: "mutate".to_string(),
+            },
+            ServiceError::BadRequest {
+                detail: "line 3: bad json".to_string(),
+            },
+            ServiceError::TooLarge { limit_bytes: 4096 },
+            ServiceError::Overloaded {
+                max_connections: 256,
+            },
+            ServiceError::Internal {
+                detail: "stream failed: broken pipe".to_string(),
+            },
+        ] {
+            let resp = Response::Error(err.clone());
+            let json = serde_json::to_string(&resp).unwrap();
+            assert!(json.contains(err.code()), "{json}");
+            assert_eq!(Response::parse_json(&json).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn warm_request_defaults_to_all_kinds() {
+        let req = Request::parse_json(r#"{"version": 1, "op": "warm"}"#).unwrap();
+        assert_eq!(req.body, RequestBody::Warm { kinds: Vec::new() });
+        let req = Request::parse_json(r#"{"version": 1, "op": "warm", "kinds": ["SPA", "nne"]}"#)
+            .unwrap();
+        assert_eq!(
+            req.body,
+            RequestBody::Warm {
+                kinds: vec![CompatibilityKind::Spa, CompatibilityKind::Nne]
+            }
+        );
+    }
+}

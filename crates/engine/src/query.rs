@@ -183,9 +183,87 @@ impl Deserialize for TeamQuery {
     }
 }
 
+/// An incremental JSONL query reader: one [`TeamQuery`] per input line,
+/// blank lines and `#` comments skipped, errors carrying the 1-based line
+/// number. Unlike collecting the whole input up front, iterating lets the
+/// serving layer stream bounded chunks through the engine — a million-query
+/// file never holds all queries (plus their answers) in memory at once.
+#[derive(Debug)]
+pub struct QueryReader<R> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    done: bool,
+}
+
+impl<R: std::io::BufRead> QueryReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        QueryReader {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            done: false,
+        }
+    }
+
+    /// The 1-based number of the last line yielded (0 before the first).
+    pub fn line_number(&self) -> usize {
+        self.lineno
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for QueryReader<R> {
+    type Item = Result<TeamQuery, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.line.clear();
+            self.lineno += 1;
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    // Fuse on read failures: a persistent I/O error (dying
+                    // disk) would otherwise make callers that skip errors
+                    // retry the same read forever. (Parse errors do NOT
+                    // fuse — later lines are still readable.)
+                    self.done = true;
+                    return Some(Err(format!("line {}: read error: {e}", self.lineno)));
+                }
+            }
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(
+                serde_json::from_str(trimmed).map_err(|e| format!("line {}: {e}", self.lineno)),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reader_streams_queries_and_numbers_errors() {
+        let input = "{\"task\": [1]}\n\n# comment\n{\"task\": [2, 3]}\nnot-json\n";
+        let mut reader = QueryReader::new(std::io::Cursor::new(input));
+        assert_eq!(reader.next().unwrap().unwrap().task, vec![1]);
+        assert_eq!(reader.next().unwrap().unwrap().task, vec![2, 3]);
+        assert_eq!(reader.line_number(), 4);
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(err.starts_with("line 5:"), "got: {err}");
+        assert!(reader.next().is_none());
+    }
 
     #[test]
     fn minimal_query_parses_with_defaults() {

@@ -1,0 +1,428 @@
+//! The multi-deployment registry: several named datasets resident in one
+//! process, each served by its own [`Engine`] (so each gets its own
+//! [`crate::RelationStore`] and [`crate::StorePolicy`]), lazily loaded the
+//! first time a request addresses them.
+//!
+//! The registry is what turns "one CLI call = one deployment load" into the
+//! online shape the paper assumes: a resident index answering many tasks
+//! against loaded networks. The [`crate::Service`] owns one registry; every
+//! protocol request optionally names an entry, and the first entry is the
+//! default for requests that do not.
+
+use std::sync::{Arc, OnceLock};
+
+use tfsn_datasets::{synthetic, DatasetSpec};
+
+use crate::proto::{DeploymentInfo, ServiceError};
+use crate::{Deployment, Engine, EngineOptions};
+
+/// Where a deployment's data comes from. Sources are *recipes*, not data:
+/// the registry keeps them cheap until first use.
+#[derive(Debug, Clone)]
+pub enum DeploymentSource {
+    /// The bundled Slashdot emulation.
+    Slashdot,
+    /// The Epinions emulation at the given scale.
+    Epinions {
+        /// Scale factor in `(0, 1]` of the full 132k-user network.
+        scale: f64,
+    },
+    /// The Wikipedia elections emulation at the given scale.
+    Wikipedia {
+        /// Scale factor in `(0, 1]` of the full 7k-user network.
+        scale: f64,
+    },
+    /// A synthetic network generated from an explicit spec.
+    Synthetic {
+        /// The generator parameters.
+        spec: DatasetSpec,
+    },
+    /// An already-constructed deployment (tests, benches, embedders).
+    Prebuilt(Deployment),
+}
+
+impl DeploymentSource {
+    /// Materialises the deployment. Called at most once per registry entry.
+    pub fn load(&self) -> Deployment {
+        match self {
+            DeploymentSource::Slashdot => Deployment::from_dataset(tfsn_datasets::slashdot()),
+            DeploymentSource::Epinions { scale } => {
+                Deployment::from_dataset(tfsn_datasets::epinions(*scale))
+            }
+            DeploymentSource::Wikipedia { scale } => {
+                Deployment::from_dataset(tfsn_datasets::wikipedia(*scale))
+            }
+            DeploymentSource::Synthetic { spec } => {
+                Deployment::from_dataset(synthetic::generate(spec, 1.0))
+            }
+            DeploymentSource::Prebuilt(deployment) => deployment.clone(),
+        }
+    }
+
+    /// Parses a CLI source spec:
+    ///
+    /// ```text
+    /// slashdot
+    /// epinions[:SCALE]             (default scale 0.05)
+    /// wikipedia[:SCALE]
+    /// synthetic[:key=value,...]    keys: nodes, edges, skills, neg, seed
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (kind, rest) = match spec.split_once(':') {
+            Some((k, r)) => (k, Some(r)),
+            None => (spec, None),
+        };
+        let scale = |rest: Option<&str>| -> Result<f64, String> {
+            let scale = match rest {
+                None => 0.05,
+                Some(s) => s
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid scale `{s}` in `{spec}`"))?,
+            };
+            // Validate here, where the failure can still be a usage
+            // message — sources load lazily, so a bad scale would
+            // otherwise only blow up at first request inside a server
+            // handler thread.
+            if !(scale > 0.0 && scale <= 1.0) {
+                return Err(format!(
+                    "scale must be in (0, 1], got `{scale}` in `{spec}`"
+                ));
+            }
+            Ok(scale)
+        };
+        match kind {
+            "slashdot" => match rest {
+                None => Ok(DeploymentSource::Slashdot),
+                Some(_) => Err(format!("`slashdot` takes no parameters (got `{spec}`)")),
+            },
+            "epinions" => Ok(DeploymentSource::Epinions {
+                scale: scale(rest)?,
+            }),
+            "wikipedia" => Ok(DeploymentSource::Wikipedia {
+                scale: scale(rest)?,
+            }),
+            "synthetic" => {
+                let mut nodes = 1000usize;
+                let mut edges = None;
+                let mut skills = 200usize;
+                let mut neg = 0.2f64;
+                let mut seed = 42u64;
+                for pair in rest.unwrap_or("").split(',').filter(|p| !p.is_empty()) {
+                    let (key, value) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("expected key=value, got `{pair}` in `{spec}`"))?;
+                    let invalid = || format!("invalid value `{value}` for `{key}` in `{spec}`");
+                    match key {
+                        "nodes" => nodes = value.parse().map_err(|_| invalid())?,
+                        "edges" => edges = Some(value.parse().map_err(|_| invalid())?),
+                        "skills" => skills = value.parse().map_err(|_| invalid())?,
+                        "neg" => neg = value.parse().map_err(|_| invalid())?,
+                        "seed" => seed = value.parse().map_err(|_| invalid())?,
+                        other => {
+                            return Err(format!(
+                                "unknown synthetic parameter `{other}` in `{spec}` \
+                                 (expected nodes, edges, skills, neg, seed)"
+                            ))
+                        }
+                    }
+                }
+                if nodes == 0 {
+                    return Err(format!("synthetic `nodes` must be at least 1 in `{spec}`"));
+                }
+                if !(0.0..=1.0).contains(&neg) {
+                    return Err(format!("synthetic `neg` must be in [0, 1] in `{spec}`"));
+                }
+                let edges = edges.unwrap_or_else(|| nodes.saturating_mul(5));
+                Ok(DeploymentSource::Synthetic {
+                    spec: DatasetSpec {
+                        name: format!("synthetic-{nodes}n-{edges}m"),
+                        users: nodes,
+                        edges,
+                        negative_fraction: neg,
+                        diameter: 0, // informational only; not enforced
+                        skills,
+                        skills_per_user: 3.0,
+                        zipf_exponent: 1.0,
+                        locality: 0.8,
+                        preferential: 0.3,
+                        balance_bias: 0.8,
+                        camps: 4,
+                        seed,
+                    },
+                })
+            }
+            other => Err(format!(
+                "unknown deployment source `{other}` \
+                 (expected slashdot, epinions, wikipedia, or synthetic)"
+            )),
+        }
+    }
+}
+
+/// One named deployment recipe plus the engine options it is served with.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// The name requests address it by.
+    pub name: String,
+    /// Where its data comes from.
+    pub source: DeploymentSource,
+    /// Engine construction options (store policy, build threads, tuning).
+    pub options: EngineOptions,
+}
+
+impl DeploymentConfig {
+    /// A config with default engine options.
+    pub fn new(name: impl Into<String>, source: DeploymentSource) -> Self {
+        DeploymentConfig {
+            name: name.into(),
+            source,
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Sets the engine options.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// One registry slot: the recipe plus the lazily-built engine. The
+/// `OnceLock` gives exactly-once loading under concurrency — racing
+/// requests for a cold deployment block on one load.
+#[derive(Debug)]
+struct Entry {
+    config: DeploymentConfig,
+    engine: OnceLock<Arc<Engine>>,
+}
+
+/// Several named deployments resident in one process. See the module docs.
+#[derive(Debug)]
+pub struct DeploymentRegistry {
+    entries: Vec<Entry>,
+}
+
+impl DeploymentRegistry {
+    /// Builds a registry. The first config is the default deployment.
+    /// Fails on an empty list or duplicate names.
+    pub fn new(configs: Vec<DeploymentConfig>) -> Result<Self, String> {
+        if configs.is_empty() {
+            return Err("a deployment registry needs at least one deployment".to_string());
+        }
+        for (i, c) in configs.iter().enumerate() {
+            if c.name.is_empty() {
+                return Err("deployment names must be non-empty".to_string());
+            }
+            if configs[..i].iter().any(|p| p.name == c.name) {
+                return Err(format!("duplicate deployment name `{}`", c.name));
+            }
+        }
+        Ok(DeploymentRegistry {
+            entries: configs
+                .into_iter()
+                .map(|config| Entry {
+                    config,
+                    engine: OnceLock::new(),
+                })
+                .collect(),
+        })
+    }
+
+    /// A registry serving one deployment.
+    pub fn single(config: DeploymentConfig) -> Self {
+        Self::new(vec![config]).expect("one named deployment is a valid registry")
+    }
+
+    /// The name requests resolve to when they do not specify one.
+    pub fn default_name(&self) -> &str {
+        &self.entries[0].config.name
+    }
+
+    /// All deployment names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .map(|e| e.config.name.as_str())
+            .collect()
+    }
+
+    /// Number of registered deployments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `false` always — registries are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn entry(&self, name: Option<&str>) -> Result<&Entry, ServiceError> {
+        let name = name.unwrap_or_else(|| self.default_name());
+        self.entries
+            .iter()
+            .find(|e| e.config.name == name)
+            .ok_or_else(|| ServiceError::UnknownDeployment {
+                name: name.to_string(),
+                available: self.names().iter().map(|n| n.to_string()).collect(),
+            })
+    }
+
+    /// The engine serving `name` (`None` = default), loading the deployment
+    /// on first use. Concurrent callers for the same cold entry block on
+    /// exactly one load.
+    pub fn engine(&self, name: Option<&str>) -> Result<Arc<Engine>, ServiceError> {
+        let entry = self.entry(name)?;
+        Ok(entry
+            .engine
+            .get_or_init(|| {
+                Arc::new(Engine::with_options(
+                    entry.config.source.load(),
+                    entry.config.options.clone(),
+                ))
+            })
+            .clone())
+    }
+
+    /// The engine serving `name`, only if its deployment is already loaded
+    /// — metrics and listings must not force multi-gigabyte loads.
+    pub fn engine_if_loaded(&self, name: &str) -> Option<Arc<Engine>> {
+        self.entries
+            .iter()
+            .find(|e| e.config.name == name)
+            .and_then(|e| e.engine.get().cloned())
+    }
+
+    /// The registry listing for the protocol's `deployments` operation.
+    pub fn infos(&self) -> Vec<DeploymentInfo> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| match e.engine.get() {
+                Some(engine) => DeploymentInfo {
+                    name: e.config.name.clone(),
+                    default: i == 0,
+                    loaded: true,
+                    users: Some(engine.deployment().user_count() as u64),
+                    edges: Some(engine.deployment().graph().edge_count() as u64),
+                    skills: Some(engine.deployment().skill_count() as u64),
+                    tier: Some(
+                        engine
+                            .store()
+                            .policy()
+                            .tier_for(engine.deployment().user_count())
+                            .label()
+                            .to_string(),
+                    ),
+                },
+                None => DeploymentInfo {
+                    name: e.config.name.clone(),
+                    default: i == 0,
+                    loaded: false,
+                    users: None,
+                    edges: None,
+                    skills: None,
+                    tier: None,
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_rejects_bad_configs() {
+        assert!(DeploymentRegistry::new(Vec::new()).is_err());
+        let dup = vec![
+            DeploymentConfig::new("a", DeploymentSource::Slashdot),
+            DeploymentConfig::new("a", DeploymentSource::Slashdot),
+        ];
+        assert!(DeploymentRegistry::new(dup)
+            .unwrap_err()
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn lazy_load_is_per_entry_and_exactly_once() {
+        let registry = DeploymentRegistry::new(vec![
+            DeploymentConfig::new("sd", DeploymentSource::Slashdot),
+            DeploymentConfig::new(
+                "tiny",
+                DeploymentSource::parse("synthetic:nodes=60,edges=150,skills=10").unwrap(),
+            ),
+        ])
+        .unwrap();
+        assert_eq!(registry.default_name(), "sd");
+        assert!(registry.infos().iter().all(|i| !i.loaded));
+        // Default resolution loads only the first entry.
+        let sd = registry.engine(None).unwrap();
+        assert_eq!(sd.deployment().name(), "Slashdot");
+        let infos = registry.infos();
+        assert!(infos[0].loaded && !infos[1].loaded);
+        assert_eq!(infos[0].users, Some(214));
+        // Repeated fetches share the engine.
+        let again = registry.engine(Some("sd")).unwrap();
+        assert!(Arc::ptr_eq(&sd, &again));
+        // The second entry loads on demand with its own store.
+        let tiny = registry.engine(Some("tiny")).unwrap();
+        assert_eq!(tiny.deployment().user_count(), 60);
+        assert!(registry.engine_if_loaded("tiny").is_some());
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let registry =
+            DeploymentRegistry::single(DeploymentConfig::new("sd", DeploymentSource::Slashdot));
+        let err = registry.engine(Some("prod")).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::UnknownDeployment {
+                name: "prod".to_string(),
+                available: vec!["sd".to_string()],
+            }
+        );
+    }
+
+    #[test]
+    fn source_specs_parse() {
+        assert!(matches!(
+            DeploymentSource::parse("slashdot").unwrap(),
+            DeploymentSource::Slashdot
+        ));
+        match DeploymentSource::parse("epinions:0.1").unwrap() {
+            DeploymentSource::Epinions { scale } => assert!((scale - 0.1).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        match DeploymentSource::parse("synthetic:nodes=500,neg=0.3,seed=9").unwrap() {
+            DeploymentSource::Synthetic { spec } => {
+                assert_eq!(spec.users, 500);
+                assert_eq!(spec.edges, 2500);
+                assert_eq!(spec.seed, 9);
+                assert!((spec.negative_fraction - 0.3).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(DeploymentSource::parse("slashdot:0.5").is_err());
+        assert!(DeploymentSource::parse("synthetic:nodes=x").is_err());
+        assert!(DeploymentSource::parse("synthetic:turbo=1").is_err());
+        assert!(DeploymentSource::parse("prod").is_err());
+        // Out-of-domain parameters fail at parse time (sources load lazily,
+        // so a deferred failure would only surface mid-request).
+        for bad in [
+            "epinions:0",
+            "epinions:-1",
+            "epinions:1.5",
+            "epinions:nan",
+            "wikipedia:0",
+            "synthetic:nodes=0",
+            "synthetic:neg=1.5",
+        ] {
+            assert!(
+                DeploymentSource::parse(bad).is_err(),
+                "{bad} must be rejected"
+            );
+        }
+    }
+}

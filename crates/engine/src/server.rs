@@ -1,0 +1,818 @@
+//! The HTTP/1.1 front-end: a hand-rolled server over
+//! [`std::net::TcpListener`] (no registry access, so no hyper/axum) that
+//! exposes one [`Service`] as a long-lived process — deployments load once
+//! per process, not once per CLI call.
+//!
+//! ## Endpoints
+//!
+//! | Method + path          | Body                       | Response |
+//! |------------------------|----------------------------|----------|
+//! | `GET /healthz`         | —                          | `ok` (text/plain) |
+//! | `POST /v1/query`       | one [`crate::TeamQuery`] JSON object | one [`crate::TeamAnswer`] JSON object |
+//! | `POST /v1/batch`       | JSONL of queries           | JSONL of answers (same bytes as CLI `serve-batch`) |
+//! | `POST /v1/rpc`         | one protocol [`Request`] envelope | one [`Response`] envelope |
+//! | `GET /v1/stats`        | —                          | `stats` [`Response`] envelope |
+//! | `GET /v1/metrics`      | —                          | `metrics` [`Response`] envelope |
+//! | `GET /v1/deployments`  | —                          | `deployments` [`Response`] envelope |
+//!
+//! `query`, `batch` and `stats` accept `?deployment=NAME` to address a
+//! registry entry, and `query`/`batch` accept `?timing=false` to zero the
+//! per-answer latency fields. Errors are [`Response::Error`] envelopes with
+//! mapped status codes (`unknown_deployment` → 404, `too_large` → 413,
+//! other client errors → 400).
+//!
+//! ## Architecture
+//!
+//! A small pool of acceptor threads shares the listener (each holds a
+//! `try_clone`); every accepted connection gets its own handler thread, so
+//! idle keep-alive connections (monitoring dashboards, pooled clients)
+//! never pin an acceptor and `/healthz` stays responsive. Concurrent
+//! connections are capped at [`ServerOptions::max_connections`] — over the
+//! cap the server answers `503` and closes. A connection is driven until
+//! the peer closes, sends `Connection: close`, or idles past the read
+//! timeout. Request heads are read with per-line and header-count caps (a
+//! newline-less firehose cannot grow memory), bodies are framed by
+//! `Content-Length` (no chunked upload support — JSONL batches have a
+//! known length) and capped at [`ServerOptions::max_body_bytes`], and
+//! `Expect: 100-continue` gets its interim response so curl does not stall
+//! before large uploads. Batch bodies run through
+//! [`Service::stream_batch`], so the engine-side chunking (bounded memory,
+//! in-order answers) is identical to the CLI transport.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::proto::{Request, RequestBody, Response, ServiceError};
+use crate::service::{Service, StreamError};
+use crate::TeamQuery;
+
+/// Longest accepted request line or header line, bytes.
+const MAX_HEAD_LINE_BYTES: usize = 8 << 10;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+
+/// Construction options for an [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Acceptor threads sharing the listener. Connections are handled on
+    /// their own threads; batches fan out over the engine's rayon workers.
+    pub threads: usize,
+    /// Maximum concurrent connections; over the cap the server answers
+    /// `503` and closes.
+    pub max_connections: usize,
+    /// Maximum accepted request-body size.
+    pub max_body_bytes: usize,
+    /// Keep-alive idle timeout: a connection silent this long is closed.
+    pub keep_alive: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            threads: 4,
+            max_connections: 256,
+            max_body_bytes: 64 << 20,
+            keep_alive: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running HTTP front-end. Dropping the handle does **not** stop the
+/// server; call [`HttpServer::shutdown`] (tests) or [`HttpServer::join`]
+/// (serve forever).
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` for an ephemeral
+    /// port — read it back from [`HttpServer::addr`]) and starts the worker
+    /// pool serving `service`.
+    pub fn bind(
+        service: Arc<Service>,
+        addr: &str,
+        options: ServerOptions,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicUsize::new(0));
+        let threads = options.threads.max(1);
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cloned = match listener.try_clone() {
+                Ok(cloned) => cloned,
+                Err(e) => {
+                    // Partial failure (fd exhaustion): stop and join the
+                    // acceptors already spawned so no half-built server
+                    // keeps the port alive behind an `Err` return.
+                    shutdown.store(true, Ordering::SeqCst);
+                    for _ in 0..workers.len() {
+                        let _ = TcpStream::connect(addr);
+                    }
+                    for worker in workers {
+                        let _: std::thread::Result<()> = worker.join();
+                    }
+                    return Err(e);
+                }
+            };
+            let service = service.clone();
+            let shutdown = shutdown.clone();
+            let connections = connections.clone();
+            let options = options.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&cloned, &service, &shutdown, &connections, &options)
+            }));
+        }
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the acceptors and joins them. In-flight
+    /// requests finish on their connection threads; idle keep-alive
+    /// connections are abandoned (their threads exit at the read timeout).
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // One wake-up connection per worker unblocks the blocking accepts.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Blocks the calling thread for the lifetime of the server (the CLI
+    /// `serve-http` foreground mode).
+    pub fn join(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Decrements the live-connection gauge when a handler thread exits, on
+/// every path (including panics inside route handlers).
+struct ConnectionGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    shutdown: &Arc<AtomicBool>,
+    connections: &Arc<AtomicUsize>,
+    options: &ServerOptions,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Persistent accept failures (fd exhaustion, transient
+                // network errors) must not busy-spin every acceptor.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if connections.fetch_add(1, Ordering::SeqCst) >= options.max_connections {
+            let guard = ConnectionGuard(connections.clone());
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(options.keep_alive));
+            let _ = write_response(
+                &mut stream,
+                &HttpResponse::error(
+                    503,
+                    ServiceError::Overloaded {
+                        max_connections: options.max_connections as u64,
+                    },
+                ),
+                true,
+            );
+            drop(guard);
+            continue;
+        }
+        // One thread per connection (detached): an idle keep-alive
+        // connection then costs one parked thread, not an acceptor. The
+        // guard keeps the gauge exact on every exit path.
+        let guard = ConnectionGuard(connections.clone());
+        let service = service.clone();
+        let shutdown = shutdown.clone();
+        let options = options.clone();
+        std::thread::spawn(move || {
+            let _guard = guard;
+            // Per-connection errors (resets, timeouts, malformed framing)
+            // only terminate that connection.
+            let _ = handle_connection(stream, &service, &shutdown, &options);
+        });
+    }
+}
+
+/// One parsed request head plus its body.
+struct HttpRequest {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+    close: bool,
+    /// `true` for HTTP/1.1 peers, which understand chunked responses.
+    http11: bool,
+}
+
+/// Outcome of one capped head-line read.
+enum HeadLine {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// Clean EOF before any byte of this line.
+    Eof,
+    /// The line exceeded [`MAX_HEAD_LINE_BYTES`] — the connection is
+    /// hostile or broken; respond 400 and close.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated head line with a hard byte cap, so a
+/// newline-less firehose cannot grow memory (`BufRead::read_line` has no
+/// such cap).
+fn read_head_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<HeadLine> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF: clean only between requests (nothing read yet).
+            return Ok(if line.is_empty() {
+                HeadLine::Eof
+            } else {
+                HeadLine::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let take = pos + 1;
+                if line.len() + pos > MAX_HEAD_LINE_BYTES {
+                    reader.consume(take);
+                    return Ok(HeadLine::TooLong);
+                }
+                line.extend_from_slice(&buf[..pos]);
+                reader.consume(take);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(HeadLine::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            None => {
+                let take = buf.len();
+                if line.len() + take > MAX_HEAD_LINE_BYTES {
+                    reader.consume(take);
+                    return Ok(HeadLine::TooLong);
+                }
+                line.extend_from_slice(buf);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in one URL query component, so
+/// percent-encoding clients can address deployment names with reserved
+/// characters. Malformed escapes pass through literally.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 3 <= bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3])
+                    .ok()
+                    .and_then(|h| u8::from_str_radix(h, 16).ok());
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reads one request off the connection. `Ok(None)` = clean EOF (the peer
+/// closed between requests). Framing errors are returned as a response to
+/// send before closing. `writer` is needed for the `100 Continue` interim
+/// response clients like curl wait for before sending large bodies.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    max_body: usize,
+) -> std::io::Result<std::result::Result<Option<HttpRequest>, (u16, ServiceError)>> {
+    let too_long = || {
+        Ok(Err((
+            400,
+            ServiceError::BadRequest {
+                detail: format!("request head line exceeds {MAX_HEAD_LINE_BYTES} bytes"),
+            },
+        )))
+    };
+    let line = match read_head_line(reader)? {
+        HeadLine::Eof => return Ok(Ok(None)),
+        HeadLine::TooLong => return too_long(),
+        HeadLine::Line(line) => line,
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(Err((
+            400,
+            ServiceError::BadRequest {
+                detail: "malformed request line".to_string(),
+            },
+        )));
+    };
+    let http11 = version.eq_ignore_ascii_case("HTTP/1.1");
+    let method = method.to_ascii_uppercase();
+    let (path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let query: Vec<(String, String)> = raw_query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; 1.0 to close.
+    let mut close = !http11;
+    let mut expect_continue = false;
+    let mut headers = 0usize;
+    loop {
+        let header = match read_head_line(reader)? {
+            HeadLine::Eof => return Ok(Ok(None)), // peer vanished mid-headers
+            HeadLine::TooLong => return too_long(),
+            HeadLine::Line(header) => header,
+        };
+        if header.is_empty() {
+            break;
+        }
+        headers += 1;
+        if headers > MAX_HEADERS {
+            return Ok(Err((
+                400,
+                ServiceError::BadRequest {
+                    detail: format!("more than {MAX_HEADERS} request headers"),
+                },
+            )));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = match value.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Ok(Err((
+                        400,
+                        ServiceError::BadRequest {
+                            detail: format!("invalid Content-Length `{value}`"),
+                        },
+                    )))
+                }
+            };
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding")
+            && !value.eq_ignore_ascii_case("identity")
+        {
+            return Ok(Err((
+                400,
+                ServiceError::BadRequest {
+                    detail: "chunked request bodies are not supported; send Content-Length"
+                        .to_string(),
+                },
+            )));
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        }
+    }
+    if content_length > max_body {
+        return Ok(Err((
+            413,
+            ServiceError::TooLarge {
+                limit_bytes: max_body as u64,
+            },
+        )));
+    }
+    if expect_continue && content_length > 0 {
+        // curl sends `Expect: 100-continue` for bodies over ~1 KiB and
+        // stalls up to a second waiting for this interim response.
+        writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        writer.flush()?;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Ok(Some(HttpRequest {
+        method,
+        path,
+        query,
+        body,
+        close,
+        http11,
+    })))
+}
+
+/// One response ready to write.
+struct HttpResponse {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl HttpResponse {
+    fn json(status: u16, value: &impl Serialize) -> Self {
+        let mut body = serde_json::to_string(value)
+            .unwrap_or_else(|_| "{}".to_string())
+            .into_bytes();
+        body.push(b'\n');
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn error(status: u16, error: ServiceError) -> Self {
+        Self::json(status, &Response::Error(error))
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// The HTTP status a typed service error maps to.
+fn status_for(error: &ServiceError) -> u16 {
+    match error {
+        ServiceError::UnknownDeployment { .. } => 404,
+        ServiceError::TooLarge { .. } => 413,
+        ServiceError::Overloaded { .. } => 503,
+        ServiceError::Internal { .. } => 500,
+        ServiceError::UnsupportedVersion { .. }
+        | ServiceError::UnknownOp { .. }
+        | ServiceError::BadRequest { .. } => 400,
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    shutdown: &AtomicBool,
+    options: &ServerOptions,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(options.keep_alive))?;
+    // Also bound writes: a client that stops reading its response would
+    // otherwise block this handler forever once the socket send buffer
+    // fills, leaking its connection slot until the cap starves the server.
+    stream.set_write_timeout(Some(options.keep_alive))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let request = match read_request(&mut reader, &mut writer, options.max_body_bytes) {
+            Ok(Ok(Some(request))) => request,
+            Ok(Ok(None)) => return Ok(()), // clean close
+            Ok(Err((status, error))) => {
+                // Framing errors poison the connection: respond and close.
+                write_response(&mut writer, &HttpResponse::error(status, error), true)?;
+                return Ok(());
+            }
+            Err(_) => return Ok(()), // timeout or reset
+        };
+        let close = request.close;
+        // HTTP/1.1 batch responses stream chunked: answers go to the
+        // socket as engine chunks complete instead of accumulating the
+        // whole JSONL body in memory first. (HTTP/1.0 peers cannot parse
+        // chunked framing and get the buffered path in `route`.)
+        if request.http11 && request.method == "POST" && request.path == "/v1/batch" {
+            if !respond_batch_streaming(&mut writer, service, &request)? {
+                return Ok(());
+            }
+            continue;
+        }
+        let response = route(service, &request);
+        write_response(&mut writer, &response, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+/// Buffered bytes per emitted HTTP chunk (one chunk per answer line would
+/// waste the wire on framing).
+const CHUNK_FLUSH_BYTES: usize = 32 << 10;
+
+/// A `Write` sink that frames everything written through it as HTTP/1.1
+/// chunked transfer coding. The response head is committed lazily, on the
+/// first flushed chunk — so an error *before any output* (say a bad query
+/// on line 1) can still become a clean status-coded response.
+struct ChunkedWriter<'a> {
+    inner: &'a mut TcpStream,
+    /// The response head, written ahead of the first chunk (`None` once
+    /// sent).
+    head: Option<String>,
+    buf: Vec<u8>,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    fn new(inner: &'a mut TcpStream, head: String) -> Self {
+        ChunkedWriter {
+            inner,
+            head: Some(head),
+            buf: Vec::with_capacity(CHUNK_FLUSH_BYTES),
+        }
+    }
+
+    /// `true` once any byte of the response has hit the socket.
+    fn committed(&self) -> bool {
+        self.head.is_none()
+    }
+
+    fn flush_chunk(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if let Some(head) = self.head.take() {
+            self.inner.write_all(head.as_bytes())?;
+        }
+        write!(self.inner, "{:x}\r\n", self.buf.len())?;
+        self.inner.write_all(&self.buf)?;
+        self.inner.write_all(b"\r\n")?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Emits the head (even for an empty body) and the terminal
+    /// zero-length chunk. Skipping this (the mid-stream error path) leaves
+    /// the body visibly truncated to the client.
+    fn finish(mut self) -> std::io::Result<()> {
+        self.flush_chunk()?;
+        if let Some(head) = self.head.take() {
+            self.inner.write_all(head.as_bytes())?;
+        }
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()
+    }
+}
+
+impl Write for ChunkedWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= CHUNK_FLUSH_BYTES {
+            self.flush_chunk()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.flush_chunk()?;
+        self.inner.flush()
+    }
+}
+
+/// Streams a `/v1/batch` response with chunked transfer coding. Returns
+/// `Ok(true)` when the connection may serve another request.
+fn respond_batch_streaming(
+    writer: &mut TcpStream,
+    service: &Service,
+    request: &HttpRequest,
+) -> std::io::Result<bool> {
+    let (deployment, timing) = query_params(request);
+    // Resolve (and lazily load) the deployment before committing a 200:
+    // addressing errors still get clean status-coded envelopes.
+    if let Err(e) = service.engine(deployment.as_deref()) {
+        write_response(
+            writer,
+            &HttpResponse::error(status_for(&e), e),
+            request.close,
+        )?;
+        return Ok(!request.close);
+    }
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+         Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        if request.close { "close" } else { "keep-alive" },
+    );
+    let mut chunked = ChunkedWriter::new(writer, head);
+    match service.stream_batch(
+        deployment.as_deref(),
+        std::io::Cursor::new(&request.body),
+        &mut chunked,
+        timing,
+    ) {
+        Ok(_) => {
+            chunked.finish()?;
+            Ok(!request.close)
+        }
+        Err(e) => {
+            if chunked.committed() {
+                // The 200 is on the wire; closing without the terminal
+                // chunk is the one honest signal left (the client sees
+                // truncation, not a silently-complete body).
+                return Ok(false);
+            }
+            drop(chunked);
+            write_response(writer, &stream_error_response(e), request.close)?;
+            Ok(!request.close)
+        }
+    }
+}
+
+fn write_response(
+    writer: &mut TcpStream,
+    response: &HttpResponse,
+    close: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// The shared `?deployment=`/`?timing=` query parameters of a request.
+fn query_params(request: &HttpRequest) -> (Option<String>, bool) {
+    let param = |key: &str| {
+        request
+            .query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let deployment = param("deployment").map(str::to_string);
+    let timing = !matches!(param("timing"), Some("0") | Some("false"));
+    (deployment, timing)
+}
+
+/// The response a failed [`Service::stream_batch`] maps to (when nothing
+/// has been committed to the wire yet).
+fn stream_error_response(e: StreamError) -> HttpResponse {
+    match e {
+        StreamError::Service(e) => HttpResponse::error(status_for(&e), e),
+        StreamError::Io(e) => HttpResponse::error(
+            500,
+            ServiceError::Internal {
+                detail: format!("stream failed: {e}"),
+            },
+        ),
+    }
+}
+
+fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
+    let (deployment, timing) = query_params(request);
+    let envelope = |body: RequestBody| Request {
+        deployment: deployment.clone(),
+        body,
+    };
+    let respond = |response: Response| match &response {
+        Response::Error(e) => HttpResponse::error(status_for(e), e.clone()),
+        _ => HttpResponse::json(200, &response),
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => HttpResponse {
+            status: 200,
+            content_type: "text/plain",
+            body: b"ok\n".to_vec(),
+        },
+        ("GET", "/v1/stats") => respond(service.handle(&envelope(RequestBody::Stats))),
+        ("GET", "/v1/metrics") => respond(service.handle(&envelope(RequestBody::Metrics))),
+        ("GET", "/v1/deployments") => respond(service.handle(&envelope(RequestBody::Deployments))),
+        ("POST", "/v1/rpc") => match std::str::from_utf8(&request.body) {
+            Ok(json) => respond(service.handle_json(json)),
+            Err(_) => HttpResponse::error(
+                400,
+                ServiceError::BadRequest {
+                    detail: "request body is not UTF-8".to_string(),
+                },
+            ),
+        },
+        ("POST", "/v1/query") => {
+            let query: TeamQuery = match std::str::from_utf8(&request.body)
+                .map_err(|_| "request body is not UTF-8".to_string())
+                .and_then(|json| serde_json::from_str(json).map_err(|e| e.to_string()))
+            {
+                Ok(query) => query,
+                Err(detail) => {
+                    return HttpResponse::error(400, ServiceError::BadRequest { detail })
+                }
+            };
+            match service.handle(&envelope(RequestBody::Query { query, timing })) {
+                Response::Answer(answer) => HttpResponse::json(200, &answer),
+                Response::Error(e) => HttpResponse::error(status_for(&e), e),
+                other => HttpResponse::error(
+                    500,
+                    ServiceError::Internal {
+                        detail: format!("unexpected response `{}`", other.op()),
+                    },
+                ),
+            }
+        }
+        ("POST", "/v1/batch") => {
+            // The shared streaming path: the response body is built by the
+            // same code that writes the CLI serve-batch output, so the two
+            // transports emit byte-identical JSONL for the same stream.
+            let mut body = Vec::new();
+            match service.stream_batch(
+                deployment.as_deref(),
+                std::io::Cursor::new(&request.body),
+                &mut body,
+                timing,
+            ) {
+                Ok(_) => HttpResponse {
+                    status: 200,
+                    content_type: "application/x-ndjson",
+                    body,
+                },
+                Err(e) => stream_error_response(e),
+            }
+        }
+        (
+            _,
+            "/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/deployments" | "/v1/rpc" | "/v1/query"
+            | "/v1/batch",
+        ) => HttpResponse::error(
+            405,
+            ServiceError::BadRequest {
+                detail: format!("method {} not allowed here", request.method),
+            },
+        ),
+        (_, path) => HttpResponse::error(
+            404,
+            ServiceError::UnknownOp {
+                op: format!("{} {path}", request.method),
+            },
+        ),
+    }
+}

@@ -1,0 +1,444 @@
+//! The transport-agnostic service: one object that owns a
+//! [`DeploymentRegistry`] and answers protocol [`Request`]s, no matter which
+//! transport carried them.
+//!
+//! Both shipped transports are thin adapters over this type: the CLI
+//! `serve-batch`/`stats` subcommands and the HTTP/1.1 front-end
+//! ([`crate::server`]) each parse their framing, then call
+//! [`Service::handle`] (envelopes) or [`Service::stream_batch`] (JSONL
+//! query streams). Because the JSONL path is *shared*, the same warm query
+//! stream produces byte-identical answer lines over every transport.
+//!
+//! [`Service::stream_batch`] is also where batch serving stopped buffering:
+//! queries are read in bounded chunks (default [`ServiceOptions::chunk`]),
+//! each chunk fans across [`Engine::batch`]'s workers, and answers are
+//! written out as each chunk completes — in input order — so a million-query
+//! stream needs memory for one chunk, not the whole workload.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tfsn_core::compat::CompatibilityKind;
+
+use crate::batch::BatchSummary;
+use crate::proto::{
+    DeploymentMetrics, DeploymentStats, Request, RequestBody, Response, ServiceError, ServingPlan,
+};
+use crate::query::QueryReader;
+use crate::registry::DeploymentRegistry;
+use crate::{BatchOptions, Engine, MetricsSnapshot, TeamQuery};
+
+/// Tuning for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Worker-thread options for batch execution.
+    pub batch: BatchOptions,
+    /// Queries per chunk when streaming JSONL batches (bounds resident
+    /// queries + answers; answers still come back in input order).
+    pub chunk: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            batch: BatchOptions::default(),
+            chunk: 1024,
+        }
+    }
+}
+
+/// Outcome of one [`Service::stream_batch`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamSummary {
+    /// Per-answer statistics, folded across chunks.
+    pub summary: BatchSummary,
+    /// Chunks executed.
+    pub chunks: usize,
+}
+
+/// An error from the streaming path: either a protocol-level failure
+/// (unknown deployment, unparseable query line) or sink I/O.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Protocol-level failure; map it through [`ServiceError::code`].
+    Service(ServiceError),
+    /// The answer sink failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Service(e) => e.fmt(f),
+            StreamError::Io(e) => write!(f, "write answer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<ServiceError> for StreamError {
+    fn from(e: ServiceError) -> Self {
+        StreamError::Service(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// The service: a [`DeploymentRegistry`] plus execution options. `Sync` and
+/// cheap to share — transports hold it behind `Arc` and call it from any
+/// thread.
+#[derive(Debug)]
+pub struct Service {
+    registry: DeploymentRegistry,
+    options: ServiceOptions,
+}
+
+impl Service {
+    /// A service with default options.
+    pub fn new(registry: DeploymentRegistry) -> Self {
+        Self::with_options(registry, ServiceOptions::default())
+    }
+
+    /// A service with explicit options.
+    pub fn with_options(registry: DeploymentRegistry, options: ServiceOptions) -> Self {
+        Service { registry, options }
+    }
+
+    /// The deployment registry.
+    pub fn registry(&self) -> &DeploymentRegistry {
+        &self.registry
+    }
+
+    /// The service options.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.options
+    }
+
+    /// Handles one protocol request. Failures come back as
+    /// [`Response::Error`]; this method itself never panics on bad input.
+    pub fn handle(&self, request: &Request) -> Response {
+        match self.dispatch(request) {
+            Ok(response) => response,
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    /// Parses and handles one JSON envelope (the `POST /v1/rpc` body, or a
+    /// line of an envelope stream). Parse failures come back as
+    /// [`Response::Error`] envelopes too, so transports always have a
+    /// serializable answer.
+    pub fn handle_json(&self, json: &str) -> Response {
+        match Request::parse_json(json) {
+            Ok(request) => self.handle(&request),
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn dispatch(&self, request: &Request) -> Result<Response, ServiceError> {
+        let deployment = request.deployment.as_deref();
+        match &request.body {
+            RequestBody::Query { query, timing } => {
+                let engine = self.registry.engine(deployment)?;
+                let mut answer = engine.query(query);
+                if !timing {
+                    answer.strip_timing();
+                }
+                Ok(Response::Answer(answer))
+            }
+            RequestBody::Batch { queries, timing } => {
+                let engine = self.registry.engine(deployment)?;
+                let mut answers = engine.batch(queries, &self.options.batch);
+                if !timing {
+                    answers.iter_mut().for_each(|a| a.strip_timing());
+                }
+                Ok(Response::Batch(answers))
+            }
+            RequestBody::Warm { kinds } => {
+                let engine = self.registry.engine(deployment)?;
+                let kinds: Vec<CompatibilityKind> = if kinds.is_empty() {
+                    CompatibilityKind::EVALUATED.to_vec()
+                } else {
+                    kinds.clone()
+                };
+                let start = Instant::now();
+                engine.warm(&kinds);
+                Ok(Response::Warmed {
+                    deployment: deployment
+                        .unwrap_or_else(|| self.registry.default_name())
+                        .to_string(),
+                    kinds,
+                    micros: start.elapsed().as_micros() as u64,
+                })
+            }
+            RequestBody::Stats => {
+                let engine = self.registry.engine(deployment)?;
+                Ok(Response::Stats(DeploymentStats {
+                    dataset: engine.cached_stats().clone(),
+                    serving: ServingPlan::of_engine(&engine),
+                }))
+            }
+            RequestBody::Metrics => {
+                let mut deployments = Vec::new();
+                let mut total = MetricsSnapshot::default();
+                for name in self.registry.names() {
+                    if let Some(engine) = self.registry.engine_if_loaded(name) {
+                        let metrics = engine.metrics();
+                        total.accumulate(&metrics);
+                        deployments.push(DeploymentMetrics {
+                            deployment: name.to_string(),
+                            metrics,
+                        });
+                    }
+                }
+                Ok(Response::Metrics { deployments, total })
+            }
+            RequestBody::Deployments => Ok(Response::Deployments(self.registry.infos())),
+        }
+    }
+
+    /// Streams a JSONL query batch: reads bounded chunks from `input`, runs
+    /// each through [`Engine::batch`], and writes one JSONL answer per
+    /// query to `sink` in input order as chunks complete. With
+    /// `timing: false` the answers' latency fields are zeroed
+    /// ([`crate::TeamAnswer::strip_timing`]), making warm output
+    /// byte-stable across runs and transports.
+    ///
+    /// A malformed line aborts the stream with
+    /// [`ServiceError::BadRequest`] carrying its 1-based line number;
+    /// answers of earlier chunks have already been written by then
+    /// (streaming is the point — there is no buffering to roll back).
+    pub fn stream_batch(
+        &self,
+        deployment: Option<&str>,
+        input: impl BufRead,
+        sink: &mut dyn Write,
+        timing: bool,
+    ) -> Result<StreamSummary, StreamError> {
+        let engine = self.registry.engine(deployment)?;
+        let mut reader = QueryReader::new(input);
+        let mut out = StreamSummary::default();
+        // Capacity is a hint capped well below `chunk` — an absurd --chunk
+        // must not preallocate terabytes; the vec grows to what the input
+        // actually holds.
+        let mut chunk: Vec<TeamQuery> = Vec::with_capacity(self.options.chunk.clamp(1, 1024));
+        loop {
+            chunk.clear();
+            while chunk.len() < self.options.chunk.max(1) {
+                match reader.next() {
+                    Some(Ok(query)) => chunk.push(query),
+                    Some(Err(detail)) => {
+                        return Err(ServiceError::BadRequest { detail }.into());
+                    }
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            let mut answers = engine.batch(&chunk, &self.options.batch);
+            out.summary.absorb(&BatchSummary::of(&answers));
+            out.chunks += 1;
+            for answer in &mut answers {
+                if !timing {
+                    answer.strip_timing();
+                }
+                let line = serde_json::to_string(answer).map_err(|e| {
+                    StreamError::Io(std::io::Error::other(format!("serialize answer: {e}")))
+                })?;
+                writeln!(sink, "{line}")?;
+            }
+        }
+        sink.flush()?;
+        Ok(out)
+    }
+
+    /// The engine serving `deployment` (`None` = default), loading it if
+    /// needed — for transports that need engine-level access (warm-up,
+    /// summaries) around the protocol operations.
+    pub fn engine(&self, deployment: Option<&str>) -> Result<Arc<Engine>, ServiceError> {
+        self.registry.engine(deployment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{DeploymentConfig, DeploymentSource};
+    use crate::AnswerStatus;
+
+    fn two_deployment_service(chunk: usize) -> Service {
+        let registry = DeploymentRegistry::new(vec![
+            DeploymentConfig::new("sd", DeploymentSource::Slashdot),
+            DeploymentConfig::new(
+                "tiny",
+                DeploymentSource::parse("synthetic:nodes=80,edges=240,skills=12,seed=5").unwrap(),
+            ),
+        ])
+        .unwrap();
+        Service::with_options(
+            registry,
+            ServiceOptions {
+                batch: BatchOptions::with_threads(2),
+                chunk,
+            },
+        )
+    }
+
+    fn jsonl(n: usize) -> String {
+        (0..n)
+            .map(|i| format!("{{\"id\": {i}, \"task\": [{}, {}]}}\n", i % 5, (i + 2) % 5))
+            .collect()
+    }
+
+    #[test]
+    fn batch_op_answers_against_the_named_deployment() {
+        let service = two_deployment_service(64);
+        let queries: Vec<TeamQuery> = (0..6)
+            .map(|i| TeamQuery::new([i % 4]).with_id(i as u64))
+            .collect();
+        let response = service.handle(
+            &Request::new(RequestBody::Batch {
+                queries: queries.clone(),
+                timing: false,
+            })
+            .on("tiny"),
+        );
+        let Response::Batch(answers) = response else {
+            panic!("unexpected response {response:?}");
+        };
+        assert_eq!(answers.len(), 6);
+        assert!(answers.iter().all(|a| a.micros == 0 && a.build_micros == 0));
+        // Same queries straight through the engine agree (timing aside).
+        let engine = service.engine(Some("tiny")).unwrap();
+        let mut direct = engine.batch(&queries, &BatchOptions::with_threads(2));
+        direct.iter_mut().for_each(|a| a.strip_timing());
+        let direct_members: Vec<_> = direct
+            .iter()
+            .map(|a| (a.id, a.status, a.members.clone()))
+            .collect();
+        let served_members: Vec<_> = answers
+            .iter()
+            .map(|a| (a.id, a.status, a.members.clone()))
+            .collect();
+        assert_eq!(direct_members, served_members);
+    }
+
+    #[test]
+    fn unknown_deployment_is_an_error_envelope() {
+        let service = two_deployment_service(64);
+        let response =
+            service.handle_json(r#"{"version": 1, "op": "stats", "deployment": "prod"}"#);
+        match response.error() {
+            Some(ServiceError::UnknownDeployment { name, available }) => {
+                assert_eq!(name, "prod");
+                assert_eq!(available, &vec!["sd".to_string(), "tiny".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_batch_chunks_and_matches_unchunked() {
+        let input = jsonl(23);
+        // Chunked (size 4) vs one-shot (size 1024) on fresh services: the
+        // JSONL out must be identical, and the chunk count must reflect the
+        // bound.
+        let chunked_service = two_deployment_service(4);
+        let mut chunked = Vec::new();
+        let s1 = chunked_service
+            .stream_batch(None, std::io::Cursor::new(&input), &mut chunked, false)
+            .unwrap();
+        assert_eq!(s1.chunks, 6, "23 queries in chunks of 4");
+        assert_eq!(s1.summary.queries, 23);
+        let oneshot_service = two_deployment_service(1024);
+        let mut oneshot = Vec::new();
+        let s2 = oneshot_service
+            .stream_batch(None, std::io::Cursor::new(&input), &mut oneshot, false)
+            .unwrap();
+        assert_eq!(s2.chunks, 1);
+        assert_eq!(chunked, oneshot, "chunking must not change the stream");
+        assert_eq!(chunked.iter().filter(|&&b| b == b'\n').count(), 23);
+        assert_eq!(s1.summary.solved, s2.summary.solved);
+        assert!(s1.summary.solved > 0);
+    }
+
+    #[test]
+    fn stream_batch_reports_bad_lines_with_numbers() {
+        let service = two_deployment_service(2);
+        let input = "{\"task\": [1]}\n{\"task\": [2]}\n{\"task\": [3]}\nboom\n";
+        let mut sink = Vec::new();
+        let err = service
+            .stream_batch(None, std::io::Cursor::new(input), &mut sink, true)
+            .unwrap_err();
+        match err {
+            StreamError::Service(ServiceError::BadRequest { detail }) => {
+                assert!(detail.starts_with("line 4:"), "got: {detail}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The first full chunk was already streamed out before the error.
+        assert_eq!(String::from_utf8(sink).unwrap().lines().count(), 2);
+    }
+
+    #[test]
+    fn warm_stats_metrics_deployments_round() {
+        let service = two_deployment_service(64);
+        // Warm the default deployment for two kinds.
+        let response = service.handle(&Request::new(RequestBody::Warm {
+            kinds: vec![CompatibilityKind::Spa, CompatibilityKind::Nne],
+        }));
+        match &response {
+            Response::Warmed {
+                deployment, kinds, ..
+            } => {
+                assert_eq!(deployment, "sd");
+                assert_eq!(kinds.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A warm query is a cache hit and counts in metrics.
+        let answer = service.handle(&Request::new(RequestBody::Query {
+            query: TeamQuery::new([0, 1]).with_kind(CompatibilityKind::Spa),
+            timing: true,
+        }));
+        let Response::Answer(answer) = answer else {
+            panic!("unexpected {answer:?}");
+        };
+        assert!(answer.cache_hit);
+        assert!(matches!(
+            answer.status,
+            AnswerStatus::Ok | AnswerStatus::NoTeam
+        ));
+        // Stats: dataset + serving plan of the default deployment.
+        let stats = service.handle(&Request::new(RequestBody::Stats));
+        let Response::Stats(stats) = stats else {
+            panic!("unexpected {stats:?}");
+        };
+        assert_eq!(stats.dataset.name, "Slashdot");
+        assert_eq!(stats.dataset.users, 214);
+        assert_eq!(stats.serving.tier, "matrix");
+        // Metrics: only the loaded deployment reports; totals match.
+        let metrics = service.handle(&Request::new(RequestBody::Metrics));
+        let Response::Metrics { deployments, total } = metrics else {
+            panic!("unexpected {metrics:?}");
+        };
+        assert_eq!(deployments.len(), 1, "tiny was never loaded");
+        assert_eq!(deployments[0].deployment, "sd");
+        assert_eq!(total.queries_served, 1);
+        assert_eq!(total.matrix_builds, 2, "the two warmed kinds");
+        // Deployments listing knows which entries are loaded.
+        let listing = service.handle(&Request::new(RequestBody::Deployments));
+        let Response::Deployments(infos) = listing else {
+            panic!("unexpected {listing:?}");
+        };
+        assert_eq!(infos.len(), 2);
+        assert!(infos[0].default && infos[0].loaded);
+        assert!(!infos[1].default && !infos[1].loaded);
+    }
+}

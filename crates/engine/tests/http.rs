@@ -1,0 +1,329 @@
+//! Integration tests for the HTTP/1.1 front-end: an in-process
+//! `HttpServer` on an ephemeral port serving **one `Service` with two named
+//! deployments**, hammered by concurrent client threads.
+//!
+//! Asserted here:
+//! * `/v1/batch` answers equal `Engine::batch` on the same queries, for
+//!   both deployments, under concurrent clients;
+//! * the CLI transport (`Service::stream_batch`, which `serve-batch`
+//!   drives) and the HTTP transport produce **byte-identical JSONL** for
+//!   the same warm query stream;
+//! * `/v1/metrics` shows exactly-once matrix-build accounting despite the
+//!   concurrency (builds == warmed kinds per deployment);
+//! * keep-alive connections serve multiple requests, and error paths map
+//!   to the right status codes and typed envelope errors.
+
+use std::sync::Arc;
+
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_engine::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+use tfsn_engine::server::{HttpServer, ServerOptions};
+use tfsn_engine::service::{Service, ServiceOptions};
+use tfsn_engine::{
+    BatchOptions, HttpClient, Request, RequestBody, Response, ServiceError, TeamQuery,
+};
+
+const KINDS: [CompatibilityKind; 3] = [
+    CompatibilityKind::Spa,
+    CompatibilityKind::Spo,
+    CompatibilityKind::Nne,
+];
+
+fn two_deployment_service() -> Arc<Service> {
+    let registry = DeploymentRegistry::new(vec![
+        DeploymentConfig::new("sd", DeploymentSource::Slashdot),
+        DeploymentConfig::new(
+            "tiny",
+            DeploymentSource::parse("synthetic:nodes=120,edges=420,skills=16,seed=11").unwrap(),
+        ),
+    ])
+    .unwrap();
+    Arc::new(Service::with_options(
+        registry,
+        ServiceOptions {
+            batch: BatchOptions::with_threads(2),
+            chunk: 8, // force multi-chunk streaming on the 24-query batches
+        },
+    ))
+}
+
+fn queries(n: usize) -> Vec<TeamQuery> {
+    (0..n)
+        .map(|i| {
+            TeamQuery::new([i % 7, (i * 3 + 1) % 7])
+                .with_id(i as u64)
+                .with_kind(KINDS[i % KINDS.len()])
+        })
+        .collect()
+}
+
+fn jsonl(queries: &[TeamQuery]) -> String {
+    queries
+        .iter()
+        .map(|q| serde_json::to_string(q).unwrap() + "\n")
+        .collect()
+}
+
+/// The shared keep-alive client (`tfsn_engine::HttpClient`), with the
+/// test-friendly `(status, body)` calling convention.
+struct Client(HttpClient);
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        Client(HttpClient::connect(addr).expect("connect to test server"))
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: Option<&str>) -> (u16, String) {
+        let reply = self
+            .0
+            .request(method, target, body.unwrap_or(""))
+            .expect("request on test connection");
+        (reply.status, reply.body)
+    }
+}
+
+#[test]
+fn concurrent_clients_get_engine_identical_answers_on_both_transports() {
+    let service = two_deployment_service();
+    let server = HttpServer::bind(
+        service.clone(),
+        "127.0.0.1:0",
+        ServerOptions {
+            threads: 4,
+            keep_alive: std::time::Duration::from_secs(5),
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Warm three kinds on both deployments through the envelope transport,
+    // so every later query is a cache hit and answers are byte-stable.
+    let mut warmer = Client::connect(addr);
+    for deployment in ["sd", "tiny"] {
+        let warm = serde_json::to_string(
+            &Request::new(RequestBody::Warm {
+                kinds: KINDS.to_vec(),
+            })
+            .on(deployment),
+        )
+        .unwrap();
+        let (status, body) = warmer.request("POST", "/v1/rpc", Some(&warm));
+        assert_eq!(status, 200, "warm failed: {body}");
+        match Response::parse_json(&body).unwrap() {
+            Response::Warmed {
+                deployment: d,
+                kinds,
+                ..
+            } => {
+                assert_eq!(d, deployment);
+                assert_eq!(kinds.len(), KINDS.len());
+            }
+            other => panic!("unexpected warm response {other:?}"),
+        }
+    }
+    // Close the warm connection so its worker is free for the storm (an
+    // idle keep-alive connection pins one worker until the timeout).
+    drop(warmer);
+
+    // 4 client threads × 2 keep-alive requests each, split across the two
+    // deployments, all posting the same 24-query JSONL stream.
+    let stream = jsonl(&queries(24));
+    let bodies: Vec<(String, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let stream = &stream;
+                scope.spawn(move || {
+                    let deployment = if t % 2 == 0 { "sd" } else { "tiny" };
+                    let mut client = Client::connect(addr);
+                    let mut out = Vec::new();
+                    for _ in 0..2 {
+                        let (status, body) = client.request(
+                            "POST",
+                            &format!("/v1/batch?deployment={deployment}&timing=false"),
+                            Some(stream),
+                        );
+                        assert_eq!(status, 200, "batch failed: {body}");
+                        out.push((deployment.to_string(), body));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(bodies.len(), 8);
+
+    // Exactly-once accounting *before* any direct engine use: per
+    // deployment, 4 HTTP batches × 24 queries were served, all warm, and
+    // matrix builds equal the 3 warmed kinds — no rebuild under the storm.
+    let mut metrics_client = Client::connect(addr);
+    let (status, body) = metrics_client.request("GET", "/v1/metrics", None);
+    assert_eq!(status, 200);
+    let Response::Metrics { deployments, total } = Response::parse_json(&body).unwrap() else {
+        panic!("unexpected metrics payload: {body}");
+    };
+    assert_eq!(deployments.len(), 2);
+    for d in &deployments {
+        assert_eq!(
+            d.metrics.matrix_builds,
+            KINDS.len() as u64,
+            "{}",
+            d.deployment
+        );
+        assert_eq!(d.metrics.queries_served, 4 * 24, "{}", d.deployment);
+        assert_eq!(
+            d.metrics.cache_hits,
+            4 * 24,
+            "{}: warmed batches must be all-hit",
+            d.deployment
+        );
+        assert_eq!(d.metrics.cache_misses, 0, "{}", d.deployment);
+    }
+    assert_eq!(total.queries_served, 2 * 4 * 24);
+    assert_eq!(total.matrix_builds, 2 * KINDS.len() as u64);
+    drop(metrics_client);
+
+    // The same stream through the CLI transport (Service::stream_batch is
+    // exactly what `tfsn serve-batch` drives) must be byte-identical, and
+    // both must equal Engine::batch on the same queries.
+    for deployment in ["sd", "tiny"] {
+        let mut cli_bytes = Vec::new();
+        service
+            .stream_batch(
+                Some(deployment),
+                std::io::Cursor::new(stream.as_bytes()),
+                &mut cli_bytes,
+                false,
+            )
+            .unwrap();
+        let cli_body = String::from_utf8(cli_bytes).unwrap();
+
+        let engine = service.engine(Some(deployment)).unwrap();
+        let mut direct = engine.batch(&queries(24), &BatchOptions::with_threads(2));
+        direct.iter_mut().for_each(|a| a.strip_timing());
+        let direct_body: String = direct
+            .iter()
+            .map(|a| serde_json::to_string(a).unwrap() + "\n")
+            .collect();
+
+        assert_eq!(
+            cli_body, direct_body,
+            "{deployment}: CLI transport differs from Engine::batch"
+        );
+        let http_runs: Vec<&String> = bodies
+            .iter()
+            .filter(|(d, _)| d == deployment)
+            .map(|(_, b)| b)
+            .collect();
+        assert_eq!(http_runs.len(), 4);
+        for http_body in http_runs {
+            assert_eq!(
+                http_body, &cli_body,
+                "{deployment}: HTTP transport differs from CLI transport"
+            );
+        }
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn endpoints_errors_and_keep_alive() {
+    let service = two_deployment_service();
+    let server = HttpServer::bind(
+        service,
+        "127.0.0.1:0",
+        ServerOptions {
+            keep_alive: std::time::Duration::from_secs(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    // One keep-alive connection drives every check below.
+    let mut client = Client::connect(addr);
+
+    let (status, body) = client.request("GET", "/healthz", None);
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Single query, bare answer with the id echoed.
+    let (status, body) = client.request(
+        "POST",
+        "/v1/query?deployment=tiny&timing=0",
+        Some(r#"{"id": 9, "task": [1, 2]}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let answer: tfsn_engine::TeamAnswer = serde_json::from_str(body.trim()).unwrap();
+    assert_eq!(answer.id, Some(9));
+    assert_eq!(answer.micros, 0, "timing=0 must strip latency fields");
+
+    // Deployment listing reflects lazy loading: only tiny is loaded.
+    let (status, body) = client.request("GET", "/v1/deployments", None);
+    assert_eq!(status, 200);
+    let Response::Deployments(infos) = Response::parse_json(&body).unwrap() else {
+        panic!("unexpected listing: {body}");
+    };
+    assert_eq!(infos.len(), 2);
+    assert!(infos[0].default && !infos[0].loaded, "sd never touched");
+    assert!(infos[1].loaded, "tiny served the query above");
+
+    // Stats for a named deployment.
+    let (status, body) = client.request("GET", "/v1/stats?deployment=tiny", None);
+    assert_eq!(status, 200);
+    let Response::Stats(stats) = Response::parse_json(&body).unwrap() else {
+        panic!("unexpected stats: {body}");
+    };
+    assert_eq!(stats.dataset.users, 120);
+
+    // Error mapping: unknown deployment -> 404 typed envelope.
+    let (status, body) = client.request("GET", "/v1/stats?deployment=prod", None);
+    assert_eq!(status, 404, "{body}");
+    match Response::parse_json(&body).unwrap().error() {
+        Some(ServiceError::UnknownDeployment { name, available }) => {
+            assert_eq!(name, "prod");
+            assert_eq!(available, &["sd".to_string(), "tiny".to_string()]);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+
+    // Unsupported version via rpc -> 400 typed envelope.
+    let (status, body) =
+        client.request("POST", "/v1/rpc", Some(r#"{"version": 99, "op": "stats"}"#));
+    assert_eq!(status, 400);
+    assert!(
+        matches!(
+            Response::parse_json(&body).unwrap().error(),
+            Some(ServiceError::UnsupportedVersion { requested: 99, .. })
+        ),
+        "{body}"
+    );
+
+    // Bad batch line -> 400 with the line number.
+    let (status, body) = client.request("POST", "/v1/batch", Some("{\"task\": [1]}\nnot json\n"));
+    assert_eq!(status, 400);
+    match Response::parse_json(&body).unwrap().error() {
+        Some(ServiceError::BadRequest { detail }) => {
+            assert!(detail.starts_with("line 2:"), "got: {detail}")
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+
+    // Unknown path -> 404; wrong method on a known path -> 405.
+    let (status, _) = client.request("GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = client.request("GET", "/v1/batch", None);
+    assert_eq!(status, 405);
+
+    // The connection survived all of the above (keep-alive): one more
+    // healthy request on the same socket.
+    let (status, body) = client.request("GET", "/healthz", None);
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Close before shutdown so no worker sits out the idle timeout.
+    drop(client);
+    server.shutdown();
+}

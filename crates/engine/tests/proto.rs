@@ -1,0 +1,314 @@
+//! Property tests for the versioned service protocol: every
+//! `Request`/`Response` variant — error envelopes included — survives
+//! serialize → parse bit-for-bit, unknown protocol versions are rejected
+//! with the typed error, and the answer-status labels are closed under
+//! `parse(label(..))`.
+
+use proptest::prelude::*;
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_core::team::greedy::GreedyConfig;
+use tfsn_core::team::policies::TeamAlgorithm;
+use tfsn_core::team::Solver;
+use tfsn_datasets::DatasetStats;
+use tfsn_engine::proto::{DeploymentInfo, DeploymentMetrics, DeploymentStats, ServingPlan};
+use tfsn_engine::{
+    AnswerStatus, MetricsSnapshot, Request, RequestBody, Response, ServiceError, TeamAnswer,
+    TeamQuery, PROTOCOL_VERSION,
+};
+
+// ---------------------------------------------------------------------------
+// Strategies (the vendored proptest has no oneof/Just; index-mapping over
+// small ranges plays the same role).
+// ---------------------------------------------------------------------------
+
+const NAMES: [&str; 5] = ["sd", "epinions", "tiny", "prod-us", "wiki"];
+
+fn kind(i: usize) -> CompatibilityKind {
+    CompatibilityKind::ALL[i % CompatibilityKind::ALL.len()]
+}
+
+fn solver(i: usize, max_seeds: usize) -> Solver {
+    if i == 5 {
+        Solver::Exhaustive
+    } else {
+        Solver::Greedy {
+            algorithm: TeamAlgorithm::ALL[i % TeamAlgorithm::ALL.len()],
+            config: GreedyConfig {
+                max_seeds: (max_seeds > 0).then_some(max_seeds),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+fn query((task, k, s, id): (Vec<usize>, usize, (usize, usize), usize)) -> TeamQuery {
+    TeamQuery {
+        id: (id > 0).then_some(id as u64),
+        task,
+        kind: kind(k),
+        solver: solver(s.0 % 6, s.1),
+    }
+}
+
+fn query_strategy() -> impl Strategy<Value = TeamQuery> {
+    (
+        prop::collection::vec(0usize..900, 0..6),
+        0usize..16,
+        (0usize..6, 0usize..40),
+        0usize..100,
+    )
+        .prop_map(query)
+}
+
+#[allow(clippy::type_complexity)]
+fn answer(
+    (members, k, (status, id, diameter), (micros, build, hit)): (
+        Vec<usize>,
+        usize,
+        (usize, usize, u32),
+        (u64, u64, bool),
+    ),
+) -> TeamAnswer {
+    let status = AnswerStatus::ALL[status % AnswerStatus::ALL.len()];
+    TeamAnswer {
+        id: (id > 0).then_some(id as u64),
+        status,
+        kind: kind(k),
+        algorithm: ["LCMD", "RFMC", "EXHAUSTIVE"][k % 3].to_string(),
+        cardinality: members.len(),
+        members,
+        diameter: (diameter > 0).then_some(diameter),
+        micros,
+        build_micros: build.min(micros),
+        cache_hit: hit,
+    }
+}
+
+fn answer_strategy() -> impl Strategy<Value = TeamAnswer> {
+    (
+        prop::collection::vec(0usize..5000, 0..8),
+        0usize..16,
+        (0usize..4, 0usize..50, 0u32..6),
+        (0u64..100_000, 0u64..100_000, prop::bool::ANY),
+    )
+        .prop_map(answer)
+}
+
+fn error((variant, n, detail_len): (usize, u64, usize)) -> ServiceError {
+    let name = NAMES[n as usize % NAMES.len()].to_string();
+    match variant % 7 {
+        0 => ServiceError::UnsupportedVersion {
+            requested: n,
+            supported: PROTOCOL_VERSION,
+        },
+        1 => ServiceError::UnknownDeployment {
+            name,
+            available: NAMES[..detail_len % (NAMES.len() + 1)]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
+        2 => ServiceError::UnknownOp { op: name },
+        3 => ServiceError::BadRequest {
+            detail: format!("line {n}: {}", "x".repeat(detail_len)),
+        },
+        4 => ServiceError::TooLarge { limit_bytes: n },
+        5 => ServiceError::Overloaded { max_connections: n },
+        _ => ServiceError::Internal {
+            detail: format!("fault {n}"),
+        },
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn metrics((a, b): ((u64, u64, u64, u64), (u64, u64, u64, u64))) -> MetricsSnapshot {
+    MetricsSnapshot {
+        queries_served: a.0,
+        queries_solved: a.1,
+        cache_hits: a.2,
+        cache_misses: a.3,
+        busy_micros: b.0,
+        build_wait_micros: b.1,
+        matrix_builds: b.2,
+        row_builds: b.3,
+        row_evictions: a.0 % 7,
+        resident_rows: a.1 % 11,
+        resident_bytes: b.0 % 4096,
+    }
+}
+
+fn stats((users, edges, skills, f): (usize, usize, usize, f64)) -> DeploymentStats {
+    DeploymentStats {
+        dataset: DatasetStats {
+            name: NAMES[users % NAMES.len()].to_string(),
+            users,
+            edges,
+            negative_edges: edges / 5,
+            negative_percentage: f * 100.0,
+            diameter: (users % 11) as u32,
+            diameter_exact: users % 2 == 0,
+            skills,
+            mean_skills_per_user: f * 3.0,
+        },
+        serving: ServingPlan {
+            mode: ["auto", "matrix", "rows"][users % 3].to_string(),
+            memory_budget_bytes: (edges > 0).then_some(edges as u64),
+            tier: ["matrix", "rows"][edges % 2].to_string(),
+            estimated_matrix_bytes: (users * users) as u64,
+            estimated_row_bytes: users as u64,
+            budget_resident_rows: (skills > 0).then_some(skills as u64),
+        },
+    }
+}
+
+fn request((variant, n, queries, q): (usize, usize, Vec<TeamQuery>, TeamQuery)) -> Request {
+    let deployment = (n % 3 == 0).then(|| NAMES[n % NAMES.len()].to_string());
+    let timing = n % 2 == 0;
+    let body = match variant % 6 {
+        0 => RequestBody::Query { query: q, timing },
+        1 => RequestBody::Batch { queries, timing },
+        2 => RequestBody::Warm {
+            kinds: (0..n % 4).map(kind).collect(),
+        },
+        3 => RequestBody::Stats,
+        4 => RequestBody::Metrics,
+        _ => RequestBody::Deployments,
+    };
+    Request { deployment, body }
+}
+
+#[allow(clippy::type_complexity)]
+fn response(
+    (variant, n, answers, extra): (
+        usize,
+        usize,
+        Vec<TeamAnswer>,
+        (DeploymentStats, MetricsSnapshot, ServiceError),
+    ),
+) -> Response {
+    let (stats, snapshot, error) = extra;
+    match variant % 7 {
+        0 => Response::Answer(
+            answers
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| answer((Vec::new(), n, (0, 0, 0), (0, 0, false)))),
+        ),
+        1 => Response::Batch(answers),
+        2 => Response::Warmed {
+            deployment: NAMES[n % NAMES.len()].to_string(),
+            kinds: (0..n % 5).map(kind).collect(),
+            micros: n as u64 * 37,
+        },
+        3 => Response::Stats(stats),
+        4 => Response::Metrics {
+            deployments: (0..n % 3)
+                .map(|i| DeploymentMetrics {
+                    deployment: NAMES[i % NAMES.len()].to_string(),
+                    metrics: snapshot.clone(),
+                })
+                .collect(),
+            total: snapshot,
+        },
+        5 => Response::Deployments(
+            (0..n % 4)
+                .map(|i| DeploymentInfo {
+                    name: NAMES[i % NAMES.len()].to_string(),
+                    default: i == 0,
+                    loaded: i % 2 == 0,
+                    users: (i % 2 == 0).then_some(i as u64 * 100),
+                    edges: (i % 2 == 0).then_some(i as u64 * 500),
+                    skills: (i % 2 == 0).then_some(i as u64 * 10),
+                    tier: (i % 2 == 0).then(|| "matrix".to_string()),
+                })
+                .collect(),
+        ),
+        _ => Response::Error(error),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_envelopes_round_trip(
+        req in (
+            0usize..6,
+            0usize..30,
+            prop::collection::vec(query_strategy(), 0..4),
+            query_strategy(),
+        ).prop_map(request)
+    ) {
+        let json = serde_json::to_string(&req).unwrap();
+        prop_assert!(json.contains("\"version\":1"));
+        let back = Request::parse_json(&json).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_envelopes_round_trip(
+        resp in (
+            0usize..7,
+            0usize..30,
+            prop::collection::vec(answer_strategy(), 0..4),
+            (
+                (1usize..4000, 0usize..9000, 0usize..300, 0.0f64..1.0)
+                    .prop_map(stats),
+                ((0u64..9, 0u64..9, 0u64..9, 0u64..9), (0u64..999, 0u64..999, 0u64..9, 0u64..99))
+                    .prop_map(metrics),
+                (0usize..7, 0u64..1_000_000, 0usize..40).prop_map(error),
+            ),
+        ).prop_map(response)
+    ) {
+        let json = serde_json::to_string(&resp).unwrap();
+        let back = Response::parse_json(&json).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_with_the_typed_error(version in 0u64..1_000_000) {
+        let version = if version == u64::from(PROTOCOL_VERSION) { version + 1 } else { version };
+        let json = format!("{{\"version\": {version}, \"op\": \"stats\"}}");
+        let err = Request::parse_json(&json).unwrap_err();
+        prop_assert_eq!(
+            err,
+            ServiceError::UnsupportedVersion { requested: version, supported: PROTOCOL_VERSION }
+        );
+        // Responses enforce the version too.
+        let json = format!("{{\"version\": {version}, \"op\": \"deployments\", \"deployments\": []}}");
+        let err = Response::parse_json(&json).unwrap_err();
+        prop_assert!(matches!(err, ServiceError::UnsupportedVersion { .. }));
+    }
+
+    #[test]
+    fn service_errors_round_trip_alone(e in (0usize..7, 0u64..1_000_000, 0usize..60).prop_map(error)) {
+        let json = serde_json::to_string(&e).unwrap();
+        prop_assert!(json.contains(e.code()));
+        let value: serde::Value = serde_json::from_str(&json).unwrap();
+        let back = ServiceError::parse_value(&value).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn queries_embedded_in_envelopes_match_the_jsonl_wire(q in query_strategy()) {
+        // The envelope embeds the exact JSONL object, so batch bodies can be
+        // spliced between transports without re-encoding.
+        let envelope = Request::new(RequestBody::Query { query: q.clone(), timing: true });
+        let json = serde_json::to_string(&envelope).unwrap();
+        let direct = serde_json::to_string(&q).unwrap();
+        prop_assert!(json.contains(&direct[1..direct.len() - 1]));
+    }
+}
+
+#[test]
+fn answer_status_labels_are_closed_under_parse() {
+    for s in AnswerStatus::ALL {
+        assert_eq!(AnswerStatus::parse(s.label()), Some(s));
+    }
+    assert_eq!(AnswerStatus::parse("bogus"), None);
+    assert_eq!(AnswerStatus::ALL.len(), 4);
+}

@@ -1,0 +1,77 @@
+//! The transport-agnostic service layer end to end: one `Service` holding a
+//! two-deployment registry, driven through the versioned envelope protocol
+//! and then over a real HTTP/1.1 connection.
+//!
+//! Run with `cargo run --release --example service_protocol`.
+
+use std::sync::Arc;
+
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_engine::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+use tfsn_engine::server::{HttpServer, ServerOptions};
+use tfsn_engine::{HttpClient, Request, RequestBody, Response, Service, TeamQuery};
+
+fn main() {
+    // One service, two named deployments. Both load lazily: registering
+    // them costs nothing until a request addresses them.
+    let registry = DeploymentRegistry::new(vec![
+        DeploymentConfig::new("slashdot", DeploymentSource::Slashdot),
+        DeploymentConfig::new(
+            "tiny",
+            DeploymentSource::parse("synthetic:nodes=400,edges=1600,skills=60").unwrap(),
+        ),
+    ])
+    .unwrap();
+    let service = Arc::new(Service::new(registry));
+
+    // --- Transport 1: the envelope protocol, in process -------------------
+    let queries: Vec<TeamQuery> = (0..8)
+        .map(|i| {
+            TeamQuery::new([i % 5, (i + 2) % 5])
+                .with_id(i as u64)
+                .with_kind(CompatibilityKind::Spa)
+        })
+        .collect();
+    let response = service.handle(
+        &Request::new(RequestBody::Batch {
+            queries,
+            timing: true,
+        })
+        .on("slashdot"),
+    );
+    let Response::Batch(answers) = response else {
+        panic!("unexpected response: {response:?}");
+    };
+    let solved = answers
+        .iter()
+        .filter(|a| a.status == tfsn_engine::AnswerStatus::Ok)
+        .count();
+    println!(
+        "[envelope] slashdot batch: {solved}/{} solved",
+        answers.len()
+    );
+
+    // --- Transport 2: the same service over HTTP/1.1 ----------------------
+    let server = HttpServer::bind(service.clone(), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind ephemeral port");
+    let addr = server.addr();
+    println!("[http] serving on http://{addr}");
+
+    let body = "{\"id\": 1, \"task\": [0, 3]}\n{\"id\": 2, \"task\": [1, 4]}\n";
+    let mut client = HttpClient::connect(addr).unwrap();
+    let reply = client.post("/v1/batch?deployment=tiny", body).unwrap();
+    println!("[http] {} -> {}", reply.status, reply.body.trim_end());
+    drop(client);
+
+    // The registry listing shows both deployments are now resident.
+    let listing = service.handle(&Request::new(RequestBody::Deployments));
+    if let Response::Deployments(infos) = listing {
+        for info in infos {
+            println!(
+                "[registry] {} loaded={} users={:?}",
+                info.name, info.loaded, info.users
+            );
+        }
+    }
+    server.shutdown();
+}
