@@ -27,9 +27,15 @@
 //!   the same streams through the in-process CLI transport
 //!   (`Service::stream_batch`). The `http_qps` figure is the PR 4
 //!   acceptance number.
+//! * `mutation` — live-update throughput: rounds of one edge mutation
+//!   followed by a query burst against a single long-lived engine
+//!   (per-kind row invalidation, matrix→rows downgrade), against the naive
+//!   alternative of rebuilding a fresh engine (and re-warming every
+//!   relation) after every mutation. The `speedup` figure is the PR 5
+//!   ≥5× acceptance number.
 //!
 //! Usage: `bench-report [--quick] [--output PATH]` — the default output is
-//! `bench-report.local.json`; pass `--output BENCH_PR4.json` explicitly to
+//! `bench-report.local.json`; pass `--output BENCH_PR5.json` explicitly to
 //! refresh the committed cross-PR artifact.
 //!
 //! [`CandidateMask`]: tfsn_core::team::CandidateMask
@@ -152,6 +158,36 @@ struct ServiceReport {
     inprocess_qps: f64,
 }
 
+/// The live-mutation throughput measurement (see the module docs).
+#[derive(Debug, Serialize)]
+struct MutationBenchReport {
+    /// Deployment the interleave ran against.
+    deployment: String,
+    /// Relation kinds warmed and queried each round.
+    kinds: Vec<String>,
+    /// Mutation rounds (one edge sign flip per round).
+    rounds: u64,
+    /// Queries answered after each mutation.
+    queries_per_round: u64,
+    /// Wall-clock of the incremental interleave (one live engine,
+    /// per-kind invalidation).
+    incremental_wall_seconds: f64,
+    /// Mutate+query operations per second on the live engine.
+    incremental_ops_per_second: f64,
+    /// Wall-clock of the naive baseline: a fresh engine rebuilt and
+    /// re-warmed after every mutation, same queries.
+    rebuild_wall_seconds: f64,
+    /// The baseline's operations per second.
+    rebuild_ops_per_second: f64,
+    /// Mutations applied on the live engine (sanity: equals `rounds`).
+    mutations_applied: u64,
+    /// Rows invalidated across the interleave.
+    rows_invalidated: u64,
+    /// `rebuild_wall_seconds / incremental_wall_seconds` — the ≥5×
+    /// acceptance figure.
+    speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     schema: &'static str,
@@ -161,6 +197,7 @@ struct Report {
     speedups: Vec<(String, f64)>,
     row_mode: RowModeReport,
     service: ServiceReport,
+    mutation: MutationBenchReport,
 }
 
 fn median(mut xs: Vec<u64>) -> u64 {
@@ -481,6 +518,137 @@ fn service_report(quick: bool, groups: &mut Vec<Group>) -> ServiceReport {
     report
 }
 
+/// Measures the live-mutation interleave against the rebuild-per-mutation
+/// baseline on the slashdot deployment. Both sides apply the identical
+/// mutation sequence (edge sign flips, round-robin over the edge list) and
+/// answer the identical query bursts; the only difference is *how* relation
+/// state reaches the post-mutation truth — per-kind invalidation on one
+/// long-lived engine vs a fresh engine warm-built from scratch each round.
+fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport {
+    use signed_graph::EdgeMutation;
+
+    // The serving warm set: every evaluated kind stays resident on a real
+    // server, so the rebuild baseline must re-materialise all of them per
+    // mutation, while the live engine recomputes only what queries touch.
+    let kinds = CompatibilityKind::EVALUATED;
+    let rounds: usize = if quick { 4 } else { 12 };
+    let queries_per_round: usize = 8;
+    let dataset_deployment = || Deployment::from_dataset(tfsn_datasets::slashdot());
+    // The bounded greedy config the row-mode group also measures with: the
+    // per-query row working set stays small, so what this group compares is
+    // the *relation maintenance* cost — lazily recomputing the rows queries
+    // actually touch vs rebuilding every row of every kind per mutation.
+    let bounded = Solver::Greedy {
+        algorithm: TeamAlgorithm::LCMD,
+        config: GreedyConfig {
+            max_seeds: Some(2),
+            skill_degree_cap: Some(8),
+            random_seed: 1,
+        },
+    };
+    let queries: Vec<TeamQuery> = (0..queries_per_round)
+        .map(|i| {
+            TeamQuery::new([i % 9, (i * 3 + 1) % 9])
+                .with_id(i as u64)
+                .with_kind(kinds[i % kinds.len()])
+                .with_solver(bounded.clone())
+        })
+        .collect();
+    let batch = BatchOptions::with_threads(4);
+    // The mutation sequence: flip the sign of edge (round mod |E|). Both
+    // sides apply the same flips, so both serve the same evolving graph.
+    let base_edges: Vec<(NodeId, NodeId)> = {
+        let d = dataset_deployment();
+        let g = d.graph();
+        g.edges().iter().map(|e| (e.u, e.v)).collect()
+    };
+    let flip_for = |engine: &Engine, round: usize| -> EdgeMutation {
+        let (u, v) = base_edges[round % base_edges.len()];
+        let sign = engine
+            .graph()
+            .sign(u, v)
+            .expect("flipped edges never leave the graph")
+            .flip();
+        EdgeMutation::SetSign { u, v, sign }
+    };
+
+    // Incremental: one live engine, mutations invalidate per kind.
+    let live = Engine::new(dataset_deployment());
+    live.warm(&kinds);
+    let incremental_start = Instant::now();
+    for round in 0..rounds {
+        live.mutate(&flip_for(&live, round)).expect("edge exists");
+        std::hint::black_box(live.batch(&queries, &batch));
+    }
+    let incremental_wall = incremental_start.elapsed().as_secs_f64();
+    let live_metrics = live.metrics();
+
+    // Baseline: after every mutation, rebuild a fresh engine from the
+    // mutated graph and re-warm every kind the queries use (what serving
+    // would have to do without incremental updates: any edge change means
+    // a full relation rebuild).
+    let mut rebuild_deployment = dataset_deployment();
+    let rebuild_start = Instant::now();
+    for round in 0..rounds {
+        let graph = rebuild_deployment.graph();
+        let (u, v) = base_edges[round % base_edges.len()];
+        let sign = graph.sign(u, v).expect("edge exists").flip();
+        let mut mutated = graph.clone();
+        mutated
+            .apply_mutation(&EdgeMutation::SetSign { u, v, sign })
+            .expect("edge exists");
+        rebuild_deployment = Deployment::new(
+            "slashdot-rebuilt",
+            mutated,
+            rebuild_deployment.universe().clone(),
+            rebuild_deployment.skills().clone(),
+        )
+        .expect("shape unchanged");
+        let fresh = Engine::new(rebuild_deployment.clone());
+        fresh.warm(&kinds);
+        std::hint::black_box(fresh.batch(&queries, &batch));
+    }
+    let rebuild_wall = rebuild_start.elapsed().as_secs_f64();
+
+    let ops = (rounds * (queries_per_round + 1)) as u64;
+    groups.push(Group {
+        name: "mutation_interleave/slashdot/incremental".to_string(),
+        median_ns_per_op: (incremental_wall * 1e9) as u64 / ops.max(1),
+        ops_per_iter: ops,
+        samples: 1,
+    });
+    groups.push(Group {
+        name: "mutation_interleave/slashdot/full-rebuild".to_string(),
+        median_ns_per_op: (rebuild_wall * 1e9) as u64 / ops.max(1),
+        ops_per_iter: ops,
+        samples: 1,
+    });
+    let report = MutationBenchReport {
+        deployment: "slashdot".to_string(),
+        kinds: kinds.iter().map(|k| k.label().to_string()).collect(),
+        rounds: rounds as u64,
+        queries_per_round: queries_per_round as u64,
+        incremental_wall_seconds: incremental_wall,
+        incremental_ops_per_second: ops as f64 / incremental_wall.max(1e-9),
+        rebuild_wall_seconds: rebuild_wall,
+        rebuild_ops_per_second: ops as f64 / rebuild_wall.max(1e-9),
+        mutations_applied: live_metrics.mutations_applied,
+        rows_invalidated: live_metrics.rows_invalidated,
+        speedup: rebuild_wall / incremental_wall.max(1e-9),
+    };
+    eprintln!(
+        "mutation: {} rounds x (1 mutation + {} queries) in {:.3}s live vs {:.3}s \
+         rebuild-per-mutation -> {:.2}x ({} rows invalidated)",
+        report.rounds,
+        report.queries_per_round,
+        report.incremental_wall_seconds,
+        report.rebuild_wall_seconds,
+        report.speedup,
+        report.rows_invalidated
+    );
+    report
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -519,13 +687,15 @@ fn main() {
     greedy_groups(quick, &mut groups, &mut speedups);
     let row_mode = row_mode_report(quick, &mut groups);
     let service = service_report(quick, &mut groups);
+    let mutation = mutation_report(quick, &mut groups);
     let report = Report {
-        schema: "tfsn-bench-report/v2",
+        schema: "tfsn-bench-report/v3",
         quick,
         groups,
         speedups,
         row_mode,
         service,
+        mutation,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     let mut file =

@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use signed_graph::csr::CsrGraph;
 use signed_graph::{NodeId, SignedGraph};
@@ -477,6 +477,63 @@ pub fn estimated_matrix_bytes(nodes: usize) -> usize {
     nodes.saturating_mul(estimated_row_bytes(nodes))
 }
 
+/// How a mutation of one edge `(u, v)` invalidates the resident rows of a
+/// relation kind — the rule set behind the serving engine's incremental
+/// graph updates (documented per kind in `docs/ARCHITECTURE.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidationScope {
+    /// Only the endpoint rows can change. DPE depends solely on the
+    /// source's direct adjacency, so a mutation of `(u, v)` touches exactly
+    /// rows `u` and `v`.
+    Endpoints,
+    /// Rows whose BFS frontier can cross the touched edge: sources that
+    /// reach `u` or `v`. The SP family's and NNE's row distance arrays
+    /// record the BFS level of *every* reachable node (compatible or not),
+    /// so reachability is read straight off the resident row — a source in
+    /// a different component keeps its row verbatim. Sound for inserts too:
+    /// a new edge `(u, v)` only creates paths from sources that already
+    /// reached `u` or `v`.
+    Frontier,
+    /// No per-row bound is sound: SBPH retains a bounded set of path
+    /// prefixes and budget-limited SBP truncates its search, so a remote
+    /// edge change can flip which prefixes/paths were explored. The whole
+    /// kind is invalidated (epoch bump; rows recompute on next fetch).
+    WholeKind,
+}
+
+impl InvalidationScope {
+    /// The invalidation rule for `kind`.
+    pub fn of(kind: CompatibilityKind) -> Self {
+        match kind {
+            CompatibilityKind::Dpe => InvalidationScope::Endpoints,
+            CompatibilityKind::Spa
+            | CompatibilityKind::Spm
+            | CompatibilityKind::Spo
+            | CompatibilityKind::Nne => InvalidationScope::Frontier,
+            CompatibilityKind::Sbph | CompatibilityKind::Sbp => InvalidationScope::WholeKind,
+        }
+    }
+}
+
+/// `true` when a mutation of edge `(u, v)` can change the content of `row`
+/// (computed on the pre-mutation graph) — the per-row invalidation
+/// predicate. `false` is a proof: recomputing the row on the mutated graph
+/// would reproduce it bit-for-bit, so it stays resident.
+pub fn row_affected_by_edge(row: &CompatRow, u: NodeId, v: NodeId) -> bool {
+    let source = row.source().index();
+    if source == u.index() || source == v.index() {
+        return true;
+    }
+    match InvalidationScope::of(row.kind()) {
+        InvalidationScope::Endpoints => false,
+        InvalidationScope::WholeKind => true,
+        InvalidationScope::Frontier => {
+            row.raw_distance(u.index()) != UNREACHABLE_DISTANCE
+                || row.raw_distance(v.index()) != UNREACHABLE_DISTANCE
+        }
+    }
+}
+
 /// Per-slot state of the row store: either nothing, a claimed in-flight
 /// computation other callers can wait on, or a resident row.
 enum Slot {
@@ -501,6 +558,19 @@ struct RowCacheState {
     lru: BTreeMap<u64, usize>,
     next_tick: u64,
     resident_bytes: usize,
+    /// Mutation epoch: bumped by [`LazyCompatibility::apply_mutation`]. A
+    /// row computation that straddles a bump must not be retained — its
+    /// content may describe the pre-mutation graph — so builders record the
+    /// epoch they claimed under and publish only if it still matches.
+    epoch: u64,
+}
+
+/// The (graph, CSR) pair rows are computed from, swapped atomically (one
+/// lock) by [`LazyCompatibility::apply_mutation`] so no row computation can
+/// ever pair a new graph with a stale CSR view or vice versa.
+struct GraphView {
+    graph: Arc<SignedGraph>,
+    csr: Arc<CsrGraph>,
 }
 
 /// The result of fetching one row from [`LazyCompatibility`]: the row, plus
@@ -538,8 +608,10 @@ pub struct RowFetch {
 ///   budget-limited SBP) a pair is compatible if either direction's row
 ///   says so, matching [`CompatibilityMatrix`]'s closure exactly.
 pub struct LazyCompatibility {
-    graph: Arc<SignedGraph>,
-    csr: Arc<CsrGraph>,
+    view: RwLock<GraphView>,
+    /// Node count, fixed for the store's lifetime (edge mutations never
+    /// grow or shrink the node set).
+    nodes: usize,
     kind: CompatibilityKind,
     cfg: EngineConfig,
     budget_bytes: Option<usize>,
@@ -578,8 +650,8 @@ impl LazyCompatibility {
     ) -> Self {
         let n = graph.node_count();
         LazyCompatibility {
-            graph,
-            csr,
+            view: RwLock::new(GraphView { graph, csr }),
+            nodes: n,
             kind,
             cfg,
             budget_bytes,
@@ -588,15 +660,17 @@ impl LazyCompatibility {
                 lru: BTreeMap::new(),
                 next_tick: 0,
                 resident_bytes: 0,
+                epoch: 0,
             }),
             builds: AtomicUsize::new(0),
             evictions: AtomicUsize::new(0),
         }
     }
 
-    /// The graph the relation is defined over.
-    pub fn graph(&self) -> &Arc<SignedGraph> {
-        &self.graph
+    /// The graph the relation is currently defined over (a snapshot — live
+    /// mutations swap the store's view via [`Self::apply_mutation`]).
+    pub fn graph(&self) -> Arc<SignedGraph> {
+        self.view.read().graph.clone()
     }
 
     /// The configured resident-byte budget (`None` = unbounded).
@@ -614,10 +688,11 @@ impl LazyCompatibility {
     /// to the caller that actually built (not every caller that raced).
     pub fn source_tracked(&self, source: NodeId) -> RowFetch {
         let bounded = self.budget_bytes.is_some();
-        let cell = {
+        let (cell, claim_epoch) = {
             let mut st = self.state.lock();
             st.next_tick += 1;
             let tick = st.next_tick;
+            let epoch = st.epoch;
             match &mut st.slots[source.index()] {
                 Slot::Ready { row, tick: t, .. } => {
                     let row = row.clone();
@@ -636,11 +711,11 @@ impl LazyCompatibility {
                         build_micros: 0,
                     };
                 }
-                Slot::Building(cell) => cell.clone(),
+                Slot::Building(cell) => (cell.clone(), epoch),
                 slot @ Slot::Empty => {
                     let cell = Arc::new(OnceLock::new());
                     *slot = Slot::Building(cell.clone());
-                    cell
+                    (cell, epoch)
                 }
             }
         };
@@ -649,12 +724,14 @@ impl LazyCompatibility {
         let row = cell
             .get_or_init(|| {
                 let start = Instant::now();
+                // One lock read clones the (graph, CSR) snapshot; the
+                // computation runs outside every lock.
+                let (graph, csr) = {
+                    let view = self.view.read();
+                    (view.graph.clone(), view.csr.clone())
+                };
                 let row = Arc::new(CompatRow::from_source(&compute_source(
-                    &self.graph,
-                    &self.csr,
-                    source,
-                    self.kind,
-                    &self.cfg,
+                    &graph, &csr, source, self.kind, &self.cfg,
                 )));
                 build_micros = start.elapsed().as_micros() as u64;
                 built = true;
@@ -667,6 +744,18 @@ impl LazyCompatibility {
             // waiters already share the row through the cell.
             let bytes = row_bytes(&row);
             let mut st = self.state.lock();
+            if st.epoch != claim_epoch {
+                // A mutation landed while this row was in flight: the slot
+                // has been reset (and possibly re-claimed for the new
+                // graph), and this row may describe the old one. Serve it
+                // to the caller — the query raced the mutation and is
+                // ordered before it — but do not retain it.
+                return RowFetch {
+                    row,
+                    built,
+                    build_micros,
+                };
+            }
             st.next_tick += 1;
             let tick = st.next_tick;
             st.slots[source.index()] = Slot::Ready {
@@ -678,25 +767,104 @@ impl LazyCompatibility {
             if bounded {
                 st.lru.insert(tick, source.index());
             }
-            if let Some(budget) = self.budget_bytes {
-                while st.resident_bytes > budget {
-                    let Some((&oldest, &victim)) = st.lru.iter().next() else {
-                        break;
-                    };
-                    st.lru.remove(&oldest);
-                    if let Slot::Ready { bytes, .. } = &st.slots[victim] {
-                        st.resident_bytes -= *bytes;
-                        st.slots[victim] = Slot::Empty;
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
+            self.enforce_budget(&mut st);
         }
         RowFetch {
             row,
             built,
             build_micros,
         }
+    }
+
+    /// Evicts LRU-first until the resident bytes fit the budget. Caller
+    /// holds the state lock.
+    fn enforce_budget(&self, st: &mut RowCacheState) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        while st.resident_bytes > budget {
+            let Some((&oldest, &victim)) = st.lru.iter().next() else {
+                break;
+            };
+            st.lru.remove(&oldest);
+            if let Slot::Ready { bytes, .. } = &st.slots[victim] {
+                st.resident_bytes -= *bytes;
+                st.slots[victim] = Slot::Empty;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Applies one edge mutation: atomically swaps the (graph, CSR) view
+    /// rows are computed from, bumps the mutation epoch (so in-flight row
+    /// computations cannot publish stale content), and drops exactly the
+    /// resident rows [`row_affected_by_edge`] says the mutation can change.
+    /// Returns the number of resident rows invalidated.
+    ///
+    /// Unaffected rows stay resident verbatim — the proof obligation is the
+    /// predicate's: `false` means recomputing on the new graph reproduces
+    /// the row bit-for-bit (property-tested in the engine's mutation suite).
+    pub fn apply_mutation(
+        &self,
+        graph: Arc<SignedGraph>,
+        csr: Arc<CsrGraph>,
+        u: NodeId,
+        v: NodeId,
+    ) -> usize {
+        debug_assert_eq!(graph.node_count(), self.nodes);
+        *self.view.write() = GraphView { graph, csr };
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        let mut invalidated = 0;
+        for idx in 0..st.slots.len() {
+            match std::mem::replace(&mut st.slots[idx], Slot::Empty) {
+                Slot::Empty => {}
+                // In-flight claims are dropped: their builder will see the
+                // epoch bump and skip publication; the next fetch re-claims
+                // against the new view.
+                Slot::Building(_) => {}
+                Slot::Ready { row, bytes, tick } => {
+                    if row_affected_by_edge(&row, u, v) {
+                        st.resident_bytes -= bytes;
+                        st.lru.remove(&tick);
+                        invalidated += 1;
+                    } else {
+                        st.slots[idx] = Slot::Ready { row, bytes, tick };
+                    }
+                }
+            }
+        }
+        invalidated
+    }
+
+    /// Seeds one already-computed row (the matrix→rows downgrade path: a
+    /// mutation on a matrix-tier kind migrates the matrix's unaffected rows
+    /// here instead of recomputing them). The row must belong to this
+    /// store's kind and node count. Returns `false` when the slot is
+    /// already occupied or the row alone exceeds the budget (seeding must
+    /// not evict fresher rows). Seeded rows are not counted as builds.
+    pub fn seed_row(&self, row: Arc<CompatRow>) -> bool {
+        debug_assert_eq!(row.kind(), self.kind);
+        debug_assert_eq!(row.len(), self.nodes);
+        let bytes = row_bytes(&row);
+        if self.budget_bytes.is_some_and(|b| bytes > b) {
+            return false;
+        }
+        let source = row.source().index();
+        let bounded = self.budget_bytes.is_some();
+        let mut st = self.state.lock();
+        if !matches!(st.slots[source], Slot::Empty) {
+            return false;
+        }
+        st.next_tick += 1;
+        let tick = st.next_tick;
+        st.slots[source] = Slot::Ready { row, bytes, tick };
+        st.resident_bytes += bytes;
+        if bounded {
+            st.lru.insert(tick, source);
+        }
+        self.enforce_budget(&mut st);
+        true
     }
 
     /// Number of resident rows (for diagnostics and tests).
@@ -731,7 +899,7 @@ impl std::fmt::Debug for LazyCompatibility {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LazyCompatibility")
             .field("kind", &self.kind)
-            .field("nodes", &self.graph.node_count())
+            .field("nodes", &self.nodes)
             .field("budget_bytes", &self.budget_bytes)
             .field("resident_bytes", &self.resident_bytes())
             .field("builds", &self.build_count())
@@ -782,7 +950,7 @@ impl Compatibility for LazyCompatibility {
     }
 
     fn node_count(&self) -> usize {
-        self.graph.node_count()
+        self.nodes
     }
 
     fn compatible(&self, u: NodeId, v: NodeId) -> bool {
@@ -878,7 +1046,7 @@ impl Compatibility for RowTracker<'_> {
     }
 
     fn node_count(&self) -> usize {
-        self.rows.graph.node_count()
+        self.rows.nodes
     }
 
     fn compatible(&self, u: NodeId, v: NodeId) -> bool {
@@ -1192,6 +1360,101 @@ mod tests {
         assert_eq!(second.rows_built(), 0, "warm row: no build attributed");
         assert_eq!(second.kind(), CompatibilityKind::Spa);
         assert_eq!(second.node_count(), 24);
+    }
+
+    #[test]
+    fn apply_mutation_invalidates_only_affected_rows() {
+        use signed_graph::{EdgeMutation, Sign};
+        // Two components: a ring 0..8 and a positive pair (20, 21).
+        let mut edges: Vec<(usize, usize, Sign)> =
+            (0..8).map(|i| (i, (i + 1) % 8, Sign::Positive)).collect();
+        edges.push((20, 21, Sign::Positive));
+        let g = from_edge_triples(edges);
+        let n = g.node_count();
+        let kind = CompatibilityKind::Spo;
+        let lazy = LazyCompatibility::new(Arc::new(g.clone()), kind, EngineConfig::default());
+        // Warm every row.
+        for u in g.nodes() {
+            lazy.source(u);
+        }
+        assert_eq!(lazy.cached_rows(), n);
+        // Flip a ring edge's sign: rows in the ring component are affected,
+        // the isolated pair's rows are not.
+        let mut mutated = g.clone();
+        mutated
+            .apply_mutation(&EdgeMutation::SetSign {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+                sign: Sign::Negative,
+            })
+            .unwrap();
+        let mutated = Arc::new(mutated);
+        let csr = Arc::new(CsrGraph::from_graph(&mutated));
+        let invalidated = lazy.apply_mutation(mutated.clone(), csr, NodeId::new(0), NodeId::new(1));
+        assert_eq!(invalidated, 8, "exactly the ring component's rows");
+        assert_eq!(lazy.cached_rows(), n - 8);
+        // Every pair answer now matches a matrix built from the mutated
+        // graph — surviving rows included.
+        let reference = CompatibilityMatrix::build(&mutated, kind);
+        for u in mutated.nodes() {
+            for v in mutated.nodes() {
+                assert_eq!(
+                    lazy.compatible(u, v),
+                    reference.compatible(u, v),
+                    "({u},{v})"
+                );
+                assert_eq!(lazy.distance(u, v), reference.distance(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_row_respects_budget_and_occupancy() {
+        let g = Arc::new(ring_graph(30));
+        let kind = CompatibilityKind::Spa;
+        let matrix = CompatibilityMatrix::build(&g, kind);
+        let row_cost = estimated_row_bytes(g.node_count());
+        let lazy = LazyCompatibility::with_budget(
+            g.clone(),
+            kind,
+            EngineConfig::default(),
+            Some(2 * row_cost + 8),
+        );
+        let rows: Vec<Arc<CompatRow>> = matrix.rows().iter().map(|r| Arc::new(r.clone())).collect();
+        assert!(lazy.seed_row(rows[3].clone()));
+        assert!(!lazy.seed_row(rows[3].clone()), "slot already occupied");
+        assert!(lazy.seed_row(rows[5].clone()));
+        // A third seed evicts the LRU seed but is itself retained.
+        assert!(lazy.seed_row(rows[7].clone()));
+        assert_eq!(lazy.cached_rows(), 2);
+        assert_eq!(lazy.build_count(), 0, "seeding is not building");
+        // Seeded rows serve lookups without recomputation.
+        let fetch = lazy.source_tracked(NodeId::new(7));
+        assert!(!fetch.built);
+        assert_eq!(*fetch.row, *rows[7]);
+        // An oversized row is refused outright.
+        let tight = LazyCompatibility::with_budget(g, kind, EngineConfig::default(), Some(8));
+        assert!(!tight.seed_row(rows[0].clone()));
+        assert_eq!(tight.eviction_count(), 0);
+    }
+
+    #[test]
+    fn invalidation_scopes_per_kind() {
+        assert_eq!(
+            InvalidationScope::of(CompatibilityKind::Dpe),
+            InvalidationScope::Endpoints
+        );
+        for kind in [
+            CompatibilityKind::Spa,
+            CompatibilityKind::Spm,
+            CompatibilityKind::Spo,
+            CompatibilityKind::Nne,
+        ] {
+            assert_eq!(InvalidationScope::of(kind), InvalidationScope::Frontier);
+        }
+        for kind in [CompatibilityKind::Sbph, CompatibilityKind::Sbp] {
+            assert_eq!(InvalidationScope::of(kind), InvalidationScope::WholeKind);
+        }
     }
 
     #[test]

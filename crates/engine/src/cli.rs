@@ -5,14 +5,23 @@
 //!                  [--threads N] [--chunk N] [--warm] [--no-timing]
 //! tfsn serve-http  [deployment flags] [serving flags] [--addr HOST:PORT]
 //!                  [--http-threads N] [--threads N] [--chunk N]
+//!                  [--allow-shutdown]
+//! tfsn mutate      [deployment flags] [serving flags] [--input F] [--output F]
 //! tfsn stats       [deployment flags] [serving flags]
 //! tfsn gen         [dataset flags] [--queries N] [--task-size K]
 //!                  [--kinds CSV] [--algorithms CSV] [--output F] [--seed S]
 //! ```
 //!
-//! `serve-batch`, `serve-http` and `stats` are thin transports over one
-//! [`crate::Service`]: they build a [`crate::DeploymentRegistry`] from the
-//! deployment flags, then speak the versioned protocol of [`crate::proto`].
+//! `serve-batch`, `serve-http`, `mutate` and `stats` are thin transports
+//! over one [`crate::Service`]: they build a [`crate::DeploymentRegistry`]
+//! from the deployment flags, then speak the versioned protocol of
+//! [`crate::proto`].
+//!
+//! `mutate` reads one bare mutation object per input line
+//! (`{"op": "edge_insert", "u": 1, "v": 2, "sign": "+"}`), applies them in
+//! order to the selected deployment, and emits one `mutated` (or typed
+//! `error`) response envelope per line — the same shapes `POST /v1/mutate`
+//! speaks, so a mutation log replays identically over either transport.
 //!
 //! Deployment flags (`serve-batch`, `serve-http`, `stats`):
 //!
@@ -82,6 +91,7 @@ usage: tfsn <subcommand> [flags]
 subcommands:
   serve-batch   answer a JSONL batch of team queries (stdin/file -> stdout/file)
   serve-http    serve the query engine over HTTP/1.1 (long-lived process)
+  mutate        apply a JSONL stream of live edge mutations to a deployment
   stats         print deployment statistics as JSON
   gen           generate a JSONL query workload for the deployment
 
@@ -119,6 +129,14 @@ serve-http flags:
                       connection gets its own handler thread, capped at 256)
   --threads N         batch worker threads per request (default: all cores)
   --chunk N           queries per streamed chunk for /v1/batch (default 1024)
+  --allow-shutdown    enable POST /v1/shutdown (graceful remote stop; off by
+                      default — meant for CI smoke tests and local sessions)
+
+mutate flags:
+  --input FILE        JSONL mutations (default stdin), one object per line:
+                      op (edge_insert|edge_remove|edge_set_sign), u, v, and
+                      sign (+ or -) for insert/set_sign
+  --output FILE       one mutated/error response envelope per line (stdout)
 
 gen flags:
   --queries N         number of queries (default 100)
@@ -148,7 +166,7 @@ struct Flags<'a> {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["--warm", "--no-timing"];
+const BOOLEAN_FLAGS: &[&str] = &["--warm", "--no-timing", "--allow-shutdown"];
 
 /// Deployment/dataset flags accepted by every subcommand.
 const DEPLOYMENT_FLAGS: &[&str] = &[
@@ -247,10 +265,22 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
             serve_batch(&flags, out, err)
         }
         "serve-http" => {
-            let mut allowed = vec!["--addr", "--http-threads", "--threads", "--chunk"];
+            let mut allowed = vec![
+                "--addr",
+                "--http-threads",
+                "--threads",
+                "--chunk",
+                "--allow-shutdown",
+            ];
             allowed.extend_from_slice(SERVING_FLAGS);
             let flags = Flags::parse(rest, &allowed)?;
             serve_http(&flags, err)
+        }
+        "mutate" => {
+            let mut allowed = vec!["--input", "--output"];
+            allowed.extend_from_slice(SERVING_FLAGS);
+            let flags = Flags::parse(rest, &allowed)?;
+            mutate(&flags, out, err)
         }
         "stats" => {
             let flags = Flags::parse(rest, SERVING_FLAGS)?;
@@ -583,6 +613,68 @@ fn serve_batch(
     Ok(())
 }
 
+/// Applies a JSONL stream of live edge mutations to the selected
+/// deployment: one bare mutation object per input line, one response
+/// envelope (`mutated`, or a typed `error`) per output line. Parse errors
+/// and rejected mutations are emitted as error envelopes and counted; only
+/// I/O failures abort the stream.
+fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let (service, select) = build_service(flags)?;
+    let select = select.as_deref();
+    // Load the target up front: the CLI owns this process's deployments, so
+    // loading here is the point (the service-level "mutations never force a
+    // load" rule guards long-lived servers, not one-shot invocations).
+    let engine = service.engine(select).map_err(|e| runtime(e.to_string()))?;
+    let input = open_input(flags)?;
+    let started = Instant::now();
+    let (applied, rejected) = {
+        let mut sink = open_output(flags, out)?;
+        let mut applied = 0u64;
+        let mut rejected = 0u64;
+        for (i, line) in input.lines().enumerate() {
+            let line = line.map_err(|e| runtime(format!("read mutations: {e}")))?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let response = match crate::proto::parse_mutation_json(trimmed) {
+                Ok(body) => service.handle(&Request {
+                    deployment: select.map(str::to_string),
+                    body,
+                }),
+                Err(e) => Response::Error(crate::ServiceError::BadRequest {
+                    detail: format!("line {}: {e}", i + 1),
+                }),
+            };
+            match &response {
+                Response::Mutated { .. } => applied += 1,
+                _ => rejected += 1,
+            }
+            let json = serde_json::to_string(&response)
+                .map_err(|e| runtime(format!("serialize response: {e}")))?;
+            writeln!(sink, "{json}").map_err(|e| runtime(format!("write response: {e}")))?;
+        }
+        sink.flush()
+            .map_err(|e| runtime(format!("write response: {e}")))?;
+        (applied, rejected)
+    };
+    let metrics = engine.metrics();
+    writeln!(
+        err,
+        "[tfsn] {}: {applied} mutation(s) applied, {rejected} rejected in {:.3}s; \
+         {} edges live, {} rows invalidated",
+        engine.deployment().name(),
+        started.elapsed().as_secs_f64(),
+        engine.graph().edge_count(),
+        metrics.rows_invalidated,
+    )
+    .ok();
+    if let Ok(line) = serde_json::to_string(&metrics) {
+        writeln!(err, "[tfsn] metrics {line}").ok();
+    }
+    Ok(())
+}
+
 fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
     let (service, select) = build_service(flags)?;
     if select.is_some() {
@@ -593,12 +685,14 @@ fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
     }
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:7878");
     let http_threads: usize = flags.parse_num("--http-threads", 4)?;
+    let allow_shutdown = flags.has("--allow-shutdown");
     let service = Arc::new(service);
     let server = HttpServer::bind(
         service.clone(),
         addr,
         ServerOptions {
             threads: http_threads.max(1),
+            allow_shutdown,
             ..Default::default()
         },
     )
@@ -615,7 +709,8 @@ fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
     writeln!(
         err,
         "[tfsn] endpoints: GET /healthz /v1/stats /v1/metrics /v1/deployments; \
-         POST /v1/query /v1/batch /v1/rpc"
+         POST /v1/query /v1/batch /v1/mutate /v1/rpc{}",
+        if allow_shutdown { " /v1/shutdown" } else { "" },
     )
     .ok();
     err.flush().ok();
@@ -882,6 +977,63 @@ mod tests {
             "chunking must not change the JSONL stream"
         );
         assert!(answers_small.contains("\"micros\":0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutate_applies_jsonl_and_emits_envelopes() {
+        let dir = std::env::temp_dir().join(format!("tfsn-cli-mutate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ops_path = dir.join("mutations.jsonl");
+        // Remove-then-insert is deterministic regardless of whether the
+        // seeded graph already had edge (0, 1); the out-of-range op is a
+        // typed rejection; the comment and blank line are skipped.
+        std::fs::write(
+            &ops_path,
+            "# a mutation log\n\
+             {\"op\": \"edge_remove\", \"u\": 0, \"v\": 1}\n\
+             \n\
+             {\"op\": \"edge_insert\", \"u\": 0, \"v\": 1, \"sign\": \"-\"}\n\
+             {\"op\": \"edge_set_sign\", \"u\": 0, \"v\": 9999, \"sign\": \"+\"}\n",
+        )
+        .unwrap();
+        let (out, err, result) = run_to_strings(&[
+            "mutate",
+            "--deployment",
+            "tiny=synthetic:nodes=60,edges=180,skills=10,seed=5",
+            "--input",
+            ops_path.to_str().unwrap(),
+        ]);
+        result.unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "one envelope per op: {out}");
+        // The insert always lands (any pre-existing edge was removed).
+        assert!(lines[1].contains("\"op\":\"mutated\""), "{}", lines[1]);
+        assert!(
+            lines[1].contains("\"mutation\":\"edge_insert\""),
+            "{}",
+            lines[1]
+        );
+        // The unknown node is a typed bad_request envelope, not an abort.
+        assert!(
+            lines[2].contains("\"code\":\"bad_request\""),
+            "{}",
+            lines[2]
+        );
+        assert!(err.contains("mutation(s) applied"), "summary: {err}");
+        assert!(err.contains("rows invalidated"), "summary: {err}");
+        assert!(err.contains("[tfsn] metrics {"), "metrics line: {err}");
+        // Unparseable lines are numbered error envelopes too.
+        std::fs::write(&ops_path, "boom\n").unwrap();
+        let (out, _, result) = run_to_strings(&[
+            "mutate",
+            "--deployment",
+            "tiny=synthetic:nodes=60,edges=180,skills=10,seed=5",
+            "--input",
+            ops_path.to_str().unwrap(),
+        ]);
+        result.unwrap();
+        assert!(out.contains("line 1:"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -23,6 +23,40 @@ pub struct HttpReply {
 /// A keep-alive connection to one server. Dropping it closes the
 /// connection (and, server-side, frees its handler promptly instead of at
 /// the idle timeout).
+///
+/// # Examples
+///
+/// Boot an in-process server on an ephemeral port and drive it:
+///
+/// ```
+/// use std::sync::Arc;
+/// use tfsn_engine::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+/// use tfsn_engine::{HttpClient, HttpServer, ServerOptions, Service};
+///
+/// let registry = DeploymentRegistry::single(DeploymentConfig::new(
+///     "tiny",
+///     DeploymentSource::parse("synthetic:nodes=40,edges=90,skills=6").unwrap(),
+/// ));
+/// let server = HttpServer::bind(
+///     Arc::new(Service::new(registry)),
+///     "127.0.0.1:0",
+///     ServerOptions::default(),
+/// )
+/// .unwrap();
+///
+/// let mut client = HttpClient::connect(server.addr()).unwrap();
+/// let reply = client.get("/healthz").unwrap();
+/// assert_eq!((reply.status, reply.body.as_str()), (200, "ok\n"));
+///
+/// // Keep-alive: the same socket serves the next request.
+/// let reply = client
+///     .post("/v1/query?timing=false", r#"{"id": 1, "task": [0]}"#)
+///     .unwrap();
+/// assert_eq!(reply.status, 200);
+///
+/// drop(client);
+/// server.shutdown();
+/// ```
 #[derive(Debug)]
 pub struct HttpClient {
     writer: TcpStream,

@@ -90,9 +90,9 @@ pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use proto::{Request, RequestBody, Response, ServiceError, PROTOCOL_VERSION};
 pub use query::TeamQuery;
 pub use registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
-pub use server::{HttpServer, ServerOptions};
+pub use server::{HttpServer, ServerOptions, ShutdownHandle};
 pub use service::{Service, ServiceOptions};
-pub use store::{RelationStore, ServingMode, StorePolicy, TierChoice};
+pub use store::{MutationReport, RelationStore, ServingMode, StorePolicy, TierChoice};
 
 thread_local! {
     /// Per-thread solver scratch (see [`Engine::query`]): rayon batch
@@ -101,6 +101,19 @@ thread_local! {
     /// once per worker instead of once per query.
     static SOLVE_SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
 }
+
+/// Compiles the documentation book's code fences under `cargo test --doc`:
+/// any `rust` (or unannotated) fence in `docs/PROTOCOL.md` must build as a
+/// doctest, so the book cannot drift into uncompilable examples.
+/// Non-Rust fences (`json`, `console`, `text`) are skipped by rustdoc.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/PROTOCOL.md")]
+pub struct ProtocolDocFences;
+
+/// Same guard for `docs/ARCHITECTURE.md`.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/ARCHITECTURE.md")]
+pub struct ArchitectureDocFences;
 
 /// Construction-time options for an [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -114,18 +127,26 @@ pub struct EngineOptions {
     pub policy: StorePolicy,
 }
 
-/// The query engine: an immutable [`Deployment`] plus the tiered relation
-/// store and serving metrics. All methods take `&self`; the engine is
-/// `Sync` and meant to be shared across threads.
+/// The query engine: a [`Deployment`] plus the tiered relation store and
+/// serving metrics. All methods take `&self`; the engine is `Sync` and
+/// meant to be shared across threads.
+///
+/// Since PR 5 the served graph is **live**: [`Engine::mutate`] applies edge
+/// inserts/removals/sign flips without a reload, invalidating only the
+/// relation rows the change can affect (see [`store::RelationStore::mutate`]).
+/// The store's graph snapshot ([`Engine::graph`]) is the post-mutation
+/// truth; the deployment keeps the load-time snapshot (skills and the node
+/// set never change).
 #[derive(Debug)]
 pub struct Engine {
     deployment: Deployment,
     store: RelationStore,
     metrics: EngineMetrics,
-    /// Deployment statistics, computed once on first request — the exact
-    /// diameter inside is an all-pairs BFS and must not be re-derived for
-    /// every `/v1/stats` poll on a long-lived server.
-    stats: std::sync::OnceLock<tfsn_datasets::DatasetStats>,
+    /// Deployment statistics, keyed by the graph version they were
+    /// computed at — the exact diameter inside is an all-pairs BFS and must
+    /// not be re-derived for every `/v1/stats` poll on a long-lived server,
+    /// but must not survive a graph-changing mutation either.
+    stats: parking_lot::Mutex<Option<(u64, tfsn_datasets::DatasetStats)>>,
 }
 
 impl Engine {
@@ -146,11 +167,12 @@ impl Engine {
             deployment,
             store,
             metrics: EngineMetrics::default(),
-            stats: std::sync::OnceLock::new(),
+            stats: parking_lot::Mutex::new(None),
         }
     }
 
-    /// The deployment being served.
+    /// The deployment being served. Holds the load-time graph snapshot;
+    /// after mutations, [`Engine::graph`] is the live truth.
     pub fn deployment(&self) -> &Deployment {
         &self.deployment
     }
@@ -160,10 +182,71 @@ impl Engine {
         &self.store
     }
 
-    /// [`Deployment::stats`], computed once per engine (the deployment is
-    /// immutable, so the statistics are too).
-    pub fn cached_stats(&self) -> &tfsn_datasets::DatasetStats {
-        self.stats.get_or_init(|| self.deployment.stats())
+    /// The signed network currently being served, mutations included.
+    pub fn graph(&self) -> std::sync::Arc<signed_graph::SignedGraph> {
+        self.store.graph()
+    }
+
+    /// Deployment statistics, computed once per graph version — recomputed
+    /// after a mutation that changed the graph (the edge counts, balance
+    /// and diameter all may move), memoized between them. No-op sign sets
+    /// do not invalidate the cache: the exact diameter inside is an
+    /// all-pairs BFS.
+    pub fn cached_stats(&self) -> tfsn_datasets::DatasetStats {
+        let version = self.store.graph_version() as u64;
+        let mut guard = self.stats.lock();
+        if let Some((v, stats)) = &*guard {
+            if *v == version {
+                return stats.clone();
+            }
+        }
+        let graph = self.store.graph();
+        let stats = tfsn_datasets::DatasetStats::compute_parts(
+            self.deployment.name(),
+            &graph,
+            self.deployment.universe(),
+            self.deployment.skills(),
+        );
+        *guard = Some((version, stats.clone()));
+        stats
+    }
+
+    /// Applies one live edge mutation to the served graph (see
+    /// [`RelationStore::mutate`] for the invalidation semantics). Failures
+    /// are typed [`signed_graph::GraphError`]s and leave the deployment
+    /// untouched.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use signed_graph::EdgeMutation;
+    /// use tfsn_engine::registry::DeploymentSource;
+    /// use tfsn_engine::Engine;
+    ///
+    /// let deployment = DeploymentSource::parse("synthetic:nodes=50,edges=120,skills=8")
+    ///     .unwrap()
+    ///     .load();
+    /// let engine = Engine::new(deployment);
+    /// let before = engine.graph().edge_count();
+    ///
+    /// // Remove an existing edge, then re-insert it with the opposite sign.
+    /// let edge = engine.graph().edges()[0];
+    /// let report = engine
+    ///     .mutate(&EdgeMutation::Remove { u: edge.u, v: edge.v })
+    ///     .unwrap();
+    /// assert!(report.effect.changed());
+    /// assert_eq!(engine.graph().edge_count(), before - 1);
+    /// engine
+    ///     .mutate(&EdgeMutation::Insert { u: edge.u, v: edge.v, sign: edge.sign.flip() })
+    ///     .unwrap();
+    /// assert_eq!(engine.graph().edge_count(), before);
+    /// assert_eq!(engine.metrics().mutations_applied, 2);
+    /// ```
+    pub fn mutate(
+        &self,
+        mutation: &signed_graph::EdgeMutation,
+    ) -> Result<MutationReport, signed_graph::GraphError> {
+        self.store.mutate(mutation)
     }
 
     /// A snapshot of the serving metrics, including the store gauges.
@@ -174,6 +257,8 @@ impl Engine {
         snap.row_evictions = self.store.row_eviction_count() as u64;
         snap.resident_rows = self.store.resident_row_count() as u64;
         snap.resident_bytes = self.store.resident_bytes() as u64;
+        snap.mutations_applied = self.store.mutation_count() as u64;
+        snap.rows_invalidated = self.store.rows_invalidated_count() as u64;
         snap
     }
 

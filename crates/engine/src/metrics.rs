@@ -68,6 +68,8 @@ impl EngineMetrics {
             row_evictions: 0,
             resident_rows: 0,
             resident_bytes: 0,
+            mutations_applied: 0,
+            rows_invalidated: 0,
         }
     }
 }
@@ -109,6 +111,14 @@ pub struct MetricsSnapshot {
     /// Bytes currently resident across relation tiers (estimated for
     /// matrices, exact for rows).
     pub resident_bytes: u64,
+    /// Live edge mutations applied to this deployment (no-op sign sets
+    /// included; failed mutations are not).
+    pub mutations_applied: u64,
+    /// Resident rows invalidated by mutations — dropped from row-tier
+    /// shards, or left behind (not migrated) by a matrix→rows downgrade.
+    /// Every invalidated row that is queried again recomputes exactly once,
+    /// so after a quiesced warm scan `row_builds` grows by at most this.
+    pub rows_invalidated: u64,
 }
 
 impl MetricsSnapshot {
@@ -127,6 +137,8 @@ impl MetricsSnapshot {
         self.row_evictions += other.row_evictions;
         self.resident_rows += other.resident_rows;
         self.resident_bytes += other.resident_bytes;
+        self.mutations_applied += other.mutations_applied;
+        self.rows_invalidated += other.rows_invalidated;
     }
 
     /// Mean in-engine latency per query, in microseconds.

@@ -36,6 +36,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use signed_graph::{EdgeMutation, NodeId, Sign};
 use tfsn_core::compat::{estimated_matrix_bytes, estimated_row_bytes, CompatibilityKind};
 use tfsn_datasets::DatasetStats;
 
@@ -132,16 +133,17 @@ impl Request {
                 RequestBody::Batch { queries, timing }
             }
             "warm" => RequestBody::Warm {
-                kinds: parse_kinds(field("kinds"))?,
+                kinds: parse_kinds(field("kinds"), "kinds")?,
             },
             "stats" => RequestBody::Stats,
             "metrics" => RequestBody::Metrics,
             "deployments" => RequestBody::Deployments,
-            other => {
-                return Err(ServiceError::UnknownOp {
-                    op: other.to_string(),
-                })
-            }
+            op => match parse_mutation_fields(op, &field)? {
+                Some(body) => body,
+                None => {
+                    return Err(ServiceError::UnknownOp { op: op.to_string() });
+                }
+            },
         };
         Ok(Request { deployment, body })
     }
@@ -184,9 +186,51 @@ pub enum RequestBody {
     Metrics,
     /// List the registry's deployments.
     Deployments,
+    /// Insert an edge into the live graph (`sign` travels as `"+"`/`"-"`).
+    /// Mutations target loaded deployments only — they never force a load.
+    EdgeInsert {
+        /// One endpoint (a user id).
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+        /// The new edge's label.
+        sign: Sign,
+    },
+    /// Remove an existing edge (either sign) from the live graph.
+    EdgeRemove {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// Set the sign of an existing edge. Setting the sign it already has
+    /// is acknowledged (`changed: false`) without invalidating anything.
+    EdgeSetSign {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+        /// The label the edge should have.
+        sign: Sign,
+    },
 }
 
 impl RequestBody {
+    /// Every request `op` label this protocol version speaks — the closure
+    /// the docs-coverage test checks `docs/PROTOCOL.md` against, so a new
+    /// operation cannot ship undocumented.
+    pub const ALL_OPS: [&'static str; 9] = [
+        "query",
+        "batch",
+        "warm",
+        "stats",
+        "metrics",
+        "deployments",
+        "edge_insert",
+        "edge_remove",
+        "edge_set_sign",
+    ];
+
     /// The wire label of this operation.
     pub fn op(&self) -> &'static str {
         match self {
@@ -196,7 +240,131 @@ impl RequestBody {
             RequestBody::Stats => "stats",
             RequestBody::Metrics => "metrics",
             RequestBody::Deployments => "deployments",
+            RequestBody::EdgeInsert { .. } => "edge_insert",
+            RequestBody::EdgeRemove { .. } => "edge_remove",
+            RequestBody::EdgeSetSign { .. } => "edge_set_sign",
         }
+    }
+
+    /// The graph-delta operation of a mutation request (`None` for the
+    /// non-mutating operations).
+    pub fn mutation(&self) -> Option<EdgeMutation> {
+        match *self {
+            RequestBody::EdgeInsert { u, v, sign } => Some(EdgeMutation::Insert {
+                u: NodeId::new(u),
+                v: NodeId::new(v),
+                sign,
+            }),
+            RequestBody::EdgeRemove { u, v } => Some(EdgeMutation::Remove {
+                u: NodeId::new(u),
+                v: NodeId::new(v),
+            }),
+            RequestBody::EdgeSetSign { u, v, sign } => Some(EdgeMutation::SetSign {
+                u: NodeId::new(u),
+                v: NodeId::new(v),
+                sign,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Parses the fields of a mutation op (`edge_insert` / `edge_remove` /
+/// `edge_set_sign`) given a field accessor; `Ok(None)` when `op` is not a
+/// mutation label. Shared by the envelope parser, the bare
+/// `POST /v1/mutate` body and the `tfsn mutate` JSONL stream.
+fn parse_mutation_fields<'a>(
+    op: &str,
+    field: &impl Fn(&str) -> Option<&'a Value>,
+) -> Result<Option<RequestBody>, ServiceError> {
+    if !matches!(op, "edge_insert" | "edge_remove" | "edge_set_sign") {
+        return Ok(None);
+    }
+    let node = |key: &str| {
+        field(key)
+            .ok_or_else(|| bad(format!("op `{op}` needs field `{key}`")))?
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| bad(format!("field `{key}` must be a non-negative user id")))
+    };
+    let sign = || {
+        let v = field("sign").ok_or_else(|| bad(format!("op `{op}` needs field `sign`")))?;
+        let label = v
+            .as_str()
+            .ok_or_else(|| bad("field `sign` must be \"+\" or \"-\""))?;
+        match label {
+            "+" | "positive" => Ok(Sign::Positive),
+            "-" | "negative" => Ok(Sign::Negative),
+            other => Err(bad(format!(
+                "field `sign` must be \"+\" or \"-\", got `{other}`"
+            ))),
+        }
+    };
+    let (u, v) = (node("u")?, node("v")?);
+    Ok(Some(match op {
+        "edge_insert" => RequestBody::EdgeInsert {
+            u,
+            v,
+            sign: sign()?,
+        },
+        "edge_remove" => RequestBody::EdgeRemove { u, v },
+        _ => RequestBody::EdgeSetSign {
+            u,
+            v,
+            sign: sign()?,
+        },
+    }))
+}
+
+/// Parses one *bare* mutation object — the `POST /v1/mutate` request body
+/// and one line of the `tfsn mutate` JSONL stream:
+///
+/// ```json
+/// {"op": "edge_set_sign", "u": 17, "v": 42, "sign": "-"}
+/// ```
+///
+/// Unlike envelopes there is no `version` field; the transport that carries
+/// it (the versioned URL `/v1/mutate`, or the CLI of the same build) pins
+/// the version.
+pub fn parse_mutation_value(v: &Value) -> Result<RequestBody, ServiceError> {
+    let map = v
+        .as_map()
+        .ok_or_else(|| bad("mutation must be a JSON object"))?;
+    let field = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    // The bare object has no deployment channel — that is the transport's
+    // job (`?deployment=` on /v1/mutate, `--select` on the CLI). Silently
+    // ignoring an envelope-style `deployment` field here would apply the
+    // mutation to the *default* deployment: a cross-deployment write, not
+    // a tolerable extra field.
+    if field("deployment").is_some() {
+        return Err(bad(
+            "mutation objects carry no `deployment` field; address a deployment with \
+             `?deployment=NAME` (HTTP) or `--select NAME` (CLI), or use the envelope \
+             protocol via /v1/rpc",
+        ));
+    }
+    let op = field("op")
+        .ok_or_else(|| bad("mutation is missing required field `op`"))?
+        .as_str()
+        .ok_or_else(|| bad("field `op` must be a string label"))?;
+    parse_mutation_fields(op, &field)?.ok_or_else(|| {
+        bad(format!(
+            "`{op}` is not a mutation op (expected edge_insert, edge_remove or edge_set_sign)"
+        ))
+    })
+}
+
+/// [`parse_mutation_value`] over JSON text.
+pub fn parse_mutation_json(json: &str) -> Result<RequestBody, ServiceError> {
+    let value: Value = serde_json::from_str(json).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    parse_mutation_value(&value)
+}
+
+/// The wire label of a sign (`"+"` / `"-"`).
+pub fn sign_label(sign: Sign) -> &'static str {
+    match sign {
+        Sign::Positive => "+",
+        Sign::Negative => "-",
     }
 }
 
@@ -229,6 +397,18 @@ impl Serialize for Request {
                 m.push(("kinds".to_string(), kinds_value(kinds)));
             }
             RequestBody::Stats | RequestBody::Metrics | RequestBody::Deployments => {}
+            RequestBody::EdgeInsert { u, v, sign } | RequestBody::EdgeSetSign { u, v, sign } => {
+                m.push(("u".to_string(), Value::UInt(*u as u64)));
+                m.push(("v".to_string(), Value::UInt(*v as u64)));
+                m.push((
+                    "sign".to_string(),
+                    Value::Str(sign_label(*sign).to_string()),
+                ));
+            }
+            RequestBody::EdgeRemove { u, v } => {
+                m.push(("u".to_string(), Value::UInt(*u as u64)));
+                m.push(("v".to_string(), Value::UInt(*v as u64)));
+            }
         }
         Value::Map(m)
     }
@@ -268,6 +448,25 @@ pub enum Response {
     },
     /// The registry listing.
     Deployments(Vec<DeploymentInfo>),
+    /// Acknowledgement of a mutation op (`edge_insert` / `edge_remove` /
+    /// `edge_set_sign`).
+    Mutated {
+        /// The deployment that was mutated.
+        deployment: String,
+        /// The mutation op that was applied (`edge_insert`, …).
+        mutation: String,
+        /// `false` for a no-op `edge_set_sign` to the sign the edge already
+        /// had (nothing was invalidated).
+        changed: bool,
+        /// Resident relation rows invalidated by the mutation.
+        rows_invalidated: u64,
+        /// Matrix-tier kinds downgraded to row serving by this mutation.
+        downgraded: Vec<CompatibilityKind>,
+        /// Live edge count after the mutation.
+        edges: u64,
+        /// Wall-clock time applying the mutation, microseconds.
+        micros: u64,
+    },
     /// The request failed; the envelope carries the typed error.
     Error(ServiceError),
 }
@@ -282,6 +481,7 @@ impl Response {
             Response::Stats(_) => "stats",
             Response::Metrics { .. } => "metrics",
             Response::Deployments(_) => "deployments",
+            Response::Mutated { .. } => "mutated",
             Response::Error(_) => "error",
         }
     }
@@ -329,7 +529,7 @@ impl Response {
             "warmed" => Response::Warmed {
                 deployment: String::from_value(required("deployment")?)
                     .map_err(|e| bad(format!("field `deployment`: {e}")))?,
-                kinds: parse_kinds(field("kinds"))?,
+                kinds: parse_kinds(field("kinds"), "kinds")?,
                 micros: required("micros")?
                     .as_u64()
                     .ok_or_else(|| bad("field `micros` must be a non-negative integer"))?,
@@ -347,6 +547,27 @@ impl Response {
                 Vec::<DeploymentInfo>::from_value(required("deployments")?)
                     .map_err(|e| bad(format!("field `deployments`: {e}")))?,
             ),
+            "mutated" => {
+                let u64_of = |key: &str| {
+                    required(key)?
+                        .as_u64()
+                        .ok_or_else(|| bad(format!("field `{key}` must be a non-negative integer")))
+                };
+                Response::Mutated {
+                    deployment: String::from_value(required("deployment")?)
+                        .map_err(|e| bad(format!("field `deployment`: {e}")))?,
+                    mutation: String::from_value(required("mutation")?)
+                        .map_err(|e| bad(format!("field `mutation`: {e}")))?,
+                    changed: match required("changed")? {
+                        Value::Bool(b) => *b,
+                        _ => return Err(bad("field `changed` must be a boolean")),
+                    },
+                    rows_invalidated: u64_of("rows_invalidated")?,
+                    downgraded: parse_kinds(field("downgraded"), "downgraded")?,
+                    edges: u64_of("edges")?,
+                    micros: u64_of("micros")?,
+                }
+            }
             "error" => Response::Error(ServiceError::parse_value(required("error")?)?),
             other => {
                 return Err(ServiceError::UnknownOp {
@@ -398,6 +619,26 @@ impl Serialize for Response {
                 m.push(("total".to_string(), total.to_value()));
             }
             Response::Deployments(infos) => m.push(("deployments".to_string(), infos.to_value())),
+            Response::Mutated {
+                deployment,
+                mutation,
+                changed,
+                rows_invalidated,
+                downgraded,
+                edges,
+                micros,
+            } => {
+                m.push(("deployment".to_string(), Value::Str(deployment.clone())));
+                m.push(("mutation".to_string(), Value::Str(mutation.clone())));
+                m.push(("changed".to_string(), Value::Bool(*changed)));
+                m.push((
+                    "rows_invalidated".to_string(),
+                    Value::UInt(*rows_invalidated),
+                ));
+                m.push(("downgraded".to_string(), kinds_value(downgraded)));
+                m.push(("edges".to_string(), Value::UInt(*edges)));
+                m.push(("micros".to_string(), Value::UInt(*micros)));
+            }
             Response::Error(e) => m.push(("error".to_string(), e.to_value())),
         }
         Value::Map(m)
@@ -541,6 +782,19 @@ pub enum ServiceError {
 }
 
 impl ServiceError {
+    /// Every error code this protocol version can emit — the closure the
+    /// docs-coverage test checks `docs/PROTOCOL.md` against, so a new error
+    /// variant cannot ship undocumented.
+    pub const ALL_CODES: [&'static str; 7] = [
+        "unsupported_version",
+        "unknown_deployment",
+        "unknown_op",
+        "bad_request",
+        "too_large",
+        "overloaded",
+        "internal",
+    ];
+
     /// The stable machine-readable code.
     pub fn code(&self) -> &'static str {
         match self {
@@ -687,20 +941,24 @@ fn kinds_value(kinds: &[CompatibilityKind]) -> Value {
     )
 }
 
-fn parse_kinds(v: Option<&Value>) -> Result<Vec<CompatibilityKind>, ServiceError> {
+/// Parses an optional kind-label array; `name` is the field being parsed
+/// (`kinds`, `downgraded`, …) so diagnostics point at the right field.
+fn parse_kinds(v: Option<&Value>, name: &str) -> Result<Vec<CompatibilityKind>, ServiceError> {
     let Some(v) = v else {
         return Ok(Vec::new());
     };
-    let seq = v
-        .as_seq()
-        .ok_or_else(|| bad("field `kinds` must be an array of relation labels"))?;
+    let seq = v.as_seq().ok_or_else(|| {
+        bad(format!(
+            "field `{name}` must be an array of relation labels"
+        ))
+    })?;
     seq.iter()
         .map(|k| {
             let label = k
                 .as_str()
-                .ok_or_else(|| bad("field `kinds` must contain string labels"))?;
+                .ok_or_else(|| bad(format!("field `{name}` must contain string labels")))?;
             CompatibilityKind::parse(label)
-                .ok_or_else(|| bad(format!("unknown compatibility kind `{label}`")))
+                .ok_or_else(|| bad(format!("unknown compatibility kind `{label}` in `{name}`")))
         })
         .collect()
 }
@@ -785,6 +1043,75 @@ mod tests {
             let json = serde_json::to_string(&resp).unwrap();
             assert!(json.contains(err.code()), "{json}");
             assert_eq!(Response::parse_json(&json).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn all_ops_is_closed_over_the_parser() {
+        for op in RequestBody::ALL_OPS {
+            let json = format!("{{\"version\": 1, \"op\": \"{op}\"}}");
+            match Request::parse_json(&json) {
+                Ok(req) => assert_eq!(req.body.op(), op),
+                // Recognised op, missing fields: still not UnknownOp.
+                Err(ServiceError::BadRequest { .. }) => {}
+                Err(other) => panic!("op `{op}` not recognised: {other:?}"),
+            }
+        }
+        assert_eq!(ServiceError::ALL_CODES.len(), 7);
+    }
+
+    #[test]
+    fn mutation_envelopes_and_bare_objects_parse() {
+        let req = Request::parse_json(
+            r#"{"version": 1, "op": "edge_insert", "deployment": "sd",
+                "u": 3, "v": 9, "sign": "-"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            req.body,
+            RequestBody::EdgeInsert {
+                u: 3,
+                v: 9,
+                sign: Sign::Negative
+            }
+        );
+        assert_eq!(
+            req.body.mutation(),
+            Some(EdgeMutation::Insert {
+                u: NodeId::new(3),
+                v: NodeId::new(9),
+                sign: Sign::Negative
+            })
+        );
+        // The bare object (the /v1/mutate body) parses to the same variant.
+        let bare =
+            parse_mutation_json(r#"{"op": "edge_insert", "u": 3, "v": 9, "sign": "-"}"#).unwrap();
+        assert_eq!(bare, req.body);
+        // `positive`/`negative` labels are accepted on input; `+`/`-` are
+        // what serialization emits.
+        let bare =
+            parse_mutation_json(r#"{"op": "edge_set_sign", "u": 1, "v": 2, "sign": "positive"}"#)
+                .unwrap();
+        let json = serde_json::to_string(&Request::new(bare)).unwrap();
+        assert!(json.contains("\"sign\":\"+\""), "{json}");
+        // Typed failures: bad sign, missing fields, non-mutation op.
+        for bad in [
+            r#"{"op": "edge_insert", "u": 1, "v": 2, "sign": "0"}"#,
+            r#"{"op": "edge_insert", "u": 1, "sign": "+"}"#,
+            r#"{"op": "edge_remove", "u": 1, "v": -2}"#,
+            r#"{"op": "warm"}"#,
+            r#"{"u": 1, "v": 2}"#,
+            // A bare mutation must not smuggle a deployment: silently
+            // ignoring it would mutate the default deployment instead.
+            r#"{"op": "edge_remove", "deployment": "lab", "u": 1, "v": 2}"#,
+        ] {
+            assert!(
+                matches!(
+                    parse_mutation_json(bad),
+                    Err(ServiceError::BadRequest { .. })
+                ),
+                "{bad} must be a typed bad_request"
+            );
         }
     }
 

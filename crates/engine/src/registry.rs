@@ -197,6 +197,31 @@ struct Entry {
 }
 
 /// Several named deployments resident in one process. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use tfsn_engine::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+///
+/// let registry = DeploymentRegistry::new(vec![
+///     DeploymentConfig::new("sd", DeploymentSource::Slashdot),
+///     DeploymentConfig::new(
+///         "lab",
+///         DeploymentSource::parse("synthetic:nodes=80,edges=240,skills=12").unwrap(),
+///     ),
+/// ])
+/// .unwrap();
+///
+/// // Nothing loads until a request addresses an entry.
+/// assert_eq!(registry.default_name(), "sd");
+/// assert!(registry.infos().iter().all(|info| !info.loaded));
+///
+/// // First resolution loads the entry exactly once; later calls share it.
+/// let lab = registry.engine(Some("lab")).unwrap();
+/// assert_eq!(lab.deployment().user_count(), 80);
+/// assert!(registry.engine_if_loaded("lab").is_some());
+/// assert!(registry.engine_if_loaded("sd").is_none());
+/// ```
 #[derive(Debug)]
 pub struct DeploymentRegistry {
     entries: Vec<Entry>,
@@ -283,6 +308,15 @@ impl DeploymentRegistry {
             .clone())
     }
 
+    /// Resolves `name` (`None` = default) like [`Self::engine`] but never
+    /// loads: `Ok(None)` when the entry exists and is cold, a typed
+    /// [`ServiceError::UnknownDeployment`] when it does not exist at all.
+    /// This is the mutation path's resolver — mutating a never-loaded
+    /// deployment must not force a multi-gigabyte load.
+    pub fn loaded_engine(&self, name: Option<&str>) -> Result<Option<Arc<Engine>>, ServiceError> {
+        Ok(self.entry(name)?.engine.get().cloned())
+    }
+
     /// The engine serving `name`, only if its deployment is already loaded
     /// — metrics and listings must not force multi-gigabyte loads.
     pub fn engine_if_loaded(&self, name: &str) -> Option<Arc<Engine>> {
@@ -303,7 +337,9 @@ impl DeploymentRegistry {
                     default: i == 0,
                     loaded: true,
                     users: Some(engine.deployment().user_count() as u64),
-                    edges: Some(engine.deployment().graph().edge_count() as u64),
+                    // The live graph, not the load-time snapshot: mutations
+                    // move the edge count.
+                    edges: Some(engine.graph().edge_count() as u64),
                     skills: Some(engine.deployment().skill_count() as u64),
                     tier: Some(
                         engine

@@ -10,16 +10,18 @@
 //! | `GET /healthz`         | —                          | `ok` (text/plain) |
 //! | `POST /v1/query`       | one [`crate::TeamQuery`] JSON object | one [`crate::TeamAnswer`] JSON object |
 //! | `POST /v1/batch`       | JSONL of queries           | JSONL of answers (same bytes as CLI `serve-batch`) |
+//! | `POST /v1/mutate`      | one bare mutation object (`{"op": "edge_insert", "u": 1, "v": 2, "sign": "+"}`) | `mutated` [`Response`] envelope |
 //! | `POST /v1/rpc`         | one protocol [`Request`] envelope | one [`Response`] envelope |
 //! | `GET /v1/stats`        | —                          | `stats` [`Response`] envelope |
 //! | `GET /v1/metrics`      | —                          | `metrics` [`Response`] envelope |
 //! | `GET /v1/deployments`  | —                          | `deployments` [`Response`] envelope |
+//! | `POST /v1/shutdown`    | — (only with [`ServerOptions::allow_shutdown`]) | `shutting down` (text/plain), then the server drains |
 //!
-//! `query`, `batch` and `stats` accept `?deployment=NAME` to address a
-//! registry entry, and `query`/`batch` accept `?timing=false` to zero the
-//! per-answer latency fields. Errors are [`Response::Error`] envelopes with
-//! mapped status codes (`unknown_deployment` → 404, `too_large` → 413,
-//! other client errors → 400).
+//! `query`, `batch`, `mutate` and `stats` accept `?deployment=NAME` to
+//! address a registry entry, and `query`/`batch` accept `?timing=false` to
+//! zero the per-answer latency fields. Errors are [`Response::Error`]
+//! envelopes with mapped status codes (`unknown_deployment` → 404,
+//! `too_large` → 413, other client errors → 400).
 //!
 //! ## Architecture
 //!
@@ -70,6 +72,10 @@ pub struct ServerOptions {
     pub max_body_bytes: usize,
     /// Keep-alive idle timeout: a connection silent this long is closed.
     pub keep_alive: Duration,
+    /// Enables `POST /v1/shutdown`, the remote graceful-shutdown endpoint
+    /// (off by default: an unauthenticated shutdown is an operator opt-in —
+    /// CI smoke tests and local sessions, not exposed fleets).
+    pub allow_shutdown: bool,
 }
 
 impl Default for ServerOptions {
@@ -79,17 +85,69 @@ impl Default for ServerOptions {
             max_connections: 256,
             max_body_bytes: 64 << 20,
             keep_alive: Duration::from_secs(30),
+            allow_shutdown: false,
         }
     }
 }
 
+/// The shared stop signal of one server: the flag acceptors poll plus the
+/// address to poke them awake on.
+#[derive(Debug)]
+struct ShutdownState {
+    flag: AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+}
+
+/// A cloneable handle that stops a running [`HttpServer`] from anywhere —
+/// another thread while [`HttpServer::join`] blocks, a signal handler, or
+/// the opt-in `POST /v1/shutdown` endpoint. Triggering is idempotent.
+///
+/// This is the graceful-shutdown path: acceptors stop and exit, and
+/// `join`/`shutdown` then wait (bounded by [`SHUTDOWN_DRAIN_MAX`]) for the
+/// live-connection gauge to drain so in-flight responses finish — instead
+/// of the process being killed by PID mid-write. Connections that are
+/// still open at the drain deadline (idle keep-alive peers sitting in
+/// their read timeout) are abandoned.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ShutdownState>,
+}
+
+impl ShutdownHandle {
+    /// Signals the server to stop and wakes its acceptors. Safe to call
+    /// multiple times; only the first call does work.
+    pub fn shutdown(&self) {
+        if self.state.flag.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // One wake-up connection per worker unblocks the blocking accepts.
+        for _ in 0..self.state.workers {
+            let _ = TcpStream::connect(self.state.addr);
+        }
+    }
+
+    /// `true` once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Longest `join`/`shutdown` waits for in-flight connections to drain
+/// after the acceptors stop. The cap exists because idle keep-alive peers
+/// only notice the shutdown at their read timeout — a busy handler
+/// finishing a response exits the wait early via the gauge.
+pub const SHUTDOWN_DRAIN_MAX: Duration = Duration::from_secs(5);
+
 /// A running HTTP front-end. Dropping the handle does **not** stop the
-/// server; call [`HttpServer::shutdown`] (tests) or [`HttpServer::join`]
-/// (serve forever).
+/// server; call [`HttpServer::shutdown`], trigger a
+/// [`HttpServer::shutdown_handle`] from another thread, or
+/// [`HttpServer::join`] to serve until one of those fires.
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    handle: ShutdownHandle,
+    connections: Arc<AtomicUsize>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -104,9 +162,15 @@ impl HttpServer {
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let connections = Arc::new(AtomicUsize::new(0));
         let threads = options.threads.max(1);
+        let handle = ShutdownHandle {
+            state: Arc::new(ShutdownState {
+                flag: AtomicBool::new(false),
+                addr,
+                workers: threads,
+            }),
+        };
+        let connections = Arc::new(AtomicUsize::new(0));
         let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(threads);
         for _ in 0..threads {
             let cloned = match listener.try_clone() {
@@ -115,10 +179,7 @@ impl HttpServer {
                     // Partial failure (fd exhaustion): stop and join the
                     // acceptors already spawned so no half-built server
                     // keeps the port alive behind an `Err` return.
-                    shutdown.store(true, Ordering::SeqCst);
-                    for _ in 0..workers.len() {
-                        let _ = TcpStream::connect(addr);
-                    }
+                    handle.shutdown();
                     for worker in workers {
                         let _: std::thread::Result<()> = worker.join();
                     }
@@ -126,16 +187,17 @@ impl HttpServer {
                 }
             };
             let service = service.clone();
-            let shutdown = shutdown.clone();
+            let handle = handle.clone();
             let connections = connections.clone();
             let options = options.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&cloned, &service, &shutdown, &connections, &options)
+                worker_loop(&cloned, &service, &handle, &connections, &options)
             }));
         }
         Ok(HttpServer {
             addr,
-            shutdown,
+            handle,
+            connections,
             workers,
         })
     }
@@ -145,26 +207,47 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops accepting, wakes the acceptors and joins them. In-flight
-    /// requests finish on their connection threads; idle keep-alive
-    /// connections are abandoned (their threads exit at the read timeout).
+    /// A cloneable handle that can stop this server from another thread
+    /// while [`HttpServer::join`] blocks (the CLI installs it behind
+    /// `POST /v1/shutdown` when `--allow-shutdown` is set).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.handle.clone()
+    }
+
+    /// Stops accepting, wakes the acceptors, joins them and drains
+    /// in-flight connections (bounded by [`SHUTDOWN_DRAIN_MAX`]); idle
+    /// keep-alive connections still open at the deadline are abandoned
+    /// (their threads exit at the read timeout).
     pub fn shutdown(self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // One wake-up connection per worker unblocks the blocking accepts.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
-        }
+        self.handle.shutdown();
         for worker in self.workers {
             let _ = worker.join();
         }
+        drain_connections(&self.connections);
     }
 
-    /// Blocks the calling thread for the lifetime of the server (the CLI
-    /// `serve-http` foreground mode).
+    /// Blocks the calling thread until the server shuts down — via
+    /// [`HttpServer::shutdown_handle`] or the `POST /v1/shutdown` endpoint
+    /// (the CLI `serve-http` foreground mode) — then drains in-flight
+    /// connections like [`HttpServer::shutdown`], so the process does not
+    /// exit mid-response.
     pub fn join(self) {
         for worker in self.workers {
             let _ = worker.join();
         }
+        drain_connections(&self.connections);
+    }
+}
+
+/// Waits for the live-connection gauge to reach zero, up to
+/// [`SHUTDOWN_DRAIN_MAX`] — the piece that makes shutdown *graceful*:
+/// handler threads are detached, so without this wait the process could
+/// exit while a response (the `/v1/shutdown` acknowledgement included) is
+/// still being written.
+fn drain_connections(connections: &AtomicUsize) {
+    let deadline = std::time::Instant::now() + SHUTDOWN_DRAIN_MAX;
+    while connections.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
     }
 }
 
@@ -181,12 +264,12 @@ impl Drop for ConnectionGuard {
 fn worker_loop(
     listener: &TcpListener,
     service: &Arc<Service>,
-    shutdown: &Arc<AtomicBool>,
+    shutdown: &ShutdownHandle,
     connections: &Arc<AtomicUsize>,
     options: &ServerOptions,
 ) {
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.is_shutdown() {
             return;
         }
         let stream = match listener.accept() {
@@ -198,7 +281,7 @@ fn worker_loop(
                 continue;
             }
         };
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.is_shutdown() {
             return;
         }
         if connections.fetch_add(1, Ordering::SeqCst) >= options.max_connections {
@@ -497,6 +580,7 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
@@ -521,7 +605,7 @@ fn status_for(error: &ServiceError) -> u16 {
 fn handle_connection(
     stream: TcpStream,
     service: &Service,
-    shutdown: &AtomicBool,
+    shutdown: &ShutdownHandle,
     options: &ServerOptions,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(options.keep_alive))?;
@@ -532,7 +616,7 @@ fn handle_connection(
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     loop {
-        if shutdown.load(Ordering::SeqCst) {
+        if shutdown.is_shutdown() {
             return Ok(());
         }
         let request = match read_request(&mut reader, &mut writer, options.max_body_bytes) {
@@ -556,9 +640,23 @@ fn handle_connection(
             }
             continue;
         }
+        // The opt-in graceful-stop endpoint is handled here, not in
+        // `route`: the acknowledgement must be fully written *before* the
+        // trigger fires, because the drain in `HttpServer::join` races
+        // this handler once the acceptors wake.
+        if request.method == "POST" && request.path == "/v1/shutdown" && options.allow_shutdown {
+            let ack = HttpResponse {
+                status: 200,
+                content_type: "text/plain",
+                body: b"shutting down\n".to_vec(),
+            };
+            write_response(&mut writer, &ack, true)?;
+            shutdown.shutdown();
+            return Ok(());
+        }
         let response = route(service, &request);
         write_response(&mut writer, &response, close)?;
-        if close {
+        if close || shutdown.is_shutdown() {
             return Ok(());
         }
     }
@@ -798,10 +896,34 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
                 Err(e) => stream_error_response(e),
             }
         }
+        ("POST", "/v1/mutate") => {
+            // One bare mutation object per request; the deployment comes
+            // from `?deployment=` like the other data-plane endpoints.
+            let parsed = std::str::from_utf8(&request.body)
+                .map_err(|_| ServiceError::BadRequest {
+                    detail: "request body is not UTF-8".to_string(),
+                })
+                .and_then(crate::proto::parse_mutation_json);
+            match parsed {
+                Ok(body) => respond(service.handle(&envelope(body))),
+                Err(e) => HttpResponse::error(status_for(&e), e),
+            }
+        }
+        // The enabled case is answered in `handle_connection` (the ack must
+        // hit the wire before the trigger); only the disabled rejection
+        // routes here.
+        ("POST", "/v1/shutdown") => HttpResponse::error(
+            403,
+            ServiceError::BadRequest {
+                detail: "shutdown over HTTP is disabled; start the server with \
+                         --allow-shutdown to enable it"
+                    .to_string(),
+            },
+        ),
         (
             _,
             "/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/deployments" | "/v1/rpc" | "/v1/query"
-            | "/v1/batch",
+            | "/v1/batch" | "/v1/mutate" | "/v1/shutdown",
         ) => HttpResponse::error(
             405,
             ServiceError::BadRequest {

@@ -122,6 +122,30 @@ impl Service {
 
     /// Handles one protocol request. Failures come back as
     /// [`Response::Error`]; this method itself never panics on bad input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tfsn_engine::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+    /// use tfsn_engine::{Request, RequestBody, Response, Service, ServiceError};
+    ///
+    /// let registry = DeploymentRegistry::single(DeploymentConfig::new(
+    ///     "tiny",
+    ///     DeploymentSource::parse("synthetic:nodes=60,edges=150,skills=8").unwrap(),
+    /// ));
+    /// let service = Service::new(registry);
+    ///
+    /// // Deployment statistics over the envelope protocol.
+    /// let response = service.handle(&Request::new(RequestBody::Stats));
+    /// assert!(matches!(response, Response::Stats(_)));
+    ///
+    /// // Unknown deployments come back as typed error envelopes.
+    /// let response = service.handle(&Request::new(RequestBody::Stats).on("prod"));
+    /// assert!(matches!(
+    ///     response.error(),
+    ///     Some(ServiceError::UnknownDeployment { .. })
+    /// ));
+    /// ```
     pub fn handle(&self, request: &Request) -> Response {
         match self.dispatch(request) {
             Ok(response) => response,
@@ -179,7 +203,7 @@ impl Service {
             RequestBody::Stats => {
                 let engine = self.registry.engine(deployment)?;
                 Ok(Response::Stats(DeploymentStats {
-                    dataset: engine.cached_stats().clone(),
+                    dataset: engine.cached_stats(),
                     serving: ServingPlan::of_engine(&engine),
                 }))
             }
@@ -199,6 +223,41 @@ impl Service {
                 Ok(Response::Metrics { deployments, total })
             }
             RequestBody::Deployments => Ok(Response::Deployments(self.registry.infos())),
+            RequestBody::EdgeInsert { .. }
+            | RequestBody::EdgeRemove { .. }
+            | RequestBody::EdgeSetSign { .. } => {
+                let mutation = request
+                    .body
+                    .mutation()
+                    .expect("mutation variants carry a graph delta");
+                let name = deployment.unwrap_or_else(|| self.registry.default_name());
+                // Resolve without loading: a mutation addressed at a cold
+                // deployment must not pull gigabytes into memory — the
+                // caller warms (or queries) first, then mutates.
+                let engine = self.registry.loaded_engine(Some(name))?.ok_or_else(|| {
+                    ServiceError::BadRequest {
+                        detail: format!(
+                            "deployment `{name}` is not loaded; mutations apply to live \
+                             deployments only (warm or query it first)"
+                        ),
+                    }
+                })?;
+                let start = Instant::now();
+                let report = engine
+                    .mutate(&mutation)
+                    .map_err(|e| ServiceError::BadRequest {
+                        detail: e.to_string(),
+                    })?;
+                Ok(Response::Mutated {
+                    deployment: name.to_string(),
+                    mutation: request.body.op().to_string(),
+                    changed: report.effect.changed(),
+                    rows_invalidated: report.rows_invalidated as u64,
+                    downgraded: report.kinds_downgraded,
+                    edges: engine.graph().edge_count() as u64,
+                    micros: start.elapsed().as_micros() as u64,
+                })
+            }
         }
     }
 

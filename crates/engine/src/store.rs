@@ -16,15 +16,43 @@
 //! whether *this call* performed the matrix build (concurrent callers block
 //! on one build and see `false`), and row-mode queries attribute row
 //! computations through a per-query [`RowTracker`] scope.
+//!
+//! ## Live mutations
+//!
+//! [`RelationStore::mutate`] applies one [`EdgeMutation`] to the deployment
+//! without a reload: the graph is patched (see [`signed_graph::delta`]),
+//! the shared CSR view is sign-patched in place for flips (rebuilt for
+//! inserts/removals), and resident relation state is invalidated at the
+//! finest sound granularity per kind
+//! ([`tfsn_core::compat::InvalidationScope`]):
+//!
+//! * **row-tier shards** drop exactly the rows whose BFS frontier can cross
+//!   the touched edge (dirty-epoch per shard; cleared rows recompute on
+//!   next fetch);
+//! * **matrix-tier shards downgrade to the row tier** — the matrix's
+//!   unaffected rows are migrated into a fresh row store and only the
+//!   affected ones recompute lazily, instead of eagerly rebuilding an
+//!   `O(|V|²)` matrix per mutation;
+//! * SBPH/SBP have no sound per-row bound and fall back to a kind-level
+//!   epoch bump (every resident row dropped).
+//!
+//! Mutations are serialized against each other; queries keep running
+//! concurrently. Consistency granularity is the **row**: a query that
+//! overlaps a mutation observes each row it touches from either side of
+//! the mutation (a multi-row read — the SBPH/SBP symmetric closure, a
+//! pair-distance min — may therefore mix the two for that instant), and
+//! once `mutate` returns, every later query sees post-mutation state
+//! exactly (the property the mutation proptests pin).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
 use signed_graph::csr::CsrGraph;
-use signed_graph::SignedGraph;
+use signed_graph::{EdgeMutation, GraphError, MutationEffect, SignedGraph};
 use tfsn_core::compat::{
-    estimated_matrix_bytes, Compatibility, CompatibilityKind, CompatibilityMatrix, EngineConfig,
-    LazyCompatibility, RowTracker,
+    estimated_matrix_bytes, row_affected_by_edge, Compatibility, CompatibilityKind,
+    CompatibilityMatrix, EngineConfig, InvalidationScope, LazyCompatibility, RowTracker,
 };
 
 /// Index of a kind in the shard array (kinds are a small closed set).
@@ -147,20 +175,53 @@ enum Tier {
     Rows(Arc<LazyCompatibility>),
 }
 
+/// The graph snapshot shards are built from: the current (possibly
+/// mutated) graph plus the lazily-built CSR view shared by every row-tier
+/// shard. One lock holds both so a build can never pair a new graph with a
+/// stale CSR.
+#[derive(Debug)]
+struct GraphState {
+    graph: Arc<SignedGraph>,
+    /// Built on the first row-tier shard and shared by all of them — it is
+    /// identical per kind and `O(|V|+|E|)` each, so per-shard copies would
+    /// silently multiply the footprint the memory budget is supposed to
+    /// bound.
+    csr: Option<Arc<CsrGraph>>,
+}
+
+/// The outcome of one [`RelationStore::mutate`] call.
+#[derive(Debug, Clone)]
+pub struct MutationReport {
+    /// What structurally changed (canonical endpoints included).
+    pub effect: MutationEffect,
+    /// Resident rows dropped across all shards (matrix rows not migrated
+    /// by a downgrade included).
+    pub rows_invalidated: usize,
+    /// Matrix-tier kinds downgraded to the row tier by this mutation.
+    pub kinds_downgraded: Vec<CompatibilityKind>,
+}
+
 /// The tiered, build-once relation store.
 #[derive(Debug)]
 pub struct RelationStore {
-    graph: Arc<SignedGraph>,
+    state: RwLock<GraphState>,
+    /// Node count, fixed for the store's lifetime (mutations are edge-level).
+    nodes: usize,
     cfg: EngineConfig,
     build_threads: usize,
     policy: StorePolicy,
-    shards: [OnceLock<Tier>; CompatibilityKind::ALL.len()],
-    /// One CSR view of the graph, built lazily on the first row-tier shard
-    /// and shared by all of them — it is identical per kind and `O(|V|+|E|)`
-    /// each, so per-shard copies would silently multiply the footprint the
-    /// memory budget is supposed to bound.
-    csr: OnceLock<Arc<CsrGraph>>,
+    shards: [RwLock<Option<Tier>>; CompatibilityKind::ALL.len()],
+    /// Serializes [`RelationStore::mutate`] calls against each other (reads
+    /// stay concurrent; a query overlapping a mutation sees either
+    /// snapshot).
+    mutation_lock: Mutex<()>,
     matrix_builds: AtomicUsize,
+    mutations: AtomicUsize,
+    /// Bumped only by mutations that actually changed the graph — the
+    /// cache key for derived state (deployment statistics) that a no-op
+    /// sign set must not invalidate.
+    graph_version: AtomicUsize,
+    rows_invalidated: AtomicUsize,
 }
 
 impl RelationStore {
@@ -180,14 +241,19 @@ impl RelationStore {
         } else {
             build_threads
         };
+        let nodes = graph.node_count();
         RelationStore {
-            graph,
+            state: RwLock::new(GraphState { graph, csr: None }),
+            nodes,
             cfg,
             build_threads,
             policy,
-            shards: std::array::from_fn(|_| OnceLock::new()),
-            csr: OnceLock::new(),
+            shards: std::array::from_fn(|_| RwLock::new(None)),
+            mutation_lock: Mutex::new(()),
             matrix_builds: AtomicUsize::new(0),
+            mutations: AtomicUsize::new(0),
+            graph_version: AtomicUsize::new(0),
+            rows_invalidated: AtomicUsize::new(0),
         }
     }
 
@@ -201,11 +267,46 @@ impl RelationStore {
         &self.policy
     }
 
-    /// The tier `kind` is (or would be) served from under this store's
-    /// policy. Deterministic per store — every kind of one deployment gets
-    /// the same choice, so it can be reported before any query runs.
+    /// The graph currently being served — the post-mutation truth once
+    /// [`RelationStore::mutate`] has run (the deployment's own handle keeps
+    /// the load-time snapshot).
+    pub fn graph(&self) -> Arc<SignedGraph> {
+        self.state.read().graph.clone()
+    }
+
+    /// The tier this store's *policy* assigns to `kind` — the serving plan.
+    /// A mutation can downgrade an already-resident matrix shard to the row
+    /// tier at runtime; [`RelationStore::resident_tier`] reports the live
+    /// state.
     pub fn tier_for(&self, _kind: CompatibilityKind) -> TierChoice {
-        self.policy.tier_for(self.graph.node_count())
+        self.policy.tier_for(self.nodes)
+    }
+
+    /// The tier `kind` is actually resident in right now, if initialised.
+    pub fn resident_tier(&self, kind: CompatibilityKind) -> Option<TierChoice> {
+        self.shards[shard_index(kind)]
+            .read()
+            .as_ref()
+            .map(|tier| match tier {
+                Tier::Matrix(_) => TierChoice::Matrix,
+                Tier::Rows(_) => TierChoice::Rows,
+            })
+    }
+
+    /// The current (graph, CSR) snapshot, building the shared CSR on first
+    /// use.
+    fn graph_and_csr(&self) -> (Arc<SignedGraph>, Arc<CsrGraph>) {
+        {
+            let st = self.state.read();
+            if let Some(csr) = &st.csr {
+                return (st.graph.clone(), csr.clone());
+            }
+        }
+        let mut st = self.state.write();
+        if st.csr.is_none() {
+            st.csr = Some(Arc::new(CsrGraph::from_graph(&st.graph)));
+        }
+        (st.graph.clone(), st.csr.clone().expect("just initialised"))
     }
 
     /// Returns the relation for `kind`, building (matrix tier) or creating
@@ -214,41 +315,210 @@ impl RelationStore {
     /// [`FetchedRelation::built_matrix`] — the hook that keeps hit/miss
     /// accounting exact when N cold queries race on one kind.
     pub fn fetch(&self, kind: CompatibilityKind) -> FetchedRelation {
+        let shard = &self.shards[shard_index(kind)];
+        if let Some(tier) = shard.read().clone() {
+            return FetchedRelation {
+                tier,
+                built_matrix: false,
+            };
+        }
+        let mut guard = shard.write();
+        if let Some(tier) = guard.clone() {
+            // Raced another initialiser: it built, we reuse.
+            return FetchedRelation {
+                tier,
+                built_matrix: false,
+            };
+        }
         let mut built_matrix = false;
-        let tier = self.shards[shard_index(kind)]
-            .get_or_init(|| match self.tier_for(kind) {
-                TierChoice::Matrix => {
-                    built_matrix = true;
-                    self.matrix_builds.fetch_add(1, Ordering::Relaxed);
-                    Tier::Matrix(Arc::new(CompatibilityMatrix::build_parallel(
-                        &self.graph,
-                        kind,
-                        &self.cfg,
-                        self.build_threads,
-                    )))
+        let tier = match self.tier_for(kind) {
+            TierChoice::Matrix => {
+                let graph = self.graph();
+                built_matrix = true;
+                self.matrix_builds.fetch_add(1, Ordering::Relaxed);
+                Tier::Matrix(Arc::new(CompatibilityMatrix::build_parallel(
+                    &graph,
+                    kind,
+                    &self.cfg,
+                    self.build_threads,
+                )))
+            }
+            TierChoice::Rows => {
+                let (graph, csr) = self.graph_and_csr();
+                Tier::Rows(Arc::new(LazyCompatibility::with_shared_csr(
+                    graph,
+                    csr,
+                    kind,
+                    self.cfg.clone(),
+                    self.policy.memory_budget,
+                )))
+            }
+        };
+        *guard = Some(tier.clone());
+        FetchedRelation { tier, built_matrix }
+    }
+
+    /// Applies one edge mutation to the live deployment: patches the graph,
+    /// refreshes the shared CSR (in-place sign patch for flips, rebuild for
+    /// inserts/removals), and invalidates resident relation state per kind
+    /// (see the module docs). Mutations serialize against each other;
+    /// concurrent queries keep answering, observing each row they touch
+    /// from either side of the mutation (row-granular consistency — see
+    /// the module docs).
+    ///
+    /// Failed mutations (unknown node, duplicate/missing edge, self-loop)
+    /// are typed [`GraphError`]s and leave every layer untouched. A
+    /// `SetSign` to the sign the edge already has counts as applied but
+    /// invalidates nothing.
+    pub fn mutate(&self, m: &EdgeMutation) -> Result<MutationReport, GraphError> {
+        let _serial = self.mutation_lock.lock();
+        let (old_graph, old_csr) = {
+            let st = self.state.read();
+            (st.graph.clone(), st.csr.clone())
+        };
+        // A `SetSign` to the sign the edge already has is detectable with
+        // one O(1) index probe — replayed mutation logs must not pay an
+        // O(|V|+|E|) graph clone (under the mutation lock, no less) to
+        // discover a no-op. Every error case falls through to
+        // `apply_mutation`, which reports it with the exact same typing.
+        if let EdgeMutation::SetSign { u, v, sign } = *m {
+            if u != v
+                && old_graph.contains_node(u)
+                && old_graph.contains_node(v)
+                && old_graph.sign(u, v) == Some(sign)
+            {
+                self.mutations.fetch_add(1, Ordering::Relaxed);
+                let (u, v) = if u <= v { (u, v) } else { (v, u) };
+                return Ok(MutationReport {
+                    effect: MutationEffect {
+                        u,
+                        v,
+                        change: signed_graph::EdgeChange::Unchanged(sign),
+                    },
+                    rows_invalidated: 0,
+                    kinds_downgraded: Vec::new(),
+                });
+            }
+        }
+        let mut new_graph = (*old_graph).clone();
+        let effect = new_graph.apply_mutation(m)?;
+        debug_assert!(effect.changed(), "no-op sign sets short-circuit above");
+        let new_graph = Arc::new(new_graph);
+        // A CSR is needed by every shard that is — or is about to become —
+        // row-served. The scan is only a hint: a shard can be initialised
+        // concurrently between it and the invalidation loop below, so the
+        // loop builds the CSR on demand if the hint was stale.
+        let need_csr = self.shards.iter().any(|s| s.read().is_some());
+        let mut new_csr: Option<Arc<CsrGraph>> = if need_csr {
+            let patched = match (&old_csr, effect.is_sign_only(), effect.sign_after()) {
+                // Sign flips keep the CSR structure: patch the sign lane of
+                // the existing view instead of re-walking the graph.
+                (Some(csr), true, Some(sign)) => {
+                    let mut patched = (**csr).clone();
+                    patched
+                        .set_sign(effect.u, effect.v, sign)
+                        .expect("flipped edge exists in the CSR view");
+                    patched
                 }
-                TierChoice::Rows => {
-                    let csr = self
-                        .csr
-                        .get_or_init(|| Arc::new(CsrGraph::from_graph(&self.graph)))
-                        .clone();
-                    Tier::Rows(Arc::new(LazyCompatibility::with_shared_csr(
-                        self.graph.clone(),
+                _ => CsrGraph::from_graph(&new_graph),
+            };
+            Some(Arc::new(patched))
+        } else {
+            None
+        };
+        // Publish the new snapshot first: shards initialised from here on
+        // already see the mutated graph.
+        {
+            let mut st = self.state.write();
+            st.graph = new_graph.clone();
+            st.csr = new_csr.clone();
+        }
+        let mut invalidated = 0usize;
+        let mut kinds_downgraded = Vec::new();
+        for (i, &kind) in CompatibilityKind::ALL.iter().enumerate() {
+            let mut guard = self.shards[i].write();
+            let Some(tier) = guard.clone() else {
+                continue;
+            };
+            // Covers shards that raced into existence after the hint scan.
+            let csr = new_csr
+                .get_or_insert_with(|| Arc::new(CsrGraph::from_graph(&new_graph)))
+                .clone();
+            match tier {
+                Tier::Rows(rows) => {
+                    invalidated += rows.apply_mutation(new_graph.clone(), csr, effect.u, effect.v);
+                }
+                Tier::Matrix(matrix) => {
+                    // Downgrade instead of rebuilding O(|V|²) eagerly: the
+                    // matrix's unaffected rows migrate into a fresh row
+                    // store (they are per-source-exact for every kind whose
+                    // scope is not WholeKind) and affected rows recompute
+                    // lazily on next fetch.
+                    let lazy = LazyCompatibility::with_shared_csr(
+                        new_graph.clone(),
                         csr,
                         kind,
                         self.cfg.clone(),
                         self.policy.memory_budget,
-                    )))
+                    );
+                    if InvalidationScope::of(kind) != InvalidationScope::WholeKind {
+                        for row in matrix.rows() {
+                            // Stop once the budget is full: seeding past it
+                            // would only evict earlier seeds (O(N) churn for
+                            // a migration that can retain nothing more).
+                            // Reachable when forced Matrix mode ignored a
+                            // budget smaller than the matrix at build time.
+                            if self.policy.memory_budget.is_some_and(|budget| {
+                                lazy.resident_bytes() + tfsn_core::compat::row_bytes(row) > budget
+                            }) {
+                                break;
+                            }
+                            if !row_affected_by_edge(row, effect.u, effect.v) {
+                                lazy.seed_row(Arc::new(row.clone()));
+                            }
+                        }
+                    }
+                    // Count what actually survived migration, not what was
+                    // offered — seeds can evict earlier seeds under a tight
+                    // budget, and every non-resident row must recompute.
+                    invalidated += matrix.node_count() - lazy.cached_rows();
+                    kinds_downgraded.push(kind);
+                    *guard = Some(Tier::Rows(Arc::new(lazy)));
                 }
-            })
-            .clone();
-        FetchedRelation { tier, built_matrix }
+            }
+        }
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.graph_version.fetch_add(1, Ordering::Relaxed);
+        self.rows_invalidated
+            .fetch_add(invalidated, Ordering::Relaxed);
+        Ok(MutationReport {
+            effect,
+            rows_invalidated: invalidated,
+            kinds_downgraded,
+        })
+    }
+
+    /// Mutations successfully applied (no-op sign sets included).
+    pub fn mutation_count(&self) -> usize {
+        self.mutations.load(Ordering::Relaxed)
+    }
+
+    /// Version of the served graph: bumped only by mutations that changed
+    /// it (unlike [`RelationStore::mutation_count`], which also counts
+    /// no-op sign sets). The cache key for graph-derived state.
+    pub fn graph_version(&self) -> usize {
+        self.graph_version.load(Ordering::Relaxed)
+    }
+
+    /// Resident rows invalidated across all mutations.
+    pub fn rows_invalidated_count(&self) -> usize {
+        self.rows_invalidated.load(Ordering::Relaxed)
     }
 
     /// `true` when the shard for `kind` is initialised (matrix built, or
     /// row store created).
     pub fn is_resident(&self, kind: CompatibilityKind) -> bool {
-        self.shards[shard_index(kind)].get().is_some()
+        self.shards[shard_index(kind)].read().is_some()
     }
 
     /// The kinds whose shards are initialised.
@@ -289,22 +559,19 @@ impl RelationStore {
     pub fn resident_bytes(&self) -> usize {
         self.shards
             .iter()
-            .filter_map(|s| s.get())
-            .map(|tier| match tier {
-                Tier::Matrix(m) => estimated_matrix_bytes(m.node_count()),
-                Tier::Rows(rows) => rows.resident_bytes(),
+            .map(|s| match &*s.read() {
+                Some(Tier::Matrix(m)) => estimated_matrix_bytes(m.node_count()),
+                Some(Tier::Rows(rows)) => rows.resident_bytes(),
+                None => 0,
             })
             .sum()
     }
 
     fn fold_rows<T>(&self, init: T, f: impl Fn(T, &LazyCompatibility) -> T) -> T {
-        self.shards
-            .iter()
-            .filter_map(|s| s.get())
-            .fold(init, |acc, tier| match tier {
-                Tier::Rows(rows) => f(acc, rows),
-                Tier::Matrix(_) => acc,
-            })
+        self.shards.iter().fold(init, |acc, s| match &*s.read() {
+            Some(Tier::Rows(rows)) => f(acc, rows),
+            _ => acc,
+        })
     }
 }
 

@@ -1,0 +1,144 @@
+//! Documentation anti-rot checks:
+//!
+//! * every request `op` label and every typed error code the build can
+//!   emit must appear in `docs/PROTOCOL.md` (so a protocol change cannot
+//!   ship undocumented);
+//! * `docs/ARCHITECTURE.md` must keep describing the invalidation rules
+//!   and shutdown surface it anchors;
+//! * local markdown links in README/ROADMAP/docs must resolve to files
+//!   that exist.
+
+use std::path::{Path, PathBuf};
+
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_engine::{AnswerStatus, RequestBody, ServiceError};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn protocol_doc_covers_every_op_error_status_and_kind() {
+    let doc = read("docs/PROTOCOL.md");
+    for op in RequestBody::ALL_OPS {
+        assert!(
+            doc.contains(&format!("`{op}`")),
+            "docs/PROTOCOL.md is missing request op `{op}` — document it \
+             (every op in RequestBody::ALL_OPS must appear)"
+        );
+    }
+    for code in ServiceError::ALL_CODES {
+        assert!(
+            doc.contains(&format!("`{code}`")),
+            "docs/PROTOCOL.md is missing error code `{code}` — document it \
+             (every code in ServiceError::ALL_CODES must appear, with its \
+             HTTP status mapping)"
+        );
+    }
+    for status in AnswerStatus::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", status.label())),
+            "docs/PROTOCOL.md is missing answer status `{}`",
+            status.label()
+        );
+    }
+    for kind in CompatibilityKind::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", kind.label())),
+            "docs/PROTOCOL.md is missing relation kind `{}`",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn architecture_doc_keeps_its_anchors() {
+    let doc = read("docs/ARCHITECTURE.md");
+    // The invalidation rule table names every kind and the predicate.
+    for kind in CompatibilityKind::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", kind.label())),
+            "docs/ARCHITECTURE.md is missing the invalidation rule for {}",
+            kind.label()
+        );
+    }
+    for anchor in [
+        "row_affected_by_edge",
+        "ShutdownHandle",
+        "CompatRow",
+        "mutations_applied",
+        "rows_invalidated",
+        "LazyCompatibility",
+        "RelationStore",
+    ] {
+        assert!(
+            doc.contains(anchor),
+            "docs/ARCHITECTURE.md lost its `{anchor}` section"
+        );
+    }
+}
+
+/// Extracts `](target)` markdown link targets, skipping external URLs and
+/// pure in-page fragments.
+fn local_links(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = markdown.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = markdown[i + 2..].find(')') {
+                let target = &markdown[i + 2..i + 2 + end];
+                let target = target.split(['#', ' ']).next().unwrap_or("");
+                if !target.is_empty()
+                    && !target.starts_with("http://")
+                    && !target.starts_with("https://")
+                    && !target.starts_with("mailto:")
+                {
+                    out.push(target.to_string());
+                }
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[test]
+fn readme_roadmap_and_docs_links_resolve() {
+    for file in [
+        "README.md",
+        "ROADMAP.md",
+        "docs/PROTOCOL.md",
+        "docs/ARCHITECTURE.md",
+    ] {
+        let content = read(file);
+        let base = repo_root().join(file);
+        let dir = base.parent().expect("file has a parent");
+        let links = local_links(&content);
+        for link in &links {
+            let resolved = dir.join(link);
+            assert!(
+                resolved.exists(),
+                "{file}: link `{link}` does not resolve ({} missing)",
+                resolved.display()
+            );
+        }
+        if file == "README.md" {
+            assert!(
+                links.iter().any(|l| l.ends_with("docs/PROTOCOL.md")),
+                "README.md must link docs/PROTOCOL.md"
+            );
+            assert!(
+                links.iter().any(|l| l.ends_with("docs/ARCHITECTURE.md")),
+                "README.md must link docs/ARCHITECTURE.md"
+            );
+        }
+    }
+}

@@ -323,7 +323,139 @@ fn endpoints_errors_and_keep_alive() {
     let (status, body) = client.request("GET", "/healthz", None);
     assert_eq!((status, body.as_str()), (200, "ok\n"));
 
+    // Shutdown over HTTP is an opt-in; this server did not opt in.
+    let (status, body) = client.request("POST", "/v1/shutdown", None);
+    assert_eq!(status, 403, "{body}");
+    assert!(body.contains("--allow-shutdown"), "{body}");
+
     // Close before shutdown so no worker sits out the idle timeout.
     drop(client);
     server.shutdown();
+}
+
+#[test]
+fn mutate_endpoint_applies_live_edge_changes() {
+    let service = two_deployment_service();
+    let server = HttpServer::bind(
+        service.clone(),
+        "127.0.0.1:0",
+        ServerOptions {
+            keep_alive: std::time::Duration::from_secs(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+
+    // Mutating a never-loaded deployment is a typed 400 and must not load.
+    let (status, body) = client.request(
+        "POST",
+        "/v1/mutate?deployment=tiny",
+        Some(r#"{"op": "edge_set_sign", "u": 0, "v": 1, "sign": "-"}"#),
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("not loaded"), "{body}");
+    let (_, listing) = client.request("GET", "/v1/deployments", None);
+    assert!(
+        !listing.contains("\"loaded\":true"),
+        "mutation must not force a load: {listing}"
+    );
+
+    // Load tiny with a query, then mutate it for real.
+    let (status, _) = client.request(
+        "POST",
+        "/v1/query?deployment=tiny",
+        Some(r#"{"task": [0]}"#),
+    );
+    assert_eq!(status, 200);
+    let insert = r#"{"op": "edge_insert", "u": 0, "v": 1, "sign": "+"}"#;
+    let (status, body) = client.request("POST", "/v1/mutate?deployment=tiny", Some(insert));
+    if status != 200 {
+        // The fixed seed may already have edge (0, 1): remove it first,
+        // then the insert must succeed.
+        assert!(body.contains("already exists"), "{body}");
+        let (status, body) = client.request(
+            "POST",
+            "/v1/mutate?deployment=tiny",
+            Some(r#"{"op": "edge_remove", "u": 0, "v": 1}"#),
+        );
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = client.request("POST", "/v1/mutate?deployment=tiny", Some(insert));
+        assert_eq!(status, 200, "{body}");
+        match Response::parse_json(&body).unwrap() {
+            Response::Mutated {
+                deployment,
+                mutation,
+                changed,
+                ..
+            } => {
+                assert_eq!(deployment, "tiny");
+                assert_eq!(mutation, "edge_insert");
+                assert!(changed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // Metrics now report the applied mutations.
+    let (status, body) = client.request("GET", "/v1/metrics", None);
+    assert_eq!(status, 200);
+    let Response::Metrics { total, .. } = Response::parse_json(&body).unwrap() else {
+        panic!("unexpected metrics payload: {body}");
+    };
+    assert!(total.mutations_applied >= 1, "{body}");
+
+    // Malformed mutation bodies are clean 400s, not connection drops.
+    let (status, body) = client.request("POST", "/v1/mutate?deployment=tiny", Some("not json"));
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = client.request(
+        "POST",
+        "/v1/mutate?deployment=tiny",
+        Some(r#"{"op": "warm"}"#),
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("not a mutation op"), "{body}");
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_handle_and_endpoint_stop_a_joined_server() {
+    // Handle path: a thread triggers the handle while join() blocks.
+    let server = HttpServer::bind(
+        two_deployment_service(),
+        "127.0.0.1:0",
+        ServerOptions::default(),
+    )
+    .unwrap();
+    let handle = server.shutdown_handle();
+    assert!(!handle.is_shutdown());
+    let trigger = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        handle.shutdown();
+    });
+    server.join(); // must return once the handle fires
+    trigger.join().unwrap();
+
+    // Endpoint path: POST /v1/shutdown on an opted-in server acknowledges,
+    // then join() returns — the CI smoke's replacement for kill-by-PID.
+    let server = HttpServer::bind(
+        two_deployment_service(),
+        "127.0.0.1:0",
+        ServerOptions {
+            allow_shutdown: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let observer = server.shutdown_handle();
+    let client_thread = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        client.request("POST", "/v1/shutdown", None)
+    });
+    server.join();
+    let (status, body) = client_thread.join().unwrap();
+    assert_eq!((status, body.as_str()), (200, "shutting down\n"));
+    assert!(observer.is_shutdown());
 }

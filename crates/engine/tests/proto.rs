@@ -134,6 +134,8 @@ fn metrics((a, b): ((u64, u64, u64, u64), (u64, u64, u64, u64))) -> MetricsSnaps
         row_evictions: a.0 % 7,
         resident_rows: a.1 % 11,
         resident_bytes: b.0 % 4096,
+        mutations_applied: a.2 % 13,
+        rows_invalidated: a.3 % 29,
     }
 }
 
@@ -164,7 +166,12 @@ fn stats((users, edges, skills, f): (usize, usize, usize, f64)) -> DeploymentSta
 fn request((variant, n, queries, q): (usize, usize, Vec<TeamQuery>, TeamQuery)) -> Request {
     let deployment = (n % 3 == 0).then(|| NAMES[n % NAMES.len()].to_string());
     let timing = n % 2 == 0;
-    let body = match variant % 6 {
+    let sign = if n % 2 == 0 {
+        signed_graph::Sign::Positive
+    } else {
+        signed_graph::Sign::Negative
+    };
+    let body = match variant % 9 {
         0 => RequestBody::Query { query: q, timing },
         1 => RequestBody::Batch { queries, timing },
         2 => RequestBody::Warm {
@@ -172,7 +179,18 @@ fn request((variant, n, queries, q): (usize, usize, Vec<TeamQuery>, TeamQuery)) 
         },
         3 => RequestBody::Stats,
         4 => RequestBody::Metrics,
-        _ => RequestBody::Deployments,
+        5 => RequestBody::Deployments,
+        6 => RequestBody::EdgeInsert {
+            u: n,
+            v: n * 7 + 1,
+            sign,
+        },
+        7 => RequestBody::EdgeRemove { u: n, v: n + 1 },
+        _ => RequestBody::EdgeSetSign {
+            u: n * 3,
+            v: n + 2,
+            sign,
+        },
     };
     Request { deployment, body }
 }
@@ -223,6 +241,15 @@ fn response(
                 })
                 .collect(),
         ),
+        6 => Response::Mutated {
+            deployment: NAMES[n % NAMES.len()].to_string(),
+            mutation: ["edge_insert", "edge_remove", "edge_set_sign"][n % 3].to_string(),
+            changed: n % 2 == 0,
+            rows_invalidated: n as u64 * 3,
+            downgraded: (0..n % 4).map(kind).collect(),
+            edges: n as u64 * 11,
+            micros: n as u64 * 5,
+        },
         _ => Response::Error(error),
     }
 }
@@ -237,7 +264,7 @@ proptest! {
     #[test]
     fn request_envelopes_round_trip(
         req in (
-            0usize..6,
+            0usize..9,
             0usize..30,
             prop::collection::vec(query_strategy(), 0..4),
             query_strategy(),
@@ -252,7 +279,7 @@ proptest! {
     #[test]
     fn response_envelopes_round_trip(
         resp in (
-            0usize..7,
+            0usize..8,
             0usize..30,
             prop::collection::vec(answer_strategy(), 0..4),
             (

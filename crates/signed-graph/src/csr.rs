@@ -3,15 +3,22 @@
 //! The compatibility oracle runs one signed BFS per source node over the
 //! whole graph; a CSR layout keeps the neighbour scan cache-friendly and
 //! avoids the per-node `Vec` indirection of the adjacency-list
-//! representation. The CSR view is read-only and cheap to share across the
-//! worker threads used by the parallel oracle builders.
+//! representation. The CSR view is cheap to share across the worker threads
+//! used by the parallel oracle builders, and read-only with one exception:
+//! a live **sign flip** ([`CsrGraph::set_sign`]) patches the sign lane in
+//! place — the `offsets`/`targets` structure is untouched, so the delta
+//! layer ([`crate::delta`]) can propagate `edge_set_sign` mutations without
+//! rebuilding the CSR. Edge inserts and removals restructure the offsets
+//! and need a rebuild ([`CsrGraph::from_graph`]).
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::GraphError;
 use crate::graph::{NodeId, SignedGraph};
 use crate::sign::Sign;
 
-/// An immutable CSR copy of a signed graph.
+/// A CSR copy of a signed graph (read-only except for in-place sign
+/// patching).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` indexes `targets` / `signs` for node `v`.
@@ -78,6 +85,35 @@ impl CsrGraph {
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Patches the sign of the existing edge `(u, v)` in place — both
+    /// directed entries — without touching the `offsets`/`targets`
+    /// structure. This is how an `edge_set_sign` mutation propagates to CSR
+    /// views without the `O(|V| + |E|)` rebuild that inserts and removals
+    /// need. Returns [`GraphError::MissingEdge`] when `(u, v)` is not an
+    /// edge of this view (the view would silently drift from its graph
+    /// otherwise) and [`GraphError::NodeOutOfBounds`] for ids outside the
+    /// node set.
+    pub fn set_sign(&mut self, u: NodeId, v: NodeId, sign: Sign) -> Result<(), GraphError> {
+        for node in [u, v] {
+            if node.index() >= self.node_count() {
+                return Err(GraphError::NodeOutOfBounds {
+                    node,
+                    node_count: self.node_count(),
+                });
+            }
+        }
+        for (a, b) in [(u, v), (v, u)] {
+            let lo = self.offsets[a.index()] as usize;
+            let hi = self.offsets[a.index() + 1] as usize;
+            // Neighbour targets are sorted (the builder sorts adjacency).
+            let pos = self.targets[lo..hi]
+                .binary_search(&(b.index() as u32))
+                .map_err(|_| GraphError::MissingEdge(u, v))?;
+            self.signs[lo + pos] = sign;
+        }
+        Ok(())
     }
 }
 

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::delta::{EdgeChange, EdgeMutation, MutationEffect};
 use crate::error::GraphError;
 use crate::sign::Sign;
 
@@ -269,6 +270,101 @@ impl SignedGraph {
     /// in tests and dataset statistics.
     pub fn degree_sum(&self) -> usize {
         self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// Applies one [`EdgeMutation`] in place — the delta layer behind the
+    /// serving engine's live graph updates (see [`crate::delta`]).
+    ///
+    /// Adjacency lists are patched with binary-search insertion/removal so
+    /// they keep the sorted order [`crate::GraphBuilder::build`] established
+    /// (traversal determinism depends on it); the edge index and the sign
+    /// counters are updated, and nothing derived is recomputed. The node set
+    /// never changes: ids outside `0..node_count` are rejected with
+    /// [`GraphError::NodeOutOfBounds`], so a failed mutation leaves the
+    /// graph untouched.
+    pub fn apply_mutation(&mut self, m: &EdgeMutation) -> Result<MutationEffect, GraphError> {
+        let (u, v) = m.endpoints();
+        for node in [u, v] {
+            if !self.contains_node(node) {
+                return Err(GraphError::NodeOutOfBounds {
+                    node,
+                    node_count: self.node_count(),
+                });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let key = canonical_key(u, v);
+        let (u, v) = (NodeId::new(key.0 as usize), NodeId::new(key.1 as usize));
+        let existing = self.edge_index.get(&key).copied();
+        let change = match (*m, existing) {
+            (EdgeMutation::Insert { .. }, Some(_)) => {
+                return Err(GraphError::DuplicateEdge(u, v));
+            }
+            (EdgeMutation::Insert { sign, .. }, None) => {
+                let idx = self.edges.len() as u32;
+                self.edges.push(Edge::new(u, v, sign));
+                self.edge_index.insert(key, idx);
+                for (a, b) in [(u, v), (v, u)] {
+                    let adj = &mut self.adjacency[a.index()];
+                    let pos = adj.partition_point(|n| n.node < b);
+                    adj.insert(pos, Neighbor { node: b, sign });
+                }
+                self.count_sign(sign, 1);
+                EdgeChange::Inserted(sign)
+            }
+            (EdgeMutation::Remove { .. }, None) | (EdgeMutation::SetSign { .. }, None) => {
+                return Err(GraphError::MissingEdge(u, v));
+            }
+            (EdgeMutation::Remove { .. }, Some(idx)) => {
+                let removed = self.edges.swap_remove(idx as usize);
+                self.edge_index.remove(&key);
+                // The swap moved the (previously) last edge into `idx`; its
+                // index entry must follow.
+                if (idx as usize) < self.edges.len() {
+                    let moved = self.edges[idx as usize];
+                    self.edge_index
+                        .insert((moved.u.index() as u32, moved.v.index() as u32), idx);
+                }
+                for (a, b) in [(u, v), (v, u)] {
+                    let adj = &mut self.adjacency[a.index()];
+                    let pos = adj
+                        .binary_search_by_key(&b, |n| n.node)
+                        .expect("indexed edge has adjacency entries");
+                    adj.remove(pos);
+                }
+                self.count_sign(removed.sign, -1);
+                EdgeChange::Removed(removed.sign)
+            }
+            (EdgeMutation::SetSign { sign, .. }, Some(idx)) => {
+                let old = self.edges[idx as usize].sign;
+                if old == sign {
+                    EdgeChange::Unchanged(sign)
+                } else {
+                    self.edges[idx as usize].sign = sign;
+                    for (a, b) in [(u, v), (v, u)] {
+                        let adj = &mut self.adjacency[a.index()];
+                        let pos = adj
+                            .binary_search_by_key(&b, |n| n.node)
+                            .expect("indexed edge has adjacency entries");
+                        adj[pos].sign = sign;
+                    }
+                    self.count_sign(old, -1);
+                    self.count_sign(sign, 1);
+                    EdgeChange::SignChanged { old, new: sign }
+                }
+            }
+        };
+        Ok(MutationEffect { u, v, change })
+    }
+
+    fn count_sign(&mut self, sign: Sign, delta: isize) {
+        let counter = match sign {
+            Sign::Positive => &mut self.positive_edges,
+            Sign::Negative => &mut self.negative_edges,
+        };
+        *counter = counter.checked_add_signed(delta).expect("count underflow");
     }
 }
 

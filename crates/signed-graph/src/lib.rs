@@ -10,8 +10,11 @@
 //!
 //! * [`SignedGraph`] — adjacency-list storage with O(1) sign lookup,
 //!   built through [`GraphBuilder`].
-//! * [`csr::CsrGraph`] — an immutable compressed-sparse-row view used by the
-//!   hot traversal loops.
+//! * [`csr::CsrGraph`] — a compressed-sparse-row view used by the hot
+//!   traversal loops (read-only except for in-place sign patching).
+//! * [`delta`] — live edge mutations ([`delta::EdgeMutation`]): in-place
+//!   insert/remove/sign-flip patching of a built graph, the substrate of the
+//!   serving engine's incremental updates.
 //! * [`traversal`] — breadth-first searches, single-source shortest path
 //!   lengths, eccentricities and (exact or sampled) diameter.
 //! * [`balance`] — structural-balance primitives: sign of a path, balance of
@@ -51,6 +54,7 @@ pub mod balance;
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod generators;
 pub mod graph;
@@ -60,6 +64,7 @@ pub mod transform;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
+pub use delta::{EdgeChange, EdgeMutation, MutationEffect};
 pub use error::GraphError;
 pub use graph::{Edge, NodeId, SignedGraph};
 pub use sign::Sign;
