@@ -33,13 +33,25 @@
 //!   alternative of rebuilding a fresh engine (and re-warming every
 //!   relation) after every mutation. The `speedup` figure is the PR 5
 //!   ≥5× acceptance number.
+//! * `telemetry_overhead` — the cost of one telemetry `record()` call
+//!   (three relaxed atomics), so the "histograms sit on the query hot path
+//!   without a measurable cost" claim in `docs/OBSERVABILITY.md` stays a
+//!   number, not an assertion.
+//!
+//! Since schema v4 each multi-sample group also carries p50/p95/p99 ns/op,
+//! computed by feeding the per-iteration samples through the engine's own
+//! log-bucketed [`LatencyHistogram`] (so the report eats the same ≤12.5%
+//! bucket error budget as production telemetry), and the `service` section
+//! carries the per-deployment warm query-latency summaries read back from
+//! the engines via the `telemetry` protocol operation.
 //!
 //! Usage: `bench-report [--quick] [--output PATH]` — the default output is
-//! `bench-report.local.json`; pass `--output BENCH_PR5.json` explicitly to
+//! `bench-report.local.json`; pass `--output BENCH_PR6.json` explicitly to
 //! refresh the committed cross-PR artifact.
 //!
 //! [`CandidateMask`]: tfsn_core::team::CandidateMask
 //! [`ScalarOnly`]: tfsn_core::compat::ScalarOnly
+//! [`LatencyHistogram`]: tfsn_engine::telemetry::LatencyHistogram
 
 use std::io::Write;
 use std::time::Instant;
@@ -53,6 +65,7 @@ use tfsn_core::compat::{
 use tfsn_core::team::greedy::{solve_greedy, GreedyConfig};
 use tfsn_core::team::policies::TeamAlgorithm;
 use tfsn_core::team::{Solver, TfsnInstance};
+use tfsn_engine::telemetry::{HistogramStats, LatencyHistogram};
 use tfsn_engine::{BatchOptions, Deployment, Engine, EngineOptions, StorePolicy, TeamQuery};
 use tfsn_skills::taskgen::random_coverable_tasks;
 
@@ -105,13 +118,46 @@ impl Compatibility for LegacyMatrix {
 }
 
 /// One measured group: the median over `samples` timed iterations, each
-/// performing `ops_per_iter` operations.
+/// performing `ops_per_iter` operations. Since schema v4, groups also
+/// report ns/op percentiles where a finer-grained sampling exists —
+/// per-iteration samples for the interleaved groups, per-request client
+/// latencies for the HTTP storm — and `None` where only one aggregate
+/// timing exists (a percentile would just restate the median).
 #[derive(Debug, Serialize)]
 struct Group {
     name: String,
     median_ns_per_op: u64,
+    p50_ns_per_op: Option<u64>,
+    p95_ns_per_op: Option<u64>,
+    p99_ns_per_op: Option<u64>,
     ops_per_iter: u64,
     samples: usize,
+}
+
+/// One variant's timing out of [`measure_interleaved`]: the median plus
+/// histogram-derived percentiles, all ns/op.
+#[derive(Debug, Clone, Copy)]
+struct Measured {
+    median_ns_per_op: u64,
+    p50_ns_per_op: Option<u64>,
+    p95_ns_per_op: Option<u64>,
+    p99_ns_per_op: Option<u64>,
+}
+
+/// ns/op percentiles over per-iteration samples, computed through the
+/// engine's own log-bucketed [`LatencyHistogram`] rather than exact
+/// order statistics — deliberately, so the committed report carries the
+/// same ≤12.5% bucket error the production `/metrics` percentiles do.
+fn percentiles_ns(samples_ns_per_op: &[u64]) -> [Option<u64>; 3] {
+    if samples_ns_per_op.len() < 2 {
+        return [None; 3];
+    }
+    let hist = LatencyHistogram::default();
+    for &s in samples_ns_per_op {
+        hist.record(s);
+    }
+    let snap = hist.snapshot();
+    [0.50, 0.95, 0.99].map(|q| Some(snap.quantile(q)))
 }
 
 /// The row-tier residency measurement under a fixed byte budget.
@@ -156,6 +202,11 @@ struct ServiceReport {
     /// directly (the CLI transport), same thread count — the HTTP framing
     /// overhead is the gap to this.
     inprocess_qps: f64,
+    /// Per-deployment warm query-latency summaries (count, p50/p90/p99,
+    /// max — all µs) read back from the engines' own telemetry via the
+    /// `telemetry` protocol operation after both storms; covers every
+    /// query the storms answered.
+    query_stats: Vec<(String, HistogramStats)>,
 }
 
 /// The live-mutation throughput measurement (see the module docs).
@@ -208,13 +259,13 @@ fn median(mut xs: Vec<u64>) -> u64 {
 /// Times the variants round-robin — one sample of each per round — so no
 /// variant is measured wholesale in the cache state its predecessor left
 /// behind (the matrices here are cache-sized; back-to-back blocks hand the
-/// first-measured variant the cold samples). Returns one median ns/op per
-/// variant.
+/// first-measured variant the cold samples). Returns the median and
+/// percentile ns/op per variant.
 fn measure_interleaved<const N: usize>(
     samples: usize,
     ops: u64,
     mut variants: [&mut dyn FnMut(); N],
-) -> [u64; N] {
+) -> [Measured; N] {
     for v in variants.iter_mut() {
         v(); // warm-up round
     }
@@ -223,10 +274,18 @@ fn measure_interleaved<const N: usize>(
         for (v, out) in variants.iter_mut().zip(per_variant.iter_mut()) {
             let start = Instant::now();
             v();
-            out.push(start.elapsed().as_nanos() as u64);
+            out.push(start.elapsed().as_nanos() as u64 / ops.max(1));
         }
     }
-    std::array::from_fn(|i| median(per_variant[i].clone()) / ops.max(1))
+    std::array::from_fn(|i| {
+        let [p50, p95, p99] = percentiles_ns(&per_variant[i]);
+        Measured {
+            median_ns_per_op: median(per_variant[i].clone()),
+            p50_ns_per_op: p50,
+            p95_ns_per_op: p95,
+            p99_ns_per_op: p99,
+        }
+    })
 }
 
 /// Tasks over the most-held skills: the growth-dominated regime, where a
@@ -295,20 +354,25 @@ fn greedy_groups(quick: bool, groups: &mut Vec<Group>, speedups: &mut Vec<(Strin
                     ],
                 );
                 let label = format!("{mix}/{}/{}", kind.label(), alg.label());
+                let speedup =
+                    legacy.median_ns_per_op as f64 / masked.median_ns_per_op.max(1) as f64;
                 eprintln!(
-                    "figure2_greedy/{label}: masked {masked} ns/op, packed-scalar {scalar} \
-                     ns/op, legacy (pre-change) {legacy} ns/op -> {:.2}x vs pre-change",
-                    legacy as f64 / masked.max(1) as f64
+                    "figure2_greedy/{label}: masked {} ns/op, packed-scalar {} \
+                     ns/op, legacy (pre-change) {} ns/op -> {speedup:.2}x vs pre-change",
+                    masked.median_ns_per_op, scalar.median_ns_per_op, legacy.median_ns_per_op,
                 );
-                for (variant, ns) in [("masked", masked), ("scalar", scalar), ("legacy", legacy)] {
+                for (variant, m) in [("masked", masked), ("scalar", scalar), ("legacy", legacy)] {
                     groups.push(Group {
                         name: format!("figure2_greedy/{label}/{variant}"),
-                        median_ns_per_op: ns,
+                        median_ns_per_op: m.median_ns_per_op,
+                        p50_ns_per_op: m.p50_ns_per_op,
+                        p95_ns_per_op: m.p95_ns_per_op,
+                        p99_ns_per_op: m.p99_ns_per_op,
                         ops_per_iter: tasks.len() as u64,
                         samples,
                     });
                 }
-                speedups.push((label, legacy as f64 / masked.max(1) as f64));
+                speedups.push((label, speedup));
             }
         }
     }
@@ -352,6 +416,9 @@ fn row_mode_report(quick: bool, groups: &mut Vec<Group>) -> RowModeReport {
     groups.push(Group {
         name: "engine_row_mode_batch/SPA/32K-budget".to_string(),
         median_ns_per_op: elapsed / n_queries as u64,
+        p50_ns_per_op: None,
+        p95_ns_per_op: None,
+        p99_ns_per_op: None,
         ops_per_iter: n_queries as u64,
         samples: 1,
     });
@@ -446,16 +513,24 @@ fn service_report(quick: bool, groups: &mut Vec<Group>) -> ServiceReport {
         .collect();
 
     // The HTTP storm: 4 keep-alive clients, split across the deployments.
+    // Per-request latencies land in one shared lock-free histogram, so the
+    // group's percentiles come out in ns per query below.
+    let request_hist = LatencyHistogram::default();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..client_threads {
             let body = &body;
             let deployment = &deployments[t % deployments.len()];
+            let request_hist = &request_hist;
             scope.spawn(move || {
                 let mut client = HttpClient::connect(addr).expect("connect to bench server");
                 let target = format!("/v1/batch?deployment={deployment}&timing=false");
                 for _ in 0..requests_per_client {
+                    let request_start = Instant::now();
                     let reply = client.post(&target, body).expect("bench batch request");
+                    request_hist.record(
+                        request_start.elapsed().as_nanos() as u64 / queries_per_request as u64,
+                    );
                     assert_eq!(reply.status, 200);
                     assert!(!reply.body.is_empty());
                     std::hint::black_box(reply.body);
@@ -494,9 +569,31 @@ fn service_report(quick: bool, groups: &mut Vec<Group>) -> ServiceReport {
     let inprocess_qps = total_queries as f64 / inprocess_wall.max(1e-9);
     server.shutdown();
 
+    // What the engines themselves saw: the per-deployment query-latency
+    // summaries the `telemetry` op reports, covering both storms.
+    let mut query_stats = Vec::new();
+    if let Response::Telemetry {
+        deployments: reports,
+    } = service.handle(&Request::new(RequestBody::Telemetry))
+    {
+        for d in reports {
+            if let Some(axis) = d.telemetry.ops.iter().find(|a| a.label == "query") {
+                query_stats.push((d.deployment, axis.stats.clone()));
+            }
+        }
+    }
+
+    // The median stays the wall-derived aggregate (comparable to the v3
+    // reports); the percentiles are client-observed per-request latency
+    // divided by queries per request, which under 4-way concurrency sits
+    // above that aggregate by roughly the client count.
+    let request_snapshot = request_hist.snapshot();
     groups.push(Group {
         name: "service_http_batch/2-deployments/4-clients".to_string(),
         median_ns_per_op: (wall * 1e9) as u64 / total_queries.max(1),
+        p50_ns_per_op: Some(request_snapshot.quantile(0.50)),
+        p95_ns_per_op: Some(request_snapshot.quantile(0.95)),
+        p99_ns_per_op: Some(request_snapshot.quantile(0.99)),
         ops_per_iter: total_queries,
         samples: 1,
     });
@@ -509,11 +606,21 @@ fn service_report(quick: bool, groups: &mut Vec<Group>) -> ServiceReport {
         wall_seconds: wall,
         http_qps,
         inprocess_qps,
+        query_stats,
     };
     eprintln!(
         "service: {} warm queries over HTTP in {:.3}s -> {:.0} q/s \
-         (in-process transport: {:.0} q/s)",
-        report.total_queries, report.wall_seconds, report.http_qps, report.inprocess_qps
+         (in-process transport: {:.0} q/s; engine-side query p99 {})",
+        report.total_queries,
+        report.wall_seconds,
+        report.http_qps,
+        report.inprocess_qps,
+        report
+            .query_stats
+            .iter()
+            .map(|(name, s)| format!("{name} {}µs", s.p99_micros))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     report
 }
@@ -614,12 +721,18 @@ fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport 
     groups.push(Group {
         name: "mutation_interleave/slashdot/incremental".to_string(),
         median_ns_per_op: (incremental_wall * 1e9) as u64 / ops.max(1),
+        p50_ns_per_op: None,
+        p95_ns_per_op: None,
+        p99_ns_per_op: None,
         ops_per_iter: ops,
         samples: 1,
     });
     groups.push(Group {
         name: "mutation_interleave/slashdot/full-rebuild".to_string(),
         median_ns_per_op: (rebuild_wall * 1e9) as u64 / ops.max(1),
+        p50_ns_per_op: None,
+        p95_ns_per_op: None,
+        p99_ns_per_op: None,
         ops_per_iter: ops,
         samples: 1,
     });
@@ -649,12 +762,48 @@ fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport 
     report
 }
 
+/// Measures the telemetry hot path itself: one `record()` call — three
+/// relaxed atomics — on values spread across the histogram's bucket range.
+/// This is the cost every instrumented operation pays per sample, so it is
+/// the number backing the "no measurable overhead on the query path" claim;
+/// compare it against any query group's ns/op to see the margin.
+fn telemetry_overhead_group(quick: bool, groups: &mut Vec<Group>) {
+    let samples = if quick { 5 } else { 11 };
+    let ops: u64 = if quick { 200_000 } else { 2_000_000 };
+    let hist = LatencyHistogram::default();
+    let [measured] = measure_interleaved(
+        samples,
+        ops,
+        [&mut || {
+            for i in 0..ops {
+                // Vary the recorded value so bucket indexing is exercised
+                // across octaves, not pinned to one hot cache line.
+                hist.record(std::hint::black_box(i & 0xFFFF));
+            }
+        }],
+    );
+    eprintln!(
+        "telemetry_overhead: {} ns per record() (p99 {} ns)",
+        measured.median_ns_per_op,
+        measured.p99_ns_per_op.unwrap_or(0)
+    );
+    groups.push(Group {
+        name: "telemetry_overhead".to_string(),
+        median_ns_per_op: measured.median_ns_per_op,
+        p50_ns_per_op: measured.p50_ns_per_op,
+        p95_ns_per_op: measured.p95_ns_per_op,
+        p99_ns_per_op: measured.p99_ns_per_op,
+        ops_per_iter: ops,
+        samples,
+    });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    // Deliberately NOT BENCH_PR3.json: the committed artifact holds the
+    // Deliberately NOT BENCH_PR6.json: the committed artifact holds the
     // full-run acceptance numbers, and a casual local/CI run must not
-    // silently clobber it. Pass `--output BENCH_PR3.json` to refresh it.
+    // silently clobber it. Pass `--output BENCH_PR6.json` to refresh it.
     let mut output = String::from("bench-report.local.json");
     let mut i = 0;
     while i < args.len() {
@@ -688,8 +837,9 @@ fn main() {
     let row_mode = row_mode_report(quick, &mut groups);
     let service = service_report(quick, &mut groups);
     let mutation = mutation_report(quick, &mut groups);
+    telemetry_overhead_group(quick, &mut groups);
     let report = Report {
-        schema: "tfsn-bench-report/v3",
+        schema: "tfsn-bench-report/v4",
         quick,
         groups,
         speedups,

@@ -585,6 +585,10 @@ pub struct RowFetch {
     pub built: bool,
     /// Time spent computing the row, in microseconds (0 unless `built`).
     pub build_micros: u64,
+    /// Time spent blocked on *another* caller's in-flight computation of
+    /// this row, in microseconds (0 when `built`, and 0 on a resident hit).
+    /// Serving layers book this as build-wait rather than solver time.
+    pub wait_micros: u64,
 }
 
 /// A memory-budgeted, lazily materialised relation: per-source rows are
@@ -709,6 +713,7 @@ impl LazyCompatibility {
                         row,
                         built: false,
                         build_micros: 0,
+                        wait_micros: 0,
                     };
                 }
                 Slot::Building(cell) => (cell.clone(), epoch),
@@ -721,6 +726,7 @@ impl LazyCompatibility {
         };
         let mut built = false;
         let mut build_micros = 0u64;
+        let entered = Instant::now();
         let row = cell
             .get_or_init(|| {
                 let start = Instant::now();
@@ -739,6 +745,13 @@ impl LazyCompatibility {
                 row
             })
             .clone();
+        // When this call did not run the computation, the time spent inside
+        // `get_or_init` was a block on another caller's in-flight build.
+        let wait_micros = if built {
+            0
+        } else {
+            entered.elapsed().as_micros() as u64
+        };
         if built {
             // Only the builder publishes the slot and enforces the budget;
             // waiters already share the row through the cell.
@@ -754,6 +767,7 @@ impl LazyCompatibility {
                     row,
                     built,
                     build_micros,
+                    wait_micros,
                 };
             }
             st.next_tick += 1;
@@ -773,6 +787,7 @@ impl LazyCompatibility {
             row,
             built,
             build_micros,
+            wait_micros,
         }
     }
 
@@ -988,6 +1003,7 @@ pub struct RowTracker<'a> {
     rows: &'a LazyCompatibility,
     built: AtomicUsize,
     build_micros: AtomicU64,
+    wait_micros: AtomicU64,
     memo: Mutex<[MemoSlot; 2]>,
 }
 
@@ -998,6 +1014,7 @@ impl<'a> RowTracker<'a> {
             rows,
             built: AtomicUsize::new(0),
             build_micros: AtomicU64::new(0),
+            wait_micros: AtomicU64::new(0),
             memo: Mutex::new([None, None]),
         }
     }
@@ -1010,6 +1027,12 @@ impl<'a> RowTracker<'a> {
     /// Time this tracker spent computing rows, in microseconds.
     pub fn build_micros(&self) -> u64 {
         self.build_micros.load(Ordering::Relaxed)
+    }
+
+    /// Time this tracker spent blocked on *other* callers' in-flight row
+    /// computations, in microseconds.
+    pub fn wait_micros(&self) -> u64 {
+        self.wait_micros.load(Ordering::Relaxed)
     }
 
     fn fetch(&self, source: NodeId) -> Arc<CompatRow> {
@@ -1032,6 +1055,9 @@ impl<'a> RowTracker<'a> {
             self.built.fetch_add(1, Ordering::Relaxed);
             self.build_micros
                 .fetch_add(fetch.build_micros, Ordering::Relaxed);
+        } else if fetch.wait_micros != 0 {
+            self.wait_micros
+                .fetch_add(fetch.wait_micros, Ordering::Relaxed);
         }
         let mut memo = self.memo.lock();
         memo.swap(0, 1);

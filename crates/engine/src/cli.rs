@@ -131,6 +131,9 @@ serve-http flags:
   --chunk N           queries per streamed chunk for /v1/batch (default 1024)
   --allow-shutdown    enable POST /v1/shutdown (graceful remote stop; off by
                       default — meant for CI smoke tests and local sessions)
+  --slow-log N        per-deployment slow-query log capacity: the N slowest
+                      queries kept for GET /v1/telemetry (default 16; 0
+                      disables the log)
 
 mutate flags:
   --input FILE        JSONL mutations (default stdin), one object per line:
@@ -271,6 +274,7 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
                 "--threads",
                 "--chunk",
                 "--allow-shutdown",
+                "--slow-log",
             ];
             allowed.extend_from_slice(SERVING_FLAGS);
             let flags = Flags::parse(rest, &allowed)?;
@@ -414,8 +418,16 @@ fn parse_policy(flags: &Flags<'_>) -> Result<StorePolicy, CliError> {
 /// selected deployment name from the serving flags.
 fn build_service(flags: &Flags<'_>) -> Result<(Service, Option<String>), CliError> {
     let policy = parse_policy(flags)?;
+    let slow_log = match flags.get("--slow-log") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| usage(format!("flag `--slow-log`: invalid value `{v}`")))?,
+        ),
+    };
     let options = EngineOptions {
         policy,
+        slow_log,
         ..Default::default()
     };
     let specs = flags.get_all("--deployment");
@@ -708,8 +720,8 @@ fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
     .ok();
     writeln!(
         err,
-        "[tfsn] endpoints: GET /healthz /v1/stats /v1/metrics /v1/deployments; \
-         POST /v1/query /v1/batch /v1/mutate /v1/rpc{}",
+        "[tfsn] endpoints: GET /healthz /metrics /v1/stats /v1/metrics /v1/telemetry \
+         /v1/deployments; POST /v1/query /v1/batch /v1/mutate /v1/rpc{}",
         if allow_shutdown { " /v1/shutdown" } else { "" },
     )
     .ok();

@@ -83,6 +83,20 @@ impl HttpClient {
         self.request("POST", target, body)
     }
 
+    /// Fetches the Prometheus scrape (`GET /metrics`) and returns its text
+    /// body. Non-200 answers surface as errors, so callers (benches, CI
+    /// smoke checks) can pipe the body straight into assertions.
+    pub fn metrics_text(&mut self) -> std::io::Result<String> {
+        let reply = self.get("/metrics")?;
+        if reply.status != 200 {
+            return Err(std::io::Error::other(format!(
+                "GET /metrics answered {}",
+                reply.status
+            )));
+        }
+        Ok(reply.body)
+    }
+
     /// Sends one request and reads the full response; the connection stays
     /// open for the next call (HTTP keep-alive).
     pub fn request(

@@ -22,6 +22,9 @@
 //!   order-stable, deterministic results.
 //! * [`metrics::EngineMetrics`] — lock-free serving counters, including
 //!   row builds, evictions and resident bytes.
+//! * [`telemetry`] — latency distributions: per-op/per-phase/per-kind
+//!   log-bucketed histograms (p50/p90/p99/p999) and the slow-query log,
+//!   exposed as the `telemetry` protocol op and Prometheus `GET /metrics`.
 //! * [`cli`] — the `tfsn` binary: `serve-batch`, `stats`, `gen`.
 //!
 //! ## Example
@@ -73,6 +76,7 @@ pub mod registry;
 pub mod server;
 pub mod service;
 pub mod store;
+pub mod telemetry;
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -93,6 +97,7 @@ pub use registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
 pub use server::{HttpServer, ServerOptions, ShutdownHandle};
 pub use service::{Service, ServiceOptions};
 pub use store::{MutationReport, RelationStore, ServingMode, StorePolicy, TierChoice};
+pub use telemetry::{EngineTelemetry, LatencyHistogram, TelemetryReport};
 
 thread_local! {
     /// Per-thread solver scratch (see [`Engine::query`]): rayon batch
@@ -115,6 +120,11 @@ pub struct ProtocolDocFences;
 #[doc = include_str!("../../../docs/ARCHITECTURE.md")]
 pub struct ArchitectureDocFences;
 
+/// Same guard for `docs/OBSERVABILITY.md`.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/OBSERVABILITY.md")]
+pub struct ObservabilityDocFences;
+
 /// Construction-time options for an [`Engine`].
 #[derive(Debug, Clone, Default)]
 pub struct EngineOptions {
@@ -125,6 +135,11 @@ pub struct EngineOptions {
     pub build_threads: usize,
     /// Memory-budget policy deciding the serving tier per relation kind.
     pub policy: StorePolicy,
+    /// Slow-query log capacity: how many of the slowest queries the
+    /// engine's [`telemetry::SlowQueryLog`] retains (`None` =
+    /// [`telemetry::SlowQueryLog::DEFAULT_CAPACITY`], `Some(0)` disables
+    /// retention). Set by `tfsn serve-http --slow-log N`.
+    pub slow_log: Option<usize>,
 }
 
 /// The query engine: a [`Deployment`] plus the tiered relation store and
@@ -142,6 +157,7 @@ pub struct Engine {
     deployment: Deployment,
     store: RelationStore,
     metrics: EngineMetrics,
+    telemetry: EngineTelemetry,
     /// Deployment statistics, keyed by the graph version they were
     /// computed at — the exact diameter inside is an all-pairs BFS and must
     /// not be re-derived for every `/v1/stats` poll on a long-lived server,
@@ -163,10 +179,14 @@ impl Engine {
             options.build_threads,
             options.policy,
         );
+        let slow_log = options
+            .slow_log
+            .unwrap_or(telemetry::SlowQueryLog::DEFAULT_CAPACITY);
         Engine {
             deployment,
             store,
             metrics: EngineMetrics::default(),
+            telemetry: EngineTelemetry::new(slow_log),
             stats: parking_lot::Mutex::new(None),
         }
     }
@@ -246,10 +266,17 @@ impl Engine {
         &self,
         mutation: &signed_graph::EdgeMutation,
     ) -> Result<MutationReport, signed_graph::GraphError> {
-        self.store.mutate(mutation)
+        let start = Instant::now();
+        let report = self.store.mutate(mutation);
+        if report.is_ok() {
+            self.telemetry
+                .record_op(telemetry::Op::Mutate, start.elapsed().as_micros() as u64);
+        }
+        report
     }
 
-    /// A snapshot of the serving metrics, including the store gauges.
+    /// A snapshot of the serving metrics, including the store gauges and
+    /// the query-latency percentiles from the telemetry histograms.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
         snap.matrix_builds = self.store.build_count() as u64;
@@ -259,16 +286,31 @@ impl Engine {
         snap.resident_bytes = self.store.resident_bytes() as u64;
         snap.mutations_applied = self.store.mutation_count() as u64;
         snap.rows_invalidated = self.store.rows_invalidated_count() as u64;
+        let queries = self.telemetry.op_snapshot(telemetry::Op::Query);
+        snap.query_p50_micros = Some(queries.quantile(0.50));
+        snap.query_p90_micros = Some(queries.quantile(0.90));
+        snap.query_p99_micros = Some(queries.quantile(0.99));
+        snap.query_p999_micros = Some(queries.quantile(0.999));
+        snap.query_max_micros = Some(queries.max);
         snap
+    }
+
+    /// The engine's latency telemetry: per-op/per-phase/per-kind histograms
+    /// and the slow-query log.
+    pub fn telemetry(&self) -> &EngineTelemetry {
+        &self.telemetry
     }
 
     /// Pre-initialises the shards for `kinds` so subsequent queries are
     /// warm: matrix-tier kinds are fully built; row-tier kinds get their
     /// (empty) row store, whose rows fill on demand.
     pub fn warm(&self, kinds: &[CompatibilityKind]) {
+        let start = Instant::now();
         for &kind in kinds {
             self.store.fetch(kind);
         }
+        self.telemetry
+            .record_op(telemetry::Op::Warm, start.elapsed().as_micros() as u64);
     }
 
     /// Answers one query.
@@ -314,12 +356,15 @@ impl Engine {
             }
             Err(e) => (AnswerStatus::from_error(&e), Vec::new(), None),
         };
-        // Both tiers: fetch time (matrix build/wait, or one-time row-store
-        // creation) plus the row computations this query performed itself.
-        // A stall on *another* query's in-flight row build is the one slice
-        // not separable here (it would need per-lookup timing on the hot
-        // path) and stays in solver time.
-        let build_micros = fetch_micros + scope.row_build_micros();
+        // Phase split: `build_wait` is the fetch slice (matrix build/wait,
+        // or one-time row-store creation) plus time blocked on *other*
+        // queries' in-flight row builds; `row_compute` is the rows this
+        // query computed itself; the remainder is solver + lookups. The
+        // row-build waits come from the tracker (`RowFetch::wait_micros`),
+        // so stalls no longer masquerade as solver latency.
+        let build_wait_micros = fetch_micros + scope.row_wait_micros();
+        let row_compute_micros = scope.row_build_micros();
+        let build_micros = build_wait_micros + row_compute_micros;
         let cache_hit = !fetched.built_matrix() && scope.rows_built() == 0;
         let micros = start.elapsed().as_micros() as u64;
         let answer = TeamAnswer {
@@ -340,6 +385,15 @@ impl Engine {
             micros,
             build_micros,
         );
+        self.telemetry.record_query(telemetry::QuerySample {
+            kind: query.kind,
+            algorithm: answer.algorithm.clone(),
+            total_micros: micros,
+            build_wait_micros,
+            row_compute_micros,
+            team_size: answer.cardinality as u64,
+            solved: answer.status == AnswerStatus::Ok,
+        });
         answer
     }
 
@@ -347,7 +401,11 @@ impl Engine {
     /// order and are deterministic regardless of the worker-thread count
     /// (timing fields aside).
     pub fn batch(&self, queries: &[TeamQuery], options: &BatchOptions) -> Vec<TeamAnswer> {
-        batch::run(self, queries, options)
+        let start = Instant::now();
+        let answers = batch::run(self, queries, options);
+        self.telemetry
+            .record_op(telemetry::Op::Batch, start.elapsed().as_micros() as u64);
+        answers
     }
 }
 

@@ -13,10 +13,13 @@
 //! `cache_misses <= row_builds`.
 //!
 //! `build_wait_micros` books the fetch phase (matrix build, the wait on a
-//! concurrent matrix build, or the one-time row-store creation) plus the
-//! row computations the query performed itself. One slice is not separable
-//! without timing every row lookup on the hot path: time spent blocked on
-//! *another* query's in-flight row build stays in solver time.
+//! concurrent matrix build, or the one-time row-store creation), the row
+//! computations the query performed itself, **and** time blocked on another
+//! query's in-flight row build — the row cache reports waits per fetch
+//! (`RowFetch::wait_micros` in `tfsn_core::compat`), so that stall no
+//! longer hides in solver time. The per-phase split (build-wait vs
+//! row-compute vs solve) lives in [`crate::telemetry`]; this module keeps
+//! the cheap aggregate counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -70,6 +73,11 @@ impl EngineMetrics {
             resident_bytes: 0,
             mutations_applied: 0,
             rows_invalidated: 0,
+            query_p50_micros: None,
+            query_p90_micros: None,
+            query_p99_micros: None,
+            query_p999_micros: None,
+            query_max_micros: None,
         }
     }
 }
@@ -94,10 +102,10 @@ pub struct MetricsSnapshot {
     /// Total in-engine time across queries, in microseconds. Under
     /// parallel serving this exceeds wall-clock time.
     pub busy_micros: u64,
-    /// Slice of `busy_micros` spent in the fetch phase (matrix build/wait,
-    /// row-store creation) or computing rows (see the module docs for the
-    /// one caveat: waits on another query's in-flight *row* build are not
-    /// separable and stay in solver time).
+    /// Slice of `busy_micros` spent building relation state: the fetch
+    /// phase (matrix build/wait, row-store creation), row computations, and
+    /// time blocked on another query's in-flight row build (see the module
+    /// docs).
     pub build_wait_micros: u64,
     /// Full compatibility matrices built (matrix tier).
     pub matrix_builds: u64,
@@ -119,26 +127,74 @@ pub struct MetricsSnapshot {
     /// Every invalidated row that is queried again recomputes exactly once,
     /// so after a quiesced warm scan `row_builds` grows by at most this.
     pub rows_invalidated: u64,
+    /// 50th-percentile query latency in microseconds, from the engine's
+    /// [`crate::telemetry`] histogram (within one bucket — at most 12.5% —
+    /// of the exact sample percentile). `None` from peers predating the
+    /// telemetry subsystem; the percentile fields are `Option` so old
+    /// snapshots still deserialize.
+    pub query_p50_micros: Option<u64>,
+    /// 90th-percentile query latency, microseconds.
+    pub query_p90_micros: Option<u64>,
+    /// 99th-percentile query latency, microseconds.
+    pub query_p99_micros: Option<u64>,
+    /// 99.9th-percentile query latency, microseconds.
+    pub query_p999_micros: Option<u64>,
+    /// Largest observed query latency, microseconds (exact).
+    pub query_max_micros: Option<u64>,
 }
 
 impl MetricsSnapshot {
     /// Adds `other`'s counters into `self`, field-wise — the protocol's
     /// `metrics` operation reports one such sum across every loaded
     /// deployment alongside the per-deployment snapshots.
+    ///
+    /// Percentiles do not sum: for the `query_p*`/`query_max` fields the
+    /// result is the field-wise **max** (a conservative upper bound; the
+    /// service recomputes exact cross-deployment percentiles from merged
+    /// histograms where it has them — see the `metrics` dispatch arm).
+    ///
+    /// The exhaustive destructuring below is the drift guard: adding a
+    /// field to [`MetricsSnapshot`] without deciding how it aggregates
+    /// fails to compile here.
     pub fn accumulate(&mut self, other: &MetricsSnapshot) {
-        self.queries_served += other.queries_served;
-        self.queries_solved += other.queries_solved;
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
-        self.busy_micros += other.busy_micros;
-        self.build_wait_micros += other.build_wait_micros;
-        self.matrix_builds += other.matrix_builds;
-        self.row_builds += other.row_builds;
-        self.row_evictions += other.row_evictions;
-        self.resident_rows += other.resident_rows;
-        self.resident_bytes += other.resident_bytes;
-        self.mutations_applied += other.mutations_applied;
-        self.rows_invalidated += other.rows_invalidated;
+        let MetricsSnapshot {
+            queries_served,
+            queries_solved,
+            cache_hits,
+            cache_misses,
+            busy_micros,
+            build_wait_micros,
+            matrix_builds,
+            row_builds,
+            row_evictions,
+            resident_rows,
+            resident_bytes,
+            mutations_applied,
+            rows_invalidated,
+            query_p50_micros,
+            query_p90_micros,
+            query_p99_micros,
+            query_p999_micros,
+            query_max_micros,
+        } = other;
+        self.queries_served += queries_served;
+        self.queries_solved += queries_solved;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.busy_micros += busy_micros;
+        self.build_wait_micros += build_wait_micros;
+        self.matrix_builds += matrix_builds;
+        self.row_builds += row_builds;
+        self.row_evictions += row_evictions;
+        self.resident_rows += resident_rows;
+        self.resident_bytes += resident_bytes;
+        self.mutations_applied += mutations_applied;
+        self.rows_invalidated += rows_invalidated;
+        self.query_p50_micros = max_opt(self.query_p50_micros, *query_p50_micros);
+        self.query_p90_micros = max_opt(self.query_p90_micros, *query_p90_micros);
+        self.query_p99_micros = max_opt(self.query_p99_micros, *query_p99_micros);
+        self.query_p999_micros = max_opt(self.query_p999_micros, *query_p999_micros);
+        self.query_max_micros = max_opt(self.query_max_micros, *query_max_micros);
     }
 
     /// Mean in-engine latency per query, in microseconds.
@@ -159,6 +215,15 @@ impl MetricsSnapshot {
             self.busy_micros.saturating_sub(self.build_wait_micros) as f64
                 / self.queries_served as f64
         }
+    }
+}
+
+/// Max of two optional values, treating `None` as absent (not zero).
+fn max_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -190,9 +255,103 @@ mod tests {
         snap.row_evictions = 5;
         snap.resident_rows = 12;
         snap.resident_bytes = 4096;
+        snap.query_p99_micros = Some(1234);
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"row_evictions\":5"));
+        assert!(json.contains("\"query_p99_micros\":1234"));
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn pre_telemetry_snapshots_still_deserialize() {
+        // A peer running the pre-PR-6 schema omits the percentile fields;
+        // they must come back as None, not a parse error.
+        let old = r#"{"queries_served":3,"queries_solved":2,"cache_hits":1,
+            "cache_misses":2,"busy_micros":500,"build_wait_micros":100,
+            "matrix_builds":1,"row_builds":0,"row_evictions":0,
+            "resident_rows":0,"resident_bytes":64,"mutations_applied":0,
+            "rows_invalidated":0}"#;
+        let snap: MetricsSnapshot = serde_json::from_str(old).unwrap();
+        assert_eq!(snap.queries_served, 3);
+        assert_eq!(snap.query_p50_micros, None);
+        assert_eq!(snap.query_max_micros, None);
+    }
+
+    #[test]
+    fn json_serialization_covers_every_field() {
+        // Companion to `accumulate`'s destructuring guard: the exhaustive
+        // pattern below fails to compile when a field is added, and the
+        // string list next to it must then grow too, or the length/lookup
+        // assertions fail — so a new field cannot silently skip either the
+        // aggregation decision or the wire format.
+        let snap = MetricsSnapshot::default();
+        let MetricsSnapshot {
+            queries_served: _,
+            queries_solved: _,
+            cache_hits: _,
+            cache_misses: _,
+            busy_micros: _,
+            build_wait_micros: _,
+            matrix_builds: _,
+            row_builds: _,
+            row_evictions: _,
+            resident_rows: _,
+            resident_bytes: _,
+            mutations_applied: _,
+            rows_invalidated: _,
+            query_p50_micros: _,
+            query_p90_micros: _,
+            query_p99_micros: _,
+            query_p999_micros: _,
+            query_max_micros: _,
+        } = &snap;
+        let fields = [
+            "queries_served",
+            "queries_solved",
+            "cache_hits",
+            "cache_misses",
+            "busy_micros",
+            "build_wait_micros",
+            "matrix_builds",
+            "row_builds",
+            "row_evictions",
+            "resident_rows",
+            "resident_bytes",
+            "mutations_applied",
+            "rows_invalidated",
+            "query_p50_micros",
+            "query_p90_micros",
+            "query_p99_micros",
+            "query_p999_micros",
+            "query_max_micros",
+        ];
+        let value = serde::Serialize::to_value(&snap);
+        let map = value.as_map().expect("snapshot serializes as an object");
+        assert_eq!(map.len(), fields.len(), "field count drifted");
+        for field in fields {
+            assert!(
+                map.iter().any(|(k, _)| k == field),
+                "field {field} missing from JSON serialization"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_accumulate_as_max() {
+        let mut a = MetricsSnapshot {
+            query_p50_micros: Some(10),
+            query_max_micros: Some(100),
+            ..MetricsSnapshot::default()
+        };
+        let b = MetricsSnapshot {
+            query_p50_micros: Some(30),
+            query_p99_micros: Some(70),
+            ..MetricsSnapshot::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.query_p50_micros, Some(30));
+        assert_eq!(a.query_p99_micros, Some(70));
+        assert_eq!(a.query_max_micros, Some(100));
     }
 }

@@ -41,6 +41,7 @@ use tfsn_core::compat::{estimated_matrix_bytes, estimated_row_bytes, Compatibili
 use tfsn_datasets::DatasetStats;
 
 use crate::metrics::MetricsSnapshot;
+use crate::telemetry::TelemetryReport;
 use crate::{Engine, TeamAnswer, TeamQuery};
 
 /// The protocol version this build speaks. Bump on breaking envelope
@@ -137,6 +138,7 @@ impl Request {
             },
             "stats" => RequestBody::Stats,
             "metrics" => RequestBody::Metrics,
+            "telemetry" => RequestBody::Telemetry,
             "deployments" => RequestBody::Deployments,
             op => match parse_mutation_fields(op, &field)? {
                 Some(body) => body,
@@ -184,6 +186,10 @@ pub enum RequestBody {
     Stats,
     /// Serving metrics of every loaded deployment.
     Metrics,
+    /// Latency telemetry (per-op/per-phase/per-kind percentile summaries
+    /// and the slow-query log) of every loaded deployment — or of the one
+    /// deployment the envelope names.
+    Telemetry,
     /// List the registry's deployments.
     Deployments,
     /// Insert an edge into the live graph (`sign` travels as `"+"`/`"-"`).
@@ -219,12 +225,13 @@ impl RequestBody {
     /// Every request `op` label this protocol version speaks — the closure
     /// the docs-coverage test checks `docs/PROTOCOL.md` against, so a new
     /// operation cannot ship undocumented.
-    pub const ALL_OPS: [&'static str; 9] = [
+    pub const ALL_OPS: [&'static str; 10] = [
         "query",
         "batch",
         "warm",
         "stats",
         "metrics",
+        "telemetry",
         "deployments",
         "edge_insert",
         "edge_remove",
@@ -239,6 +246,7 @@ impl RequestBody {
             RequestBody::Warm { .. } => "warm",
             RequestBody::Stats => "stats",
             RequestBody::Metrics => "metrics",
+            RequestBody::Telemetry => "telemetry",
             RequestBody::Deployments => "deployments",
             RequestBody::EdgeInsert { .. } => "edge_insert",
             RequestBody::EdgeRemove { .. } => "edge_remove",
@@ -396,7 +404,10 @@ impl Serialize for Request {
             RequestBody::Warm { kinds } => {
                 m.push(("kinds".to_string(), kinds_value(kinds)));
             }
-            RequestBody::Stats | RequestBody::Metrics | RequestBody::Deployments => {}
+            RequestBody::Stats
+            | RequestBody::Metrics
+            | RequestBody::Telemetry
+            | RequestBody::Deployments => {}
             RequestBody::EdgeInsert { u, v, sign } | RequestBody::EdgeSetSign { u, v, sign } => {
                 m.push(("u".to_string(), Value::UInt(*u as u64)));
                 m.push(("v".to_string(), Value::UInt(*v as u64)));
@@ -446,6 +457,15 @@ pub enum Response {
         /// The field-wise sum over `deployments`.
         total: MetricsSnapshot,
     },
+    /// Latency telemetry per loaded deployment (see
+    /// [`crate::telemetry::TelemetryReport`]). Exact cross-deployment
+    /// percentiles require merging histograms, so no `total` is summed
+    /// here; the `metrics` op's total carries merged query percentiles.
+    Telemetry {
+        /// Per-deployment telemetry reports (loaded deployments only —
+        /// telemetry does not force a load).
+        deployments: Vec<DeploymentTelemetry>,
+    },
     /// The registry listing.
     Deployments(Vec<DeploymentInfo>),
     /// Acknowledgement of a mutation op (`edge_insert` / `edge_remove` /
@@ -480,6 +500,7 @@ impl Response {
             Response::Warmed { .. } => "warmed",
             Response::Stats(_) => "stats",
             Response::Metrics { .. } => "metrics",
+            Response::Telemetry { .. } => "telemetry",
             Response::Deployments(_) => "deployments",
             Response::Mutated { .. } => "mutated",
             Response::Error(_) => "error",
@@ -542,6 +563,10 @@ impl Response {
                     .map_err(|e| bad(format!("field `deployments`: {e}")))?,
                 total: MetricsSnapshot::from_value(required("total")?)
                     .map_err(|e| bad(format!("field `total`: {e}")))?,
+            },
+            "telemetry" => Response::Telemetry {
+                deployments: Vec::<DeploymentTelemetry>::from_value(required("deployments")?)
+                    .map_err(|e| bad(format!("field `deployments`: {e}")))?,
             },
             "deployments" => Response::Deployments(
                 Vec::<DeploymentInfo>::from_value(required("deployments")?)
@@ -617,6 +642,9 @@ impl Serialize for Response {
             Response::Metrics { deployments, total } => {
                 m.push(("deployments".to_string(), deployments.to_value()));
                 m.push(("total".to_string(), total.to_value()));
+            }
+            Response::Telemetry { deployments } => {
+                m.push(("deployments".to_string(), deployments.to_value()));
             }
             Response::Deployments(infos) => m.push(("deployments".to_string(), infos.to_value())),
             Response::Mutated {
@@ -709,6 +737,16 @@ pub struct DeploymentMetrics {
     pub deployment: String,
     /// Its metrics snapshot.
     pub metrics: MetricsSnapshot,
+}
+
+/// One deployment's latency telemetry, for [`Response::Telemetry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentTelemetry {
+    /// The deployment name.
+    pub deployment: String,
+    /// Its telemetry report: per-op/per-phase/per-kind percentile
+    /// summaries plus the slow-query log.
+    pub telemetry: TelemetryReport,
 }
 
 /// One registry entry, for [`Response::Deployments`]. Shape fields are
@@ -1113,6 +1151,39 @@ mod tests {
                 "{bad} must be a typed bad_request"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_op_round_trips() {
+        let req = Request::new(RequestBody::Telemetry).on("sd");
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"telemetry\""), "{json}");
+        assert_eq!(Request::parse_json(&json).unwrap(), req);
+
+        let telemetry = crate::telemetry::EngineTelemetry::new(4);
+        telemetry.record_query(crate::telemetry::QuerySample {
+            kind: CompatibilityKind::Spa,
+            algorithm: "LCMD".to_string(),
+            total_micros: 250,
+            build_wait_micros: 40,
+            row_compute_micros: 10,
+            team_size: 3,
+            solved: true,
+        });
+        let resp = Response::Telemetry {
+            deployments: vec![DeploymentTelemetry {
+                deployment: "sd".to_string(),
+                telemetry: telemetry.report(),
+            }],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"p99_micros\""), "{json}");
+        assert!(json.contains("\"slow_queries\""), "{json}");
+        assert_eq!(Response::parse_json(&json).unwrap(), resp);
+
+        // Error path: a telemetry response without its payload is typed.
+        let err = Response::parse_json(r#"{"version": 1, "op": "telemetry"}"#).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest { .. }));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! | `POST /v1/rpc`         | one protocol [`Request`] envelope | one [`Response`] envelope |
 //! | `GET /v1/stats`        | —                          | `stats` [`Response`] envelope |
 //! | `GET /v1/metrics`      | —                          | `metrics` [`Response`] envelope |
+//! | `GET /v1/telemetry`    | —                          | `telemetry` [`Response`] envelope (latency percentiles + slow-query log) |
+//! | `GET /metrics`         | —                          | Prometheus text exposition over every loaded deployment |
 //! | `GET /v1/deployments`  | —                          | `deployments` [`Response`] envelope |
 //! | `POST /v1/shutdown`    | — (only with [`ServerOptions::allow_shutdown`]) | `shutting down` (text/plain), then the server drains |
 //!
@@ -846,6 +848,15 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
         },
         ("GET", "/v1/stats") => respond(service.handle(&envelope(RequestBody::Stats))),
         ("GET", "/v1/metrics") => respond(service.handle(&envelope(RequestBody::Metrics))),
+        ("GET", "/v1/telemetry") => respond(service.handle(&envelope(RequestBody::Telemetry))),
+        // The Prometheus scrape endpoint: text exposition, not a protocol
+        // envelope, so stock scrapers need zero configuration beyond the
+        // address.
+        ("GET", "/metrics") => HttpResponse {
+            status: 200,
+            content_type: crate::telemetry::prometheus::CONTENT_TYPE,
+            body: service.prometheus_metrics().into_bytes(),
+        },
         ("GET", "/v1/deployments") => respond(service.handle(&envelope(RequestBody::Deployments))),
         ("POST", "/v1/rpc") => match std::str::from_utf8(&request.body) {
             Ok(json) => respond(service.handle_json(json)),
@@ -922,8 +933,9 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
         ),
         (
             _,
-            "/healthz" | "/v1/stats" | "/v1/metrics" | "/v1/deployments" | "/v1/rpc" | "/v1/query"
-            | "/v1/batch" | "/v1/mutate" | "/v1/shutdown",
+            "/healthz" | "/metrics" | "/v1/stats" | "/v1/metrics" | "/v1/telemetry"
+            | "/v1/deployments" | "/v1/rpc" | "/v1/query" | "/v1/batch" | "/v1/mutate"
+            | "/v1/shutdown",
         ) => HttpResponse::error(
             405,
             ServiceError::BadRequest {

@@ -23,10 +23,13 @@ use tfsn_core::compat::CompatibilityKind;
 
 use crate::batch::BatchSummary;
 use crate::proto::{
-    DeploymentMetrics, DeploymentStats, Request, RequestBody, Response, ServiceError, ServingPlan,
+    DeploymentMetrics, DeploymentStats, DeploymentTelemetry, Request, RequestBody, Response,
+    ServiceError, ServingPlan,
 };
 use crate::query::QueryReader;
 use crate::registry::DeploymentRegistry;
+use crate::telemetry::prometheus::{self, DeploymentScrape};
+use crate::telemetry::{HistogramSnapshot, Op, Phase};
 use crate::{BatchOptions, Engine, MetricsSnapshot, TeamQuery};
 
 /// Tuning for a [`Service`].
@@ -210,17 +213,56 @@ impl Service {
             RequestBody::Metrics => {
                 let mut deployments = Vec::new();
                 let mut total = MetricsSnapshot::default();
+                // `accumulate` can only upper-bound percentiles (they do
+                // not sum); histograms merge exactly, so the total's
+                // percentiles are recomputed from the merged distribution.
+                let mut merged = HistogramSnapshot::default();
                 for name in self.registry.names() {
                     if let Some(engine) = self.registry.engine_if_loaded(name) {
                         let metrics = engine.metrics();
                         total.accumulate(&metrics);
+                        merged.merge(&engine.telemetry().op_snapshot(Op::Query));
                         deployments.push(DeploymentMetrics {
                             deployment: name.to_string(),
                             metrics,
                         });
                     }
                 }
+                if merged.count() > 0 {
+                    total.query_p50_micros = Some(merged.quantile(0.50));
+                    total.query_p90_micros = Some(merged.quantile(0.90));
+                    total.query_p99_micros = Some(merged.quantile(0.99));
+                    total.query_p999_micros = Some(merged.quantile(0.999));
+                    total.query_max_micros = Some(merged.max);
+                }
                 Ok(Response::Metrics { deployments, total })
+            }
+            RequestBody::Telemetry => {
+                let mut deployments = Vec::new();
+                match deployment {
+                    // Naming a deployment scopes the report to it — but
+                    // still without forcing a load (an unloaded target
+                    // yields an empty list, not an implicit multi-GB load).
+                    Some(name) => {
+                        if let Some(engine) = self.registry.loaded_engine(Some(name))? {
+                            deployments.push(DeploymentTelemetry {
+                                deployment: name.to_string(),
+                                telemetry: engine.telemetry().report(),
+                            });
+                        }
+                    }
+                    None => {
+                        for name in self.registry.names() {
+                            if let Some(engine) = self.registry.engine_if_loaded(name) {
+                                deployments.push(DeploymentTelemetry {
+                                    deployment: name.to_string(),
+                                    telemetry: engine.telemetry().report(),
+                                });
+                            }
+                        }
+                    }
+                }
+                Ok(Response::Telemetry { deployments })
             }
             RequestBody::Deployments => Ok(Response::Deployments(self.registry.infos())),
             RequestBody::EdgeInsert { .. }
@@ -303,6 +345,7 @@ impl Service {
             let mut answers = engine.batch(&chunk, &self.options.batch);
             out.summary.absorb(&BatchSummary::of(&answers));
             out.chunks += 1;
+            let serialize_started = std::time::Instant::now();
             for answer in &mut answers {
                 if !timing {
                     answer.strip_timing();
@@ -312,6 +355,13 @@ impl Service {
                 })?;
                 writeln!(sink, "{line}")?;
             }
+            // One serialize-phase sample per chunk: encoding plus the write
+            // into the sink — the part of batch latency the solver phases
+            // cannot see.
+            engine.telemetry().record_phase(
+                Phase::Serialize,
+                serialize_started.elapsed().as_micros() as u64,
+            );
         }
         sink.flush()?;
         Ok(out)
@@ -322,6 +372,22 @@ impl Service {
     /// summaries) around the protocol operations.
     pub fn engine(&self, deployment: Option<&str>) -> Result<Arc<Engine>, ServiceError> {
         self.registry.engine(deployment)
+    }
+
+    /// Renders the Prometheus text exposition over every loaded deployment
+    /// — the `GET /metrics` scrape body (see `docs/OBSERVABILITY.md`).
+    pub fn prometheus_metrics(&self) -> String {
+        let mut scrapes = Vec::new();
+        for name in self.registry.names() {
+            if let Some(engine) = self.registry.engine_if_loaded(name) {
+                scrapes.push(DeploymentScrape::capture(
+                    name,
+                    engine.metrics(),
+                    engine.telemetry(),
+                ));
+            }
+        }
+        prometheus::render(&scrapes)
     }
 }
 
@@ -499,5 +565,59 @@ mod tests {
         assert_eq!(infos.len(), 2);
         assert!(infos[0].default && infos[0].loaded);
         assert!(!infos[1].default && !infos[1].loaded);
+    }
+
+    #[test]
+    fn telemetry_op_scopes_to_loaded_deployments() {
+        let service = two_deployment_service(64);
+        // Nothing loaded yet: the report is empty, not an error.
+        let idle = service.handle(&Request::new(RequestBody::Telemetry));
+        let Response::Telemetry { deployments } = idle else {
+            panic!("unexpected {idle:?}");
+        };
+        assert!(deployments.is_empty(), "no deployment has been loaded");
+        // Serve one query so the default deployment loads and records.
+        let answer = service.handle(&Request::new(RequestBody::Query {
+            query: TeamQuery::new([0, 1]),
+            timing: true,
+        }));
+        assert!(matches!(answer, Response::Answer(_)), "got {answer:?}");
+        let report = service.handle(&Request::new(RequestBody::Telemetry));
+        let Response::Telemetry { deployments } = report else {
+            panic!("unexpected {report:?}");
+        };
+        assert_eq!(deployments.len(), 1, "tiny was never loaded");
+        assert_eq!(deployments[0].deployment, "sd");
+        let telemetry = &deployments[0].telemetry;
+        let query_axis = telemetry
+            .ops
+            .iter()
+            .find(|axis| axis.label == "query")
+            .expect("query op axis");
+        assert_eq!(query_axis.stats.count, 1);
+        assert!(query_axis.stats.p50_micros <= query_axis.stats.p99_micros);
+        assert_eq!(telemetry.phases.len(), 4, "all phases always reported");
+        assert_eq!(telemetry.slow_queries.len(), 1);
+        assert_eq!(telemetry.slow_queries[0].seq, 0);
+        // Naming a deployment narrows the report; unloaded stays empty.
+        let named = service.handle(&Request::new(RequestBody::Telemetry).on("tiny"));
+        let Response::Telemetry { deployments } = named else {
+            panic!("unexpected {named:?}");
+        };
+        assert!(deployments.is_empty(), "tiny is registered but unloaded");
+        // An unknown deployment is still a protocol error.
+        let bogus = service.handle(&Request::new(RequestBody::Telemetry).on("prod"));
+        assert!(
+            matches!(bogus.error(), Some(ServiceError::UnknownDeployment { .. })),
+            "got {bogus:?}"
+        );
+        // Metrics totals now carry exact percentiles from the merged
+        // query histogram.
+        let metrics = service.handle(&Request::new(RequestBody::Metrics));
+        let Response::Metrics { total, .. } = metrics else {
+            panic!("unexpected {metrics:?}");
+        };
+        assert!(total.query_p50_micros.is_some());
+        assert!(total.query_p50_micros <= total.query_max_micros);
     }
 }

@@ -637,6 +637,16 @@ impl RelationScope<'_> {
             RelationScope::Rows(tracker) => tracker.build_micros(),
         }
     }
+
+    /// Time this scope spent blocked on *other* queries' in-flight row
+    /// builds, in microseconds (0 for matrix tier). Booked as build-wait
+    /// phase time, not solver time.
+    pub fn row_wait_micros(&self) -> u64 {
+        match self {
+            RelationScope::Matrix(_) => 0,
+            RelationScope::Rows(tracker) => tracker.wait_micros(),
+        }
+    }
 }
 
 #[cfg(test)]

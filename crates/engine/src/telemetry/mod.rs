@@ -1,0 +1,480 @@
+//! Serving telemetry: latency distributions per operation, phase, and
+//! compatibility kind, plus a log of the slowest queries.
+//!
+//! [`crate::EngineMetrics`] keeps the cheap aggregate counters; this module
+//! answers the questions counters cannot — *what is p99, and where does the
+//! time go?* Every [`crate::Engine`] owns one [`EngineTelemetry`]:
+//!
+//! * **per-operation** latency histograms for `query`, `batch`, `mutate`
+//!   and `warm` ([`Op::ALL`]);
+//! * **per-phase** histograms splitting each query into `build_wait`
+//!   (matrix build or any wait on another query's in-flight build, including
+//!   row-build waits — see the row-tier wait accounting in
+//!   `tfsn_core::compat`), `row_compute` (rows this query computed itself),
+//!   `solve` (solver + lookups) and `serialize` (answer encoding, recorded
+//!   per batch chunk by the service layer) ([`Phase::ALL`]);
+//! * **per-kind** query-latency histograms over [`CompatibilityKind::ALL`];
+//! * a [`SlowQueryLog`] retaining the N slowest queries with their phase
+//!   breakdowns, so a tail outlier can be attributed without rerunning.
+//!
+//! Recording is lock-free (three relaxed atomics per histogram sample; the
+//! slow log takes a lock only when a query beats the current admission
+//! threshold). Snapshots are read with relaxed loads and merge exactly, so
+//! the service can aggregate across deployments.
+//!
+//! Everything is exposed two ways: the JSON `telemetry` protocol operation
+//! (structured [`TelemetryReport`]) and the Prometheus text exposition at
+//! `GET /metrics` (see `docs/OBSERVABILITY.md`).
+
+pub mod histogram;
+pub mod prometheus;
+
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use tfsn_core::compat::CompatibilityKind;
+
+/// Operations with their own latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// One team query (each query in a batch records here too).
+    Query,
+    /// One whole batch run, wall time.
+    Batch,
+    /// One live edge mutation.
+    Mutate,
+    /// One warm call (pre-building relations for a set of kinds).
+    Warm,
+}
+
+impl Op {
+    /// Every operation, in exposition order.
+    pub const ALL: [Op; 4] = [Op::Query, Op::Batch, Op::Mutate, Op::Warm];
+
+    /// The label used in Prometheus `op=` labels and telemetry reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Op::Query => "query",
+            Op::Batch => "batch",
+            Op::Mutate => "mutate",
+            Op::Warm => "warm",
+        }
+    }
+}
+
+/// Phases of a served query, each with its own duration histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Building relation state or blocked on another query's in-flight
+    /// build: the matrix fetch/build slice plus row-build *waits*.
+    BuildWait,
+    /// Per-source rows this query computed itself (row tier).
+    RowCompute,
+    /// Solver plus relation lookups — total minus the other phases.
+    Solve,
+    /// Encoding answers to JSON (recorded per streamed batch chunk).
+    Serialize,
+}
+
+impl Phase {
+    /// Every phase, in exposition order.
+    pub const ALL: [Phase; 4] = [
+        Phase::BuildWait,
+        Phase::RowCompute,
+        Phase::Solve,
+        Phase::Serialize,
+    ];
+
+    /// The label used in Prometheus `phase=` labels and telemetry reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::BuildWait => "build_wait",
+            Phase::RowCompute => "row_compute",
+            Phase::Solve => "solve",
+            Phase::Serialize => "serialize",
+        }
+    }
+}
+
+/// Histogram bucket boundaries (in microseconds) used by the Prometheus
+/// exposition. Each is the exact lower bound of an internal bucket, so the
+/// cumulative `_bucket{le=...}` counts are derived without splitting any
+/// bucket. `le` is emitted in seconds; a `+Inf` line closes each series.
+pub const PROM_BOUNDS_MICROS: [u64; 17] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+];
+
+/// One query's timing facts, as fed to [`EngineTelemetry::record_query`].
+#[derive(Debug, Clone)]
+pub struct QuerySample {
+    /// The compatibility kind queried.
+    pub kind: CompatibilityKind,
+    /// Solver label (`"LCMD"`, `"EXHAUSTIVE"`, …).
+    pub algorithm: String,
+    /// Total in-engine time, microseconds.
+    pub total_micros: u64,
+    /// [`Phase::BuildWait`] slice of the total.
+    pub build_wait_micros: u64,
+    /// [`Phase::RowCompute`] slice of the total.
+    pub row_compute_micros: u64,
+    /// Members in the returned team (0 when unsolved).
+    pub team_size: u64,
+    /// Whether the query was answered with a team.
+    pub solved: bool,
+}
+
+impl QuerySample {
+    /// The [`Phase::Solve`] slice: total minus build-wait and row-compute.
+    pub fn solve_micros(&self) -> u64 {
+        self.total_micros
+            .saturating_sub(self.build_wait_micros + self.row_compute_micros)
+    }
+}
+
+/// Per-engine telemetry: one histogram per operation, phase, and
+/// compatibility kind, plus the slow-query log. One instance per
+/// [`crate::Engine`], shared by all its worker threads.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    ops: [LatencyHistogram; Op::ALL.len()],
+    phases: [LatencyHistogram; Phase::ALL.len()],
+    kinds: [LatencyHistogram; CompatibilityKind::ALL.len()],
+    slow: SlowQueryLog,
+}
+
+impl Default for EngineTelemetry {
+    fn default() -> Self {
+        EngineTelemetry::new(SlowQueryLog::DEFAULT_CAPACITY)
+    }
+}
+
+impl EngineTelemetry {
+    /// Creates telemetry retaining up to `slow_log` slow-query entries
+    /// (0 disables the log; histograms always record).
+    pub fn new(slow_log: usize) -> Self {
+        EngineTelemetry {
+            ops: std::array::from_fn(|_| LatencyHistogram::default()),
+            phases: std::array::from_fn(|_| LatencyHistogram::default()),
+            kinds: std::array::from_fn(|_| LatencyHistogram::default()),
+            slow: SlowQueryLog::new(slow_log),
+        }
+    }
+
+    /// Records one served query into the query-op, per-phase, and per-kind
+    /// histograms, and offers it to the slow-query log.
+    pub fn record_query(&self, sample: QuerySample) {
+        self.record_op(Op::Query, sample.total_micros);
+        self.record_phase(Phase::BuildWait, sample.build_wait_micros);
+        self.record_phase(Phase::RowCompute, sample.row_compute_micros);
+        self.record_phase(Phase::Solve, sample.solve_micros());
+        self.kinds[sample.kind as usize].record(sample.total_micros);
+        self.slow.offer(sample);
+    }
+
+    /// Records one operation duration (used for `batch`/`mutate`/`warm`;
+    /// `query` durations arrive via [`EngineTelemetry::record_query`]).
+    pub fn record_op(&self, op: Op, micros: u64) {
+        self.ops[op as usize].record(micros);
+    }
+
+    /// Records one phase duration outside [`EngineTelemetry::record_query`]
+    /// (the service layer books [`Phase::Serialize`] this way).
+    pub fn record_phase(&self, phase: Phase, micros: u64) {
+        self.phases[phase as usize].record(micros);
+    }
+
+    /// A point-in-time copy of one operation's histogram.
+    pub fn op_snapshot(&self, op: Op) -> HistogramSnapshot {
+        self.ops[op as usize].snapshot()
+    }
+
+    /// A point-in-time copy of one phase's histogram.
+    pub fn phase_snapshot(&self, phase: Phase) -> HistogramSnapshot {
+        self.phases[phase as usize].snapshot()
+    }
+
+    /// A point-in-time copy of one kind's query-latency histogram.
+    pub fn kind_snapshot(&self, kind: CompatibilityKind) -> HistogramSnapshot {
+        self.kinds[kind as usize].snapshot()
+    }
+
+    /// The slow-query log.
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow
+    }
+
+    /// The full structured report served by the `telemetry` protocol op:
+    /// per-op, per-phase, and per-kind percentile summaries plus the slow
+    /// queries, slowest first.
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport {
+            ops: Op::ALL
+                .iter()
+                .map(|&op| AxisStats {
+                    label: op.label().to_string(),
+                    stats: HistogramStats::of(&self.op_snapshot(op)),
+                })
+                .collect(),
+            phases: Phase::ALL
+                .iter()
+                .map(|&phase| AxisStats {
+                    label: phase.label().to_string(),
+                    stats: HistogramStats::of(&self.phase_snapshot(phase)),
+                })
+                .collect(),
+            kinds: CompatibilityKind::ALL
+                .iter()
+                .map(|&kind| AxisStats {
+                    label: kind.label().to_string(),
+                    stats: HistogramStats::of(&self.kind_snapshot(kind)),
+                })
+                .collect(),
+            slow_queries: self.slow.entries(),
+        }
+    }
+}
+
+/// Keeps the `capacity` slowest queries seen so far.
+///
+/// Despite the classic "ring buffer" name this is a bounded *min-evicting*
+/// set: once full, a new query is admitted only if it is slower than the
+/// current fastest retained entry, which then leaves. The admission check is
+/// a single relaxed load, so the hot path takes the lock only for genuinely
+/// slow queries.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    /// Admission threshold: the smallest retained total once full, else 0.
+    threshold: AtomicU64,
+    /// Monotonic query ordinal, bumped for every offered query.
+    seq: AtomicU64,
+    entries: Mutex<Vec<SlowQuery>>,
+}
+
+impl SlowQueryLog {
+    /// Entries retained when no `--slow-log` capacity is given.
+    pub const DEFAULT_CAPACITY: usize = 16;
+
+    /// A log retaining up to `capacity` entries (0 disables retention; the
+    /// sequence counter still advances so ordinals stay comparable).
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            capacity,
+            threshold: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one query; assigns it the next monotonic sequence number and
+    /// retains it if it ranks among the slowest seen.
+    pub fn offer(&self, sample: QuerySample) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 || sample.total_micros < self.threshold.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        // Re-check under the lock: the threshold may have risen.
+        if entries.len() == self.capacity {
+            let (slot, fastest) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.total_micros)
+                .map(|(i, e)| (i, e.total_micros))
+                .expect("capacity > 0, so a full log is non-empty");
+            if sample.total_micros <= fastest {
+                return;
+            }
+            entries.swap_remove(slot);
+        }
+        entries.push(SlowQuery {
+            seq,
+            kind: sample.kind.label().to_string(),
+            algorithm: sample.algorithm,
+            total_micros: sample.total_micros,
+            build_wait_micros: sample.build_wait_micros,
+            row_compute_micros: sample.row_compute_micros,
+            solve_micros: sample
+                .total_micros
+                .saturating_sub(sample.build_wait_micros + sample.row_compute_micros),
+            team_size: sample.team_size,
+            solved: sample.solved,
+        });
+        if entries.len() == self.capacity {
+            let min = entries
+                .iter()
+                .map(|e| e.total_micros)
+                .min()
+                .unwrap_or_default();
+            self.threshold.store(min, Ordering::Relaxed);
+        }
+    }
+
+    /// The retained entries, slowest first.
+    pub fn entries(&self) -> Vec<SlowQuery> {
+        let mut entries = self.entries.lock().clone();
+        entries.sort_by(|a, b| b.total_micros.cmp(&a.total_micros).then(a.seq.cmp(&b.seq)));
+        entries
+    }
+}
+
+/// Percentile summary of one histogram, as serialized in telemetry reports.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub sum_micros: u64,
+    /// Largest sample, microseconds.
+    pub max_micros: u64,
+    /// Mean sample, microseconds.
+    pub mean_micros: f64,
+    /// 50th percentile, microseconds (upper edge of the crossing bucket).
+    pub p50_micros: u64,
+    /// 90th percentile, microseconds.
+    pub p90_micros: u64,
+    /// 99th percentile, microseconds.
+    pub p99_micros: u64,
+    /// 99.9th percentile, microseconds.
+    pub p999_micros: u64,
+}
+
+impl HistogramStats {
+    /// Summarizes one snapshot.
+    pub fn of(snapshot: &HistogramSnapshot) -> Self {
+        HistogramStats {
+            count: snapshot.count(),
+            sum_micros: snapshot.sum,
+            max_micros: snapshot.max,
+            mean_micros: snapshot.mean(),
+            p50_micros: snapshot.quantile(0.50),
+            p90_micros: snapshot.quantile(0.90),
+            p99_micros: snapshot.quantile(0.99),
+            p999_micros: snapshot.quantile(0.999),
+        }
+    }
+}
+
+/// One labelled axis entry (an op, phase, or kind) with its summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisStats {
+    /// The op/phase/kind label.
+    pub label: String,
+    /// Its latency summary.
+    pub stats: HistogramStats,
+}
+
+/// One retained slow query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowQuery {
+    /// Monotonic ordinal of the query in this engine's stream (0-based;
+    /// timestamp-free, so entries order and correlate across axes).
+    pub seq: u64,
+    /// Compatibility kind label.
+    pub kind: String,
+    /// Solver label.
+    pub algorithm: String,
+    /// Total in-engine time, microseconds.
+    pub total_micros: u64,
+    /// Build-wait phase slice, microseconds.
+    pub build_wait_micros: u64,
+    /// Row-compute phase slice, microseconds.
+    pub row_compute_micros: u64,
+    /// Solve phase slice, microseconds.
+    pub solve_micros: u64,
+    /// Members in the returned team (0 when unsolved).
+    pub team_size: u64,
+    /// Whether the query was answered with a team.
+    pub solved: bool,
+}
+
+/// The per-deployment payload of the `telemetry` protocol operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Per-operation latency summaries, [`Op::ALL`] order.
+    pub ops: Vec<AxisStats>,
+    /// Per-phase latency summaries, [`Phase::ALL`] order.
+    pub phases: Vec<AxisStats>,
+    /// Per-kind query-latency summaries, [`CompatibilityKind::ALL`] order.
+    pub kinds: Vec<AxisStats>,
+    /// Slowest retained queries, slowest first.
+    pub slow_queries: Vec<SlowQuery>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: CompatibilityKind, total: u64, wait: u64, compute: u64) -> QuerySample {
+        QuerySample {
+            kind,
+            algorithm: "LCMD".to_string(),
+            total_micros: total,
+            build_wait_micros: wait,
+            row_compute_micros: compute,
+            team_size: 3,
+            solved: true,
+        }
+    }
+
+    #[test]
+    fn query_recording_feeds_every_axis() {
+        let t = EngineTelemetry::new(4);
+        t.record_query(sample(CompatibilityKind::Spa, 100, 30, 20));
+        t.record_query(sample(CompatibilityKind::Nne, 10, 0, 0));
+        assert_eq!(t.op_snapshot(Op::Query).count(), 2);
+        assert_eq!(t.phase_snapshot(Phase::BuildWait).sum, 30);
+        assert_eq!(t.phase_snapshot(Phase::RowCompute).sum, 20);
+        assert_eq!(t.phase_snapshot(Phase::Solve).sum, 60);
+        assert_eq!(t.phase_snapshot(Phase::Serialize).count(), 0);
+        assert_eq!(t.kind_snapshot(CompatibilityKind::Spa).count(), 1);
+        assert_eq!(t.kind_snapshot(CompatibilityKind::Nne).count(), 1);
+        assert_eq!(t.kind_snapshot(CompatibilityKind::Dpe).count(), 0);
+        let report = t.report();
+        assert_eq!(report.ops.len(), Op::ALL.len());
+        assert_eq!(report.phases.len(), Phase::ALL.len());
+        assert_eq!(report.kinds.len(), CompatibilityKind::ALL.len());
+        assert_eq!(report.slow_queries.len(), 2);
+        assert_eq!(report.slow_queries[0].total_micros, 100);
+        assert_eq!(report.slow_queries[0].solve_micros, 50);
+    }
+
+    #[test]
+    fn slow_log_keeps_the_n_slowest() {
+        let log = SlowQueryLog::new(3);
+        for total in [50u64, 10, 70, 30, 90, 20, 60] {
+            log.offer(sample(CompatibilityKind::Spa, total, 0, 0));
+        }
+        let totals: Vec<u64> = log.entries().iter().map(|e| e.total_micros).collect();
+        assert_eq!(totals, vec![90, 70, 60]);
+        // Sequence numbers are the query ordinals, not entry indices.
+        let seqs: Vec<u64> = log.entries().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 2, 6]);
+    }
+
+    #[test]
+    fn zero_capacity_log_retains_nothing() {
+        let log = SlowQueryLog::new(0);
+        log.offer(sample(CompatibilityKind::Spa, 1000, 0, 0));
+        assert!(log.entries().is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_as_json() {
+        let t = EngineTelemetry::new(2);
+        t.record_query(sample(CompatibilityKind::Spm, 250, 100, 50));
+        t.record_op(Op::Batch, 400);
+        let report = t.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -83,6 +83,46 @@ fn architecture_doc_keeps_its_anchors() {
     }
 }
 
+#[test]
+fn observability_doc_covers_every_axis_label() {
+    let doc = read("docs/OBSERVABILITY.md");
+    for op in tfsn_engine::telemetry::Op::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", op.label())),
+            "docs/OBSERVABILITY.md is missing operation label `{}`",
+            op.label()
+        );
+    }
+    for phase in tfsn_engine::telemetry::Phase::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", phase.label())),
+            "docs/OBSERVABILITY.md is missing phase label `{}`",
+            phase.label()
+        );
+    }
+    for kind in CompatibilityKind::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", kind.label())),
+            "docs/OBSERVABILITY.md is missing relation kind `{}`",
+            kind.label()
+        );
+    }
+    for anchor in [
+        "tfsn_op_latency_seconds",
+        "tfsn_phase_latency_seconds",
+        "tfsn_kind_queries_total",
+        "slow-query log",
+        "query_p50_micros",
+        "+Inf",
+        "wait_micros",
+    ] {
+        assert!(
+            doc.contains(anchor),
+            "docs/OBSERVABILITY.md lost its `{anchor}` section"
+        );
+    }
+}
+
 /// Extracts `](target)` markdown link targets, skipping external URLs and
 /// pure in-page fragments.
 fn local_links(markdown: &str) -> Vec<String> {
@@ -117,6 +157,7 @@ fn readme_roadmap_and_docs_links_resolve() {
         "ROADMAP.md",
         "docs/PROTOCOL.md",
         "docs/ARCHITECTURE.md",
+        "docs/OBSERVABILITY.md",
     ] {
         let content = read(file);
         let base = repo_root().join(file);
@@ -138,6 +179,10 @@ fn readme_roadmap_and_docs_links_resolve() {
             assert!(
                 links.iter().any(|l| l.ends_with("docs/ARCHITECTURE.md")),
                 "README.md must link docs/ARCHITECTURE.md"
+            );
+            assert!(
+                links.iter().any(|l| l.ends_with("docs/OBSERVABILITY.md")),
+                "README.md must link docs/OBSERVABILITY.md"
             );
         }
     }

@@ -459,3 +459,96 @@ fn shutdown_handle_and_endpoint_stop_a_joined_server() {
     assert_eq!((status, body.as_str()), (200, "shutting down\n"));
     assert!(observer.is_shutdown());
 }
+
+#[test]
+fn prometheus_scrape_and_telemetry_endpoint() {
+    let service = two_deployment_service();
+    let server = HttpServer::bind(service, "127.0.0.1:0", ServerOptions::default()).unwrap();
+    let mut client = Client::connect(server.addr());
+
+    // Drive 24 queries through the default deployment (sd) so every
+    // telemetry axis has samples.
+    let (status, body) = client.request("POST", "/v1/batch", Some(&jsonl(&queries(24))));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body.lines().count(), 24);
+
+    // The Prometheus scrape: valid exposition lines, label-closed over
+    // ops for the loaded deployment, cumulative buckets closed by +Inf.
+    let text = client.0.metrics_text().expect("GET /metrics");
+    assert!(
+        text.contains("# TYPE tfsn_op_latency_seconds histogram"),
+        "{text}"
+    );
+    assert!(text.contains("tfsn_queries_served_total{deployment=\"sd\"} 24"));
+    assert!(
+        !text.contains("deployment=\"tiny\""),
+        "tiny was never loaded and must not be scraped"
+    );
+    for op in ["query", "batch", "mutate", "warm"] {
+        assert!(
+            text.contains(&format!(
+                "tfsn_op_latency_seconds_count{{deployment=\"sd\",op=\"{op}\"}}"
+            )),
+            "missing op {op} in scrape"
+        );
+    }
+    for phase in ["build_wait", "row_compute", "solve", "serialize"] {
+        assert!(
+            text.contains(&format!(
+                "tfsn_phase_latency_seconds_count{{deployment=\"sd\",phase=\"{phase}\"}}"
+            )),
+            "missing phase {phase} in scrape"
+        );
+    }
+    let mut last = 0u64;
+    let mut saw_inf = false;
+    for line in text.lines() {
+        let Some(rest) =
+            line.strip_prefix("tfsn_op_latency_seconds_bucket{deployment=\"sd\",op=\"query\",le=")
+        else {
+            continue;
+        };
+        let value: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value >= last, "buckets must be cumulative: {line}");
+        last = value;
+        if rest.starts_with("\"+Inf\"") {
+            saw_inf = true;
+            assert_eq!(value, 24, "+Inf closes the series at the count");
+        }
+    }
+    assert!(saw_inf, "+Inf line missing from scrape:\n{text}");
+    // Every query went through one of the three exercised kinds.
+    assert!(text.contains("tfsn_kind_queries_total{deployment=\"sd\",kind=\"SPA\"} 8"));
+    assert!(text.contains("tfsn_kind_queries_total{deployment=\"sd\",kind=\"DPE\"} 0"));
+
+    // The JSON telemetry endpoint agrees with the scrape.
+    let (status, body) = client.request("GET", "/v1/telemetry", None);
+    assert_eq!(status, 200, "{body}");
+    let Response::Telemetry { deployments } = Response::parse_json(&body).unwrap() else {
+        panic!("unexpected telemetry response: {body}");
+    };
+    assert_eq!(deployments.len(), 1);
+    assert_eq!(deployments[0].deployment, "sd");
+    let report = &deployments[0].telemetry;
+    let query_axis = report
+        .ops
+        .iter()
+        .find(|axis| axis.label == "query")
+        .expect("query axis");
+    assert_eq!(query_axis.stats.count, 24);
+    assert!(query_axis.stats.p50_micros <= query_axis.stats.p999_micros);
+    assert!(!report.slow_queries.is_empty());
+    let slowest = &report.slow_queries[0];
+    assert_eq!(
+        slowest.total_micros,
+        slowest.build_wait_micros + slowest.row_compute_micros + slowest.solve_micros,
+        "phase breakdown must tile the total"
+    );
+
+    // Wrong method on the scrape path -> 405, not 404.
+    let (status, _) = client.request("POST", "/metrics", None);
+    assert_eq!(status, 405);
+
+    drop(client);
+    server.shutdown();
+}

@@ -136,6 +136,12 @@ fn metrics((a, b): ((u64, u64, u64, u64), (u64, u64, u64, u64))) -> MetricsSnaps
         resident_bytes: b.0 % 4096,
         mutations_applied: a.2 % 13,
         rows_invalidated: a.3 % 29,
+        // Exercise both the absent (pre-telemetry) and present shapes.
+        query_p50_micros: (a.0 % 2 == 0).then_some(b.1 % 997),
+        query_p90_micros: (a.1 % 2 == 0).then_some(b.2 % 2039),
+        query_p99_micros: (a.2 % 2 == 0).then_some(b.3 % 4093),
+        query_p999_micros: (a.3 % 2 == 0).then_some(b.0 % 8191),
+        query_max_micros: (b.0 % 2 == 0).then_some(b.1 % 16381),
     }
 }
 

@@ -1,0 +1,98 @@
+//! Property and concurrency tests for the telemetry subsystem: histogram
+//! merge exactness, percentile error bounds, and lock-free recording under
+//! contention.
+
+use proptest::prelude::*;
+use tfsn_engine::telemetry::{HistogramSnapshot, LatencyHistogram};
+
+/// Records `values` into a fresh histogram and snapshots it.
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let histogram = LatencyHistogram::default();
+    for &value in values {
+        histogram.record(value);
+    }
+    histogram.snapshot()
+}
+
+/// The exact sample quantile the histogram approximates: the value at rank
+/// `ceil(q * n)` (1-based) of the sorted samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging two snapshots is indistinguishable from one histogram that
+    /// recorded both sample streams — the property that makes
+    /// cross-deployment aggregation exact.
+    #[test]
+    fn merged_snapshots_equal_concatenated_recording(
+        a in prop::collection::vec(0u64..3_000_000, 0..300),
+        b in prop::collection::vec(0u64..3_000_000, 0..300),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&concat));
+    }
+
+    /// Every reported quantile brackets the exact sample quantile from
+    /// above, within one bucket's relative width (12.5%, plus one for the
+    /// exact 0..8 region).
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact(
+        values in prop::collection::vec(0u64..10_000_000, 1..500),
+        q in 0.0f64..1.0,
+    ) {
+        let snapshot = snapshot_of(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let approx = snapshot.quantile(q);
+        prop_assert!(approx >= exact, "quantile {q}: {approx} < exact {exact}");
+        prop_assert!(
+            approx <= exact + exact / 8 + 1,
+            "quantile {q}: {approx} exceeds exact {exact} by more than 12.5%"
+        );
+    }
+
+    /// The histogram never loses mass: count and sum are exact whatever
+    /// the sample stream.
+    #[test]
+    fn count_and_sum_are_exact(values in prop::collection::vec(0u64..1_000_000, 0..400)) {
+        let snapshot = snapshot_of(&values);
+        prop_assert_eq!(snapshot.count(), values.len() as u64);
+        prop_assert_eq!(snapshot.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snapshot.max, values.iter().copied().max().unwrap_or(0));
+    }
+}
+
+/// Relaxed-atomic recording from many threads loses no samples: count,
+/// sum, and max come out exact.
+#[test]
+fn concurrent_recording_loses_no_samples() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let histogram = LatencyHistogram::default();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let histogram = &histogram;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct per-thread values spread across buckets.
+                    histogram.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let snapshot = histogram.snapshot();
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snapshot.count(), n);
+    assert_eq!(snapshot.sum, n * (n - 1) / 2);
+    assert_eq!(snapshot.max, n - 1);
+    // The p50 of 0..80000 must land within a bucket of 40000.
+    let p50 = snapshot.quantile(0.5);
+    assert!((40_000..=45_000).contains(&p50), "p50 {p50}");
+}
