@@ -33,6 +33,12 @@
 //!   alternative of rebuilding a fresh engine (and re-warming every
 //!   relation) after every mutation. The `speedup` figure is the PR 5
 //!   ≥5× acceptance number.
+//! * `objectives/<label>` — the objective-pluggable solver layer: one warm
+//!   engine serving the same query workload under every team objective
+//!   (`min_team` via the default objective-less path, `synergy`,
+//!   `constrained`). Since schema v5 the report's `objectives` section
+//!   carries each objective's solved count and a sample score — the PR 7
+//!   end-to-end acceptance evidence.
 //! * `telemetry_overhead` — the cost of one telemetry `record()` call
 //!   (three relaxed atomics), so the "histograms sit on the query hot path
 //!   without a measurable cost" claim in `docs/OBSERVABILITY.md` stays a
@@ -46,7 +52,7 @@
 //! the engines via the `telemetry` protocol operation.
 //!
 //! Usage: `bench-report [--quick] [--output PATH]` — the default output is
-//! `bench-report.local.json`; pass `--output BENCH_PR6.json` explicitly to
+//! `bench-report.local.json`; pass `--output BENCH_PR7.json` explicitly to
 //! refresh the committed cross-PR artifact.
 //!
 //! [`CandidateMask`]: tfsn_core::team::CandidateMask
@@ -249,6 +255,7 @@ struct Report {
     row_mode: RowModeReport,
     service: ServiceReport,
     mutation: MutationBenchReport,
+    objectives: ObjectiveBenchReport,
 }
 
 fn median(mut xs: Vec<u64>) -> u64 {
@@ -798,12 +805,123 @@ fn telemetry_overhead_group(quick: bool, groups: &mut Vec<Group>) {
     });
 }
 
+/// The per-objective serving measurement: one warm engine, the same query
+/// workload solved under every team objective. The committed per-objective
+/// solved counts and scores are the PR 7 end-to-end acceptance evidence.
+#[derive(Debug, Serialize)]
+struct ObjectiveBenchReport {
+    deployment: String,
+    kind: String,
+    queries_per_iter: u64,
+    results: Vec<ObjectiveResult>,
+}
+
+/// One objective's outcome over the benchmark workload.
+#[derive(Debug, Serialize)]
+struct ObjectiveResult {
+    objective: String,
+    median_ns_per_op: u64,
+    /// Queries answered `ok` out of `queries_per_iter`.
+    solved: u64,
+    /// The first solved answer's score (`None` for `min_team`, which
+    /// optimises without scoring).
+    sample_score: Option<u64>,
+}
+
+fn objectives_report(quick: bool, groups: &mut Vec<Group>) -> ObjectiveBenchReport {
+    use tfsn_engine::Objective;
+
+    let samples = if quick { 5 } else { 11 };
+    let ops: u64 = if quick { 200 } else { 1000 };
+    let engine = Engine::new(Deployment::from_dataset(tfsn_datasets::slashdot()));
+    let kind = CompatibilityKind::Spa;
+    engine.warm(&[kind]);
+    let variants: [(&str, Option<Objective>); 3] = [
+        // The default path: no objective on the query, the legacy solve.
+        ("min_team", None),
+        ("synergy", Some(Objective::Synergy)),
+        (
+            "constrained",
+            Some(Objective::Constrained {
+                include: Vec::new(),
+                max_size: Some(6),
+                max_distance: Some(4),
+            }),
+        ),
+    ];
+    let queries_for = |objective: &Option<Objective>| -> Vec<TeamQuery> {
+        (0..ops)
+            .map(|i| {
+                let i = i as usize;
+                let mut q = TeamQuery::new([i % 9, (i * 3 + 1) % 9, (i * 7 + 2) % 9])
+                    .with_id(i as u64)
+                    .with_kind(kind);
+                q.objective = objective.clone();
+                q
+            })
+            .collect()
+    };
+    let workloads: Vec<Vec<TeamQuery>> = variants.iter().map(|(_, o)| queries_for(o)).collect();
+    let batch = BatchOptions::with_threads(2);
+    let mut run0 = || {
+        std::hint::black_box(engine.batch(&workloads[0], &batch));
+    };
+    let mut run1 = || {
+        std::hint::black_box(engine.batch(&workloads[1], &batch));
+    };
+    let mut run2 = || {
+        std::hint::black_box(engine.batch(&workloads[2], &batch));
+    };
+    let measured = measure_interleaved(samples, ops, [&mut run0, &mut run1, &mut run2]);
+
+    let mut results = Vec::new();
+    for ((label, _), (workload, m)) in variants
+        .iter()
+        .zip(workloads.iter().zip(measured))
+    {
+        let answers = engine.batch(workload, &batch);
+        let solved = answers
+            .iter()
+            .filter(|a| a.status == tfsn_engine::AnswerStatus::Ok)
+            .count() as u64;
+        let sample_score = answers
+            .iter()
+            .find(|a| a.status == tfsn_engine::AnswerStatus::Ok)
+            .and_then(|a| a.score);
+        eprintln!(
+            "objectives/{label}: {} ns/op, {solved}/{ops} solved",
+            m.median_ns_per_op
+        );
+        groups.push(Group {
+            name: format!("objectives/{label}"),
+            median_ns_per_op: m.median_ns_per_op,
+            p50_ns_per_op: m.p50_ns_per_op,
+            p95_ns_per_op: m.p95_ns_per_op,
+            p99_ns_per_op: m.p99_ns_per_op,
+            ops_per_iter: ops,
+            samples,
+        });
+        results.push(ObjectiveResult {
+            objective: label.to_string(),
+            median_ns_per_op: m.median_ns_per_op,
+            solved,
+            sample_score,
+        });
+    }
+    ObjectiveBenchReport {
+        deployment: "slashdot".to_string(),
+        kind: kind.label().to_string(),
+        queries_per_iter: ops,
+        results,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    // Deliberately NOT BENCH_PR6.json: the committed artifact holds the
+    // Deliberately NOT BENCH_PR7.json: the committed artifact holds the
     // full-run acceptance numbers, and a casual local/CI run must not
-    // silently clobber it. Pass `--output BENCH_PR6.json` to refresh it.
+    // silently clobber it. Pass `--output BENCH_PR7.json` to refresh it.
     let mut output = String::from("bench-report.local.json");
     let mut i = 0;
     while i < args.len() {
@@ -837,15 +955,17 @@ fn main() {
     let row_mode = row_mode_report(quick, &mut groups);
     let service = service_report(quick, &mut groups);
     let mutation = mutation_report(quick, &mut groups);
+    let objectives = objectives_report(quick, &mut groups);
     telemetry_overhead_group(quick, &mut groups);
     let report = Report {
-        schema: "tfsn-bench-report/v4",
+        schema: "tfsn-bench-report/v5",
         quick,
         groups,
         speedups,
         row_mode,
         service,
         mutation,
+        objectives,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     let mut file =

@@ -91,4 +91,4 @@ pub mod team;
 
 pub use compat::{Compatibility, CompatibilityKind, CompatibilityMatrix};
 pub use error::TfsnError;
-pub use team::{Solver, Team, TfsnInstance};
+pub use team::{Objective, Solver, Team, TfsnInstance};

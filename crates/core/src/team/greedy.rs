@@ -298,8 +298,9 @@ fn grow_team<C: Compatibility + ?Sized>(
 
 /// The candidate's distance to the team under the relation's distance:
 /// its largest distance to any member (matching the diameter cost).
-/// Missing distances are treated as effectively infinite.
-fn distance_to_team<C: Compatibility + ?Sized>(
+/// Missing distances are treated as effectively infinite. Shared with the
+/// objective-driven growth in [`super::objective`].
+pub(crate) fn distance_to_team<C: Compatibility + ?Sized>(
     comp: &C,
     candidate: NodeId,
     team: &[NodeId],

@@ -23,9 +23,11 @@
 pub mod baseline;
 pub mod exhaustive;
 pub mod greedy;
+pub mod objective;
 pub mod policies;
 pub mod solver;
 
+pub use objective::Objective;
 pub use solver::Solver;
 
 use serde::{Deserialize, Serialize};

@@ -12,6 +12,7 @@ use tfsn_skills::task::Task;
 
 use super::exhaustive::solve_exhaustive;
 use super::greedy::{solve_greedy, solve_greedy_with_scratch, GreedyConfig};
+use super::objective::{solve_objective_exhaustive, solve_objective_greedy, Objective};
 use super::policies::TeamAlgorithm;
 use super::{SolveScratch, Team, TfsnInstance};
 use crate::compat::Compatibility;
@@ -49,11 +50,11 @@ impl Solver {
     }
 
     /// A short label for reports and serialized answers ("LCMD",
-    /// "EXHAUSTIVE", …).
-    pub fn label(&self) -> String {
+    /// "EXHAUSTIVE", …). Labels come from closed sets, so no allocation.
+    pub fn label(&self) -> &'static str {
         match self {
-            Solver::Greedy { algorithm, .. } => algorithm.label().to_string(),
-            Solver::Exhaustive => "EXHAUSTIVE".to_string(),
+            Solver::Greedy { algorithm, .. } => algorithm.label(),
+            Solver::Exhaustive => "EXHAUSTIVE",
         }
     }
 
@@ -92,6 +93,35 @@ impl Solver {
             Solver::Exhaustive => solve_exhaustive(instance, comp, task),
         }
     }
+
+    /// Solves `task` under an explicit team [`Objective`].
+    ///
+    /// The default objective ([`Objective::MinTeam`]) routes through the
+    /// exact same code paths as [`Solver::solve_with_scratch`] — callers
+    /// that never name an objective are bit-for-bit unaffected by the
+    /// objective layer. Non-default objectives dispatch to the
+    /// objective-aware greedy growth or exhaustive enumeration in
+    /// [`super::objective`], honouring this solver's shape (greedy
+    /// tuning such as `max_seeds` carries over; the exhaustive variant
+    /// keeps the same relevant-user budget).
+    pub fn solve_objective_with_scratch<C: Compatibility + ?Sized>(
+        &self,
+        instance: &TfsnInstance<'_>,
+        comp: &C,
+        task: &Task,
+        objective: &Objective,
+        scratch: &mut SolveScratch,
+    ) -> Result<Team, TfsnError> {
+        if objective.is_default() {
+            return self.solve_with_scratch(instance, comp, task, scratch);
+        }
+        match self {
+            Solver::Greedy { config, .. } => {
+                solve_objective_greedy(instance, comp, task, objective, config, scratch)
+            }
+            Solver::Exhaustive => solve_objective_exhaustive(instance, comp, task, objective),
+        }
+    }
 }
 
 impl Default for Solver {
@@ -102,7 +132,7 @@ impl Default for Solver {
 
 impl std::fmt::Display for Solver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.label())
+        f.write_str(self.label())
     }
 }
 

@@ -546,3 +546,137 @@ proptest! {
         prop_assert!(lazy.build_count() >= n);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Objective-pluggable dispatch vs the pre-objective solver paths.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Refactor pin: dispatching the *default* objective through
+    /// `solve_objective_with_scratch` returns exactly what the pre-objective
+    /// entry points return — same team or same error — for every kind, both
+    /// solver shapes, and both serving tiers (materialised matrix and
+    /// budget-capped row store). The objective layer must be invisible to
+    /// legacy callers.
+    #[test]
+    fn default_objective_dispatch_is_identical(g in arb_graph(), seed in 0u64..500) {
+        use std::sync::Arc;
+        use tfsn_core::compat::{estimated_row_bytes, LazyCompatibility};
+        use tfsn_core::team::{Objective, SolveScratch, Solver};
+        let users = g.node_count();
+        let mut skills = SkillAssignment::new(5, users);
+        for u in 0..users {
+            skills.grant(u, SkillId::new(u % 5));
+            if u % 4 == 0 {
+                skills.grant(u, SkillId::new((u + 1) % 5));
+            }
+        }
+        let inst = TfsnInstance::new(&g, &skills);
+        let task = Task::new([SkillId::new(0), SkillId::new(1), SkillId::new(3)]);
+        let solvers = [
+            Solver::default_greedy(),
+            Solver::greedy(TeamAlgorithm::RFMD),
+            Solver::Greedy {
+                algorithm: TeamAlgorithm::RANDOM,
+                config: GreedyConfig { random_seed: seed, ..Default::default() },
+            },
+            Solver::Exhaustive,
+        ];
+        let mut scratch = SolveScratch::new();
+        for kind in [CompatibilityKind::Spa, CompatibilityKind::Sbph, CompatibilityKind::Nne] {
+            let matrix = CompatibilityMatrix::build(&g, kind);
+            let lazy = LazyCompatibility::with_budget(
+                Arc::new(g.clone()),
+                kind,
+                EngineConfig::default(),
+                Some(2 * estimated_row_bytes(users) + 16),
+            );
+            for solver in &solvers {
+                let legacy = solver.solve_with_scratch(&inst, &matrix, &task, &mut scratch);
+                let routed = solver.solve_objective_with_scratch(
+                    &inst, &matrix, &task, &Objective::MinTeam, &mut scratch,
+                );
+                prop_assert_eq!(
+                    &legacy, &routed,
+                    "{}/{}: default objective diverged on the matrix tier", kind, solver
+                );
+                let lazy_routed = solver.solve_objective_with_scratch(
+                    &inst, &lazy, &task, &Objective::MinTeam, &mut scratch,
+                );
+                let lazy_legacy = solver.solve_with_scratch(&inst, &lazy, &task, &mut scratch);
+                prop_assert_eq!(
+                    &lazy_legacy, &lazy_routed,
+                    "{}/{}: default objective diverged on the row-LRU tier", kind, solver
+                );
+            }
+        }
+    }
+
+    /// Non-default objectives return constraint-satisfying covering
+    /// compatible teams (or a clean NoCompatibleTeam) on every kind and both
+    /// serving tiers, and agree between the tiers — the oracle is the same
+    /// relation, so the answers must match.
+    #[test]
+    fn alternative_objectives_are_sound_across_tiers(g in arb_graph(), k in 2usize..6) {
+        use std::sync::Arc;
+        use tfsn_core::compat::{estimated_row_bytes, LazyCompatibility};
+        use tfsn_core::team::objective::team_synergy;
+        use tfsn_core::team::{Objective, SolveScratch, Solver};
+        let users = g.node_count();
+        let mut skills = SkillAssignment::new(5, users);
+        for u in 0..users {
+            skills.grant(u, SkillId::new(u % 5));
+        }
+        let inst = TfsnInstance::new(&g, &skills);
+        let task = Task::new([SkillId::new(0), SkillId::new(1)]);
+        let objectives = [
+            Objective::Synergy,
+            Objective::Constrained {
+                include: vec![0],
+                max_size: Some(k),
+                max_distance: Some(4),
+            },
+        ];
+        let mut scratch = SolveScratch::new();
+        for kind in [CompatibilityKind::Spa, CompatibilityKind::Sbph, CompatibilityKind::Nne] {
+            let matrix = CompatibilityMatrix::build(&g, kind);
+            let lazy = LazyCompatibility::with_budget(
+                Arc::new(g.clone()),
+                kind,
+                EngineConfig::default(),
+                Some(2 * estimated_row_bytes(users) + 16),
+            );
+            for objective in &objectives {
+                for solver in [Solver::default_greedy(), Solver::Exhaustive] {
+                    let on_matrix = solver.solve_objective_with_scratch(
+                        &inst, &matrix, &task, objective, &mut scratch,
+                    );
+                    let on_lazy = solver.solve_objective_with_scratch(
+                        &inst, &lazy, &task, objective, &mut scratch,
+                    );
+                    prop_assert_eq!(
+                        &on_matrix, &on_lazy,
+                        "{}/{}/{:?}: tiers disagreed", kind, solver, objective
+                    );
+                    match on_matrix {
+                        Ok(team) => {
+                            prop_assert!(team.covers(&skills, &task), "{kind}: missing skills");
+                            prop_assert!(team.is_compatible(&matrix), "{kind}: incompatible pair");
+                            prop_assert!(
+                                objective.admits_team(&matrix, &team),
+                                "{kind}: constraint violated"
+                            );
+                            // The two tiers must also score it identically.
+                            prop_assert_eq!(team_synergy(&matrix, &team), team_synergy(&lazy, &team));
+                        }
+                        Err(TfsnError::NoCompatibleTeam) => {}
+                        Err(TfsnError::SearchBudgetExceeded) => {}
+                        Err(e) => prop_assert!(false, "{kind}: unexpected error {e}"),
+                    }
+                }
+            }
+        }
+    }
+}

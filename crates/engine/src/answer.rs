@@ -98,6 +98,14 @@ pub struct TeamAnswer {
     /// touched was resident, or it only waited on a build another query was
     /// running. Misses therefore equal build events exactly.
     pub cache_hit: bool,
+    /// Objective label echoed from the query (`None` when the query named
+    /// no objective — the field is then absent on the wire, keeping legacy
+    /// answers byte-identical).
+    pub objective: Option<String>,
+    /// Objective score of the team: total milli-synergy for the synergy
+    /// objective, the minimised diameter for the constrained one. `None`
+    /// for the default objective and for unsolved queries.
+    pub score: Option<u64>,
 }
 
 impl TeamAnswer {
@@ -135,6 +143,12 @@ impl Serialize for TeamAnswer {
         m.push(("micros".to_string(), Value::UInt(self.micros)));
         m.push(("build_micros".to_string(), Value::UInt(self.build_micros)));
         m.push(("cache_hit".to_string(), Value::Bool(self.cache_hit)));
+        // Objective fields appear only for objective-carrying queries, so
+        // legacy (no-objective) answers stay byte-identical.
+        if let Some(objective) = &self.objective {
+            m.push(("objective".to_string(), Value::Str(objective.clone())));
+            m.push(("score".to_string(), self.score.to_value()));
+        }
         Value::Map(m)
     }
 }
@@ -176,6 +190,10 @@ impl Deserialize for TeamAnswer {
             micros: field("micros").and_then(Value::as_u64).unwrap_or(0),
             build_micros: field("build_micros").and_then(Value::as_u64).unwrap_or(0),
             cache_hit: matches!(field("cache_hit"), Some(Value::Bool(true))),
+            objective: field("objective")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            score: field("score").and_then(Value::as_u64),
         })
     }
 }
@@ -197,12 +215,29 @@ mod tests {
             micros: 120,
             build_micros: 40,
             cache_hit: true,
+            objective: None,
+            score: None,
         };
         let json = serde_json::to_string(&a).unwrap();
         assert!(json.contains("\"status\":\"ok\""));
         assert!(json.contains("\"kind\":\"SPO\""));
+        assert!(
+            !json.contains("objective"),
+            "objective-less answers must omit the objective fields: {json}"
+        );
         let back: TeamAnswer = serde_json::from_str(&json).unwrap();
         assert_eq!(back, a);
+        // Objective-carrying answers round-trip label and score.
+        let scored = TeamAnswer {
+            objective: Some("synergy".to_string()),
+            score: Some(4500),
+            ..a
+        };
+        let json = serde_json::to_string(&scored).unwrap();
+        assert!(json.contains("\"objective\":\"synergy\""));
+        assert!(json.contains("\"score\":4500"));
+        let back: TeamAnswer = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, scored);
     }
 
     #[test]

@@ -64,7 +64,9 @@ use crate::query::QueryReader;
 use crate::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
 use crate::server::{HttpServer, ServerOptions};
 use crate::service::{Service, ServiceOptions, StreamError};
-use crate::{BatchOptions, Deployment, EngineOptions, ServingMode, StorePolicy, TeamQuery};
+use crate::{
+    BatchOptions, Deployment, EngineOptions, Objective, ServingMode, StorePolicy, TeamQuery,
+};
 
 /// Runs the CLI with the given arguments (exclusive of the program name);
 /// returns the process exit code.
@@ -121,6 +123,10 @@ serve-batch flags:
                       deployment before timing (row-tier kinds only get
                       their store created; rows still fill on demand)
   --no-timing         zero per-answer latency fields (byte-stable output)
+  --objective SPEC    default team objective for queries that name none:
+                      min_team | synergy | constrained, or a JSON object
+                      such as '{\"kind\": \"constrained\", \"max_size\": 4}'
+                      (a query's own objective field always wins)
 
 serve-http flags:
   --addr HOST:PORT    bind address (default 127.0.0.1:7878; port 0 picks an
@@ -134,6 +140,8 @@ serve-http flags:
   --slow-log N        per-deployment slow-query log capacity: the N slowest
                       queries kept for GET /v1/telemetry (default 16; 0
                       disables the log)
+  --objective SPEC    default team objective for queries that name none
+                      (same SPEC forms as serve-batch)
 
 mutate flags:
   --input FILE        JSONL mutations (default stdin), one object per line:
@@ -262,6 +270,7 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
                 "--chunk",
                 "--warm",
                 "--no-timing",
+                "--objective",
             ];
             allowed.extend_from_slice(SERVING_FLAGS);
             let flags = Flags::parse(rest, &allowed)?;
@@ -275,6 +284,7 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
                 "--chunk",
                 "--allow-shutdown",
                 "--slow-log",
+                "--objective",
             ];
             allowed.extend_from_slice(SERVING_FLAGS);
             let flags = Flags::parse(rest, &allowed)?;
@@ -489,8 +499,32 @@ fn build_service(flags: &Flags<'_>) -> Result<(Service, Option<String>), CliErro
     if chunk == 0 {
         return Err(usage("flag `--chunk`: must be at least 1"));
     }
-    let service = Service::with_options(registry, ServiceOptions { batch, chunk });
+    let objective = match flags.get("--objective") {
+        None => None,
+        Some(spec) => Some(parse_objective(spec)?),
+    };
+    let service = Service::with_options(
+        registry,
+        ServiceOptions {
+            batch,
+            chunk,
+            objective,
+        },
+    );
     Ok((service, select))
+}
+
+/// Parses the `--objective` SPEC: a bare label (`min_team`, `synergy`,
+/// `constrained`) or a JSON object in the wire format of the query
+/// `objective` field (see [`crate::query`]).
+fn parse_objective(spec: &str) -> Result<Objective, CliError> {
+    let value = if spec.trim_start().starts_with('{') {
+        serde_json::parse_value(spec).map_err(|e| usage(format!("flag `--objective`: {e}")))?
+    } else {
+        serde::Value::Str(spec.to_string())
+    };
+    crate::query::objective_from_value(&value)
+        .map_err(|e| usage(format!("flag `--objective`: {e}")))
 }
 
 /// Streams a query file once, collecting the distinct relation kinds it
@@ -767,6 +801,7 @@ fn gen(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
             // combination appears even when the list lengths share a factor.
             kind: kinds[i % kinds.len()],
             solver: algorithms[(i / kinds.len()) % algorithms.len()].clone(),
+            objective: None,
         };
         let line =
             serde_json::to_string(&query).map_err(|e| runtime(format!("serialize query: {e}")))?;
@@ -993,6 +1028,76 @@ mod tests {
     }
 
     #[test]
+    fn serve_batch_objective_flag_stamps_unpinned_queries() {
+        let dir = std::env::temp_dir().join(format!("tfsn-cli-obj-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let queries_path = dir.join("queries.jsonl");
+        // One objective-less query and one that pins min_team explicitly:
+        // the flag must stamp the first and leave the second alone.
+        std::fs::write(
+            &queries_path,
+            "{\"id\": 0, \"task\": [0, 1]}\n\
+             {\"id\": 1, \"task\": [0, 1], \"objective\": \"min_team\"}\n",
+        )
+        .unwrap();
+        let (out, _, result) = run_to_strings(&[
+            "serve-batch",
+            "--dataset",
+            "slashdot",
+            "--no-timing",
+            "--objective",
+            "synergy",
+            "--input",
+            queries_path.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]);
+        result.unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(
+            lines[0].contains("\"objective\":\"synergy\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"objective\":\"min_team\""),
+            "{}",
+            lines[1]
+        );
+        // The JSON-object SPEC form parses too.
+        let (out, _, result) = run_to_strings(&[
+            "serve-batch",
+            "--dataset",
+            "slashdot",
+            "--no-timing",
+            "--objective",
+            "{\"kind\": \"constrained\", \"max_size\": 6}",
+            "--input",
+            queries_path.to_str().unwrap(),
+        ]);
+        result.unwrap();
+        assert!(out
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"objective\":\"constrained\""));
+        // A bad SPEC is a usage error echoing the offending objective.
+        let (_, _, r) = run_to_strings(&[
+            "serve-batch",
+            "--dataset",
+            "slashdot",
+            "--objective",
+            "turbo",
+            "--input",
+            queries_path.to_str().unwrap(),
+        ]);
+        let err = r.unwrap_err();
+        assert!(err.contains("unknown objective `turbo`"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn mutate_applies_jsonl_and_emits_envelopes() {
         let dir = std::env::temp_dir().join(format!("tfsn-cli-mutate-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1088,7 +1193,7 @@ mod tests {
         let queries = read_queries(std::io::Cursor::new(out)).unwrap();
         let mut combos: Vec<(String, String)> = queries
             .iter()
-            .map(|q| (q.kind.label().to_string(), q.solver.label()))
+            .map(|q| (q.kind.label().to_string(), q.solver.label().to_string()))
             .collect();
         combos.sort();
         combos.dedup();

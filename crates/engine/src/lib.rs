@@ -98,6 +98,7 @@ pub use server::{HttpServer, ServerOptions, ShutdownHandle};
 pub use service::{Service, ServiceOptions};
 pub use store::{MutationReport, RelationStore, ServingMode, StorePolicy, TierChoice};
 pub use telemetry::{EngineTelemetry, LatencyHistogram, TelemetryReport};
+pub use tfsn_core::team::Objective;
 
 thread_local! {
     /// Per-thread solver scratch (see [`Engine::query`]): rayon batch
@@ -338,23 +339,32 @@ impl Engine {
         let comp = scope.compat();
         let task = Task::new(query.task.iter().map(|&s| SkillId::new(s)));
         let instance = self.deployment.instance();
+        // An absent objective is the default min-diameter objective, whose
+        // dispatch routes through the exact pre-objective solver paths —
+        // objective-less queries stay byte-identical.
+        let objective = query.objective.clone().unwrap_or_default();
         // One solver scratch per worker thread, shared across every query
         // the thread answers (and across engines — the buffers resize when
         // deployments differ in size): the greedy candidate-mask words are
         // reseeded in place instead of reallocated per solve.
         let result = SOLVE_SCRATCH.with(|scratch| {
-            query
-                .solver
-                .solve_with_scratch(&instance, comp, &task, &mut scratch.borrow_mut())
+            query.solver.solve_objective_with_scratch(
+                &instance,
+                comp,
+                &task,
+                &objective,
+                &mut scratch.borrow_mut(),
+            )
         });
 
-        let (status, members, diameter) = match result {
+        let (status, members, diameter, score) = match result {
             Ok(team) => {
                 let diameter = team.diameter(comp);
+                let score = objective.team_score(comp, &team);
                 let members: Vec<usize> = team.members().iter().map(|m| m.index()).collect();
-                (AnswerStatus::Ok, members, diameter)
+                (AnswerStatus::Ok, members, diameter, score)
             }
-            Err(e) => (AnswerStatus::from_error(&e), Vec::new(), None),
+            Err(e) => (AnswerStatus::from_error(&e), Vec::new(), None, None),
         };
         // Phase split: `build_wait` is the fetch slice (matrix build/wait,
         // or one-time row-store creation) plus time blocked on *other*
@@ -371,13 +381,15 @@ impl Engine {
             id: query.id,
             status,
             kind: query.kind,
-            algorithm: query.solver.label(),
+            algorithm: query.solver.label().to_string(),
             cardinality: members.len(),
             members,
             diameter,
             micros,
             build_micros,
             cache_hit,
+            objective: query.objective.as_ref().map(|o| o.label().to_string()),
+            score,
         };
         self.metrics.record_query(
             answer.status == AnswerStatus::Ok,
@@ -388,6 +400,7 @@ impl Engine {
         self.telemetry.record_query(telemetry::QuerySample {
             kind: query.kind,
             algorithm: answer.algorithm.clone(),
+            objective: objective.label(),
             total_micros: micros,
             build_wait_micros,
             row_compute_micros,

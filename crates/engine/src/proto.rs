@@ -1164,6 +1164,7 @@ mod tests {
         telemetry.record_query(crate::telemetry::QuerySample {
             kind: CompatibilityKind::Spa,
             algorithm: "LCMD".to_string(),
+            objective: "min_team",
             total_micros: 250,
             build_wait_micros: 40,
             row_compute_micros: 10,

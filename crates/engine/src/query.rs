@@ -11,6 +11,11 @@
 //! * `algorithm` (optional, default `"LCMD"`) — greedy policy label, or
 //!   `"EXHAUSTIVE"` for the exact solver.
 //! * `id` (optional) — opaque correlation id echoed in the answer.
+//! * `objective` (optional) — team objective: the label `"min_team"`,
+//!   `"synergy"` or `"constrained"`, or an object such as
+//!   `{"kind": "constrained", "include": [3, 9], "max_size": 4,
+//!   "max_distance": 3}`. Absent means the default min-diameter objective
+//!   and leaves the answer byte-identical to the pre-objective protocol.
 //! * `max_seeds`, `skill_degree_cap`, `random_seed` (optional) — greedy
 //!   tuning overrides.
 //!
@@ -21,7 +26,7 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use tfsn_core::compat::CompatibilityKind;
 use tfsn_core::team::greedy::GreedyConfig;
 use tfsn_core::team::policies::TeamAlgorithm;
-use tfsn_core::team::Solver;
+use tfsn_core::team::{Objective, Solver};
 
 /// One team-formation query against a deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +39,10 @@ pub struct TeamQuery {
     pub kind: CompatibilityKind,
     /// How to solve the query.
     pub solver: Solver,
+    /// Team objective (`None` = the default min-diameter objective; the
+    /// wire format then stays byte-identical to the pre-objective
+    /// protocol).
+    pub objective: Option<Objective>,
 }
 
 impl TeamQuery {
@@ -44,6 +53,7 @@ impl TeamQuery {
             task: task.into_iter().collect(),
             kind: CompatibilityKind::Spa,
             solver: Solver::default_greedy(),
+            objective: None,
         }
     }
 
@@ -63,6 +73,118 @@ impl TeamQuery {
     pub fn with_solver(mut self, solver: Solver) -> Self {
         self.solver = solver;
         self
+    }
+
+    /// Sets the team objective.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = Some(objective);
+        self
+    }
+}
+
+/// Serializes an [`Objective`] to its wire form: a bare label for the
+/// parameterless objectives, an object (`kind` + constraint fields, `None`s
+/// omitted) for the constrained one.
+pub(crate) fn objective_to_value(objective: &Objective) -> Value {
+    match objective {
+        Objective::MinTeam | Objective::Synergy => Value::Str(objective.label().to_string()),
+        Objective::Constrained {
+            include,
+            max_size,
+            max_distance,
+        } => {
+            let mut m: Vec<(String, Value)> =
+                vec![("kind".to_string(), Value::Str("constrained".to_string()))];
+            if !include.is_empty() {
+                m.push(("include".to_string(), include.to_value()));
+            }
+            if let Some(k) = max_size {
+                m.push(("max_size".to_string(), Value::UInt(*k as u64)));
+            }
+            if let Some(d) = max_distance {
+                m.push(("max_distance".to_string(), Value::UInt(u64::from(*d))));
+            }
+            Value::Map(m)
+        }
+    }
+}
+
+/// Parses the wire form of an [`Objective`]: a string label
+/// (`"min_team"`, `"synergy"`, `"constrained"`) or an object carrying a
+/// `kind` label plus the constrained objective's `include` / `max_size` /
+/// `max_distance` fields. Unknown specs are echoed back in the error so the
+/// protocol layer can surface them in a typed `bad_request`.
+pub(crate) fn objective_from_value(v: &Value) -> Result<Objective, SerdeError> {
+    let parse_label = |label: &str| match label.to_ascii_lowercase().as_str() {
+        "min_team" => Some(Objective::MinTeam),
+        "synergy" => Some(Objective::Synergy),
+        "constrained" => Some(Objective::Constrained {
+            include: Vec::new(),
+            max_size: None,
+            max_distance: None,
+        }),
+        _ => None,
+    };
+    match v {
+        Value::Str(label) => parse_label(label).ok_or_else(|| {
+            SerdeError::custom(format!(
+                "unknown objective `{label}` (expected min_team, synergy, or constrained)"
+            ))
+        }),
+        Value::Map(map) => {
+            let field = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let kind_label = field("kind").and_then(Value::as_str).ok_or_else(|| {
+                SerdeError::custom(
+                    "objective object must carry a string `kind` \
+                         (min_team, synergy, or constrained)",
+                )
+            })?;
+            let base = parse_label(kind_label).ok_or_else(|| {
+                SerdeError::custom(format!(
+                    "unknown objective kind `{kind_label}` (expected min_team, synergy, or constrained)"
+                ))
+            })?;
+            let Objective::Constrained { .. } = base else {
+                // The parameterless objectives accept (and ignore) no
+                // constraint fields; reject them loudly rather than letting
+                // a misplaced `max_size` silently do nothing.
+                for (k, _) in map {
+                    if k != "kind" {
+                        return Err(SerdeError::custom(format!(
+                            "objective `{kind_label}` accepts no field `{k}` \
+                             (constraints belong to the constrained objective)"
+                        )));
+                    }
+                }
+                return Ok(base);
+            };
+            let include = match field("include") {
+                Some(Value::Null) | None => Vec::new(),
+                Some(v) => Vec::<usize>::from_value(v)
+                    .map_err(|e| SerdeError::custom(format!("objective field `include`: {e}")))?,
+            };
+            let max_size =
+                match field("max_size") {
+                    Some(Value::Null) | None => None,
+                    Some(v) => Some(usize::from_value(v).map_err(|e| {
+                        SerdeError::custom(format!("objective field `max_size`: {e}"))
+                    })?),
+                };
+            let max_distance = match field("max_distance") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(u32::from_value(v).map_err(|e| {
+                    SerdeError::custom(format!("objective field `max_distance`: {e}"))
+                })?),
+            };
+            Ok(Objective::Constrained {
+                include,
+                max_size,
+                max_distance,
+            })
+        }
+        _ => Err(SerdeError::custom(
+            "field `objective` must be a string label or an object",
+        )),
     }
 }
 
@@ -102,6 +224,9 @@ impl Serialize for TeamQuery {
                     Value::Str("EXHAUSTIVE".to_string()),
                 ));
             }
+        }
+        if let Some(objective) = &self.objective {
+            m.push(("objective".to_string(), objective_to_value(objective)));
         }
         m.push(("task".to_string(), self.task.to_value()));
         Value::Map(m)
@@ -174,11 +299,20 @@ impl Deserialize for TeamQuery {
             Solver::Greedy { algorithm, config }
         };
 
+        let objective = match field("objective") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(
+                objective_from_value(v)
+                    .map_err(|e| SerdeError::custom(format!("field `objective`: {e}")))?,
+            ),
+        };
+
         Ok(TeamQuery {
             id,
             task,
             kind,
             solver,
+            objective,
         })
     }
 }
@@ -301,6 +435,68 @@ mod tests {
         assert_eq!(q.kind, CompatibilityKind::Nne);
         let back: TeamQuery = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
         assert_eq!(back, q);
+    }
+
+    #[test]
+    fn objective_specs_round_trip() {
+        // Absent objective parses to None and stays absent on the wire.
+        let q: TeamQuery = serde_json::from_str(r#"{"task": [1]}"#).unwrap();
+        assert_eq!(q.objective, None);
+        assert!(!serde_json::to_string(&q).unwrap().contains("objective"));
+        // Every variant round-trips through its wire form.
+        for objective in [
+            Objective::MinTeam,
+            Objective::Synergy,
+            Objective::Constrained {
+                include: vec![],
+                max_size: None,
+                max_distance: None,
+            },
+            Objective::Constrained {
+                include: vec![3, 9],
+                max_size: Some(4),
+                max_distance: Some(3),
+            },
+        ] {
+            let q = TeamQuery::new([1, 2]).with_objective(objective.clone());
+            let json = serde_json::to_string(&q).unwrap();
+            let back: TeamQuery = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.objective, Some(objective), "wire: {json}");
+            assert_eq!(back, q);
+        }
+        // The string and object spellings parse identically.
+        let s: TeamQuery =
+            serde_json::from_str(r#"{"task": [1], "objective": "synergy"}"#).unwrap();
+        let o: TeamQuery =
+            serde_json::from_str(r#"{"task": [1], "objective": {"kind": "SYNERGY"}}"#).unwrap();
+        assert_eq!(s.objective, Some(Objective::Synergy));
+        assert_eq!(s.objective, o.objective);
+    }
+
+    #[test]
+    fn objective_errors_echo_the_offending_spec() {
+        let err =
+            serde_json::from_str::<TeamQuery>(r#"{"task": [1], "objective": "densest_subgraph"}"#)
+                .unwrap_err()
+                .to_string();
+        assert!(err.contains("densest_subgraph"), "got: {err}");
+        assert!(err.contains("objective"), "got: {err}");
+        let err = serde_json::from_str::<TeamQuery>(
+            r#"{"task": [1], "objective": {"kind": "nope", "max_size": 3}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("nope"), "got: {err}");
+        // Constraint fields on a parameterless objective are rejected, not
+        // silently ignored.
+        let err = serde_json::from_str::<TeamQuery>(
+            r#"{"task": [1], "objective": {"kind": "synergy", "max_size": 3}}"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("max_size"), "got: {err}");
+        // Non-string, non-object specs are rejected.
+        assert!(serde_json::from_str::<TeamQuery>(r#"{"task": [1], "objective": 7}"#).is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::query::QueryReader;
 use crate::registry::DeploymentRegistry;
 use crate::telemetry::prometheus::{self, DeploymentScrape};
 use crate::telemetry::{HistogramSnapshot, Op, Phase};
-use crate::{BatchOptions, Engine, MetricsSnapshot, TeamQuery};
+use crate::{BatchOptions, Engine, MetricsSnapshot, Objective, TeamQuery};
 
 /// Tuning for a [`Service`].
 #[derive(Debug, Clone)]
@@ -40,6 +40,11 @@ pub struct ServiceOptions {
     /// Queries per chunk when streaming JSONL batches (bounds resident
     /// queries + answers; answers still come back in input order).
     pub chunk: usize,
+    /// Default [`Objective`] applied to queries that do not name one
+    /// (`--objective` on the serving subcommands). `None` keeps the
+    /// protocol default: absent means the paper's min-size objective and
+    /// byte-identical legacy answers.
+    pub objective: Option<Objective>,
 }
 
 impl Default for ServiceOptions {
@@ -47,6 +52,7 @@ impl Default for ServiceOptions {
         ServiceOptions {
             batch: BatchOptions::default(),
             chunk: 1024,
+            objective: None,
         }
     }
 }
@@ -167,12 +173,30 @@ impl Service {
         }
     }
 
+    /// Applies the service-wide default objective to a query that does not
+    /// name one. Returns `None` when the query can run as-is — either there
+    /// is no service default, or the query pins its own objective (which
+    /// always wins).
+    fn defaulted(&self, query: &TeamQuery) -> Option<TeamQuery> {
+        match (&self.options.objective, &query.objective) {
+            (Some(objective), None) => {
+                let mut query = query.clone();
+                query.objective = Some(objective.clone());
+                Some(query)
+            }
+            _ => None,
+        }
+    }
+
     fn dispatch(&self, request: &Request) -> Result<Response, ServiceError> {
         let deployment = request.deployment.as_deref();
         match &request.body {
             RequestBody::Query { query, timing } => {
                 let engine = self.registry.engine(deployment)?;
-                let mut answer = engine.query(query);
+                let mut answer = match self.defaulted(query) {
+                    Some(query) => engine.query(&query),
+                    None => engine.query(query),
+                };
                 if !timing {
                     answer.strip_timing();
                 }
@@ -180,7 +204,15 @@ impl Service {
             }
             RequestBody::Batch { queries, timing } => {
                 let engine = self.registry.engine(deployment)?;
-                let mut answers = engine.batch(queries, &self.options.batch);
+                let mut answers = if self.options.objective.is_some() {
+                    let queries: Vec<TeamQuery> = queries
+                        .iter()
+                        .map(|q| self.defaulted(q).unwrap_or_else(|| q.clone()))
+                        .collect();
+                    engine.batch(&queries, &self.options.batch)
+                } else {
+                    engine.batch(queries, &self.options.batch)
+                };
                 if !timing {
                     answers.iter_mut().for_each(|a| a.strip_timing());
                 }
@@ -332,7 +364,12 @@ impl Service {
             chunk.clear();
             while chunk.len() < self.options.chunk.max(1) {
                 match reader.next() {
-                    Some(Ok(query)) => chunk.push(query),
+                    Some(Ok(mut query)) => {
+                        if query.objective.is_none() {
+                            query.objective = self.options.objective.clone();
+                        }
+                        chunk.push(query);
+                    }
                     Some(Err(detail)) => {
                         return Err(ServiceError::BadRequest { detail }.into());
                     }
@@ -411,6 +448,7 @@ mod tests {
             ServiceOptions {
                 batch: BatchOptions::with_threads(2),
                 chunk,
+                objective: None,
             },
         )
     }
@@ -509,6 +547,51 @@ mod tests {
         }
         // The first full chunk was already streamed out before the error.
         assert_eq!(String::from_utf8(sink).unwrap().lines().count(), 2);
+    }
+
+    #[test]
+    fn service_default_objective_applies_only_to_unpinned_queries() {
+        let registry = DeploymentRegistry::single(DeploymentConfig::new(
+            "tiny",
+            DeploymentSource::parse("synthetic:nodes=80,edges=240,skills=12,seed=5").unwrap(),
+        ));
+        let service = Service::with_options(
+            registry,
+            ServiceOptions {
+                batch: BatchOptions::with_threads(2),
+                chunk: 64,
+                objective: Some(Objective::Synergy),
+            },
+        );
+        // An objective-less query picks up the service default.
+        let response = service.handle(&Request::new(RequestBody::Query {
+            query: TeamQuery::new([0, 1]),
+            timing: false,
+        }));
+        let Response::Answer(answer) = response else {
+            panic!("unexpected {response:?}");
+        };
+        assert_eq!(answer.objective.as_deref(), Some("synergy"));
+        // A query that pins its own objective wins over the default.
+        let response = service.handle(&Request::new(RequestBody::Query {
+            query: TeamQuery::new([0, 1]).with_objective(Objective::MinTeam),
+            timing: false,
+        }));
+        let Response::Answer(answer) = response else {
+            panic!("unexpected {response:?}");
+        };
+        assert_eq!(answer.objective.as_deref(), Some("min_team"));
+        // The streaming path stamps the default on every parsed line.
+        let mut sink = Vec::new();
+        service
+            .stream_batch(None, std::io::Cursor::new(jsonl(4)), &mut sink, false)
+            .unwrap();
+        let out = String::from_utf8(sink).unwrap();
+        assert_eq!(out.lines().count(), 4);
+        assert!(
+            out.lines().all(|l| l.contains("\"objective\":\"synergy\"")),
+            "streamed answers must carry the default objective: {out}"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use tfsn_core::compat::CompatibilityKind;
+use tfsn_core::team::Objective;
 
 /// Operations with their own latency histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +115,9 @@ pub struct QuerySample {
     pub kind: CompatibilityKind,
     /// Solver label (`"LCMD"`, `"EXHAUSTIVE"`, …).
     pub algorithm: String,
+    /// Effective objective label (one of [`Objective::ALL_LABELS`];
+    /// objective-less queries record under the default `"min_team"`).
+    pub objective: &'static str,
     /// Total in-engine time, microseconds.
     pub total_micros: u64,
     /// [`Phase::BuildWait`] slice of the total.
@@ -142,6 +146,7 @@ pub struct EngineTelemetry {
     ops: [LatencyHistogram; Op::ALL.len()],
     phases: [LatencyHistogram; Phase::ALL.len()],
     kinds: [LatencyHistogram; CompatibilityKind::ALL.len()],
+    objectives: [LatencyHistogram; Objective::ALL_LABELS.len()],
     slow: SlowQueryLog,
 }
 
@@ -159,18 +164,26 @@ impl EngineTelemetry {
             ops: std::array::from_fn(|_| LatencyHistogram::default()),
             phases: std::array::from_fn(|_| LatencyHistogram::default()),
             kinds: std::array::from_fn(|_| LatencyHistogram::default()),
+            objectives: std::array::from_fn(|_| LatencyHistogram::default()),
             slow: SlowQueryLog::new(slow_log),
         }
     }
 
-    /// Records one served query into the query-op, per-phase, and per-kind
-    /// histograms, and offers it to the slow-query log.
+    /// Records one served query into the query-op, per-phase, per-kind, and
+    /// per-objective histograms, and offers it to the slow-query log.
     pub fn record_query(&self, sample: QuerySample) {
         self.record_op(Op::Query, sample.total_micros);
         self.record_phase(Phase::BuildWait, sample.build_wait_micros);
         self.record_phase(Phase::RowCompute, sample.row_compute_micros);
         self.record_phase(Phase::Solve, sample.solve_micros());
         self.kinds[sample.kind as usize].record(sample.total_micros);
+        // Unknown labels cannot arrive from the engine (the sample carries a
+        // label from the closed set), but index defensively anyway.
+        let idx = Objective::ALL_LABELS
+            .iter()
+            .position(|&l| l == sample.objective)
+            .unwrap_or(0);
+        self.objectives[idx].record(sample.total_micros);
         self.slow.offer(sample);
     }
 
@@ -199,6 +212,12 @@ impl EngineTelemetry {
     /// A point-in-time copy of one kind's query-latency histogram.
     pub fn kind_snapshot(&self, kind: CompatibilityKind) -> HistogramSnapshot {
         self.kinds[kind as usize].snapshot()
+    }
+
+    /// A point-in-time copy of one objective's query-latency histogram
+    /// (`index` into [`Objective::ALL_LABELS`]).
+    pub fn objective_snapshot(&self, index: usize) -> HistogramSnapshot {
+        self.objectives[index].snapshot()
     }
 
     /// The slow-query log.
@@ -230,6 +249,14 @@ impl EngineTelemetry {
                 .map(|&kind| AxisStats {
                     label: kind.label().to_string(),
                     stats: HistogramStats::of(&self.kind_snapshot(kind)),
+                })
+                .collect(),
+            objectives: Objective::ALL_LABELS
+                .iter()
+                .enumerate()
+                .map(|(i, &label)| AxisStats {
+                    label: label.to_string(),
+                    stats: HistogramStats::of(&self.objective_snapshot(i)),
                 })
                 .collect(),
             slow_queries: self.slow.entries(),
@@ -299,6 +326,7 @@ impl SlowQueryLog {
             seq,
             kind: sample.kind.label().to_string(),
             algorithm: sample.algorithm,
+            objective: sample.objective.to_string(),
             total_micros: sample.total_micros,
             build_wait_micros: sample.build_wait_micros,
             row_compute_micros: sample.row_compute_micros,
@@ -382,6 +410,8 @@ pub struct SlowQuery {
     pub kind: String,
     /// Solver label.
     pub algorithm: String,
+    /// Objective label (one of [`Objective::ALL_LABELS`]).
+    pub objective: String,
     /// Total in-engine time, microseconds.
     pub total_micros: u64,
     /// Build-wait phase slice, microseconds.
@@ -405,6 +435,9 @@ pub struct TelemetryReport {
     pub phases: Vec<AxisStats>,
     /// Per-kind query-latency summaries, [`CompatibilityKind::ALL`] order.
     pub kinds: Vec<AxisStats>,
+    /// Per-objective query-latency summaries, [`Objective::ALL_LABELS`]
+    /// order.
+    pub objectives: Vec<AxisStats>,
     /// Slowest retained queries, slowest first.
     pub slow_queries: Vec<SlowQuery>,
 }
@@ -417,6 +450,7 @@ mod tests {
         QuerySample {
             kind,
             algorithm: "LCMD".to_string(),
+            objective: "min_team",
             total_micros: total,
             build_wait_micros: wait,
             row_compute_micros: compute,
@@ -442,9 +476,32 @@ mod tests {
         assert_eq!(report.ops.len(), Op::ALL.len());
         assert_eq!(report.phases.len(), Phase::ALL.len());
         assert_eq!(report.kinds.len(), CompatibilityKind::ALL.len());
+        assert_eq!(report.objectives.len(), Objective::ALL_LABELS.len());
         assert_eq!(report.slow_queries.len(), 2);
         assert_eq!(report.slow_queries[0].total_micros, 100);
         assert_eq!(report.slow_queries[0].solve_micros, 50);
+        assert_eq!(report.slow_queries[0].objective, "min_team");
+    }
+
+    #[test]
+    fn objective_axis_records_per_label() {
+        let t = EngineTelemetry::new(4);
+        t.record_query(sample(CompatibilityKind::Spa, 100, 0, 0));
+        t.record_query(QuerySample {
+            objective: "synergy",
+            ..sample(CompatibilityKind::Spa, 40, 0, 0)
+        });
+        t.record_query(QuerySample {
+            objective: "constrained",
+            ..sample(CompatibilityKind::Nne, 70, 0, 0)
+        });
+        assert_eq!(t.objective_snapshot(0).count(), 1);
+        assert_eq!(t.objective_snapshot(1).count(), 1);
+        assert_eq!(t.objective_snapshot(2).count(), 1);
+        assert_eq!(t.objective_snapshot(1).sum, 40);
+        let report = t.report();
+        let labels: Vec<&str> = report.objectives.iter().map(|a| a.label.as_str()).collect();
+        assert_eq!(labels, Objective::ALL_LABELS.to_vec());
     }
 
     #[test]

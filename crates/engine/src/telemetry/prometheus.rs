@@ -19,6 +19,7 @@
 use std::fmt::Write as _;
 
 use tfsn_core::compat::CompatibilityKind;
+use tfsn_core::team::Objective;
 
 use crate::metrics::MetricsSnapshot;
 
@@ -42,6 +43,8 @@ pub struct DeploymentScrape {
     pub phases: Vec<HistogramSnapshot>,
     /// Per-kind query counts, indexed like [`CompatibilityKind::ALL`].
     pub kind_queries: Vec<u64>,
+    /// Per-objective query counts, indexed like [`Objective::ALL_LABELS`].
+    pub objective_queries: Vec<u64>,
 }
 
 impl DeploymentScrape {
@@ -65,6 +68,9 @@ impl DeploymentScrape {
             kind_queries: CompatibilityKind::ALL
                 .iter()
                 .map(|&kind| telemetry.kind_snapshot(kind).count())
+                .collect(),
+            objective_queries: (0..Objective::ALL_LABELS.len())
+                .map(|i| telemetry.objective_snapshot(i).count())
                 .collect(),
         }
     }
@@ -280,6 +286,23 @@ pub fn render(scrapes: &[DeploymentScrape]) -> String {
             );
         }
     }
+
+    family(
+        &mut out,
+        "tfsn_objective_queries_total",
+        "counter",
+        "Queries served by team objective.",
+    );
+    for scrape in scrapes {
+        let deployment = escape_label(&scrape.deployment);
+        for (i, label) in Objective::ALL_LABELS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "tfsn_objective_queries_total{{deployment=\"{deployment}\",objective=\"{label}\"}} {}",
+                scrape.objective_queries[i]
+            );
+        }
+    }
     out
 }
 
@@ -293,6 +316,7 @@ mod tests {
         telemetry.record_query(QuerySample {
             kind: CompatibilityKind::Spa,
             algorithm: "greedy".to_string(),
+            objective: "synergy",
             total_micros: 1500,
             build_wait_micros: 300,
             row_compute_micros: 200,
@@ -325,6 +349,12 @@ mod tests {
         for kind in CompatibilityKind::ALL {
             assert!(text.contains(&format!("kind=\"{}\"", kind.label())));
         }
+        for label in Objective::ALL_LABELS {
+            assert!(
+                text.contains(&format!("objective=\"{label}\"")),
+                "missing objective {label} in:\n{text}"
+            );
+        }
         // The query histogram is cumulative and closed by +Inf.
         let mut last = 0u64;
         let mut inf_seen = false;
@@ -348,6 +378,10 @@ mod tests {
         assert!(text.contains("tfsn_op_latency_seconds_sum{deployment=\"sd\",op=\"query\"} 0.0015"));
         assert!(text.contains("tfsn_kind_queries_total{deployment=\"sd\",kind=\"SPA\"} 1"));
         assert!(text.contains("tfsn_kind_queries_total{deployment=\"sd\",kind=\"DPE\"} 0"));
+        assert!(text
+            .contains("tfsn_objective_queries_total{deployment=\"sd\",objective=\"synergy\"} 1"));
+        assert!(text
+            .contains("tfsn_objective_queries_total{deployment=\"sd\",objective=\"min_team\"} 0"));
         assert!(text.contains("tfsn_queries_served_total{deployment=\"sd\"} 1"));
     }
 

@@ -11,7 +11,7 @@
 use std::path::{Path, PathBuf};
 
 use tfsn_core::compat::CompatibilityKind;
-use tfsn_engine::{AnswerStatus, RequestBody, ServiceError};
+use tfsn_engine::{AnswerStatus, Objective, RequestBody, ServiceError};
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -54,6 +54,13 @@ fn protocol_doc_covers_every_op_error_status_and_kind() {
             kind.label()
         );
     }
+    for objective in Objective::ALL_LABELS {
+        assert!(
+            doc.contains(&format!("`{objective}`")),
+            "docs/PROTOCOL.md is missing team objective `{objective}` — \
+             document it (every label in Objective::ALL_LABELS must appear)"
+        );
+    }
 }
 
 #[test]
@@ -67,6 +74,13 @@ fn architecture_doc_keeps_its_anchors() {
             kind.label()
         );
     }
+    for objective in Objective::ALL_LABELS {
+        assert!(
+            doc.contains(&format!("`{objective}`")),
+            "docs/ARCHITECTURE.md is missing team objective `{objective}` — \
+             the objective layer section must name every label"
+        );
+    }
     for anchor in [
         "row_affected_by_edge",
         "ShutdownHandle",
@@ -75,6 +89,7 @@ fn architecture_doc_keeps_its_anchors() {
         "rows_invalidated",
         "LazyCompatibility",
         "RelationStore",
+        "Objective",
     ] {
         assert!(
             doc.contains(anchor),
@@ -107,10 +122,17 @@ fn observability_doc_covers_every_axis_label() {
             kind.label()
         );
     }
+    for objective in Objective::ALL_LABELS {
+        assert!(
+            doc.contains(&format!("`{objective}`")),
+            "docs/OBSERVABILITY.md is missing objective label `{objective}`"
+        );
+    }
     for anchor in [
         "tfsn_op_latency_seconds",
         "tfsn_phase_latency_seconds",
         "tfsn_kind_queries_total",
+        "tfsn_objective_queries_total",
         "slow-query log",
         "query_p50_micros",
         "+Inf",

@@ -43,6 +43,7 @@ fn two_deployment_service() -> Arc<Service> {
         ServiceOptions {
             batch: BatchOptions::with_threads(2),
             chunk: 8, // force multi-chunk streaming on the 24-query batches
+            objective: None,
         },
     ))
 }

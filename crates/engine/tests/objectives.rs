@@ -1,0 +1,314 @@
+//! End-to-end tests for the objective-pluggable solver layer behind the
+//! `version: 1` protocol.
+//!
+//! Asserted here:
+//! * every objective variant is servable over HTTP: the answer echoes the
+//!   objective label and (for scoring objectives) carries a score;
+//! * an absent `objective` field stays **byte-identical** to the
+//!   pre-objective protocol, across the HTTP and CLI transports and
+//!   across live graph mutations;
+//! * a malformed or unknown objective spec is a typed `bad_request`
+//!   envelope echoing the offending spec, on the single-query, batch and
+//!   envelope paths alike;
+//! * the Prometheus scrape exposes the label-closed per-objective counter
+//!   family.
+
+use std::sync::Arc;
+
+use tfsn_core::compat::CompatibilityKind;
+use tfsn_engine::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+use tfsn_engine::server::{HttpServer, ServerOptions};
+use tfsn_engine::service::{Service, ServiceOptions};
+use tfsn_engine::{AnswerStatus, BatchOptions, HttpClient, Objective, TeamAnswer, TeamQuery};
+
+fn service() -> Arc<Service> {
+    let registry = DeploymentRegistry::new(vec![
+        DeploymentConfig::new("sd", DeploymentSource::Slashdot),
+        DeploymentConfig::new(
+            "tiny",
+            DeploymentSource::parse("synthetic:nodes=100,edges=360,skills=14,seed=9").unwrap(),
+        ),
+    ])
+    .unwrap();
+    Arc::new(Service::with_options(
+        registry,
+        ServiceOptions {
+            batch: BatchOptions::with_threads(2),
+            chunk: 8,
+            objective: None,
+        },
+    ))
+}
+
+fn bind(service: Arc<Service>) -> HttpServer {
+    HttpServer::bind(
+        service,
+        "127.0.0.1:0",
+        ServerOptions {
+            keep_alive: std::time::Duration::from_secs(5),
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn post(client: &mut HttpClient, target: &str, body: &str) -> (u16, String) {
+    let reply = client.post(target, body).expect("request on test socket");
+    (reply.status, reply.body)
+}
+
+#[test]
+fn every_objective_serves_end_to_end_over_http() {
+    let server = bind(service());
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    // String-label form: synergy. The answer must echo the objective and
+    // carry a score (total pairwise synergy, scaled).
+    let (status, body) = post(
+        &mut client,
+        "/v1/query?deployment=tiny&timing=0",
+        r#"{"id": 1, "task": [0, 1], "objective": "synergy"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let answer: TeamAnswer = serde_json::from_str(body.trim()).unwrap();
+    assert_eq!(answer.objective.as_deref(), Some("synergy"));
+    if answer.status == AnswerStatus::Ok {
+        assert!(
+            answer.score.is_some(),
+            "scoring objective must score: {body}"
+        );
+    }
+
+    // Object form: constrained with designated member + size budget. The
+    // solved team must contain the designated node and respect the budget.
+    let (status, body) = post(
+        &mut client,
+        "/v1/query?deployment=tiny&timing=0",
+        r#"{"id": 2, "task": [0, 1], "objective": {"kind": "constrained", "include": [0], "max_size": 5}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let answer: TeamAnswer = serde_json::from_str(body.trim()).unwrap();
+    assert_eq!(answer.objective.as_deref(), Some("constrained"));
+    if answer.status == AnswerStatus::Ok {
+        assert!(
+            answer.members.contains(&0),
+            "include must be honoured: {body}"
+        );
+        assert!(
+            answer.members.len() <= 5,
+            "max_size must be honoured: {body}"
+        );
+    }
+
+    // Explicit min_team round-trips as the labelled default.
+    let (status, body) = post(
+        &mut client,
+        "/v1/query?deployment=tiny&timing=0",
+        r#"{"id": 3, "task": [0, 1], "objective": "min_team"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let answer: TeamAnswer = serde_json::from_str(body.trim()).unwrap();
+    assert_eq!(answer.objective.as_deref(), Some("min_team"));
+
+    // A mixed batch over the streaming path: one answer per line, each
+    // echoing its own query's objective (or none).
+    let stream = "{\"id\": 0, \"task\": [0]}\n\
+                  {\"id\": 1, \"task\": [0], \"objective\": \"synergy\"}\n\
+                  {\"id\": 2, \"task\": [0], \"objective\": {\"kind\": \"constrained\", \"max_size\": 4}}\n";
+    let (status, body) = post(
+        &mut client,
+        "/v1/batch?deployment=tiny&timing=false",
+        stream,
+    );
+    assert_eq!(status, 200, "{body}");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 3, "{body}");
+    assert!(
+        !lines[0].contains("\"objective\""),
+        "objective-less answers stay on the legacy shape: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("\"objective\":\"synergy\""),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("\"objective\":\"constrained\""),
+        "{}",
+        lines[2]
+    );
+
+    // The scrape exposes the label-closed per-objective counter family.
+    let text = client.metrics_text().expect("GET /metrics");
+    for label in Objective::ALL_LABELS {
+        assert!(
+            text.contains(&format!(
+                "tfsn_objective_queries_total{{deployment=\"tiny\",objective=\"{label}\"}}"
+            )),
+            "missing objective {label} in scrape:\n{text}"
+        );
+    }
+    assert!(
+        text.contains("objective=\"synergy\"} 2"),
+        "two synergy queries were served:\n{text}"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn absent_objective_is_byte_identical_across_transports_and_mutations() {
+    let service = service();
+    let server = bind(service.clone());
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    let queries: Vec<TeamQuery> = (0..12)
+        .map(|i| {
+            TeamQuery::new([i % 5, (i * 3 + 1) % 5])
+                .with_id(i as u64)
+                .with_kind(if i % 2 == 0 {
+                    CompatibilityKind::Spa
+                } else {
+                    CompatibilityKind::Nne
+                })
+        })
+        .collect();
+    let stream: String = queries
+        .iter()
+        .map(|q| serde_json::to_string(q).unwrap() + "\n")
+        .collect();
+    assert!(
+        !stream.contains("objective"),
+        "objective-less queries serialize without the field: {stream}"
+    );
+
+    let serve = |client: &mut HttpClient| {
+        let (status, body) = post(client, "/v1/batch?deployment=tiny&timing=false", &stream);
+        assert_eq!(status, 200, "{body}");
+        body
+    };
+    // One warm-up pass so every later answer is a cache hit and the JSONL
+    // is byte-stable across transports.
+    serve(&mut client);
+    let http_before = serve(&mut client);
+    assert!(
+        !http_before.contains("\"objective\"") && !http_before.contains("\"score\""),
+        "legacy answers must not grow fields: {http_before}"
+    );
+
+    // The CLI transport (stream_batch is what `tfsn serve-batch` drives)
+    // must produce the same bytes.
+    let mut cli_bytes = Vec::new();
+    service
+        .stream_batch(
+            Some("tiny"),
+            std::io::Cursor::new(stream.as_bytes()),
+            &mut cli_bytes,
+            false,
+        )
+        .unwrap();
+    assert_eq!(
+        http_before,
+        String::from_utf8(cli_bytes).unwrap(),
+        "HTTP and CLI transports must emit identical JSONL"
+    );
+
+    // And the engine directly, with the default objective routed through
+    // the objective dispatch, agrees answer for answer.
+    let engine = service.engine(Some("tiny")).unwrap();
+    let mut direct = engine.batch(&queries, &BatchOptions::with_threads(2));
+    direct.iter_mut().for_each(|a| a.strip_timing());
+    let direct_body: String = direct
+        .iter()
+        .map(|a| serde_json::to_string(a).unwrap() + "\n")
+        .collect();
+    assert_eq!(http_before, direct_body);
+
+    // Interleave a live mutation, then re-serve: both transports still
+    // agree byte for byte on the mutated graph.
+    let (status, body) = post(
+        &mut client,
+        "/v1/mutate?deployment=tiny",
+        r#"{"op": "edge_remove", "u": 0, "v": 1}"#,
+    );
+    // The seeded graph may not have edge (0, 1); insert instead then.
+    if status != 200 {
+        assert!(body.contains("no edge"), "{body}");
+        let (status, body) = post(
+            &mut client,
+            "/v1/mutate?deployment=tiny",
+            r#"{"op": "edge_insert", "u": 0, "v": 1, "sign": "-"}"#,
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+    serve(&mut client); // re-warm the rows the mutation invalidated
+    let http_after = serve(&mut client);
+    let mut cli_after = Vec::new();
+    service
+        .stream_batch(
+            Some("tiny"),
+            std::io::Cursor::new(stream.as_bytes()),
+            &mut cli_after,
+            false,
+        )
+        .unwrap();
+    assert_eq!(
+        http_after,
+        String::from_utf8(cli_after).unwrap(),
+        "transports must stay identical across mutations"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_objectives_are_typed_bad_requests_echoing_the_spec() {
+    let server = bind(service());
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+
+    // Unknown label on the single-query path.
+    let (status, body) = post(
+        &mut client,
+        "/v1/query?deployment=tiny",
+        r#"{"task": [0], "objective": "turbo"}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"bad_request\""), "{body}");
+    assert!(body.contains("unknown objective `turbo`"), "{body}");
+
+    // Constraint fields on a parameterless objective are rejected loudly,
+    // not silently ignored.
+    let (status, body) = post(
+        &mut client,
+        "/v1/query?deployment=tiny",
+        r#"{"task": [0], "objective": {"kind": "synergy", "max_size": 3}}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("accepts no field `max_size`"), "{body}");
+
+    // On the batch path the error carries the offending line number.
+    let (status, body) = post(
+        &mut client,
+        "/v1/batch?deployment=tiny",
+        "{\"task\": [0]}\n{\"task\": [0], \"objective\": \"speed\"}\n",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("line 2:"), "{body}");
+    assert!(body.contains("unknown objective `speed`"), "{body}");
+
+    // And the envelope transport maps it to the same typed error.
+    let (status, body) = post(
+        &mut client,
+        "/v1/rpc",
+        r#"{"version": 1, "op": "query", "deployment": "tiny", "query": {"task": [0], "objective": 7}}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\":\"bad_request\""), "{body}");
+    assert!(body.contains("objective"), "{body}");
+
+    drop(client);
+    server.shutdown();
+}

@@ -47,6 +47,7 @@ fn query((task, k, s, id): (Vec<usize>, usize, (usize, usize), usize)) -> TeamQu
         task,
         kind: kind(k),
         solver: solver(s.0 % 6, s.1),
+        objective: None,
     }
 }
 
@@ -81,6 +82,8 @@ fn answer(
         micros,
         build_micros: build.min(micros),
         cache_hit: hit,
+        objective: None,
+        score: None,
     }
 }
 

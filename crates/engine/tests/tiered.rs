@@ -183,6 +183,7 @@ fn serves_50k_nodes_under_memory_budget_with_evictions() {
             task: skills.to_vec(),
             kind: CompatibilityKind::Spo,
             solver: solver.clone(),
+            objective: None,
         })
         .collect();
 

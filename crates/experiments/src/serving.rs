@@ -104,6 +104,7 @@ pub fn workload(dataset: &Dataset, config: &ExperimentConfig) -> Vec<TeamQuery> 
                         algorithm: alg,
                         config: config.greedy(),
                     },
+                    objective: None,
                 });
                 id += 1;
             }
@@ -282,6 +283,7 @@ pub fn run_budgeted(config: &ExperimentConfig) -> BudgetedServingReport {
                 algorithm: TeamAlgorithm::LCMD,
                 config: config.greedy(),
             },
+            objective: None,
         });
     }
 
