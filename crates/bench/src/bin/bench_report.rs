@@ -39,6 +39,12 @@
 //!   `constrained`). Since schema v5 the report's `objectives` section
 //!   carries each objective's solved count and a sample score — the PR 7
 //!   end-to-end acceptance evidence.
+//! * `durability/<policy>` — the WAL cost: the slashdot mutation
+//!   interleave re-run with a write-ahead log attached under each fsync
+//!   policy (`off`, `batch`, `always`), against the same interleave with no
+//!   log. Since schema v6 the `durability` section carries per-policy wall
+//!   clocks and overhead ratios vs the no-WAL baseline — the PR 8 `batch ≤
+//!   1.15×` acceptance figure.
 //! * `telemetry_overhead` — the cost of one telemetry `record()` call
 //!   (three relaxed atomics), so the "histograms sit on the query hot path
 //!   without a measurable cost" claim in `docs/OBSERVABILITY.md` stays a
@@ -52,7 +58,7 @@
 //! the engines via the `telemetry` protocol operation.
 //!
 //! Usage: `bench-report [--quick] [--output PATH]` — the default output is
-//! `bench-report.local.json`; pass `--output BENCH_PR7.json` explicitly to
+//! `bench-report.local.json`; pass `--output BENCH_PR8.json` explicitly to
 //! refresh the committed cross-PR artifact.
 //!
 //! [`CandidateMask`]: tfsn_core::team::CandidateMask
@@ -256,6 +262,7 @@ struct Report {
     service: ServiceReport,
     mutation: MutationBenchReport,
     objectives: ObjectiveBenchReport,
+    durability: DurabilityBenchReport,
 }
 
 fn median(mut xs: Vec<u64>) -> u64 {
@@ -460,7 +467,7 @@ fn service_report(quick: bool, groups: &mut Vec<Group>) -> ServiceReport {
     use std::sync::Arc;
     use tfsn_engine::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
     use tfsn_engine::server::{HttpServer, ServerOptions};
-    use tfsn_engine::service::{Service, ServiceOptions};
+    use tfsn_engine::service::{Service, ServiceOptions, StreamOptions};
     use tfsn_engine::{HttpClient, Request, RequestBody, Response};
 
     let kinds = [
@@ -564,7 +571,7 @@ fn service_report(quick: bool, groups: &mut Vec<Group>) -> ServiceReport {
                             Some(deployment),
                             std::io::Cursor::new(body.as_bytes()),
                             &mut sink,
-                            false,
+                            StreamOptions::timing(false),
                         )
                         .expect("in-process stream");
                     std::hint::black_box(sink);
@@ -875,10 +882,7 @@ fn objectives_report(quick: bool, groups: &mut Vec<Group>) -> ObjectiveBenchRepo
     let measured = measure_interleaved(samples, ops, [&mut run0, &mut run1, &mut run2]);
 
     let mut results = Vec::new();
-    for ((label, _), (workload, m)) in variants
-        .iter()
-        .zip(workloads.iter().zip(measured))
-    {
+    for ((label, _), (workload, m)) in variants.iter().zip(workloads.iter().zip(measured)) {
         let answers = engine.batch(workload, &batch);
         let solved = answers
             .iter()
@@ -916,12 +920,154 @@ fn objectives_report(quick: bool, groups: &mut Vec<Group>) -> ObjectiveBenchRepo
     }
 }
 
+/// The WAL durability-overhead measurement: the slashdot mutation
+/// interleave re-run with a write-ahead log attached under each fsync
+/// policy, against the same interleave with no log at all.
+#[derive(Debug, Serialize)]
+struct DurabilityBenchReport {
+    deployment: String,
+    rounds: u64,
+    queries_per_round: u64,
+    /// Wall-clock of the no-WAL interleave (the baseline).
+    baseline_wall_seconds: f64,
+    policies: Vec<DurabilityPolicyResult>,
+}
+
+/// One fsync policy's cost over the interleave.
+#[derive(Debug, Serialize)]
+struct DurabilityPolicyResult {
+    fsync: String,
+    wall_seconds: f64,
+    /// `wall_seconds / baseline_wall_seconds` — the `batch ≤ 1.15`
+    /// acceptance figure.
+    overhead: f64,
+    /// Records appended (sanity: equals `rounds`).
+    wal_appends: u64,
+    /// Bytes the log grew to.
+    wal_bytes: u64,
+}
+
+fn durability_report(quick: bool, groups: &mut Vec<Group>) -> DurabilityBenchReport {
+    use signed_graph::EdgeMutation;
+    use tfsn_engine::{FsyncPolicy, Wal};
+
+    let kinds = CompatibilityKind::EVALUATED;
+    let rounds: usize = if quick { 4 } else { 12 };
+    let queries_per_round: usize = 8;
+    let bounded = Solver::Greedy {
+        algorithm: TeamAlgorithm::LCMD,
+        config: GreedyConfig {
+            max_seeds: Some(2),
+            skill_degree_cap: Some(8),
+            random_seed: 1,
+        },
+    };
+    let queries: Vec<TeamQuery> = (0..queries_per_round)
+        .map(|i| {
+            TeamQuery::new([i % 9, (i * 3 + 1) % 9])
+                .with_id(i as u64)
+                .with_kind(kinds[i % kinds.len()])
+                .with_solver(bounded.clone())
+        })
+        .collect();
+    let batch = BatchOptions::with_threads(4);
+    let dataset_deployment = || Deployment::from_dataset(tfsn_datasets::slashdot());
+    let base_edges: Vec<(NodeId, NodeId)> = {
+        let d = dataset_deployment();
+        d.graph().edges().iter().map(|e| (e.u, e.v)).collect()
+    };
+    let dir = std::env::temp_dir().join(format!("tfsn-bench-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create wal scratch dir");
+
+    // One interleave run: a fresh warm engine, `rounds` sign flips each
+    // followed by a query burst — identical work on every side; the log
+    // appends (and their fsyncs) are the only difference.
+    let run = |policy: Option<FsyncPolicy>| -> (f64, u64, u64) {
+        let engine = Engine::new(dataset_deployment());
+        engine.warm(&kinds);
+        let wal_path = policy.map(|p| dir.join(format!("slashdot-{}.wal", p.label())));
+        if let (Some(policy), Some(path)) = (policy, &wal_path) {
+            std::fs::remove_file(path).ok();
+            let (wal, _) = Wal::open(path, policy).expect("open bench wal");
+            engine
+                .attach_wal(wal)
+                .unwrap_or_else(|_| panic!("fresh engine has no wal"));
+        }
+        let start = Instant::now();
+        for round in 0..rounds {
+            let (u, v) = base_edges[round % base_edges.len()];
+            let sign = engine
+                .graph()
+                .sign(u, v)
+                .expect("flipped edges never leave the graph")
+                .flip();
+            engine
+                .mutate(&EdgeMutation::SetSign { u, v, sign })
+                .expect("edge exists");
+            std::hint::black_box(engine.batch(&queries, &batch));
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let appends = engine.wal().map(|w| w.appends()).unwrap_or(0);
+        let bytes = wal_path
+            .as_ref()
+            .and_then(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .unwrap_or(0);
+        (wall, appends, bytes)
+    };
+
+    let ops = (rounds * (queries_per_round + 1)) as u64;
+    let mut push_group = |label: &str, wall: f64| {
+        groups.push(Group {
+            name: format!("durability/slashdot/{label}"),
+            median_ns_per_op: (wall * 1e9) as u64 / ops.max(1),
+            p50_ns_per_op: None,
+            p95_ns_per_op: None,
+            p99_ns_per_op: None,
+            ops_per_iter: ops,
+            samples: 1,
+        });
+    };
+    let (baseline_wall, _, _) = run(None);
+    push_group("no-wal", baseline_wall);
+    let mut policies = Vec::new();
+    for policy in FsyncPolicy::ALL {
+        let (wall, wal_appends, wal_bytes) = run(Some(policy));
+        push_group(policy.label(), wall);
+        let overhead = wall / baseline_wall.max(1e-9);
+        eprintln!(
+            "durability/{}: {:.3}s vs {:.3}s no-wal -> {:.3}x ({} appends, {} bytes)",
+            policy.label(),
+            wall,
+            baseline_wall,
+            overhead,
+            wal_appends,
+            wal_bytes,
+        );
+        policies.push(DurabilityPolicyResult {
+            fsync: policy.label().to_string(),
+            wall_seconds: wall,
+            overhead,
+            wal_appends,
+            wal_bytes,
+        });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    DurabilityBenchReport {
+        deployment: "slashdot".to_string(),
+        rounds: rounds as u64,
+        queries_per_round: queries_per_round as u64,
+        baseline_wall_seconds: baseline_wall,
+        policies,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    // Deliberately NOT BENCH_PR7.json: the committed artifact holds the
+    // Deliberately NOT BENCH_PR8.json: the committed artifact holds the
     // full-run acceptance numbers, and a casual local/CI run must not
-    // silently clobber it. Pass `--output BENCH_PR7.json` to refresh it.
+    // silently clobber it. Pass `--output BENCH_PR8.json` to refresh it.
     let mut output = String::from("bench-report.local.json");
     let mut i = 0;
     while i < args.len() {
@@ -956,9 +1102,10 @@ fn main() {
     let service = service_report(quick, &mut groups);
     let mutation = mutation_report(quick, &mut groups);
     let objectives = objectives_report(quick, &mut groups);
+    let durability = durability_report(quick, &mut groups);
     telemetry_overhead_group(quick, &mut groups);
     let report = Report {
-        schema: "tfsn-bench-report/v5",
+        schema: "tfsn-bench-report/v6",
         quick,
         groups,
         speedups,
@@ -966,6 +1113,7 @@ fn main() {
         service,
         mutation,
         objectives,
+        durability,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     let mut file =

@@ -10,6 +10,7 @@
 //! tfsn stats       [deployment flags] [serving flags]
 //! tfsn gen         [dataset flags] [--queries N] [--task-size K]
 //!                  [--kinds CSV] [--algorithms CSV] [--output F] [--seed S]
+//! tfsn wal         inspect|truncate|export --file PATH [--output F]
 //! ```
 //!
 //! `serve-batch`, `serve-http`, `mutate` and `stats` are thin transports
@@ -36,12 +37,22 @@
 //! `--scale`, `--nodes`, …) register a single deployment under the
 //! dataset's name.
 //!
-//! Serving flags (`serve-batch`, `serve-http`, `stats`):
+//! Serving flags (`serve-batch`, `serve-http`, `mutate`, `stats`):
 //!
 //! ```text
 //! --serving-mode auto|matrix|rows   tier selection (default auto)
 //! --memory-budget BYTES[K|M|G]      resident-byte cap per relation kind
+//! --wal-dir DIR                     durable write-ahead mutation log per
+//!                                   deployment; replayed on load (crash
+//!                                   recovery — see docs/DURABILITY.md)
+//! --wal-fsync always|batch|off      WAL fsync policy (default batch)
 //! ```
+//!
+//! `wal` operates on one log file directly: `inspect` prints a JSON
+//! summary (record count, valid/torn bytes), `truncate` cuts a torn tail
+//! left by a crash mid-append, and `export` re-emits the log as the JSONL
+//! `tfsn mutate` reads — `tfsn wal export --file X.wal | tfsn mutate ...`
+//! replays a log against any deployment.
 //!
 //! `serve-batch` reads one [`crate::TeamQuery`] JSON object per input line
 //! and **streams** one [`crate::TeamAnswer`] JSON object per output line:
@@ -61,9 +72,10 @@ use tfsn_skills::taskgen::random_coverable_tasks;
 
 use crate::proto::{Request, RequestBody, Response};
 use crate::query::QueryReader;
-use crate::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+use crate::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource, WalConfig};
 use crate::server::{HttpServer, ServerOptions};
-use crate::service::{Service, ServiceOptions, StreamError};
+use crate::service::{Service, ServiceOptions, StreamError, StreamOptions};
+use crate::wal::{self, FsyncPolicy};
 use crate::{
     BatchOptions, Deployment, EngineOptions, Objective, ServingMode, StorePolicy, TeamQuery,
 };
@@ -96,6 +108,7 @@ subcommands:
   mutate        apply a JSONL stream of live edge mutations to a deployment
   stats         print deployment statistics as JSON
   gen           generate a JSONL query workload for the deployment
+  wal           inspect, repair, or export a write-ahead mutation log file
 
 deployment flags (serve-batch, serve-http, stats):
   --deployment NAME=SPEC   register a named deployment (repeatable); SPEC:
@@ -108,11 +121,16 @@ dataset flags (single-deployment fallback; also gen):
   --scale F           scale for epinions/wikipedia (default 0.05)
   --nodes N --edges M --skills K --neg-fraction F --seed S   (synthetic)
 
-serving flags (serve-batch, serve-http, stats):
+serving flags (serve-batch, serve-http, mutate, stats):
   --serving-mode M    auto|matrix|rows (default auto: materialise when the
                       full matrix fits the budget, row-mode otherwise)
   --memory-budget B   resident-byte cap per relation kind, e.g. 512M, 2G,
                       65536 (default: unbounded -> full matrices)
+  --wal-dir DIR       append each acknowledged mutation to DIR/<name>.wal
+                      before applying it, and replay the log when the
+                      deployment loads (crash recovery; docs/DURABILITY.md)
+  --wal-fsync P       WAL fsync policy: always | batch | off (default batch:
+                      one fsync per 32 records)
 
 serve-batch flags:
   --input FILE        JSONL queries (default: stdin)
@@ -142,6 +160,11 @@ serve-http flags:
                       disables the log)
   --objective SPEC    default team objective for queries that name none
                       (same SPEC forms as serve-batch)
+  --max-inflight N    data-plane requests solving at once; beyond it
+                      requests queue briefly, then shed with 503 +
+                      Retry-After (default 64)
+  --admission-queue N requests allowed to wait for a slot before the server
+                      sheds immediately (default 128)
 
 mutate flags:
   --input FILE        JSONL mutations (default stdin), one object per line:
@@ -155,7 +178,16 @@ gen flags:
   --kinds CSV         relations to round-robin (default SPA,SPM,SPO,SBPH,NNE)
   --algorithms CSV    algorithms to round-robin (default LCMD)
   --output FILE       destination (default: stdout)
-  --seed S            workload seed (default 7)";
+  --seed S            workload seed (default 7)
+
+wal actions (tfsn wal <action> --file PATH):
+  inspect             print a JSON summary: records, valid/file bytes, and
+                      the torn tail a crash mid-append left (if any)
+  truncate            cut the torn tail so the file ends on a record
+                      boundary (what loading with --wal-dir does implicitly)
+  export              re-emit the decodable records as tfsn-mutate JSONL
+                      (--output FILE, default stdout); a torn tail is
+                      skipped with a note on stderr";
 
 #[derive(Debug)]
 enum CliError {
@@ -254,6 +286,8 @@ const SERVING_FLAGS: &[&str] = &[
     "--memory-budget",
     "--deployment",
     "--select",
+    "--wal-dir",
+    "--wal-fsync",
 ];
 
 fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
@@ -285,6 +319,8 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
                 "--allow-shutdown",
                 "--slow-log",
                 "--objective",
+                "--max-inflight",
+                "--admission-queue",
             ];
             allowed.extend_from_slice(SERVING_FLAGS);
             let flags = Flags::parse(rest, &allowed)?;
@@ -313,6 +349,7 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
             )?;
             gen(&flags, out)
         }
+        "wal" => wal_cmd(rest, out, err),
         "--help" | "-h" | "help" => {
             writeln!(out, "{USAGE}").ok();
             Ok(())
@@ -386,7 +423,9 @@ fn open_output<'a>(
 /// line number. (The serving paths stream via [`QueryReader`] instead; this
 /// stays for tests and small workloads.)
 pub fn read_queries(reader: impl BufRead) -> Result<Vec<TeamQuery>, String> {
-    QueryReader::new(reader).collect()
+    QueryReader::new(reader)
+        .map(|r| r.map_err(|e| e.to_string()))
+        .collect()
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` suffix (binary units).
@@ -476,7 +515,28 @@ fn build_service(flags: &Flags<'_>) -> Result<(Service, Option<String>), CliErro
             })
             .collect::<Result<Vec<_>, CliError>>()?
     };
-    let registry = DeploymentRegistry::new(configs).map_err(usage)?;
+    let mut registry = DeploymentRegistry::new(configs).map_err(usage)?;
+    match flags.get("--wal-dir") {
+        Some(dir) => {
+            let fsync = match flags.get("--wal-fsync") {
+                None => FsyncPolicy::default(),
+                Some(v) => FsyncPolicy::parse(v).ok_or_else(|| {
+                    usage(format!(
+                        "flag `--wal-fsync`: expected always, batch or off, got `{v}`"
+                    ))
+                })?,
+            };
+            std::fs::create_dir_all(dir)
+                .map_err(|e| runtime(format!("cannot create --wal-dir {dir}: {e}")))?;
+            registry = registry.with_wal(WalConfig::new(dir).with_fsync(fsync));
+        }
+        None if flags.has("--wal-fsync") => {
+            return Err(usage(
+                "--wal-fsync needs --wal-dir (no log to fsync without one)",
+            ));
+        }
+        None => {}
+    }
     let select = match flags.get("--select") {
         None => None,
         Some(name) => {
@@ -581,6 +641,7 @@ fn serve_batch(
             Some(body) => {
                 let response = service.handle(&Request {
                     deployment: select.map(str::to_string),
+                    deadline_ms: None,
                     body,
                 });
                 match response {
@@ -614,7 +675,12 @@ fn serve_batch(
     let streamed = {
         let mut sink = open_output(flags, out)?;
         service
-            .stream_batch(select, input, &mut sink, !flags.has("--no-timing"))
+            .stream_batch(
+                select,
+                input,
+                &mut sink,
+                StreamOptions::timing(!flags.has("--no-timing")),
+            )
             .map_err(|e| match e {
                 StreamError::Service(e) => runtime(e.to_string()),
                 StreamError::Io(e) => runtime(format!("write answer: {e}")),
@@ -663,7 +729,9 @@ fn serve_batch(
 /// deployment: one bare mutation object per input line, one response
 /// envelope (`mutated`, or a typed `error`) per output line. Parse errors
 /// and rejected mutations are emitted as error envelopes and counted; only
-/// I/O failures abort the stream.
+/// I/O failures — and a truncated final record (a partially written or
+/// chopped log; the error carries the byte offset where the partial record
+/// starts) — abort the stream.
 fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
     let (service, select) = build_service(flags)?;
     let select = select.as_deref();
@@ -671,14 +739,26 @@ fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result
     // loading here is the point (the service-level "mutations never force a
     // load" rule guards long-lived servers, not one-shot invocations).
     let engine = service.engine(select).map_err(|e| runtime(e.to_string()))?;
-    let input = open_input(flags)?;
+    let mut input = open_input(flags)?;
     let started = Instant::now();
     let (applied, rejected) = {
         let mut sink = open_output(flags, out)?;
         let mut applied = 0u64;
         let mut rejected = 0u64;
-        for (i, line) in input.lines().enumerate() {
-            let line = line.map_err(|e| runtime(format!("read mutations: {e}")))?;
+        let mut line = String::new();
+        let mut lineno = 0usize;
+        let mut offset = 0u64;
+        loop {
+            line.clear();
+            lineno += 1;
+            let line_start = offset;
+            let n = input
+                .read_line(&mut line)
+                .map_err(|e| runtime(format!("read mutations: {e}")))?;
+            if n == 0 {
+                break;
+            }
+            offset += n as u64;
             let trimmed = line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
@@ -686,10 +766,20 @@ fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result
             let response = match crate::proto::parse_mutation_json(trimmed) {
                 Ok(body) => service.handle(&Request {
                     deployment: select.map(str::to_string),
+                    deadline_ms: None,
                     body,
                 }),
+                // A final line with no trailing newline that does not parse
+                // is a chopped record, not a bad one: abort with the resume
+                // offset instead of burying it in an error envelope.
+                Err(e) if !line.ends_with('\n') => {
+                    return Err(runtime(format!(
+                        "--input truncated at byte {line_start} (line {lineno}): final record \
+                         has no trailing newline and is not a complete mutation: {e}"
+                    )));
+                }
                 Err(e) => Response::Error(crate::ServiceError::BadRequest {
-                    detail: format!("line {}: {e}", i + 1),
+                    detail: format!("line {lineno}: {e}"),
                 }),
             };
             match &response {
@@ -732,17 +822,19 @@ fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
     let addr = flags.get("--addr").unwrap_or("127.0.0.1:7878");
     let http_threads: usize = flags.parse_num("--http-threads", 4)?;
     let allow_shutdown = flags.has("--allow-shutdown");
+    let mut options = ServerOptions {
+        threads: http_threads.max(1),
+        allow_shutdown,
+        ..Default::default()
+    };
+    options.max_inflight = flags.parse_num("--max-inflight", options.max_inflight)?;
+    options.admission_queue = flags.parse_num("--admission-queue", options.admission_queue)?;
+    if options.max_inflight == 0 {
+        return Err(usage("flag `--max-inflight`: must be at least 1"));
+    }
     let service = Arc::new(service);
-    let server = HttpServer::bind(
-        service.clone(),
-        addr,
-        ServerOptions {
-            threads: http_threads.max(1),
-            allow_shutdown,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| runtime(format!("cannot bind {addr}: {e}")))?;
+    let server = HttpServer::bind(service.clone(), addr, options)
+        .map_err(|e| runtime(format!("cannot bind {addr}: {e}")))?;
     writeln!(
         err,
         "[tfsn] serving http://{} ({} acceptor(s); deployments: {}; default: {})",
@@ -752,6 +844,15 @@ fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
         service.registry().default_name(),
     )
     .ok();
+    if let Some(wal) = service.registry().wal_config() {
+        writeln!(
+            err,
+            "[tfsn] wal: {} (fsync {})",
+            wal.dir.display(),
+            wal.fsync.label(),
+        )
+        .ok();
+    }
     writeln!(
         err,
         "[tfsn] endpoints: GET /healthz /metrics /v1/stats /v1/metrics /v1/telemetry \
@@ -768,6 +869,7 @@ fn stats(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
     let (service, select) = build_service(flags)?;
     let response = service.handle(&Request {
         deployment: select,
+        deadline_ms: None,
         body: RequestBody::Stats,
     });
     let stats = match response {
@@ -779,6 +881,112 @@ fn stats(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
         .map_err(|e| runtime(format!("serialize stats: {e}")))?;
     writeln!(out, "{json}").map_err(|e| runtime(format!("write stats: {e}")))?;
     Ok(())
+}
+
+/// The `tfsn wal` subcommand: offline tooling over one log file.
+/// `inspect` and `truncate` print a JSON summary of the scan; `export`
+/// re-emits the decodable records as the JSONL `tfsn mutate` reads, so
+/// `tfsn wal export --file X.wal | tfsn mutate ...` replays a log against
+/// any deployment.
+fn wal_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let Some(action) = args.first() else {
+        return Err(usage(
+            "wal needs an action: inspect, truncate, or export (then --file PATH)",
+        ));
+    };
+    let flags = Flags::parse(&args[1..], &["--file", "--output"])?;
+    // Flags::parse always admits the shared deployment flags; wal operates
+    // on a file, not a deployment, so they would be silently ignored here —
+    // fail loudly instead.
+    if let Some(flag) = DEPLOYMENT_FLAGS.iter().find(|f| flags.has(f)) {
+        return Err(usage(format!("unknown flag `{flag}` for this subcommand")));
+    }
+    let path = flags
+        .get("--file")
+        .ok_or_else(|| usage("wal needs --file PATH (the log file to operate on)"))?;
+    let path = std::path::Path::new(path);
+    let summary_json = |scan: &wal::WalScan| {
+        let mut m: Vec<(String, serde::Value)> = vec![
+            (
+                "file".to_string(),
+                serde::Value::Str(path.display().to_string()),
+            ),
+            (
+                "records".to_string(),
+                serde::Value::UInt(scan.mutations.len() as u64),
+            ),
+            (
+                "valid_bytes".to_string(),
+                serde::Value::UInt(scan.valid_bytes),
+            ),
+            (
+                "file_bytes".to_string(),
+                serde::Value::UInt(scan.file_bytes),
+            ),
+            ("clean".to_string(), serde::Value::Bool(scan.clean())),
+        ];
+        if let Some(tail) = &scan.tail {
+            m.push((
+                "torn_tail".to_string(),
+                serde::Value::Map(vec![
+                    ("offset".to_string(), serde::Value::UInt(tail.offset)),
+                    ("bytes".to_string(), serde::Value::UInt(tail.bytes)),
+                    ("reason".to_string(), serde::Value::Str(tail.reason.clone())),
+                ]),
+            ));
+        }
+        serde_json::to_string_pretty(&serde::Value::Map(m))
+            .map_err(|e| runtime(format!("serialize wal summary: {e}")))
+    };
+    match action.as_str() {
+        "inspect" => {
+            let scan = wal::scan(path)
+                .map_err(|e| runtime(format!("cannot scan {}: {e}", path.display())))?;
+            writeln!(out, "{}", summary_json(&scan)?)
+                .map_err(|e| runtime(format!("write summary: {e}")))?;
+            Ok(())
+        }
+        "truncate" => {
+            let scan = wal::truncate_torn_tail(path)
+                .map_err(|e| runtime(format!("cannot truncate {}: {e}", path.display())))?;
+            // The scan is pre-truncation: its torn tail is what was cut.
+            match &scan.tail {
+                Some(tail) => writeln!(
+                    err,
+                    "[tfsn] cut {} torn byte(s) at offset {} ({})",
+                    tail.bytes, tail.offset, tail.reason
+                )
+                .ok(),
+                None => writeln!(err, "[tfsn] log is clean; nothing to cut").ok(),
+            };
+            writeln!(out, "{}", summary_json(&scan)?)
+                .map_err(|e| runtime(format!("write summary: {e}")))?;
+            Ok(())
+        }
+        "export" => {
+            let scan = wal::scan(path)
+                .map_err(|e| runtime(format!("cannot scan {}: {e}", path.display())))?;
+            if let Some(tail) = &scan.tail {
+                writeln!(
+                    err,
+                    "[tfsn] torn tail skipped: {} byte(s) at offset {} ({})",
+                    tail.bytes, tail.offset, tail.reason
+                )
+                .ok();
+            }
+            let mut sink = open_output(&flags, out)?;
+            for mutation in &scan.mutations {
+                writeln!(sink, "{}", crate::proto::mutation_json(mutation))
+                    .map_err(|e| runtime(format!("write mutation: {e}")))?;
+            }
+            sink.flush()
+                .map_err(|e| runtime(format!("write mutation: {e}")))?;
+            Ok(())
+        }
+        other => Err(usage(format!(
+            "unknown wal action `{other}` (expected inspect, truncate, or export)"
+        ))),
+    }
 }
 
 fn gen(flags: &Flags<'_>, out: &mut dyn Write) -> Result<(), CliError> {
@@ -1220,6 +1428,119 @@ mod tests {
         assert!(r.unwrap_err().contains("unknown flag `--warm`"));
         let (_, _, r) = run_to_strings(&["gen", "--addr", "127.0.0.1:0"]);
         assert!(r.unwrap_err().contains("unknown flag `--addr`"));
+    }
+
+    #[test]
+    fn mutate_truncated_final_record_aborts_with_byte_offset() {
+        let dir = std::env::temp_dir().join(format!("tfsn-cli-trunc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ops_path = dir.join("mutations.jsonl");
+        // The final record is chopped mid-object with no trailing newline:
+        // a partially written log, not a malformed line. The abort names
+        // the byte where the partial record starts (= the resume point).
+        let good = "{\"op\": \"edge_remove\", \"u\": 0, \"v\": 1}\n\
+                    {\"op\": \"edge_insert\", \"u\": 0, \"v\": 1, \"sign\": \"-\"}\n";
+        std::fs::write(&ops_path, format!("{good}{{\"op\": \"edge_ins")).unwrap();
+        let (out, _, result) = run_to_strings(&[
+            "mutate",
+            "--deployment",
+            "tiny=synthetic:nodes=60,edges=180,skills=10,seed=5",
+            "--input",
+            ops_path.to_str().unwrap(),
+        ]);
+        let err = result.unwrap_err();
+        assert!(
+            err.contains(&format!("truncated at byte {}", good.len())),
+            "{err}"
+        );
+        assert!(err.contains("line 3"), "{err}");
+        // The complete records before the chop were still processed (the
+        // remove-then-insert pair lands regardless of the seeded graph).
+        assert_eq!(out.lines().count(), 2, "{out}");
+        assert!(
+            out.lines().nth(1).unwrap().contains("\"op\":\"mutated\""),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_cli_inspects_truncates_and_exports_replayable_jsonl() {
+        let dir = std::env::temp_dir().join(format!("tfsn-cli-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ops_path = dir.join("mutations.jsonl");
+        let wal_dir = dir.join("wal");
+        std::fs::write(
+            &ops_path,
+            "{\"op\": \"edge_remove\", \"u\": 0, \"v\": 1}\n\
+             {\"op\": \"edge_insert\", \"u\": 0, \"v\": 1, \"sign\": \"-\"}\n",
+        )
+        .unwrap();
+        let deployment = "tiny=synthetic:nodes=60,edges=180,skills=10,seed=5";
+        let (_, _, result) = run_to_strings(&[
+            "mutate",
+            "--deployment",
+            deployment,
+            "--input",
+            ops_path.to_str().unwrap(),
+            "--wal-dir",
+            wal_dir.to_str().unwrap(),
+            "--wal-fsync",
+            "always",
+        ]);
+        result.unwrap();
+        let wal_file = wal_dir.join("tiny.wal");
+        let wal_flag = ["--file", wal_file.to_str().unwrap()];
+
+        // Both mutations were logged (append-before-apply logs rejected
+        // ones too; replay re-fails them deterministically).
+        let (out, _, result) = run_to_strings(&["wal", "inspect", wal_flag[0], wal_flag[1]]);
+        result.unwrap();
+        assert!(out.contains("\"records\": 2"), "{out}");
+        assert!(out.contains("\"clean\": true"), "{out}");
+
+        // Export emits exactly the JSONL `tfsn mutate` reads.
+        let (export, _, result) = run_to_strings(&["wal", "export", wal_flag[0], wal_flag[1]]);
+        result.unwrap();
+        assert_eq!(export.lines().count(), 2, "{export}");
+        assert!(export.contains("{\"op\":\"edge_insert\",\"u\":0,\"v\":1,\"sign\":\"-\"}"));
+        let replay = dir.join("replay.jsonl");
+        std::fs::write(&replay, &export).unwrap();
+        let (_, _, result) = run_to_strings(&[
+            "mutate",
+            "--deployment",
+            deployment,
+            "--input",
+            replay.to_str().unwrap(),
+        ]);
+        result.unwrap();
+
+        // Chop the file mid-record: inspect reports the torn tail,
+        // truncate cuts it, inspect is clean again.
+        let bytes = std::fs::read(&wal_file).unwrap();
+        std::fs::write(&wal_file, &bytes[..bytes.len() - 3]).unwrap();
+        let (out, _, result) = run_to_strings(&["wal", "inspect", wal_flag[0], wal_flag[1]]);
+        result.unwrap();
+        assert!(out.contains("\"clean\": false"), "{out}");
+        assert!(out.contains("\"torn_tail\""), "{out}");
+        assert!(out.contains("\"records\": 1"), "{out}");
+        let (out, err, result) = run_to_strings(&["wal", "truncate", wal_flag[0], wal_flag[1]]);
+        result.unwrap();
+        assert!(err.contains("cut"), "{err}");
+        assert!(out.contains("\"torn_tail\""), "pre-cut summary: {out}");
+        let (out, _, result) = run_to_strings(&["wal", "inspect", wal_flag[0], wal_flag[1]]);
+        result.unwrap();
+        assert!(out.contains("\"clean\": true"), "{out}");
+        assert!(out.contains("\"records\": 1"), "{out}");
+
+        // Guard rails: missing --file and dataset flags fail loudly.
+        let (_, _, r) = run_to_strings(&["wal", "inspect"]);
+        assert!(r.unwrap_err().contains("--file"));
+        let (_, _, r) = run_to_strings(&["wal", "inspect", "--dataset", "slashdot"]);
+        assert!(r.unwrap_err().contains("unknown flag"));
+        let (_, _, r) = run_to_strings(&["stats", "--dataset", "slashdot", "--wal-fsync", "batch"]);
+        assert!(r.unwrap_err().contains("--wal-dir"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,23 +1,102 @@
 //! A minimal blocking HTTP/1.1 client for the [`crate::server`] front-end:
-//! one keep-alive connection, `Content-Length`-framed responses.
+//! one keep-alive connection, `Content-Length`-framed responses, and
+//! bounded retry with capped jittered exponential backoff for idempotent
+//! reads.
 //!
 //! This exists so the integration tests, the bench harness and example
 //! programs drive the server through **one** framing implementation instead
 //! of three hand-rolled copies — and it is the seed of the remote-client
-//! crate the ROADMAP plans. A production client would add pooling, retries
-//! and timeouts; this one deliberately stays small, and every failure comes
-//! back as an `io::Error` rather than a panic.
+//! crate the ROADMAP plans.
+//!
+//! ## Retry semantics
+//!
+//! Only `GET` requests retry, and only on the two failures that are safe
+//! and useful to retry: a typed `overloaded` 503 (the server shed the
+//! request *before* doing work, and advertised `Retry-After`) and
+//! connection-level I/O errors (connect refused, reset). `POST` — which
+//! carries queries, batches and above all **mutations** — never retries:
+//! a mutation whose response was lost may have been applied and logged,
+//! and blindly resending it would double-apply. Retry delays follow
+//! capped exponential backoff with jitter ([`RetryPolicy`]); every retry
+//! attempt counts into the process-global `tfsn_client_retries_total`.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
-/// One HTTP response: the status code and the full body.
+use crate::telemetry::globals;
+
+/// One HTTP response: the status code, response headers, and full body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HttpReply {
     /// The status code (200, 404, …).
     pub status: u16,
+    /// Response headers in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
     /// The response body, UTF-8 decoded.
     pub body: String,
+}
+
+impl HttpReply {
+    /// The first header named `name` (case-insensitive), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The advertised `Retry-After` delay in whole seconds, if present and
+    /// numeric.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.header("retry-after")?.trim().parse().ok()
+    }
+}
+
+/// Retry tuning for idempotent reads: `attempts` total tries, with delay
+/// `base * 2^i` before retry `i`, capped at `cap`, each jittered down by
+/// up to half (full delays from a fleet of clients synchronize their
+/// retries into waves; jitter decorrelates them).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Hard cap on any single backoff delay.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all — failures surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// The jittered, capped delay before retry `attempt` (0-based), using
+    /// `entropy` as the jitter source.
+    fn delay(&self, attempt: u32, entropy: u64) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.cap);
+        // Jitter into [capped/2, capped]: never zero (a zero delay defeats
+        // the point), never over the cap.
+        let nanos = capped.as_nanos() as u64;
+        Duration::from_nanos(nanos / 2 + (entropy % (nanos / 2 + 1)))
+    }
 }
 
 /// A keep-alive connection to one server. Dropping it closes the
@@ -59,26 +138,85 @@ pub struct HttpReply {
 /// ```
 #[derive(Debug)]
 pub struct HttpClient {
+    addr: SocketAddr,
+    retry: RetryPolicy,
+    conn: Option<Conn>,
+    /// xorshift64 state feeding backoff jitter.
+    entropy: u64,
+}
+
+#[derive(Debug)]
+struct Conn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
 }
 
-impl HttpClient {
-    /// Connects to `addr`.
-    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+impl Conn {
+    fn open(addr: SocketAddr) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        Ok(HttpClient {
+        Ok(Conn {
             writer: stream.try_clone()?,
             reader: BufReader::new(stream),
         })
     }
+}
 
-    /// `GET target` (path plus optional query string).
-    pub fn get(&mut self, target: &str) -> std::io::Result<HttpReply> {
-        self.request("GET", target, "")
+impl HttpClient {
+    /// Connects to `addr` with the default [`RetryPolicy`].
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_with(addr, RetryPolicy::default())
     }
 
-    /// `POST target` with `body`.
+    /// Connects to `addr` with an explicit retry policy.
+    pub fn connect_with(addr: SocketAddr, retry: RetryPolicy) -> std::io::Result<Self> {
+        let conn = Conn::open(addr)?;
+        Ok(HttpClient {
+            addr,
+            retry,
+            conn: Some(conn),
+            // Any non-zero seed works for xorshift; derive it from the
+            // address so concurrent clients jitter differently.
+            entropy: 0x9E37_79B9_7F4A_7C15 ^ u64::from(addr.port()).wrapping_mul(0x100_0000_01B3),
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `GET target` (path plus optional query string). Retries per the
+    /// [`RetryPolicy`] on connection errors and `overloaded` 503 replies —
+    /// GETs are idempotent reads, so resending is always safe.
+    pub fn get(&mut self, target: &str) -> std::io::Result<HttpReply> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.request("GET", target, "");
+            let retryable = match &outcome {
+                Ok(reply) => reply.status == 503,
+                Err(_) => true,
+            };
+            attempt += 1;
+            if !retryable || attempt >= self.retry.attempts.max(1) {
+                return outcome;
+            }
+            globals::note_client_retry();
+            let entropy = self.next_entropy();
+            let mut delay = self.retry.delay(attempt - 1, entropy);
+            // An advertised Retry-After (capped) overrides a shorter
+            // computed backoff — the server knows its own queue.
+            if let Ok(reply) = &outcome {
+                if let Some(secs) = reply.retry_after_secs() {
+                    delay = delay.max(Duration::from_secs(secs).min(self.retry.cap));
+                }
+            }
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// `POST target` with `body`. Never retried: POST bodies carry
+    /// mutations, and a mutation whose response was lost may already be
+    /// applied and logged — resending would double-apply it.
     pub fn post(&mut self, target: &str, body: &str) -> std::io::Result<HttpReply> {
         self.request("POST", target, body)
     }
@@ -97,25 +235,55 @@ impl HttpClient {
         Ok(reply.body)
     }
 
+    fn next_entropy(&mut self) -> u64 {
+        // xorshift64: cheap, stateful, good enough to decorrelate sleeps.
+        let mut x = self.entropy;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.entropy = x;
+        x
+    }
+
     /// Sends one request and reads the full response; the connection stays
-    /// open for the next call (HTTP keep-alive).
+    /// open for the next call (HTTP keep-alive). On any I/O failure the
+    /// connection is dropped and re-established on the next call, so one
+    /// reset does not wedge the client.
     pub fn request(
         &mut self,
         method: &str,
         target: &str,
         body: &str,
     ) -> std::io::Result<HttpReply> {
+        let outcome = self.request_on_conn(method, target, body);
+        if outcome.is_err() {
+            // The framing state is unknown after an error; start fresh.
+            self.conn = None;
+        }
+        outcome
+    }
+
+    fn request_on_conn(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> std::io::Result<HttpReply> {
+        if self.conn.is_none() {
+            self.conn = Some(Conn::open(self.addr)?);
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
         let head = format!(
             "{method} {target} HTTP/1.1\r\nHost: tfsn\r\nContent-Length: {}\r\n\r\n",
             body.len()
         );
-        self.writer.write_all(head.as_bytes())?;
-        self.writer.write_all(body.as_bytes())?;
-        self.writer.flush()?;
+        conn.writer.write_all(head.as_bytes())?;
+        conn.writer.write_all(body.as_bytes())?;
+        conn.writer.flush()?;
 
         let bad = |detail: String| std::io::Error::other(detail);
         let mut status_line = String::new();
-        if self.reader.read_line(&mut status_line)? == 0 {
+        if conn.reader.read_line(&mut status_line)? == 0 {
             return Err(bad("connection closed before the status line".into()));
         }
         let status: u16 = status_line
@@ -136,9 +304,10 @@ impl HttpClient {
             })?;
         let mut content_length = 0usize;
         let mut chunked = false;
+        let mut headers: Vec<(String, String)> = Vec::new();
         loop {
             let mut header = String::new();
-            if self.reader.read_line(&mut header)? == 0 {
+            if conn.reader.read_line(&mut header)? == 0 {
                 return Err(bad("connection closed mid-headers".into()));
             }
             let header = header.trim_end();
@@ -146,38 +315,43 @@ impl HttpClient {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
+                let value = value.trim();
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value
-                        .trim()
                         .parse()
-                        .map_err(|_| bad(format!("invalid Content-Length `{}`", value.trim())))?;
+                        .map_err(|_| bad(format!("invalid Content-Length `{value}`")))?;
                 } else if name.eq_ignore_ascii_case("transfer-encoding")
-                    && value.trim().eq_ignore_ascii_case("chunked")
+                    && value.eq_ignore_ascii_case("chunked")
                 {
                     chunked = true;
                 }
+                headers.push((name.to_ascii_lowercase(), value.to_string()));
             }
         }
         let body = if chunked {
-            self.read_chunked_body()?
+            Self::read_chunked_body(&mut conn.reader)?
         } else {
             let mut body = vec![0u8; content_length];
-            self.reader.read_exact(&mut body)?;
+            conn.reader.read_exact(&mut body)?;
             body
         };
         let body = String::from_utf8(body).map_err(|_| bad("response body is not UTF-8".into()))?;
-        Ok(HttpReply { status, body })
+        Ok(HttpReply {
+            status,
+            headers,
+            body,
+        })
     }
 
     /// Reads an HTTP/1.1 chunked body (the server streams `/v1/batch`
     /// answers this way). A connection closed before the terminal chunk is
     /// a mid-stream server failure and surfaces as an error.
-    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+    fn read_chunked_body(reader: &mut BufReader<TcpStream>) -> std::io::Result<Vec<u8>> {
         let bad = |detail: String| std::io::Error::other(detail);
         let mut body = Vec::new();
         loop {
             let mut size_line = String::new();
-            if self.reader.read_line(&mut size_line)? == 0 {
+            if reader.read_line(&mut size_line)? == 0 {
                 return Err(bad("connection closed mid-chunked-body (truncated)".into()));
             }
             let size = usize::from_str_radix(size_line.trim(), 16)
@@ -185,17 +359,60 @@ impl HttpClient {
             if size == 0 {
                 // Terminal chunk; consume the final CRLF (no trailers).
                 let mut end = String::new();
-                self.reader.read_line(&mut end)?;
+                reader.read_line(&mut end)?;
                 return Ok(body);
             }
             let start = body.len();
             body.resize(start + size, 0);
-            self.reader.read_exact(&mut body[start..])?;
+            reader.read_exact(&mut body[start..])?;
             let mut crlf = [0u8; 2];
-            self.reader.read_exact(&mut crlf)?;
+            reader.read_exact(&mut crlf)?;
             if &crlf != b"\r\n" {
                 return Err(bad("chunk not terminated by CRLF".into()));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_and_jittered_within_bounds() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(300),
+        };
+        for attempt in 0..10 {
+            for entropy in [0u64, 1, 7, u64::MAX, 0xDEAD_BEEF] {
+                let delay = policy.delay(attempt, entropy);
+                let uncapped = policy
+                    .base
+                    .saturating_mul(1u32 << attempt.min(16))
+                    .min(policy.cap);
+                assert!(
+                    delay >= uncapped / 2 && delay <= uncapped,
+                    "attempt {attempt}: {delay:?} outside [{:?}, {:?}]",
+                    uncapped / 2,
+                    uncapped
+                );
+            }
+        }
+        // The cap binds from attempt 2 on (100ms, 200ms, then 300ms flat).
+        assert!(policy.delay(3, 0) <= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn retry_after_header_parses() {
+        let reply = HttpReply {
+            status: 503,
+            headers: vec![("retry-after".to_string(), "2".to_string())],
+            body: String::new(),
+        };
+        assert_eq!(reply.retry_after_secs(), Some(2));
+        assert_eq!(reply.header("Retry-After"), Some("2"));
+        assert_eq!(reply.header("missing"), None);
     }
 }

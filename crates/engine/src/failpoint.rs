@@ -1,0 +1,176 @@
+//! Fault-injection points for the durability and transport layers.
+//!
+//! A *failpoint* is a named hook compiled into an I/O path — the WAL's
+//! append and fsync calls, the HTTP server's response writes — that tests
+//! arm at runtime to inject an I/O error, a short (torn) write, or
+//! artificial latency. This is how the crash-recovery suite kills a WAL
+//! append at an arbitrary byte offset without spawning and `kill -9`-ing a
+//! process per case (the CI chaos smoke does that once, end to end).
+//!
+//! The facility is cfg-gated on `debug_assertions`: under `cargo test` the
+//! registry is live, while release builds compile the crate-internal
+//! `take` hook down to a constant `None` — the hooks cost nothing in
+//! production binaries.
+//!
+//! Armed actions are process-global and consumed per hit (`times` counts
+//! down), so tests that arm a point must run serialized against other users
+//! of the same point — see the `FAILPOINTS` lock in `tests/wal.rs`.
+
+use std::time::Duration;
+
+/// What an armed failpoint does when its hook is hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Fail with an injected `std::io::Error` (kind `Other`).
+    Error,
+    /// Write only the first `n` bytes of the pending buffer, then fail —
+    /// a torn write, as a crash mid-`write(2)` would leave it.
+    ShortWrite(usize),
+    /// Sleep this long, then proceed normally.
+    Delay(Duration),
+}
+
+/// The injected error every failing action surfaces, so tests can assert
+/// provenance.
+pub const INJECTED: &str = "injected failpoint";
+
+#[cfg(debug_assertions)]
+mod registry {
+    use super::Action;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Number of currently-armed points: the fast path every hook checks
+    /// before touching the mutex, so an idle debug build pays one relaxed
+    /// load per hook.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+    static POINTS: Mutex<Vec<(String, Action, usize)>> = Mutex::new(Vec::new());
+
+    pub fn arm(name: &str, action: Action, times: usize) {
+        if times == 0 {
+            return;
+        }
+        let mut points = POINTS.lock().expect("failpoint registry poisoned");
+        points.retain(|(n, _, _)| n != name);
+        points.push((name.to_string(), action, times));
+        ARMED.store(points.len(), Ordering::SeqCst);
+    }
+
+    pub fn disarm(name: &str) {
+        let mut points = POINTS.lock().expect("failpoint registry poisoned");
+        points.retain(|(n, _, _)| n != name);
+        ARMED.store(points.len(), Ordering::SeqCst);
+    }
+
+    pub fn reset() {
+        let mut points = POINTS.lock().expect("failpoint registry poisoned");
+        points.clear();
+        ARMED.store(0, Ordering::SeqCst);
+    }
+
+    pub fn take(name: &str) -> Option<Action> {
+        if ARMED.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let mut points = POINTS.lock().expect("failpoint registry poisoned");
+        let i = points.iter().position(|(n, _, _)| n == name)?;
+        let action = points[i].1;
+        points[i].2 -= 1;
+        if points[i].2 == 0 {
+            points.remove(i);
+        }
+        ARMED.store(points.len(), Ordering::SeqCst);
+        Some(action)
+    }
+}
+
+/// Arms `name` to perform `action` on its next `times` hits (re-arming an
+/// armed point replaces it). No-op in release builds.
+#[cfg(debug_assertions)]
+pub fn arm(name: &str, action: Action, times: usize) {
+    registry::arm(name, action, times);
+}
+
+/// See the debug-build [`arm`]; release builds compile this away.
+#[cfg(not(debug_assertions))]
+pub fn arm(_name: &str, _action: Action, _times: usize) {}
+
+/// Disarms `name` whether or not it has fired. No-op in release builds.
+#[cfg(debug_assertions)]
+pub fn disarm(name: &str) {
+    registry::disarm(name);
+}
+
+/// See the debug-build [`disarm`]; release builds compile this away.
+#[cfg(not(debug_assertions))]
+pub fn disarm(_name: &str) {}
+
+/// Disarms every point — test teardown. No-op in release builds.
+#[cfg(debug_assertions)]
+pub fn reset() {
+    registry::reset();
+}
+
+/// See the debug-build [`reset`]; release builds compile this away.
+#[cfg(not(debug_assertions))]
+pub fn reset() {}
+
+/// Consumes one hit of `name`: the armed action, or `None` when unarmed.
+/// In release builds this is a constant `None` the optimizer removes along
+/// with the match on it.
+#[cfg(debug_assertions)]
+pub(crate) fn take(name: &str) -> Option<Action> {
+    registry::take(name)
+}
+
+/// See the debug-build [`take`].
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+pub(crate) fn take(_name: &str) -> Option<Action> {
+    None
+}
+
+/// The simple-hook helper for sites with no buffer to tear: injects the
+/// error, sleeps the delay, and treats [`Action::ShortWrite`] as a plain
+/// error (the site has nothing to partially write).
+pub(crate) fn hit(name: &str) -> std::io::Result<()> {
+    match take(name) {
+        None => Ok(()),
+        Some(Action::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(Action::Error) | Some(Action::ShortWrite(_)) => {
+            Err(std::io::Error::other(format!("{INJECTED} `{name}`")))
+        }
+    }
+}
+
+/// `true` when the injected-failpoint marker is in `error`'s chain — lets
+/// tests distinguish injected faults from real I/O failures.
+pub fn is_injected(error: &std::io::Error) -> bool {
+    error.to_string().contains(INJECTED)
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_points_fire_times_then_disarm() {
+        reset();
+        arm("test.point", Action::Error, 2);
+        assert_eq!(take("test.point"), Some(Action::Error));
+        assert_eq!(take("test.point"), Some(Action::Error));
+        assert_eq!(take("test.point"), None, "count exhausted");
+        arm("test.point", Action::ShortWrite(3), 1);
+        disarm("test.point");
+        assert_eq!(take("test.point"), None, "disarm wins");
+        arm("test.other", Action::Delay(Duration::from_millis(1)), 1);
+        assert!(hit("test.other").is_ok(), "delay proceeds");
+        arm("test.other", Action::Error, 1);
+        let err = hit("test.other").unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        reset();
+    }
+}

@@ -69,6 +69,7 @@ pub mod batch;
 pub mod cli;
 pub mod client;
 pub mod deployment;
+pub mod failpoint;
 pub mod metrics;
 pub mod proto;
 pub mod query;
@@ -77,6 +78,7 @@ pub mod server;
 pub mod service;
 pub mod store;
 pub mod telemetry;
+pub mod wal;
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -92,13 +94,14 @@ pub use client::{HttpClient, HttpReply};
 pub use deployment::Deployment;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use proto::{Request, RequestBody, Response, ServiceError, PROTOCOL_VERSION};
-pub use query::TeamQuery;
-pub use registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource};
+pub use query::{QueryReadError, TeamQuery};
+pub use registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource, WalConfig};
 pub use server::{HttpServer, ServerOptions, ShutdownHandle};
-pub use service::{Service, ServiceOptions};
+pub use service::{Deadline, Service, ServiceOptions, StreamOptions};
 pub use store::{MutationReport, RelationStore, ServingMode, StorePolicy, TierChoice};
 pub use telemetry::{EngineTelemetry, LatencyHistogram, TelemetryReport};
 pub use tfsn_core::team::Objective;
+pub use wal::{FsyncPolicy, Wal};
 
 thread_local! {
     /// Per-thread solver scratch (see [`Engine::query`]): rayon batch
@@ -125,6 +128,11 @@ pub struct ArchitectureDocFences;
 #[cfg(doctest)]
 #[doc = include_str!("../../../docs/OBSERVABILITY.md")]
 pub struct ObservabilityDocFences;
+
+/// Same guard for `docs/DURABILITY.md`.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/DURABILITY.md")]
+pub struct DurabilityDocFences;
 
 /// Construction-time options for an [`Engine`].
 #[derive(Debug, Clone, Default)]
@@ -164,6 +172,47 @@ pub struct Engine {
     /// not be re-derived for every `/v1/stats` poll on a long-lived server,
     /// but must not survive a graph-changing mutation either.
     stats: parking_lot::Mutex<Option<(u64, tfsn_datasets::DatasetStats)>>,
+    /// The durable mutation log, attached once by the registry *after*
+    /// replay (so replay does not re-append its own input).
+    wal: std::sync::OnceLock<wal::Wal>,
+    /// Orders WAL append before store apply across threads: the store's
+    /// internal mutation lock serializes applies, but cannot order them
+    /// relative to appends — without this lock two racing mutations could
+    /// log in one order and apply in the other, and replay would diverge.
+    write_order: parking_lot::Mutex<()>,
+}
+
+/// Why [`Engine::mutate`] failed: either the mutation itself is invalid
+/// against the live graph (a client error), or the write-ahead log could
+/// not durably record it (a server fault — the mutation was *not* applied).
+#[derive(Debug)]
+pub enum MutateError {
+    /// The mutation is invalid (unknown node, duplicate edge, …); the
+    /// graph and the log are untouched. Serving layers surface this as
+    /// `bad_request`.
+    Graph(signed_graph::GraphError),
+    /// Appending to the write-ahead log failed; the mutation was not
+    /// applied (append-before-apply). Serving layers surface this as
+    /// `internal`, and the log refuses further appends until the
+    /// deployment reloads (see [`wal::Wal::append`]).
+    Wal(std::io::Error),
+}
+
+impl std::fmt::Display for MutateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutateError::Graph(e) => e.fmt(f),
+            MutateError::Wal(e) => write!(f, "write-ahead log append failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+impl From<signed_graph::GraphError> for MutateError {
+    fn from(e: signed_graph::GraphError) -> Self {
+        MutateError::Graph(e)
+    }
 }
 
 impl Engine {
@@ -189,6 +238,8 @@ impl Engine {
             metrics: EngineMetrics::default(),
             telemetry: EngineTelemetry::new(slow_log),
             stats: parking_lot::Mutex::new(None),
+            wal: std::sync::OnceLock::new(),
+            write_order: parking_lot::Mutex::new(()),
         }
     }
 
@@ -234,8 +285,14 @@ impl Engine {
 
     /// Applies one live edge mutation to the served graph (see
     /// [`RelationStore::mutate`] for the invalidation semantics). Failures
-    /// are typed [`signed_graph::GraphError`]s and leave the deployment
-    /// untouched.
+    /// are typed [`MutateError`]s and leave the deployment untouched.
+    ///
+    /// With a write-ahead log attached ([`Engine::attach_wal`]) the
+    /// mutation is durably appended **before** it is applied, under one
+    /// write-order lock — so log order equals apply order, and replaying
+    /// the log reproduces the live graph byte-for-byte. A mutation that
+    /// fails graph validation still appends first; on replay it re-fails
+    /// identically, so the divergence window is empty either way.
     ///
     /// # Examples
     ///
@@ -266,14 +323,32 @@ impl Engine {
     pub fn mutate(
         &self,
         mutation: &signed_graph::EdgeMutation,
-    ) -> Result<MutationReport, signed_graph::GraphError> {
+    ) -> Result<MutationReport, MutateError> {
         let start = Instant::now();
-        let report = self.store.mutate(mutation);
+        let _order = self.write_order.lock();
+        if let Some(wal) = self.wal.get() {
+            let receipt = wal.append(mutation).map_err(MutateError::Wal)?;
+            self.telemetry.record_wal_append(&receipt);
+        }
+        let report = self.store.mutate(mutation).map_err(MutateError::Graph);
         if report.is_ok() {
             self.telemetry
                 .record_op(telemetry::Op::Mutate, start.elapsed().as_micros() as u64);
         }
         report
+    }
+
+    /// Attaches the durable mutation log. Called once by the registry
+    /// *after* replaying the log's existing records through
+    /// [`Engine::mutate`] — attaching first would re-append every replayed
+    /// record. Returns the log back when one is already attached.
+    pub fn attach_wal(&self, wal: wal::Wal) -> Result<(), wal::Wal> {
+        self.wal.set(wal)
+    }
+
+    /// The attached mutation log, if any.
+    pub fn wal(&self) -> Option<&wal::Wal> {
+        self.wal.get()
     }
 
     /// A snapshot of the serving metrics, including the store gauges and

@@ -57,6 +57,12 @@ pub struct Request {
     pub deployment: Option<String>,
     /// The operation.
     pub body: RequestBody,
+    /// Per-request deadline budget in milliseconds, counted from when the
+    /// service starts dispatching. Work still pending at the deadline is
+    /// abandoned with [`ServiceError::DeadlineExceeded`] — checked before
+    /// each solve and between batch chunks, so granularity is one chunk.
+    /// `None` = no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
@@ -65,12 +71,19 @@ impl Request {
         Request {
             deployment: None,
             body,
+            deadline_ms: None,
         }
     }
 
     /// Targets a named deployment.
     pub fn on(mut self, deployment: impl Into<String>) -> Self {
         self.deployment = Some(deployment.into());
+        self
+    }
+
+    /// Sets the deadline budget (milliseconds from dispatch).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 
@@ -110,6 +123,12 @@ impl Request {
             Some(Value::Bool(b)) => *b,
             Some(_) => return Err(bad("field `timing` must be a boolean")),
         };
+        let deadline_ms = match field("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                bad("field `deadline_ms` must be a non-negative integer of milliseconds")
+            })?),
+        };
         let body = match op {
             "query" => {
                 let q = field("query").ok_or_else(|| bad("op `query` needs field `query`"))?;
@@ -147,7 +166,11 @@ impl Request {
                 }
             },
         };
-        Ok(Request { deployment, body })
+        Ok(Request {
+            deployment,
+            body,
+            deadline_ms,
+        })
     }
 
     /// Parses an envelope from JSON text (see [`Request::parse_value`]).
@@ -376,6 +399,32 @@ pub fn sign_label(sign: Sign) -> &'static str {
     }
 }
 
+/// The bare wire object of one mutation — the exact shape
+/// [`parse_mutation_value`] accepts, and therefore one `tfsn mutate` JSONL
+/// line or a `POST /v1/mutate` body. The write-ahead log
+/// ([`crate::wal`]) frames these same objects, so a WAL export *is* a
+/// replayable mutation stream.
+pub fn mutation_value(mutation: &EdgeMutation) -> Value {
+    let mut m: Vec<(String, Value)> =
+        vec![("op".to_string(), Value::Str(mutation.op().to_string()))];
+    let (u, v) = mutation.endpoints();
+    m.push(("u".to_string(), Value::UInt(u.index() as u64)));
+    m.push(("v".to_string(), Value::UInt(v.index() as u64)));
+    match *mutation {
+        EdgeMutation::Insert { sign, .. } | EdgeMutation::SetSign { sign, .. } => {
+            m.push(("sign".to_string(), Value::Str(sign_label(sign).to_string())));
+        }
+        EdgeMutation::Remove { .. } => {}
+    }
+    Value::Map(m)
+}
+
+/// [`mutation_value`] as compact JSON text (one JSONL line, no newline).
+pub fn mutation_json(mutation: &EdgeMutation) -> String {
+    serde_json::to_string(&mutation_value(mutation))
+        .expect("mutation wire objects always serialize")
+}
+
 impl Serialize for Request {
     fn to_value(&self) -> Value {
         let mut m: Vec<(String, Value)> = vec![
@@ -387,6 +436,9 @@ impl Serialize for Request {
         ];
         if let Some(d) = &self.deployment {
             m.push(("deployment".to_string(), Value::Str(d.clone())));
+        }
+        if let Some(ms) = self.deadline_ms {
+            m.push(("deadline_ms".to_string(), Value::UInt(ms)));
         }
         match &self.body {
             RequestBody::Query { query, timing } => {
@@ -806,10 +858,22 @@ pub enum ServiceError {
         /// The cap, in bytes.
         limit_bytes: u64,
     },
-    /// The server is at capacity; retry later. The one retryable code.
+    /// The server is at capacity; retry later (after the `Retry-After`
+    /// header's delay, when the HTTP transport carried the response). The
+    /// one retryable code.
     Overloaded {
-        /// The concurrent-connection cap that was hit.
+        /// The saturated concurrency cap: the connection cap when the
+        /// accept path shed, or the in-flight cap when the admission gate
+        /// did.
         max_connections: u64,
+    },
+    /// The request's `deadline_ms` budget ran out before the work
+    /// completed. Answers already streamed out stand; pending work was
+    /// abandoned. Not retryable as-is — retrying the same request with the
+    /// same budget deterministically re-fails under the same load.
+    DeadlineExceeded {
+        /// The budget that was exhausted, milliseconds.
+        deadline_ms: u64,
     },
     /// A server-side fault (transport I/O, invariant breach) — not a
     /// problem with the request; clients should not treat it as one.
@@ -823,13 +887,14 @@ impl ServiceError {
     /// Every error code this protocol version can emit — the closure the
     /// docs-coverage test checks `docs/PROTOCOL.md` against, so a new error
     /// variant cannot ship undocumented.
-    pub const ALL_CODES: [&'static str; 7] = [
+    pub const ALL_CODES: [&'static str; 8] = [
         "unsupported_version",
         "unknown_deployment",
         "unknown_op",
         "bad_request",
         "too_large",
         "overloaded",
+        "deadline_exceeded",
         "internal",
     ];
 
@@ -842,6 +907,7 @@ impl ServiceError {
             ServiceError::BadRequest { .. } => "bad_request",
             ServiceError::TooLarge { .. } => "too_large",
             ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServiceError::Internal { .. } => "internal",
         }
     }
@@ -888,6 +954,9 @@ impl ServiceError {
             "overloaded" => Ok(ServiceError::Overloaded {
                 max_connections: u64_field("max_connections")?,
             }),
+            "deadline_exceeded" => Ok(ServiceError::DeadlineExceeded {
+                deadline_ms: u64_field("deadline_ms")?,
+            }),
             "internal" => Ok(ServiceError::Internal {
                 detail: str_field("message")?,
             }),
@@ -920,6 +989,9 @@ impl Serialize for ServiceError {
             }
             ServiceError::Overloaded { max_connections } => {
                 m.push(("max_connections".to_string(), Value::UInt(*max_connections)));
+            }
+            ServiceError::DeadlineExceeded { deadline_ms } => {
+                m.push(("deadline_ms".to_string(), Value::UInt(*deadline_ms)));
             }
             // `message` (below) doubles as the detail for bad_request and
             // internal; for the other codes it is derived display text.
@@ -960,6 +1032,12 @@ impl fmt::Display for ServiceError {
                 write!(
                     f,
                     "server at its {max_connections}-connection capacity; retry later"
+                )
+            }
+            ServiceError::DeadlineExceeded { deadline_ms } => {
+                write!(
+                    f,
+                    "deadline of {deadline_ms} ms exceeded before the request completed"
                 )
             }
             ServiceError::Internal { detail } => f.write_str(detail),
@@ -1073,6 +1151,7 @@ mod tests {
             ServiceError::Overloaded {
                 max_connections: 256,
             },
+            ServiceError::DeadlineExceeded { deadline_ms: 250 },
             ServiceError::Internal {
                 detail: "stream failed: broken pipe".to_string(),
             },
@@ -1095,7 +1174,56 @@ mod tests {
                 Err(other) => panic!("op `{op}` not recognised: {other:?}"),
             }
         }
-        assert_eq!(ServiceError::ALL_CODES.len(), 7);
+        assert_eq!(ServiceError::ALL_CODES.len(), 8);
+    }
+
+    #[test]
+    fn deadline_field_round_trips_and_is_typed() {
+        let req = Request::new(RequestBody::Stats).with_deadline_ms(250);
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"deadline_ms\":250"), "{json}");
+        assert_eq!(Request::parse_json(&json).unwrap(), req);
+        // Absent and null both mean "no deadline".
+        let req = Request::parse_json(r#"{"version": 1, "op": "stats"}"#).unwrap();
+        assert_eq!(req.deadline_ms, None);
+        let req =
+            Request::parse_json(r#"{"version": 1, "op": "stats", "deadline_ms": null}"#).unwrap();
+        assert_eq!(req.deadline_ms, None);
+        // Ill-typed deadlines are typed bad requests.
+        for bad in [
+            r#"{"version": 1, "op": "stats", "deadline_ms": "fast"}"#,
+            r#"{"version": 1, "op": "stats", "deadline_ms": -5}"#,
+        ] {
+            let err = Request::parse_json(bad).unwrap_err();
+            assert!(
+                matches!(err, ServiceError::BadRequest { .. }),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_json_round_trips_through_the_bare_parser() {
+        for m in [
+            EdgeMutation::Insert {
+                u: NodeId::new(3),
+                v: NodeId::new(9),
+                sign: Sign::Negative,
+            },
+            EdgeMutation::Remove {
+                u: NodeId::new(1),
+                v: NodeId::new(2),
+            },
+            EdgeMutation::SetSign {
+                u: NodeId::new(0),
+                v: NodeId::new(7),
+                sign: Sign::Positive,
+            },
+        ] {
+            let line = mutation_json(&m);
+            let body = parse_mutation_json(&line).unwrap();
+            assert_eq!(body.mutation(), Some(m), "{line}");
+        }
     }
 
     #[test]

@@ -317,6 +317,64 @@ impl Deserialize for TeamQuery {
     }
 }
 
+/// Why a [`QueryReader`] (or any JSONL record stream) failed to yield a
+/// record. `Truncated` is the interesting variant: a final line with no
+/// trailing newline that does not parse is a chopped record — a partial
+/// upload or a crash mid-write — and callers get the byte offset where the
+/// partial record starts so they can resume or truncate there. (A final
+/// line without a newline that *does* parse is accepted; hand-written files
+/// routinely omit the last newline.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryReadError {
+    /// A line was not a valid record.
+    Parse {
+        /// 1-based line number of the offending line.
+        lineno: usize,
+        /// The parse error.
+        detail: String,
+    },
+    /// The input ended mid-record: the final line had no trailing newline
+    /// and did not parse as a complete record.
+    Truncated {
+        /// 1-based line number of the partial record.
+        lineno: usize,
+        /// Byte offset (from the start of the input) where the partial
+        /// record begins — the safe truncation/resume point.
+        offset: u64,
+        /// The parse error the partial record produced.
+        detail: String,
+    },
+    /// The underlying reader failed.
+    Io {
+        /// 1-based line number being read when the reader failed.
+        lineno: usize,
+        /// The I/O error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for QueryReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryReadError::Parse { lineno, detail } => write!(f, "line {lineno}: {detail}"),
+            QueryReadError::Truncated {
+                lineno,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "line {lineno}: input truncated at byte {offset}: final record has no \
+                 trailing newline and is not complete ({detail})"
+            ),
+            QueryReadError::Io { lineno, detail } => {
+                write!(f, "line {lineno}: read error: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryReadError {}
+
 /// An incremental JSONL query reader: one [`TeamQuery`] per input line,
 /// blank lines and `#` comments skipped, errors carrying the 1-based line
 /// number. Unlike collecting the whole input up front, iterating lets the
@@ -327,6 +385,7 @@ pub struct QueryReader<R> {
     reader: R,
     line: String,
     lineno: usize,
+    offset: u64,
     done: bool,
 }
 
@@ -337,6 +396,7 @@ impl<R: std::io::BufRead> QueryReader<R> {
             reader,
             line: String::new(),
             lineno: 0,
+            offset: 0,
             done: false,
         }
     }
@@ -345,10 +405,16 @@ impl<R: std::io::BufRead> QueryReader<R> {
     pub fn line_number(&self) -> usize {
         self.lineno
     }
+
+    /// Bytes consumed from the input so far (through the end of the last
+    /// line read).
+    pub fn byte_offset(&self) -> u64 {
+        self.offset
+    }
 }
 
 impl<R: std::io::BufRead> Iterator for QueryReader<R> {
-    type Item = Result<TeamQuery, String>;
+    type Item = Result<TeamQuery, QueryReadError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.done {
@@ -357,28 +423,46 @@ impl<R: std::io::BufRead> Iterator for QueryReader<R> {
         loop {
             self.line.clear();
             self.lineno += 1;
+            let line_start = self.offset;
             match self.reader.read_line(&mut self.line) {
                 Ok(0) => {
                     self.done = true;
                     return None;
                 }
-                Ok(_) => {}
+                Ok(n) => self.offset += n as u64,
                 Err(e) => {
                     // Fuse on read failures: a persistent I/O error (dying
                     // disk) would otherwise make callers that skip errors
                     // retry the same read forever. (Parse errors do NOT
                     // fuse — later lines are still readable.)
                     self.done = true;
-                    return Some(Err(format!("line {}: read error: {e}", self.lineno)));
+                    return Some(Err(QueryReadError::Io {
+                        lineno: self.lineno,
+                        detail: e.to_string(),
+                    }));
                 }
             }
             let trimmed = self.line.trim();
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            return Some(
-                serde_json::from_str(trimmed).map_err(|e| format!("line {}: {e}", self.lineno)),
-            );
+            let lineno = self.lineno;
+            return Some(serde_json::from_str(trimmed).map_err(|e| {
+                if self.line.ends_with('\n') {
+                    QueryReadError::Parse {
+                        lineno,
+                        detail: e.to_string(),
+                    }
+                } else {
+                    // No trailing newline and no parse: the input was
+                    // chopped mid-record (partial upload, crash mid-write).
+                    QueryReadError::Truncated {
+                        lineno,
+                        offset: line_start,
+                        detail: e.to_string(),
+                    }
+                }
+            }));
         }
     }
 }
@@ -395,8 +479,46 @@ mod tests {
         assert_eq!(reader.next().unwrap().unwrap().task, vec![2, 3]);
         assert_eq!(reader.line_number(), 4);
         let err = reader.next().unwrap().unwrap_err();
-        assert!(err.starts_with("line 5:"), "got: {err}");
+        assert!(
+            matches!(err, QueryReadError::Parse { lineno: 5, .. }),
+            "got: {err:?}"
+        );
+        assert!(err.to_string().starts_with("line 5:"), "got: {err}");
         assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn truncated_final_record_is_typed_with_byte_offset() {
+        // The final line is chopped mid-record and has no trailing newline:
+        // the reader reports a typed truncation carrying the byte offset
+        // where the partial record starts.
+        let good = "{\"task\": [1]}\n";
+        let input = format!("{good}{{\"task\": [2, ");
+        let mut reader = QueryReader::new(std::io::Cursor::new(input));
+        assert_eq!(reader.next().unwrap().unwrap().task, vec![1]);
+        let err = reader.next().unwrap().unwrap_err();
+        match &err {
+            QueryReadError::Truncated { lineno, offset, .. } => {
+                assert_eq!(*lineno, 2);
+                assert_eq!(*offset, good.len() as u64);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("truncated at byte 14"), "got: {msg}");
+
+        // A final line without a newline that IS complete still parses —
+        // hand-written files routinely omit the last newline.
+        let mut reader = QueryReader::new(std::io::Cursor::new("{\"task\": [7]}"));
+        assert_eq!(reader.next().unwrap().unwrap().task, vec![7]);
+        assert!(reader.next().is_none());
+
+        // And a malformed line WITH a newline stays a plain parse error.
+        let mut reader = QueryReader::new(std::io::Cursor::new("{\"task\": [2, \n"));
+        assert!(matches!(
+            reader.next().unwrap().unwrap_err(),
+            QueryReadError::Parse { lineno: 1, .. }
+        ));
     }
 
     #[test]

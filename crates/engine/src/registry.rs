@@ -9,11 +9,13 @@
 //! protocol request optionally names an entry, and the first entry is the
 //! default for requests that do not.
 
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
 
 use tfsn_datasets::{synthetic, DatasetSpec};
 
 use crate::proto::{DeploymentInfo, ServiceError};
+use crate::wal::{FsyncPolicy, Wal};
 use crate::{Deployment, Engine, EngineOptions};
 
 /// Where a deployment's data comes from. Sources are *recipes*, not data:
@@ -187,13 +189,69 @@ impl DeploymentConfig {
     }
 }
 
+/// Durability configuration for a registry: every deployment that loads
+/// gets a per-deployment write-ahead log under `dir`, recovered (replayed,
+/// torn tail truncated) before the engine serves its first request.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding one `<name>.wal` file per deployment.
+    pub dir: PathBuf,
+    /// When appends flush to disk.
+    pub fsync: FsyncPolicy,
+}
+
+impl WalConfig {
+    /// A config with the default ([`FsyncPolicy::Batch`]) flush policy.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::default(),
+        }
+    }
+
+    /// Sets the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// The WAL file serving deployment `name` under this config's
+    /// directory — see [`wal_file_name`] for how names map to files.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.dir.join(wal_file_name(name))
+    }
+}
+
+/// Maps a deployment name to its WAL file name: safe names (ASCII
+/// alphanumerics, `-`, `_`, `.`) are used as-is; anything else is
+/// sanitized with `_` and suffixed with the CRC-32 of the original name
+/// in hex, so distinct names cannot collide after sanitization.
+pub fn wal_file_name(name: &str) -> String {
+    let safe = |c: char| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.');
+    if !name.is_empty() && name.chars().all(safe) && !name.starts_with('.') {
+        return format!("{name}.wal");
+    }
+    let sanitized: String = name
+        .chars()
+        .map(|c| if safe(c) { c } else { '_' })
+        .collect();
+    // A leading dot would hide the file (and `..` would escape nothing but
+    // still reads as a traversal); strip it — the checksum keeps stripped
+    // names distinct.
+    let sanitized = sanitized.trim_start_matches('.');
+    format!("{sanitized}-{:08x}.wal", crate::wal::crc32(name.as_bytes()))
+}
+
 /// One registry slot: the recipe plus the lazily-built engine. The
 /// `OnceLock` gives exactly-once loading under concurrency — racing
-/// requests for a cold deployment block on one load.
+/// requests for a cold deployment block on one load. A failed load (WAL
+/// directory unwritable, unreadable log) is cached as the typed error so
+/// every later request for the entry fails the same way instead of
+/// retrying a load that cannot succeed.
 #[derive(Debug)]
 struct Entry {
     config: DeploymentConfig,
-    engine: OnceLock<Arc<Engine>>,
+    engine: OnceLock<Result<Arc<Engine>, ServiceError>>,
 }
 
 /// Several named deployments resident in one process. See the module docs.
@@ -225,6 +283,7 @@ struct Entry {
 #[derive(Debug)]
 pub struct DeploymentRegistry {
     entries: Vec<Entry>,
+    wal: Option<WalConfig>,
 }
 
 impl DeploymentRegistry {
@@ -250,7 +309,22 @@ impl DeploymentRegistry {
                     engine: OnceLock::new(),
                 })
                 .collect(),
+            wal: None,
         })
+    }
+
+    /// Enables durable write-ahead logging: every deployment that loads
+    /// after this call recovers from (and then appends to) its WAL file
+    /// under the config's directory. See [`crate::wal`] and
+    /// `docs/DURABILITY.md`.
+    pub fn with_wal(mut self, wal: WalConfig) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// The durability config, when WAL logging is enabled.
+    pub fn wal_config(&self) -> Option<&WalConfig> {
+        self.wal.as_ref()
     }
 
     /// A registry serving one deployment.
@@ -294,36 +368,65 @@ impl DeploymentRegistry {
 
     /// The engine serving `name` (`None` = default), loading the deployment
     /// on first use. Concurrent callers for the same cold entry block on
-    /// exactly one load.
+    /// exactly one load. With a [`WalConfig`] attached, loading also
+    /// recovers the entry's WAL: the torn tail (if any) is truncated, every
+    /// surviving record is replayed through [`Engine::mutate`], and only
+    /// then does the engine start appending new mutations. A load that
+    /// cannot open or recover its WAL fails with a cached
+    /// [`ServiceError::Internal`] — cached because retrying cannot help
+    /// until the operator fixes the log, and a half-recovered engine must
+    /// never serve.
     pub fn engine(&self, name: Option<&str>) -> Result<Arc<Engine>, ServiceError> {
         let entry = self.entry(name)?;
-        Ok(entry
+        entry
             .engine
             .get_or_init(|| {
-                Arc::new(Engine::with_options(
+                let engine = Arc::new(Engine::with_options(
                     entry.config.source.load(),
                     entry.config.options.clone(),
-                ))
+                ));
+                match &self.wal {
+                    None => Ok(engine),
+                    Some(wal) => {
+                        recover_into(&engine, &wal.file(&entry.config.name), wal.fsync).map_err(
+                            |e| ServiceError::Internal {
+                                detail: format!(
+                                    "WAL recovery failed for deployment `{}`: {e}",
+                                    entry.config.name
+                                ),
+                            },
+                        )?;
+                        Ok(engine)
+                    }
+                }
             })
-            .clone())
+            .clone()
     }
 
     /// Resolves `name` (`None` = default) like [`Self::engine`] but never
     /// loads: `Ok(None)` when the entry exists and is cold, a typed
-    /// [`ServiceError::UnknownDeployment`] when it does not exist at all.
+    /// [`ServiceError::UnknownDeployment`] when it does not exist at all,
+    /// and the cached load error when a previous load failed.
     /// This is the mutation path's resolver — mutating a never-loaded
     /// deployment must not force a multi-gigabyte load.
     pub fn loaded_engine(&self, name: Option<&str>) -> Result<Option<Arc<Engine>>, ServiceError> {
-        Ok(self.entry(name)?.engine.get().cloned())
+        match self.entry(name)?.engine.get() {
+            None => Ok(None),
+            Some(Ok(engine)) => Ok(Some(engine.clone())),
+            Some(Err(e)) => Err(e.clone()),
+        }
     }
 
     /// The engine serving `name`, only if its deployment is already loaded
-    /// — metrics and listings must not force multi-gigabyte loads.
+    /// — metrics and listings must not force multi-gigabyte loads. Entries
+    /// whose load failed report as not loaded here.
     pub fn engine_if_loaded(&self, name: &str) -> Option<Arc<Engine>> {
         self.entries
             .iter()
             .find(|e| e.config.name == name)
-            .and_then(|e| e.engine.get().cloned())
+            .and_then(|e| e.engine.get())
+            .and_then(|r| r.as_ref().ok())
+            .cloned()
     }
 
     /// The registry listing for the protocol's `deployments` operation.
@@ -331,37 +434,63 @@ impl DeploymentRegistry {
         self.entries
             .iter()
             .enumerate()
-            .map(|(i, e)| match e.engine.get() {
-                Some(engine) => DeploymentInfo {
-                    name: e.config.name.clone(),
-                    default: i == 0,
-                    loaded: true,
-                    users: Some(engine.deployment().user_count() as u64),
-                    // The live graph, not the load-time snapshot: mutations
-                    // move the edge count.
-                    edges: Some(engine.graph().edge_count() as u64),
-                    skills: Some(engine.deployment().skill_count() as u64),
-                    tier: Some(
-                        engine
-                            .store()
-                            .policy()
-                            .tier_for(engine.deployment().user_count())
-                            .label()
-                            .to_string(),
-                    ),
+            .map(
+                |(i, e)| match e.engine.get().and_then(|r| r.as_ref().ok()) {
+                    Some(engine) => DeploymentInfo {
+                        name: e.config.name.clone(),
+                        default: i == 0,
+                        loaded: true,
+                        users: Some(engine.deployment().user_count() as u64),
+                        // The live graph, not the load-time snapshot: mutations
+                        // move the edge count.
+                        edges: Some(engine.graph().edge_count() as u64),
+                        skills: Some(engine.deployment().skill_count() as u64),
+                        tier: Some(
+                            engine
+                                .store()
+                                .policy()
+                                .tier_for(engine.deployment().user_count())
+                                .label()
+                                .to_string(),
+                        ),
+                    },
+                    None => DeploymentInfo {
+                        name: e.config.name.clone(),
+                        default: i == 0,
+                        loaded: false,
+                        users: None,
+                        edges: None,
+                        skills: None,
+                        tier: None,
+                    },
                 },
-                None => DeploymentInfo {
-                    name: e.config.name.clone(),
-                    default: i == 0,
-                    loaded: false,
-                    users: None,
-                    edges: None,
-                    skills: None,
-                    tier: None,
-                },
-            })
+            )
             .collect()
     }
+}
+
+/// Recovers one deployment's WAL into a freshly-loaded engine, then
+/// attaches the log so new mutations append. Three steps, in an order the
+/// crash-recovery tests depend on:
+///
+/// 1. **Open** the log, which scans it and truncates any torn tail left by
+///    a crash mid-append — the file ends on a record boundary afterwards.
+/// 2. **Replay** every surviving record through [`Engine::mutate`] while
+///    the engine has no WAL attached, so replay does not re-append.
+///    Records that fail to apply (e.g. a duplicate-insert that also failed
+///    when originally submitted) are skipped: appends happen *before*
+///    applies, so the log legitimately contains mutations the graph
+///    rejected, and rejection is deterministic on replay.
+/// 3. **Attach** the log, turning on append-before-apply for live traffic.
+fn recover_into(engine: &Arc<Engine>, path: &Path, fsync: FsyncPolicy) -> std::io::Result<()> {
+    let (wal, scan) = Wal::open(path, fsync)?;
+    for mutation in &scan.mutations {
+        let _ = engine.mutate(mutation);
+    }
+    engine
+        .attach_wal(wal)
+        .expect("freshly-loaded engines have no WAL attached");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -419,6 +548,78 @@ mod tests {
                 available: vec!["sd".to_string()],
             }
         );
+    }
+
+    #[test]
+    fn wal_file_names_are_safe_and_collision_free() {
+        assert_eq!(wal_file_name("sd"), "sd.wal");
+        assert_eq!(wal_file_name("prod-v2.east"), "prod-v2.east.wal");
+        // Unsafe names sanitize and carry a disambiguating checksum, so
+        // `a/b` and `a_b` land in different files.
+        let slashed = wal_file_name("a/b");
+        assert!(slashed.starts_with("a_b-") && slashed.ends_with(".wal"));
+        assert_ne!(slashed, wal_file_name("a_b"));
+        assert_ne!(wal_file_name(".hidden"), ".hidden.wal");
+        assert!(!wal_file_name("..").starts_with(".."));
+    }
+
+    #[test]
+    fn wal_recovery_replays_acknowledged_mutations() {
+        use signed_graph::{EdgeMutation, NodeId, Sign};
+        let dir = std::env::temp_dir().join(format!("tfsn-registry-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || {
+            DeploymentConfig::new(
+                "tiny",
+                DeploymentSource::parse("synthetic:nodes=60,edges=150,skills=10").unwrap(),
+            )
+        };
+        let wal_config = || WalConfig::new(&dir).with_fsync(FsyncPolicy::Always);
+        let registry = DeploymentRegistry::single(config()).with_wal(wal_config());
+        let engine = registry.engine(None).unwrap();
+        assert!(engine.wal().is_some(), "loading attaches the WAL");
+        let baseline = engine.graph().edge_count();
+        // Find a non-edge to insert (failed attempts also append — by
+        // design, since appends precede applies — and must replay as the
+        // same deterministic no-ops).
+        let mut inserted = None;
+        'search: for u in 0..60 {
+            for v in (u + 1)..60 {
+                let m = EdgeMutation::Insert {
+                    u: NodeId::new(u),
+                    v: NodeId::new(v),
+                    sign: Sign::Negative,
+                };
+                if engine.mutate(&m).is_ok() {
+                    inserted = Some((u, v));
+                    break 'search;
+                }
+            }
+        }
+        let (u, v) = inserted.expect("a 60-node graph with 150 edges has a non-edge");
+        engine
+            .mutate(&EdgeMutation::SetSign {
+                u: NodeId::new(u),
+                v: NodeId::new(v),
+                sign: Sign::Positive,
+            })
+            .unwrap();
+        let live_edges = engine.graph().edge_count();
+        assert_eq!(live_edges, baseline + 1);
+        drop(engine);
+        drop(registry);
+        // A fresh process: same recipe, same WAL dir. Recovery replays the
+        // acknowledged mutations into the freshly-loaded deployment.
+        let recovered = DeploymentRegistry::single(config()).with_wal(wal_config());
+        let engine = recovered.engine(None).unwrap();
+        assert_eq!(engine.graph().edge_count(), live_edges);
+        assert_eq!(
+            engine.graph().sign(NodeId::new(u), NodeId::new(v)),
+            Some(Sign::Positive),
+            "the replayed sign change wins"
+        );
+        assert!(engine.wal().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

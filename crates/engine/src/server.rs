@@ -20,10 +20,24 @@
 //! | `POST /v1/shutdown`    | — (only with [`ServerOptions::allow_shutdown`]) | `shutting down` (text/plain), then the server drains |
 //!
 //! `query`, `batch`, `mutate` and `stats` accept `?deployment=NAME` to
-//! address a registry entry, and `query`/`batch` accept `?timing=false` to
-//! zero the per-answer latency fields. Errors are [`Response::Error`]
-//! envelopes with mapped status codes (`unknown_deployment` → 404,
-//! `too_large` → 413, other client errors → 400).
+//! address a registry entry; `query`/`batch` accept `?timing=false` to
+//! zero the per-answer latency fields and `?deadline_ms=N` to bound the
+//! request's wall-clock budget (expiry → `deadline_exceeded`, 504). Errors
+//! are [`Response::Error`] envelopes with mapped status codes
+//! (`unknown_deployment` → 404, `too_large` → 413, `overloaded` → 503 with
+//! a `Retry-After` header, `deadline_exceeded` → 504, other client errors
+//! → 400).
+//!
+//! ## Overload protection
+//!
+//! Two independent caps shed load instead of queueing it unboundedly: the
+//! connection cap above, and a bounded *admission queue* for data-plane
+//! work ([`ServerOptions::max_inflight`] concurrent solves,
+//! [`ServerOptions::admission_queue`] waiters, each waiting at most
+//! [`ServerOptions::admission_wait`]). Shed requests get a typed
+//! `overloaded` 503 with a `Retry-After` header; `/healthz`, `/metrics`
+//! and the `GET` control plane bypass admission so the server stays
+//! observable while degraded. See `docs/DURABILITY.md`.
 //!
 //! ## Architecture
 //!
@@ -46,14 +60,16 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::Serialize;
 
+use crate::failpoint;
 use crate::proto::{Request, RequestBody, Response, ServiceError};
-use crate::service::{Service, StreamError};
+use crate::service::{Deadline, Service, StreamError, StreamOptions};
+use crate::telemetry::globals;
 use crate::TeamQuery;
 
 /// Longest accepted request line or header line, bytes.
@@ -78,6 +94,19 @@ pub struct ServerOptions {
     /// (off by default: an unauthenticated shutdown is an operator opt-in —
     /// CI smoke tests and local sessions, not exposed fleets).
     pub allow_shutdown: bool,
+    /// Maximum data-plane requests (`POST` query/batch/rpc/mutate) solving
+    /// concurrently. Requests over the cap wait in a bounded admission
+    /// queue; observability endpoints (`/healthz`, `/metrics`, the `GET`
+    /// control plane) bypass admission so the server stays inspectable
+    /// while shedding.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for an admission slot; one more is shed
+    /// with a typed `overloaded` 503 and a `Retry-After` header.
+    pub admission_queue: usize,
+    /// Longest a queued request waits for a slot before it is shed.
+    pub admission_wait: Duration,
+    /// The `Retry-After` delay advertised on shed (503) responses.
+    pub retry_after: Duration,
 }
 
 impl Default for ServerOptions {
@@ -88,6 +117,10 @@ impl Default for ServerOptions {
             max_body_bytes: 64 << 20,
             keep_alive: Duration::from_secs(30),
             allow_shutdown: false,
+            max_inflight: 64,
+            admission_queue: 128,
+            admission_wait: Duration::from_millis(500),
+            retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -173,6 +206,7 @@ impl HttpServer {
             }),
         };
         let connections = Arc::new(AtomicUsize::new(0));
+        let admission = Admission::new(&options);
         let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(threads);
         for _ in 0..threads {
             let cloned = match listener.try_clone() {
@@ -191,9 +225,17 @@ impl HttpServer {
             let service = service.clone();
             let handle = handle.clone();
             let connections = connections.clone();
+            let admission = admission.clone();
             let options = options.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&cloned, &service, &handle, &connections, &options)
+                worker_loop(
+                    &cloned,
+                    &service,
+                    &handle,
+                    &connections,
+                    &admission,
+                    &options,
+                )
             }));
         }
         Ok(HttpServer {
@@ -263,23 +305,150 @@ impl Drop for ConnectionGuard {
     }
 }
 
+/// The bounded admission queue: at most `max_inflight` data-plane requests
+/// solve concurrently, at most `max_waiting` more wait (up to `max_wait`)
+/// for a slot, and everything beyond that is shed immediately with a typed
+/// `overloaded` 503 — the server degrades by refusing work it cannot start
+/// soon, instead of queueing unboundedly until every response is late.
+#[derive(Debug)]
+struct Admission {
+    state: Mutex<AdmissionState>,
+    freed: Condvar,
+    max_inflight: usize,
+    max_waiting: usize,
+    max_wait: Duration,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    inflight: usize,
+    waiting: usize,
+}
+
+/// One admitted request's slot; dropping it frees the slot and wakes a
+/// waiter.
+struct AdmissionPermit {
+    admission: Arc<Admission>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut state = self
+            .admission
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        state.inflight -= 1;
+        drop(state);
+        self.admission.freed.notify_one();
+    }
+}
+
+impl Admission {
+    fn new(options: &ServerOptions) -> Arc<Self> {
+        Arc::new(Admission {
+            state: Mutex::new(AdmissionState::default()),
+            freed: Condvar::new(),
+            max_inflight: options.max_inflight.max(1),
+            max_waiting: options.admission_queue,
+            max_wait: options.admission_wait,
+        })
+    }
+
+    /// Waits for an execution slot: `None` means the request is shed (the
+    /// queue was full, or no slot freed within the wait budget).
+    fn admit(self: &Arc<Self>) -> Option<AdmissionPermit> {
+        let permit = || AdmissionPermit {
+            admission: self.clone(),
+        };
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Some(permit());
+        }
+        if state.waiting >= self.max_waiting {
+            return None;
+        }
+        state.waiting += 1;
+        let deadline = Instant::now() + self.max_wait;
+        loop {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            if timeout.is_zero() {
+                state.waiting -= 1;
+                return None;
+            }
+            let (next, _) = self
+                .freed
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+            state = next;
+            if state.inflight < self.max_inflight {
+                state.waiting -= 1;
+                state.inflight += 1;
+                return Some(permit());
+            }
+        }
+    }
+}
+
+/// First accept-retry delay after an `accept(2)` failure.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(10);
+/// Hard cap on the accept-retry delay: fd exhaustion can persist for
+/// seconds, but an acceptor must come back quickly once it clears.
+pub const ACCEPT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// Capped exponential backoff for accept failures: doubles per consecutive
+/// failure up to [`ACCEPT_BACKOFF_CAP`], resets on the next success — so a
+/// persistent fault (fd exhaustion) does not busy-spin every acceptor, and
+/// one transient fault does not leave acceptors sluggish.
+struct AcceptBackoff {
+    current: Duration,
+}
+
+impl AcceptBackoff {
+    fn new() -> Self {
+        AcceptBackoff {
+            current: ACCEPT_BACKOFF_START,
+        }
+    }
+
+    /// The delay to sleep for this failure; doubles the next one.
+    fn next_delay(&mut self) -> Duration {
+        let delay = self.current;
+        self.current = (self.current * 2).min(ACCEPT_BACKOFF_CAP);
+        delay
+    }
+
+    /// A successful accept ends the failure streak.
+    fn reset(&mut self) {
+        self.current = ACCEPT_BACKOFF_START;
+    }
+}
+
 fn worker_loop(
     listener: &TcpListener,
     service: &Arc<Service>,
     shutdown: &ShutdownHandle,
     connections: &Arc<AtomicUsize>,
+    admission: &Arc<Admission>,
     options: &ServerOptions,
 ) {
+    let mut backoff = AcceptBackoff::new();
     loop {
         if shutdown.is_shutdown() {
             return;
         }
         let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
+            Ok((stream, _)) => {
+                backoff.reset();
+                stream
+            }
             Err(_) => {
                 // Persistent accept failures (fd exhaustion, transient
-                // network errors) must not busy-spin every acceptor.
-                std::thread::sleep(Duration::from_millis(20));
+                // network errors) must not busy-spin every acceptor; the
+                // capped exponential backoff keeps retries cheap while
+                // recovering quickly once the fault clears.
+                std::thread::sleep(backoff.next_delay());
                 continue;
             }
         };
@@ -287,6 +456,7 @@ fn worker_loop(
             return;
         }
         if connections.fetch_add(1, Ordering::SeqCst) >= options.max_connections {
+            globals::note_request_shed();
             let guard = ConnectionGuard(connections.clone());
             let mut stream = stream;
             let _ = stream.set_write_timeout(Some(options.keep_alive));
@@ -297,7 +467,8 @@ fn worker_loop(
                     ServiceError::Overloaded {
                         max_connections: options.max_connections as u64,
                     },
-                ),
+                )
+                .with_retry_after(options.retry_after),
                 true,
             );
             drop(guard);
@@ -309,12 +480,13 @@ fn worker_loop(
         let guard = ConnectionGuard(connections.clone());
         let service = service.clone();
         let shutdown = shutdown.clone();
+        let admission = admission.clone();
         let options = options.clone();
         std::thread::spawn(move || {
             let _guard = guard;
             // Per-connection errors (resets, timeouts, malformed framing)
             // only terminate that connection.
-            let _ = handle_connection(stream, &service, &shutdown, &options);
+            let _ = handle_connection(stream, &service, &shutdown, &admission, &options);
         });
     }
 }
@@ -558,9 +730,20 @@ struct HttpResponse {
     status: u16,
     content_type: &'static str,
     body: Vec<u8>,
+    /// Extra response headers (name, value) beyond the framing set.
+    headers: Vec<(&'static str, String)>,
 }
 
 impl HttpResponse {
+    fn text(status: u16, body: &[u8]) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/plain",
+            body: body.to_vec(),
+            headers: Vec::new(),
+        }
+    }
+
     fn json(status: u16, value: &impl Serialize) -> Self {
         let mut body = serde_json::to_string(value)
             .unwrap_or_else(|_| "{}".to_string())
@@ -570,11 +753,21 @@ impl HttpResponse {
             status,
             content_type: "application/json",
             body,
+            headers: Vec::new(),
         }
     }
 
     fn error(status: u16, error: ServiceError) -> Self {
         Self::json(status, &Response::Error(error))
+    }
+
+    /// Adds a `Retry-After` header (whole seconds, rounded up, at least 1)
+    /// — every shed (503) response carries one so clients back off an
+    /// advertised amount instead of guessing.
+    fn with_retry_after(mut self, delay: Duration) -> Self {
+        let secs = delay.as_secs() + u64::from(delay.subsec_nanos() > 0);
+        self.headers.push(("Retry-After", secs.max(1).to_string()));
+        self
     }
 }
 
@@ -587,6 +780,7 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Internal Server Error",
     }
 }
@@ -597,6 +791,7 @@ fn status_for(error: &ServiceError) -> u16 {
         ServiceError::UnknownDeployment { .. } => 404,
         ServiceError::TooLarge { .. } => 413,
         ServiceError::Overloaded { .. } => 503,
+        ServiceError::DeadlineExceeded { .. } => 504,
         ServiceError::Internal { .. } => 500,
         ServiceError::UnsupportedVersion { .. }
         | ServiceError::UnknownOp { .. }
@@ -608,6 +803,7 @@ fn handle_connection(
     stream: TcpStream,
     service: &Service,
     shutdown: &ShutdownHandle,
+    admission: &Arc<Admission>,
     options: &ServerOptions,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(options.keep_alive))?;
@@ -632,6 +828,37 @@ fn handle_connection(
             Err(_) => return Ok(()), // timeout or reset
         };
         let close = request.close;
+        // Admission: data-plane work (solves, mutations) competes for a
+        // bounded number of slots; everything else (health, metrics,
+        // control-plane reads) bypasses so the server stays inspectable
+        // exactly when it is shedding.
+        let data_plane = request.method == "POST"
+            && matches!(
+                request.path.as_str(),
+                "/v1/query" | "/v1/batch" | "/v1/rpc" | "/v1/mutate"
+            );
+        let _permit = if data_plane {
+            match admission.admit() {
+                Some(permit) => Some(permit),
+                None => {
+                    globals::note_request_shed();
+                    let shed = HttpResponse::error(
+                        503,
+                        ServiceError::Overloaded {
+                            max_connections: options.max_inflight as u64,
+                        },
+                    )
+                    .with_retry_after(options.retry_after);
+                    write_response(&mut writer, &shed, close)?;
+                    if close || shutdown.is_shutdown() {
+                        return Ok(());
+                    }
+                    continue;
+                }
+            }
+        } else {
+            None
+        };
         // HTTP/1.1 batch responses stream chunked: answers go to the
         // socket as engine chunks complete instead of accumulating the
         // whole JSONL body in memory first. (HTTP/1.0 peers cannot parse
@@ -647,11 +874,7 @@ fn handle_connection(
         // trigger fires, because the drain in `HttpServer::join` races
         // this handler once the acceptors wake.
         if request.method == "POST" && request.path == "/v1/shutdown" && options.allow_shutdown {
-            let ack = HttpResponse {
-                status: 200,
-                content_type: "text/plain",
-                body: b"shutting down\n".to_vec(),
-            };
+            let ack = HttpResponse::text(200, b"shutting down\n");
             write_response(&mut writer, &ack, true)?;
             shutdown.shutdown();
             return Ok(());
@@ -743,10 +966,16 @@ fn respond_batch_streaming(
     service: &Service,
     request: &HttpRequest,
 ) -> std::io::Result<bool> {
-    let (deployment, timing) = query_params(request);
+    let params = match query_params(request) {
+        Ok(params) => params,
+        Err(e) => {
+            write_response(writer, &HttpResponse::error(400, e), request.close)?;
+            return Ok(!request.close);
+        }
+    };
     // Resolve (and lazily load) the deployment before committing a 200:
     // addressing errors still get clean status-coded envelopes.
-    if let Err(e) = service.engine(deployment.as_deref()) {
+    if let Err(e) = service.engine(params.deployment.as_deref()) {
         write_response(
             writer,
             &HttpResponse::error(status_for(&e), e),
@@ -761,10 +990,10 @@ fn respond_batch_streaming(
     );
     let mut chunked = ChunkedWriter::new(writer, head);
     match service.stream_batch(
-        deployment.as_deref(),
+        params.deployment.as_deref(),
         std::io::Cursor::new(&request.body),
         &mut chunked,
-        timing,
+        params.stream_options(),
     ) {
         Ok(_) => {
             chunked.finish()?;
@@ -789,21 +1018,47 @@ fn write_response(
     response: &HttpResponse,
     close: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    failpoint::hit("server.write")?;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
         if close { "close" } else { "keep-alive" },
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     writer.write_all(head.as_bytes())?;
     writer.write_all(&response.body)?;
     writer.flush()
 }
 
-/// The shared `?deployment=`/`?timing=` query parameters of a request.
-fn query_params(request: &HttpRequest) -> (Option<String>, bool) {
+/// The shared query parameters of a data-plane request.
+struct QueryParams {
+    deployment: Option<String>,
+    timing: bool,
+    deadline_ms: Option<u64>,
+}
+
+impl QueryParams {
+    /// The stream-batch options these parameters select.
+    fn stream_options(&self) -> StreamOptions {
+        StreamOptions {
+            timing: self.timing,
+            deadline: self.deadline_ms.map(Deadline::after_ms),
+        }
+    }
+}
+
+/// Parses the shared `?deployment=`/`?timing=`/`?deadline_ms=` query
+/// parameters; an unparseable `deadline_ms` is a typed 400.
+fn query_params(request: &HttpRequest) -> Result<QueryParams, ServiceError> {
     let param = |key: &str| {
         request
             .query
@@ -813,7 +1068,20 @@ fn query_params(request: &HttpRequest) -> (Option<String>, bool) {
     };
     let deployment = param("deployment").map(str::to_string);
     let timing = !matches!(param("timing"), Some("0") | Some("false"));
-    (deployment, timing)
+    let deadline_ms = match param("deadline_ms") {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| ServiceError::BadRequest {
+            detail: format!(
+                "query parameter `deadline_ms` must be a non-negative integer of \
+                 milliseconds, got `{v}`"
+            ),
+        })?),
+    };
+    Ok(QueryParams {
+        deployment,
+        timing,
+        deadline_ms,
+    })
 }
 
 /// The response a failed [`Service::stream_batch`] maps to (when nothing
@@ -831,21 +1099,21 @@ fn stream_error_response(e: StreamError) -> HttpResponse {
 }
 
 fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
-    let (deployment, timing) = query_params(request);
+    let params = match query_params(request) {
+        Ok(params) => params,
+        Err(e) => return HttpResponse::error(400, e),
+    };
     let envelope = |body: RequestBody| Request {
-        deployment: deployment.clone(),
+        deployment: params.deployment.clone(),
         body,
+        deadline_ms: params.deadline_ms,
     };
     let respond = |response: Response| match &response {
         Response::Error(e) => HttpResponse::error(status_for(e), e.clone()),
         _ => HttpResponse::json(200, &response),
     };
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => HttpResponse {
-            status: 200,
-            content_type: "text/plain",
-            body: b"ok\n".to_vec(),
-        },
+        ("GET", "/healthz") => HttpResponse::text(200, b"ok\n"),
         ("GET", "/v1/stats") => respond(service.handle(&envelope(RequestBody::Stats))),
         ("GET", "/v1/metrics") => respond(service.handle(&envelope(RequestBody::Metrics))),
         ("GET", "/v1/telemetry") => respond(service.handle(&envelope(RequestBody::Telemetry))),
@@ -856,6 +1124,7 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
             status: 200,
             content_type: crate::telemetry::prometheus::CONTENT_TYPE,
             body: service.prometheus_metrics().into_bytes(),
+            headers: Vec::new(),
         },
         ("GET", "/v1/deployments") => respond(service.handle(&envelope(RequestBody::Deployments))),
         ("POST", "/v1/rpc") => match std::str::from_utf8(&request.body) {
@@ -877,7 +1146,10 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
                     return HttpResponse::error(400, ServiceError::BadRequest { detail })
                 }
             };
-            match service.handle(&envelope(RequestBody::Query { query, timing })) {
+            match service.handle(&envelope(RequestBody::Query {
+                query,
+                timing: params.timing,
+            })) {
                 Response::Answer(answer) => HttpResponse::json(200, &answer),
                 Response::Error(e) => HttpResponse::error(status_for(&e), e),
                 other => HttpResponse::error(
@@ -894,15 +1166,16 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
             // transports emit byte-identical JSONL for the same stream.
             let mut body = Vec::new();
             match service.stream_batch(
-                deployment.as_deref(),
+                params.deployment.as_deref(),
                 std::io::Cursor::new(&request.body),
                 &mut body,
-                timing,
+                params.stream_options(),
             ) {
                 Ok(_) => HttpResponse {
                     status: 200,
                     content_type: "application/x-ndjson",
                     body,
+                    headers: Vec::new(),
                 },
                 Err(e) => stream_error_response(e),
             }
@@ -948,5 +1221,104 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
                 op: format!("{} {path}", request.method),
             },
         ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_doubles_to_cap_and_resets() {
+        let mut backoff = AcceptBackoff::new();
+        assert_eq!(backoff.next_delay(), ACCEPT_BACKOFF_START);
+        assert_eq!(backoff.next_delay(), ACCEPT_BACKOFF_START * 2);
+        let mut last = Duration::ZERO;
+        for _ in 0..20 {
+            last = backoff.next_delay();
+        }
+        assert_eq!(last, ACCEPT_BACKOFF_CAP, "growth stops at the cap");
+        backoff.reset();
+        assert_eq!(
+            backoff.next_delay(),
+            ACCEPT_BACKOFF_START,
+            "a success ends the streak"
+        );
+    }
+
+    #[test]
+    fn admission_sheds_beyond_queue_and_recycles_slots() {
+        let options = ServerOptions {
+            max_inflight: 1,
+            admission_queue: 0,
+            admission_wait: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let admission = Admission::new(&options);
+        let first = admission.admit().expect("the one slot");
+        assert!(
+            admission.admit().is_none(),
+            "a zero-length queue sheds immediately"
+        );
+        drop(first);
+        assert!(admission.admit().is_some(), "a freed slot re-admits");
+    }
+
+    #[test]
+    fn admission_waiters_get_freed_slots() {
+        let options = ServerOptions {
+            max_inflight: 1,
+            admission_queue: 1,
+            admission_wait: Duration::from_secs(5),
+            ..Default::default()
+        };
+        let admission = Admission::new(&options);
+        let held = admission.admit().unwrap();
+        let waiter = {
+            let admission = admission.clone();
+            std::thread::spawn(move || admission.admit().is_some())
+        };
+        // Give the waiter time to enter the queue, then free the slot.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(held);
+        assert!(waiter.join().unwrap(), "the waiter takes the freed slot");
+    }
+
+    #[test]
+    fn admission_wait_expiry_sheds() {
+        let options = ServerOptions {
+            max_inflight: 1,
+            admission_queue: 4,
+            admission_wait: Duration::from_millis(20),
+            ..Default::default()
+        };
+        let admission = Admission::new(&options);
+        let _held = admission.admit().unwrap();
+        let started = Instant::now();
+        assert!(
+            admission.admit().is_none(),
+            "no slot frees, so the wait budget sheds"
+        );
+        assert!(started.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn retry_after_rounds_up_to_whole_seconds() {
+        let header = |d| {
+            HttpResponse::text(503, b"")
+                .with_retry_after(d)
+                .headers
+                .pop()
+                .unwrap()
+        };
+        assert_eq!(
+            header(Duration::from_secs(1)),
+            ("Retry-After", "1".to_string())
+        );
+        assert_eq!(
+            header(Duration::from_millis(1500)),
+            ("Retry-After", "2".to_string())
+        );
+        assert_eq!(header(Duration::ZERO), ("Retry-After", "1".to_string()));
     }
 }

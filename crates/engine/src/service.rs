@@ -17,7 +17,7 @@
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tfsn_core::compat::CompatibilityKind;
 
@@ -54,6 +54,71 @@ impl Default for ServiceOptions {
             chunk: 1024,
             objective: None,
         }
+    }
+}
+
+/// A per-request wall-clock budget, carried from the envelope's
+/// `deadline_ms` field (or the HTTP `?deadline_ms=` query parameter) and
+/// checked at the protocol's cancellation points: before each solve, and
+/// between batch chunks. Granularity is deliberately one chunk — a chunk
+/// that has started runs to completion, so answers already streamed out
+/// always stand.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+    ms: u64,
+}
+
+impl Deadline {
+    /// A deadline `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Self {
+        Deadline {
+            at: Instant::now() + Duration::from_millis(ms),
+            ms,
+        }
+    }
+
+    /// `true` once the budget has run out.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// The typed failure when the budget has run out.
+    pub fn check(&self) -> Result<(), ServiceError> {
+        if self.expired() {
+            Err(ServiceError::DeadlineExceeded {
+                deadline_ms: self.ms,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Per-run options for [`Service::stream_batch`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamOptions {
+    /// Keep per-answer latency fields; `false` zeroes them
+    /// ([`crate::TeamAnswer::strip_timing`]) for byte-stable output.
+    pub timing: bool,
+    /// Abandon the stream (after the in-flight chunk) once this budget
+    /// runs out.
+    pub deadline: Option<Deadline>,
+}
+
+impl StreamOptions {
+    /// Options with the given timing flag and no deadline.
+    pub fn timing(timing: bool) -> Self {
+        StreamOptions {
+            timing,
+            deadline: None,
+        }
+    }
+
+    /// Sets the deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -190,9 +255,15 @@ impl Service {
 
     fn dispatch(&self, request: &Request) -> Result<Response, ServiceError> {
         let deployment = request.deployment.as_deref();
+        // The budget starts at dispatch, so deployment loading counts
+        // against it; it is checked before each solve, never mid-solve.
+        let deadline = request.deadline_ms.map(Deadline::after_ms);
         match &request.body {
             RequestBody::Query { query, timing } => {
                 let engine = self.registry.engine(deployment)?;
+                if let Some(d) = &deadline {
+                    d.check()?;
+                }
                 let mut answer = match self.defaulted(query) {
                     Some(query) => engine.query(&query),
                     None => engine.query(query),
@@ -204,6 +275,9 @@ impl Service {
             }
             RequestBody::Batch { queries, timing } => {
                 let engine = self.registry.engine(deployment)?;
+                if let Some(d) = &deadline {
+                    d.check()?;
+                }
                 let mut answers = if self.options.objective.is_some() {
                     let queries: Vec<TeamQuery> = queries
                         .iter()
@@ -317,11 +391,19 @@ impl Service {
                     }
                 })?;
                 let start = Instant::now();
-                let report = engine
-                    .mutate(&mutation)
-                    .map_err(|e| ServiceError::BadRequest {
+                // A graph-level rejection is the client's fault; a WAL
+                // append failure is ours — the mutation was refused
+                // *before* touching the graph (append-before-apply), so
+                // the client may safely retry once the operator recovers
+                // the log.
+                let report = engine.mutate(&mutation).map_err(|e| match e {
+                    crate::MutateError::Graph(e) => ServiceError::BadRequest {
                         detail: e.to_string(),
-                    })?;
+                    },
+                    crate::MutateError::Wal(e) => ServiceError::Internal {
+                        detail: format!("write-ahead log append failed: {e}"),
+                    },
+                })?;
                 Ok(Response::Mutated {
                     deployment: name.to_string(),
                     mutation: request.body.op().to_string(),
@@ -338,9 +420,12 @@ impl Service {
     /// Streams a JSONL query batch: reads bounded chunks from `input`, runs
     /// each through [`Engine::batch`], and writes one JSONL answer per
     /// query to `sink` in input order as chunks complete. With
-    /// `timing: false` the answers' latency fields are zeroed
+    /// `options.timing` off the answers' latency fields are zeroed
     /// ([`crate::TeamAnswer::strip_timing`]), making warm output
-    /// byte-stable across runs and transports.
+    /// byte-stable across runs and transports. With a deadline set, the
+    /// budget is checked before each chunk solves: on expiry the stream
+    /// aborts with [`ServiceError::DeadlineExceeded`] — answers of chunks
+    /// already streamed stand, pending chunks are abandoned.
     ///
     /// A malformed line aborts the stream with
     /// [`ServiceError::BadRequest`] carrying its 1-based line number;
@@ -351,7 +436,7 @@ impl Service {
         deployment: Option<&str>,
         input: impl BufRead,
         sink: &mut dyn Write,
-        timing: bool,
+        options: StreamOptions,
     ) -> Result<StreamSummary, StreamError> {
         let engine = self.registry.engine(deployment)?;
         let mut reader = QueryReader::new(input);
@@ -370,8 +455,11 @@ impl Service {
                         }
                         chunk.push(query);
                     }
-                    Some(Err(detail)) => {
-                        return Err(ServiceError::BadRequest { detail }.into());
+                    Some(Err(e)) => {
+                        return Err(ServiceError::BadRequest {
+                            detail: e.to_string(),
+                        }
+                        .into());
                     }
                     None => break,
                 }
@@ -379,12 +467,15 @@ impl Service {
             if chunk.is_empty() {
                 break;
             }
+            if let Some(deadline) = &options.deadline {
+                deadline.check()?;
+            }
             let mut answers = engine.batch(&chunk, &self.options.batch);
             out.summary.absorb(&BatchSummary::of(&answers));
             out.chunks += 1;
             let serialize_started = std::time::Instant::now();
             for answer in &mut answers {
-                if !timing {
+                if !options.timing {
                     answer.strip_timing();
                 }
                 let line = serde_json::to_string(answer).map_err(|e| {
@@ -515,14 +606,24 @@ mod tests {
         let chunked_service = two_deployment_service(4);
         let mut chunked = Vec::new();
         let s1 = chunked_service
-            .stream_batch(None, std::io::Cursor::new(&input), &mut chunked, false)
+            .stream_batch(
+                None,
+                std::io::Cursor::new(&input),
+                &mut chunked,
+                StreamOptions::timing(false),
+            )
             .unwrap();
         assert_eq!(s1.chunks, 6, "23 queries in chunks of 4");
         assert_eq!(s1.summary.queries, 23);
         let oneshot_service = two_deployment_service(1024);
         let mut oneshot = Vec::new();
         let s2 = oneshot_service
-            .stream_batch(None, std::io::Cursor::new(&input), &mut oneshot, false)
+            .stream_batch(
+                None,
+                std::io::Cursor::new(&input),
+                &mut oneshot,
+                StreamOptions::timing(false),
+            )
             .unwrap();
         assert_eq!(s2.chunks, 1);
         assert_eq!(chunked, oneshot, "chunking must not change the stream");
@@ -537,7 +638,12 @@ mod tests {
         let input = "{\"task\": [1]}\n{\"task\": [2]}\n{\"task\": [3]}\nboom\n";
         let mut sink = Vec::new();
         let err = service
-            .stream_batch(None, std::io::Cursor::new(input), &mut sink, true)
+            .stream_batch(
+                None,
+                std::io::Cursor::new(input),
+                &mut sink,
+                StreamOptions::timing(true),
+            )
             .unwrap_err();
         match err {
             StreamError::Service(ServiceError::BadRequest { detail }) => {
@@ -584,7 +690,12 @@ mod tests {
         // The streaming path stamps the default on every parsed line.
         let mut sink = Vec::new();
         service
-            .stream_batch(None, std::io::Cursor::new(jsonl(4)), &mut sink, false)
+            .stream_batch(
+                None,
+                std::io::Cursor::new(jsonl(4)),
+                &mut sink,
+                StreamOptions::timing(false),
+            )
             .unwrap();
         let out = String::from_utf8(sink).unwrap();
         assert_eq!(out.lines().count(), 4);
@@ -592,6 +703,52 @@ mod tests {
             out.lines().all(|l| l.contains("\"objective\":\"synergy\"")),
             "streamed answers must carry the default objective: {out}"
         );
+    }
+
+    #[test]
+    fn deadlines_fail_typed_at_cancellation_points() {
+        let service = two_deployment_service(4);
+        // A zero budget expires before the first solve.
+        let response = service.handle(
+            &Request::new(RequestBody::Query {
+                query: TeamQuery::new([0, 1]),
+                timing: false,
+            })
+            .on("tiny")
+            .with_deadline_ms(0),
+        );
+        assert_eq!(
+            response.error(),
+            Some(&ServiceError::DeadlineExceeded { deadline_ms: 0 })
+        );
+        // The streaming path aborts before the first chunk solves.
+        let mut sink = Vec::new();
+        let err = service
+            .stream_batch(
+                Some("tiny"),
+                std::io::Cursor::new(jsonl(8)),
+                &mut sink,
+                StreamOptions::timing(false).with_deadline(Deadline::after_ms(0)),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StreamError::Service(ServiceError::DeadlineExceeded { deadline_ms: 0 })
+            ),
+            "got {err:?}"
+        );
+        assert!(sink.is_empty(), "no chunk may start after expiry");
+        // A generous budget changes nothing.
+        let response = service.handle(
+            &Request::new(RequestBody::Query {
+                query: TeamQuery::new([0, 1]),
+                timing: false,
+            })
+            .on("tiny")
+            .with_deadline_ms(60_000),
+        );
+        assert!(matches!(response, Response::Answer(_)), "got {response:?}");
     }
 
     #[test]

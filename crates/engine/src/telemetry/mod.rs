@@ -38,6 +38,40 @@ use serde::{Deserialize, Serialize};
 use tfsn_core::compat::CompatibilityKind;
 use tfsn_core::team::Objective;
 
+/// Process-global serving counters that do not belong to any one engine:
+/// requests shed by overload protection and client-side retries. They are
+/// monotonic for the life of the process and surface unlabeled in the
+/// `/metrics` exposition (`tfsn_requests_shed_total`,
+/// `tfsn_client_retries_total`).
+pub mod globals {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static REQUESTS_SHED: AtomicU64 = AtomicU64::new(0);
+    static CLIENT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts one request refused with `overloaded` (admission queue full,
+    /// admission wait expired, or the connection cap hit).
+    pub fn note_request_shed() {
+        REQUESTS_SHED.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far in this process.
+    pub fn requests_shed() -> u64 {
+        REQUESTS_SHED.load(Ordering::Relaxed)
+    }
+
+    /// Counts one [`crate::client::HttpClient`] retry attempt (backoff
+    /// after an `overloaded` reply or a connect failure).
+    pub fn note_client_retry() {
+        CLIENT_RETRIES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Client retries so far in this process.
+    pub fn client_retries() -> u64 {
+        CLIENT_RETRIES.load(Ordering::Relaxed)
+    }
+}
+
 /// Operations with their own latency histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -147,6 +181,11 @@ pub struct EngineTelemetry {
     phases: [LatencyHistogram; Phase::ALL.len()],
     kinds: [LatencyHistogram; CompatibilityKind::ALL.len()],
     objectives: [LatencyHistogram; Objective::ALL_LABELS.len()],
+    /// Durable WAL appends acknowledged by this engine (replay excluded —
+    /// replayed records go through a WAL-less mutate).
+    wal_appends: AtomicU64,
+    /// Fsync latency of WAL appends that flushed (per the fsync policy).
+    wal_fsync: LatencyHistogram,
     slow: SlowQueryLog,
 }
 
@@ -165,8 +204,30 @@ impl EngineTelemetry {
             phases: std::array::from_fn(|_| LatencyHistogram::default()),
             kinds: std::array::from_fn(|_| LatencyHistogram::default()),
             objectives: std::array::from_fn(|_| LatencyHistogram::default()),
+            wal_appends: AtomicU64::new(0),
+            wal_fsync: LatencyHistogram::default(),
             slow: SlowQueryLog::new(slow_log),
         }
+    }
+
+    /// Records one acknowledged WAL append (and, when it flushed, its
+    /// fsync latency). Fed by [`crate::Engine::mutate`]; surfaces as
+    /// `tfsn_wal_appends_total` / `tfsn_wal_fsync_micros` in `/metrics`.
+    pub fn record_wal_append(&self, receipt: &crate::wal::AppendReceipt) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        if receipt.fsynced {
+            self.wal_fsync.record(receipt.fsync_micros);
+        }
+    }
+
+    /// Durable WAL appends recorded so far.
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the WAL fsync-latency histogram.
+    pub fn wal_fsync_snapshot(&self) -> HistogramSnapshot {
+        self.wal_fsync.snapshot()
     }
 
     /// Records one served query into the query-op, per-phase, per-kind, and

@@ -45,6 +45,10 @@ pub struct DeploymentScrape {
     pub kind_queries: Vec<u64>,
     /// Per-objective query counts, indexed like [`Objective::ALL_LABELS`].
     pub objective_queries: Vec<u64>,
+    /// Durable WAL appends acknowledged by this deployment's engine.
+    pub wal_appends: u64,
+    /// WAL fsync latency (only appends that flushed record here).
+    pub wal_fsync: HistogramSnapshot,
 }
 
 impl DeploymentScrape {
@@ -72,6 +76,8 @@ impl DeploymentScrape {
             objective_queries: (0..Objective::ALL_LABELS.len())
                 .map(|i| telemetry.objective_snapshot(i).count())
                 .collect(),
+            wal_appends: telemetry.wal_appends(),
+            wal_fsync: telemetry.wal_fsync_snapshot(),
         }
     }
 }
@@ -140,6 +146,30 @@ fn histogram_series(out: &mut String, name: &str, labels: &str, snapshot: &Histo
         snapshot.count()
     );
     let _ = writeln!(out, "{name}_sum{{{labels}}} {}", seconds(snapshot.sum));
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", snapshot.count());
+}
+
+/// Like [`histogram_series`] but with `le` bounds and `_sum` in raw
+/// microseconds, for families whose unit suffix is `_micros`.
+fn histogram_series_micros(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    snapshot: &HistogramSnapshot,
+) {
+    for &bound in PROM_BOUNDS_MICROS.iter() {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels},le=\"{bound}\"}} {}",
+            snapshot.cumulative_below(bucket_index(bound))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{labels},le=\"+Inf\"}} {}",
+        snapshot.count()
+    );
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {}", snapshot.sum);
     let _ = writeln!(out, "{name}_count{{{labels}}} {}", snapshot.count());
 }
 
@@ -235,6 +265,14 @@ pub fn render(scrapes: &[DeploymentScrape]) -> String {
         scrapes,
         |s| s.metrics.resident_bytes,
     );
+    scalar_family(
+        &mut out,
+        "tfsn_wal_appends_total",
+        "counter",
+        "Durable write-ahead-log appends acknowledged.",
+        scrapes,
+        |s| s.wal_appends,
+    );
 
     family(
         &mut out,
@@ -303,6 +341,45 @@ pub fn render(scrapes: &[DeploymentScrape]) -> String {
             );
         }
     }
+
+    family(
+        &mut out,
+        "tfsn_wal_fsync_micros",
+        "histogram",
+        "Write-ahead-log fsync latency in microseconds.",
+    );
+    for scrape in scrapes {
+        let labels = format!("deployment=\"{}\"", escape_label(&scrape.deployment));
+        histogram_series_micros(
+            &mut out,
+            "tfsn_wal_fsync_micros",
+            &labels,
+            &scrape.wal_fsync,
+        );
+    }
+
+    family(
+        &mut out,
+        "tfsn_requests_shed_total",
+        "counter",
+        "Requests refused by overload protection (process-wide).",
+    );
+    let _ = writeln!(
+        out,
+        "tfsn_requests_shed_total {}",
+        super::globals::requests_shed()
+    );
+    family(
+        &mut out,
+        "tfsn_client_retries_total",
+        "counter",
+        "HTTP client retry attempts after overload or connect failure (process-wide).",
+    );
+    let _ = writeln!(
+        out,
+        "tfsn_client_retries_total {}",
+        super::globals::client_retries()
+    );
     out
 }
 
@@ -324,6 +401,11 @@ mod tests {
             solved: true,
         });
         telemetry.record_op(Op::Batch, 40_000);
+        telemetry.record_wal_append(&crate::wal::AppendReceipt {
+            bytes: 48,
+            fsynced: true,
+            fsync_micros: 1500,
+        });
         let metrics = MetricsSnapshot {
             queries_served: 1,
             queries_solved: 1,
@@ -383,6 +465,20 @@ mod tests {
         assert!(text
             .contains("tfsn_objective_queries_total{deployment=\"sd\",objective=\"min_team\"} 0"));
         assert!(text.contains("tfsn_queries_served_total{deployment=\"sd\"} 1"));
+        // WAL families: the append counter, and the fsync histogram with
+        // raw-microsecond bounds (1500µs < 4096, not < 1024).
+        assert!(text.contains("tfsn_wal_appends_total{deployment=\"sd\"} 1"));
+        assert!(text.contains("tfsn_wal_fsync_micros_bucket{deployment=\"sd\",le=\"4096\"} 1"));
+        assert!(text.contains("tfsn_wal_fsync_micros_bucket{deployment=\"sd\",le=\"1024\"} 0"));
+        assert!(text.contains("tfsn_wal_fsync_micros_bucket{deployment=\"sd\",le=\"+Inf\"} 1"));
+        assert!(text.contains("tfsn_wal_fsync_micros_sum{deployment=\"sd\"} 1500"));
+        // Process-global overload counters are present and unlabeled.
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("tfsn_requests_shed_total ")));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("tfsn_client_retries_total ")));
     }
 
     #[test]

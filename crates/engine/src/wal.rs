@@ -1,0 +1,639 @@
+//! The durable write-ahead mutation log: crash safety for live deployments.
+//!
+//! PR 5 made deployments mutable ([`crate::Engine::mutate`]), but mutations
+//! lived only in process memory — a crash lost every edit since load. This
+//! module logs each mutation to an append-only file *before* it is applied,
+//! so a restarted process replays the log through the normal mutate path
+//! and resumes byte-identical to the acknowledged state (the PR 5 proptests
+//! pin replay ≡ rebuild; `tests/wal.rs` pins recovery ≡ acknowledged
+//! prefix under arbitrary kill points).
+//!
+//! ## Record format
+//!
+//! The log is a flat sequence of length-prefixed, checksummed records:
+//!
+//! ```text
+//! ┌───────────────┬───────────────┬────────────────────────────┐
+//! │ len: u32 (LE) │ crc: u32 (LE) │ payload: len bytes of JSON │
+//! └───────────────┴───────────────┴────────────────────────────┘
+//! ```
+//!
+//! The payload is the *bare mutation wire object* — the exact shape of one
+//! `tfsn mutate` JSONL line (see [`crate::proto::mutation_json`]), e.g.
+//! `{"op":"edge_insert","u":3,"v":9,"sign":"-"}` — so `tfsn wal export`
+//! emits a stream `tfsn mutate` replays directly. The CRC is IEEE CRC-32
+//! over the payload bytes.
+//!
+//! ## Torn tails
+//!
+//! A crash mid-append leaves a partial final record. [`scan`] detects it —
+//! a short header, a short payload, a checksum mismatch, or an unparseable
+//! payload at the end of the file — and reports it as a [`TornTail`];
+//! [`Wal::open`] truncates it away instead of failing, because a torn tail
+//! is the *expected* crash artifact, not corruption to refuse. Only the
+//! acknowledged prefix (records whose append returned before the crash) is
+//! guaranteed replayed; a complete-but-unacknowledged final record may also
+//! replay — never a half-applied one.
+//!
+//! ## Fsync policies and failure
+//!
+//! [`FsyncPolicy`] trades durability for append latency: `always` fsyncs
+//! every record, `batch` every [`BATCH_FSYNC_INTERVAL`] records, `off`
+//! leaves flushing to the OS. Appends and fsyncs host the `wal.append` /
+//! `wal.fsync` failpoints ([`crate::failpoint`]); after any append-path
+//! failure the log **poisons itself** — further appends are refused — so a
+//! torn write can never be followed by valid records it would then corrupt.
+//! Reloading the deployment (which re-opens and truncates the log) clears
+//! the condition.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use signed_graph::EdgeMutation;
+
+use crate::failpoint;
+use crate::proto;
+
+/// Bytes of the fixed record header (`len: u32` + `crc: u32`).
+pub const RECORD_HEADER_BYTES: u64 = 8;
+
+/// Records between fsyncs under [`FsyncPolicy::Batch`].
+pub const BATCH_FSYNC_INTERVAL: u64 = 32;
+
+/// Upper bound on one record's payload. Mutation wire objects are under a
+/// hundred bytes; a length prefix beyond this bound is garbage (a torn or
+/// overwritten header), not a record to allocate for.
+pub const MAX_RECORD_BYTES: u64 = 64 << 10;
+
+/// When the log file is fsynced relative to appends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync after every record: an acknowledged mutation survives power
+    /// loss, at one disk flush per append.
+    Always,
+    /// Fsync every [`BATCH_FSYNC_INTERVAL`] records: bounded loss window,
+    /// amortized flush cost. The default.
+    #[default]
+    Batch,
+    /// Never fsync: the OS flushes on its schedule. Survives process
+    /// crashes (the page cache persists) but not power loss.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Every policy, in label order — the closure docs tests check
+    /// `docs/DURABILITY.md` against.
+    pub const ALL: [FsyncPolicy; 3] = [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Off];
+
+    /// The CLI/config label (`always` / `batch` / `off`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Off => "off",
+        }
+    }
+
+    /// Parses a label (the `--wal-fsync` flag value).
+    pub fn parse(label: &str) -> Option<Self> {
+        FsyncPolicy::ALL.into_iter().find(|p| p.label() == label)
+    }
+}
+
+/// IEEE CRC-32 (the Ethernet/zip polynomial), table-driven. Hand-rolled:
+/// the no-registry constraint rules out the `crc` crate, and 8 lines of
+/// const table beat a vendored shim.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Encodes one mutation as a framed log record.
+pub fn encode_record(mutation: &EdgeMutation) -> Vec<u8> {
+    let payload = proto::mutation_json(mutation).into_bytes();
+    let mut record = Vec::with_capacity(RECORD_HEADER_BYTES as usize + payload.len());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&crc32(&payload).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record
+}
+
+/// A partial or corrupt final record found by [`scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the valid prefix ends (= where truncation cuts).
+    pub offset: u64,
+    /// Bytes in the torn tail (`file_bytes - offset`).
+    pub bytes: u64,
+    /// Why the record at `offset` did not decode.
+    pub reason: String,
+}
+
+/// What a [`scan`] of a log file found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Every decodable mutation, in log (= acknowledgement) order.
+    pub mutations: Vec<EdgeMutation>,
+    /// Bytes of the valid record prefix.
+    pub valid_bytes: u64,
+    /// Total bytes in the file.
+    pub file_bytes: u64,
+    /// The torn tail, when the file does not end on a record boundary.
+    pub tail: Option<TornTail>,
+}
+
+impl WalScan {
+    /// `true` when the whole file decoded as records.
+    pub fn clean(&self) -> bool {
+        self.tail.is_none()
+    }
+}
+
+/// Reads and validates a log file without modifying it (the `tfsn wal
+/// inspect` primitive). Decoding stops at the first invalid record — a
+/// torn tail — which is reported, not an error; a missing file scans as
+/// empty.
+pub fn scan(path: &Path) -> std::io::Result<WalScan> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let file_bytes = bytes.len() as u64;
+    let mut mutations = Vec::new();
+    let mut offset = 0u64;
+    let tail = loop {
+        let rest = &bytes[offset as usize..];
+        if rest.is_empty() {
+            break None;
+        }
+        let torn = |reason: String| TornTail {
+            offset,
+            bytes: file_bytes - offset,
+            reason,
+        };
+        if (rest.len() as u64) < RECORD_HEADER_BYTES {
+            break Some(torn(format!(
+                "truncated record header ({} of {RECORD_HEADER_BYTES} bytes)",
+                rest.len()
+            )));
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as u64;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_BYTES {
+            break Some(torn(format!(
+                "implausible record length {len} (cap {MAX_RECORD_BYTES}); \
+                 the header bytes are not a record"
+            )));
+        }
+        let body = &rest[RECORD_HEADER_BYTES as usize..];
+        if (body.len() as u64) < len {
+            break Some(torn(format!(
+                "truncated record payload ({} of {len} bytes)",
+                body.len()
+            )));
+        }
+        let payload = &body[..len as usize];
+        let actual = crc32(payload);
+        if actual != crc {
+            break Some(torn(format!(
+                "checksum mismatch (stored {crc:#010x}, computed {actual:#010x})"
+            )));
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(e) => break Some(torn(format!("record payload is not UTF-8: {e}"))),
+        };
+        let mutation = match proto::parse_mutation_json(text) {
+            Ok(body) => body
+                .mutation()
+                .expect("parse_mutation_json yields mutation bodies only"),
+            Err(e) => break Some(torn(format!("unparseable record payload: {e}"))),
+        };
+        mutations.push(mutation);
+        offset += RECORD_HEADER_BYTES + len;
+    };
+    Ok(WalScan {
+        mutations,
+        valid_bytes: offset,
+        file_bytes,
+        tail,
+    })
+}
+
+/// Truncates `path`'s torn tail in place (the `tfsn wal truncate`
+/// primitive). Returns the scan that decided the cut; a clean file is left
+/// untouched.
+pub fn truncate_torn_tail(path: &Path) -> std::io::Result<WalScan> {
+    let scan = scan(path)?;
+    if scan.tail.is_some() {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(scan.valid_bytes)?;
+        file.sync_data()?;
+    }
+    Ok(scan)
+}
+
+/// Receipt of one durable append, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendReceipt {
+    /// Framed bytes written (header + payload).
+    pub bytes: u64,
+    /// Whether this append flushed to disk (per the [`FsyncPolicy`]).
+    pub fsynced: bool,
+    /// Wall-clock fsync time when `fsynced`, microseconds.
+    pub fsync_micros: u64,
+}
+
+#[derive(Debug)]
+struct WalState {
+    file: File,
+    /// Appends since the last fsync (drives [`FsyncPolicy::Batch`]).
+    pending: u64,
+    /// After an append-path failure the log refuses further appends until
+    /// re-opened: a torn write followed by valid records would make the
+    /// tail look like mid-file corruption instead of a crash artifact.
+    poisoned: bool,
+}
+
+/// An open, append-only mutation log. `Sync`: appends serialize on an
+/// internal lock (the engine additionally orders append-before-apply under
+/// its own write lock — see [`crate::Engine::mutate`]).
+///
+/// # Examples
+///
+/// ```
+/// use signed_graph::{EdgeMutation, NodeId, Sign};
+/// use tfsn_engine::wal::{self, FsyncPolicy, Wal};
+///
+/// let path = std::env::temp_dir().join(format!("tfsn-wal-doc-{}.wal", std::process::id()));
+/// # let _ = std::fs::remove_file(&path);
+/// let (wal, scan) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+/// assert!(scan.mutations.is_empty() && scan.clean());
+/// wal.append(&EdgeMutation::Insert {
+///     u: NodeId::new(1),
+///     v: NodeId::new(2),
+///     sign: Sign::Positive,
+/// })
+/// .unwrap();
+/// drop(wal);
+///
+/// // A fresh open replays what was acknowledged.
+/// let (_wal, scan) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+/// assert_eq!(scan.mutations.len(), 1);
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    policy: FsyncPolicy,
+    state: parking_lot::Mutex<WalState>,
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` for appending, after
+    /// truncating any torn tail. The returned [`WalScan`] carries the
+    /// mutations to replay, in acknowledgement order.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> std::io::Result<(Wal, WalScan)> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let scan = scan(path)?;
+        // truncate(false): the valid prefix must survive; the torn tail is
+        // cut precisely with set_len below.
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        if scan.file_bytes > scan.valid_bytes {
+            file.set_len(scan.valid_bytes)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_bytes))?;
+        Ok((
+            Wal {
+                path: path.to_path_buf(),
+                policy,
+                state: parking_lot::Mutex::new(WalState {
+                    file,
+                    pending: 0,
+                    poisoned: false,
+                }),
+                appends: AtomicU64::new(0),
+                fsyncs: AtomicU64::new(0),
+            },
+            scan,
+        ))
+    }
+
+    /// Appends one mutation record, fsyncing per the policy. On any
+    /// failure the log poisons itself (see the module docs) and the
+    /// mutation must not be applied.
+    pub fn append(&self, mutation: &EdgeMutation) -> std::io::Result<AppendReceipt> {
+        let record = encode_record(mutation);
+        let mut state = self.state.lock();
+        if state.poisoned {
+            return Err(std::io::Error::other(format!(
+                "write-ahead log {} poisoned by an earlier failed append; \
+                 reload the deployment to truncate and recover",
+                self.path.display()
+            )));
+        }
+        let result = Self::append_locked(&mut state, self.policy, &record);
+        match result {
+            Ok(receipt) => {
+                self.appends.fetch_add(1, Ordering::Relaxed);
+                if receipt.fsynced {
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(receipt)
+            }
+            Err(e) => {
+                state.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn append_locked(
+        state: &mut WalState,
+        policy: FsyncPolicy,
+        record: &[u8],
+    ) -> std::io::Result<AppendReceipt> {
+        match failpoint::take("wal.append") {
+            None => {}
+            Some(failpoint::Action::Delay(d)) => std::thread::sleep(d),
+            Some(failpoint::Action::Error) => {
+                return Err(std::io::Error::other(format!(
+                    "{} `wal.append`",
+                    failpoint::INJECTED
+                )));
+            }
+            Some(failpoint::Action::ShortWrite(n)) => {
+                // The torn write a crash mid-write(2) leaves: part of the
+                // record lands, then the "process dies" (the error).
+                state.file.write_all(&record[..n.min(record.len())])?;
+                return Err(std::io::Error::other(format!(
+                    "{} `wal.append` (short write of {n} bytes)",
+                    failpoint::INJECTED
+                )));
+            }
+        }
+        state.file.write_all(record)?;
+        state.pending += 1;
+        let flush = match policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch => state.pending >= BATCH_FSYNC_INTERVAL,
+            FsyncPolicy::Off => false,
+        };
+        let (fsynced, fsync_micros) = if flush {
+            failpoint::hit("wal.fsync")?;
+            let started = Instant::now();
+            state.file.sync_data()?;
+            state.pending = 0;
+            (true, started.elapsed().as_micros() as u64)
+        } else {
+            (false, 0)
+        };
+        Ok(AppendReceipt {
+            bytes: record.len() as u64,
+            fsynced,
+            fsync_micros,
+        })
+    }
+
+    /// Forces an fsync of any batched-but-unflushed records.
+    pub fn sync(&self) -> std::io::Result<()> {
+        let mut state = self.state.lock();
+        if state.pending > 0 {
+            state.file.sync_data()?;
+            state.pending = 0;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Records appended through this handle (replay is not counted).
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Fsyncs performed by this handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// `true` once an append failed and the log refuses further appends.
+    pub fn poisoned(&self) -> bool {
+        self.state.lock().poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use signed_graph::{NodeId, Sign};
+
+    fn tmp(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("tfsn-wal-unit-{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn insert(u: usize, v: usize) -> EdgeMutation {
+        EdgeMutation::Insert {
+            u: NodeId::new(u),
+            v: NodeId::new(v),
+            sign: if (u + v).is_multiple_of(2) {
+                Sign::Positive
+            } else {
+                Sign::Negative
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE check value: CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_scan_round_trips_in_order() {
+        let path = tmp("roundtrip");
+        let (wal, scan0) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(scan0.file_bytes, 0);
+        let mutations: Vec<EdgeMutation> = (0..10).map(|i| insert(i, i + 1)).collect();
+        for m in &mutations {
+            let receipt = wal.append(m).unwrap();
+            assert!(receipt.fsynced, "policy always fsyncs every append");
+        }
+        assert_eq!(wal.appends(), 10);
+        assert_eq!(wal.fsyncs(), 10);
+        let scan = scan(&path).unwrap();
+        assert!(scan.clean());
+        assert_eq!(scan.mutations, mutations, "log order = append order");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_policy_fsyncs_on_interval() {
+        let path = tmp("batchsync");
+        let (wal, _) = Wal::open(&path, FsyncPolicy::Batch).unwrap();
+        for i in 0..(BATCH_FSYNC_INTERVAL as usize * 2) {
+            wal.append(&insert(i, i + 1)).unwrap();
+        }
+        assert_eq!(wal.fsyncs(), 2, "one fsync per full interval");
+        wal.append(&insert(99, 100)).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.fsyncs(), 3, "explicit sync flushes the remainder");
+        wal.sync().unwrap();
+        assert_eq!(wal.fsyncs(), 3, "sync with nothing pending is free");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_are_detected_and_truncated_at_every_offset() {
+        let path = tmp("torn");
+        let (wal, _) = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        let mutations: Vec<EdgeMutation> = (0..6).map(|i| insert(i, i + 2)).collect();
+        let mut boundaries = vec![0u64];
+        for m in &mutations {
+            let receipt = wal.append(m).unwrap();
+            boundaries.push(boundaries.last().unwrap() + receipt.bytes);
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        assert_eq!(full.len() as u64, *boundaries.last().unwrap());
+        // Cut the file at every possible byte offset: the scan must keep
+        // exactly the records whose boundary is at or before the cut.
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = scan(&path).unwrap();
+            let whole = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+            assert_eq!(scan.mutations.len(), whole, "cut at {cut}");
+            assert_eq!(scan.mutations, mutations[..whole], "cut at {cut}");
+            assert_eq!(scan.valid_bytes, boundaries[whole], "cut at {cut}");
+            assert_eq!(scan.clean(), boundaries.contains(&(cut as u64)));
+            // Truncation repairs in place; a re-scan is then clean.
+            let repaired = truncate_torn_tail(&path).unwrap();
+            assert_eq!(repaired.valid_bytes, boundaries[whole]);
+            let rescan = super::scan(&path).unwrap();
+            assert!(rescan.clean(), "cut at {cut} must repair cleanly");
+            assert_eq!(rescan.mutations.len(), whole);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_stops_the_scan() {
+        let path = tmp("crc");
+        let (wal, _) = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(&insert(0, 1)).unwrap();
+        let second = wal.append(&insert(1, 2)).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the *last* record: scan keeps record 1,
+        // reports the tail.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.mutations.len(), 1);
+        assert_eq!(scan.file_bytes - scan.valid_bytes, second.bytes);
+        let tail = scan.tail.expect("corrupt tail detected");
+        assert!(tail.reason.contains("checksum mismatch"), "{}", tail.reason);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_and_appends_after_the_valid_prefix() {
+        let path = tmp("reopen");
+        let (wal, _) = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(&insert(0, 1)).unwrap();
+        wal.append(&insert(1, 2)).unwrap();
+        drop(wal);
+        // Simulate a crash mid-append: 3 stray bytes of a fourth record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x2A, 0x00, 0x00]);
+        std::fs::write(&path, &bytes).unwrap();
+        let (wal, scan) = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        assert_eq!(scan.mutations.len(), 2);
+        assert!(!scan.clean());
+        wal.append(&insert(2, 3)).unwrap();
+        drop(wal);
+        let rescan = super::scan(&path).unwrap();
+        assert!(rescan.clean(), "append lands on the truncated boundary");
+        assert_eq!(rescan.mutations.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn failed_append_poisons_until_reopen() {
+        let path = tmp("poison");
+        let (wal, _) = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(&insert(0, 1)).unwrap();
+        failpoint::arm("wal.append", failpoint::Action::ShortWrite(5), 1);
+        let err = wal.append(&insert(1, 2)).unwrap_err();
+        assert!(failpoint::is_injected(&err), "{err}");
+        // Poisoned: even a healthy append is refused now.
+        let err = wal.append(&insert(2, 3)).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        assert!(wal.poisoned());
+        drop(wal);
+        // Reopen recovers: the torn 5 bytes truncate away.
+        let (wal, scan) = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        assert_eq!(scan.mutations.len(), 1);
+        assert!(!scan.clean());
+        wal.append(&insert(3, 4)).unwrap();
+        assert!(!wal.poisoned());
+        std::fs::remove_file(&path).unwrap();
+        failpoint::reset();
+    }
+}

@@ -5,6 +5,8 @@
 //!   ship undocumented);
 //! * `docs/ARCHITECTURE.md` must keep describing the invalidation rules
 //!   and shutdown surface it anchors;
+//! * `docs/DURABILITY.md` must keep covering every fsync policy and the
+//!   WAL/deadline/shedding surface;
 //! * local markdown links in README/ROADMAP/docs must resolve to files
 //!   that exist.
 
@@ -145,6 +147,45 @@ fn observability_doc_covers_every_axis_label() {
     }
 }
 
+#[test]
+fn durability_doc_covers_wal_and_overload_surface() {
+    let doc = read("docs/DURABILITY.md");
+    for policy in tfsn_engine::FsyncPolicy::ALL {
+        assert!(
+            doc.contains(&format!("`{}`", policy.label())),
+            "docs/DURABILITY.md is missing fsync policy `{}` — every policy \
+             in FsyncPolicy::ALL must be documented",
+            policy.label()
+        );
+    }
+    for anchor in [
+        "torn tail",
+        "--wal-dir",
+        "--wal-fsync",
+        "--max-inflight",
+        "--admission-queue",
+        "tfsn wal export",
+        "tfsn_wal_appends_total",
+        "tfsn_wal_fsync_micros",
+        "tfsn_requests_shed_total",
+        "tfsn_client_retries_total",
+        "Retry-After",
+        "deadline_ms",
+        "deadline_exceeded",
+        "overloaded",
+        "wal.append",
+        "wal.fsync",
+        "server.write",
+        "CRC-32",
+        "never half-applied",
+    ] {
+        assert!(
+            doc.contains(anchor),
+            "docs/DURABILITY.md lost its `{anchor}` section"
+        );
+    }
+}
+
 /// Extracts `](target)` markdown link targets, skipping external URLs and
 /// pure in-page fragments.
 fn local_links(markdown: &str) -> Vec<String> {
@@ -180,6 +221,7 @@ fn readme_roadmap_and_docs_links_resolve() {
         "docs/PROTOCOL.md",
         "docs/ARCHITECTURE.md",
         "docs/OBSERVABILITY.md",
+        "docs/DURABILITY.md",
     ] {
         let content = read(file);
         let base = repo_root().join(file);
@@ -205,6 +247,10 @@ fn readme_roadmap_and_docs_links_resolve() {
             assert!(
                 links.iter().any(|l| l.ends_with("docs/OBSERVABILITY.md")),
                 "README.md must link docs/OBSERVABILITY.md"
+            );
+            assert!(
+                links.iter().any(|l| l.ends_with("docs/DURABILITY.md")),
+                "README.md must link docs/DURABILITY.md"
             );
         }
     }

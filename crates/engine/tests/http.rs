@@ -198,7 +198,7 @@ fn concurrent_clients_get_engine_identical_answers_on_both_transports() {
                 Some(deployment),
                 std::io::Cursor::new(stream.as_bytes()),
                 &mut cli_bytes,
-                false,
+                tfsn_engine::StreamOptions::timing(false),
             )
             .unwrap();
         let cli_body = String::from_utf8(cli_bytes).unwrap();

@@ -206,7 +206,7 @@ fn absent_objective_is_byte_identical_across_transports_and_mutations() {
             Some("tiny"),
             std::io::Cursor::new(stream.as_bytes()),
             &mut cli_bytes,
-            false,
+            tfsn_engine::StreamOptions::timing(false),
         )
         .unwrap();
     assert_eq!(
@@ -251,7 +251,7 @@ fn absent_objective_is_byte_identical_across_transports_and_mutations() {
             Some("tiny"),
             std::io::Cursor::new(stream.as_bytes()),
             &mut cli_after,
-            false,
+            tfsn_engine::StreamOptions::timing(false),
         )
         .unwrap();
     assert_eq!(

@@ -201,7 +201,13 @@ fn request((variant, n, queries, q): (usize, usize, Vec<TeamQuery>, TeamQuery)) 
             sign,
         },
     };
-    Request { deployment, body }
+    // Exercise both the absent (pre-deadline) and present envelope shapes.
+    let deadline_ms = (n % 5 == 0).then_some(n as u64 * 17);
+    Request {
+        deployment,
+        deadline_ms,
+        body,
+    }
 }
 
 #[allow(clippy::type_complexity)]
