@@ -45,6 +45,14 @@
 //!   log. Since schema v6 the `durability` section carries per-policy wall
 //!   clocks and overhead ratios vs the no-WAL baseline — the PR 8 `batch ≤
 //!   1.15×` acceptance figure.
+//! * `cluster` — the distributed-serving measurement (schema v7): the
+//!   same warm batch storm (a) direct at one memory-budgeted server,
+//!   (b) through `tfsn route` over one replica, and (c) through the
+//!   router over two replicas with `--affinity` content hashing, where
+//!   each replica's budgeted row cache holds only its share of the query
+//!   working set — the ≥1.7× two-replica acceptance figure. Plus a
+//!   mutation burst through the router measuring WAL-shipping replication
+//!   catch-up on two live followers.
 //! * `telemetry_overhead` — the cost of one telemetry `record()` call
 //!   (three relaxed atomics), so the "histograms sit on the query hot path
 //!   without a measurable cost" claim in `docs/OBSERVABILITY.md` stays a
@@ -263,6 +271,7 @@ struct Report {
     mutation: MutationBenchReport,
     objectives: ObjectiveBenchReport,
     durability: DurabilityBenchReport,
+    cluster: ClusterBenchReport,
 }
 
 fn median(mut xs: Vec<u64>) -> u64 {
@@ -776,6 +785,47 @@ fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport 
     report
 }
 
+/// The distributed-serving measurement (see the module docs).
+#[derive(Debug, Serialize)]
+struct ClusterBenchReport {
+    /// The synthetic deployment every backend serves.
+    deployment_spec: String,
+    /// Rows left resident by one storm pass on an unbudgeted engine — the
+    /// measured working set the byte budget below is calibrated against.
+    working_set_rows: u64,
+    /// Row-store byte budget per backend engine (the thrash lever: the
+    /// full query working set does not fit in one budget, half does).
+    row_budget_bytes: u64,
+    /// Distinct one-line batch bodies cycled by the storm.
+    distinct_queries: u64,
+    /// Timed passes over the distinct-query set per topology.
+    cycles: u64,
+    /// CPU cores visible to this run. On a single-core host the scaling
+    /// figure below measures aggregate-cache capacity (fewer row
+    /// rebuilds), not parallel solve throughput.
+    host_cores: u64,
+    /// Warm storm q/s direct at one budgeted server (no router).
+    single_qps: f64,
+    /// The same storm through the router over one replica.
+    router_one_replica_qps: f64,
+    /// The same storm through the router over two replicas with
+    /// content-affinity reads (each budgeted cache holds its share).
+    router_two_replicas_qps: f64,
+    /// `router_two_replicas_qps / single_qps` — the ≥1.7× acceptance.
+    scaling_two_replicas: f64,
+    /// Row builds observed during the timed single-server storm vs the
+    /// sum across both replicas in the two-replica storm (the mechanism
+    /// behind the scaling figure: affinity stops the rebuild churn).
+    single_row_builds: u64,
+    two_replica_row_builds: u64,
+    /// Mutations shipped through the router during the replication burst.
+    replication_mutations: u64,
+    /// Wall-clock from the last acknowledged mutation until both
+    /// followers reported `replicated_seq == end_seq` over their own
+    /// stats endpoints (includes one 25 ms poll interval).
+    replication_catchup_seconds: f64,
+}
+
 /// Measures the telemetry hot path itself: one `record()` call — three
 /// relaxed atomics — on values spread across the histogram's bucket range.
 /// This is the cost every instrumented operation pays per sample, so it is
@@ -1062,6 +1112,331 @@ fn durability_report(quick: bool, groups: &mut Vec<Group>) -> DurabilityBenchRep
     }
 }
 
+/// The distributed-serving measurement: one warm batch storm, served three
+/// ways. Every backend runs the same synthetic deployment under a row-store
+/// byte budget sized so the storm's full working set does not fit in one
+/// engine but half of it does. The lone server therefore churns its LRU —
+/// every cycle rebuilds the rows the previous queries evicted — while the
+/// two-replica topology behind `--affinity` content hashing pins each query
+/// to one replica, so each budgeted cache serves a stable, resident share.
+/// The scaling figure is real avoided work (row rebuilds), which is why it
+/// expresses even on a single-core host; on multi-core hosts the replicas'
+/// parallel solves add on top of it.
+fn cluster_report(quick: bool, groups: &mut Vec<Group>) -> ClusterBenchReport {
+    use std::sync::Arc;
+    use tfsn_engine::client::RetryPolicy;
+    use tfsn_engine::cluster::{replica, FollowerOptions, Router, RouterOptions, Topology};
+    use tfsn_engine::registry::{
+        DeploymentConfig, DeploymentRegistry, DeploymentSource, WalConfig,
+    };
+    use tfsn_engine::server::{HttpServer, ServerOptions};
+    use tfsn_engine::service::{Service, ServiceOptions};
+    use tfsn_engine::{HttpClient, Response};
+
+    const SPEC: &str = "synthetic:nodes=800,edges=3200,skills=64,seed=11";
+    const DEPLOYMENT: &str = "net";
+    const NODES: usize = 800;
+    let cycles: usize = if quick { 3 } else { 10 };
+
+    // The storm: 16 distinct two-skill tasks over the Zipf *tail* (skills
+    // 32..63). Tail skills have few, mostly disjoint holders, so each
+    // task's candidate rows barely overlap the others' — which is what
+    // lets an affinity split genuinely partition the row working set.
+    // (Head-skill tasks would not: a popular skill plants its holders in
+    // every share's union, and no budget separates the topologies.)
+    let tasks: Vec<[usize; 2]> = (0..16).map(|i| [32 + 2 * i, 33 + 2 * i]).collect();
+    // The bounded greedy config (same spirit as `row_mode_report`): seed
+    // expansion is capped so the solver's own CPU stays small next to the
+    // row-(re)build work — the quantity the topologies differ in.
+    let solver_fields = r#""max_seeds": 2, "skill_degree_cap": 8"#;
+    let bodies: Vec<String> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            format!(
+                "{{\"id\": {i}, \"task\": [{}, {}], {solver_fields}}}\n",
+                t[0], t[1]
+            )
+        })
+        .collect();
+
+    // Calibrate the byte budget from the storm's *measured* working set:
+    // one pass on an unbudgeted engine, then cap every backend at 70% of
+    // the rows that pass left resident. One server cycling through 100%
+    // of the working set under a 70% LRU evicts every row every cycle
+    // (the sequential-scan worst case); each replica's affinity share
+    // (~half the rows) sits inside the budget and stays resident.
+    let calibration = DeploymentRegistry::new(vec![DeploymentConfig::new(
+        DEPLOYMENT,
+        DeploymentSource::parse(SPEC).expect("valid synthetic spec"),
+    )
+    // Row tier with no byte cap — nothing evicts, so `resident_rows`
+    // after the pass IS the storm's row working set. (The default
+    // materialized policy would build the full matrix and report no rows
+    // at all.)
+    .with_options(EngineOptions {
+        policy: StorePolicy::rows(None),
+        ..Default::default()
+    })])
+    .expect("calibration deployment");
+    let calib_engine = calibration.engine(None).expect("load calibration engine");
+    let calib_solver = tfsn_core::team::Solver::Greedy {
+        algorithm: tfsn_core::team::policies::TeamAlgorithm::LCMD,
+        config: tfsn_core::team::greedy::GreedyConfig {
+            max_seeds: Some(2),
+            skill_degree_cap: Some(8),
+            ..Default::default()
+        },
+    };
+    let calib_queries: Vec<tfsn_engine::TeamQuery> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            tfsn_engine::TeamQuery::new(t.iter().copied())
+                .with_id(i as u64)
+                .with_solver(calib_solver.clone())
+        })
+        .collect();
+    std::hint::black_box(calib_engine.batch(&calib_queries, &BatchOptions::default()));
+    let working_set_rows = calib_engine.metrics().resident_rows.max(1);
+    drop(calibration);
+    let row_budget = estimated_row_bytes(NODES) * working_set_rows as usize * 7 / 10;
+
+    let service = |wal_dir: Option<&std::path::Path>| -> Arc<Service> {
+        let mut registry = DeploymentRegistry::new(vec![DeploymentConfig::new(
+            DEPLOYMENT,
+            DeploymentSource::parse(SPEC).expect("valid synthetic spec"),
+        )
+        .with_options(EngineOptions {
+            policy: StorePolicy::rows(Some(row_budget)),
+            ..Default::default()
+        })])
+        .expect("one deployment");
+        if let Some(dir) = wal_dir {
+            registry = registry.with_wal(WalConfig::new(dir));
+        }
+        Arc::new(Service::with_options(
+            registry,
+            ServiceOptions {
+                batch: BatchOptions::with_threads(1),
+                chunk: 64,
+                objective: None,
+            },
+        ))
+    };
+    let server = |svc: Arc<Service>| -> HttpServer {
+        svc.engine(None).expect("load deployment up front");
+        HttpServer::bind(
+            svc,
+            "127.0.0.1:0",
+            ServerOptions {
+                threads: 2,
+                keep_alive: std::time::Duration::from_secs(2),
+                ..Default::default()
+            },
+        )
+        .expect("bind backend")
+    };
+    let row_builds = |svc: &Arc<Service>| svc.engine(None).expect("loaded").metrics().row_builds;
+
+    let storm = |addr: std::net::SocketAddr, cycles: usize| -> f64 {
+        let mut client = HttpClient::connect_with(addr, RetryPolicy::none()).expect("connect");
+        let start = Instant::now();
+        for _ in 0..cycles {
+            for body in &bodies {
+                let reply = client
+                    .post("/v1/batch?timing=false", body)
+                    .expect("storm batch");
+                assert_eq!(reply.status, 200, "{}", reply.body);
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let total_queries = (cycles * bodies.len()) as u64;
+
+    // (a) One budgeted server, storm straight at it.
+    let single_svc = service(None);
+    let single_srv = server(single_svc.clone());
+    storm(single_srv.addr(), 1); // reach LRU steady state
+    let builds_before = row_builds(&single_svc);
+    let single_wall = storm(single_srv.addr(), cycles);
+    let single_row_builds = row_builds(&single_svc) - builds_before;
+    single_srv.shutdown();
+    let single_qps = total_queries as f64 / single_wall.max(1e-9);
+
+    // (b)/(c) The same storm through the router over N affinity replicas.
+    // No replication here — identical unmutated snapshots serve the reads;
+    // the primary only backs the topology's write role.
+    let routed = |replica_count: usize| -> (f64, u64) {
+        let prim_svc = service(None);
+        let prim = server(prim_svc.clone());
+        let repl_svcs: Vec<Arc<Service>> = (0..replica_count).map(|_| service(None)).collect();
+        let repls: Vec<HttpServer> = repl_svcs.iter().map(|s| server(s.clone())).collect();
+        let mut specs = vec![format!("prim={},role=primary", prim.addr())];
+        for (i, r) in repls.iter().enumerate() {
+            specs.push(format!("r{i}={},role=replica", r.addr()));
+        }
+        let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+        let topology = Topology::parse(&spec_refs).expect("bench topology");
+        let router = Router::bind(
+            &topology,
+            "127.0.0.1:0",
+            RouterOptions {
+                affinity: true,
+                ..Default::default()
+            },
+        )
+        .expect("bind router");
+        storm(router.addr(), 1);
+        let before: u64 = repl_svcs.iter().map(&row_builds).sum();
+        let wall = storm(router.addr(), cycles);
+        let builds = repl_svcs.iter().map(&row_builds).sum::<u64>() - before;
+        router.shutdown();
+        for r in repls {
+            r.shutdown();
+        }
+        prim.shutdown();
+        (wall, builds)
+    };
+    let (one_replica_wall, _) = routed(1);
+    let (two_replica_wall, two_replica_row_builds) = routed(2);
+    let router_one_replica_qps = total_queries as f64 / one_replica_wall.max(1e-9);
+    let router_two_replicas_qps = total_queries as f64 / two_replica_wall.max(1e-9);
+    let scaling = router_two_replicas_qps / single_qps.max(1e-9);
+
+    for (label, wall) in [
+        ("single", single_wall),
+        ("router-1-replica", one_replica_wall),
+        ("router-2-replicas-affinity", two_replica_wall),
+    ] {
+        groups.push(Group {
+            name: format!("cluster/{label}"),
+            median_ns_per_op: (wall * 1e9) as u64 / total_queries.max(1),
+            p50_ns_per_op: None,
+            p95_ns_per_op: None,
+            p99_ns_per_op: None,
+            ops_per_iter: total_queries,
+            samples: 1,
+        });
+    }
+
+    // Replication catch-up: a WAL-attached primary, two live followers,
+    // a mutation burst through the router, and the wall time until both
+    // followers report the primary's high-water mark.
+    let dir = std::env::temp_dir().join(format!("tfsn-bench-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create wal scratch dir");
+    let prim_svc = service(Some(&dir));
+    let prim = server(prim_svc.clone());
+    let follower_svcs = [service(None), service(None)];
+    let follower_srvs: Vec<HttpServer> = follower_svcs.iter().map(|s| server(s.clone())).collect();
+    let followers: Vec<replica::FollowerHandle> = follower_svcs
+        .iter()
+        .map(|s| {
+            replica::start(
+                s.clone(),
+                FollowerOptions::new(prim.addr(), std::time::Duration::from_millis(25)),
+            )
+        })
+        .collect();
+    let specs = [
+        format!("prim={},role=primary", prim.addr()),
+        format!("r0={},role=replica", follower_srvs[0].addr()),
+        format!("r1={},role=replica", follower_srvs[1].addr()),
+    ];
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let topology = Topology::parse(&spec_refs).expect("replication topology");
+    let router = Router::bind(&topology, "127.0.0.1:0", RouterOptions::default())
+        .expect("bind replication router");
+    let mutations: u64 = if quick { 20 } else { 60 };
+    let mut client =
+        HttpClient::connect_with(router.addr(), RetryPolicy::none()).expect("connect router");
+    for i in 0..mutations / 2 {
+        // Remove-then-insert pairs: whichever of the pair the live graph
+        // rejects, both are WAL-logged (append-before-apply), so the log
+        // ends exactly at `mutations`.
+        for body in [
+            format!(r#"{{"op": "edge_remove", "u": {i}, "v": {}}}"#, i + 1),
+            format!(
+                r#"{{"op": "edge_insert", "u": {i}, "v": {}, "sign": "-"}}"#,
+                i + 1
+            ),
+        ] {
+            let reply = client.post("/v1/mutate", &body).expect("mutate");
+            assert!(
+                reply.status == 200 || reply.status == 400,
+                "mutation neither applied nor typed-rejected: {} {}",
+                reply.status,
+                reply.body
+            );
+        }
+    }
+    let replicated = |srv: &HttpServer| -> Option<u64> {
+        let mut c = HttpClient::connect_with(srv.addr(), RetryPolicy::none()).ok()?;
+        let reply = c.get("/v1/stats").ok()?;
+        match Response::parse_json(&reply.body).ok()? {
+            Response::Stats(stats) => stats.replicated_seq,
+            _ => None,
+        }
+    };
+    let catchup_start = Instant::now();
+    let deadline = catchup_start + std::time::Duration::from_secs(30);
+    while follower_srvs
+        .iter()
+        .any(|s| replicated(s) != Some(mutations))
+    {
+        assert!(
+            Instant::now() < deadline,
+            "followers failed to reach seq {mutations} within 30s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let catchup = catchup_start.elapsed().as_secs_f64();
+    router.shutdown();
+    for f in followers {
+        f.stop();
+    }
+    for s in follower_srvs {
+        s.shutdown();
+    }
+    prim.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = ClusterBenchReport {
+        deployment_spec: SPEC.to_string(),
+        working_set_rows,
+        row_budget_bytes: row_budget as u64,
+        distinct_queries: bodies.len() as u64,
+        cycles: cycles as u64,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        single_qps,
+        router_one_replica_qps,
+        router_two_replicas_qps,
+        scaling_two_replicas: scaling,
+        single_row_builds,
+        two_replica_row_builds,
+        replication_mutations: mutations,
+        replication_catchup_seconds: catchup,
+    };
+    eprintln!(
+        "cluster: {} working-set rows under a {}-byte budget; single {:.0} q/s \
+         ({} row builds), router+1 {:.0} q/s, router+2 (affinity) {:.0} q/s \
+         ({} row builds) -> {:.2}x; {} mutations replicated to 2 followers in {:.3}s",
+        report.working_set_rows,
+        report.row_budget_bytes,
+        report.single_qps,
+        report.single_row_builds,
+        report.router_one_replica_qps,
+        report.router_two_replicas_qps,
+        report.two_replica_row_builds,
+        report.scaling_two_replicas,
+        report.replication_mutations,
+        report.replication_catchup_seconds,
+    );
+    report
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -1103,9 +1478,10 @@ fn main() {
     let mutation = mutation_report(quick, &mut groups);
     let objectives = objectives_report(quick, &mut groups);
     let durability = durability_report(quick, &mut groups);
+    let cluster = cluster_report(quick, &mut groups);
     telemetry_overhead_group(quick, &mut groups);
     let report = Report {
-        schema: "tfsn-bench-report/v6",
+        schema: "tfsn-bench-report/v7",
         quick,
         groups,
         speedups,
@@ -1114,6 +1490,7 @@ fn main() {
         mutation,
         objectives,
         durability,
+        cluster,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     let mut file =

@@ -1,12 +1,11 @@
-//! A minimal blocking HTTP/1.1 client for the [`crate::server`] front-end:
+//! A minimal blocking HTTP/1.1 client for the tfsn server front-end:
 //! one keep-alive connection, `Content-Length`-framed responses, and
 //! bounded retry with capped jittered exponential backoff for idempotent
 //! reads.
 //!
-//! This exists so the integration tests, the bench harness and example
-//! programs drive the server through **one** framing implementation instead
-//! of three hand-rolled copies — and it is the seed of the remote-client
-//! crate the ROADMAP plans.
+//! This exists so the integration tests, the bench harness, example
+//! programs **and the cluster router's backend pools** drive the server
+//! through one framing implementation instead of hand-rolled copies.
 //!
 //! ## Retry semantics
 //!
@@ -19,12 +18,37 @@
 //! and blindly resending it would double-apply. Retry delays follow
 //! capped exponential backoff with jitter ([`RetryPolicy`]); every retry
 //! attempt counts into the process-global `tfsn_client_retries_total`.
+//!
+//! ## Connection reuse
+//!
+//! Any fully-framed reply — error statuses included — leaves the
+//! connection open for the next request: a typed 404 or 400 from a
+//! server (or router) must not churn sockets. The two exceptions are
+//! replies carrying `Connection: close` (the server is done with this
+//! socket; reusing it would make the *next* request fail with an I/O
+//! error, fatal for POSTs, which never retry) and connection-level I/O
+//! errors, where the framing state is unknown. Both tear the connection
+//! down so the next call reconnects cleanly; [`HttpClient::connects`]
+//! counts reconnections so tests can pin the reuse behavior.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use crate::telemetry::globals;
+static CLIENT_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Counts one [`HttpClient`] retry attempt (backoff after an `overloaded`
+/// reply or a connect failure). Surfaces process-wide as
+/// `tfsn_client_retries_total` in the server's `/metrics` exposition.
+pub fn note_client_retry() {
+    CLIENT_RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Client retries so far in this process.
+pub fn client_retries() -> u64 {
+    CLIENT_RETRIES.load(Ordering::Relaxed)
+}
 
 /// One HTTP response: the status code, response headers, and full body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,6 +165,10 @@ pub struct HttpClient {
     addr: SocketAddr,
     retry: RetryPolicy,
     conn: Option<Conn>,
+    /// TCP connections opened over this client's lifetime (1 after
+    /// construction; grows only when a reply said `Connection: close` or
+    /// an I/O error forced a reconnect).
+    connects: u64,
     /// xorshift64 state feeding backoff jitter.
     entropy: u64,
 }
@@ -154,6 +182,10 @@ struct Conn {
 impl Conn {
     fn open(addr: SocketAddr) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        // Nagle + the peer's delayed ACK turns any request that lands in
+        // more than one small segment into a ~40ms stall; a keep-alive
+        // request/response protocol must send segments as they are ready.
+        stream.set_nodelay(true)?;
         Ok(Conn {
             writer: stream.try_clone()?,
             reader: BufReader::new(stream),
@@ -174,6 +206,7 @@ impl HttpClient {
             addr,
             retry,
             conn: Some(conn),
+            connects: 1,
             // Any non-zero seed works for xorshift; derive it from the
             // address so concurrent clients jitter differently.
             entropy: 0x9E37_79B9_7F4A_7C15 ^ u64::from(addr.port()).wrapping_mul(0x100_0000_01B3),
@@ -183,6 +216,14 @@ impl HttpClient {
     /// The server address this client talks to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// TCP connections opened so far (1 right after connecting). Stays
+    /// flat while replies are fully framed and keep-alive — error
+    /// statuses included — and grows by one per `Connection: close`
+    /// reply or I/O failure.
+    pub fn connects(&self) -> u64 {
+        self.connects
     }
 
     /// `GET target` (path plus optional query string). Retries per the
@@ -200,7 +241,7 @@ impl HttpClient {
             if !retryable || attempt >= self.retry.attempts.max(1) {
                 return outcome;
             }
-            globals::note_client_retry();
+            note_client_retry();
             let entropy = self.next_entropy();
             let mut delay = self.retry.delay(attempt - 1, entropy);
             // An advertised Retry-After (capped) overrides a shorter
@@ -246,9 +287,13 @@ impl HttpClient {
     }
 
     /// Sends one request and reads the full response; the connection stays
-    /// open for the next call (HTTP keep-alive). On any I/O failure the
-    /// connection is dropped and re-established on the next call, so one
-    /// reset does not wedge the client.
+    /// open for the next call (HTTP keep-alive) whenever the reply was
+    /// fully framed — **error statuses included**, so typed 404/400
+    /// replies don't churn sockets. On an I/O failure the connection is
+    /// dropped and re-established on the next call, so one reset does not
+    /// wedge the client; a fully-framed reply carrying `Connection: close`
+    /// also drops it (the server will not read this socket again —
+    /// keeping it would make the next request fail instead).
     pub fn request(
         &mut self,
         method: &str,
@@ -256,9 +301,17 @@ impl HttpClient {
         body: &str,
     ) -> std::io::Result<HttpReply> {
         let outcome = self.request_on_conn(method, target, body);
-        if outcome.is_err() {
+        match &outcome {
             // The framing state is unknown after an error; start fresh.
-            self.conn = None;
+            Err(_) => self.conn = None,
+            Ok(reply) => {
+                let closing = reply
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                if closing {
+                    self.conn = None;
+                }
+            }
         }
         outcome
     }
@@ -271,14 +324,19 @@ impl HttpClient {
     ) -> std::io::Result<HttpReply> {
         if self.conn.is_none() {
             self.conn = Some(Conn::open(self.addr)?);
+            self.connects += 1;
         }
         let conn = self.conn.as_mut().expect("connection just ensured");
-        let head = format!(
+        // Head and body go out in ONE write: two small writes would be two
+        // TCP segments, and even with Nagle off the server may not see the
+        // body until the second segment is delivered — one segment per
+        // small request keeps the round trip at one RTT.
+        let mut wire = format!(
             "{method} {target} HTTP/1.1\r\nHost: tfsn\r\nContent-Length: {}\r\n\r\n",
             body.len()
         );
-        conn.writer.write_all(head.as_bytes())?;
-        conn.writer.write_all(body.as_bytes())?;
+        wire.push_str(body);
+        conn.writer.write_all(wire.as_bytes())?;
         conn.writer.flush()?;
 
         let bad = |detail: String| std::io::Error::other(detail);
@@ -402,6 +460,57 @@ mod tests {
         }
         // The cap binds from attempt 2 on (100ms, 200ms, then 300ms flat).
         assert!(policy.delay(3, 0) <= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn error_replies_reuse_the_connection_and_close_is_honored() {
+        use std::net::TcpListener;
+
+        // A canned server: the first connection frames a 404, then a 200
+        // with `Connection: close`, then stops reading; a second
+        // connection frames one final 200.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let respond = |stream: &mut TcpStream, status: &str, close: bool, body: &str| {
+                // Drain one request head + empty body before answering.
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap() == 0 || line.trim_end().is_empty() {
+                        break;
+                    }
+                }
+                let conn = if close { "close" } else { "keep-alive" };
+                let reply = format!(
+                    "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\
+                     Connection: {conn}\r\n\r\n{body}",
+                    body.len()
+                );
+                stream.write_all(reply.as_bytes()).unwrap();
+            };
+            let (mut stream, _) = listener.accept().unwrap();
+            respond(&mut stream, "404 Not Found", false, "nope");
+            respond(&mut stream, "200 OK", true, "bye");
+            drop(stream);
+            let (mut stream, _) = listener.accept().unwrap();
+            respond(&mut stream, "200 OK", false, "fresh");
+        });
+
+        let mut client = HttpClient::connect_with(addr, RetryPolicy::none()).unwrap();
+        assert_eq!(client.connects(), 1);
+        // A fully-framed error reply must NOT churn the connection.
+        let reply = client.get("/missing").unwrap();
+        assert_eq!((reply.status, reply.body.as_str()), (404, "nope"));
+        assert_eq!(client.connects(), 1, "404 reply must not reconnect");
+        // `Connection: close` tears it down — the next request reconnects
+        // cleanly instead of failing on the dead socket.
+        let reply = client.get("/done").unwrap();
+        assert_eq!((reply.status, reply.body.as_str()), (200, "bye"));
+        let reply = client.get("/again").unwrap();
+        assert_eq!((reply.status, reply.body.as_str()), (200, "fresh"));
+        assert_eq!(client.connects(), 2, "close reply must reconnect once");
+        server.join().unwrap();
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! The transport-agnostic service protocol: a versioned [`Request`] /
 //! [`Response`] envelope with typed error variants.
 //!
-//! Every transport — the CLI `serve-batch`/`stats` adapters, the HTTP/1.1
-//! front-end in [`crate::server`], and whatever remote clients come next —
-//! speaks this protocol against one [`crate::Service`]. A request names an
-//! operation (`op`), optionally a deployment in the service's
-//! [`crate::DeploymentRegistry`], and carries the protocol `version` so old
-//! clients fail loudly ([`ServiceError::UnsupportedVersion`]) instead of
-//! mis-parsing.
+//! Every transport — the CLI `serve-batch`/`stats` adapters, the engine's
+//! HTTP/1.1 front-end, the cluster router, and remote clients built on
+//! this crate — speaks this protocol against one service. A request names
+//! an operation (`op`), optionally a deployment in the service's registry,
+//! and carries the protocol `version` so old clients fail loudly
+//! ([`ServiceError::UnsupportedVersion`]) instead of mis-parsing.
 //!
 //! On the wire an envelope is one JSON object:
 //!
@@ -37,12 +36,12 @@ use std::fmt;
 
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use signed_graph::{EdgeMutation, NodeId, Sign};
-use tfsn_core::compat::{estimated_matrix_bytes, estimated_row_bytes, CompatibilityKind};
+use tfsn_core::compat::CompatibilityKind;
 use tfsn_datasets::DatasetStats;
 
-use crate::metrics::MetricsSnapshot;
-use crate::telemetry::TelemetryReport;
-use crate::{Engine, TeamAnswer, TeamQuery};
+use crate::answer::TeamAnswer;
+use crate::query::TeamQuery;
+use crate::report::{MetricsSnapshot, TelemetryReport};
 
 /// The protocol version this build speaks. Bump on breaking envelope
 /// changes; requests carrying any other version are rejected with
@@ -129,43 +128,58 @@ impl Request {
                 bad("field `deadline_ms` must be a non-negative integer of milliseconds")
             })?),
         };
-        let body = match op {
-            "query" => {
-                let q = field("query").ok_or_else(|| bad("op `query` needs field `query`"))?;
-                RequestBody::Query {
-                    query: TeamQuery::from_value(q)
-                        .map_err(|e| bad(format!("field `query`: {e}")))?,
-                    timing,
+        let body =
+            match op {
+                "query" => {
+                    let q = field("query").ok_or_else(|| bad("op `query` needs field `query`"))?;
+                    RequestBody::Query {
+                        query: TeamQuery::from_value(q)
+                            .map_err(|e| bad(format!("field `query`: {e}")))?,
+                        timing,
+                    }
                 }
-            }
-            "batch" => {
-                let qs = field("queries")
-                    .ok_or_else(|| bad("op `batch` needs field `queries`"))?
-                    .as_seq()
-                    .ok_or_else(|| bad("field `queries` must be an array"))?;
-                let queries = qs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, q)| {
-                        TeamQuery::from_value(q).map_err(|e| bad(format!("queries[{i}]: {e}")))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                RequestBody::Batch { queries, timing }
-            }
-            "warm" => RequestBody::Warm {
-                kinds: parse_kinds(field("kinds"), "kinds")?,
-            },
-            "stats" => RequestBody::Stats,
-            "metrics" => RequestBody::Metrics,
-            "telemetry" => RequestBody::Telemetry,
-            "deployments" => RequestBody::Deployments,
-            op => match parse_mutation_fields(op, &field)? {
-                Some(body) => body,
-                None => {
-                    return Err(ServiceError::UnknownOp { op: op.to_string() });
+                "batch" => {
+                    let qs = field("queries")
+                        .ok_or_else(|| bad("op `batch` needs field `queries`"))?
+                        .as_seq()
+                        .ok_or_else(|| bad("field `queries` must be an array"))?;
+                    let queries = qs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, q)| {
+                            TeamQuery::from_value(q).map_err(|e| bad(format!("queries[{i}]: {e}")))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    RequestBody::Batch { queries, timing }
                 }
-            },
-        };
+                "warm" => RequestBody::Warm {
+                    kinds: parse_kinds(field("kinds"), "kinds")?,
+                },
+                "stats" => RequestBody::Stats,
+                "metrics" => RequestBody::Metrics,
+                "telemetry" => RequestBody::Telemetry,
+                "deployments" => RequestBody::Deployments,
+                "wal_pull" => RequestBody::WalPull {
+                    from_seq: match field("from_seq") {
+                        None | Some(Value::Null) => 0,
+                        Some(v) => v.as_u64().ok_or_else(|| {
+                            bad("field `from_seq` must be a non-negative record index")
+                        })?,
+                    },
+                    max: match field("max") {
+                        None | Some(Value::Null) => None,
+                        Some(v) => Some(v.as_u64().ok_or_else(|| {
+                            bad("field `max` must be a non-negative record count")
+                        })?),
+                    },
+                },
+                op => match parse_mutation_fields(op, &field)? {
+                    Some(body) => body,
+                    None => {
+                        return Err(ServiceError::UnknownOp { op: op.to_string() });
+                    }
+                },
+            };
         Ok(Request {
             deployment,
             body,
@@ -215,6 +229,16 @@ pub enum RequestBody {
     Telemetry,
     /// List the registry's deployments.
     Deployments,
+    /// Pull acknowledged records from the deployment's write-ahead log —
+    /// the replication feed (`GET /v1/wal`). Record sequence numbers are
+    /// 0-based positions in the log; followers resume from the `next_seq`
+    /// of the previous pull.
+    WalPull {
+        /// First record sequence wanted (0 = from the beginning).
+        from_seq: u64,
+        /// At most this many records (`None` = the server's cap).
+        max: Option<u64>,
+    },
     /// Insert an edge into the live graph (`sign` travels as `"+"`/`"-"`).
     /// Mutations target loaded deployments only — they never force a load.
     EdgeInsert {
@@ -248,7 +272,7 @@ impl RequestBody {
     /// Every request `op` label this protocol version speaks — the closure
     /// the docs-coverage test checks `docs/PROTOCOL.md` against, so a new
     /// operation cannot ship undocumented.
-    pub const ALL_OPS: [&'static str; 10] = [
+    pub const ALL_OPS: [&'static str; 11] = [
         "query",
         "batch",
         "warm",
@@ -256,6 +280,7 @@ impl RequestBody {
         "metrics",
         "telemetry",
         "deployments",
+        "wal_pull",
         "edge_insert",
         "edge_remove",
         "edge_set_sign",
@@ -271,6 +296,7 @@ impl RequestBody {
             RequestBody::Metrics => "metrics",
             RequestBody::Telemetry => "telemetry",
             RequestBody::Deployments => "deployments",
+            RequestBody::WalPull { .. } => "wal_pull",
             RequestBody::EdgeInsert { .. } => "edge_insert",
             RequestBody::EdgeRemove { .. } => "edge_remove",
             RequestBody::EdgeSetSign { .. } => "edge_set_sign",
@@ -460,6 +486,12 @@ impl Serialize for Request {
             | RequestBody::Metrics
             | RequestBody::Telemetry
             | RequestBody::Deployments => {}
+            RequestBody::WalPull { from_seq, max } => {
+                m.push(("from_seq".to_string(), Value::UInt(*from_seq)));
+                if let Some(max) = max {
+                    m.push(("max".to_string(), Value::UInt(*max)));
+                }
+            }
             RequestBody::EdgeInsert { u, v, sign } | RequestBody::EdgeSetSign { u, v, sign } => {
                 m.push(("u".to_string(), Value::UInt(*u as u64)));
                 m.push(("v".to_string(), Value::UInt(*v as u64)));
@@ -520,6 +552,24 @@ pub enum Response {
     },
     /// The registry listing.
     Deployments(Vec<DeploymentInfo>),
+    /// A slice of the deployment's write-ahead log, for
+    /// [`RequestBody::WalPull`]. Records are the bare mutation wire
+    /// objects, in log (= apply) order; replaying them through the
+    /// mutation path reproduces the primary's graph.
+    WalRecords {
+        /// The deployment whose log was pulled.
+        deployment: String,
+        /// Sequence of the first record in `records` (echoes the
+        /// request's effective `from_seq`, clamped to the log length).
+        from_seq: u64,
+        /// Where the next pull should resume: `from_seq + records.len()`.
+        next_seq: u64,
+        /// Acknowledged records in the whole log at serve time — so
+        /// `end_seq - next_seq` is the follower's remaining lag.
+        end_seq: u64,
+        /// The records themselves (possibly fewer than requested).
+        records: Vec<EdgeMutation>,
+    },
     /// Acknowledgement of a mutation op (`edge_insert` / `edge_remove` /
     /// `edge_set_sign`).
     Mutated {
@@ -554,6 +604,7 @@ impl Response {
             Response::Metrics { .. } => "metrics",
             Response::Telemetry { .. } => "telemetry",
             Response::Deployments(_) => "deployments",
+            Response::WalRecords { .. } => "wal_records",
             Response::Mutated { .. } => "mutated",
             Response::Error(_) => "error",
         }
@@ -624,6 +675,32 @@ impl Response {
                 Vec::<DeploymentInfo>::from_value(required("deployments")?)
                     .map_err(|e| bad(format!("field `deployments`: {e}")))?,
             ),
+            "wal_records" => {
+                let u64_of = |key: &str| {
+                    required(key)?
+                        .as_u64()
+                        .ok_or_else(|| bad(format!("field `{key}` must be a non-negative integer")))
+                };
+                let records = required("records")?
+                    .as_seq()
+                    .ok_or_else(|| bad("field `records` must be an array of mutation objects"))?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        parse_mutation_value(r)
+                            .and_then(|body| body.mutation().ok_or_else(|| bad("not a mutation")))
+                            .map_err(|e| bad(format!("records[{i}]: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Response::WalRecords {
+                    deployment: String::from_value(required("deployment")?)
+                        .map_err(|e| bad(format!("field `deployment`: {e}")))?,
+                    from_seq: u64_of("from_seq")?,
+                    next_seq: u64_of("next_seq")?,
+                    end_seq: u64_of("end_seq")?,
+                    records,
+                }
+            }
             "mutated" => {
                 let u64_of = |key: &str| {
                     required(key)?
@@ -699,6 +776,22 @@ impl Serialize for Response {
                 m.push(("deployments".to_string(), deployments.to_value()));
             }
             Response::Deployments(infos) => m.push(("deployments".to_string(), infos.to_value())),
+            Response::WalRecords {
+                deployment,
+                from_seq,
+                next_seq,
+                end_seq,
+                records,
+            } => {
+                m.push(("deployment".to_string(), Value::Str(deployment.clone())));
+                m.push(("from_seq".to_string(), Value::UInt(*from_seq)));
+                m.push(("next_seq".to_string(), Value::UInt(*next_seq)));
+                m.push(("end_seq".to_string(), Value::UInt(*end_seq)));
+                m.push((
+                    "records".to_string(),
+                    Value::Seq(records.iter().map(mutation_value).collect()),
+                ));
+            }
             Response::Mutated {
                 deployment,
                 mutation,
@@ -739,10 +832,16 @@ pub struct DeploymentStats {
     pub dataset: DatasetStats,
     /// The serving plan the store policy assigns to this deployment.
     pub serving: ServingPlan,
+    /// On a follower: how many primary WAL records have been replayed
+    /// (the follower's replication high-water mark). Absent on servers
+    /// that are not following anything, and in pre-replication payloads.
+    pub replicated_seq: Option<u64>,
 }
 
-/// The serving plan a [`crate::StorePolicy`] assigns to one deployment
-/// (deterministic — nothing is built to report it).
+/// The serving plan the store policy assigns to one deployment
+/// (deterministic — nothing is built to report it). The engine constructs
+/// it (`tfsn_engine::Service` fills it from the live store policy); here
+/// it is a pure wire type.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServingPlan {
     /// Tier-selection mode (`auto`, `matrix`, `rows`).
@@ -759,27 +858,6 @@ pub struct ServingPlan {
     /// How many bit-packed rows the configured budget keeps resident per
     /// relation kind (`None` without a budget: unbounded).
     pub budget_resident_rows: Option<u64>,
-}
-
-impl ServingPlan {
-    /// The plan of a configured policy over a deployment of `nodes` users.
-    pub fn of_policy(policy: &crate::StorePolicy, nodes: usize) -> Self {
-        ServingPlan {
-            mode: policy.mode.label().to_string(),
-            memory_budget_bytes: policy.memory_budget.map(|b| b as u64),
-            tier: policy.tier_for(nodes).label().to_string(),
-            estimated_matrix_bytes: estimated_matrix_bytes(nodes) as u64,
-            estimated_row_bytes: estimated_row_bytes(nodes) as u64,
-            budget_resident_rows: policy
-                .memory_budget
-                .map(|b| (b / estimated_row_bytes(nodes).max(1)) as u64),
-        }
-    }
-
-    /// The plan of a live engine.
-    pub fn of_engine(engine: &Engine) -> Self {
-        ServingPlan::of_policy(engine.store().policy(), engine.deployment().user_count())
-    }
 }
 
 /// One deployment's serving metrics, for [`Response::Metrics`].
@@ -875,6 +953,16 @@ pub enum ServiceError {
         /// The budget that was exhausted, milliseconds.
         deadline_ms: u64,
     },
+    /// The cluster router has no healthy backend for the deployment this
+    /// request targets (every replica is ejected, or the primary is down
+    /// and the request is a mutation). Retryable after the `Retry-After`
+    /// delay — health probes re-admit backends as they recover.
+    NoBackend {
+        /// The deployment that could not be routed.
+        deployment: String,
+        /// What the router needed (`"primary"` or `"replica"`).
+        role: String,
+    },
     /// A server-side fault (transport I/O, invariant breach) — not a
     /// problem with the request; clients should not treat it as one.
     Internal {
@@ -887,7 +975,7 @@ impl ServiceError {
     /// Every error code this protocol version can emit — the closure the
     /// docs-coverage test checks `docs/PROTOCOL.md` against, so a new error
     /// variant cannot ship undocumented.
-    pub const ALL_CODES: [&'static str; 8] = [
+    pub const ALL_CODES: [&'static str; 9] = [
         "unsupported_version",
         "unknown_deployment",
         "unknown_op",
@@ -895,6 +983,7 @@ impl ServiceError {
         "too_large",
         "overloaded",
         "deadline_exceeded",
+        "no_backend",
         "internal",
     ];
 
@@ -908,6 +997,7 @@ impl ServiceError {
             ServiceError::TooLarge { .. } => "too_large",
             ServiceError::Overloaded { .. } => "overloaded",
             ServiceError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServiceError::NoBackend { .. } => "no_backend",
             ServiceError::Internal { .. } => "internal",
         }
     }
@@ -957,6 +1047,10 @@ impl ServiceError {
             "deadline_exceeded" => Ok(ServiceError::DeadlineExceeded {
                 deadline_ms: u64_field("deadline_ms")?,
             }),
+            "no_backend" => Ok(ServiceError::NoBackend {
+                deployment: str_field("deployment")?,
+                role: str_field("role")?,
+            }),
             "internal" => Ok(ServiceError::Internal {
                 detail: str_field("message")?,
             }),
@@ -992,6 +1086,10 @@ impl Serialize for ServiceError {
             }
             ServiceError::DeadlineExceeded { deadline_ms } => {
                 m.push(("deadline_ms".to_string(), Value::UInt(*deadline_ms)));
+            }
+            ServiceError::NoBackend { deployment, role } => {
+                m.push(("deployment".to_string(), Value::Str(deployment.clone())));
+                m.push(("role".to_string(), Value::Str(role.clone())));
             }
             // `message` (below) doubles as the detail for bad_request and
             // internal; for the other codes it is derived display text.
@@ -1038,6 +1136,12 @@ impl fmt::Display for ServiceError {
                 write!(
                     f,
                     "deadline of {deadline_ms} ms exceeded before the request completed"
+                )
+            }
+            ServiceError::NoBackend { deployment, role } => {
+                write!(
+                    f,
+                    "no healthy {role} backend for deployment `{deployment}`; retry later"
                 )
             }
             ServiceError::Internal { detail } => f.write_str(detail),
@@ -1152,6 +1256,10 @@ mod tests {
                 max_connections: 256,
             },
             ServiceError::DeadlineExceeded { deadline_ms: 250 },
+            ServiceError::NoBackend {
+                deployment: "slashdot".to_string(),
+                role: "replica".to_string(),
+            },
             ServiceError::Internal {
                 detail: "stream failed: broken pipe".to_string(),
             },
@@ -1174,7 +1282,7 @@ mod tests {
                 Err(other) => panic!("op `{op}` not recognised: {other:?}"),
             }
         }
-        assert_eq!(ServiceError::ALL_CODES.len(), 8);
+        assert_eq!(ServiceError::ALL_CODES.len(), 9);
     }
 
     #[test]
@@ -1288,21 +1396,40 @@ mod tests {
         assert!(json.contains("\"op\":\"telemetry\""), "{json}");
         assert_eq!(Request::parse_json(&json).unwrap(), req);
 
-        let telemetry = crate::telemetry::EngineTelemetry::new(4);
-        telemetry.record_query(crate::telemetry::QuerySample {
-            kind: CompatibilityKind::Spa,
-            algorithm: "LCMD".to_string(),
-            objective: "min_team",
-            total_micros: 250,
-            build_wait_micros: 40,
-            row_compute_micros: 10,
-            team_size: 3,
-            solved: true,
-        });
+        let report = TelemetryReport {
+            ops: vec![crate::report::AxisStats {
+                label: "query".to_string(),
+                stats: crate::report::HistogramStats {
+                    count: 1,
+                    sum_micros: 250,
+                    max_micros: 250,
+                    mean_micros: 250.0,
+                    p50_micros: 256,
+                    p90_micros: 256,
+                    p99_micros: 256,
+                    p999_micros: 256,
+                },
+            }],
+            phases: Vec::new(),
+            kinds: Vec::new(),
+            objectives: Vec::new(),
+            slow_queries: vec![crate::report::SlowQuery {
+                seq: 0,
+                kind: "SPA".to_string(),
+                algorithm: "LCMD".to_string(),
+                objective: "min_team".to_string(),
+                total_micros: 250,
+                build_wait_micros: 40,
+                row_compute_micros: 10,
+                solve_micros: 200,
+                team_size: 3,
+                solved: true,
+            }],
+        };
         let resp = Response::Telemetry {
             deployments: vec![DeploymentTelemetry {
                 deployment: "sd".to_string(),
-                telemetry: telemetry.report(),
+                telemetry: report,
             }],
         };
         let json = serde_json::to_string(&resp).unwrap();
@@ -1312,6 +1439,72 @@ mod tests {
 
         // Error path: a telemetry response without its payload is typed.
         let err = Response::parse_json(r#"{"version": 1, "op": "telemetry"}"#).unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest { .. }));
+    }
+
+    #[test]
+    fn wal_pull_round_trips_with_defaults() {
+        // Explicit slice.
+        let req = Request::new(RequestBody::WalPull {
+            from_seq: 12,
+            max: Some(64),
+        })
+        .on("sd");
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"wal_pull\""), "{json}");
+        assert!(json.contains("\"from_seq\":12"), "{json}");
+        assert_eq!(Request::parse_json(&json).unwrap(), req);
+        // Absent fields default: from the beginning, server-capped count.
+        let req = Request::parse_json(r#"{"version": 1, "op": "wal_pull"}"#).unwrap();
+        assert_eq!(
+            req.body,
+            RequestBody::WalPull {
+                from_seq: 0,
+                max: None
+            }
+        );
+        // Ill-typed slicing is a typed bad request.
+        let err = Request::parse_json(r#"{"version": 1, "op": "wal_pull", "from_seq": "x"}"#)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::BadRequest { .. }));
+    }
+
+    #[test]
+    fn wal_records_response_round_trips() {
+        let resp = Response::WalRecords {
+            deployment: "sd".to_string(),
+            from_seq: 2,
+            next_seq: 4,
+            end_seq: 9,
+            records: vec![
+                EdgeMutation::Insert {
+                    u: NodeId::new(3),
+                    v: NodeId::new(9),
+                    sign: Sign::Negative,
+                },
+                EdgeMutation::Remove {
+                    u: NodeId::new(1),
+                    v: NodeId::new(2),
+                },
+            ],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"op\":\"wal_records\""), "{json}");
+        assert!(json.contains("\"end_seq\":9"), "{json}");
+        // Records are the bare mutation wire objects — the same shape the
+        // WAL frames and `tfsn wal export` emits, so a pull is replayable.
+        assert!(
+            json.contains(r#"{"op":"edge_insert","u":3,"v":9,"sign":"-"}"#),
+            "{json}"
+        );
+        assert_eq!(Response::parse_json(&json).unwrap(), resp);
+        // A record that is not a mutation object is a typed bad request.
+        let err = Response::parse_json(
+            r#"{"version": 1, "op": "wal_records", "deployment": "sd",
+                "from_seq": 0, "next_seq": 1, "end_seq": 1,
+                "records": [{"op": "warm"}]}"#,
+        )
+        .unwrap_err();
         assert!(matches!(err, ServiceError::BadRequest { .. }));
     }
 

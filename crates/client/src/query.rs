@@ -85,7 +85,7 @@ impl TeamQuery {
 /// Serializes an [`Objective`] to its wire form: a bare label for the
 /// parameterless objectives, an object (`kind` + constraint fields, `None`s
 /// omitted) for the constrained one.
-pub(crate) fn objective_to_value(objective: &Objective) -> Value {
+pub fn objective_to_value(objective: &Objective) -> Value {
     match objective {
         Objective::MinTeam | Objective::Synergy => Value::Str(objective.label().to_string()),
         Objective::Constrained {
@@ -114,7 +114,7 @@ pub(crate) fn objective_to_value(objective: &Objective) -> Value {
 /// `kind` label plus the constrained objective's `include` / `max_size` /
 /// `max_distance` fields. Unknown specs are echoed back in the error so the
 /// protocol layer can surface them in a typed `bad_request`.
-pub(crate) fn objective_from_value(v: &Value) -> Result<Objective, SerdeError> {
+pub fn objective_from_value(v: &Value) -> Result<Objective, SerdeError> {
     let parse_label = |label: &str| match label.to_ascii_lowercase().as_str() {
         "min_team" => Some(Objective::MinTeam),
         "synergy" => Some(Objective::Synergy),

@@ -5,13 +5,23 @@
 //!                  [--threads N] [--chunk N] [--warm] [--no-timing]
 //! tfsn serve-http  [deployment flags] [serving flags] [--addr HOST:PORT]
 //!                  [--http-threads N] [--threads N] [--chunk N]
-//!                  [--allow-shutdown]
+//!                  [--allow-shutdown] [--follow PRIMARY_ADDR] [--poll-ms N]
+//! tfsn route       --backend NAME=ADDR,role=primary|replica ... [--listen A]
+//!                  [--probe-ms N] [--fail-after N] [--http-threads N]
+//!                  [--affinity]
 //! tfsn mutate      [deployment flags] [serving flags] [--input F] [--output F]
 //! tfsn stats       [deployment flags] [serving flags]
 //! tfsn gen         [dataset flags] [--queries N] [--task-size K]
 //!                  [--kinds CSV] [--algorithms CSV] [--output F] [--seed S]
 //! tfsn wal         inspect|truncate|export --file PATH [--output F]
+//!                  [--from-seq N] [--max N]
 //! ```
+//!
+//! `route` runs the cluster front-end of [`crate::cluster`]: a proxy that
+//! forwards mutations and WAL pulls to the topology's single primary and
+//! round-robins queries across healthy replicas. `serve-http --follow`
+//! turns a server into a read replica that converges on a primary by
+//! polling its WAL (see `docs/CLUSTER.md`).
 //!
 //! `serve-batch`, `serve-http`, `mutate` and `stats` are thin transports
 //! over one [`crate::Service`]: they build a [`crate::DeploymentRegistry`]
@@ -70,6 +80,7 @@ use tfsn_core::compat::CompatibilityKind;
 use tfsn_datasets::{synthetic, Dataset, DatasetSpec};
 use tfsn_skills::taskgen::random_coverable_tasks;
 
+use crate::cluster::{FollowerOptions, Router, RouterOptions, Topology};
 use crate::proto::{Request, RequestBody, Response};
 use crate::query::QueryReader;
 use crate::registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource, WalConfig};
@@ -84,9 +95,14 @@ use crate::{
 /// returns the process exit code.
 pub fn run(args: impl IntoIterator<Item = String>) -> i32 {
     let args: Vec<String> = args.into_iter().collect();
-    let stdout = std::io::stdout();
-    let stderr = std::io::stderr();
-    match main_impl(&args, &mut stdout.lock(), &mut stderr.lock()) {
+    // Unlocked handles on purpose: the stdio locks are reentrant only for
+    // the owning thread, so a guard held here for the life of the process
+    // would wedge the first `eprintln!` from a background thread (the
+    // `--follow` replication loop, most visibly) while `serve-http` sits
+    // in its accept loop forever.
+    let mut stdout = std::io::stdout();
+    let mut stderr = std::io::stderr();
+    match main_impl(&args, &mut stdout, &mut stderr) {
         Ok(()) => 0,
         Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}\n\n{USAGE}");
@@ -105,6 +121,7 @@ usage: tfsn <subcommand> [flags]
 subcommands:
   serve-batch   answer a JSONL batch of team queries (stdin/file -> stdout/file)
   serve-http    serve the query engine over HTTP/1.1 (long-lived process)
+  route         proxy a primary/replica topology (see docs/CLUSTER.md)
   mutate        apply a JSONL stream of live edge mutations to a deployment
   stats         print deployment statistics as JSON
   gen           generate a JSONL query workload for the deployment
@@ -165,6 +182,22 @@ serve-http flags:
                       Retry-After (default 64)
   --admission-queue N requests allowed to wait for a slot before the server
                       sheds immediately (default 128)
+  --follow ADDR       follow the primary at ADDR as a read replica: poll its
+                      GET /v1/wal and replay the records locally (excludes
+                      --wal-dir; followers are log-less — docs/CLUSTER.md)
+  --poll-ms N         follower poll interval in milliseconds (default 250)
+
+route flags:
+  --backend NAME=ADDR,role=primary|replica
+                      register a backend (repeatable); exactly one primary
+  --listen HOST:PORT  router bind address (default 127.0.0.1:7800)
+  --probe-ms N        /healthz probe interval per backend (default 500)
+  --fail-after N      consecutive failures that eject a backend (default 3)
+  --http-threads N    acceptor threads (default 2)
+  --affinity          content-affinity reads: route each read by a hash of
+                      its target and body instead of round-robin, so the
+                      same query sticks to the same replica and budgeted
+                      row caches partition the working set across the fleet
 
 mutate flags:
   --input FILE        JSONL mutations (default stdin), one object per line:
@@ -187,7 +220,9 @@ wal actions (tfsn wal <action> --file PATH):
                       boundary (what loading with --wal-dir does implicitly)
   export              re-emit the decodable records as tfsn-mutate JSONL
                       (--output FILE, default stdout); a torn tail is
-                      skipped with a note on stderr";
+                      skipped with a note on stderr. --from-seq N starts at
+                      the 0-based record N and --max N caps the count — the
+                      same slice rule the wal_pull protocol op uses";
 
 #[derive(Debug)]
 enum CliError {
@@ -209,7 +244,7 @@ struct Flags<'a> {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["--warm", "--no-timing", "--allow-shutdown"];
+const BOOLEAN_FLAGS: &[&str] = &["--warm", "--no-timing", "--allow-shutdown", "--affinity"];
 
 /// Deployment/dataset flags accepted by every subcommand.
 const DEPLOYMENT_FLAGS: &[&str] = &[
@@ -321,10 +356,32 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
                 "--objective",
                 "--max-inflight",
                 "--admission-queue",
+                "--follow",
+                "--poll-ms",
             ];
             allowed.extend_from_slice(SERVING_FLAGS);
             let flags = Flags::parse(rest, &allowed)?;
             serve_http(&flags, err)
+        }
+        "route" => {
+            let flags = Flags::parse(
+                rest,
+                &[
+                    "--backend",
+                    "--listen",
+                    "--probe-ms",
+                    "--fail-after",
+                    "--http-threads",
+                    "--affinity",
+                ],
+            )?;
+            // Flags::parse always admits the shared deployment flags; the
+            // router serves no deployments of its own, so they would be
+            // silently ignored here — fail loudly instead.
+            if let Some(flag) = DEPLOYMENT_FLAGS.iter().find(|f| flags.has(f)) {
+                return Err(usage(format!("unknown flag `{flag}` for this subcommand")));
+            }
+            route(&flags, err)
         }
         "mutate" => {
             let mut allowed = vec!["--input", "--output"];
@@ -811,7 +868,50 @@ fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result
     Ok(())
 }
 
+/// Resolves a `HOST:PORT` flag value (numeric or hostname).
+fn resolve_addr(flag: &str, value: &str) -> Result<std::net::SocketAddr, CliError> {
+    use std::net::ToSocketAddrs;
+    match value.parse() {
+        Ok(addr) => Ok(addr),
+        Err(_) => value
+            .to_socket_addrs()
+            .map_err(|e| usage(format!("flag `{flag}`: cannot resolve `{value}`: {e}")))?
+            .next()
+            .ok_or_else(|| usage(format!("flag `{flag}`: `{value}` resolves to no address"))),
+    }
+}
+
 fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
+    // Parse the replication flags before building the service, so usage
+    // errors beat dataset loading.
+    let follow = match flags.get("--follow") {
+        None if flags.has("--poll-ms") => {
+            return Err(usage(
+                "--poll-ms needs --follow (no primary to poll without one)",
+            ));
+        }
+        None => None,
+        Some(addr) => {
+            // A follower's graph is a replay of the primary's WAL; logging
+            // the replayed records into a second WAL would double-apply
+            // them on the follower's next restart.
+            if flags.has("--wal-dir") {
+                return Err(usage(
+                    "--follow and --wal-dir are mutually exclusive: followers are \
+                     log-less (durability lives in the primary's WAL; a restarted \
+                     follower re-pulls from sequence 0)",
+                ));
+            }
+            let poll_ms: u64 = flags.parse_num("--poll-ms", 250)?;
+            if poll_ms == 0 {
+                return Err(usage("flag `--poll-ms`: must be at least 1"));
+            }
+            Some(FollowerOptions::new(
+                resolve_addr("--follow", addr)?,
+                std::time::Duration::from_millis(poll_ms),
+            ))
+        }
+    };
     let (service, select) = build_service(flags)?;
     if select.is_some() {
         return Err(usage(
@@ -860,8 +960,61 @@ fn serve_http(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
         if allow_shutdown { " /v1/shutdown" } else { "" },
     )
     .ok();
+    let follower = follow.map(|options| {
+        writeln!(
+            err,
+            "[tfsn] following http://{} (poll every {:?}; replaying GET /v1/wal \
+             through the live engine)",
+            options.primary, options.poll,
+        )
+        .ok();
+        crate::cluster::replica::start(service.clone(), options)
+    });
     err.flush().ok();
     server.join();
+    if let Some(follower) = follower {
+        follower.stop();
+    }
+    Ok(())
+}
+
+/// The `tfsn route` subcommand: binds the cluster router over the
+/// `--backend` topology and runs until killed (or until the listener
+/// fails).
+fn route(flags: &Flags<'_>, err: &mut dyn Write) -> Result<(), CliError> {
+    let specs = flags.get_all("--backend");
+    let topology = Topology::parse(&specs).map_err(usage)?;
+    let addr = flags.get("--listen").unwrap_or("127.0.0.1:7800");
+    let mut options = RouterOptions::default();
+    options.threads = flags.parse_num("--http-threads", options.threads)?.max(1);
+    let probe_ms: u64 = flags.parse_num("--probe-ms", 500)?;
+    if probe_ms == 0 {
+        return Err(usage("flag `--probe-ms`: must be at least 1"));
+    }
+    options.probe_interval = std::time::Duration::from_millis(probe_ms);
+    options.fail_threshold = flags.parse_num("--fail-after", options.fail_threshold)?;
+    if options.fail_threshold == 0 {
+        return Err(usage("flag `--fail-after`: must be at least 1"));
+    }
+    options.affinity = flags.has("--affinity");
+    let router = Router::bind(&topology, addr, options)
+        .map_err(|e| runtime(format!("cannot bind {addr}: {e}")))?;
+    let replicas: Vec<&str> = topology.replicas().map(|b| b.name.as_str()).collect();
+    writeln!(
+        err,
+        "[tfsn] routing http://{} (primary: {} at {}; replicas: {})",
+        router.addr(),
+        topology.primary().name,
+        topology.primary().addr,
+        if replicas.is_empty() {
+            "none — reads fall back to the primary".to_string()
+        } else {
+            replicas.join(", ")
+        },
+    )
+    .ok();
+    err.flush().ok();
+    router.join();
     Ok(())
 }
 
@@ -894,12 +1047,20 @@ fn wal_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<
             "wal needs an action: inspect, truncate, or export (then --file PATH)",
         ));
     };
-    let flags = Flags::parse(&args[1..], &["--file", "--output"])?;
+    let flags = Flags::parse(&args[1..], &["--file", "--output", "--from-seq", "--max"])?;
     // Flags::parse always admits the shared deployment flags; wal operates
     // on a file, not a deployment, so they would be silently ignored here —
     // fail loudly instead.
     if let Some(flag) = DEPLOYMENT_FLAGS.iter().find(|f| flags.has(f)) {
         return Err(usage(format!("unknown flag `{flag}` for this subcommand")));
+    }
+    if action != "export" {
+        if let Some(flag) = ["--from-seq", "--max"].iter().find(|f| flags.has(f)) {
+            return Err(usage(format!(
+                "flag `{flag}` only applies to `wal export` (slicing a summary \
+                 or a truncation makes no sense)"
+            )));
+        }
     }
     let path = flags
         .get("--file")
@@ -974,8 +1135,19 @@ fn wal_cmd(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Result<
                 )
                 .ok();
             }
+            // The same positional slice rule the `wal_pull` protocol op
+            // applies, so an exported window replays exactly what a
+            // follower at that sequence would pull.
+            let from_seq: u64 = flags.parse_num("--from-seq", 0)?;
+            let max: Option<u64> = match flags.get("--max") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| usage(format!("flag `--max`: invalid value `{v}`")))?,
+                ),
+            };
             let mut sink = open_output(&flags, out)?;
-            for mutation in &scan.mutations {
+            for mutation in wal::slice(&scan.mutations, from_seq, max) {
                 writeln!(sink, "{}", crate::proto::mutation_json(mutation))
                     .map_err(|e| runtime(format!("write mutation: {e}")))?;
             }

@@ -1,0 +1,26 @@
+//! Distributed serving: the sharding router and WAL-shipping read
+//! replication (see `docs/CLUSTER.md`).
+//!
+//! Three pieces make a deployment scale past one process:
+//!
+//! * [`topology`] — the static cluster map: named backends with roles,
+//!   parsed from repeated `--backend NAME=ADDR,role=primary|replica`
+//!   flags. Exactly one primary; any number of replicas.
+//! * [`router`] — the `tfsn route` front-end: a thin HTTP/1.1 proxy that
+//!   forwards mutations and WAL pulls to the primary, round-robins
+//!   queries/batches across healthy replicas over pooled keep-alive
+//!   [`crate::HttpClient`]s, health-probes every backend, and retries
+//!   idempotent reads once on a different replica before answering a
+//!   typed `no_backend` 503.
+//! * [`replica`] — the follower loop behind `serve-http --follow`: polls
+//!   the primary's `GET /v1/wal` and replays the records through
+//!   [`crate::Engine::mutate`], so a replica converges on the primary's
+//!   live graph while serving reads the whole time.
+
+pub mod replica;
+pub mod router;
+pub mod topology;
+
+pub use replica::{FollowerHandle, FollowerOptions};
+pub use router::{Router, RouterOptions};
+pub use topology::{BackendSpec, Role, Topology};

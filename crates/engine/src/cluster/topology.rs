@@ -1,0 +1,221 @@
+//! The static cluster map: named backends with roles.
+//!
+//! A topology is parsed from repeated `--backend NAME=ADDR,role=ROLE`
+//! flags and validated up front, so a misconfigured router fails loudly at
+//! startup instead of silently black-holing traffic: duplicate names, a
+//! missing (or second) primary, an unknown role, and an unresolvable
+//! address are all usage errors.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+/// The role a backend plays in the replication scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The single write target: mutations and WAL pulls route here.
+    Primary,
+    /// A read target: queries and batches round-robin across these.
+    Replica,
+}
+
+impl Role {
+    /// The wire label (`primary` / `replica`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Replica => "replica",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(label: &str) -> Option<Role> {
+        match label {
+            "primary" => Some(Role::Primary),
+            "replica" => Some(Role::Replica),
+            _ => None,
+        }
+    }
+}
+
+/// One named backend: `NAME=ADDR,role=ROLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// The operator-chosen name (unique within a topology).
+    pub name: String,
+    /// The resolved server address.
+    pub addr: SocketAddr,
+    /// The backend's role.
+    pub role: Role,
+}
+
+impl BackendSpec {
+    /// Parses one `NAME=ADDR,role=primary|replica` flag value.
+    pub fn parse(spec: &str) -> Result<BackendSpec, String> {
+        let (name, rest) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("expected NAME=ADDR,role=primary|replica, got `{spec}`"))?;
+        if name.is_empty() {
+            return Err(format!("backend name is empty in `{spec}`"));
+        }
+        let (addr, role) = match rest.split_once(',') {
+            Some((addr, options)) => {
+                let role = options.strip_prefix("role=").ok_or_else(|| {
+                    format!("expected `role=primary|replica` after the address, got `{options}`")
+                })?;
+                let role = Role::parse(role).ok_or_else(|| {
+                    format!(
+                        "unknown role `{role}` for backend `{name}` (expected primary or replica)"
+                    )
+                })?;
+                (addr, role)
+            }
+            None => {
+                return Err(format!(
+                    "backend `{name}` names no role; append `,role=primary` or `,role=replica`"
+                ))
+            }
+        };
+        // `SocketAddr` parses numeric addresses; fall back to resolution so
+        // `localhost:7878` works too.
+        let addr = match addr.parse::<SocketAddr>() {
+            Ok(addr) => addr,
+            Err(_) => addr
+                .to_socket_addrs()
+                .map_err(|e| format!("backend `{name}`: cannot resolve `{addr}`: {e}"))?
+                .next()
+                .ok_or_else(|| format!("backend `{name}`: `{addr}` resolves to no address"))?,
+        };
+        Ok(BackendSpec {
+            name: name.to_string(),
+            addr,
+            role,
+        })
+    }
+}
+
+/// A validated topology: unique backend names and exactly one primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    backends: Vec<BackendSpec>,
+}
+
+impl Topology {
+    /// Builds a topology from parsed specs, enforcing the invariants the
+    /// router relies on: at least one backend, unique names, exactly one
+    /// primary.
+    pub fn new(backends: Vec<BackendSpec>) -> Result<Topology, String> {
+        if backends.is_empty() {
+            return Err("a topology needs at least one --backend".to_string());
+        }
+        for (i, b) in backends.iter().enumerate() {
+            if backends[..i].iter().any(|other| other.name == b.name) {
+                return Err(format!("duplicate backend name `{}`", b.name));
+            }
+        }
+        let primaries: Vec<&str> = backends
+            .iter()
+            .filter(|b| b.role == Role::Primary)
+            .map(|b| b.name.as_str())
+            .collect();
+        match primaries.as_slice() {
+            [] => {
+                return Err(
+                    "no primary backend; mutations and WAL pulls need exactly one \
+                     `role=primary`"
+                        .to_string(),
+                )
+            }
+            [_] => {}
+            many => {
+                return Err(format!(
+                    "more than one primary backend ({}); single-primary replication \
+                     allows exactly one",
+                    many.join(", ")
+                ))
+            }
+        }
+        Ok(Topology { backends })
+    }
+
+    /// Parses repeated `--backend` flag values into a topology.
+    pub fn parse(specs: &[&str]) -> Result<Topology, String> {
+        let backends = specs
+            .iter()
+            .map(|s| BackendSpec::parse(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Topology::new(backends)
+    }
+
+    /// Every backend, in flag order.
+    pub fn backends(&self) -> &[BackendSpec] {
+        &self.backends
+    }
+
+    /// The single primary.
+    pub fn primary(&self) -> &BackendSpec {
+        self.backends
+            .iter()
+            .find(|b| b.role == Role::Primary)
+            .expect("Topology::new enforces exactly one primary")
+    }
+
+    /// The replicas, in flag order.
+    pub fn replicas(&self) -> impl Iterator<Item = &BackendSpec> {
+        self.backends.iter().filter(|b| b.role == Role::Replica)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_spec_parses_name_addr_and_role() {
+        let spec = BackendSpec::parse("p=127.0.0.1:7878,role=primary").unwrap();
+        assert_eq!(spec.name, "p");
+        assert_eq!(spec.addr, "127.0.0.1:7878".parse().unwrap());
+        assert_eq!(spec.role, Role::Primary);
+        let spec = BackendSpec::parse("r1=localhost:7879,role=replica").unwrap();
+        assert_eq!(spec.role, Role::Replica);
+        assert_eq!(spec.addr.port(), 7879, "hostnames resolve");
+    }
+
+    #[test]
+    fn malformed_backend_specs_fail_loudly() {
+        let err = BackendSpec::parse("noequals").unwrap_err();
+        assert!(err.contains("NAME=ADDR"), "{err}");
+        let err = BackendSpec::parse("=127.0.0.1:1,role=primary").unwrap_err();
+        assert!(err.contains("name is empty"), "{err}");
+        let err = BackendSpec::parse("p=127.0.0.1:1").unwrap_err();
+        assert!(err.contains("names no role"), "{err}");
+        let err = BackendSpec::parse("p=127.0.0.1:1,role=leader").unwrap_err();
+        assert!(err.contains("unknown role `leader`"), "{err}");
+        let err = BackendSpec::parse("p=127.0.0.1:1,mode=primary").unwrap_err();
+        assert!(err.contains("role=primary|replica"), "{err}");
+        let err = BackendSpec::parse("p=not an addr,role=primary").unwrap_err();
+        assert!(err.contains("cannot resolve"), "{err}");
+    }
+
+    #[test]
+    fn topology_enforces_unique_names_and_one_primary() {
+        let specs = |s: &[&str]| Topology::parse(s);
+        let err = specs(&[]).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        let err = specs(&["a=127.0.0.1:1,role=primary", "a=127.0.0.1:2,role=replica"]).unwrap_err();
+        assert!(err.contains("duplicate backend name `a`"), "{err}");
+        let err = specs(&["a=127.0.0.1:1,role=replica"]).unwrap_err();
+        assert!(err.contains("no primary"), "{err}");
+        let err = specs(&["a=127.0.0.1:1,role=primary", "b=127.0.0.1:2,role=primary"]).unwrap_err();
+        assert!(err.contains("more than one primary"), "{err}");
+
+        let topology = specs(&[
+            "p=127.0.0.1:1,role=primary",
+            "r1=127.0.0.1:2,role=replica",
+            "r2=127.0.0.1:3,role=replica",
+        ])
+        .unwrap();
+        assert_eq!(topology.primary().name, "p");
+        let replicas: Vec<&str> = topology.replicas().map(|b| b.name.as_str()).collect();
+        assert_eq!(replicas, ["r1", "r2"]);
+        assert_eq!(topology.backends().len(), 3);
+    }
+}

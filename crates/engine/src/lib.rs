@@ -64,21 +64,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod answer;
 pub mod batch;
 pub mod cli;
-pub mod client;
+pub mod cluster;
 pub mod deployment;
 pub mod failpoint;
 pub mod metrics;
-pub mod proto;
-pub mod query;
 pub mod registry;
 pub mod server;
 pub mod service;
 pub mod store;
 pub mod telemetry;
 pub mod wal;
+
+// The wire types and the remote HTTP client live in the `tfsn-client`
+// crate since the cluster split — the SDK remote callers (and the cluster
+// router) consume without linking the engine. Re-exported here under
+// their historical module paths so `tfsn_engine::proto::…`,
+// `crate::query::…` and friends keep resolving.
+pub use tfsn_client::{answer, client, proto, query};
 
 use std::cell::RefCell;
 use std::time::Instant;
@@ -134,6 +138,11 @@ pub struct ObservabilityDocFences;
 #[doc = include_str!("../../../docs/DURABILITY.md")]
 pub struct DurabilityDocFences;
 
+/// Same guard for `docs/CLUSTER.md`.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/CLUSTER.md")]
+pub struct ClusterDocFences;
+
 /// Construction-time options for an [`Engine`].
 #[derive(Debug, Clone, Default)]
 pub struct EngineOptions {
@@ -180,6 +189,10 @@ pub struct Engine {
     /// relative to appends — without this lock two racing mutations could
     /// log in one order and apply in the other, and replay would diverge.
     write_order: parking_lot::Mutex<()>,
+    /// Replication high-water mark on a follower: how many primary WAL
+    /// records have been replayed. `None` until [`Engine::note_replicated`]
+    /// first runs, so non-following servers never report the field.
+    replicated: parking_lot::Mutex<Option<u64>>,
 }
 
 /// Why [`Engine::mutate`] failed: either the mutation itself is invalid
@@ -240,6 +253,7 @@ impl Engine {
             stats: parking_lot::Mutex::new(None),
             wal: std::sync::OnceLock::new(),
             write_order: parking_lot::Mutex::new(()),
+            replicated: parking_lot::Mutex::new(None),
         }
     }
 
@@ -351,6 +365,22 @@ impl Engine {
         self.wal.get()
     }
 
+    /// Records the replication high-water mark: `seq` primary WAL records
+    /// have now been replayed into this engine. Called by the follower
+    /// loop after each applied `wal_pull` batch; monotone (a stale writer
+    /// can never move the mark backwards).
+    pub fn note_replicated(&self, seq: u64) {
+        let mut guard = self.replicated.lock();
+        *guard = Some(guard.map_or(seq, |prev| prev.max(seq)));
+    }
+
+    /// The replication high-water mark, when this engine follows a
+    /// primary (`None` on ordinary servers — the `stats` payload omits
+    /// the field entirely).
+    pub fn replicated_seq(&self) -> Option<u64> {
+        *self.replicated.lock()
+    }
+
     /// A snapshot of the serving metrics, including the store gauges and
     /// the query-latency percentiles from the telemetry histograms.
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -375,6 +405,25 @@ impl Engine {
     /// and the slow-query log.
     pub fn telemetry(&self) -> &EngineTelemetry {
         &self.telemetry
+    }
+
+    /// The serving plan the store policy assigns to this deployment —
+    /// deterministic (nothing is built to report it). This fills the
+    /// [`proto::ServingPlan`] wire type, which lives crate-side in
+    /// `tfsn-client` and cannot see the live policy itself.
+    pub fn serving_plan(&self) -> proto::ServingPlan {
+        let policy = self.store.policy();
+        let nodes = self.deployment.user_count();
+        proto::ServingPlan {
+            mode: policy.mode.label().to_string(),
+            memory_budget_bytes: policy.memory_budget.map(|b| b as u64),
+            tier: policy.tier_for(nodes).label().to_string(),
+            estimated_matrix_bytes: tfsn_core::compat::estimated_matrix_bytes(nodes) as u64,
+            estimated_row_bytes: tfsn_core::compat::estimated_row_bytes(nodes) as u64,
+            budget_resident_rows: policy
+                .memory_budget
+                .map(|b| (b / tfsn_core::compat::estimated_row_bytes(nodes).max(1)) as u64),
+        }
     }
 
     /// Pre-initialises the shards for `kinds` so subsequent queries are

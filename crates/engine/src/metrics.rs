@@ -23,8 +23,6 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use serde::{Deserialize, Serialize};
-
 /// Lock-free counters shared by all concurrent queries.
 #[derive(Debug, Default)]
 pub struct EngineMetrics {
@@ -82,150 +80,7 @@ impl EngineMetrics {
     }
 }
 
-/// A point-in-time copy of [`EngineMetrics`] plus the relation-store
-/// gauges. Serialised as one JSON object by `tfsn serve-batch`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct MetricsSnapshot {
-    /// Queries answered (any status).
-    pub queries_served: u64,
-    /// Queries answered with a team.
-    pub queries_solved: u64,
-    /// Queries that performed no build work (everything resident, or they
-    /// only waited on another query's in-flight build).
-    pub cache_hits: u64,
-    /// Queries that performed build work themselves: ran the matrix build,
-    /// or computed at least one row. Matrix tier: equals the number of
-    /// query-triggered matrix builds exactly (`warm()` pre-builds are not
-    /// queries and count only in `matrix_builds`). Row tier: one miss may
-    /// cover many row builds, so `cache_misses <= row_builds`.
-    pub cache_misses: u64,
-    /// Total in-engine time across queries, in microseconds. Under
-    /// parallel serving this exceeds wall-clock time.
-    pub busy_micros: u64,
-    /// Slice of `busy_micros` spent building relation state: the fetch
-    /// phase (matrix build/wait, row-store creation), row computations, and
-    /// time blocked on another query's in-flight row build (see the module
-    /// docs).
-    pub build_wait_micros: u64,
-    /// Full compatibility matrices built (matrix tier).
-    pub matrix_builds: u64,
-    /// Per-source rows computed (row tier; recomputations after eviction
-    /// included).
-    pub row_builds: u64,
-    /// Rows evicted to stay within the memory budget (row tier).
-    pub row_evictions: u64,
-    /// Per-source rows currently resident across row-tier shards.
-    pub resident_rows: u64,
-    /// Bytes currently resident across relation tiers (estimated for
-    /// matrices, exact for rows).
-    pub resident_bytes: u64,
-    /// Live edge mutations applied to this deployment (no-op sign sets
-    /// included; failed mutations are not).
-    pub mutations_applied: u64,
-    /// Resident rows invalidated by mutations — dropped from row-tier
-    /// shards, or left behind (not migrated) by a matrix→rows downgrade.
-    /// Every invalidated row that is queried again recomputes exactly once,
-    /// so after a quiesced warm scan `row_builds` grows by at most this.
-    pub rows_invalidated: u64,
-    /// 50th-percentile query latency in microseconds, from the engine's
-    /// [`crate::telemetry`] histogram (within one bucket — at most 12.5% —
-    /// of the exact sample percentile). `None` from peers predating the
-    /// telemetry subsystem; the percentile fields are `Option` so old
-    /// snapshots still deserialize.
-    pub query_p50_micros: Option<u64>,
-    /// 90th-percentile query latency, microseconds.
-    pub query_p90_micros: Option<u64>,
-    /// 99th-percentile query latency, microseconds.
-    pub query_p99_micros: Option<u64>,
-    /// 99.9th-percentile query latency, microseconds.
-    pub query_p999_micros: Option<u64>,
-    /// Largest observed query latency, microseconds (exact).
-    pub query_max_micros: Option<u64>,
-}
-
-impl MetricsSnapshot {
-    /// Adds `other`'s counters into `self`, field-wise — the protocol's
-    /// `metrics` operation reports one such sum across every loaded
-    /// deployment alongside the per-deployment snapshots.
-    ///
-    /// Percentiles do not sum: for the `query_p*`/`query_max` fields the
-    /// result is the field-wise **max** (a conservative upper bound; the
-    /// service recomputes exact cross-deployment percentiles from merged
-    /// histograms where it has them — see the `metrics` dispatch arm).
-    ///
-    /// The exhaustive destructuring below is the drift guard: adding a
-    /// field to [`MetricsSnapshot`] without deciding how it aggregates
-    /// fails to compile here.
-    pub fn accumulate(&mut self, other: &MetricsSnapshot) {
-        let MetricsSnapshot {
-            queries_served,
-            queries_solved,
-            cache_hits,
-            cache_misses,
-            busy_micros,
-            build_wait_micros,
-            matrix_builds,
-            row_builds,
-            row_evictions,
-            resident_rows,
-            resident_bytes,
-            mutations_applied,
-            rows_invalidated,
-            query_p50_micros,
-            query_p90_micros,
-            query_p99_micros,
-            query_p999_micros,
-            query_max_micros,
-        } = other;
-        self.queries_served += queries_served;
-        self.queries_solved += queries_solved;
-        self.cache_hits += cache_hits;
-        self.cache_misses += cache_misses;
-        self.busy_micros += busy_micros;
-        self.build_wait_micros += build_wait_micros;
-        self.matrix_builds += matrix_builds;
-        self.row_builds += row_builds;
-        self.row_evictions += row_evictions;
-        self.resident_rows += resident_rows;
-        self.resident_bytes += resident_bytes;
-        self.mutations_applied += mutations_applied;
-        self.rows_invalidated += rows_invalidated;
-        self.query_p50_micros = max_opt(self.query_p50_micros, *query_p50_micros);
-        self.query_p90_micros = max_opt(self.query_p90_micros, *query_p90_micros);
-        self.query_p99_micros = max_opt(self.query_p99_micros, *query_p99_micros);
-        self.query_p999_micros = max_opt(self.query_p999_micros, *query_p999_micros);
-        self.query_max_micros = max_opt(self.query_max_micros, *query_max_micros);
-    }
-
-    /// Mean in-engine latency per query, in microseconds.
-    pub fn mean_latency_micros(&self) -> f64 {
-        if self.queries_served == 0 {
-            0.0
-        } else {
-            self.busy_micros as f64 / self.queries_served as f64
-        }
-    }
-
-    /// Mean solver + lookup latency per query (build/wait time excluded),
-    /// in microseconds.
-    pub fn mean_solve_micros(&self) -> f64 {
-        if self.queries_served == 0 {
-            0.0
-        } else {
-            self.busy_micros.saturating_sub(self.build_wait_micros) as f64
-                / self.queries_served as f64
-        }
-    }
-}
-
-/// Max of two optional values, treating `None` as absent (not zero).
-fn max_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some(x.max(y)),
-        (x, None) => x,
-        (None, y) => y,
-    }
-}
+pub use tfsn_client::report::MetricsSnapshot;
 
 #[cfg(test)]
 mod tests {
@@ -245,113 +100,5 @@ mod tests {
         assert_eq!(snap.build_wait_micros, 60);
         assert!((snap.mean_latency_micros() - 75.0).abs() < 1e-9);
         assert!((snap.mean_solve_micros() - 45.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn snapshot_round_trips_as_json() {
-        let mut snap = EngineMetrics::default().snapshot();
-        snap.matrix_builds = 2;
-        snap.row_builds = 17;
-        snap.row_evictions = 5;
-        snap.resident_rows = 12;
-        snap.resident_bytes = 4096;
-        snap.query_p99_micros = Some(1234);
-        let json = serde_json::to_string(&snap).unwrap();
-        assert!(json.contains("\"row_evictions\":5"));
-        assert!(json.contains("\"query_p99_micros\":1234"));
-        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, snap);
-    }
-
-    #[test]
-    fn pre_telemetry_snapshots_still_deserialize() {
-        // A peer running the pre-PR-6 schema omits the percentile fields;
-        // they must come back as None, not a parse error.
-        let old = r#"{"queries_served":3,"queries_solved":2,"cache_hits":1,
-            "cache_misses":2,"busy_micros":500,"build_wait_micros":100,
-            "matrix_builds":1,"row_builds":0,"row_evictions":0,
-            "resident_rows":0,"resident_bytes":64,"mutations_applied":0,
-            "rows_invalidated":0}"#;
-        let snap: MetricsSnapshot = serde_json::from_str(old).unwrap();
-        assert_eq!(snap.queries_served, 3);
-        assert_eq!(snap.query_p50_micros, None);
-        assert_eq!(snap.query_max_micros, None);
-    }
-
-    #[test]
-    fn json_serialization_covers_every_field() {
-        // Companion to `accumulate`'s destructuring guard: the exhaustive
-        // pattern below fails to compile when a field is added, and the
-        // string list next to it must then grow too, or the length/lookup
-        // assertions fail — so a new field cannot silently skip either the
-        // aggregation decision or the wire format.
-        let snap = MetricsSnapshot::default();
-        let MetricsSnapshot {
-            queries_served: _,
-            queries_solved: _,
-            cache_hits: _,
-            cache_misses: _,
-            busy_micros: _,
-            build_wait_micros: _,
-            matrix_builds: _,
-            row_builds: _,
-            row_evictions: _,
-            resident_rows: _,
-            resident_bytes: _,
-            mutations_applied: _,
-            rows_invalidated: _,
-            query_p50_micros: _,
-            query_p90_micros: _,
-            query_p99_micros: _,
-            query_p999_micros: _,
-            query_max_micros: _,
-        } = &snap;
-        let fields = [
-            "queries_served",
-            "queries_solved",
-            "cache_hits",
-            "cache_misses",
-            "busy_micros",
-            "build_wait_micros",
-            "matrix_builds",
-            "row_builds",
-            "row_evictions",
-            "resident_rows",
-            "resident_bytes",
-            "mutations_applied",
-            "rows_invalidated",
-            "query_p50_micros",
-            "query_p90_micros",
-            "query_p99_micros",
-            "query_p999_micros",
-            "query_max_micros",
-        ];
-        let value = serde::Serialize::to_value(&snap);
-        let map = value.as_map().expect("snapshot serializes as an object");
-        assert_eq!(map.len(), fields.len(), "field count drifted");
-        for field in fields {
-            assert!(
-                map.iter().any(|(k, _)| k == field),
-                "field {field} missing from JSON serialization"
-            );
-        }
-    }
-
-    #[test]
-    fn percentiles_accumulate_as_max() {
-        let mut a = MetricsSnapshot {
-            query_p50_micros: Some(10),
-            query_max_micros: Some(100),
-            ..MetricsSnapshot::default()
-        };
-        let b = MetricsSnapshot {
-            query_p50_micros: Some(30),
-            query_p99_micros: Some(70),
-            ..MetricsSnapshot::default()
-        };
-        a.accumulate(&b);
-        assert_eq!(a.query_p50_micros, Some(30));
-        assert_eq!(a.query_p99_micros, Some(70));
-        assert_eq!(a.query_max_micros, Some(100));
     }
 }

@@ -17,6 +17,7 @@
 //! | `GET /v1/telemetry`    | —                          | `telemetry` [`Response`] envelope (latency percentiles + slow-query log) |
 //! | `GET /metrics`         | —                          | Prometheus text exposition over every loaded deployment |
 //! | `GET /v1/deployments`  | —                          | `deployments` [`Response`] envelope |
+//! | `GET /v1/wal`          | —                          | `wal_records` [`Response`] envelope (`?from_seq=N&max=M`; replication pulls — see `docs/CLUSTER.md`) |
 //! | `POST /v1/shutdown`    | — (only with [`ServerOptions::allow_shutdown`]) | `shutting down` (text/plain), then the server drains |
 //!
 //! `query`, `batch`, `mutate` and `stats` accept `?deployment=NAME` to
@@ -441,6 +442,10 @@ fn worker_loop(
         let stream = match listener.accept() {
             Ok((stream, _)) => {
                 backoff.reset();
+                // Responses are written head-then-body; without nodelay,
+                // Nagle holds the second small segment until the client's
+                // delayed ACK (~40ms) — fatal for keep-alive round trips.
+                let _ = stream.set_nodelay(true);
                 stream
             }
             Err(_) => {
@@ -492,14 +497,14 @@ fn worker_loop(
 }
 
 /// One parsed request head plus its body.
-struct HttpRequest {
-    method: String,
-    path: String,
-    query: Vec<(String, String)>,
-    body: Vec<u8>,
-    close: bool,
+pub(crate) struct HttpRequest {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) query: Vec<(String, String)>,
+    pub(crate) body: Vec<u8>,
+    pub(crate) close: bool,
     /// `true` for HTTP/1.1 peers, which understand chunked responses.
-    http11: bool,
+    pub(crate) http11: bool,
 }
 
 /// Outcome of one capped head-line read.
@@ -596,7 +601,7 @@ fn percent_decode(s: &str) -> String {
 /// closed between requests). Framing errors are returned as a response to
 /// send before closing. `writer` is needed for the `100 Continue` interim
 /// response clients like curl wait for before sending large bodies.
-fn read_request(
+pub(crate) fn read_request(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
     max_body: usize,
@@ -726,16 +731,16 @@ fn read_request(
 }
 
 /// One response ready to write.
-struct HttpResponse {
-    status: u16,
-    content_type: &'static str,
-    body: Vec<u8>,
+pub(crate) struct HttpResponse {
+    pub(crate) status: u16,
+    pub(crate) content_type: &'static str,
+    pub(crate) body: Vec<u8>,
     /// Extra response headers (name, value) beyond the framing set.
-    headers: Vec<(&'static str, String)>,
+    pub(crate) headers: Vec<(&'static str, String)>,
 }
 
 impl HttpResponse {
-    fn text(status: u16, body: &[u8]) -> Self {
+    pub(crate) fn text(status: u16, body: &[u8]) -> Self {
         HttpResponse {
             status,
             content_type: "text/plain",
@@ -744,7 +749,7 @@ impl HttpResponse {
         }
     }
 
-    fn json(status: u16, value: &impl Serialize) -> Self {
+    pub(crate) fn json(status: u16, value: &impl Serialize) -> Self {
         let mut body = serde_json::to_string(value)
             .unwrap_or_else(|_| "{}".to_string())
             .into_bytes();
@@ -757,14 +762,14 @@ impl HttpResponse {
         }
     }
 
-    fn error(status: u16, error: ServiceError) -> Self {
+    pub(crate) fn error(status: u16, error: ServiceError) -> Self {
         Self::json(status, &Response::Error(error))
     }
 
     /// Adds a `Retry-After` header (whole seconds, rounded up, at least 1)
     /// — every shed (503) response carries one so clients back off an
     /// advertised amount instead of guessing.
-    fn with_retry_after(mut self, delay: Duration) -> Self {
+    pub(crate) fn with_retry_after(mut self, delay: Duration) -> Self {
         let secs = delay.as_secs() + u64::from(delay.subsec_nanos() > 0);
         self.headers.push(("Retry-After", secs.max(1).to_string()));
         self
@@ -786,11 +791,14 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// The HTTP status a typed service error maps to.
-fn status_for(error: &ServiceError) -> u16 {
+pub(crate) fn status_for(error: &ServiceError) -> u16 {
     match error {
         ServiceError::UnknownDeployment { .. } => 404,
         ServiceError::TooLarge { .. } => 413,
-        ServiceError::Overloaded { .. } => 503,
+        // Both 503s mean "retry later": `overloaded` because the server
+        // shed the request, `no_backend` because the router has no healthy
+        // target for it right now.
+        ServiceError::Overloaded { .. } | ServiceError::NoBackend { .. } => 503,
         ServiceError::DeadlineExceeded { .. } => 504,
         ServiceError::Internal { .. } => 500,
         ServiceError::UnsupportedVersion { .. }
@@ -1013,7 +1021,7 @@ fn respond_batch_streaming(
     }
 }
 
-fn write_response(
+pub(crate) fn write_response(
     writer: &mut TcpStream,
     response: &HttpResponse,
     close: bool,
@@ -1127,6 +1135,33 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
             headers: Vec::new(),
         },
         ("GET", "/v1/deployments") => respond(service.handle(&envelope(RequestBody::Deployments))),
+        ("GET", "/v1/wal") => {
+            // Replication pulls: `?from_seq=N&max=M` slice the primary's
+            // acknowledged log (see docs/CLUSTER.md). Like the other GETs
+            // this bypasses admission — a degraded primary must still feed
+            // its followers.
+            let uint = |key: &str| -> Result<Option<u64>, HttpResponse> {
+                match request.query.iter().find(|(k, _)| k == key) {
+                    None => Ok(None),
+                    Some((_, v)) => v.parse::<u64>().map(Some).map_err(|_| {
+                        HttpResponse::error(
+                            400,
+                            ServiceError::BadRequest {
+                                detail: format!(
+                                    "query parameter `{key}` must be a non-negative \
+                                     integer, got `{v}`"
+                                ),
+                            },
+                        )
+                    }),
+                }
+            };
+            let (from_seq, max) = match (uint("from_seq"), uint("max")) {
+                (Ok(from_seq), Ok(max)) => (from_seq.unwrap_or(0), max),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            respond(service.handle(&envelope(RequestBody::WalPull { from_seq, max })))
+        }
         ("POST", "/v1/rpc") => match std::str::from_utf8(&request.body) {
             Ok(json) => respond(service.handle_json(json)),
             Err(_) => HttpResponse::error(
@@ -1207,7 +1242,7 @@ fn route(service: &Service, request: &HttpRequest) -> HttpResponse {
         (
             _,
             "/healthz" | "/metrics" | "/v1/stats" | "/v1/metrics" | "/v1/telemetry"
-            | "/v1/deployments" | "/v1/rpc" | "/v1/query" | "/v1/batch" | "/v1/mutate"
+            | "/v1/deployments" | "/v1/wal" | "/v1/rpc" | "/v1/query" | "/v1/batch" | "/v1/mutate"
             | "/v1/shutdown",
         ) => HttpResponse::error(
             405,

@@ -24,13 +24,20 @@ use tfsn_core::compat::CompatibilityKind;
 use crate::batch::BatchSummary;
 use crate::proto::{
     DeploymentMetrics, DeploymentStats, DeploymentTelemetry, Request, RequestBody, Response,
-    ServiceError, ServingPlan,
+    ServiceError,
 };
 use crate::query::QueryReader;
 use crate::registry::DeploymentRegistry;
 use crate::telemetry::prometheus::{self, DeploymentScrape};
 use crate::telemetry::{HistogramSnapshot, Op, Phase};
+use crate::wal;
 use crate::{BatchOptions, Engine, MetricsSnapshot, Objective, TeamQuery};
+
+/// Upper bound on records in one `wal_records` reply, applied even when
+/// the pull does not name a `max`. Followers loop while `next_seq <
+/// end_seq`, so the cap costs extra round-trips on a huge backlog, never
+/// records.
+pub const WAL_PULL_MAX_RECORDS: u64 = 65_536;
 
 /// Tuning for a [`Service`].
 #[derive(Debug, Clone)]
@@ -311,9 +318,11 @@ impl Service {
             }
             RequestBody::Stats => {
                 let engine = self.registry.engine(deployment)?;
+                let replicated_seq = engine.replicated_seq();
                 Ok(Response::Stats(DeploymentStats {
                     dataset: engine.cached_stats(),
-                    serving: ServingPlan::of_engine(&engine),
+                    serving: engine.serving_plan(),
+                    replicated_seq,
                 }))
             }
             RequestBody::Metrics => {
@@ -371,6 +380,50 @@ impl Service {
                 Ok(Response::Telemetry { deployments })
             }
             RequestBody::Deployments => Ok(Response::Deployments(self.registry.infos())),
+            RequestBody::WalPull { from_seq, max } => {
+                let name = deployment.unwrap_or_else(|| self.registry.default_name());
+                // Like mutations: pulls address live deployments only —
+                // a follower bootstraps against a serving primary, never
+                // forces a cold multi-GB load.
+                let engine = self.registry.loaded_engine(Some(name))?.ok_or_else(|| {
+                    ServiceError::BadRequest {
+                        detail: format!(
+                            "deployment `{name}` is not loaded; wal_pull streams from live \
+                             deployments only (warm or query it first)"
+                        ),
+                    }
+                })?;
+                let wal = engine.wal().ok_or_else(|| ServiceError::BadRequest {
+                    detail: format!(
+                        "deployment `{name}` has no write-ahead log attached; start the \
+                         primary with --wal to serve replication pulls"
+                    ),
+                })?;
+                // Re-scan the log file fresh: append-only writes mean a
+                // concurrent half-written record shows up as a torn tail,
+                // which scan() stops at — this poll just returns fewer
+                // records and the follower catches up next time. No lock
+                // against the write path is needed.
+                let scan = wal::scan(wal.path()).map_err(|e| ServiceError::Internal {
+                    detail: format!("scan write-ahead log: {e}"),
+                })?;
+                let end_seq = scan.mutations.len() as u64;
+                // Bound every reply even when the caller asks for "all":
+                // followers loop on next_seq < end_seq, so a cap costs one
+                // extra round-trip, never correctness.
+                let capped = Some(
+                    max.unwrap_or(WAL_PULL_MAX_RECORDS)
+                        .min(WAL_PULL_MAX_RECORDS),
+                );
+                let records = wal::slice(&scan.mutations, *from_seq, capped).to_vec();
+                Ok(Response::WalRecords {
+                    deployment: name.to_string(),
+                    from_seq: *from_seq,
+                    next_seq: from_seq + records.len() as u64,
+                    end_seq,
+                    records,
+                })
+            }
             RequestBody::EdgeInsert { .. }
             | RequestBody::EdgeRemove { .. }
             | RequestBody::EdgeSetSign { .. } => {

@@ -30,11 +30,15 @@ pub mod histogram;
 pub mod prometheus;
 
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
+// The report payload shapes are wire types and live crate-side in
+// `tfsn-client` (`tfsn_client::report`), so dashboards parse telemetry
+// without linking the engine; re-exported under their historical paths.
+pub use tfsn_client::report::{AxisStats, HistogramStats, SlowQuery, TelemetryReport};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+
 use tfsn_core::compat::CompatibilityKind;
 use tfsn_core::team::Objective;
 
@@ -47,7 +51,6 @@ pub mod globals {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static REQUESTS_SHED: AtomicU64 = AtomicU64::new(0);
-    static CLIENT_RETRIES: AtomicU64 = AtomicU64::new(0);
 
     /// Counts one request refused with `overloaded` (admission queue full,
     /// admission wait expired, or the connection cap hit).
@@ -61,14 +64,16 @@ pub mod globals {
     }
 
     /// Counts one [`crate::client::HttpClient`] retry attempt (backoff
-    /// after an `overloaded` reply or a connect failure).
+    /// after an `overloaded` reply or a connect failure). The counter
+    /// itself lives in `tfsn-client` — the client crate cannot see the
+    /// engine — and this delegates so both paths feed one total.
     pub fn note_client_retry() {
-        CLIENT_RETRIES.fetch_add(1, Ordering::Relaxed);
+        tfsn_client::client::note_client_retry();
     }
 
     /// Client retries so far in this process.
     pub fn client_retries() -> u64 {
-        CLIENT_RETRIES.load(Ordering::Relaxed)
+        tfsn_client::client::client_retries()
     }
 }
 
@@ -295,21 +300,21 @@ impl EngineTelemetry {
                 .iter()
                 .map(|&op| AxisStats {
                     label: op.label().to_string(),
-                    stats: HistogramStats::of(&self.op_snapshot(op)),
+                    stats: histogram_stats(&self.op_snapshot(op)),
                 })
                 .collect(),
             phases: Phase::ALL
                 .iter()
                 .map(|&phase| AxisStats {
                     label: phase.label().to_string(),
-                    stats: HistogramStats::of(&self.phase_snapshot(phase)),
+                    stats: histogram_stats(&self.phase_snapshot(phase)),
                 })
                 .collect(),
             kinds: CompatibilityKind::ALL
                 .iter()
                 .map(|&kind| AxisStats {
                     label: kind.label().to_string(),
-                    stats: HistogramStats::of(&self.kind_snapshot(kind)),
+                    stats: histogram_stats(&self.kind_snapshot(kind)),
                 })
                 .collect(),
             objectives: Objective::ALL_LABELS
@@ -317,7 +322,7 @@ impl EngineTelemetry {
                 .enumerate()
                 .map(|(i, &label)| AxisStats {
                     label: label.to_string(),
-                    stats: HistogramStats::of(&self.objective_snapshot(i)),
+                    stats: histogram_stats(&self.objective_snapshot(i)),
                 })
                 .collect(),
             slow_queries: self.slow.entries(),
@@ -415,92 +420,21 @@ impl SlowQueryLog {
     }
 }
 
-/// Percentile summary of one histogram, as serialized in telemetry reports.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct HistogramStats {
-    /// Samples recorded.
-    pub count: u64,
-    /// Sum of all samples, microseconds.
-    pub sum_micros: u64,
-    /// Largest sample, microseconds.
-    pub max_micros: u64,
-    /// Mean sample, microseconds.
-    pub mean_micros: f64,
-    /// 50th percentile, microseconds (upper edge of the crossing bucket).
-    pub p50_micros: u64,
-    /// 90th percentile, microseconds.
-    pub p90_micros: u64,
-    /// 99th percentile, microseconds.
-    pub p99_micros: u64,
-    /// 99.9th percentile, microseconds.
-    pub p999_micros: u64,
-}
-
-impl HistogramStats {
-    /// Summarizes one snapshot.
-    pub fn of(snapshot: &HistogramSnapshot) -> Self {
-        HistogramStats {
-            count: snapshot.count(),
-            sum_micros: snapshot.sum,
-            max_micros: snapshot.max,
-            mean_micros: snapshot.mean(),
-            p50_micros: snapshot.quantile(0.50),
-            p90_micros: snapshot.quantile(0.90),
-            p99_micros: snapshot.quantile(0.99),
-            p999_micros: snapshot.quantile(0.999),
-        }
+/// Summarizes one histogram snapshot into the wire
+/// [`HistogramStats`] shape. (The struct lives in `tfsn-client`, which
+/// cannot see the engine-internal [`HistogramSnapshot`], so this is a
+/// free function rather than a constructor.)
+pub fn histogram_stats(snapshot: &HistogramSnapshot) -> HistogramStats {
+    HistogramStats {
+        count: snapshot.count(),
+        sum_micros: snapshot.sum,
+        max_micros: snapshot.max,
+        mean_micros: snapshot.mean(),
+        p50_micros: snapshot.quantile(0.50),
+        p90_micros: snapshot.quantile(0.90),
+        p99_micros: snapshot.quantile(0.99),
+        p999_micros: snapshot.quantile(0.999),
     }
-}
-
-/// One labelled axis entry (an op, phase, or kind) with its summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AxisStats {
-    /// The op/phase/kind label.
-    pub label: String,
-    /// Its latency summary.
-    pub stats: HistogramStats,
-}
-
-/// One retained slow query.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SlowQuery {
-    /// Monotonic ordinal of the query in this engine's stream (0-based;
-    /// timestamp-free, so entries order and correlate across axes).
-    pub seq: u64,
-    /// Compatibility kind label.
-    pub kind: String,
-    /// Solver label.
-    pub algorithm: String,
-    /// Objective label (one of [`Objective::ALL_LABELS`]).
-    pub objective: String,
-    /// Total in-engine time, microseconds.
-    pub total_micros: u64,
-    /// Build-wait phase slice, microseconds.
-    pub build_wait_micros: u64,
-    /// Row-compute phase slice, microseconds.
-    pub row_compute_micros: u64,
-    /// Solve phase slice, microseconds.
-    pub solve_micros: u64,
-    /// Members in the returned team (0 when unsolved).
-    pub team_size: u64,
-    /// Whether the query was answered with a team.
-    pub solved: bool,
-}
-
-/// The per-deployment payload of the `telemetry` protocol operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TelemetryReport {
-    /// Per-operation latency summaries, [`Op::ALL`] order.
-    pub ops: Vec<AxisStats>,
-    /// Per-phase latency summaries, [`Phase::ALL`] order.
-    pub phases: Vec<AxisStats>,
-    /// Per-kind query-latency summaries, [`CompatibilityKind::ALL`] order.
-    pub kinds: Vec<AxisStats>,
-    /// Per-objective query-latency summaries, [`Objective::ALL_LABELS`]
-    /// order.
-    pub objectives: Vec<AxisStats>,
-    /// Slowest retained queries, slowest first.
-    pub slow_queries: Vec<SlowQuery>,
 }
 
 #[cfg(test)]

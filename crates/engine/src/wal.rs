@@ -249,6 +249,21 @@ pub fn scan(path: &Path) -> std::io::Result<WalScan> {
     })
 }
 
+/// Positional slice of a scanned log: records `[from_seq, from_seq+max)`,
+/// clamped to what the log holds. Sequence numbers are 0-based record
+/// positions — record `i` of [`WalScan::mutations`] has sequence `i` — so
+/// the same slice rule serves the `wal_pull` protocol op and `tfsn wal
+/// export --from-seq/--max`.
+pub fn slice(mutations: &[EdgeMutation], from_seq: u64, max: Option<u64>) -> &[EdgeMutation] {
+    let end = mutations.len();
+    let start = (from_seq.min(end as u64)) as usize;
+    let stop = match max {
+        Some(m) => start.saturating_add(m.min(end as u64) as usize).min(end),
+        None => end,
+    };
+    &mutations[start..stop]
+}
+
 /// Truncates `path`'s torn tail in place (the `tfsn wal truncate`
 /// primitive). Returns the scan that decided the cut; a clean file is left
 /// untouched.

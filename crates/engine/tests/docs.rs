@@ -186,6 +186,46 @@ fn durability_doc_covers_wal_and_overload_surface() {
     }
 }
 
+#[test]
+fn cluster_doc_covers_topology_routing_and_replication() {
+    let doc = read("docs/CLUSTER.md");
+    // The routing-rules table must keep naming every primary-only op the
+    // router sniffs out of /v1/rpc bodies — a new mutation op that is not
+    // documented here is a routing hazard, not just a docs gap.
+    for op in ["edge_insert", "edge_remove", "edge_set_sign", "wal_pull"] {
+        assert!(
+            doc.contains(&format!("`{op}`")),
+            "docs/CLUSTER.md routing rules lost primary-only op `{op}`"
+        );
+    }
+    for anchor in [
+        "--backend",
+        "--listen",
+        "--probe-ms",
+        "--fail-after",
+        "--affinity",
+        "--follow",
+        "--poll-ms",
+        "from_seq",
+        "next_seq",
+        "end_seq",
+        "replicated_seq",
+        "no_backend",
+        "Retry-After",
+        "GET /v1/wal",
+        "/v1/topology",
+        "round-robin",
+        "log-less",
+        "append-before-apply",
+        "kill -9",
+    ] {
+        assert!(
+            doc.contains(anchor),
+            "docs/CLUSTER.md lost its `{anchor}` section"
+        );
+    }
+}
+
 /// Extracts `](target)` markdown link targets, skipping external URLs and
 /// pure in-page fragments.
 fn local_links(markdown: &str) -> Vec<String> {
@@ -222,6 +262,7 @@ fn readme_roadmap_and_docs_links_resolve() {
         "docs/ARCHITECTURE.md",
         "docs/OBSERVABILITY.md",
         "docs/DURABILITY.md",
+        "docs/CLUSTER.md",
     ] {
         let content = read(file);
         let base = repo_root().join(file);
@@ -251,6 +292,10 @@ fn readme_roadmap_and_docs_links_resolve() {
             assert!(
                 links.iter().any(|l| l.ends_with("docs/DURABILITY.md")),
                 "README.md must link docs/DURABILITY.md"
+            );
+            assert!(
+                links.iter().any(|l| l.ends_with("docs/CLUSTER.md")),
+                "README.md must link docs/CLUSTER.md"
             );
         }
     }

@@ -169,6 +169,7 @@ fn stats((users, edges, skills, f): (usize, usize, usize, f64)) -> DeploymentSta
             estimated_row_bytes: users as u64,
             budget_resident_rows: (skills > 0).then_some(skills as u64),
         },
+        replicated_seq: (users % 2 == 0).then_some(edges as u64),
     }
 }
 

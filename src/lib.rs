@@ -9,12 +9,14 @@
 //! * [`tfsn_core`] — compatibility relations and team-formation solvers.
 //! * [`tfsn_datasets`] — the paper's dataset emulations and loaders.
 //! * [`tfsn_experiments`] — the table/figure reproduction harness.
+//! * [`tfsn_client`] — the protocol wire types and the remote HTTP client.
 //! * [`tfsn_engine`] — the cached, parallel team-query serving engine and
 //!   the `tfsn` CLI.
 
 #![forbid(unsafe_code)]
 
 pub use signed_graph;
+pub use tfsn_client;
 pub use tfsn_core;
 pub use tfsn_datasets;
 pub use tfsn_engine;
