@@ -27,12 +27,28 @@
 //!   the same streams through the in-process CLI transport
 //!   (`Service::stream_batch`). The `http_qps` figure is the PR 4
 //!   acceptance number.
-//! * `mutation` — live-update throughput: rounds of one edge mutation
-//!   followed by a query burst against a single long-lived engine
-//!   (per-kind row invalidation, matrix→rows downgrade), against the naive
+//! * `mutation` — live-update throughput. Since schema v8 each round is a
+//!   *window* of edge mutations applied through `Engine::mutate_batch`
+//!   (one write-order acquisition, one merged invalidation sweep, in-place
+//!   row repair for the deltas `compat::repair` can prove) followed by a
+//!   query burst against a single long-lived engine, against the naive
 //!   alternative of rebuilding a fresh engine (and re-warming every
-//!   relation) after every mutation. The `speedup` figure is the PR 5
-//!   ≥5× acceptance number.
+//!   relation) after every mutation — a server without incremental
+//!   updates must stay serveable after each acknowledged write, so it
+//!   cannot coalesce the window. The v3–v7 reports ran the same interleave
+//!   with one-mutation windows (the PR 5 ≥5× acceptance number); the
+//!   `speedup` figure is the PR 10 ≥8× one.
+//! * `repair` — the row-repair micro-contrast behind that speedup
+//!   (schema v8): a rows-mode engine with every `nne` row resident
+//!   absorbing batches of sign flips patched in place by
+//!   `compat::repair`, against recomputing the same rows from scratch.
+//!   Reported per row repaired vs per row rebuilt.
+//! * `replication_lag` — the follower-side win (schema v8): a WAL-backed
+//!   primary absorbs a flappy mutation storm, a rows-resident follower
+//!   replays it through batched `mutate_batch` windows, and the report
+//!   carries the follower's row builds against the same log folded one
+//!   record at a time with a read sweep after every record (what replay
+//!   cost before batched windows).
 //! * `objectives/<label>` — the objective-pluggable solver layer: one warm
 //!   engine serving the same query workload under every team objective
 //!   (`min_team` via the default objective-less path, `synergy`,
@@ -236,9 +252,13 @@ struct MutationBenchReport {
     deployment: String,
     /// Relation kinds warmed and queried each round.
     kinds: Vec<String>,
-    /// Mutation rounds (one edge sign flip per round).
+    /// Mutation rounds (one window of sign flips + one query burst each).
     rounds: u64,
-    /// Queries answered after each mutation.
+    /// Sign flips per window (schema v8; v3–v7 interleaves used 1). The
+    /// live engine absorbs each window as one `mutate_batch`; the rebuild
+    /// baseline pays one full rebuild per flip.
+    mutations_per_round: u64,
+    /// Queries answered after each window.
     queries_per_round: u64,
     /// Wall-clock of the incremental interleave (one live engine,
     /// per-kind invalidation).
@@ -254,8 +274,11 @@ struct MutationBenchReport {
     mutations_applied: u64,
     /// Rows invalidated across the interleave.
     rows_invalidated: u64,
+    /// Rows `compat::repair` patched in place instead of invalidating
+    /// (schema v8) — the mechanism behind the speedup moving past 8×.
+    rows_repaired: u64,
     /// `rebuild_wall_seconds / incremental_wall_seconds` — the ≥5×
-    /// acceptance figure.
+    /// (PR 5) and ≥8× (PR 10) acceptance figure.
     speedup: f64,
 }
 
@@ -269,6 +292,8 @@ struct Report {
     row_mode: RowModeReport,
     service: ServiceReport,
     mutation: MutationBenchReport,
+    repair: RepairBenchReport,
+    replication_lag: ReplicationLagReport,
     objectives: ObjectiveBenchReport,
     durability: DurabilityBenchReport,
     cluster: ClusterBenchReport,
@@ -650,10 +675,13 @@ fn service_report(quick: bool, groups: &mut Vec<Group>) -> ServiceReport {
 
 /// Measures the live-mutation interleave against the rebuild-per-mutation
 /// baseline on the slashdot deployment. Both sides apply the identical
-/// mutation sequence (edge sign flips, round-robin over the edge list) and
-/// answer the identical query bursts; the only difference is *how* relation
-/// state reaches the post-mutation truth — per-kind invalidation on one
-/// long-lived engine vs a fresh engine warm-built from scratch each round.
+/// mutation sequence (edge sign flips, round-robin over the edge list,
+/// arriving in windows of `MUTATIONS_PER_ROUND`) and answer the identical
+/// query bursts; the only difference is *how* relation state reaches the
+/// post-mutation truth — one `mutate_batch` per window on one long-lived
+/// engine (merged invalidation, in-place repair) vs a fresh engine
+/// warm-built from scratch after every single mutation (the baseline must
+/// stay serveable after each acknowledged write, so it cannot coalesce).
 fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport {
     use signed_graph::EdgeMutation;
 
@@ -661,6 +689,7 @@ fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport 
     // server, so the rebuild baseline must re-materialise all of them per
     // mutation, while the live engine recomputes only what queries touch.
     let kinds = CompatibilityKind::EVALUATED;
+    const MUTATIONS_PER_ROUND: usize = 4;
     let rounds: usize = if quick { 4 } else { 12 };
     let queries_per_round: usize = 8;
     let dataset_deployment = || Deployment::from_dataset(tfsn_datasets::slashdot());
@@ -692,55 +721,68 @@ fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport 
         let g = d.graph();
         g.edges().iter().map(|e| (e.u, e.v)).collect()
     };
-    let flip_for = |engine: &Engine, round: usize| -> EdgeMutation {
-        let (u, v) = base_edges[round % base_edges.len()];
-        let sign = engine
-            .graph()
+    // The window for round `r`: flip the current sign of edges
+    // `r*W .. r*W + W` (mod |E|). Both sides apply the identical flips in
+    // the identical order, so both serve the same evolving graph.
+    let flip = |graph: &signed_graph::SignedGraph, index: usize| -> EdgeMutation {
+        let (u, v) = base_edges[index % base_edges.len()];
+        let sign = graph
             .sign(u, v)
             .expect("flipped edges never leave the graph")
             .flip();
         EdgeMutation::SetSign { u, v, sign }
     };
 
-    // Incremental: one live engine, mutations invalidate per kind.
+    // Incremental: one live engine, each window lands as one batch.
     let live = Engine::new(dataset_deployment());
     live.warm(&kinds);
     let incremental_start = Instant::now();
     for round in 0..rounds {
-        live.mutate(&flip_for(&live, round)).expect("edge exists");
+        let window: Vec<EdgeMutation> = (0..MUTATIONS_PER_ROUND)
+            // Flips compose within the window (an edge flipped twice in one
+            // batch must see its intermediate sign), so build against the
+            // live graph one at a time only if the window self-overlaps —
+            // the round-robin stride never revisits an edge inside one
+            // window, so building from the pre-window graph is exact.
+            .map(|j| flip(&live.graph(), round * MUTATIONS_PER_ROUND + j))
+            .collect();
+        live.mutate_batch(&window).expect("edges exist");
         std::hint::black_box(live.batch(&queries, &batch));
     }
     let incremental_wall = incremental_start.elapsed().as_secs_f64();
     let live_metrics = live.metrics();
 
-    // Baseline: after every mutation, rebuild a fresh engine from the
-    // mutated graph and re-warm every kind the queries use (what serving
-    // would have to do without incremental updates: any edge change means
-    // a full relation rebuild).
+    // Baseline: after every single mutation, rebuild a fresh engine from
+    // the mutated graph and re-warm every kind the queries use (what
+    // serving would have to do without incremental updates: any edge
+    // change means a full relation rebuild, and each write is acknowledged
+    // — and must be serveable — before the next arrives).
     let mut rebuild_deployment = dataset_deployment();
     let rebuild_start = Instant::now();
     for round in 0..rounds {
-        let graph = rebuild_deployment.graph();
-        let (u, v) = base_edges[round % base_edges.len()];
-        let sign = graph.sign(u, v).expect("edge exists").flip();
-        let mut mutated = graph.clone();
-        mutated
-            .apply_mutation(&EdgeMutation::SetSign { u, v, sign })
-            .expect("edge exists");
-        rebuild_deployment = Deployment::new(
-            "slashdot-rebuilt",
-            mutated,
-            rebuild_deployment.universe().clone(),
-            rebuild_deployment.skills().clone(),
-        )
-        .expect("shape unchanged");
-        let fresh = Engine::new(rebuild_deployment.clone());
-        fresh.warm(&kinds);
-        std::hint::black_box(fresh.batch(&queries, &batch));
+        let mut last: Option<Engine> = None;
+        for j in 0..MUTATIONS_PER_ROUND {
+            let graph = rebuild_deployment.graph();
+            let mutation = flip(graph, round * MUTATIONS_PER_ROUND + j);
+            let mut mutated = graph.clone();
+            mutated.apply_mutation(&mutation).expect("edge exists");
+            rebuild_deployment = Deployment::new(
+                "slashdot-rebuilt",
+                mutated,
+                rebuild_deployment.universe().clone(),
+                rebuild_deployment.skills().clone(),
+            )
+            .expect("shape unchanged");
+            let fresh = Engine::new(rebuild_deployment.clone());
+            fresh.warm(&kinds);
+            last = Some(fresh);
+        }
+        let engine = last.expect("at least one mutation per round");
+        std::hint::black_box(engine.batch(&queries, &batch));
     }
     let rebuild_wall = rebuild_start.elapsed().as_secs_f64();
 
-    let ops = (rounds * (queries_per_round + 1)) as u64;
+    let ops = (rounds * (queries_per_round + MUTATIONS_PER_ROUND)) as u64;
     groups.push(Group {
         name: "mutation_interleave/slashdot/incremental".to_string(),
         median_ns_per_op: (incremental_wall * 1e9) as u64 / ops.max(1),
@@ -763,6 +805,7 @@ fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport 
         deployment: "slashdot".to_string(),
         kinds: kinds.iter().map(|k| k.label().to_string()).collect(),
         rounds: rounds as u64,
+        mutations_per_round: MUTATIONS_PER_ROUND as u64,
         queries_per_round: queries_per_round as u64,
         incremental_wall_seconds: incremental_wall,
         incremental_ops_per_second: ops as f64 / incremental_wall.max(1e-9),
@@ -770,17 +813,341 @@ fn mutation_report(quick: bool, groups: &mut Vec<Group>) -> MutationBenchReport 
         rebuild_ops_per_second: ops as f64 / rebuild_wall.max(1e-9),
         mutations_applied: live_metrics.mutations_applied,
         rows_invalidated: live_metrics.rows_invalidated,
+        rows_repaired: live.store().rows_repaired_count() as u64,
         speedup: rebuild_wall / incremental_wall.max(1e-9),
     };
     eprintln!(
-        "mutation: {} rounds x (1 mutation + {} queries) in {:.3}s live vs {:.3}s \
-         rebuild-per-mutation -> {:.2}x ({} rows invalidated)",
+        "mutation: {} rounds x ({}-mutation window + {} queries) in {:.3}s live vs \
+         {:.3}s rebuild-per-mutation -> {:.2}x ({} rows invalidated, {} repaired in place)",
         report.rounds,
+        report.mutations_per_round,
         report.queries_per_round,
         report.incremental_wall_seconds,
         report.rebuild_wall_seconds,
         report.speedup,
-        report.rows_invalidated
+        report.rows_invalidated,
+        report.rows_repaired
+    );
+    report
+}
+
+/// The row-repair micro-contrast (see the module docs): what one resident
+/// row costs to patch in place vs to recompute from scratch. The live
+/// engine's flip batches alternate each edge's sign back and forth, so the
+/// graph (and therefore the per-iteration work) never drifts.
+#[derive(Debug, Serialize)]
+struct RepairBenchReport {
+    deployment_spec: String,
+    nodes: u64,
+    /// Sign flips per `mutate_batch` call.
+    flips_per_batch: u64,
+    /// Resident rows `compat::repair` patched per batch (counter-measured).
+    rows_repaired_per_batch: u64,
+    /// Rows the live engine rebuilt per batch — 0 means every affected
+    /// resident row was repaired, none fell back to invalidation.
+    rows_rebuilt_per_batch: u64,
+    repair_ns_per_row: u64,
+    rebuild_ns_per_row: u64,
+    /// `rebuild_ns_per_row / repair_ns_per_row` — the per-row win.
+    per_row_gain: f64,
+}
+
+fn repair_report(quick: bool, groups: &mut Vec<Group>) -> RepairBenchReport {
+    use signed_graph::EdgeMutation;
+    use tfsn_engine::registry::DeploymentSource;
+
+    const SPEC: &str = "synthetic:nodes=600,edges=2400,skills=32,seed=7";
+    const KIND: CompatibilityKind = CompatibilityKind::Nne;
+    const FLIPS: usize = 8;
+    let samples = if quick { 5 } else { 11 };
+    let rows_options = || EngineOptions {
+        policy: StorePolicy::rows(None),
+        ..Default::default()
+    };
+    let base = DeploymentSource::parse(SPEC)
+        .expect("valid synthetic spec")
+        .load();
+    // Fills every row of KIND (repair only ever patches resident rows).
+    let sweep = |engine: &Engine| {
+        let fetched = engine.store().fetch(KIND);
+        let scope = fetched.scope();
+        for u in 0..engine.graph().node_count() {
+            std::hint::black_box(scope.compat().packed_row(NodeId::new(u)));
+        }
+    };
+    let live = Engine::with_options(base.clone(), rows_options());
+    sweep(&live);
+    let nodes = live.graph().node_count();
+    // FLIPS edges spread across the edge list; every batch flips each
+    // edge's current sign, so consecutive batches undo each other.
+    let edges: Vec<(NodeId, NodeId)> = live.graph().edges().iter().map(|e| (e.u, e.v)).collect();
+    let targets: Vec<(NodeId, NodeId)> =
+        (0..FLIPS).map(|i| edges[i * edges.len() / FLIPS]).collect();
+    let flip_batch = |engine: &Engine| -> Vec<EdgeMutation> {
+        targets
+            .iter()
+            .map(|&(u, v)| EdgeMutation::SetSign {
+                u,
+                v,
+                sign: engine
+                    .graph()
+                    .sign(u, v)
+                    .expect("flipped edges never leave the graph")
+                    .flip(),
+            })
+            .collect()
+    };
+    // The per-batch constants, measured once outside the timed loop.
+    let builds_before = live.store().row_build_count();
+    let repaired_before = live.store().rows_repaired_count();
+    live.mutate_batch(&flip_batch(&live))
+        .expect("flips on existing edges apply");
+    sweep(&live);
+    let rows_repaired_per_batch = (live.store().rows_repaired_count() - repaired_before) as u64;
+    let rows_rebuilt_per_batch = (live.store().row_build_count() - builds_before) as u64;
+
+    let [repair_m] = measure_interleaved(
+        samples,
+        rows_repaired_per_batch.max(1),
+        [&mut || {
+            live.mutate_batch(&flip_batch(&live))
+                .expect("flips on existing edges apply");
+            sweep(&live); // resident rows serve patched — no rebuild work here
+        }],
+    );
+    let [rebuild_m] = measure_interleaved(
+        samples,
+        nodes as u64,
+        [&mut || {
+            let fresh = Engine::with_options(base.clone(), rows_options());
+            sweep(&fresh); // every row recomputed from scratch
+        }],
+    );
+
+    for (variant, m, ops) in [
+        ("repair-in-place", repair_m, rows_repaired_per_batch.max(1)),
+        ("rebuild-from-scratch", rebuild_m, nodes as u64),
+    ] {
+        groups.push(Group {
+            name: format!("repair/nne_sign_flip/{variant}"),
+            median_ns_per_op: m.median_ns_per_op,
+            p50_ns_per_op: m.p50_ns_per_op,
+            p95_ns_per_op: m.p95_ns_per_op,
+            p99_ns_per_op: m.p99_ns_per_op,
+            ops_per_iter: ops,
+            samples,
+        });
+    }
+    let report = RepairBenchReport {
+        deployment_spec: SPEC.to_string(),
+        nodes: nodes as u64,
+        flips_per_batch: FLIPS as u64,
+        rows_repaired_per_batch,
+        rows_rebuilt_per_batch,
+        repair_ns_per_row: repair_m.median_ns_per_op,
+        rebuild_ns_per_row: rebuild_m.median_ns_per_op,
+        per_row_gain: rebuild_m.median_ns_per_op as f64 / repair_m.median_ns_per_op.max(1) as f64,
+    };
+    eprintln!(
+        "repair: {} rows patched per {}-flip batch ({} rebuilt): {} ns/row \
+         repaired vs {} ns/row rebuilt -> {:.2}x per row",
+        report.rows_repaired_per_batch,
+        report.flips_per_batch,
+        report.rows_rebuilt_per_batch,
+        report.repair_ns_per_row,
+        report.rebuild_ns_per_row,
+        report.per_row_gain,
+    );
+    report
+}
+
+/// The follower-side replication measurement (see the module docs).
+#[derive(Debug, Serialize)]
+struct ReplicationLagReport {
+    deployment_spec: String,
+    /// Records in the primary's log when the follower starts.
+    mutations: u64,
+    /// Records per pulled window (each window replays as one batch).
+    max_per_pull: u64,
+    /// Wall-clock from follower start until `replicated_seq == mutations`
+    /// (includes poll intervals).
+    catchup_seconds: f64,
+    /// Row builds on the follower across the batched catch-up (rows swept
+    /// resident before the storm, swept again after convergence).
+    follower_row_builds: u64,
+    /// Rows the follower repaired in place instead of rebuilding.
+    follower_rows_repaired: u64,
+    /// The identical log folded one record at a time with a read sweep
+    /// after every record — the pre-batching replay cost.
+    unbatched_row_builds: u64,
+    /// `unbatched_row_builds / follower_row_builds` — the collapse figure.
+    build_reduction: f64,
+}
+
+fn replication_lag_report(quick: bool, groups: &mut Vec<Group>) -> ReplicationLagReport {
+    use signed_graph::{EdgeMutation, Sign};
+    use std::sync::Arc;
+    use tfsn_engine::cluster::{replica, FollowerOptions};
+    use tfsn_engine::registry::{
+        DeploymentConfig, DeploymentRegistry, DeploymentSource, WalConfig,
+    };
+    use tfsn_engine::server::{HttpServer, ServerOptions};
+    use tfsn_engine::service::Service;
+
+    const SPEC: &str = "synthetic:nodes=400,edges=1600,skills=32,seed=13";
+    const DEPLOYMENT: &str = "lag";
+    const KIND: CompatibilityKind = CompatibilityKind::Spo;
+    const MAX_PER_PULL: usize = 64;
+    let mutations_count: usize = if quick { 100 } else { 400 };
+    let rows_options = || EngineOptions {
+        policy: StorePolicy::rows(None),
+        ..Default::default()
+    };
+    let sweep = |engine: &Engine| {
+        let fetched = engine.store().fetch(KIND);
+        let scope = fetched.scope();
+        for u in 0..engine.graph().node_count() {
+            std::hint::black_box(scope.compat().packed_row(NodeId::new(u)));
+        }
+    };
+    // The same flappy storm shape the follower convergence test replays:
+    // a small node range churned by inserts, removes and re-signs, so
+    // batched windows can cancel work record-at-a-time replay pays for.
+    let mutations: Vec<EdgeMutation> = (0..mutations_count)
+        .map(|i| {
+            let u = NodeId::new(i % 17);
+            let v = NodeId::new((i * 7 + 1) % 23);
+            let sign = if i % 3 == 0 {
+                Sign::Negative
+            } else {
+                Sign::Positive
+            };
+            match i % 4 {
+                0 => EdgeMutation::Insert { u, v, sign },
+                1 => EdgeMutation::Remove { u, v },
+                _ => EdgeMutation::SetSign { u, v, sign },
+            }
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("tfsn-bench-lag-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create wal scratch dir");
+    let primary_service = {
+        let registry = DeploymentRegistry::new(vec![DeploymentConfig::new(
+            DEPLOYMENT,
+            DeploymentSource::parse(SPEC).expect("valid synthetic spec"),
+        )])
+        .expect("primary deployment")
+        .with_wal(WalConfig::new(&dir));
+        Arc::new(Service::new(registry))
+    };
+    let primary_engine = primary_service.engine(None).expect("load primary");
+    let primary = HttpServer::bind(
+        primary_service.clone(),
+        "127.0.0.1:0",
+        ServerOptions {
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind primary");
+    for m in &mutations {
+        let _ = primary_engine.mutate(m); // rejections are WAL-logged too
+    }
+
+    // The follower: rows resident up front, so the storm hits live state.
+    let follower_service = {
+        let registry = DeploymentRegistry::new(vec![DeploymentConfig::new(
+            DEPLOYMENT,
+            DeploymentSource::parse(SPEC).expect("valid synthetic spec"),
+        )
+        .with_options(rows_options())])
+        .expect("follower deployment");
+        Arc::new(Service::new(registry))
+    };
+    let follower_engine = follower_service.engine(None).expect("load follower");
+    sweep(&follower_engine);
+    let catchup_start = Instant::now();
+    let follower = replica::start(
+        follower_service.clone(),
+        FollowerOptions {
+            primary: primary.addr(),
+            poll: std::time::Duration::from_millis(10),
+            max_per_pull: MAX_PER_PULL as u64,
+        },
+    );
+    let deadline = catchup_start + std::time::Duration::from_secs(60);
+    while follower_engine.replicated_seq() != Some(mutations_count as u64) {
+        assert!(
+            Instant::now() < deadline,
+            "follower failed to replay {mutations_count} records within 60s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let catchup = catchup_start.elapsed().as_secs_f64();
+    follower.stop();
+    sweep(&follower_engine);
+    let follower_row_builds = follower_engine.store().row_build_count() as u64;
+    let follower_rows_repaired = follower_engine.store().rows_repaired_count() as u64;
+    primary.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The unbatched baseline: fold the identical log one record at a time
+    // with a read sweep after every record (what the pre-batching follower
+    // amounted to under live reads).
+    let baseline = Engine::with_options(
+        DeploymentSource::parse(SPEC)
+            .expect("valid synthetic spec")
+            .load(),
+        rows_options(),
+    );
+    sweep(&baseline);
+    let baseline_start = Instant::now();
+    for m in &mutations {
+        let _ = baseline.mutate(m);
+        sweep(&baseline);
+    }
+    let baseline_wall = baseline_start.elapsed().as_secs_f64();
+    let unbatched_row_builds = baseline.store().row_build_count() as u64;
+    assert_eq!(
+        format!("{:?}", follower_engine.graph().edges()),
+        format!("{:?}", baseline.graph().edges()),
+        "batched replay must converge on the same edge list the fold does"
+    );
+
+    for (variant, wall) in [
+        ("batched-follower", catchup),
+        ("unbatched-fold", baseline_wall),
+    ] {
+        groups.push(Group {
+            name: format!("replication_lag/{variant}"),
+            median_ns_per_op: (wall * 1e9) as u64 / (mutations_count as u64).max(1),
+            p50_ns_per_op: None,
+            p95_ns_per_op: None,
+            p99_ns_per_op: None,
+            ops_per_iter: mutations_count as u64,
+            samples: 1,
+        });
+    }
+    let report = ReplicationLagReport {
+        deployment_spec: SPEC.to_string(),
+        mutations: mutations_count as u64,
+        max_per_pull: MAX_PER_PULL as u64,
+        catchup_seconds: catchup,
+        follower_row_builds,
+        follower_rows_repaired,
+        unbatched_row_builds,
+        build_reduction: unbatched_row_builds as f64 / follower_row_builds.max(1) as f64,
+    };
+    eprintln!(
+        "replication_lag: {} records replayed in {:.3}s; follower built {} \
+         rows (repaired {}) vs {} unbatched -> {:.1}x fewer rebuilds",
+        report.mutations,
+        report.catchup_seconds,
+        report.follower_row_builds,
+        report.follower_rows_repaired,
+        report.unbatched_row_builds,
+        report.build_reduction,
     );
     report
 }
@@ -1476,18 +1843,22 @@ fn main() {
     let row_mode = row_mode_report(quick, &mut groups);
     let service = service_report(quick, &mut groups);
     let mutation = mutation_report(quick, &mut groups);
+    let repair = repair_report(quick, &mut groups);
+    let replication_lag = replication_lag_report(quick, &mut groups);
     let objectives = objectives_report(quick, &mut groups);
     let durability = durability_report(quick, &mut groups);
     let cluster = cluster_report(quick, &mut groups);
     telemetry_overhead_group(quick, &mut groups);
     let report = Report {
-        schema: "tfsn-bench-report/v7",
+        schema: "tfsn-bench-report/v8",
         quick,
         groups,
         speedups,
         row_mode,
         service,
         mutation,
+        repair,
+        replication_lag,
         objectives,
         durability,
         cluster,

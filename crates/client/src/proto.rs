@@ -48,6 +48,12 @@ use crate::report::{MetricsSnapshot, TelemetryReport};
 /// [`ServiceError::UnsupportedVersion`] before their body is interpreted.
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// Upper bound on mutations per `mutate_batch` envelope (and therefore per
+/// write-ahead-log group record). Enough to swallow a full replication pull
+/// chunk in one sweep, small enough that one group payload stays far below
+/// the log's record-size cap.
+pub const MAX_BATCH_MUTATIONS: usize = 1024;
+
 /// One request envelope: the operation body plus the deployment it targets
 /// (`None` = the registry's default deployment).
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +179,12 @@ impl Request {
                         })?),
                     },
                 },
+                "mutate_batch" => RequestBody::MutateBatch {
+                    mutations: parse_mutations_field(
+                        field("mutations")
+                            .ok_or_else(|| bad("op `mutate_batch` needs field `mutations`"))?,
+                    )?,
+                },
                 op => match parse_mutation_fields(op, &field)? {
                     Some(body) => body,
                     None => {
@@ -266,13 +278,25 @@ pub enum RequestBody {
         /// The label the edge should have.
         sign: Sign,
     },
+    /// Apply up to [`MAX_BATCH_MUTATIONS`] mutations in one envelope: one
+    /// write-order acquisition, one merged invalidation sweep, one atomic
+    /// write-ahead-log group (crash recovery replays all of the batch or
+    /// none of it). Answer-equivalent to sending the mutations one by one —
+    /// a rejected mutation reports its error in place and later mutations
+    /// still apply.
+    MutateBatch {
+        /// The mutations, applied in order (each the same shape as a bare
+        /// mutation object: `{"op": "edge_insert", "u": 1, "v": 2,
+        /// "sign": "+"}`).
+        mutations: Vec<EdgeMutation>,
+    },
 }
 
 impl RequestBody {
     /// Every request `op` label this protocol version speaks — the closure
     /// the docs-coverage test checks `docs/PROTOCOL.md` against, so a new
     /// operation cannot ship undocumented.
-    pub const ALL_OPS: [&'static str; 11] = [
+    pub const ALL_OPS: [&'static str; 12] = [
         "query",
         "batch",
         "warm",
@@ -284,6 +308,7 @@ impl RequestBody {
         "edge_insert",
         "edge_remove",
         "edge_set_sign",
+        "mutate_batch",
     ];
 
     /// The wire label of this operation.
@@ -300,6 +325,7 @@ impl RequestBody {
             RequestBody::EdgeInsert { .. } => "edge_insert",
             RequestBody::EdgeRemove { .. } => "edge_remove",
             RequestBody::EdgeSetSign { .. } => "edge_set_sign",
+            RequestBody::MutateBatch { .. } => "mutate_batch",
         }
     }
 
@@ -371,6 +397,32 @@ fn parse_mutation_fields<'a>(
             sign: sign()?,
         },
     }))
+}
+
+/// Parses a `mutations` array (bare mutation objects, in apply order) and
+/// enforces the [`MAX_BATCH_MUTATIONS`] cap. Shared by the `mutate_batch`
+/// envelope arm and the write-ahead log's group-record decoder.
+fn parse_mutations_field(v: &Value) -> Result<Vec<EdgeMutation>, ServiceError> {
+    let seq = v
+        .as_seq()
+        .ok_or_else(|| bad("field `mutations` must be an array of mutation objects"))?;
+    if seq.is_empty() {
+        return Err(bad("field `mutations` needs at least one mutation"));
+    }
+    if seq.len() > MAX_BATCH_MUTATIONS {
+        return Err(bad(format!(
+            "field `mutations` accepts at most {MAX_BATCH_MUTATIONS} mutations per batch, got {}",
+            seq.len()
+        )));
+    }
+    seq.iter()
+        .enumerate()
+        .map(|(i, m)| {
+            parse_mutation_value(m)
+                .map(|body| body.mutation().expect("mutation bodies only"))
+                .map_err(|e| bad(format!("mutations[{i}]: {e}")))
+        })
+        .collect()
 }
 
 /// Parses one *bare* mutation object — the `POST /v1/mutate` request body
@@ -451,6 +503,48 @@ pub fn mutation_json(mutation: &EdgeMutation) -> String {
         .expect("mutation wire objects always serialize")
 }
 
+/// The wire object of one mutation *group* — the payload of a batched
+/// write-ahead-log record:
+///
+/// ```json
+/// {"op": "mutate_batch", "mutations": [{"op": "edge_insert", "u": 1,
+///  "v": 2, "sign": "+"}, {"op": "edge_remove", "u": 3, "v": 4}]}
+/// ```
+pub fn mutation_batch_value(mutations: &[EdgeMutation]) -> Value {
+    Value::Map(vec![
+        ("op".to_string(), Value::Str("mutate_batch".to_string())),
+        (
+            "mutations".to_string(),
+            Value::Seq(mutations.iter().map(mutation_value).collect()),
+        ),
+    ])
+}
+
+/// [`mutation_batch_value`] as compact JSON text.
+pub fn mutation_batch_json(mutations: &[EdgeMutation]) -> String {
+    serde_json::to_string(&mutation_batch_value(mutations))
+        .expect("mutation wire objects always serialize")
+}
+
+/// Parses one write-ahead-log record payload: either a single bare
+/// mutation object (one mutation) or a `mutate_batch` group (its mutations
+/// in apply order). The flattened view is what log consumers see — group
+/// boundaries matter for crash atomicity, not for sequence numbering.
+pub fn parse_mutation_group_json(json: &str) -> Result<Vec<EdgeMutation>, ServiceError> {
+    let value: Value = serde_json::from_str(json).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    let map = value
+        .as_map()
+        .ok_or_else(|| bad("mutation record must be a JSON object"))?;
+    let field = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    if field("op").and_then(|v| v.as_str()) == Some("mutate_batch") {
+        return parse_mutations_field(
+            field("mutations").ok_or_else(|| bad("op `mutate_batch` needs field `mutations`"))?,
+        );
+    }
+    let body = parse_mutation_value(&value)?;
+    Ok(vec![body.mutation().expect("mutation bodies only")])
+}
+
 impl Serialize for Request {
     fn to_value(&self) -> Value {
         let mut m: Vec<(String, Value)> = vec![
@@ -503,6 +597,12 @@ impl Serialize for Request {
             RequestBody::EdgeRemove { u, v } => {
                 m.push(("u".to_string(), Value::UInt(*u as u64)));
                 m.push(("v".to_string(), Value::UInt(*v as u64)));
+            }
+            RequestBody::MutateBatch { mutations } => {
+                m.push((
+                    "mutations".to_string(),
+                    Value::Seq(mutations.iter().map(mutation_value).collect()),
+                ));
             }
         }
         Value::Map(m)
@@ -589,8 +689,83 @@ pub enum Response {
         /// Wall-clock time applying the mutation, microseconds.
         micros: u64,
     },
+    /// Acknowledgement of a [`RequestBody::MutateBatch`]: per-mutation
+    /// outcomes in request order plus the merged invalidation accounting
+    /// of the single sweep that applied them.
+    MutatedBatch {
+        /// The deployment that was mutated.
+        deployment: String,
+        /// One outcome per requested mutation, in order.
+        outcomes: Vec<MutationOutcome>,
+        /// Resident relation rows invalidated by the whole batch.
+        rows_invalidated: u64,
+        /// Resident rows kept by in-place repair instead of invalidation.
+        rows_repaired: u64,
+        /// Matrix-tier kinds downgraded to row serving by this batch.
+        downgraded: Vec<CompatibilityKind>,
+        /// Live edge count after the batch.
+        edges: u64,
+        /// Wall-clock time applying the batch, microseconds.
+        micros: u64,
+    },
     /// The request failed; the envelope carries the typed error.
     Error(ServiceError),
+}
+
+/// One mutation's outcome inside a [`Response::MutatedBatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationOutcome {
+    /// The mutation op label (`edge_insert`, …).
+    pub mutation: String,
+    /// `true` when the mutation applied (no-op sign sets included).
+    pub applied: bool,
+    /// `true` when the mutation structurally changed the graph.
+    pub changed: bool,
+    /// The typed rejection when `applied` is `false`.
+    pub error: Option<ServiceError>,
+}
+
+impl Serialize for MutationOutcome {
+    fn to_value(&self) -> Value {
+        let mut m: Vec<(String, Value)> = vec![
+            ("mutation".to_string(), Value::Str(self.mutation.clone())),
+            ("applied".to_string(), Value::Bool(self.applied)),
+            ("changed".to_string(), Value::Bool(self.changed)),
+        ];
+        if let Some(e) = &self.error {
+            m.push(("error".to_string(), e.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for MutationOutcome {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("mutation outcome must be a JSON object"))?;
+        let field = |key: &str| map.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let flag = |key: &str| match field(key) {
+            Some(Value::Bool(b)) => Ok(*b),
+            _ => Err(SerdeError::custom(format!(
+                "mutation outcome field `{key}` must be a boolean"
+            ))),
+        };
+        Ok(MutationOutcome {
+            mutation: field("mutation")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| SerdeError::custom("mutation outcome needs a `mutation` label"))?
+                .to_string(),
+            applied: flag("applied")?,
+            changed: flag("changed")?,
+            error: match field("error") {
+                None | Some(Value::Null) => None,
+                Some(e) => Some(
+                    ServiceError::parse_value(e).map_err(|e| SerdeError::custom(e.to_string()))?,
+                ),
+            },
+        })
+    }
 }
 
 impl Response {
@@ -606,6 +781,7 @@ impl Response {
             Response::Deployments(_) => "deployments",
             Response::WalRecords { .. } => "wal_records",
             Response::Mutated { .. } => "mutated",
+            Response::MutatedBatch { .. } => "mutated_batch",
             Response::Error(_) => "error",
         }
     }
@@ -722,6 +898,24 @@ impl Response {
                     micros: u64_of("micros")?,
                 }
             }
+            "mutated_batch" => {
+                let u64_of = |key: &str| {
+                    required(key)?
+                        .as_u64()
+                        .ok_or_else(|| bad(format!("field `{key}` must be a non-negative integer")))
+                };
+                Response::MutatedBatch {
+                    deployment: String::from_value(required("deployment")?)
+                        .map_err(|e| bad(format!("field `deployment`: {e}")))?,
+                    outcomes: Vec::<MutationOutcome>::from_value(required("outcomes")?)
+                        .map_err(|e| bad(format!("field `outcomes`: {e}")))?,
+                    rows_invalidated: u64_of("rows_invalidated")?,
+                    rows_repaired: u64_of("rows_repaired")?,
+                    downgraded: parse_kinds(field("downgraded"), "downgraded")?,
+                    edges: u64_of("edges")?,
+                    micros: u64_of("micros")?,
+                }
+            }
             "error" => Response::Error(ServiceError::parse_value(required("error")?)?),
             other => {
                 return Err(ServiceError::UnknownOp {
@@ -808,6 +1002,26 @@ impl Serialize for Response {
                     "rows_invalidated".to_string(),
                     Value::UInt(*rows_invalidated),
                 ));
+                m.push(("downgraded".to_string(), kinds_value(downgraded)));
+                m.push(("edges".to_string(), Value::UInt(*edges)));
+                m.push(("micros".to_string(), Value::UInt(*micros)));
+            }
+            Response::MutatedBatch {
+                deployment,
+                outcomes,
+                rows_invalidated,
+                rows_repaired,
+                downgraded,
+                edges,
+                micros,
+            } => {
+                m.push(("deployment".to_string(), Value::Str(deployment.clone())));
+                m.push(("outcomes".to_string(), outcomes.to_value()));
+                m.push((
+                    "rows_invalidated".to_string(),
+                    Value::UInt(*rows_invalidated),
+                ));
+                m.push(("rows_repaired".to_string(), Value::UInt(*rows_repaired)));
                 m.push(("downgraded".to_string(), kinds_value(downgraded)));
                 m.push(("edges".to_string(), Value::UInt(*edges)));
                 m.push(("micros".to_string(), Value::UInt(*micros)));

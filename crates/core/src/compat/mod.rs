@@ -19,6 +19,7 @@
 //! [`crate::team::CandidateMask`] fast path, exposed through
 //! [`Compatibility::packed_row`].
 
+pub mod repair;
 pub mod row;
 pub mod sbp;
 pub mod sbph;
@@ -38,7 +39,7 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use signed_graph::csr::CsrGraph;
-use signed_graph::{NodeId, SignedGraph};
+use signed_graph::{MutationEffect, NodeId, SignedGraph};
 
 use crate::distance;
 
@@ -852,6 +853,76 @@ impl LazyCompatibility {
         invalidated
     }
 
+    /// Applies a batch of edge mutations in one sweep: swaps the (graph,
+    /// CSR) view once, bumps the mutation epoch once, and walks resident
+    /// rows exactly once. Rows no effect can touch stay resident verbatim;
+    /// affected rows are handed to [`repair::repair_row`], which either
+    /// proves them unchanged, patches them in place (the repaired row is
+    /// republished under the same LRU tick — row size is fixed per node
+    /// count, so the byte accounting is unchanged), or demands a scratch
+    /// recompute, in which case the slot is dropped like
+    /// [`Self::apply_mutation`] would.
+    ///
+    /// Returns `(invalidated, repaired)`: rows dropped vs rows the repair
+    /// pass kept that the coarse [`row_affected_by_edge`] predicate alone
+    /// would have discarded.
+    ///
+    /// Soundness of the per-row skip: if every effect in the batch leaves a
+    /// row unaffected under the *pre-batch* lane, no composition of the
+    /// effects can change it — an effect can only extend reachability if
+    /// one of its endpoints is already reachable, which the predicate
+    /// reports as affected. Affected rows see the *full* effect list, so
+    /// cross-effect interactions are resolved inside `repair_row`.
+    pub fn apply_mutations(
+        &self,
+        graph: Arc<SignedGraph>,
+        csr: Arc<CsrGraph>,
+        effects: &[MutationEffect],
+    ) -> (usize, usize) {
+        debug_assert_eq!(graph.node_count(), self.nodes);
+        let repair_csr = Arc::clone(&csr);
+        *self.view.write() = GraphView { graph, csr };
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        let mut invalidated = 0;
+        let mut repaired = 0;
+        for idx in 0..st.slots.len() {
+            match std::mem::replace(&mut st.slots[idx], Slot::Empty) {
+                Slot::Empty => {}
+                Slot::Building(_) => {}
+                Slot::Ready { row, bytes, tick } => {
+                    let affected = effects
+                        .iter()
+                        .any(|e| e.changed() && row_affected_by_edge(&row, e.u, e.v));
+                    if !affected {
+                        st.slots[idx] = Slot::Ready { row, bytes, tick };
+                        continue;
+                    }
+                    match repair::repair_row(&row, effects, &repair_csr) {
+                        repair::RepairOutcome::Unchanged => {
+                            st.slots[idx] = Slot::Ready { row, bytes, tick };
+                            repaired += 1;
+                        }
+                        repair::RepairOutcome::Repaired(patched) => {
+                            st.slots[idx] = Slot::Ready {
+                                row: Arc::new(patched),
+                                bytes,
+                                tick,
+                            };
+                            repaired += 1;
+                        }
+                        repair::RepairOutcome::MustRecompute => {
+                            st.resident_bytes -= bytes;
+                            st.lru.remove(&tick);
+                            invalidated += 1;
+                        }
+                    }
+                }
+            }
+        }
+        (invalidated, repaired)
+    }
+
     /// Seeds one already-computed row (the matrix→rows downgrade path: a
     /// mutation on a matrix-tier kind migrates the matrix's unaffected rows
     /// here instead of recomputing them). The row must belong to this
@@ -1432,6 +1503,75 @@ mod tests {
                 assert_eq!(lazy.distance(u, v), reference.distance(u, v), "({u},{v})");
             }
         }
+    }
+
+    #[test]
+    fn apply_mutations_repairs_rows_in_place() {
+        use signed_graph::{EdgeMutation, Sign};
+        // Two components: a ring 0..8 and a positive pair (20, 21).
+        let mut edges: Vec<(usize, usize, Sign)> =
+            (0..8).map(|i| (i, (i + 1) % 8, Sign::Positive)).collect();
+        edges.push((20, 21, Sign::Positive));
+        let g = from_edge_triples(edges);
+        let n = g.node_count();
+        let kind = CompatibilityKind::Nne;
+        let lazy = LazyCompatibility::new(Arc::new(g.clone()), kind, EngineConfig::default());
+        for u in g.nodes() {
+            lazy.source(u);
+        }
+        assert_eq!(lazy.cached_rows(), n);
+        // Batch 1: a sign flip inside the ring. NNE rows are patchable
+        // (endpoint rows get a bit flip, the rest are provably unchanged),
+        // so nothing is dropped from the cache.
+        let mut mutated = g.clone();
+        let flip = mutated
+            .apply_mutation(&EdgeMutation::SetSign {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+                sign: Sign::Negative,
+            })
+            .unwrap();
+        let graph = Arc::new(mutated.clone());
+        let csr = Arc::new(CsrGraph::from_graph(&graph));
+        let (invalidated, repaired) = lazy.apply_mutations(graph, csr, &[flip]);
+        assert_eq!(invalidated, 0, "NNE sign flips repair in place");
+        assert!(repaired >= 2, "at least the endpoint rows were patched");
+        assert_eq!(lazy.cached_rows(), n, "no slot was dropped");
+        let builds_before = lazy.build_count();
+        // Batch 2: an insert bridging the components plus a flip back —
+        // composed in one sweep; the insert relaxes the distance lane.
+        let e1 = mutated
+            .apply_mutation(&EdgeMutation::Insert {
+                u: NodeId::new(3),
+                v: NodeId::new(20),
+                sign: Sign::Positive,
+            })
+            .unwrap();
+        let e2 = mutated
+            .apply_mutation(&EdgeMutation::SetSign {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+                sign: Sign::Positive,
+            })
+            .unwrap();
+        let graph = Arc::new(mutated.clone());
+        let csr = Arc::new(CsrGraph::from_graph(&graph));
+        let (invalidated, _) = lazy.apply_mutations(graph, csr, &[e1, e2]);
+        assert_eq!(invalidated, 0, "NNE inserts relax in place");
+        // Every pair answer matches a scratch matrix — without rebuilding
+        // a single row.
+        let reference = CompatibilityMatrix::build(&mutated, kind);
+        for u in mutated.nodes() {
+            for v in mutated.nodes() {
+                assert_eq!(
+                    lazy.compatible(u, v),
+                    reference.compatible(u, v),
+                    "({u},{v})"
+                );
+                assert_eq!(lazy.distance(u, v), reference.distance(u, v), "({u},{v})");
+            }
+        }
+        assert_eq!(lazy.build_count(), builds_before, "repair avoided rebuilds");
     }
 
     #[test]

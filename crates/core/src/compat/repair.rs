@@ -1,0 +1,514 @@
+//! Incremental row repair: patch a resident [`CompatRow`] after a batch of
+//! edge mutations instead of recomputing it from scratch.
+//!
+//! The paper's relations are all products of distance-bounded BFS from the
+//! row's source, so a single edge change perturbs a resident row only along
+//! frontiers through the touched endpoints — the classic incremental-SSSP
+//! observation. [`repair_row`] exploits that per kind:
+//!
+//! * **`DPE`** rows depend only on the source's direct neighbourhood, so an
+//!   endpoint mutation is an O(1) patch of the other endpoint's entry —
+//!   always repairable.
+//! * **`SPA`/`SPM`/`SPO`** rows pack distances but not the positive/negative
+//!   path counts the bits were derived from, so they cannot be *patched* —
+//!   but the resident distance lane can *prove* many mutations are no-ops
+//!   (an edge between equal BFS levels is on no shortest-path DAG; a sign
+//!   flip or removal across a level gap ≠ 1 changes neither distances nor
+//!   counts). Provable no-ops return [`RepairOutcome::Unchanged`]; anything
+//!   else falls back to [`RepairOutcome::MustRecompute`].
+//! * **`NNE`** lanes are plain unsigned BFS distances, which inserts can
+//!   only decrease: a bounded multi-seed relaxation from the inserted
+//!   endpoints over the *final* adjacency restores the exact lane, and the
+//!   bitset (compatible = not a direct foe of the source) is an O(1) patch
+//!   per endpoint mutation. Removals reuse the SP no-op proof.
+//! * **`SBPH`/`SBP`** rows are balanced-path products with no usable
+//!   residual structure; they always report [`RepairOutcome::MustRecompute`]
+//!   (their whole-kind invalidation scope drops them before repair is even
+//!   consulted).
+//!
+//! Soundness is a type, not a convention: the only way to keep a resident
+//! row across a mutation is a [`RepairOutcome`] that proves it exact.
+//! Repaired rows are bit-for-bit equal to a scratch recompute — the
+//! differential harness in `crates/engine/tests/repair.rs` pins exactly
+//! that, for every kind, across arbitrary mutation sequences.
+//!
+//! Distances live in a saturating u16 lane ([`MAX_PACKED_DISTANCE`] caps,
+//! [`UNREACHABLE_DISTANCE`] is the sentinel). Capping is a min-plus
+//! homomorphism (`cap(min(a,b)) = min(cap a, cap b)` and
+//! `cap(a+1) = cap(cap(a)+1)`), so the NNE relaxation computed in capped
+//! space equals the capped exact distances. The SP *difference* proofs are
+//! not exact at the cap — two saturated endpoints may hide a real level gap
+//! — so any proof that sees a saturated endpoint conservatively reports
+//! [`RepairOutcome::MustRecompute`].
+
+use std::collections::VecDeque;
+
+use signed_graph::csr::CsrGraph;
+use signed_graph::delta::{EdgeChange, MutationEffect};
+use signed_graph::NodeId;
+
+use super::row::{CompatRow, MAX_PACKED_DISTANCE, UNREACHABLE_DISTANCE};
+use super::CompatibilityKind;
+
+/// The packed value at which the u16 distance lane saturates.
+const SATURATED: u16 = MAX_PACKED_DISTANCE as u16;
+
+/// The verdict of [`repair_row`] for one resident row against a batch of
+/// mutation effects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// The row is provably unaffected by every effect — keep it as-is.
+    Unchanged,
+    /// The row was patched in place of a recompute; the payload is exact
+    /// (bit-for-bit equal to a scratch rebuild on the mutated graph).
+    Repaired(CompatRow),
+    /// No sound patch exists; the caller must drop the row and recompute
+    /// it from scratch on next touch.
+    MustRecompute,
+}
+
+/// Repairs one resident row against an in-order batch of mutation
+/// `effects`, given the **final** CSR view (after every effect is applied).
+///
+/// Effects are composed sequentially: a proven no-op leaves the lane exact
+/// for the next proof, O(1) patches commute with everything, and inserts
+/// defer their lane relaxation to one multi-seed pass at the end (inserts
+/// only decrease BFS distances, so relaxing from every inserted endpoint
+/// over the final adjacency restores the exact fixpoint). Any effect that
+/// cannot be proven or patched aborts with
+/// [`RepairOutcome::MustRecompute`].
+pub fn repair_row(row: &CompatRow, effects: &[MutationEffect], csr: &CsrGraph) -> RepairOutcome {
+    match row.kind() {
+        CompatibilityKind::Dpe => repair_dpe(row, effects),
+        CompatibilityKind::Spa | CompatibilityKind::Spm | CompatibilityKind::Spo => {
+            prove_sp_unchanged(row, effects)
+        }
+        CompatibilityKind::Nne => repair_nne(row, effects, csr),
+        CompatibilityKind::Sbph | CompatibilityKind::Sbp => RepairOutcome::MustRecompute,
+    }
+}
+
+/// The endpoint opposite `source`, when `source` is an endpoint at all.
+fn other_endpoint(source: NodeId, u: NodeId, v: NodeId) -> Option<NodeId> {
+    if source == u {
+        Some(v)
+    } else if source == v {
+        Some(u)
+    } else {
+        None
+    }
+}
+
+/// DPE: the row is exactly `{source} ∪ positive neighbours of source`, so
+/// only effects touching the source matter, and each is an O(1) overwrite
+/// of the other endpoint's entry.
+fn repair_dpe(row: &CompatRow, effects: &[MutationEffect]) -> RepairOutcome {
+    let source = row.source();
+    let mut patched: Option<CompatRow> = None;
+    for effect in effects {
+        let Some(other) = other_endpoint(source, effect.u, effect.v) else {
+            continue;
+        };
+        let entry = match effect.change {
+            EdgeChange::Unchanged(_) => continue,
+            EdgeChange::Inserted(sign) => Some(sign),
+            EdgeChange::SignChanged { new, .. } => Some(new),
+            EdgeChange::Removed(_) => None,
+        };
+        let row = patched.get_or_insert_with(|| row.clone());
+        match entry {
+            Some(sign) if sign.is_positive() => row.set(other.index(), true, 1),
+            _ => row.set(other.index(), false, UNREACHABLE_DISTANCE),
+        }
+    }
+    match patched {
+        None => RepairOutcome::Unchanged,
+        Some(row) => RepairOutcome::Repaired(row),
+    }
+}
+
+/// `true` when the lane proves removing (or re-signing) edge `(u, v)`
+/// changes neither this row's distances nor its shortest-path counts: both
+/// endpoints unreachable, or a level gap ≠ 1 (an edge off every
+/// shortest-path DAG). Saturated endpoints make the gap test unsound, so
+/// they fail the proof.
+fn off_dag_is_noop(row: &CompatRow, u: NodeId, v: NodeId) -> bool {
+    let (du, dv) = (row.raw_distance(u.index()), row.raw_distance(v.index()));
+    if du == UNREACHABLE_DISTANCE && dv == UNREACHABLE_DISTANCE {
+        return true;
+    }
+    if du == UNREACHABLE_DISTANCE || dv == UNREACHABLE_DISTANCE {
+        // An existing edge with exactly one reachable endpoint contradicts
+        // an exact lane; trust nothing and recompute.
+        return false;
+    }
+    if du >= SATURATED || dv >= SATURATED {
+        return false;
+    }
+    du.abs_diff(dv) != 1
+}
+
+/// SP kinds: the packed row lacks the path counts, so the only sound
+/// verdicts are "provably untouched" and "recompute".
+fn prove_sp_unchanged(row: &CompatRow, effects: &[MutationEffect]) -> RepairOutcome {
+    for effect in effects {
+        let (u, v) = (effect.u, effect.v);
+        let noop = match effect.change {
+            EdgeChange::Unchanged(_) => true,
+            // Signs steer the positive/negative path counts but not the
+            // BFS levels; an off-DAG edge carries no shortest path, so
+            // flipping or deleting it perturbs neither.
+            EdgeChange::SignChanged { .. } | EdgeChange::Removed(_) => off_dag_is_noop(row, u, v),
+            // A new edge leaves the row alone only between equal BFS
+            // levels (no shortcut, no new shortest path) or between two
+            // unreachable nodes.
+            EdgeChange::Inserted(_) => {
+                let (du, dv) = (row.raw_distance(u.index()), row.raw_distance(v.index()));
+                if du == UNREACHABLE_DISTANCE && dv == UNREACHABLE_DISTANCE {
+                    true
+                } else if du == UNREACHABLE_DISTANCE || dv == UNREACHABLE_DISTANCE {
+                    false
+                } else {
+                    du < SATURATED && dv < SATURATED && du == dv
+                }
+            }
+        };
+        if !noop {
+            return RepairOutcome::MustRecompute;
+        }
+    }
+    RepairOutcome::Unchanged
+}
+
+/// NNE: bits are "not a direct foe of the source" (endpoint-local), the
+/// lane is a plain unsigned BFS — inserts relax it, removals must prove
+/// themselves off-DAG, sign flips only touch endpoint bits.
+fn repair_nne(row: &CompatRow, effects: &[MutationEffect], csr: &CsrGraph) -> RepairOutcome {
+    let source = row.source();
+    let mut patched: Option<CompatRow> = None;
+    // Endpoints of inserted edges, relaxed in one multi-seed pass at the
+    // end; while any insert is pending the resident lane is stale, so a
+    // removal proof after an insert cannot be trusted.
+    let mut inserted: Vec<(NodeId, NodeId)> = Vec::new();
+    for effect in effects {
+        match effect.change {
+            EdgeChange::Unchanged(_) => {}
+            EdgeChange::SignChanged { new, .. } => {
+                if let Some(other) = other_endpoint(source, effect.u, effect.v) {
+                    let row = patched.get_or_insert_with(|| row.clone());
+                    let d = row.raw_distance(other.index());
+                    row.set(other.index(), new.is_positive(), d);
+                }
+            }
+            EdgeChange::Inserted(sign) => {
+                if let Some(other) = other_endpoint(source, effect.u, effect.v) {
+                    let row = patched.get_or_insert_with(|| row.clone());
+                    let d = row.raw_distance(other.index());
+                    row.set(other.index(), sign.is_positive(), d);
+                }
+                inserted.push((effect.u, effect.v));
+            }
+            EdgeChange::Removed(_) => {
+                if !inserted.is_empty() {
+                    return RepairOutcome::MustRecompute;
+                }
+                let current = patched.as_ref().unwrap_or(row);
+                if !off_dag_is_noop(current, effect.u, effect.v) {
+                    // Covers endpoint rows too: an existing edge at the
+                    // source always spans levels 0 and 1, so their bit
+                    // flip rides the recompute.
+                    return RepairOutcome::MustRecompute;
+                }
+            }
+        }
+    }
+    if !inserted.is_empty() {
+        let row = patched.get_or_insert_with(|| row.clone());
+        relax_inserts(row, &inserted, csr);
+    }
+    match patched {
+        None => RepairOutcome::Unchanged,
+        Some(row) => RepairOutcome::Repaired(row),
+    }
+}
+
+/// Multi-seed bounded relaxation over the final adjacency: distances only
+/// decrease under insertion, so label-correcting BFS from the inserted
+/// endpoints converges on the exact post-insert lane. Arithmetic saturates
+/// at [`MAX_PACKED_DISTANCE`]; capping commutes with min-plus, so the
+/// capped fixpoint equals the capped exact distances.
+fn relax_inserts(row: &mut CompatRow, edges: &[(NodeId, NodeId)], csr: &CsrGraph) {
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    let lower = |row: &mut CompatRow, queue: &mut VecDeque<NodeId>, from: NodeId, to: NodeId| {
+        let df = row.raw_distance(from.index());
+        if df == UNREACHABLE_DISTANCE {
+            return;
+        }
+        let candidate = df.saturating_add(1).min(SATURATED);
+        if candidate < row.raw_distance(to.index()) {
+            row.set_distance(to.index(), candidate);
+            queue.push_back(to);
+        }
+    };
+    for &(u, v) in edges {
+        lower(row, &mut queue, u, v);
+        lower(row, &mut queue, v, u);
+    }
+    while let Some(x) = queue.pop_front() {
+        let candidate = row.raw_distance(x.index()).saturating_add(1).min(SATURATED);
+        for (y, _) in csr.neighbors(x) {
+            if candidate < row.raw_distance(y.index()) {
+                row.set_distance(y.index(), candidate);
+                queue.push_back(y);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compat::{compute_source, EngineConfig};
+    use signed_graph::builder::from_edge_triples;
+    use signed_graph::{EdgeMutation, Sign, SignedGraph};
+
+    fn ring_with_chords() -> SignedGraph {
+        let n = 14usize;
+        let mut triples = Vec::new();
+        for i in 0..n {
+            let sign = if i % 3 == 0 {
+                Sign::Negative
+            } else {
+                Sign::Positive
+            };
+            triples.push((i, (i + 1) % n, sign));
+        }
+        triples.push((0, 5, Sign::Positive));
+        triples.push((2, 9, Sign::Negative));
+        // A detached positive pair, unreachable from the ring.
+        triples.push((n, n + 1, Sign::Positive));
+        from_edge_triples(triples)
+    }
+
+    fn scratch_row(graph: &SignedGraph, source: usize, kind: CompatibilityKind) -> CompatRow {
+        let csr = CsrGraph::from_graph(graph);
+        let cfg = EngineConfig::default();
+        CompatRow::from_source(&compute_source(
+            graph,
+            &csr,
+            NodeId::new(source),
+            kind,
+            &cfg,
+        ))
+    }
+
+    /// Applies `mutations` to a clone of `graph`, then checks `repair_row`
+    /// against a scratch recompute for every source × kind: a `Repaired` or
+    /// `Unchanged` verdict must be bit-for-bit exact.
+    fn check_all_rows(graph: &SignedGraph, mutations: &[EdgeMutation]) {
+        let mut mutated = graph.clone();
+        let mut effects = Vec::new();
+        for m in mutations {
+            effects.push(mutated.apply_mutation(m).expect("test mutation applies"));
+        }
+        let csr = CsrGraph::from_graph(&mutated);
+        for kind in CompatibilityKind::ALL {
+            for source in 0..graph.node_count() {
+                let before = scratch_row(graph, source, kind);
+                let after = scratch_row(&mutated, source, kind);
+                match repair_row(&before, &effects, &csr) {
+                    RepairOutcome::Unchanged => {
+                        assert_eq!(
+                            before, after,
+                            "{kind:?} row {source}: claimed unchanged but differs"
+                        );
+                    }
+                    RepairOutcome::Repaired(repaired) => {
+                        assert_eq!(
+                            repaired, after,
+                            "{kind:?} row {source}: repaired row is not exact"
+                        );
+                    }
+                    RepairOutcome::MustRecompute => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dpe_rows_always_repair_exactly() {
+        let graph = ring_with_chords();
+        let csr_sees = |g: &SignedGraph, m: &EdgeMutation| {
+            let mut g = g.clone();
+            let effect = g.apply_mutation(m).unwrap();
+            (g, effect)
+        };
+        for mutation in [
+            EdgeMutation::Insert {
+                u: NodeId::new(0),
+                v: NodeId::new(7),
+                sign: Sign::Positive,
+            },
+            EdgeMutation::Insert {
+                u: NodeId::new(0),
+                v: NodeId::new(7),
+                sign: Sign::Negative,
+            },
+            EdgeMutation::Remove {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+            },
+            EdgeMutation::SetSign {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+                sign: Sign::Negative,
+            },
+        ] {
+            let (mutated, effect) = csr_sees(&graph, &mutation);
+            let csr = CsrGraph::from_graph(&mutated);
+            for source in [0usize, 1, 7] {
+                let before = scratch_row(&graph, source, CompatibilityKind::Dpe);
+                let after = scratch_row(&mutated, source, CompatibilityKind::Dpe);
+                match repair_row(&before, &[effect], &csr) {
+                    RepairOutcome::Unchanged => assert_eq!(before, after, "source {source}"),
+                    RepairOutcome::Repaired(row) => assert_eq!(row, after, "source {source}"),
+                    RepairOutcome::MustRecompute => {
+                        panic!("DPE endpoint mutations are always patchable (source {source})")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nne_insert_relaxes_to_the_exact_lane() {
+        let graph = ring_with_chords();
+        // A long-range chord that shortens many distances, plus an edge
+        // into the detached component.
+        check_all_rows(
+            &graph,
+            &[EdgeMutation::Insert {
+                u: NodeId::new(1),
+                v: NodeId::new(8),
+                sign: Sign::Negative,
+            }],
+        );
+        check_all_rows(
+            &graph,
+            &[EdgeMutation::Insert {
+                u: NodeId::new(3),
+                v: NodeId::new(14),
+                sign: Sign::Positive,
+            }],
+        );
+    }
+
+    #[test]
+    fn nne_rows_never_recompute_on_insert_or_flip() {
+        let graph = ring_with_chords();
+        let mut mutated = graph.clone();
+        let effects = vec![
+            mutated
+                .apply_mutation(&EdgeMutation::Insert {
+                    u: NodeId::new(1),
+                    v: NodeId::new(8),
+                    sign: Sign::Negative,
+                })
+                .unwrap(),
+            mutated
+                .apply_mutation(&EdgeMutation::SetSign {
+                    u: NodeId::new(0),
+                    v: NodeId::new(1),
+                    sign: Sign::Positive,
+                })
+                .unwrap(),
+        ];
+        let csr = CsrGraph::from_graph(&mutated);
+        for source in 0..graph.node_count() {
+            let before = scratch_row(&graph, source, CompatibilityKind::Nne);
+            let after = scratch_row(&mutated, source, CompatibilityKind::Nne);
+            match repair_row(&before, &effects, &csr) {
+                RepairOutcome::MustRecompute => {
+                    panic!("NNE inserts and sign flips always repair (source {source})")
+                }
+                RepairOutcome::Unchanged => assert_eq!(before, after, "source {source}"),
+                RepairOutcome::Repaired(row) => assert_eq!(row, after, "source {source}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sp_proofs_are_sound_across_batches() {
+        let graph = ring_with_chords();
+        // Same-level insert, off-DAG removal, distant sign flip: a mix of
+        // provable no-ops and forced recomputes — the check only demands
+        // that every non-recompute verdict is exact.
+        check_all_rows(
+            &graph,
+            &[
+                EdgeMutation::Insert {
+                    u: NodeId::new(2),
+                    v: NodeId::new(12),
+                    sign: Sign::Positive,
+                },
+                EdgeMutation::SetSign {
+                    u: NodeId::new(5),
+                    v: NodeId::new(6),
+                    sign: Sign::Negative,
+                },
+                EdgeMutation::Remove {
+                    u: NodeId::new(2),
+                    v: NodeId::new(9),
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn detached_component_mutations_leave_ring_rows_unchanged() {
+        let graph = ring_with_chords();
+        let mut mutated = graph.clone();
+        let effects = vec![mutated
+            .apply_mutation(&EdgeMutation::SetSign {
+                u: NodeId::new(14),
+                v: NodeId::new(15),
+                sign: Sign::Negative,
+            })
+            .unwrap()];
+        let csr = CsrGraph::from_graph(&mutated);
+        for kind in [
+            CompatibilityKind::Spa,
+            CompatibilityKind::Spm,
+            CompatibilityKind::Spo,
+        ] {
+            let row = scratch_row(&graph, 0, kind);
+            assert_eq!(
+                repair_row(&row, &effects, &csr),
+                RepairOutcome::Unchanged,
+                "{kind:?}: a sign flip in an unreachable component is a provable no-op"
+            );
+        }
+    }
+
+    #[test]
+    fn sbp_kinds_always_fall_back() {
+        let graph = ring_with_chords();
+        let mut mutated = graph.clone();
+        let effects = vec![mutated
+            .apply_mutation(&EdgeMutation::SetSign {
+                u: NodeId::new(14),
+                v: NodeId::new(15),
+                sign: Sign::Negative,
+            })
+            .unwrap()];
+        let csr = CsrGraph::from_graph(&mutated);
+        for kind in [CompatibilityKind::Sbph, CompatibilityKind::Sbp] {
+            let row = scratch_row(&graph, 0, kind);
+            assert_eq!(
+                repair_row(&row, &effects, &csr),
+                RepairOutcome::MustRecompute,
+                "{kind:?} has no repair path"
+            );
+        }
+    }
+}

@@ -164,6 +164,14 @@ impl CompatRow {
         (count > 0).then(|| total as f64 / count as f64)
     }
 
+    /// Overwrites the packed distance for `v` without touching its
+    /// compatibility bit (used by the repair relaxation, whose lane updates
+    /// are independent of the bitset patches).
+    pub(crate) fn set_distance(&mut self, v: usize, raw_distance: u16) {
+        debug_assert!(v < self.nodes);
+        self.dist[v] = raw_distance;
+    }
+
     /// Overwrites the entry for `v` (used by the symmetric closure).
     pub(crate) fn set(&mut self, v: usize, compatible: bool, raw_distance: u16) {
         debug_assert!(v < self.nodes);

@@ -204,6 +204,9 @@ mutate flags:
                       op (edge_insert|edge_remove|edge_set_sign), u, v, and
                       sign (+ or -) for insert/set_sign
   --output FILE       one mutated/error response envelope per line (stdout)
+  --batch N           group up to N consecutive mutations per mutate_batch
+                      request: one lock, one merged invalidation sweep, one
+                      atomic WAL group per flush (default 1 = unbatched)
 
 gen flags:
   --queries N         number of queries (default 100)
@@ -384,7 +387,7 @@ fn main_impl(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Resul
             route(&flags, err)
         }
         "mutate" => {
-            let mut allowed = vec!["--input", "--output"];
+            let mut allowed = vec!["--input", "--output", "--batch"];
             allowed.extend_from_slice(SERVING_FLAGS);
             let flags = Flags::parse(rest, &allowed)?;
             mutate(&flags, out, err)
@@ -789,7 +792,24 @@ fn serve_batch(
 /// I/O failures — and a truncated final record (a partially written or
 /// chopped log; the error carries the byte offset where the partial record
 /// starts) — abort the stream.
+///
+/// With `--batch N` (N ≥ 2) consecutive parsed mutations are grouped into
+/// `mutate_batch` envelopes of up to N: one write-order acquisition, one
+/// merged invalidation sweep, and one atomic WAL group per flush, answered
+/// by one `mutated_batch` envelope carrying per-mutation outcomes. Pending
+/// mutations flush before any error envelope so output order tracks input
+/// order.
 fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    let batch: usize = flags.parse_num("--batch", 1)?;
+    if batch == 0 {
+        return Err(usage("flag `--batch`: must be at least 1"));
+    }
+    if batch > crate::proto::MAX_BATCH_MUTATIONS {
+        return Err(usage(format!(
+            "flag `--batch`: at most {} mutations per batch",
+            crate::proto::MAX_BATCH_MUTATIONS
+        )));
+    }
     let (service, select) = build_service(flags)?;
     let select = select.as_deref();
     // Load the target up front: the CLI owns this process's deployments, so
@@ -802,6 +822,39 @@ fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result
         let mut sink = open_output(flags, out)?;
         let mut applied = 0u64;
         let mut rejected = 0u64;
+        let mut pending: Vec<signed_graph::EdgeMutation> = Vec::new();
+        let flush = |pending: &mut Vec<signed_graph::EdgeMutation>,
+                     sink: &mut dyn Write,
+                     applied: &mut u64,
+                     rejected: &mut u64|
+         -> Result<(), CliError> {
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let response = service.handle(&Request {
+                deployment: select.map(str::to_string),
+                deadline_ms: None,
+                body: RequestBody::MutateBatch {
+                    mutations: std::mem::take(pending),
+                },
+            });
+            match &response {
+                Response::MutatedBatch { outcomes, .. } => {
+                    for outcome in outcomes {
+                        if outcome.applied {
+                            *applied += 1;
+                        } else {
+                            *rejected += 1;
+                        }
+                    }
+                }
+                _ => *rejected += 1,
+            }
+            let json = serde_json::to_string(&response)
+                .map_err(|e| runtime(format!("serialize response: {e}")))?;
+            writeln!(sink, "{json}").map_err(|e| runtime(format!("write response: {e}")))?;
+            Ok(())
+        };
         let mut line = String::new();
         let mut lineno = 0usize;
         let mut offset = 0u64;
@@ -813,6 +866,7 @@ fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result
                 .read_line(&mut line)
                 .map_err(|e| runtime(format!("read mutations: {e}")))?;
             if n == 0 {
+                flush(&mut pending, &mut sink, &mut applied, &mut rejected)?;
                 break;
             }
             offset += n as u64;
@@ -821,6 +875,13 @@ fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result
                 continue;
             }
             let response = match crate::proto::parse_mutation_json(trimmed) {
+                Ok(body) if batch > 1 => {
+                    pending.push(body.mutation().expect("mutation bodies only"));
+                    if pending.len() >= batch {
+                        flush(&mut pending, &mut sink, &mut applied, &mut rejected)?;
+                    }
+                    continue;
+                }
                 Ok(body) => service.handle(&Request {
                     deployment: select.map(str::to_string),
                     deadline_ms: None,
@@ -835,9 +896,14 @@ fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result
                          has no trailing newline and is not a complete mutation: {e}"
                     )));
                 }
-                Err(e) => Response::Error(crate::ServiceError::BadRequest {
-                    detail: format!("line {lineno}: {e}"),
-                }),
+                Err(e) => {
+                    // Keep output order: mutations read before this bad
+                    // line land before its error envelope.
+                    flush(&mut pending, &mut sink, &mut applied, &mut rejected)?;
+                    Response::Error(crate::ServiceError::BadRequest {
+                        detail: format!("line {lineno}: {e}"),
+                    })
+                }
             };
             match &response {
                 Response::Mutated { .. } => applied += 1,
@@ -855,11 +921,12 @@ fn mutate(flags: &Flags<'_>, out: &mut dyn Write, err: &mut dyn Write) -> Result
     writeln!(
         err,
         "[tfsn] {}: {applied} mutation(s) applied, {rejected} rejected in {:.3}s; \
-         {} edges live, {} rows invalidated",
+         {} edges live, {} rows invalidated, {} rows repaired",
         engine.deployment().name(),
         started.elapsed().as_secs_f64(),
         engine.graph().edge_count(),
         metrics.rows_invalidated,
+        engine.store().rows_repaired_count(),
     )
     .ok();
     if let Ok(line) = serde_json::to_string(&metrics) {
@@ -1531,6 +1598,88 @@ mod tests {
         ]);
         result.unwrap();
         assert!(out.contains("line 1:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutate_batch_flag_groups_envelopes() {
+        let dir = std::env::temp_dir().join(format!("tfsn-cli-batch-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ops_path = dir.join("mutations.jsonl");
+        // Five parseable mutations with --batch 2 group as 2 + 2 + 1; the
+        // unparseable line in the middle flushes the pending group first so
+        // envelope order tracks input order.
+        std::fs::write(
+            &ops_path,
+            "{\"op\": \"edge_remove\", \"u\": 0, \"v\": 1}\n\
+             {\"op\": \"edge_insert\", \"u\": 0, \"v\": 1, \"sign\": \"-\"}\n\
+             {\"op\": \"edge_set_sign\", \"u\": 0, \"v\": 1, \"sign\": \"+\"}\n\
+             boom\n\
+             {\"op\": \"edge_set_sign\", \"u\": 0, \"v\": 9999, \"sign\": \"+\"}\n\
+             {\"op\": \"edge_remove\", \"u\": 0, \"v\": 1}\n",
+        )
+        .unwrap();
+        let (out, err, result) = run_to_strings(&[
+            "mutate",
+            "--deployment",
+            "tiny=synthetic:nodes=60,edges=180,skills=10,seed=5",
+            "--input",
+            ops_path.to_str().unwrap(),
+            "--batch",
+            "2",
+        ]);
+        result.unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        // [remove, insert] + [set_sign] (flushed by the bad line) + the
+        // bad-line error + [set_sign-oob, remove].
+        assert_eq!(lines.len(), 4, "grouped envelopes: {out}");
+        assert!(
+            lines[0].contains("\"op\":\"mutated_batch\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[0].contains("\"mutation\":\"edge_insert\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"op\":\"mutated_batch\""),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("line 4:"), "{}", lines[2]);
+        assert!(
+            lines[3].contains("\"op\":\"mutated_batch\""),
+            "{}",
+            lines[3]
+        );
+        // The out-of-range set_sign is a per-mutation rejection inside the
+        // final group, not a whole-batch error.
+        assert!(lines[3].contains("\"applied\":false"), "{}", lines[3]);
+        assert!(lines[3].contains("\"applied\":true"), "{}", lines[3]);
+        assert!(err.contains("4 mutation(s) applied, 2 rejected"), "{err}");
+        // --batch 0 and oversized batches are usage errors.
+        let (_, _, r) = run_to_strings(&[
+            "mutate",
+            "--deployment",
+            "tiny=synthetic:nodes=60,edges=180,skills=10,seed=5",
+            "--input",
+            ops_path.to_str().unwrap(),
+            "--batch",
+            "0",
+        ]);
+        assert!(r.unwrap_err().contains("at least 1"));
+        let (_, _, r) = run_to_strings(&[
+            "mutate",
+            "--deployment",
+            "tiny=synthetic:nodes=60,edges=180,skills=10,seed=5",
+            "--input",
+            ops_path.to_str().unwrap(),
+            "--batch",
+            "1025",
+        ]);
+        assert!(r.unwrap_err().contains("at most 1024"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

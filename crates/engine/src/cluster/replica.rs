@@ -203,16 +203,18 @@ fn pull_once(
     let engine = service
         .engine(Some(&cursor.name))
         .map_err(|e| format!("load deployment: {e}"))?;
-    for mutation in &records {
-        match engine.mutate(mutation) {
-            Ok(_) => {}
-            // Rejected mutations are in the primary's log too
-            // (append-before-apply); re-failing identically *is* the
-            // converged state, so the cursor still advances.
-            Err(crate::MutateError::Graph(_)) => {}
-            Err(crate::MutateError::Wal(e)) => {
-                return Err(format!("local wal append during replay: {e}"));
-            }
+    // The whole pulled window replays as one batch: one write-order
+    // acquisition, one merged invalidation sweep, one local WAL group per
+    // chunk — instead of thrashing the row cache once per record.
+    // Rejected mutations are in the primary's log too
+    // (append-before-apply); re-failing identically *is* the converged
+    // state (reported per-mutation in the batch outcomes), so the cursor
+    // still advances.
+    match engine.mutate_batch(&records) {
+        Ok(_) => {}
+        Err(crate::MutateError::Graph(_)) => {}
+        Err(crate::MutateError::Wal(e)) => {
+            return Err(format!("local wal append during replay: {e}"));
         }
     }
     engine.note_replicated(next_seq);

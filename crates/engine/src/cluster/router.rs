@@ -238,9 +238,10 @@ impl RouterCore {
                     .and_then(|json| serde_json::parse_value(json).ok())
                     .and_then(|v| v.get("op").and_then(|op| op.as_str().map(String::from)));
                 match op.as_deref() {
-                    Some("edge_insert" | "edge_remove" | "edge_set_sign" | "wal_pull") => {
-                        Plan::Primary
-                    }
+                    Some(
+                        "edge_insert" | "edge_remove" | "edge_set_sign" | "mutate_batch"
+                        | "wal_pull",
+                    ) => Plan::Primary,
                     _ => Plan::Read,
                 }
             }
@@ -740,6 +741,14 @@ mod tests {
                 "POST",
                 "/v1/rpc",
                 r#"{"version":1,"op":"wal_pull","from_seq":0}"#
+            )),
+            Plan::Primary
+        ));
+        assert!(matches!(
+            core.plan(&request(
+                "POST",
+                "/v1/rpc",
+                r#"{"version":1,"op":"mutate_batch","mutations":[{"op":"edge_remove","u":1,"v":2}]}"#
             )),
             Plan::Primary
         ));

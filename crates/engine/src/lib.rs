@@ -102,7 +102,7 @@ pub use query::{QueryReadError, TeamQuery};
 pub use registry::{DeploymentConfig, DeploymentRegistry, DeploymentSource, WalConfig};
 pub use server::{HttpServer, ServerOptions, ShutdownHandle};
 pub use service::{Deadline, Service, ServiceOptions, StreamOptions};
-pub use store::{MutationReport, RelationStore, ServingMode, StorePolicy, TierChoice};
+pub use store::{BatchReport, MutationReport, RelationStore, ServingMode, StorePolicy, TierChoice};
 pub use telemetry::{EngineTelemetry, LatencyHistogram, TelemetryReport};
 pub use tfsn_core::team::Objective;
 pub use wal::{FsyncPolicy, Wal};
@@ -350,6 +350,51 @@ impl Engine {
                 .record_op(telemetry::Op::Mutate, start.elapsed().as_micros() as u64);
         }
         report
+    }
+
+    /// Applies a batch of mutations under **one** write-order acquisition:
+    /// the batch is durably appended as one atomic WAL group *before* any
+    /// of it is applied (crash recovery replays all of it or none of it),
+    /// then swept through [`RelationStore::mutate_batch`] — one merged
+    /// invalidation pass instead of one per mutation. Batches larger than
+    /// [`proto::MAX_BATCH_MUTATIONS`] are chunked into consecutive groups
+    /// (each chunk atomic on its own), so arbitrarily large replication
+    /// windows replay through this one path.
+    ///
+    /// Answer-equivalent to folding [`Engine::mutate`] over the batch: a
+    /// mutation that fails graph validation reports its [`GraphError`] in
+    /// its [`BatchReport::outcomes`] slot and later mutations still apply.
+    /// Only a write-ahead log failure aborts the call.
+    pub fn mutate_batch(
+        &self,
+        mutations: &[signed_graph::EdgeMutation],
+    ) -> Result<BatchReport, MutateError> {
+        let start = Instant::now();
+        let _order = self.write_order.lock();
+        let mut combined = BatchReport {
+            outcomes: Vec::with_capacity(mutations.len()),
+            rows_invalidated: 0,
+            rows_repaired: 0,
+            kinds_downgraded: Vec::new(),
+        };
+        for chunk in mutations.chunks(proto::MAX_BATCH_MUTATIONS) {
+            if let Some(wal) = self.wal.get() {
+                let receipt = wal.append_batch(chunk).map_err(MutateError::Wal)?;
+                self.telemetry.record_wal_append(&receipt);
+            }
+            let report = self.store.mutate_batch(chunk);
+            combined.outcomes.extend(report.outcomes);
+            combined.rows_invalidated += report.rows_invalidated;
+            combined.rows_repaired += report.rows_repaired;
+            for kind in report.kinds_downgraded {
+                if !combined.kinds_downgraded.contains(&kind) {
+                    combined.kinds_downgraded.push(kind);
+                }
+            }
+        }
+        self.telemetry
+            .record_op(telemetry::Op::Mutate, start.elapsed().as_micros() as u64);
+        Ok(combined)
     }
 
     /// Attaches the durable mutation log. Called once by the registry

@@ -474,19 +474,21 @@ impl DeploymentRegistry {
 /// crash-recovery tests depend on:
 ///
 /// 1. **Open** the log, which scans it and truncates any torn tail left by
-///    a crash mid-append — the file ends on a record boundary afterwards.
-/// 2. **Replay** every surviving record through [`Engine::mutate`] while
-///    the engine has no WAL attached, so replay does not re-append.
-///    Records that fail to apply (e.g. a duplicate-insert that also failed
-///    when originally submitted) are skipped: appends happen *before*
-///    applies, so the log legitimately contains mutations the graph
-///    rejected, and rejection is deterministic on replay.
+///    a crash mid-append — the file ends on a record boundary afterwards
+///    (a torn *group* record drops whole, never a prefix of its batch).
+/// 2. **Replay** every surviving record through [`Engine::mutate_batch`]
+///    while the engine has no WAL attached, so replay does not re-append
+///    — one merged invalidation sweep per replay chunk instead of one per
+///    record. Records that fail to apply (e.g. a duplicate-insert that
+///    also failed when originally submitted) are skipped: appends happen
+///    *before* applies, so the log legitimately contains mutations the
+///    graph rejected, and rejection is deterministic on replay.
 /// 3. **Attach** the log, turning on append-before-apply for live traffic.
 fn recover_into(engine: &Arc<Engine>, path: &Path, fsync: FsyncPolicy) -> std::io::Result<()> {
     let (wal, scan) = Wal::open(path, fsync)?;
-    for mutation in &scan.mutations {
-        let _ = engine.mutate(mutation);
-    }
+    engine
+        .mutate_batch(&scan.mutations)
+        .expect("no WAL is attached during replay, so replay cannot fail");
     engine
         .attach_wal(wal)
         .expect("freshly-loaded engines have no WAL attached");

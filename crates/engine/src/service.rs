@@ -23,8 +23,8 @@ use tfsn_core::compat::CompatibilityKind;
 
 use crate::batch::BatchSummary;
 use crate::proto::{
-    DeploymentMetrics, DeploymentStats, DeploymentTelemetry, Request, RequestBody, Response,
-    ServiceError,
+    DeploymentMetrics, DeploymentStats, DeploymentTelemetry, MutationOutcome, Request, RequestBody,
+    Response, ServiceError,
 };
 use crate::query::QueryReader;
 use crate::registry::DeploymentRegistry;
@@ -462,6 +462,60 @@ impl Service {
                     mutation: request.body.op().to_string(),
                     changed: report.effect.changed(),
                     rows_invalidated: report.rows_invalidated as u64,
+                    downgraded: report.kinds_downgraded,
+                    edges: engine.graph().edge_count() as u64,
+                    micros: start.elapsed().as_micros() as u64,
+                })
+            }
+            RequestBody::MutateBatch { mutations } => {
+                let name = deployment.unwrap_or_else(|| self.registry.default_name());
+                // Same no-load rule as single mutations: batches apply to
+                // live deployments only.
+                let engine = self.registry.loaded_engine(Some(name))?.ok_or_else(|| {
+                    ServiceError::BadRequest {
+                        detail: format!(
+                            "deployment `{name}` is not loaded; mutations apply to live \
+                             deployments only (warm or query it first)"
+                        ),
+                    }
+                })?;
+                let start = Instant::now();
+                // Graph-level rejections are per-mutation outcomes, not
+                // envelope errors; only a WAL failure fails the envelope
+                // (the whole group was refused before touching the graph).
+                let report = engine.mutate_batch(mutations).map_err(|e| match e {
+                    crate::MutateError::Graph(e) => ServiceError::BadRequest {
+                        detail: e.to_string(),
+                    },
+                    crate::MutateError::Wal(e) => ServiceError::Internal {
+                        detail: format!("write-ahead log append failed: {e}"),
+                    },
+                })?;
+                let outcomes = mutations
+                    .iter()
+                    .zip(&report.outcomes)
+                    .map(|(m, outcome)| match outcome {
+                        Ok(effect) => MutationOutcome {
+                            mutation: m.op().to_string(),
+                            applied: true,
+                            changed: effect.changed(),
+                            error: None,
+                        },
+                        Err(e) => MutationOutcome {
+                            mutation: m.op().to_string(),
+                            applied: false,
+                            changed: false,
+                            error: Some(ServiceError::BadRequest {
+                                detail: e.to_string(),
+                            }),
+                        },
+                    })
+                    .collect();
+                Ok(Response::MutatedBatch {
+                    deployment: name.to_string(),
+                    outcomes,
+                    rows_invalidated: report.rows_invalidated as u64,
+                    rows_repaired: report.rows_repaired as u64,
                     downgraded: report.kinds_downgraded,
                     edges: engine.graph().edge_count() as u64,
                     micros: start.elapsed().as_micros() as u64,

@@ -50,6 +50,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use signed_graph::csr::CsrGraph;
 use signed_graph::{EdgeMutation, GraphError, MutationEffect, SignedGraph};
+use tfsn_core::compat::repair::{repair_row, RepairOutcome};
 use tfsn_core::compat::{
     estimated_matrix_bytes, row_affected_by_edge, Compatibility, CompatibilityKind,
     CompatibilityMatrix, EngineConfig, InvalidationScope, LazyCompatibility, RowTracker,
@@ -197,8 +198,43 @@ pub struct MutationReport {
     /// Resident rows dropped across all shards (matrix rows not migrated
     /// by a downgrade included).
     pub rows_invalidated: usize,
+    /// Resident rows the repair pass kept (proved unchanged or patched in
+    /// place) that the coarse frontier predicate alone would have dropped.
+    pub rows_repaired: usize,
     /// Matrix-tier kinds downgraded to the row tier by this mutation.
     pub kinds_downgraded: Vec<CompatibilityKind>,
+}
+
+/// The outcome of one [`RelationStore::mutate_batch`] call: per-mutation
+/// results plus one merged invalidation accounting for the whole sweep.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One entry per input mutation, in order: the effect it had on the
+    /// graph, or the typed [`GraphError`] that rejected it (later mutations
+    /// still apply — the batch is equivalent to a sequential fold of
+    /// [`RelationStore::mutate`]).
+    pub outcomes: Vec<Result<MutationEffect, GraphError>>,
+    /// Resident rows dropped across all shards by the merged sweep.
+    pub rows_invalidated: usize,
+    /// Resident rows kept by repair that the coarse predicate would drop.
+    pub rows_repaired: usize,
+    /// Matrix-tier kinds downgraded to the row tier by this batch.
+    pub kinds_downgraded: Vec<CompatibilityKind>,
+}
+
+impl BatchReport {
+    /// Mutations that applied (errors excluded; no-op sign sets included).
+    pub fn applied(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_ok()).count()
+    }
+
+    /// Mutations that structurally changed the graph.
+    pub fn changed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.as_ref().is_ok_and(|e| e.changed()))
+            .count()
+    }
 }
 
 /// The tiered, build-once relation store.
@@ -222,6 +258,7 @@ pub struct RelationStore {
     /// sign set must not invalidate.
     graph_version: AtomicUsize,
     rows_invalidated: AtomicUsize,
+    rows_repaired: AtomicUsize,
 }
 
 impl RelationStore {
@@ -254,6 +291,7 @@ impl RelationStore {
             mutations: AtomicUsize::new(0),
             graph_version: AtomicUsize::new(0),
             rows_invalidated: AtomicUsize::new(0),
+            rows_repaired: AtomicUsize::new(0),
         }
     }
 
@@ -371,6 +409,30 @@ impl RelationStore {
     /// `SetSign` to the sign the edge already has counts as applied but
     /// invalidates nothing.
     pub fn mutate(&self, m: &EdgeMutation) -> Result<MutationReport, GraphError> {
+        let BatchReport {
+            mut outcomes,
+            rows_invalidated,
+            rows_repaired,
+            kinds_downgraded,
+        } = self.mutate_batch(std::slice::from_ref(m));
+        let effect = outcomes.pop().expect("one outcome per mutation")?;
+        Ok(MutationReport {
+            effect,
+            rows_invalidated,
+            rows_repaired,
+            kinds_downgraded,
+        })
+    }
+
+    /// Applies `k` mutations under **one** mutation-lock acquisition, one
+    /// graph clone, one CSR refresh, one snapshot publication, and one
+    /// merged invalidation sweep per shard — the batch is answer-equivalent
+    /// to a sequential fold of [`RelationStore::mutate`] (a rejected
+    /// mutation does not stop later ones), but resident rows are walked
+    /// once per *batch* instead of once per mutation, and rows the combined
+    /// delta proves patchable are repaired in place
+    /// ([`tfsn_core::compat::repair`]) instead of dropped.
+    pub fn mutate_batch(&self, ms: &[EdgeMutation]) -> BatchReport {
         let _serial = self.mutation_lock.lock();
         let (old_graph, old_csr) = {
             let st = self.state.read();
@@ -381,43 +443,92 @@ impl RelationStore {
         // O(|V|+|E|) graph clone (under the mutation lock, no less) to
         // discover a no-op. Every error case falls through to
         // `apply_mutation`, which reports it with the exact same typing.
-        if let EdgeMutation::SetSign { u, v, sign } = *m {
-            if u != v
-                && old_graph.contains_node(u)
-                && old_graph.contains_node(v)
-                && old_graph.sign(u, v) == Some(sign)
-            {
-                self.mutations.fetch_add(1, Ordering::Relaxed);
-                let (u, v) = if u <= v { (u, v) } else { (v, u) };
-                return Ok(MutationReport {
-                    effect: MutationEffect {
+        let noop_sign_set = |g: &SignedGraph, m: &EdgeMutation| -> Option<MutationEffect> {
+            if let EdgeMutation::SetSign { u, v, sign } = *m {
+                if u != v && g.contains_node(u) && g.contains_node(v) && g.sign(u, v) == Some(sign)
+                {
+                    let (u, v) = if u <= v { (u, v) } else { (v, u) };
+                    return Some(MutationEffect {
                         u,
                         v,
                         change: signed_graph::EdgeChange::Unchanged(sign),
-                    },
+                    });
+                }
+            }
+            None
+        };
+        // All-no-op batches skip the clone, the CSR refresh, and the
+        // per-kind sweep entirely — resident SBPH/SBP shards included.
+        if !ms.is_empty() {
+            if let Some(outcomes) = ms
+                .iter()
+                .map(|m| noop_sign_set(&old_graph, m).map(Ok))
+                .collect::<Option<Vec<_>>>()
+            {
+                self.mutations.fetch_add(ms.len(), Ordering::Relaxed);
+                return BatchReport {
+                    outcomes,
                     rows_invalidated: 0,
+                    rows_repaired: 0,
                     kinds_downgraded: Vec::new(),
-                });
+                };
             }
         }
         let mut new_graph = (*old_graph).clone();
-        let effect = new_graph.apply_mutation(m)?;
-        debug_assert!(effect.changed(), "no-op sign sets short-circuit above");
+        let mut outcomes: Vec<Result<MutationEffect, GraphError>> = Vec::with_capacity(ms.len());
+        let mut effects: Vec<MutationEffect> = Vec::new();
+        let mut applied = 0usize;
+        for m in ms {
+            // No-op detection runs against the *evolving* graph: a sign set
+            // matching an earlier mutation's outcome is still a no-op.
+            if let Some(effect) = noop_sign_set(&new_graph, m) {
+                applied += 1;
+                outcomes.push(Ok(effect));
+                continue;
+            }
+            match new_graph.apply_mutation(m) {
+                Ok(effect) => {
+                    debug_assert!(effect.changed(), "no-op sign sets short-circuit above");
+                    applied += 1;
+                    effects.push(effect);
+                    outcomes.push(Ok(effect));
+                }
+                Err(e) => outcomes.push(Err(e)),
+            }
+        }
+        if effects.is_empty() {
+            // Nothing changed (errors and no-ops only): layers stay
+            // untouched, exactly like the sequential fold.
+            self.mutations.fetch_add(applied, Ordering::Relaxed);
+            return BatchReport {
+                outcomes,
+                rows_invalidated: 0,
+                rows_repaired: 0,
+                kinds_downgraded: Vec::new(),
+            };
+        }
         let new_graph = Arc::new(new_graph);
         // A CSR is needed by every shard that is — or is about to become —
         // row-served. The scan is only a hint: a shard can be initialised
         // concurrently between it and the invalidation loop below, so the
         // loop builds the CSR on demand if the hint was stale.
         let need_csr = self.shards.iter().any(|s| s.read().is_some());
+        let all_sign_only = effects.iter().all(|e| e.is_sign_only());
         let mut new_csr: Option<Arc<CsrGraph>> = if need_csr {
-            let patched = match (&old_csr, effect.is_sign_only(), effect.sign_after()) {
+            let patched = match (&old_csr, all_sign_only) {
                 // Sign flips keep the CSR structure: patch the sign lane of
                 // the existing view instead of re-walking the graph.
-                (Some(csr), true, Some(sign)) => {
+                (Some(csr), true) => {
                     let mut patched = (**csr).clone();
-                    patched
-                        .set_sign(effect.u, effect.v, sign)
-                        .expect("flipped edge exists in the CSR view");
+                    for effect in &effects {
+                        patched
+                            .set_sign(
+                                effect.u,
+                                effect.v,
+                                effect.sign_after().expect("sign-only effect has a sign"),
+                            )
+                            .expect("flipped edge exists in the CSR view");
+                    }
                     patched
                 }
                 _ => CsrGraph::from_graph(&new_graph),
@@ -434,6 +545,7 @@ impl RelationStore {
             st.csr = new_csr.clone();
         }
         let mut invalidated = 0usize;
+        let mut repaired = 0usize;
         let mut kinds_downgraded = Vec::new();
         for (i, &kind) in CompatibilityKind::ALL.iter().enumerate() {
             let mut guard = self.shards[i].write();
@@ -446,17 +558,20 @@ impl RelationStore {
                 .clone();
             match tier {
                 Tier::Rows(rows) => {
-                    invalidated += rows.apply_mutation(new_graph.clone(), csr, effect.u, effect.v);
+                    let (inv, rep) = rows.apply_mutations(new_graph.clone(), csr, &effects);
+                    invalidated += inv;
+                    repaired += rep;
                 }
                 Tier::Matrix(matrix) => {
                     // Downgrade instead of rebuilding O(|V|²) eagerly: the
                     // matrix's unaffected rows migrate into a fresh row
                     // store (they are per-source-exact for every kind whose
-                    // scope is not WholeKind) and affected rows recompute
-                    // lazily on next fetch.
+                    // scope is not WholeKind), affected-but-patchable rows
+                    // migrate *repaired*, and only rows repair rejects
+                    // recompute lazily on next fetch.
                     let lazy = LazyCompatibility::with_shared_csr(
                         new_graph.clone(),
-                        csr,
+                        csr.clone(),
                         kind,
                         self.cfg.clone(),
                         self.policy.memory_budget,
@@ -473,8 +588,24 @@ impl RelationStore {
                             }) {
                                 break;
                             }
-                            if !row_affected_by_edge(row, effect.u, effect.v) {
+                            let affected =
+                                effects.iter().any(|e| row_affected_by_edge(row, e.u, e.v));
+                            if !affected {
                                 lazy.seed_row(Arc::new(row.clone()));
+                                continue;
+                            }
+                            match repair_row(row, &effects, &csr) {
+                                RepairOutcome::Unchanged => {
+                                    if lazy.seed_row(Arc::new(row.clone())) {
+                                        repaired += 1;
+                                    }
+                                }
+                                RepairOutcome::Repaired(patched) => {
+                                    if lazy.seed_row(Arc::new(patched)) {
+                                        repaired += 1;
+                                    }
+                                }
+                                RepairOutcome::MustRecompute => {}
                             }
                         }
                     }
@@ -487,15 +618,18 @@ impl RelationStore {
                 }
             }
         }
-        self.mutations.fetch_add(1, Ordering::Relaxed);
-        self.graph_version.fetch_add(1, Ordering::Relaxed);
+        self.mutations.fetch_add(applied, Ordering::Relaxed);
+        self.graph_version
+            .fetch_add(effects.len(), Ordering::Relaxed);
         self.rows_invalidated
             .fetch_add(invalidated, Ordering::Relaxed);
-        Ok(MutationReport {
-            effect,
+        self.rows_repaired.fetch_add(repaired, Ordering::Relaxed);
+        BatchReport {
+            outcomes,
             rows_invalidated: invalidated,
+            rows_repaired: repaired,
             kinds_downgraded,
-        })
+        }
     }
 
     /// Mutations successfully applied (no-op sign sets included).
@@ -513,6 +647,13 @@ impl RelationStore {
     /// Resident rows invalidated across all mutations.
     pub fn rows_invalidated_count(&self) -> usize {
         self.rows_invalidated.load(Ordering::Relaxed)
+    }
+
+    /// Resident rows kept by the repair pass across all mutations — rows
+    /// the coarse frontier predicate would have dropped that were instead
+    /// proved unchanged or patched in place.
+    pub fn rows_repaired_count(&self) -> usize {
+        self.rows_repaired.load(Ordering::Relaxed)
     }
 
     /// `true` when the shard for `kind` is initialised (matrix built, or

@@ -63,10 +63,12 @@ pub const RECORD_HEADER_BYTES: u64 = 8;
 /// Records between fsyncs under [`FsyncPolicy::Batch`].
 pub const BATCH_FSYNC_INTERVAL: u64 = 32;
 
-/// Upper bound on one record's payload. Mutation wire objects are under a
-/// hundred bytes; a length prefix beyond this bound is garbage (a torn or
-/// overwritten header), not a record to allocate for.
-pub const MAX_RECORD_BYTES: u64 = 64 << 10;
+/// Upper bound on one record's payload. Single mutation wire objects are
+/// under a hundred bytes and a full group record
+/// ([`crate::proto::MAX_BATCH_MUTATIONS`] mutations) under ~64 KiB; a
+/// length prefix beyond this bound is garbage (a torn or overwritten
+/// header), not a record to allocate for.
+pub const MAX_RECORD_BYTES: u64 = 1 << 20;
 
 /// When the log file is fsynced relative to appends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,14 +135,31 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Encodes one mutation as a framed log record.
-pub fn encode_record(mutation: &EdgeMutation) -> Vec<u8> {
-    let payload = proto::mutation_json(mutation).into_bytes();
+/// Frames a payload as one log record (length prefix + CRC + payload).
+fn frame(payload: Vec<u8>) -> Vec<u8> {
     let mut record = Vec::with_capacity(RECORD_HEADER_BYTES as usize + payload.len());
     record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     record.extend_from_slice(&crc32(&payload).to_le_bytes());
     record.extend_from_slice(&payload);
     record
+}
+
+/// Encodes one mutation as a framed log record.
+pub fn encode_record(mutation: &EdgeMutation) -> Vec<u8> {
+    frame(proto::mutation_json(mutation).into_bytes())
+}
+
+/// Encodes a batch of mutations as **one** framed log record — the crash
+/// atomicity unit: a scan decodes all of the group or, when the record is
+/// torn, none of it, so recovery can never replay a strict prefix of a
+/// batch. A batch of one encodes as the plain single-mutation record (the
+/// group framing buys nothing there).
+pub fn encode_batch_record(mutations: &[EdgeMutation]) -> Vec<u8> {
+    debug_assert!(!mutations.is_empty(), "empty batches are never logged");
+    match mutations {
+        [one] => encode_record(one),
+        many => frame(proto::mutation_batch_json(many).into_bytes()),
+    }
 }
 
 /// A partial or corrupt final record found by [`scan`].
@@ -232,13 +251,14 @@ pub fn scan(path: &Path) -> std::io::Result<WalScan> {
             Ok(t) => t,
             Err(e) => break Some(torn(format!("record payload is not UTF-8: {e}"))),
         };
-        let mutation = match proto::parse_mutation_json(text) {
-            Ok(body) => body
-                .mutation()
-                .expect("parse_mutation_json yields mutation bodies only"),
+        // Group records flatten into the mutation stream: sequence numbers
+        // are mutation positions, not record positions, so `wal_pull`
+        // cursors and follower replay never see group boundaries — only
+        // crash recovery does (a torn group drops whole).
+        match proto::parse_mutation_group_json(text) {
+            Ok(group) => mutations.extend(group),
             Err(e) => break Some(torn(format!("unparseable record payload: {e}"))),
-        };
-        mutations.push(mutation);
+        }
         offset += RECORD_HEADER_BYTES + len;
     };
     Ok(WalScan {
@@ -391,6 +411,39 @@ impl Wal {
         match result {
             Ok(receipt) => {
                 self.appends.fetch_add(1, Ordering::Relaxed);
+                if receipt.fsynced {
+                    self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(receipt)
+            }
+            Err(e) => {
+                state.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Appends a batch of mutations as **one** atomic group record (one
+    /// write, one fsync decision), fsyncing per the policy. The append
+    /// counter advances by the number of *mutations* — sequence numbers
+    /// count mutations, not frames — and the failure contract matches
+    /// [`Wal::append`]: on any error the log poisons itself and none of
+    /// the batch may be applied.
+    pub fn append_batch(&self, mutations: &[EdgeMutation]) -> std::io::Result<AppendReceipt> {
+        let record = encode_batch_record(mutations);
+        let mut state = self.state.lock();
+        if state.poisoned {
+            return Err(std::io::Error::other(format!(
+                "write-ahead log {} poisoned by an earlier failed append; \
+                 reload the deployment to truncate and recover",
+                self.path.display()
+            )));
+        }
+        let result = Self::append_locked(&mut state, self.policy, &record);
+        match result {
+            Ok(receipt) => {
+                self.appends
+                    .fetch_add(mutations.len() as u64, Ordering::Relaxed);
                 if receipt.fsynced {
                     self.fsyncs.fetch_add(1, Ordering::Relaxed);
                 }
@@ -583,6 +636,46 @@ mod tests {
             assert_eq!(rescan.mutations.len(), whole);
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_records_flatten_in_order_and_tear_whole() {
+        let path = tmp("batch");
+        let (wal, _) = Wal::open(&path, FsyncPolicy::Off).unwrap();
+        wal.append(&insert(0, 1)).unwrap();
+        let group: Vec<EdgeMutation> = (1..5).map(|i| insert(i, i + 1)).collect();
+        let receipt = wal.append_batch(&group).unwrap();
+        assert_eq!(wal.appends(), 5, "appends count mutations, not frames");
+        drop(wal);
+        let full_scan = scan(&path).unwrap();
+        assert!(full_scan.clean());
+        assert_eq!(
+            full_scan.mutations.len(),
+            5,
+            "groups flatten into the stream"
+        );
+        assert_eq!(full_scan.mutations[1..], group);
+        // Cut anywhere inside the group record: the whole group drops —
+        // never a prefix of its mutations.
+        let full = std::fs::read(&path).unwrap();
+        let group_start = full.len() - receipt.bytes as usize;
+        for cut in group_start..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let s = scan(&path).unwrap();
+            assert_eq!(s.mutations.len(), 1, "cut at {cut}: all-or-none");
+            assert_eq!(s.valid_bytes, group_start as u64, "cut at {cut}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_of_one_encodes_as_a_plain_record() {
+        let m = insert(7, 9);
+        assert_eq!(
+            encode_batch_record(std::slice::from_ref(&m)),
+            encode_record(&m),
+            "single-mutation batches keep the bare framing"
+        );
     }
 
     #[test]

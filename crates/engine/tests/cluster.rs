@@ -435,3 +435,115 @@ fn router_refuses_shutdown_and_answers_health_locally() {
     assert!(reply.body.contains(r#""name":"p""#), "{}", reply.body);
     router.shutdown();
 }
+
+/// The replication storm: 500 mutations land on the primary, and a
+/// rows-mode follower replays them through batched pull windows
+/// (`max_per_pull` forces several `mutate_batch` groups). It must catch up
+/// — `replicated_seq` reaches the storm size — while thrashing its row
+/// cache strictly less than the unbatched baseline recorded in the same
+/// test: the same log folded one record at a time with a read sweep
+/// between records, which is what the pre-batching follower amounted to
+/// under a live read workload.
+#[test]
+fn follower_storm_converges_with_fewer_row_builds_than_unbatched_replay() {
+    use signed_graph::{EdgeMutation, NodeId, Sign};
+    use tfsn_core::compat::CompatibilityKind;
+    use tfsn_engine::{Engine, EngineOptions, StorePolicy};
+
+    const STORM: usize = 500;
+    const KIND: CompatibilityKind = CompatibilityKind::Spo;
+    let rows_options = || EngineOptions {
+        policy: StorePolicy::rows(None),
+        build_threads: 2,
+        ..Default::default()
+    };
+    // Fills every row of KIND, building the invalidated ones.
+    let sweep = |engine: &Engine| {
+        let fetched = engine.store().fetch(KIND);
+        let scope = fetched.scope();
+        for u in 0..engine.graph().node_count() {
+            let _ = scope.compat().packed_row(NodeId::new(u));
+        }
+    };
+    // A deterministic flappy storm: edges over a small node range get
+    // removed, re-inserted and re-signed repeatedly, so batched windows
+    // can cancel work that record-at-a-time replay pays for.
+    let mutations: Vec<EdgeMutation> = (0..STORM)
+        .map(|i| {
+            let u = NodeId::new(i % 17);
+            let v = NodeId::new((i * 7 + 1) % 23);
+            let sign = if i % 3 == 0 {
+                Sign::Negative
+            } else {
+                Sign::Positive
+            };
+            match i % 4 {
+                0 => EdgeMutation::Insert { u, v, sign },
+                1 => EdgeMutation::Remove { u, v },
+                _ => EdgeMutation::SetSign { u, v, sign },
+            }
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("tfsn-storm-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let primary_service = service(Some(&dir));
+    let primary_engine = primary_service.engine(None).expect("load primary");
+    let primary = server(primary_service.clone());
+    for m in &mutations {
+        let _ = primary_engine.mutate(m); // rejections are logged too
+    }
+
+    // The follower: rows resident up front, so the storm hits live state.
+    let follower_service = {
+        let registry = DeploymentRegistry::new(vec![DeploymentConfig::new(
+            DEPLOYMENT,
+            DeploymentSource::parse(SPEC).unwrap(),
+        )
+        .with_options(rows_options())])
+        .unwrap();
+        Arc::new(Service::new(registry))
+    };
+    let follower_engine = follower_service.engine(None).expect("load follower");
+    sweep(&follower_engine);
+    let follower = replica::start(
+        follower_service.clone(),
+        FollowerOptions {
+            primary: primary.addr(),
+            poll: Duration::from_millis(10),
+            max_per_pull: 128, // several batched windows, not one giant pull
+        },
+    );
+    wait_until("follower to replay the storm", || {
+        follower_engine.replicated_seq() == Some(STORM as u64)
+    });
+    follower.stop();
+    assert_eq!(
+        format!("{:?}", follower_engine.graph().edges()),
+        format!("{:?}", primary_engine.graph().edges()),
+        "the converged follower must serve the primary's edge list"
+    );
+    sweep(&follower_engine);
+    let follower_builds = follower_engine.store().row_build_count();
+
+    // The unbatched baseline, recorded here: fold the identical log one
+    // record at a time with a read sweep after every record.
+    let baseline = Engine::with_options(
+        DeploymentSource::parse(SPEC).unwrap().load(),
+        rows_options(),
+    );
+    sweep(&baseline);
+    for m in &mutations {
+        let _ = baseline.mutate(m);
+        sweep(&baseline);
+    }
+    let baseline_builds = baseline.store().row_build_count();
+    assert!(
+        follower_builds < baseline_builds,
+        "batched windows must rebuild fewer rows than record-at-a-time \
+         replay: follower {follower_builds} vs baseline {baseline_builds}"
+    );
+
+    primary.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

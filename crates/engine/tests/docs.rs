@@ -92,6 +92,9 @@ fn architecture_doc_keeps_its_anchors() {
         "LazyCompatibility",
         "RelationStore",
         "Objective",
+        "repair_row",
+        "rows_repaired",
+        "mutate_batch",
     ] {
         assert!(
             doc.contains(anchor),
@@ -178,6 +181,8 @@ fn durability_doc_covers_wal_and_overload_surface() {
         "server.write",
         "CRC-32",
         "never half-applied",
+        "mutate_batch",
+        "whole group",
     ] {
         assert!(
             doc.contains(anchor),
@@ -192,7 +197,13 @@ fn cluster_doc_covers_topology_routing_and_replication() {
     // The routing-rules table must keep naming every primary-only op the
     // router sniffs out of /v1/rpc bodies — a new mutation op that is not
     // documented here is a routing hazard, not just a docs gap.
-    for op in ["edge_insert", "edge_remove", "edge_set_sign", "wal_pull"] {
+    for op in [
+        "edge_insert",
+        "edge_remove",
+        "edge_set_sign",
+        "mutate_batch",
+        "wal_pull",
+    ] {
         assert!(
             doc.contains(&format!("`{op}`")),
             "docs/CLUSTER.md routing rules lost primary-only op `{op}`"

@@ -177,8 +177,16 @@ fn check_interleave(policy: StorePolicy, steps: &[Step]) {
     prop_assert_eq!(engine.metrics().mutations_applied, mutations_applied);
 }
 
+/// Proptest case count, overridable for the nightly deep run.
+fn cases() -> u32 {
+    std::env::var("TFSN_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     /// The acceptance property, matrix mode: mutations downgrade resident
     /// matrices to seeded row stores; answers must not move.

@@ -70,8 +70,16 @@ fn mutation_strategy() -> impl Strategy<Value = EdgeMutation> {
     (0usize..3, 0usize..NODES + 2, 0usize..NODES).prop_map(mutation)
 }
 
+/// Proptest case count, overridable for the nightly deep run.
+fn cases() -> u32 {
+    std::env::var("TFSN_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     /// The acceptance property: submit an arbitrary mutation sequence with
     /// a WAL attached, "crash" by cutting the log at an arbitrary byte
@@ -165,6 +173,77 @@ proptest! {
             let _ = replayed.mutate(m);
         }
         prop_assert_eq!(graph_bytes(&engine), graph_bytes(&replayed));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The batched-group crash property: a `mutate_batch` chunk is ONE
+    /// framed record, so killing the process at **every byte offset** of
+    /// that record must recover all of the group or none of it — never a
+    /// prefix of its mutations. (Single-record kills are covered by
+    /// `crash_at_an_arbitrary_offset_recovers_the_acknowledged_prefix`;
+    /// this pins the new group framing.)
+    #[test]
+    fn batched_group_kill_at_every_offset_is_all_or_none(
+        prefix in prop::collection::vec(mutation_strategy(), 0..4),
+        group in prop::collection::vec(mutation_strategy(), 2..10),
+    ) {
+        let dir = scratch("group");
+        let wal_config = || WalConfig::new(&dir).with_fsync(FsyncPolicy::Always);
+        let registry = DeploymentRegistry::single(config()).with_wal(wal_config());
+        let engine = registry.engine(None).unwrap();
+        for m in &prefix {
+            let _ = engine.mutate(m); // rejections append too (by design)
+        }
+        let path = wal_config().file("fix");
+        let group_start = std::fs::metadata(&path).unwrap().len() as usize;
+        engine.mutate_batch(&group).unwrap();
+        drop(engine);
+        drop(registry);
+        let full = std::fs::read(&path).unwrap();
+        prop_assert!(full.len() > group_start, "the group must have been logged");
+
+        // Scan layer: every cut inside the group record tears the WHOLE
+        // group — the surviving mutations are exactly the singles prefix.
+        for cut in group_start..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = wal::scan(&path).unwrap();
+            prop_assert_eq!(
+                scan.mutations.len(),
+                prefix.len(),
+                "cut at byte {} (group starts at {}) must drop the whole group",
+                cut,
+                group_start
+            );
+            prop_assert_eq!(&scan.mutations, &prefix);
+        }
+        // The intact file flattens the group back into per-mutation seqs.
+        std::fs::write(&path, &full).unwrap();
+        let scan = wal::scan(&path).unwrap();
+        prop_assert_eq!(scan.mutations.len(), prefix.len() + group.len());
+
+        // Registry-level recovery at representative kill points: the
+        // recovered graph equals a fresh replay of whatever whole records
+        // survived — and the survivor count is all-or-none for the group.
+        let submitted: Vec<EdgeMutation> =
+            prefix.iter().chain(group.iter()).cloned().collect();
+        let mid = group_start + (full.len() - group_start) / 2;
+        for cut in [group_start, mid, full.len() - 1, full.len()] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let whole = wal::scan(&path).unwrap().mutations.len();
+            prop_assert!(
+                whole == prefix.len() || whole == submitted.len(),
+                "kill at byte {} recovered {} mutation(s): a partial group",
+                cut,
+                whole
+            );
+            let recovered = DeploymentRegistry::single(config()).with_wal(wal_config());
+            let engine = recovered.engine(None).unwrap();
+            let reference = fresh_engine();
+            for m in &submitted[..whole] {
+                let _ = reference.mutate(m);
+            }
+            prop_assert_eq!(graph_bytes(&engine), graph_bytes(&reference));
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
